@@ -1,0 +1,64 @@
+"""Experiment A8 — resource-constrained baselines: FDLS vs list scheduling.
+
+Paulin & Knight's force-directed list scheduling replaces the static
+urgency priority of classic list scheduling with deferral forces.  This
+benchmark compares achieved makespans of both under identical instance
+limits across the standard workloads — the per-block quality floor the
+system-level results inherit.
+"""
+
+from conftest import save_artifact
+
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.fdls import ForceDirectedListScheduler
+from repro.scheduling.list_scheduling import ListScheduler
+from repro.workloads import (
+    ar_lattice,
+    differential_equation,
+    elliptic_wave_filter,
+    fir_filter,
+    iir_biquad_cascade,
+)
+
+CASES = (
+    ("ewf", elliptic_wave_filter, {"adder": 2, "multiplier": 1}),
+    ("ewf+", elliptic_wave_filter, {"adder": 3, "multiplier": 2}),
+    ("diffeq", differential_equation, {"adder": 1, "subtracter": 1, "multiplier": 2}),
+    ("fir8", lambda: fir_filter(8), {"adder": 2, "multiplier": 2}),
+    ("lattice4", lambda: ar_lattice(4), {"adder": 1, "subtracter": 1, "multiplier": 1}),
+    ("iir2", lambda: iir_biquad_cascade(2), {"adder": 1, "subtracter": 1, "multiplier": 2}),
+)
+
+
+def run_comparison():
+    library = default_library()
+    rows = []
+    for name, factory, capacity in CASES:
+        graph = factory()
+        deadline = graph.critical_path_length(library.latency_of)
+        fdls = ForceDirectedListScheduler(library, capacity).schedule(
+            Block(name=name, graph=factory(), deadline=deadline)
+        )
+        baseline = ListScheduler(library, capacity).schedule(
+            Block(name=name, graph=factory(), deadline=deadline)
+        )
+        rows.append((name, deadline, fdls.makespan, baseline.makespan))
+    return rows
+
+
+def test_fdls_vs_list(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    # FDLS must stay in the same quality class as list scheduling.
+    for name, _cp, fdls_len, list_len in rows:
+        assert fdls_len <= list_len + 3, name
+
+    lines = [
+        "A8: resource-constrained makespans, FDLS vs urgency list scheduling",
+        "",
+        f"{'workload':<10} {'crit.path':>9} {'FDLS':>6} {'list':>6}",
+    ]
+    for name, cp, fdls_len, list_len in rows:
+        lines.append(f"{name:<10} {cp:>9} {fdls_len:>6} {list_len:>6}")
+    save_artifact("fdls_vs_list", "\n".join(lines))

@@ -1,0 +1,119 @@
+"""Experiment F2 — Figure 2 of the paper (§5.1).
+
+Figure 2 contrasts the unmodified and the first-part-modified IFDS on a
+two-operation block: under the modulo-maximum transformation, a positive
+displacement *hidden* below a slot maximum costs no force, so the
+modified algorithm prefers the placement that reuses an already-occupied
+period slot — the periodical alignment of operations.
+
+The regenerated artifact prints, for every candidate placement of the
+free operation, the classic force on the block distribution next to the
+modified force on the modulo-transformed distribution, and then shows
+the end-to-end effect: the coupled scheduler parks both operations on the
+same period slot so a second process can use the other slot for free.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.core.modulo import modulo_max
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.forces import hooke_force
+from repro.scheduling.state import BlockState
+
+PERIOD = 2
+RANGE = 4
+
+
+def build_state():
+    library = default_library()
+    graph = DataFlowGraph(name="fig2")
+    graph.add("op1", OpKind.ADD)
+    graph.add("op2", OpKind.ADD)
+    state = BlockState(Block(name="b", graph=graph, deadline=RANGE), library)
+    state.commit_fix("op2", 0)  # one operation already scheduled at step 0
+    return state
+
+
+def force_trace(state):
+    """(step, classic force, modified force) for each placement of op1."""
+    rows = []
+    distribution = state.dist.array("adder")
+    folded = modulo_max(distribution, PERIOD)
+    for step in range(RANGE):
+        delta = state.placement_deltas("op1", step)["adder"]
+        classic = hooke_force(distribution, delta, 0.0)
+        folded_after = modulo_max(distribution + delta, PERIOD)
+        modified = hooke_force(folded, folded_after - folded, 0.0)
+        rows.append((step, classic, modified))
+    return rows
+
+
+def run_end_to_end():
+    """Couple the block with a second process contending for the adder."""
+    library = default_library()
+    system = SystemSpec(name="fig2-system")
+    g1 = DataFlowGraph(name="b1")
+    g1.add("op1", OpKind.ADD)
+    g1.add("op2", OpKind.ADD)
+    p1 = Process(name="p1")
+    p1.add_block(Block(name="main", graph=g1, deadline=RANGE))
+    system.add_process(p1)
+    g2 = DataFlowGraph(name="b2")
+    g2.add("other", OpKind.ADD)
+    p2 = Process(name="p2")
+    p2.add_block(Block(name="main", graph=g2, deadline=PERIOD))
+    system.add_process(p2)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"adder": PERIOD})
+    )
+
+
+def test_figure2(benchmark):
+    state = build_state()
+    rows = benchmark.pedantic(force_trace, args=(state,), rounds=50, iterations=5)
+
+    by_step = {step: (classic, modified) for step, classic, modified in rows}
+    # Classic forces cannot tell steps 1, 2, 3 apart by slot; the modified
+    # force must strictly prefer step 2 (slot 0, hidden under op2's max)
+    # over the empty slot-1 steps.
+    assert by_step[2][1] < by_step[1][1]
+    assert by_step[2][1] < by_step[3][1]
+    # Same-slot preference is invisible to the unmodified force: for the
+    # classic algorithm, steps 2 and 3 both move mass off the uniform
+    # distribution equally well.
+    assert by_step[2][0] >= by_step[2][1]
+
+    lines = [
+        "figure 2: unmodified vs modified IFDS forces (P = 2, range = 4)",
+        "",
+        "op2 fixed at step 0 (slot 0); tentative placements of op1:",
+        "",
+        f"{'step':>4} {'slot':>4} {'classic force':>14} {'modified force':>15}",
+    ]
+    for step, classic, modified in rows:
+        note = "  <- hidden below slot max" if step == 2 else ""
+        lines.append(
+            f"{step:>4} {step % PERIOD:>4} {classic:>14.3f} {modified:>15.3f}{note}"
+        )
+
+    result = run_end_to_end()
+    sched = result.schedule_of("p1", "main")
+    starts = sorted(sched.starts.values())
+    assert starts[0] % PERIOD == starts[1] % PERIOD
+    lines += [
+        "",
+        "coupled end-to-end run:",
+        f"  p1 schedules its adds at steps {starts} (same period slot),",
+        f"  p2 is authorized on the other slot; shared adder pool: "
+        f"{result.global_instances('adder')} instance",
+    ]
+    save_artifact("figure2", "\n".join(lines))

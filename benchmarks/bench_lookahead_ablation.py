@@ -1,0 +1,76 @@
+"""Experiment A3 — ablation of the IFDS knobs (§4, §7).
+
+The paper runs the modified IFDS with a look-ahead factor and global
+spring constants (our reconstruction: 1/3 and area weights).  This
+benchmark scans the look-ahead factor and the weighting scheme on a
+single elliptic wave filter block at two deadlines and reports the
+resulting adder/multiplier peaks — the per-block quality the system
+result builds on.
+"""
+
+from conftest import save_artifact
+
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.forces import area_weights, uniform_weights
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+from repro.workloads import elliptic_wave_filter
+
+LOOKAHEADS = (0.0, 1.0 / 3.0, 1.0)
+DEADLINES = (17, 21, 30)
+
+
+def run_scan():
+    library = default_library()
+    rows = []
+    for deadline in DEADLINES:
+        for lookahead in LOOKAHEADS:
+            for weight_name, weights in (
+                ("uniform", uniform_weights(library)),
+                ("area", area_weights(library)),
+            ):
+                block = Block(
+                    name="ewf", graph=elliptic_wave_filter(), deadline=deadline
+                )
+                scheduler = ImprovedForceDirectedScheduler(
+                    library, lookahead=lookahead, weights=weights
+                )
+                schedule = scheduler.schedule(block)
+                schedule.validate()
+                peaks = schedule.peaks()
+                rows.append(
+                    (
+                        deadline,
+                        lookahead,
+                        weight_name,
+                        peaks.get("adder", 0),
+                        peaks.get("multiplier", 0),
+                        peaks.get("adder", 0) + 4 * peaks.get("multiplier", 0),
+                    )
+                )
+    return rows
+
+
+def test_lookahead_ablation(benchmark):
+    rows = benchmark.pedantic(run_scan, rounds=1, iterations=1)
+
+    # Every configuration yields a valid schedule; area-weighted runs must
+    # never need more multipliers than the worst uniform run at the same
+    # deadline (the point of global spring constants).
+    for deadline in DEADLINES:
+        uniform_mults = [r[4] for r in rows if r[0] == deadline and r[2] == "uniform"]
+        area_mults = [r[4] for r in rows if r[0] == deadline and r[2] == "area"]
+        assert min(area_mults) <= max(uniform_mults)
+
+    lines = [
+        "A3: IFDS knob scan on one elliptic wave filter block",
+        "",
+        f"{'deadline':>8} {'lookahead':>10} {'weights':>8} {'adders':>7} "
+        f"{'mults':>6} {'area':>6}",
+    ]
+    for deadline, lookahead, weight_name, adders, mults, area in rows:
+        lines.append(
+            f"{deadline:>8} {lookahead:>10.3f} {weight_name:>8} {adders:>7} "
+            f"{mults:>6} {area:>6}"
+        )
+    save_artifact("lookahead_ablation", "\n".join(lines))

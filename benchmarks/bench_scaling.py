@@ -1,0 +1,84 @@
+"""Experiment A5 — scaling of the coupled scheduler.
+
+The paper reports 71 iterations / 7 s for 124 operations on a Pentium
+133 (§7) and argues the modification does not increase the IFDS
+complexity class (§5.3).  This benchmark scales the number of processes
+over random workloads and reports operations, iterations, and wall time;
+iterations must grow linearly with total mobility, not explode.
+"""
+
+import time
+
+from conftest import save_artifact
+
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.workloads import random_dfg
+
+PROCESS_COUNTS = (2, 4, 6)
+OPS_PER_PROCESS = 12
+SLACK = 6
+PERIOD = 4
+
+
+def build_system(n_processes, library):
+    system = SystemSpec(name=f"scale{n_processes}")
+    for index in range(n_processes):
+        graph = random_dfg(OPS_PER_PROCESS, seed=1000 + index)
+        deadline = graph.critical_path_length(library.latency_of) + SLACK
+        process = Process(name=f"p{index}")
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    return system
+
+
+def run_scaling():
+    library = default_library()
+    rows = []
+    for n_processes in PROCESS_COUNTS:
+        system = build_system(n_processes, library)
+        assignment = ResourceAssignment.all_global(library, system)
+        periods = PeriodAssignment(
+            {name: PERIOD for name in assignment.global_types}
+        )
+        scheduler = ModuloSystemScheduler(library)
+        started = time.perf_counter()
+        result = scheduler.schedule(system, assignment, periods)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            (
+                n_processes,
+                system.operation_count,
+                result.iterations,
+                elapsed,
+                result.total_area(),
+            )
+        )
+    return rows
+
+
+def test_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    # Iterations are bounded by total mobility: at most ops * (slack + 1).
+    for n_processes, ops, iterations, _elapsed, _area in rows:
+        assert iterations <= ops * (SLACK + 2)
+
+    lines = [
+        "A5: scheduler scaling over random multi-process systems",
+        f"({OPS_PER_PROCESS} ops/process, slack {SLACK}, all types global, "
+        f"P = {PERIOD})",
+        "",
+        f"{'procs':>5} {'ops':>5} {'iterations':>11} {'seconds':>8} {'area':>6}",
+    ]
+    for n_processes, ops, iterations, elapsed, area in rows:
+        lines.append(
+            f"{n_processes:>5} {ops:>5} {iterations:>11} {elapsed:>8.2f} "
+            f"{area:>6g}"
+        )
+    lines.append("")
+    lines.append("paper reference point: 124 ops, 71 iterations, 7 s (Pentium 133)")
+    save_artifact("scaling", "\n".join(lines))

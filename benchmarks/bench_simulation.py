@@ -1,0 +1,51 @@
+"""Experiment A6 — dynamic safety of the shared schedule.
+
+Simulates the globally scheduled paper system under randomized
+spontaneous triggering for many cycles and seeds.  The paper's guarantee
+— statically resolved access conflicts, no runtime executive — must hold
+dynamically: zero violations across every seed, with the pools at their
+static sizes.  The timing measures simulator throughput.
+"""
+
+from conftest import save_artifact
+
+from repro.sim.simulator import SystemSimulator
+
+CYCLES = 5000
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_simulation(benchmark, paper_comparison):
+    result = paper_comparison.global_result
+
+    def run_all():
+        return [
+            SystemSimulator(result, seed=seed, trigger_probability=0.5).run(CYCLES)
+            for seed in SEEDS
+        ]
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "A6: randomized reactive simulation of the shared paper system",
+        f"({CYCLES} cycles per seed, trigger probability 0.5)",
+        "",
+        f"{'seed':>4} {'activations':>12} {'add util':>9} {'mult util':>10} "
+        f"{'violations':>11}",
+    ]
+    for seed, stats in zip(SEEDS, runs):
+        assert stats.ok, stats.trace.render()
+        for type_name, peak in stats.peak_usage.items():
+            assert peak <= stats.pool_sizes.get(type_name, 0)
+        lines.append(
+            f"{seed:>4} {sum(stats.activations.values()):>12} "
+            f"{stats.utilization('adder'):>9.1%} "
+            f"{stats.utilization('multiplier'):>10.1%} "
+            f"{len(stats.trace.violations):>11}"
+        )
+    lines.append("")
+    lines.append(
+        "zero violations: the periodic access authorizations statically "
+        "resolve every interleaving"
+    )
+    save_artifact("simulation", "\n".join(lines))

@@ -1,0 +1,41 @@
+"""Shared fixtures and artifact handling for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md, "Experiment index").  Regenerated artifacts are printed and
+also written to ``benchmarks/out/<name>.txt`` so they can be inspected
+and diffed without re-running.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.compare import Comparison, compare_scopes
+from repro.scheduling.forces import area_weights
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n--- artifact {path.name} ---")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def paper_comparison() -> Comparison:
+    """The §7 experiment, scheduled once per benchmark session."""
+    system, library = paper_system()
+    return compare_scopes(
+        system,
+        library,
+        paper_assignment(library),
+        paper_periods(),
+        weights=area_weights(library),
+    )

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Reactive processes and unbounded loops: the case merging cannot handle.
+
+Two event-triggered FIR-filter processes and one lattice-filter loop body
+with unbounded iteration count share a single multiplier pool.  The static
+schedule is exercised by the cycle-accurate simulator with randomized
+spontaneous triggers; the run demonstrates the paper's central claim: the
+periodic access authorizations keep every interleaving conflict-free with
+no runtime arbiter.
+
+Run:  python examples/reactive_loops.py
+"""
+
+from repro import (
+    Block,
+    ModuloSystemScheduler,
+    PeriodAssignment,
+    Process,
+    ResourceAssignment,
+    SystemSpec,
+    SystemSimulator,
+    default_library,
+)
+from repro.workloads import ar_lattice, fir_filter
+
+
+def main() -> None:
+    library = default_library()
+    system = SystemSpec(name="reactive")
+
+    for name in ("front_end", "back_end"):
+        process = Process(name=name)
+        process.add_block(
+            Block(name="fir", graph=fir_filter(6, name=f"{name}-fir"), deadline=12)
+        )
+        system.add_process(process)
+
+    looper = Process(name="tracker")
+    looper.add_block(
+        Block(
+            name="lattice",
+            graph=ar_lattice(2, name="tracker-lattice"),
+            deadline=12,
+            repeats=True,  # loop body, unbounded iteration count
+        )
+    )
+    system.add_process(looper)
+
+    assignment = ResourceAssignment(library)
+    assignment.make_global(
+        "multiplier", ["front_end", "back_end", "tracker"]
+    )
+    periods = PeriodAssignment({"multiplier": 6})
+
+    result = ModuloSystemScheduler(library).schedule(system, assignment, periods)
+    print(result.summary())
+    from repro import OpKind
+
+    mult_ops = sum(
+        len(block.graph.operations_of_kind(OpKind.MUL))
+        for __, block in system.iter_blocks()
+    )
+    print(
+        f"multiplier pool: {result.global_instances('multiplier')} instance(s) "
+        f"serving {mult_ops} multiplication operations across 3 processes"
+    )
+
+    for seed in range(5):
+        stats = SystemSimulator(result, seed=seed, trigger_probability=0.4).run(3000)
+        status = "ok" if stats.ok else "VIOLATIONS"
+        print(
+            f"seed {seed}: {sum(stats.activations.values()):4d} activations, "
+            f"multiplier utilization {stats.utilization('multiplier'):.1%}, "
+            f"mean grid wait {stats.trace.mean_grid_wait:.1f} cycles -> {status}"
+        )
+
+
+if __name__ == "__main__":
+    main()

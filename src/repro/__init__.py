@@ -1,0 +1,141 @@
+"""Time Constrained Modulo Scheduling with Global Resource Sharing.
+
+A reproduction of Jäschke, Beckmann & Laur (DATE 1999): high-level
+synthesis scheduling that statically shares functional-unit instances
+across *independent processes* through periodic access authorizations,
+implemented as a two-part modification of Improved Force-Directed
+Scheduling.
+
+Typical use::
+
+    from repro import ModuloSystemScheduler
+    from repro.workloads import paper_system, paper_assignment, paper_periods
+
+    system, library = paper_system()
+    scheduler = ModuloSystemScheduler(library)
+    result = scheduler.schedule(system, paper_assignment(library), paper_periods())
+    print(result.summary())
+
+Subpackages: :mod:`repro.ir` (dataflow graphs, processes),
+:mod:`repro.resources` (unit types, libraries, scope assignment),
+:mod:`repro.scheduling` (frames, FDS, IFDS, list scheduling),
+:mod:`repro.core` (modulo scheduling itself), :mod:`repro.binding`
+(instances, authorizations), :mod:`repro.sim` (dynamic validation),
+:mod:`repro.workloads` and :mod:`repro.analysis` (evaluation).
+"""
+
+from .errors import (
+    BindingError,
+    GraphError,
+    InfeasibleError,
+    PeriodError,
+    ReproError,
+    ResourceError,
+    SchedulingError,
+    SimulationError,
+    SpecificationError,
+    VerificationError,
+)
+from .ir import (
+    Block,
+    DataFlowGraph,
+    ExprBuilder,
+    OpKind,
+    Operation,
+    Process,
+    SystemSpec,
+    parse_behavior,
+)
+from .resources import (
+    ResourceAssignment,
+    ResourceLibrary,
+    ResourceType,
+    alu_library,
+    default_library,
+    resource_type,
+)
+from .scheduling import (
+    BlockSchedule,
+    ForceDirectedScheduler,
+    ImprovedForceDirectedScheduler,
+    ListScheduler,
+    area_weights,
+    uniform_weights,
+)
+from .core import (
+    ModuloSystemScheduler,
+    PeriodAssignment,
+    RCModuloScheduler,
+    SystemSchedule,
+    auto_assignment,
+    enumerate_period_assignments,
+    suggest_periods,
+    verify,
+    verify_system_schedule,
+)
+from .binding import AccessAuthorizationTable, InstanceBinding, bind_instances
+from .sim import SystemSimulator
+from .analysis import Comparison, bound_report, compare_scopes, table1
+from .api import Problem, load_problem, loads_problem
+from .core import optimize_offsets, optimize_periods
+from .rtl import RTLDesign, build_rtl, emit_verilog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessAuthorizationTable",
+    "BindingError",
+    "Block",
+    "BlockSchedule",
+    "Comparison",
+    "DataFlowGraph",
+    "ExprBuilder",
+    "ForceDirectedScheduler",
+    "GraphError",
+    "ImprovedForceDirectedScheduler",
+    "InfeasibleError",
+    "InstanceBinding",
+    "ListScheduler",
+    "ModuloSystemScheduler",
+    "OpKind",
+    "Operation",
+    "PeriodAssignment",
+    "PeriodError",
+    "Problem",
+    "Process",
+    "RCModuloScheduler",
+    "RTLDesign",
+    "ReproError",
+    "ResourceAssignment",
+    "ResourceError",
+    "ResourceLibrary",
+    "ResourceType",
+    "SchedulingError",
+    "SimulationError",
+    "SpecificationError",
+    "SystemSchedule",
+    "SystemSimulator",
+    "SystemSpec",
+    "VerificationError",
+    "alu_library",
+    "area_weights",
+    "auto_assignment",
+    "bind_instances",
+    "bound_report",
+    "build_rtl",
+    "compare_scopes",
+    "default_library",
+    "emit_verilog",
+    "enumerate_period_assignments",
+    "load_problem",
+    "loads_problem",
+    "optimize_offsets",
+    "parse_behavior",
+    "optimize_periods",
+    "resource_type",
+    "suggest_periods",
+    "table1",
+    "uniform_weights",
+    "verify",
+    "verify_system_schedule",
+]

@@ -1,0 +1,37 @@
+"""Evaluation harness: metrics, tables, comparisons."""
+
+from .bounds import block_bound, bound_report, global_pool_bound, process_bound
+from .compare import Comparison, compare_scopes
+from .export import export_result, result_to_dict, result_to_json
+from .gantt import block_gantt, system_gantt, usage_gantt
+from .interconnect import (
+    InterconnectReport,
+    interconnect_report,
+    total_area_with_interconnect,
+)
+from .metrics import AreaItem, area_breakdown, mobility_histogram, static_utilization
+from .tables import table1, usage_table
+
+__all__ = [
+    "AreaItem",
+    "block_bound",
+    "bound_report",
+    "Comparison",
+    "area_breakdown",
+    "block_gantt",
+    "compare_scopes",
+    "export_result",
+    "InterconnectReport",
+    "interconnect_report",
+    "global_pool_bound",
+    "process_bound",
+    "mobility_histogram",
+    "static_utilization",
+    "table1",
+    "result_to_dict",
+    "result_to_json",
+    "system_gantt",
+    "usage_gantt",
+    "total_area_with_interconnect",
+    "usage_table",
+]

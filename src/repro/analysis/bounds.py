@@ -1,0 +1,128 @@
+"""Lower bounds on instance counts.
+
+Averaging bounds certify how close a schedule is to optimal:
+
+* **per-block bound** — a block with ``busy`` occupancy-steps of a type
+  and time range ``T`` needs at least ``ceil(busy / T)`` instances;
+* **per-process bound** — the maximum of its blocks' bounds (blocks never
+  overlap);
+* **global-pool bound** — a process's per-slot authorizations ``A(tau)``
+  cover each slot at most ``ceil(T_b / P)`` times inside a block range,
+  so ``sum_tau A(tau) >= busy_b / ceil(T_b / P)``; averaging the slot
+  demand over the period then gives
+  ``pool >= ceil( sum_p max_b busy_b / (P * ceil(T_b / P)) )``.
+  When ``P`` divides every block range this reduces to the utilization
+  densities ``busy_b / T_b``.
+
+These hold for *any* valid schedule under the model, so
+``achieved == bound`` proves the instance count optimal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..ir.process import Block, Process, SystemSpec
+from ..resources.assignment import ResourceAssignment
+from ..resources.library import ResourceLibrary
+from ..core.periods import PeriodAssignment
+from ..core.result import SystemSchedule
+
+
+def _busy_steps(block: Block, library: ResourceLibrary, type_name: str) -> int:
+    rtype = library.type(type_name)
+    return sum(rtype.occupancy for op in block.graph if rtype.executes(op.kind))
+
+
+def block_bound(block: Block, library: ResourceLibrary, type_name: str) -> int:
+    """Averaging lower bound on instances of one type for one block."""
+    busy = _busy_steps(block, library, type_name)
+    if busy == 0:
+        return 0
+    return math.ceil(busy / block.deadline)
+
+
+def process_bound(
+    process: Process, library: ResourceLibrary, type_name: str
+) -> int:
+    """Lower bound for one process: max over its (non-overlapping) blocks."""
+    return max(
+        (block_bound(block, library, type_name) for block in process.blocks),
+        default=0,
+    )
+
+
+def process_slot_density(
+    process: Process, library: ResourceLibrary, type_name: str, period: int
+) -> float:
+    """Average per-slot authorization one process needs: the bound on
+    ``sum_tau A(tau) / P`` derived from its busiest block."""
+    best = 0.0
+    for block in process.blocks:
+        busy = _busy_steps(block, library, type_name)
+        if busy:
+            coverage = math.ceil(block.deadline / period)
+            best = max(best, busy / (period * coverage))
+    return best
+
+
+def global_pool_bound(
+    system: SystemSpec,
+    library: ResourceLibrary,
+    assignment: ResourceAssignment,
+    periods: PeriodAssignment,
+    type_name: str,
+) -> int:
+    """Lower bound on the shared pool of one global type.
+
+    The pool covers the sum of the sharing processes' per-slot densities
+    (the slot-wise maximum is at least the slot-wise average) and can
+    never be smaller than any single member's own averaging bound.
+    """
+    group = assignment.group(type_name)
+    period = periods.period(type_name)
+    density_sum = sum(
+        process_slot_density(system.process(name), library, type_name, period)
+        for name in group
+    )
+    per_member = max(
+        (process_bound(system.process(name), library, type_name) for name in group),
+        default=0,
+    )
+    if density_sum == 0:
+        return per_member
+    return max(per_member, math.ceil(density_sum - 1e-9))
+
+
+def bound_report(result: SystemSchedule) -> Dict[str, Dict[str, int]]:
+    """Achieved instance counts next to their lower bounds, per type.
+
+    Returns ``{type: {"achieved": n, "bound": m}}`` for every type the
+    system uses; ``achieved >= bound`` always holds for valid schedules,
+    and equality certifies optimality of that count.
+    """
+    report: Dict[str, Dict[str, int]] = {}
+    counts = result.instance_counts()
+    for rtype in result.library.types:
+        if rtype.name not in counts:
+            continue
+        if result.assignment.is_global(rtype.name):
+            bound = global_pool_bound(
+                result.system,
+                result.library,
+                result.assignment,
+                result.periods,
+                rtype.name,
+            )
+            # Processes using the type outside the group add local bounds.
+            for process in result.system.processes:
+                if not result.assignment.shares_globally(rtype.name, process.name):
+                    bound += process_bound(process, result.library, rtype.name)
+        else:
+            bound = sum(
+                process_bound(process, result.library, rtype.name)
+                for process in result.system.processes
+            )
+        report[rtype.name] = {"achieved": counts[rtype.name], "bound": bound}
+    return report

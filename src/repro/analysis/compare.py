@@ -1,0 +1,94 @@
+"""Global-versus-local comparison harness (the paper's §7 experiment)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..ir.process import SystemSpec
+from ..resources.assignment import ResourceAssignment
+from ..resources.library import ResourceLibrary
+from ..core.periods import PeriodAssignment
+from ..core.result import SystemSchedule
+from ..core.scheduler import ModuloSystemScheduler
+from ..scheduling.forces import DEFAULT_LOOKAHEAD
+
+
+@dataclass
+class Comparison:
+    """Outcome of scheduling the same system globally and locally."""
+
+    global_result: SystemSchedule
+    local_result: SystemSchedule
+
+    @property
+    def global_area(self) -> float:
+        return self.global_result.total_area()
+
+    @property
+    def local_area(self) -> float:
+        return self.local_result.total_area()
+
+    @property
+    def area_ratio(self) -> float:
+        """How much more the traditional local scheduling costs."""
+        if self.global_area == 0:
+            return float("inf")
+        return self.local_area / self.global_area
+
+    @property
+    def area_saving(self) -> float:
+        """Fractional area saved by global sharing (the paper's ~40 %)."""
+        if self.local_area == 0:
+            return 0.0
+        return 1.0 - self.global_area / self.local_area
+
+    def render(self) -> str:
+        lines = ["global vs local resource assignment"]
+        lines.append(
+            "  global: "
+            + ", ".join(
+                f"{c}x {n}" for n, c in self.global_result.instance_counts().items()
+            )
+            + f"; area {self.global_area:g}"
+            + f" ({self.global_result.iterations} iterations,"
+            + f" {self.global_result.wall_time:.2f} s)"
+        )
+        lines.append(
+            "  local : "
+            + ", ".join(
+                f"{c}x {n}" for n, c in self.local_result.instance_counts().items()
+            )
+            + f"; area {self.local_area:g}"
+            + f" ({self.local_result.iterations} iterations,"
+            + f" {self.local_result.wall_time:.2f} s)"
+        )
+        lines.append(
+            f"  local costs {self.area_ratio:.2f}x more; "
+            f"global saves {self.area_saving:.0%} area"
+        )
+        return "\n".join(lines)
+
+
+def compare_scopes(
+    system: SystemSpec,
+    library: ResourceLibrary,
+    assignment: ResourceAssignment,
+    periods: PeriodAssignment,
+    *,
+    lookahead: float = DEFAULT_LOOKAHEAD,
+    weights: Optional[Mapping[str, float]] = None,
+) -> Comparison:
+    """Schedule with the given global assignment and with the traditional
+    all-local baseline, using identical scheduler parameters."""
+    global_scheduler = ModuloSystemScheduler(
+        library, lookahead=lookahead, weights=weights
+    )
+    local_scheduler = ModuloSystemScheduler(
+        library, lookahead=lookahead, weights=weights
+    )
+    global_result = global_scheduler.schedule(system, assignment, periods)
+    local_result = local_scheduler.schedule(
+        system, ResourceAssignment.all_local(library)
+    )
+    return Comparison(global_result=global_result, local_result=local_result)

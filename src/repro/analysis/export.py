@@ -1,0 +1,66 @@
+"""JSON export of system schedules.
+
+Serializes everything a downstream tool needs — block schedules, instance
+counts, authorizations, offsets, area — as plain JSON-compatible data.
+The inverse direction is intentionally absent: results are derived
+artifacts; re-derive them from the ``.sys`` problem instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..core.result import SystemSchedule
+
+
+def result_to_dict(result: SystemSchedule) -> Dict[str, Any]:
+    """Plain-data rendering of a system schedule."""
+    data: Dict[str, Any] = {
+        "system": result.system.name,
+        "iterations": result.iterations,
+        "wall_time_seconds": round(result.wall_time, 6),
+        "area": result.total_area(),
+        "instance_counts": result.instance_counts(),
+        "periods": result.periods.as_dict,
+        "start_offsets": {
+            p.name: result.offset_of(p.name) for p in result.system.processes
+        },
+        "processes": {},
+        "global_types": {},
+    }
+    for process in result.system.processes:
+        blocks = {}
+        for block_name, sched in result.blocks_of(process.name):
+            blocks[block_name] = {
+                "deadline": sched.deadline,
+                "makespan": sched.makespan,
+                "starts": dict(sorted(sched.starts.items())),
+            }
+        data["processes"][process.name] = {
+            "grid_spacing": result.grid_spacing(process.name),
+            "blocks": blocks,
+        }
+    for type_name in result.assignment.global_types:
+        data["global_types"][type_name] = {
+            "period": result.periods.period(type_name),
+            "pool": result.global_instances(type_name),
+            "group": result.assignment.group(type_name),
+            "authorizations": {
+                process: result.authorization(process, type_name).tolist()
+                for process in result.assignment.group(type_name)
+            },
+        }
+    return data
+
+
+def result_to_json(result: SystemSchedule, *, indent: int = 2) -> str:
+    """JSON text rendering of a system schedule (deterministic keys)."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def export_result(result: SystemSchedule, path) -> None:
+    """Write the JSON rendering to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result_to_json(result))
+        handle.write("\n")

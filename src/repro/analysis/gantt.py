@@ -1,0 +1,67 @@
+"""ASCII Gantt charts for block and system schedules.
+
+Renders each operation as a bar over its latency (``#`` for the occupied
+initiation steps, ``-`` for in-flight pipeline latency), grouped by
+resource type — the visual counterpart of the distribution tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.result import SystemSchedule
+from ..scheduling.schedule import BlockSchedule
+
+
+def block_gantt(schedule: BlockSchedule, *, label_width: int = 12) -> str:
+    """Gantt chart of one block schedule."""
+    lines: List[str] = []
+    header = " " * label_width + "".join(
+        f"{step % 10}" for step in range(schedule.deadline)
+    )
+    lines.append(f"{schedule.graph.name} (deadline {schedule.deadline})")
+    lines.append(header)
+    ordered = sorted(
+        schedule.graph.operations,
+        key=lambda op: (
+            schedule.library.type_of(op).name,
+            schedule.start(op.op_id),
+            op.op_id,
+        ),
+    )
+    current_type: Optional[str] = None
+    for op in ordered:
+        rtype = schedule.library.type_of(op)
+        if rtype.name != current_type:
+            lines.append(f"-- {rtype.name} --")
+            current_type = rtype.name
+        start = schedule.start(op.op_id)
+        row = [" "] * schedule.deadline
+        for step in range(start, min(start + rtype.occupancy, schedule.deadline)):
+            row[step] = "#"
+        for step in range(
+            start + rtype.occupancy,
+            min(start + rtype.latency, schedule.deadline),
+        ):
+            row[step] = "-"
+        label = op.label[: label_width - 1].ljust(label_width)
+        lines.append(label + "".join(row))
+    return "\n".join(lines)
+
+
+def usage_gantt(schedule: BlockSchedule, type_name: str) -> str:
+    """Compact per-step usage counts of one type (distribution row)."""
+    profile = schedule.usage_profile(type_name)
+    return f"{type_name:<12}" + "".join(
+        str(int(v)) if v else "." for v in profile
+    )
+
+
+def system_gantt(result: SystemSchedule) -> str:
+    """Gantt charts of every block in the system."""
+    parts: List[str] = []
+    for (process, block), schedule in result.block_schedules.items():
+        parts.append(f"=== {process}/{block} ===")
+        parts.append(block_gantt(schedule))
+        parts.append("")
+    return "\n".join(parts).rstrip()

@@ -1,0 +1,115 @@
+"""Interconnect (multiplexer) cost estimation.
+
+The paper leaves an explicit open question (§7): "Whether or not the
+area saving due to the global adders and subtracters is compensated by
+additional multiplexors and wires is not considered."  This module
+estimates that overhead so the question can be answered quantitatively:
+
+* every functional-unit instance needs a multiplexer per operand port
+  sized by the number of *distinct sources* routed to it — the registers
+  and primary inputs of all operations bound to the instance;
+* a ``k``-input multiplexer costs ``alpha * (k - 1)`` area units
+  (``alpha`` = cost of one 2:1 mux slice relative to the adder's area 1;
+  0.3 is a common rough figure for a datapath-width mux slice vs. an
+  adder).
+
+Sharing concentrates many operations — from many processes — onto few
+instances, so shared units grow larger muxes; the comparison harness
+reports whether the functional-unit saving survives the mux overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..binding.instances import InstanceBinding
+from ..binding.registers import allocate_registers
+from ..core.result import SystemSchedule
+
+#: Default area of one 2:1 multiplexer slice, relative to adder area 1.
+DEFAULT_MUX_ALPHA = 0.3
+
+#: Assumed operand ports per functional unit (binary operators).
+OPERAND_PORTS = 2
+
+
+@dataclass
+class InterconnectReport:
+    """Mux sizing of every functional-unit instance."""
+
+    #: unit key -> number of distinct sources feeding it
+    sources_per_unit: Dict[Tuple[str, str], int]
+    mux_alpha: float
+
+    @property
+    def mux_area(self) -> float:
+        """Total multiplexer area over all units and operand ports."""
+        total = 0.0
+        for count in self.sources_per_unit.values():
+            # Sources spread over the operand ports; each port with k
+            # sources needs a (k-1)-slice mux.  Balanced split is the
+            # optimistic routing; worst case would double it.
+            per_port = max(1, -(-count // OPERAND_PORTS))
+            total += OPERAND_PORTS * self.mux_alpha * max(0, per_port - 1)
+        return total
+
+    def largest_mux(self) -> int:
+        """Sources at the most-contended unit (mux fan-in indicator)."""
+        return max(self.sources_per_unit.values(), default=0)
+
+
+def _unit_key(result: SystemSchedule, process: str, type_name: str, instance: int):
+    if result.assignment.shares_globally(type_name, process):
+        return (type_name, f"g{instance}")
+    return (type_name, f"{process}:{instance}")
+
+
+def interconnect_report(
+    binding: InstanceBinding, *, mux_alpha: float = DEFAULT_MUX_ALPHA
+) -> InterconnectReport:
+    """Estimate the mux fan-in of every bound functional-unit instance.
+
+    A source is either a register of the producing block (via left-edge
+    register allocation) or a primary input of an operation; sources are
+    qualified by (process, block) because values never cross blocks.
+    """
+    result = binding.result
+    sources: Dict[Tuple[str, str], Set] = {}
+    registers: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for (process, block), sched in result.block_schedules.items():
+        registers[(process, block)] = allocate_registers(sched)
+
+    for (process, block, op_id), instance in binding.binding.items():
+        sched = result.block_schedules[(process, block)]
+        op = sched.graph.operation(op_id)
+        type_name = result.library.type_of(op).name
+        key = _unit_key(result, process, type_name, instance)
+        feeding = sources.setdefault(key, set())
+        preds = sched.graph.predecessors(op_id)
+        for pred in preds:
+            register = registers[(process, block)].get(pred)
+            feeding.add((process, block, "reg", register))
+        # Primary-input operands (binary ops with fewer than 2 preds).
+        missing = max(0, OPERAND_PORTS - len(preds))
+        for port in range(missing):
+            feeding.add((process, block, "input", f"{op_id}.{port}"))
+
+    return InterconnectReport(
+        sources_per_unit={key: len(values) for key, values in sources.items()},
+        mux_alpha=mux_alpha,
+    )
+
+
+def total_area_with_interconnect(
+    binding: InstanceBinding, *, mux_alpha: float = DEFAULT_MUX_ALPHA
+) -> Dict[str, float]:
+    """Functional-unit area, mux area, and their sum for one binding."""
+    report = interconnect_report(binding, mux_alpha=mux_alpha)
+    functional = binding.result.total_area()
+    return {
+        "functional": functional,
+        "mux": report.mux_area,
+        "total": functional + report.mux_area,
+        "largest_mux_fanin": float(report.largest_mux()),
+    }

@@ -1,0 +1,70 @@
+"""Metrics over schedules and systems: area, utilization, mobility."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ir.process import Block
+from ..resources.library import ResourceLibrary
+from ..core.result import SystemSchedule
+from ..scheduling.timeframes import FrameTable
+
+
+@dataclass(frozen=True)
+class AreaItem:
+    """Area contribution of one resource type."""
+
+    type_name: str
+    instances: int
+    unit_area: float
+
+    @property
+    def total_area(self) -> float:
+        return self.instances * self.unit_area
+
+
+def area_breakdown(result: SystemSchedule) -> List[AreaItem]:
+    """Instance counts and area per resource type, deterministic order."""
+    items: List[AreaItem] = []
+    counts = result.instance_counts()
+    for rtype in result.library.types:
+        if rtype.name in counts:
+            items.append(
+                AreaItem(
+                    type_name=rtype.name,
+                    instances=counts[rtype.name],
+                    unit_area=rtype.area,
+                )
+            )
+    return items
+
+
+def static_utilization(result: SystemSchedule, type_name: str) -> float:
+    """Scheduled busy steps over available instance-steps.
+
+    Uses each block's deadline as its activity window; a low value for an
+    expensive type is the paper's motivation for sharing it.
+    """
+    counts = result.instance_counts()
+    instances = counts.get(type_name, 0)
+    if instances == 0:
+        return 0.0
+    busy = 0
+    window = 0
+    for (process_name, block_name), sched in result.block_schedules.items():
+        busy += int(sched.usage_profile(type_name).sum())
+        window += sched.deadline
+    if window == 0:
+        return 0.0
+    return busy / (instances * window)
+
+
+def mobility_histogram(block: Block, library: ResourceLibrary) -> Dict[int, int]:
+    """Histogram of operation mobilities (ALAP - ASAP) in one block."""
+    table = FrameTable(block.graph, library.latency_of, block.deadline)
+    histogram: Dict[int, int] = {}
+    for op_id in block.graph.op_ids:
+        mobility = table.mobility(op_id)
+        histogram[mobility] = histogram.get(mobility, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,77 @@
+"""ASCII renderings of the paper's Table 1 and related reports.
+
+Table 1 of the paper lists, per resource type and process, the
+modulo-maximum transformed distribution (the per-slot authorization), the
+required instance count, and the block's usage distribution.  These
+renderers regenerate that layout from a :class:`SystemSchedule`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.result import SystemSchedule
+
+
+def _int_row(values: np.ndarray) -> str:
+    return " ".join(f"{int(v):2d}" for v in values)
+
+
+def table1(result: SystemSchedule) -> str:
+    """Regenerate the paper's Table 1 for a globally scheduled system.
+
+    One section per global resource type: the per-process slot
+    authorizations (the modulo-max transformed usage), the per-process
+    usage distributions per block, the slot-wise total, and the pool size.
+    Local types are listed with their per-process counts afterwards.
+    """
+    lines: List[str] = []
+    lines.append(f"=== scheduling results of system {result.system.name!r} ===")
+    for type_name in result.assignment.global_types:
+        rtype = result.library.type(type_name)
+        period = result.periods.period(type_name)
+        lines.append("")
+        symbols = "/".join(sorted(kind.symbol for kind in rtype.kinds))
+        lines.append(f"global type {type_name!r} ({symbols}), period {period}")
+        lines.append(f"{'process':<10} {'authorization per slot':<{3 * period}} #")
+        for process_name in result.assignment.group(type_name):
+            auth = result.authorization(process_name, type_name)
+            lines.append(
+                f"{process_name:<10} {_int_row(auth):<{3 * period}} {int(auth.max())}"
+            )
+        demand = result.global_demand(type_name)
+        lines.append(
+            f"{'all':<10} {_int_row(demand):<{3 * period}} "
+            f"{result.global_instances(type_name)}"
+        )
+    local_lines: List[str] = []
+    for rtype in result.library.types:
+        for process in result.system.processes:
+            count = result.local_instances(process.name, rtype.name)
+            if count:
+                local_lines.append(f"  {process.name}: {count}x {rtype.name}")
+    if local_lines:
+        lines.append("")
+        lines.append("local instances:")
+        lines.extend(local_lines)
+    lines.append("")
+    counts = result.instance_counts()
+    summary = ", ".join(f"{count}x {name}" for name, count in counts.items())
+    lines.append(f"total: {summary}; area cost {result.total_area():g}")
+    if result.iterations:
+        lines.append(
+            f"({result.iterations} iterations, {result.wall_time:.2f} s)"
+        )
+    return "\n".join(lines)
+
+
+def usage_table(result: SystemSchedule, type_name: str) -> str:
+    """Per-block usage distributions of one resource type (Table 1 detail)."""
+    lines = [f"usage of {type_name!r} per block:"]
+    for (process_name, block_name), sched in result.block_schedules.items():
+        profile = sched.usage_profile(type_name)
+        if profile.any():
+            lines.append(f"  {process_name}/{block_name}: {_int_row(profile)}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""High-level convenience API: whole scheduling problems in one object.
+
+Bridges the text format (:mod:`repro.ir.systemio`) and the live objects:
+a :class:`Problem` bundles system, library, assignment, and periods, and
+knows how to schedule itself globally or with the traditional local
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .core.periods import PeriodAssignment, suggest_periods
+from .core.result import SystemSchedule
+from .core.scheduler import ModuloSystemScheduler
+from .errors import SpecificationError
+from .ir.process import SystemSpec
+from .ir.systemio import SystemDocument
+from .resources.assignment import ResourceAssignment
+from .resources.library import ResourceLibrary, default_library
+from .resources.types import resource_type
+from .scheduling.forces import area_weights
+
+
+@dataclass
+class Problem:
+    """A complete scheduling problem: what to schedule and how to share."""
+
+    system: SystemSpec
+    library: ResourceLibrary
+    assignment: ResourceAssignment
+    periods: PeriodAssignment
+
+    def validate(self) -> None:
+        self.library.covers(self.system)
+        self.assignment.validate(self.system)
+        self.periods.validate(self.assignment)
+        self.system.validate(self.library.latency_of)
+
+    def schedule(
+        self, *, use_area_weights: bool = True, **scheduler_kwargs
+    ) -> SystemSchedule:
+        """Run the modulo system scheduler on this problem."""
+        weights = area_weights(self.library) if use_area_weights else None
+        scheduler = ModuloSystemScheduler(
+            self.library, weights=weights, **scheduler_kwargs
+        )
+        return scheduler.schedule(self.system, self.assignment, self.periods)
+
+    def schedule_local_baseline(
+        self, *, use_area_weights: bool = True
+    ) -> SystemSchedule:
+        """Run the traditional all-local scheduling for comparison."""
+        weights = area_weights(self.library) if use_area_weights else None
+        scheduler = ModuloSystemScheduler(self.library, weights=weights)
+        return scheduler.schedule(
+            self.system, ResourceAssignment.all_local(self.library)
+        )
+
+
+def problem_from_document(document: SystemDocument) -> Problem:
+    """Turn a parsed ``.sys`` document into a live :class:`Problem`.
+
+    A document without ``resource`` directives gets the paper's default
+    library; global types without an explicit ``period`` directive get the
+    ``min-deadline`` heuristic period.
+    """
+    if document.resources:
+        library = ResourceLibrary(
+            resource_type(
+                name,
+                options["kinds"],
+                latency=int(options["latency"]),
+                area=float(options["area"]),
+                pipelined=bool(options["pipelined"]),
+                initiation_interval=int(options["ii"]),
+            )
+            for name, options in document.resources.items()
+        )
+    else:
+        library = default_library()
+
+    system = document.build_system()
+    library.covers(system)
+
+    assignment = ResourceAssignment(library)
+    for type_name, group in document.globals.items():
+        assignment.make_global(type_name, group)
+    assignment.validate(system)
+
+    periods: Dict[str, int] = dict(document.periods)
+    missing = [t for t in assignment.global_types if t not in periods]
+    if missing:
+        suggested = suggest_periods(system, assignment, strategy="min-deadline")
+        for type_name in missing:
+            periods[type_name] = suggested.period(type_name)
+    extra = [t for t in periods if not assignment.is_global(t)]
+    if extra:
+        raise SpecificationError(
+            f"periods declared for non-global types: {extra}"
+        )
+    problem = Problem(
+        system=system,
+        library=library,
+        assignment=assignment,
+        periods=PeriodAssignment(periods),
+    )
+    problem.validate()
+    return problem
+
+
+def load_problem(path) -> Problem:
+    """Parse a ``.sys`` file and build the :class:`Problem` it describes."""
+    from .ir import systemio
+
+    return problem_from_document(systemio.load(path))
+
+
+def loads_problem(text: str) -> Problem:
+    """Parse ``.sys`` text and build the :class:`Problem` it describes."""
+    from .ir import systemio
+
+    return problem_from_document(systemio.loads(text))

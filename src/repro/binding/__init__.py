@@ -1,0 +1,20 @@
+"""Post-scheduling binding: instances, authorizations, registers."""
+
+from .authorization import AccessAuthorizationTable
+from .instances import InstanceBinding, bind_instances
+from .registers import (
+    Lifetime,
+    allocate_registers,
+    register_requirement,
+    value_lifetimes,
+)
+
+__all__ = [
+    "AccessAuthorizationTable",
+    "InstanceBinding",
+    "allocate_registers",
+    "Lifetime",
+    "bind_instances",
+    "register_requirement",
+    "value_lifetimes",
+]

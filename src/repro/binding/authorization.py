@@ -1,0 +1,146 @@
+"""Access-authorization tables: the synthesis-time sharing artifact.
+
+The modulo method resolves access conflicts "through a periodical sequence
+of access authorizations of the involved processes" (§3.2) — static,
+with *no runtime executive*.  An :class:`AccessAuthorizationTable` makes
+that artifact concrete for one global resource type: per period slot, how
+many instances each sharing process may touch, and which concrete
+instance ids those are (processes own disjoint id ranges per slot, so no
+arbitration hardware is ever needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import BindingError
+from ..core.result import SystemSchedule
+
+
+@dataclass
+class AccessAuthorizationTable:
+    """Per-slot instance grants of one global resource type.
+
+    Attributes:
+        type_name: The global resource type.
+        period: Its period ``P``.
+        process_order: Sharing processes in grant order (determines the
+            per-slot id ranges).
+        grants: Per process, an integer array of length ``period``; entry
+            ``tau`` is how many instances the process may use at absolute
+            steps congruent to ``tau``.
+    """
+
+    type_name: str
+    period: int
+    process_order: Tuple[str, ...]
+    grants: Dict[str, np.ndarray]
+    #: Set for non-pipelined multicycle units, whose operations span
+    #: several slots: per-slot id ranges cannot keep one physical instance
+    #: across a span, so these types are bound by the periodic conflict
+    #: coloring (:mod:`repro.core.coloring`) and each process nominally
+    #: owns its peak-grant-sized range at every slot.
+    fixed_ranges: bool = False
+    #: Pool-size override (set from the coloring for multicycle types).
+    pool_override: Optional[int] = None
+
+    @classmethod
+    def from_result(
+        cls, result: SystemSchedule, type_name: str
+    ) -> "AccessAuthorizationTable":
+        """Derive the table from a finished system schedule."""
+        if not result.assignment.is_global(type_name):
+            raise BindingError(f"type {type_name!r} is not globally assigned")
+        period = result.periods.period(type_name)
+        order = tuple(result.assignment.group(type_name))
+        grants = {
+            process: result.authorization(process, type_name) for process in order
+        }
+        fixed = result.library.type(type_name).occupancy > 1
+        return cls(
+            type_name=type_name,
+            period=period,
+            process_order=order,
+            grants=grants,
+            fixed_ranges=fixed,
+            pool_override=result.global_instances(type_name) if fixed else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def grant(self, process_name: str, slot: int) -> int:
+        """Instances granted to a process at one slot."""
+        try:
+            return int(self.grants[process_name][slot % self.period])
+        except KeyError:
+            raise BindingError(
+                f"process {process_name!r} does not share {self.type_name!r}"
+            ) from None
+
+    def offset(self, process_name: str, slot: int) -> int:
+        """First instance id owned by the process at one slot.
+
+        With ``fixed_ranges`` the offset is slot-independent: each process
+        owns ids sized by its peak grant at every slot.
+        """
+        slot %= self.period
+        offset = 0
+        for other in self.process_order:
+            if other == process_name:
+                return offset
+            if self.fixed_ranges:
+                offset += int(self.grants[other].max())
+            else:
+                offset += int(self.grants[other][slot])
+        raise BindingError(
+            f"process {process_name!r} does not share {self.type_name!r}"
+        )
+
+    def instance_ids(self, process_name: str, slot: int) -> range:
+        """Concrete instance ids the process owns at one slot.
+
+        With ``fixed_ranges`` the full per-process range is owned at every
+        slot (the process's concurrent usage never exceeds its peak grant,
+        and fixed ranges are disjoint across processes at all slots), so a
+        multicycle operation can hold one id across its whole span.
+        """
+        start = self.offset(process_name, slot)
+        if self.fixed_ranges:
+            width = int(self.grants[process_name].max())
+        else:
+            width = self.grant(process_name, slot)
+        return range(start, start + width)
+
+    def demand(self) -> np.ndarray:
+        """Total grants per slot (the pool must cover its maximum)."""
+        total = np.zeros(self.period, dtype=int)
+        for array in self.grants.values():
+            total += array
+        return total
+
+    @property
+    def pool_size(self) -> int:
+        if self.pool_override is not None:
+            return self.pool_override
+        demand = self.demand()
+        return int(demand.max()) if demand.size else 0
+
+    # ------------------------------------------------------------------
+    # Rendering (figure-1 style)
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII table: one row per process, one column per period slot."""
+        header = "slot      " + " ".join(f"{tau:3d}" for tau in range(self.period))
+        lines = [f"access authorizations for {self.type_name!r} (P={self.period})",
+                 header]
+        for process in self.process_order:
+            cells = " ".join(f"{int(v):3d}" for v in self.grants[process])
+            lines.append(f"{process:<10}" + cells)
+        total = " ".join(f"{int(v):3d}" for v in self.demand())
+        lines.append(f"{'total':<10}" + total)
+        lines.append(f"pool size: {self.pool_size}")
+        return "\n".join(lines)

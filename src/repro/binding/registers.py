@@ -1,0 +1,91 @@
+"""Register (storage) estimation from value lifetimes.
+
+A value produced by an operation lives from the step its producer
+finishes until the last consumer has started; the number of registers a
+block needs is the maximum number of simultaneously live values (classic
+left-edge register allocation lower bound).  Values consumed by nobody
+(primary outputs) are kept alive to the block deadline.
+
+This is an extension beyond the paper's scope — the paper notes that
+multiplexer/wiring cost is not weighed — giving users a storage-side
+counterweight to the functional-unit area numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..scheduling.schedule import BlockSchedule
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """Live interval of one produced value, in block-relative steps."""
+
+    op_id: str
+    birth: int
+    death: int  # exclusive
+
+    @property
+    def length(self) -> int:
+        return max(0, self.death - self.birth)
+
+
+def value_lifetimes(schedule: BlockSchedule) -> List[Lifetime]:
+    """Lifetimes of all values produced inside the block."""
+    graph = schedule.graph
+    lifetimes: List[Lifetime] = []
+    for op in graph:
+        birth = schedule.finish(op.op_id)
+        consumers = graph.successors(op.op_id)
+        if consumers:
+            death = max(schedule.start(c) for c in consumers) + 1
+        else:
+            death = schedule.deadline
+        lifetimes.append(Lifetime(op_id=op.op_id, birth=birth, death=death))
+    return lifetimes
+
+
+def register_requirement(schedule: BlockSchedule) -> int:
+    """Maximum number of simultaneously live values."""
+    events: Dict[int, int] = {}
+    for lifetime in value_lifetimes(schedule):
+        if lifetime.length <= 0:
+            continue
+        events[lifetime.birth] = events.get(lifetime.birth, 0) + 1
+        events[lifetime.death] = events.get(lifetime.death, 0) - 1
+    live = 0
+    peak = 0
+    for step in sorted(events):
+        live += events[step]
+        peak = max(peak, live)
+    return peak
+
+
+def allocate_registers(schedule: BlockSchedule) -> Dict[str, int]:
+    """Left-edge register allocation over the value lifetimes.
+
+    Returns a mapping from producing operation id to register index; two
+    values share a register iff their lifetimes do not overlap.  The
+    number of registers used equals :func:`register_requirement` (the
+    left-edge algorithm is optimal for interval graphs).
+    """
+    lifetimes = sorted(
+        (lt for lt in value_lifetimes(schedule) if lt.length > 0),
+        key=lambda lt: (lt.birth, lt.death, lt.op_id),
+    )
+    register_free_at: List[int] = []  # index -> step the register frees up
+    allocation: Dict[str, int] = {}
+    for lifetime in lifetimes:
+        chosen = None
+        for index, free_at in enumerate(register_free_at):
+            if free_at <= lifetime.birth:
+                chosen = index
+                break
+        if chosen is None:
+            chosen = len(register_free_at)
+            register_free_at.append(0)
+        register_free_at[chosen] = lifetime.death
+        allocation[lifetime.op_id] = chosen
+    return allocation

@@ -1,0 +1,247 @@
+"""Command-line interface for the modulo scheduling system.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro schedule system.sys            # global modulo scheduling
+    python -m repro schedule system.sys --local    # traditional baseline
+    python -m repro compare system.sys             # both + area comparison
+    python -m repro simulate system.sys --cycles 5000 --seed 3
+    python -m repro sweep system.sys               # period enumeration (S2)
+    python -m repro info system.sys                # problem statistics
+
+The ``.sys`` input format is documented in :mod:`repro.ir.systemio`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compare import compare_scopes
+from .analysis.tables import table1
+from .api import load_problem
+from .binding.instances import bind_instances
+from .core.periods import enumerate_period_assignments
+from .core.scheduler import ModuloSystemScheduler
+from .core.verify import verify_system_schedule
+from .errors import ReproError
+from .scheduling.forces import area_weights
+from .sim.simulator import SystemSimulator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Time constrained modulo scheduling with global resource sharing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    schedule = sub.add_parser("schedule", help="schedule a .sys problem")
+    schedule.add_argument("file", help="path to a .sys problem file")
+    schedule.add_argument(
+        "--local", action="store_true", help="ignore global scopes (baseline)"
+    )
+    schedule.add_argument(
+        "--table", action="store_true", help="print the full Table-1 report"
+    )
+    schedule.add_argument(
+        "--no-verify", action="store_true", help="skip static verification"
+    )
+
+    compare = sub.add_parser("compare", help="global vs local comparison")
+    compare.add_argument("file")
+
+    simulate = sub.add_parser("simulate", help="randomized reactive simulation")
+    simulate.add_argument("file")
+    simulate.add_argument("--cycles", type=int, default=5000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--trigger", type=float, default=0.25)
+
+    sweep = sub.add_parser("sweep", help="enumerate period assignments (step S2)")
+    sweep.add_argument("file")
+    sweep.add_argument("--limit", type=int, default=200)
+
+    info = sub.add_parser("info", help="print problem statistics")
+    info.add_argument("file")
+
+    rtl = sub.add_parser("rtl", help="schedule, bind, and emit Verilog text")
+    rtl.add_argument("file")
+    rtl.add_argument("-o", "--output", help="write HDL to this path (default stdout)")
+
+    gantt = sub.add_parser("gantt", help="schedule and print ASCII Gantt charts")
+    gantt.add_argument("file")
+
+    export = sub.add_parser("export", help="schedule and emit the result as JSON")
+    export.add_argument("file")
+    export.add_argument("-o", "--output", help="write JSON here (default stdout)")
+    return parser
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    problem = load_problem(args.file)
+    if args.local:
+        result = problem.schedule_local_baseline()
+    else:
+        result = problem.schedule()
+    print(result.summary())
+    if args.table:
+        print()
+        print(table1(result))
+    if not args.no_verify:
+        report = verify_system_schedule(result)
+        if not report.ok:
+            print(report, file=sys.stderr)
+            return 1
+        binding = bind_instances(result)
+        print(
+            f"verified: {len(report.checks)} checks ok, "
+            f"{len(binding.binding)} operations bound"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    problem = load_problem(args.file)
+    comparison = compare_scopes(
+        problem.system,
+        problem.library,
+        problem.assignment,
+        problem.periods,
+        weights=area_weights(problem.library),
+    )
+    print(comparison.render())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    problem = load_problem(args.file)
+    result = problem.schedule()
+    simulator = SystemSimulator(
+        result, seed=args.seed, trigger_probability=args.trigger
+    )
+    stats = simulator.run(args.cycles)
+    print(stats.summary())
+    return 0 if stats.ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    problem = load_problem(args.file)
+    candidates = enumerate_period_assignments(
+        problem.system, problem.assignment, limit=args.limit
+    )
+    print(f"{len(candidates)} period assignments survive the eq. 3 filters")
+    scheduler = ModuloSystemScheduler(
+        problem.library, weights=area_weights(problem.library)
+    )
+    best = None
+    for periods in candidates:
+        result = scheduler.schedule(problem.system, problem.assignment, periods)
+        area = result.total_area()
+        print(f"  {periods.as_dict} -> area {area:g}")
+        if best is None or area < best[1]:
+            best = (periods, area)
+    if best is not None:
+        print(f"best: {best[0].as_dict} (area {best[1]:g})")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    problem = load_problem(args.file)
+    system = problem.system
+    print(f"system {system.name!r}: {len(system)} processes, "
+          f"{system.operation_count} operations")
+    for process in system.processes:
+        for block in process.blocks:
+            counts = ", ".join(
+                f"{n}x {kind.symbol}"
+                for kind, n in block.graph.count_by_kind().items()
+            )
+            cp = block.graph.critical_path_length(problem.library.latency_of)
+            tag = " (repeats)" if block.repeats else ""
+            print(
+                f"  {process.name}/{block.name}: {len(block.graph)} ops "
+                f"({counts}), critical path {cp}, deadline {block.deadline}{tag}"
+            )
+    for type_name in problem.assignment.global_types:
+        group = ", ".join(problem.assignment.group(type_name))
+        print(
+            f"  global {type_name}: shared by {group}, "
+            f"period {problem.periods.period(type_name)}"
+        )
+    return 0
+
+
+def cmd_rtl(args: argparse.Namespace) -> int:
+    from .rtl.design import build_rtl
+    from .rtl.verilog import emit_verilog
+
+    problem = load_problem(args.file)
+    result = problem.schedule()
+    design = build_rtl(result)
+    design.consistency_check()
+    text = emit_verilog(design)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        stats = design.stats()
+        print(
+            f"wrote {args.output}: {stats['units']} units, "
+            f"{stats['controllers']} controllers, {stats['issues']} issues"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def cmd_gantt(args: argparse.Namespace) -> int:
+    from .analysis.gantt import system_gantt
+
+    problem = load_problem(args.file)
+    result = problem.schedule()
+    print(result.summary())
+    print()
+    print(system_gantt(result))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .analysis.export import export_result, result_to_json
+
+    problem = load_problem(args.file)
+    result = problem.schedule()
+    if args.output:
+        export_result(result, args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(result_to_json(result))
+    return 0
+
+
+_COMMANDS = {
+    "schedule": cmd_schedule,
+    "compare": cmd_compare,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "info": cmd_info,
+    "rtl": cmd_rtl,
+    "gantt": cmd_gantt,
+    "export": cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

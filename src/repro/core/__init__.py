@@ -1,0 +1,60 @@
+"""Core contribution: time-constrained modulo scheduling with global sharing."""
+
+from .auto_assignment import ScopeDecision, auto_assignment, decide_scopes
+from .balancing import balance, process_max, system_sum
+from .modulo import fold, modulo_delta, modulo_max, modulo_max_int, slot_steps
+from .periods import (
+    PeriodAssignment,
+    candidate_periods,
+    divisors,
+    enumerate_period_assignments,
+    estimate_enumeration_size,
+    is_harmonic,
+    lcm_all,
+    suggest_periods,
+)
+from .exhaustive import ExhaustiveReport, exhaustive_interleaving_check
+from .merging import merge_system, schedule_merged
+from .offsets import OffsetOutcome, optimize_offsets
+from .period_search import SearchOutcome, optimize_periods
+from .rc_modulo import RCModuloResult, RCModuloScheduler
+from .result import SystemSchedule
+from .scheduler import ModuloSystemScheduler
+from .verify import VerificationReport, verify, verify_system_schedule
+
+__all__ = [
+    "ExhaustiveReport",
+    "ModuloSystemScheduler",
+    "OffsetOutcome",
+    "PeriodAssignment",
+    "RCModuloResult",
+    "RCModuloScheduler",
+    "ScopeDecision",
+    "SearchOutcome",
+    "SystemSchedule",
+    "VerificationReport",
+    "auto_assignment",
+    "balance",
+    "candidate_periods",
+    "decide_scopes",
+    "divisors",
+    "enumerate_period_assignments",
+    "estimate_enumeration_size",
+    "exhaustive_interleaving_check",
+    "fold",
+    "is_harmonic",
+    "lcm_all",
+    "merge_system",
+    "modulo_delta",
+    "modulo_max",
+    "modulo_max_int",
+    "optimize_offsets",
+    "optimize_periods",
+    "process_max",
+    "schedule_merged",
+    "slot_steps",
+    "suggest_periods",
+    "system_sum",
+    "verify",
+    "verify_system_schedule",
+]

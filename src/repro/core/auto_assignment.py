@@ -1,0 +1,111 @@
+"""Automatic selection of the assignment scope per resource type.
+
+The paper does step (S1) manually and names the automatic selection as
+current work (§8: "Current work is in progress in order to automatically
+select the assignment scope of each resource").  This module implements a
+utilization-based heuristic for it:
+
+For a resource type ``k`` and process ``p``, the *utilization* is the total
+occupancy (busy steps) of ``k``-operations divided by the tightest block
+deadline — a lower bound on the average instance need.  Locally, every
+using process needs at least ``ceil(utilization)`` (and at least one)
+instance; globally, a pool of roughly ``ceil(sum of utilizations)``
+instances suffices on average.  Whenever the estimated pool is smaller
+than the sum of the local minima, sharing the type saves area — which is
+exactly the paper's motivation: low-utilization, high-cost resources are
+the ones worth sharing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ir.process import Process, SystemSpec
+from ..resources.assignment import ResourceAssignment
+from ..resources.library import ResourceLibrary
+from ..resources.types import ResourceType
+
+
+@dataclass(frozen=True)
+class ScopeDecision:
+    """Why one resource type was assigned its scope."""
+
+    type_name: str
+    make_global: bool
+    users: tuple
+    local_estimate: int
+    global_estimate: int
+    area_saving: float
+
+
+def process_utilization(
+    process: Process, library: ResourceLibrary, rtype: ResourceType
+) -> float:
+    """Estimated average instance need of a type within one process.
+
+    Maximum over the process's blocks of (total busy steps / deadline);
+    blocks never overlap, so the peak block dominates.
+    """
+    best = 0.0
+    for block in process.blocks:
+        busy = sum(
+            rtype.occupancy for op in block.graph if rtype.executes(op.kind)
+        )
+        if busy:
+            best = max(best, busy / block.deadline)
+    return best
+
+
+def decide_scopes(
+    system: SystemSpec,
+    library: ResourceLibrary,
+    *,
+    min_saving: float = 0.0,
+) -> List[ScopeDecision]:
+    """Evaluate the sharing benefit for every resource type.
+
+    Args:
+        min_saving: Minimum estimated area saving required to pick a global
+            scope (use > 0 to keep cheap types local, reflecting that the
+            paper does not weigh multiplexer/wiring overhead but flags it).
+    """
+    decisions: List[ScopeDecision] = []
+    for rtype in library.types:
+        users = [
+            process
+            for process in system.processes
+            if any(kind in process.kinds_used() for kind in rtype.kinds)
+        ]
+        if len(users) < 2:
+            continue
+        utilizations = [process_utilization(p, library, rtype) for p in users]
+        local_estimate = sum(max(1, math.ceil(u)) for u in utilizations)
+        global_estimate = max(1, math.ceil(sum(utilizations)))
+        saving = (local_estimate - global_estimate) * rtype.area
+        decisions.append(
+            ScopeDecision(
+                type_name=rtype.name,
+                make_global=saving > min_saving,
+                users=tuple(p.name for p in users),
+                local_estimate=local_estimate,
+                global_estimate=global_estimate,
+                area_saving=saving,
+            )
+        )
+    return decisions
+
+
+def auto_assignment(
+    system: SystemSpec,
+    library: ResourceLibrary,
+    *,
+    min_saving: float = 0.0,
+) -> ResourceAssignment:
+    """Build a :class:`ResourceAssignment` from the scope heuristic."""
+    assignment = ResourceAssignment(library)
+    for decision in decide_scopes(system, library, min_saving=min_saving):
+        if decision.make_global:
+            assignment.make_global(decision.type_name, list(decision.users))
+    return assignment

@@ -1,0 +1,60 @@
+"""Global balancing of resource requirements (§5.2, eq. 9).
+
+Blocks of one process never overlap (condition C2), so — like branches of
+an alternation in classic FDS — the process needs, per period slot, only
+the **maximum** of its blocks' modulo-transformed distributions.  Across
+the processes of a sharing group the requirements add up: the processes
+run independently, so at any absolute time each may be exercising its full
+authorization simultaneously.  The balanced system distribution
+
+    S_k(tau) = sum over processes p of ( max over blocks b of Q_{b,k}(tau) )
+
+is therefore exactly the instance count the global type needs at slot
+``tau``; the modified force minimizes its maximum over ``tau``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+
+
+def process_max(block_distributions: Sequence[np.ndarray], period: int) -> np.ndarray:
+    """Pointwise maximum of the blocks' modulo distributions (eq. 9).
+
+    An empty sequence yields the all-zero distribution (the process never
+    touches the type).
+    """
+    result = np.zeros(period, dtype=float)
+    for array in block_distributions:
+        if array.shape != (period,):
+            raise SchedulingError(
+                f"block distribution has shape {array.shape}, expected ({period},)"
+            )
+        np.maximum(result, array, out=result)
+    return result
+
+
+def system_sum(process_maxima: Iterable[np.ndarray], period: int) -> np.ndarray:
+    """Sum of the per-process maxima over the sharing group."""
+    result = np.zeros(period, dtype=float)
+    for array in process_maxima:
+        if array.shape != (period,):
+            raise SchedulingError(
+                f"process distribution has shape {array.shape}, expected ({period},)"
+            )
+        result += array
+    return result
+
+
+def balance(
+    per_process_blocks: Sequence[Sequence[np.ndarray]], period: int
+) -> np.ndarray:
+    """Full balancing: per-process max, then sum across processes."""
+    maxima: List[np.ndarray] = [
+        process_max(blocks, period) for blocks in per_process_blocks
+    ]
+    return system_sum(maxima, period)

@@ -1,0 +1,100 @@
+"""Periodic conflict-graph coloring for multicycle global types.
+
+Occupancy-1 global types partition the pool by slot: per slot, each
+process owns a contiguous id range sized by its grant, and the pool is
+the maximum slot demand.  A *non-pipelined multicycle* unit breaks that
+scheme — one operation must hold a single physical instance across
+several consecutive slots, and slot-varying ranges cannot promise that.
+
+The sound replacement is a synthesis-time coloring of the *periodic
+conflict graph* over all operations of the type:
+
+* two operations of the same block conflict iff their occupancy windows
+  overlap in block-relative time (and they are not mutually exclusive
+  branch alternatives);
+* operations of different blocks of one process never conflict (C2);
+* operations of different processes conflict iff their *absolute period
+  slot sets* intersect — block start times are arbitrary grid-aligned
+  values, so any slot collision is realized by some interleaving.
+
+A greedy smallest-color pass in deterministic order yields the instance
+assignment; the number of colors is the pool size.  It always lies
+between the maximum slot demand (cliques realize it) and the sum of
+per-process peak grants (the fixed-range fallback).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..errors import BindingError
+
+OpKey = Tuple[str, str, str]  # (process, block, op)
+
+
+def _arcs(result, type_name: str) -> List[Tuple[OpKey, int, int, Set[int], object]]:
+    """Collect (key, start, end, absolute slot set, operation) per op."""
+    period = result.periods.period(type_name)
+    occupancy = result.library.type(type_name).occupancy
+    arcs = []
+    for process_name in result.assignment.group(type_name):
+        offset = result.offset_of(process_name)
+        for block_name, sched in result.blocks_of(process_name):
+            for op in sched.graph:
+                if result.library.type_of(op).name != type_name:
+                    continue
+                start = sched.start(op.op_id)
+                slots = {
+                    (step + offset) % period
+                    for step in range(start, start + occupancy)
+                }
+                arcs.append(
+                    (
+                        (process_name, block_name, op.op_id),
+                        start,
+                        start + occupancy,
+                        slots,
+                        op,
+                    )
+                )
+    return arcs
+
+
+def _conflict(a, b) -> bool:
+    (key_a, start_a, end_a, slots_a, op_a) = a
+    (key_b, start_b, end_b, slots_b, op_b) = b
+    if key_a[0] == key_b[0]:
+        if key_a[1] != key_b[1]:
+            return False  # different blocks of one process never overlap (C2)
+        if op_a.excludes(op_b):
+            return False  # mutually exclusive branches
+        return start_a < end_b and start_b < end_a
+    # Different processes: any shared absolute slot can collide at run time.
+    return bool(slots_a & slots_b)
+
+
+def multicycle_coloring(result, type_name: str) -> Dict[OpKey, int]:
+    """Greedy instance coloring for one multicycle global type."""
+    if not result.assignment.is_global(type_name):
+        raise BindingError(f"type {type_name!r} is not globally assigned")
+    arcs = _arcs(result, type_name)
+    arcs.sort(key=lambda arc: (arc[0][0], arc[0][1], arc[1], arc[0][2]))
+    colors: Dict[OpKey, int] = {}
+    for index, arc in enumerate(arcs):
+        taken = {
+            colors[other[0]]
+            for other in arcs[:index]
+            if _conflict(arc, other)
+        }
+        color = 0
+        while color in taken:
+            color += 1
+        colors[arc[0]] = color
+    return colors
+
+
+def multicycle_pool(result, type_name: str) -> int:
+    """Pool size for a multicycle global type: colors used by the greedy
+    periodic coloring (0 when no operation uses the type)."""
+    colors = multicycle_coloring(result, type_name)
+    return max(colors.values()) + 1 if colors else 0

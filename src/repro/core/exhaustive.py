@@ -1,0 +1,140 @@
+"""Exhaustive interleaving verification for small systems.
+
+The simulator samples random activations; this module *enumerates* them.
+Because every block start is grid-aligned and every usage profile is
+finite, the concurrent usage of the whole system is determined by, per
+process, (a) which block is active and (b) the start phase modulo the
+hyperperiod.  Checking every combination of block choice and phase over
+one hyperperiod therefore covers **all** reachable interleavings — if no
+combination exceeds a pool, no execution ever will.
+
+The combination count is ``prod_p (#blocks_p * grid_p + 1)`` (the ``+1``
+is the idle choice, subsumed by smaller usage but kept implicitly), so
+this is for small systems and unit tests; the randomized simulator covers
+the large ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import VerificationError
+from .periods import lcm_all
+from .result import SystemSchedule
+
+
+@dataclass
+class ExhaustiveReport:
+    """Outcome of the exhaustive interleaving check."""
+
+    combinations: int
+    hyperperiod: int
+    worst_usage: Dict[str, int]
+    pools: Dict[str, int]
+    violation: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def raise_on_failure(self) -> None:
+        if self.violation is not None:
+            raise VerificationError(self.violation)
+
+
+def _worst_case_profiles(result: SystemSchedule):
+    """Per process: list of (block name, per-type worst-case usage rows)."""
+    per_process = {}
+    for process in result.system.processes:
+        entries = []
+        for block in process.blocks:
+            sched = result.schedule_of(process.name, block.name)
+            profiles = {}
+            for rtype in result.library.types_used_by(block.graph):
+                profiles[rtype.name] = sched.usage_profile(rtype.name)
+            entries.append((block.name, profiles))
+        per_process[process.name] = entries
+    return per_process
+
+
+def exhaustive_interleaving_check(
+    result: SystemSchedule, *, max_combinations: int = 250_000
+) -> ExhaustiveReport:
+    """Enumerate every block/phase combination and check the pools.
+
+    Args:
+        result: The schedule to verify.
+        max_combinations: Guard against combinatorial blow-up; exceeding
+            it raises :class:`VerificationError` (use the simulator then).
+
+    Returns:
+        A report with the worst concurrent usage observed per type; its
+        ``violation`` names the first combination exceeding a pool.
+    """
+    processes = result.system.processes
+    grids = {p.name: max(1, result.grid_spacing(p.name)) for p in processes}
+    offsets = {p.name: result.offset_of(p.name) for p in processes}
+    hyperperiod = lcm_all(grids.values())
+    profiles = _worst_case_profiles(result)
+    pools = result.instance_counts()
+
+    choices: List[List[Optional[Tuple[str, int, Dict[str, np.ndarray]]]]] = []
+    total = 1
+    for process in processes:
+        options: List[Optional[Tuple[str, int, Dict[str, np.ndarray]]]] = [None]
+        for block_name, block_profiles in profiles[process.name]:
+            for phase in range(
+                offsets[process.name] % grids[process.name],
+                hyperperiod,
+                grids[process.name],
+            ):
+                options.append((block_name, phase, block_profiles))
+        total *= len(options)
+        choices.append(options)
+    if total > max_combinations:
+        raise VerificationError(
+            f"exhaustive check needs {total} combinations "
+            f"(limit {max_combinations}); use the randomized simulator"
+        )
+
+    type_names = list(pools)
+    horizon = hyperperiod + max(
+        (sched.deadline for sched in result.block_schedules.values()), default=1
+    )
+    worst: Dict[str, int] = {name: 0 for name in type_names}
+    violation: Optional[str] = None
+
+    for combo in itertools.product(*choices):
+        usage = {name: np.zeros(horizon, dtype=int) for name in type_names}
+        for option in combo:
+            if option is None:
+                continue
+            __, phase, block_profiles = option
+            for type_name, profile in block_profiles.items():
+                end = phase + profile.size
+                usage[type_name][phase:end] += profile
+        for type_name in type_names:
+            peak = int(usage[type_name].max())
+            worst[type_name] = max(worst[type_name], peak)
+            if violation is None and peak > pools.get(type_name, 0):
+                described = [
+                    f"{processes[i].name}:{opt[0]}@{opt[1]}"
+                    for i, opt in enumerate(combo)
+                    if opt is not None
+                ]
+                violation = (
+                    f"{type_name}: usage {peak} exceeds pool "
+                    f"{pools.get(type_name, 0)} under {{{', '.join(described)}}}"
+                )
+
+    return ExhaustiveReport(
+        combinations=total,
+        hyperperiod=hyperperiod,
+        worst_usage=worst,
+        pools=dict(pools),
+        violation=violation,
+    )

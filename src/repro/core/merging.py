@@ -1,0 +1,98 @@
+"""Process-merging baseline (the paper's related work, §1.1 / [5]).
+
+Before modulo scheduling, the only way to share resources across
+processes was to *merge* them into a single scheduling unit: concatenate
+the operation sets, schedule once, and let the classic per-block resource
+counting see everything together.  This works only under strong
+restrictions — all merged processes must start simultaneously and have
+statically known timing ("merging processes is not applicable in case of
+unpredictable block starting times").
+
+This module implements that baseline so the trade-off can be measured:
+
+* on a *deterministic* system (every process released together, one
+  block each), merging is the strongest possible sharing — a single
+  block with the max deadline;
+* on a *reactive* system it is simply inapplicable
+  (:func:`merge_system` refuses multi-block or repeating processes),
+  which is the gap the paper's method fills.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import SpecificationError
+from ..ir.dfg import DataFlowGraph
+from ..ir.process import Block, Process, SystemSpec
+from ..resources.library import ResourceLibrary
+from ..scheduling.forces import DEFAULT_LOOKAHEAD
+from ..scheduling.ifds import ImprovedForceDirectedScheduler
+from ..scheduling.schedule import BlockSchedule
+
+
+def merge_system(system: SystemSpec, *, name: str = "") -> Block:
+    """Merge all processes of a system into one block.
+
+    Operation ids are prefixed with their process name to stay unique;
+    the merged deadline is the maximum of the block deadlines (all
+    processes are assumed released at time 0 — the merging assumption).
+
+    Raises:
+        SpecificationError: if any process has more than one block or a
+            repeating (unbounded-loop) block — the cases the paper's
+            method exists for.
+    """
+    merged = DataFlowGraph(name=name or f"{system.name}-merged")
+    deadline = 0
+    for process in system.processes:
+        if len(process.blocks) != 1:
+            raise SpecificationError(
+                f"process {process.name!r} has {len(process.blocks)} blocks; "
+                "merging requires exactly one statically-timed block"
+            )
+        block = process.blocks[0]
+        if block.repeats:
+            raise SpecificationError(
+                f"process {process.name!r} repeats (unbounded loop); "
+                "merging cannot handle unpredictable block starting times"
+            )
+        deadline = max(deadline, block.deadline)
+        for op in block.graph:
+            merged.add_operation(
+                type(op)(
+                    op_id=f"{process.name}.{op.op_id}",
+                    kind=op.kind,
+                    name=op.name,
+                    tags=op.tags,
+                    guard=op.guard,
+                )
+            )
+        for src, dst in block.graph.edges:
+            merged.add_edge(f"{process.name}.{src}", f"{process.name}.{dst}")
+    merged.validate()
+    return Block(name=merged.name, graph=merged, deadline=deadline)
+
+
+def schedule_merged(
+    system: SystemSpec,
+    library: ResourceLibrary,
+    *,
+    lookahead: float = DEFAULT_LOOKAHEAD,
+    weights: Optional[Dict[str, float]] = None,
+) -> Tuple[BlockSchedule, Dict[str, int], float]:
+    """Merge, schedule with IFDS, and report instance counts and area.
+
+    Returns:
+        ``(schedule, counts, area)`` where counts are the per-type peak
+        usages of the merged schedule (one pool for everything) and area
+        is their cost.
+    """
+    block = merge_system(system)
+    scheduler = ImprovedForceDirectedScheduler(
+        library, lookahead=lookahead, weights=weights
+    )
+    schedule = scheduler.schedule(block)
+    counts = {name: peak for name, peak in schedule.peaks().items() if peak}
+    area = sum(library.type(name).area * count for name, count in counts.items())
+    return schedule, counts, area

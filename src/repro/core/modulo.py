@@ -1,0 +1,91 @@
+"""Modulo mapping and the modulo-maximum transformation (eqs. 1, 7, 8).
+
+A global resource type with period ``P`` folds the absolute time axis onto
+period slots ``tau = t mod P`` (eq. 1).  An access authorization granted to
+a process for slot ``tau`` is valid at *every* absolute step mapping to
+``tau`` — this is what makes sharing safe for processes with unknown
+relative start times.
+
+The **modulo-maximum transformation** (eq. 7) folds a distribution function
+``D`` over a block's time range onto the period:
+
+    Q(tau) = max{ D(t) : t ≡ tau (mod P) }
+
+Because the slot-capacity a process needs is the *maximum* usage over the
+steps mapping to a slot (at any absolute time only one of them is live),
+displacements of ``D`` that stay below the slot maximum are "hidden": they
+change ``Q`` not at all and therefore cost no force — which is precisely
+how the modified scheduler aligns operations periodically (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PeriodError
+
+
+def fold(step: int, period: int) -> int:
+    """Map an absolute time step to its period slot (eq. 1)."""
+    if period < 1:
+        raise PeriodError(f"period must be >= 1, got {period}")
+    return step % period
+
+
+def slot_steps(slot: int, period: int, horizon: int) -> list:
+    """All time steps in ``[0, horizon)`` mapping to ``slot`` (figure 1)."""
+    if period < 1:
+        raise PeriodError(f"period must be >= 1, got {period}")
+    if not 0 <= slot < period:
+        raise PeriodError(f"slot {slot} outside [0, {period})")
+    return list(range(slot, horizon, period))
+
+
+def modulo_max(values: Sequence[float], period: int) -> np.ndarray:
+    """Modulo-maximum transformation of a distribution (eq. 7).
+
+    Args:
+        values: Distribution over a block's time range ``0 .. len-1``.
+        period: Period of the global resource type.
+
+    Returns:
+        Array of length ``period``; entry ``tau`` is the maximum of
+        ``values`` over the steps congruent to ``tau``.  Slots with no
+        congruent step inside the range (period longer than the range)
+        are 0.
+    """
+    if period < 1:
+        raise PeriodError(f"period must be >= 1, got {period}")
+    array = np.asarray(values, dtype=float)
+    folded = np.zeros(period, dtype=float)
+    for offset in range(0, array.size, period):
+        chunk = array[offset : offset + period]
+        np.maximum(folded[: chunk.size], chunk, out=folded[: chunk.size])
+    return folded
+
+
+def modulo_max_int(values: Sequence[int], period: int) -> np.ndarray:
+    """Integer variant of :func:`modulo_max` (for final usage counts)."""
+    if period < 1:
+        raise PeriodError(f"period must be >= 1, got {period}")
+    array = np.asarray(values, dtype=int)
+    folded = np.zeros(period, dtype=int)
+    for offset in range(0, array.size, period):
+        chunk = array[offset : offset + period]
+        np.maximum(folded[: chunk.size], chunk, out=folded[: chunk.size])
+    return folded
+
+
+def modulo_delta(
+    distribution: np.ndarray, delta: np.ndarray, period: int
+) -> np.ndarray:
+    """Change of the modulo-maximum transform under a displacement (eq. 8).
+
+    Returns ``Q(D + delta) - Q(D)``; entries are zero wherever the
+    displacement is hidden below the slot maximum.
+    """
+    before = modulo_max(distribution, period)
+    after = modulo_max(distribution + delta, period)
+    return after - before

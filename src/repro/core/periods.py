@@ -1,0 +1,245 @@
+"""Step (S2): periodicity of global resource types (§3.2, eqs. 2-3).
+
+Every global resource type ``k`` gets a period ``P_k``.  A block using
+global types may then start only on an equidistant grid: movements by
+multiples of ``lcm{P_k}`` over the types the block uses keep the schedule
+valid (eq. 2), so the grid spacing of a process ``p`` is taken over all of
+its global types, ``g_p = lcm{P_k : k in G_p}`` (eq. 3).
+
+The period choice is twofold (§3.2): larger periods let more processes
+share one instance, but coarsen the start grid and may lengthen the
+invocation interval of critical loops.  The paper enumerates candidate
+period sets by permutation and filters them through eq. 3; this module
+implements that enumeration plus the heuristic selection the paper lists
+as current work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..errors import PeriodError
+from ..ir.process import SystemSpec
+from ..resources.assignment import ResourceAssignment
+
+
+def lcm_all(values: Iterable[int]) -> int:
+    """Least common multiple of the values (1 for an empty iterable)."""
+    result = 1
+    for value in values:
+        result = result * value // math.gcd(result, value)
+    return result
+
+
+def divisors(value: int) -> List[int]:
+    """All positive divisors of ``value`` in ascending order."""
+    if value < 1:
+        raise PeriodError(f"divisors of non-positive value {value}")
+    small, large = [], []
+    for d in range(1, int(math.isqrt(value)) + 1):
+        if value % d == 0:
+            small.append(d)
+            if d != value // d:
+                large.append(value // d)
+    return small + large[::-1]
+
+
+def is_harmonic(periods: Sequence[int]) -> bool:
+    """Whether the periods form a divisor chain (each divides the next).
+
+    Harmonic period sets keep the combined grid spacing equal to the
+    largest period instead of an inflated lcm — the practically useful
+    subset of eq. 3's compliance condition.
+    """
+    ordered = sorted(periods)
+    return all(ordered[i + 1] % ordered[i] == 0 for i in range(len(ordered) - 1))
+
+
+class PeriodAssignment:
+    """Periods for every globally assigned resource type."""
+
+    def __init__(self, periods: Mapping[str, int]) -> None:
+        self._periods: Dict[str, int] = {}
+        for name, period in periods.items():
+            if period < 1:
+                raise PeriodError(f"type {name!r}: period must be >= 1, got {period}")
+            self._periods[name] = int(period)
+
+    def period(self, type_name: str) -> int:
+        try:
+            return self._periods[type_name]
+        except KeyError:
+            raise PeriodError(f"no period assigned to type {type_name!r}") from None
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._periods
+
+    @property
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._periods)
+
+    def grid_spacing(self, type_names: Iterable[str]) -> int:
+        """Grid spacing over a set of global types (eq. 2/3): lcm of periods."""
+        return lcm_all(self.period(name) for name in type_names)
+
+    def validate(self, assignment: ResourceAssignment) -> None:
+        """Every global type needs a period; no period for local types."""
+        for type_name in assignment.global_types:
+            if type_name not in self._periods:
+                raise PeriodError(f"global type {type_name!r} has no period")
+        for type_name in self._periods:
+            if not assignment.is_global(type_name):
+                raise PeriodError(
+                    f"period assigned to non-global type {type_name!r}"
+                )
+
+    def process_grid(self, assignment: ResourceAssignment, process_name: str) -> int:
+        """Start-time grid spacing of one process (the paper's ``g_p``)."""
+        return self.grid_spacing(assignment.global_types_of(process_name))
+
+    def __repr__(self) -> str:
+        return f"PeriodAssignment({self._periods})"
+
+
+def _deadlines_of_group(
+    system: SystemSpec, assignment: ResourceAssignment, type_name: str
+) -> List[int]:
+    deadlines: List[int] = []
+    for process_name in assignment.group(type_name):
+        for block in system.process(process_name).blocks:
+            deadlines.append(block.deadline)
+    return deadlines
+
+
+def candidate_periods(
+    system: SystemSpec, assignment: ResourceAssignment, type_name: str
+) -> List[int]:
+    """Candidate periods for one global type.
+
+    Determined by the timing constraints of the sharing processes: the
+    divisors of the group's block deadlines, capped at the smallest
+    deadline so that every sharing block folds at least once.
+    """
+    deadlines = _deadlines_of_group(system, assignment, type_name)
+    if not deadlines:
+        raise PeriodError(f"type {type_name!r} has an empty process group")
+    cap = min(deadlines)
+    candidates = sorted(
+        {d for deadline in deadlines for d in divisors(deadline) if d <= cap}
+    )
+    return candidates
+
+
+def estimate_enumeration_size(
+    system: SystemSpec, assignment: ResourceAssignment
+) -> int:
+    """Size of the unfiltered permutation space (the paper's §6 bound).
+
+    The product of the candidate-list lengths over all global types;
+    typically most combinations are filtered out by the eq. 3 rules
+    before any scheduling happens.
+    """
+    total = 1
+    for type_name in assignment.global_types:
+        total *= len(candidate_periods(system, assignment, type_name))
+    return total
+
+
+def enumerate_period_assignments(
+    system: SystemSpec,
+    assignment: ResourceAssignment,
+    *,
+    harmonic: bool = True,
+    max_grid: Optional[int] = None,
+    limit: int = 10000,
+) -> List[PeriodAssignment]:
+    """Enumerate candidate period assignments (the paper's permutation).
+
+    Args:
+        harmonic: Keep only assignments whose periods are, per process, a
+            divisor chain (the eq. 3 filter).
+        max_grid: Keep only assignments whose per-process grid spacing does
+            not exceed this bound (defaults to the process's smallest block
+            deadline, so a process is never frozen longer than one of its
+            blocks runs).
+        limit: Safety cap on the number of enumerated combinations.
+
+    Returns:
+        The surviving assignments, deterministic order.
+    """
+    global_types = assignment.global_types
+    if not global_types:
+        return [PeriodAssignment({})]
+    candidate_lists = [
+        candidate_periods(system, assignment, name) for name in global_types
+    ]
+    total = 1
+    for candidates in candidate_lists:
+        total *= len(candidates)
+    if total > limit:
+        raise PeriodError(
+            f"period enumeration would produce {total} combinations "
+            f"(limit {limit}); restrict candidates or raise the limit"
+        )
+    results: List[PeriodAssignment] = []
+    for combo in itertools.product(*candidate_lists):
+        periods = PeriodAssignment(dict(zip(global_types, combo)))
+        if _passes_filters(system, assignment, periods, harmonic, max_grid):
+            results.append(periods)
+    return results
+
+
+def _passes_filters(
+    system: SystemSpec,
+    assignment: ResourceAssignment,
+    periods: PeriodAssignment,
+    harmonic: bool,
+    max_grid: Optional[int],
+) -> bool:
+    for process in system.processes:
+        type_names = assignment.global_types_of(process.name)
+        if not type_names:
+            continue
+        values = [periods.period(name) for name in type_names]
+        if harmonic and not is_harmonic(values):
+            return False
+        grid = lcm_all(values)
+        bound = max_grid
+        if bound is None:
+            bound = min(block.deadline for block in process.blocks)
+        if grid > bound:
+            return False
+    return True
+
+
+def suggest_periods(
+    system: SystemSpec,
+    assignment: ResourceAssignment,
+    *,
+    strategy: str = "min-deadline",
+) -> PeriodAssignment:
+    """Heuristic period selection without complete enumeration.
+
+    Strategies:
+
+    * ``"min-deadline"`` — period of each global type = smallest block
+      deadline among the sharing processes (maximal folding while every
+      sharing block still spans at least one full period; this reproduces
+      the paper's choice of 15 for deadlines 30/30/25/15/15).
+    * ``"gcd"`` — greatest common divisor of the group's block deadlines
+      (finest grid that divides every deadline).
+    """
+    periods: Dict[str, int] = {}
+    for type_name in assignment.global_types:
+        deadlines = _deadlines_of_group(system, assignment, type_name)
+        if not deadlines:
+            raise PeriodError(f"type {type_name!r} has an empty process group")
+        if strategy == "min-deadline":
+            periods[type_name] = min(deadlines)
+        elif strategy == "gcd":
+            periods[type_name] = math.gcd(*deadlines) if len(deadlines) > 1 else deadlines[0]
+        else:
+            raise PeriodError(f"unknown period strategy {strategy!r}")
+    return PeriodAssignment(periods)

@@ -1,0 +1,319 @@
+"""Step (S3): coupled modified IFDS over all blocks of the system (§5).
+
+All blocks of all processes are scheduled *simultaneously*: a partial
+solution is the set of time frames of every operation in the system, and
+each iteration performs one IFDS gradual frame reduction somewhere in the
+system.  The force of a tentative placement combines:
+
+* for **local** resource types — the classic weighted Hooke force on the
+  block's own distribution graph (eqs. 4-6);
+* for **global** resource types — the force on the *balanced system
+  distribution*: the block's displaced distribution is modulo-max
+  transformed (eq. 7, §5.1 periodical alignment), maximized with the
+  other blocks of the same process (eq. 9) and summed over the sharing
+  processes (§5.2 global balancing).  Displacements hidden below a slot
+  maximum cost nothing, which aligns operations of a global type onto the
+  already-authorized period slots.
+
+Both modification parts can be disabled independently for ablations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..ir.process import Block, Process, SystemSpec
+from ..resources.assignment import ResourceAssignment
+from ..resources.library import ResourceLibrary
+from ..scheduling.forces import DEFAULT_LOOKAHEAD, hooke_force
+from ..scheduling.schedule import BlockSchedule
+from ..scheduling.state import BlockState
+from .modulo import modulo_max
+from .periods import PeriodAssignment
+from .result import SystemSchedule
+
+
+@dataclass
+class _Entry:
+    """One block being scheduled, with its system coordinates."""
+
+    process_name: str
+    block: Block
+    state: BlockState
+
+
+class ModuloSystemScheduler:
+    """Time-constrained modulo scheduling with global resource sharing.
+
+    Args:
+        library: Resource library (latencies, occupancies, areas).
+        lookahead: Paulin look-ahead fraction (classic 1/3).
+        weights: Per-type spring-constant weights; ``None`` means 1.0
+            everywhere (pass :func:`repro.scheduling.area_weights` for
+            Verhaegh's global spring constants).
+        periodical_alignment: Enable modification part 1 (§5.1).  When
+            disabled, global types are treated like local ones during force
+            evaluation (instance counts are still derived globally).
+        global_balancing: Enable modification part 2 (§5.2).  Only
+            meaningful while alignment is enabled.
+    """
+
+    def __init__(
+        self,
+        library: ResourceLibrary,
+        *,
+        lookahead: float = DEFAULT_LOOKAHEAD,
+        weights: Optional[Mapping[str, float]] = None,
+        periodical_alignment: bool = True,
+        global_balancing: bool = True,
+    ) -> None:
+        self.library = library
+        self.lookahead = lookahead
+        self.weights = dict(weights) if weights is not None else None
+        self.periodical_alignment = periodical_alignment
+        self.global_balancing = global_balancing
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        system: SystemSpec,
+        assignment: ResourceAssignment,
+        periods: Optional[PeriodAssignment] = None,
+    ) -> SystemSchedule:
+        """Schedule the whole system; returns a validated result.
+
+        ``periods`` may be omitted only when the assignment declares no
+        global types (the traditional baseline).
+        """
+        if periods is None:
+            if assignment.global_types:
+                raise SchedulingError(
+                    "a PeriodAssignment is required when global types exist"
+                )
+            periods = PeriodAssignment({})
+        assignment.validate(system)
+        periods.validate(assignment)
+        system.validate(self.library.latency_of)
+
+        started = time.perf_counter()
+        entries = [
+            _Entry(process.name, block, BlockState(block, self.library))
+            for process, block in system.iter_blocks()
+        ]
+        coupling = _GlobalCoupling(entries, assignment, periods)
+
+        iterations = 0
+        while True:
+            best = self._select_reduction(entries, coupling)
+            if best is None:
+                break
+            iterations += 1
+            entry_index, op_id, shrink_low = best
+            entry = entries[entry_index]
+            lo, hi = entry.state.frames.frame(op_id)
+            if shrink_low:
+                touched = entry.state.commit_reduce(op_id, lo + 1, hi)
+            else:
+                touched = entry.state.commit_reduce(op_id, lo, hi - 1)
+            coupling.refresh(entry_index, touched)
+
+        block_schedules: Dict[Tuple[str, str], BlockSchedule] = {}
+        for entry in entries:
+            sched = BlockSchedule(
+                graph=entry.block.graph,
+                library=self.library,
+                starts=entry.state.frames.as_schedule(),
+                deadline=entry.block.deadline,
+            )
+            sched.validate()
+            block_schedules[(entry.process_name, entry.block.name)] = sched
+
+        result = SystemSchedule(
+            system=system,
+            library=self.library,
+            assignment=assignment,
+            periods=periods,
+            block_schedules=block_schedules,
+            iterations=iterations,
+            wall_time=time.perf_counter() - started,
+        )
+        result.validate()
+        return result
+
+    # ------------------------------------------------------------------
+    # Force evaluation
+    # ------------------------------------------------------------------
+    def _select_reduction(
+        self, entries: List[_Entry], coupling: "_GlobalCoupling"
+    ) -> Optional[Tuple[int, str, bool]]:
+        """Pick the IFDS reduction with the largest weighted force difference."""
+        best_score = None
+        best: Optional[Tuple[int, str, bool]] = None
+        for index, entry in enumerate(entries):
+            for op_id in entry.state.frames.unfixed():
+                lo, hi = entry.state.frames.frame(op_id)
+                force_low = self._placement_force(index, entry, coupling, op_id, lo)
+                force_high = self._placement_force(index, entry, coupling, op_id, hi)
+                eta = 1.0 if hi - lo + 1 <= 2 else 0.5
+                score = eta * abs(force_low - force_high)
+                if best_score is None or score > best_score + 1e-12:
+                    best_score = score
+                    best = (index, op_id, force_low > force_high + 1e-12)
+        return best
+
+    def _placement_force(
+        self,
+        entry_index: int,
+        entry: _Entry,
+        coupling: "_GlobalCoupling",
+        op_id: str,
+        start: int,
+    ) -> float:
+        """Modified force F' (§5.3) of tentatively placing ``op_id`` at ``start``."""
+        total = 0.0
+        for type_name, delta in entry.state.placement_deltas(op_id, start).items():
+            weight = (
+                1.0 if self.weights is None else float(self.weights.get(type_name, 1.0))
+            )
+            shared = coupling.is_shared(entry.process_name, type_name)
+            if shared and self.periodical_alignment:
+                total += weight * self._global_force(
+                    entry_index, entry, coupling, type_name, delta
+                )
+            else:
+                total += weight * hooke_force(
+                    entry.state.dist.array(type_name), delta, self.lookahead
+                )
+        return total
+
+    def _global_force(
+        self,
+        entry_index: int,
+        entry: _Entry,
+        coupling: "_GlobalCoupling",
+        type_name: str,
+        delta: np.ndarray,
+    ) -> float:
+        period = coupling.period(type_name)
+        displaced = entry.state.dist.array(type_name) + delta
+        q_new = modulo_max(displaced, period)
+        if not self.global_balancing:
+            q_old = coupling.block_q(entry_index, type_name)
+            return hooke_force(q_old, q_new - q_old, self.lookahead)
+        others = coupling.other_blocks_max(entry_index, type_name)
+        m_new = np.maximum(others, q_new)
+        m_old = coupling.process_max(entry.process_name, type_name)
+        delta_s = m_new - m_old
+        return hooke_force(
+            coupling.system_distribution(type_name), delta_s, self.lookahead
+        )
+
+
+class _GlobalCoupling:
+    """Modulo-transformed and balanced distributions of all global types.
+
+    Maintains, per (block, global type), the block's modulo-max transform
+    ``Q`` (eq. 7); per (process, type) the block maximum ``M`` (eq. 9); and
+    per type the system sum ``S`` over the sharing group (§5.2).
+    """
+
+    def __init__(
+        self,
+        entries: List[_Entry],
+        assignment: ResourceAssignment,
+        periods: PeriodAssignment,
+    ) -> None:
+        self.entries = entries
+        self.assignment = assignment
+        self.periods = periods
+        self._q: Dict[Tuple[int, str], np.ndarray] = {}
+        self._m: Dict[Tuple[str, str], np.ndarray] = {}
+        self._s: Dict[str, np.ndarray] = {}
+        for index, entry in enumerate(entries):
+            for type_name in self._shared_types(entry):
+                self._q[(index, type_name)] = self._fold(index, type_name)
+        for type_name in assignment.global_types:
+            for process_name in assignment.group(type_name):
+                self._rebuild_process(process_name, type_name)
+            self._rebuild_system(type_name)
+
+    # -- queries --------------------------------------------------------
+    def period(self, type_name: str) -> int:
+        return self.periods.period(type_name)
+
+    def is_shared(self, process_name: str, type_name: str) -> bool:
+        return self.assignment.shares_globally(type_name, process_name)
+
+    def block_q(self, entry_index: int, type_name: str) -> np.ndarray:
+        key = (entry_index, type_name)
+        if key not in self._q:
+            self._q[key] = self._fold(entry_index, type_name)
+        return self._q[key]
+
+    def process_max(self, process_name: str, type_name: str) -> np.ndarray:
+        return self._m[(process_name, type_name)]
+
+    def system_distribution(self, type_name: str) -> np.ndarray:
+        return self._s[type_name]
+
+    def other_blocks_max(self, entry_index: int, type_name: str) -> np.ndarray:
+        """Max of the sibling blocks' Q arrays (eq. 9 without this block)."""
+        process_name = self.entries[entry_index].process_name
+        period = self.period(type_name)
+        result = np.zeros(period, dtype=float)
+        for index, entry in enumerate(self.entries):
+            if index == entry_index or entry.process_name != process_name:
+                continue
+            if type_name in entry.state.dist.type_names:
+                np.maximum(result, self.block_q(index, type_name), out=result)
+        return result
+
+    # -- updates ---------------------------------------------------------
+    def refresh(self, entry_index: int, touched_types) -> None:
+        """Re-fold after a committed reduction changed some distributions."""
+        entry = self.entries[entry_index]
+        for type_name in touched_types:
+            if not self.is_shared(entry.process_name, type_name):
+                continue
+            self._q[(entry_index, type_name)] = self._fold(entry_index, type_name)
+            self._rebuild_process(entry.process_name, type_name)
+            self._rebuild_system(type_name)
+
+    # -- internals --------------------------------------------------------
+    def _shared_types(self, entry: _Entry) -> List[str]:
+        return [
+            type_name
+            for type_name in entry.state.dist.type_names
+            if self.is_shared(entry.process_name, type_name)
+        ]
+
+    def _fold(self, entry_index: int, type_name: str) -> np.ndarray:
+        entry = self.entries[entry_index]
+        period = self.period(type_name)
+        if type_name not in entry.state.dist.type_names:
+            return np.zeros(period, dtype=float)
+        return modulo_max(entry.state.dist.array(type_name), period)
+
+    def _rebuild_process(self, process_name: str, type_name: str) -> None:
+        period = self.period(type_name)
+        result = np.zeros(period, dtype=float)
+        for index, entry in enumerate(self.entries):
+            if entry.process_name != process_name:
+                continue
+            if type_name in entry.state.dist.type_names:
+                np.maximum(result, self.block_q(index, type_name), out=result)
+        self._m[(process_name, type_name)] = result
+
+    def _rebuild_system(self, type_name: str) -> None:
+        period = self.period(type_name)
+        result = np.zeros(period, dtype=float)
+        for process_name in self.assignment.group(type_name):
+            result += self._m[(process_name, type_name)]
+        self._s[type_name] = result

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A dataflow graph is malformed (cycles, unknown nodes, bad edges)."""
+
+
+class SpecificationError(ReproError):
+    """A system specification violates the model conditions (C1/C2)."""
+
+
+class ResourceError(ReproError):
+    """A resource type, library, or assignment is inconsistent."""
+
+
+class InfeasibleError(ReproError):
+    """No schedule exists under the given timing constraints."""
+
+
+class PeriodError(ReproError):
+    """A period assignment violates the grid-spacing constraints (eq. 3)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler reached an inconsistent internal state."""
+
+
+class VerificationError(ReproError):
+    """A produced schedule failed static verification."""
+
+
+class BindingError(ReproError):
+    """Operation-to-instance binding failed or is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate simulator detected a protocol violation."""

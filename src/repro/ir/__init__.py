@@ -1,0 +1,23 @@
+"""Intermediate representation: operations, dataflow graphs, processes."""
+
+from .behavior import BehaviorParser, parse_behavior
+from .dfg import DataFlowGraph
+from .expr import ExprBuilder, Value
+from .operation import OpKind, Operation
+from .process import Block, Process, SystemSpec
+from . import systemio, textio
+
+__all__ = [
+    "BehaviorParser",
+    "Block",
+    "DataFlowGraph",
+    "ExprBuilder",
+    "OpKind",
+    "Operation",
+    "Process",
+    "SystemSpec",
+    "Value",
+    "parse_behavior",
+    "systemio",
+    "textio",
+]

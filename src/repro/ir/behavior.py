@@ -1,0 +1,218 @@
+"""Behavioral front end: arithmetic statements compiled to dataflow graphs.
+
+The paper's implementation sits on the Olympus synthesis system, whose
+input is a behavioral HDL.  This module provides the corresponding "front
+door" for this library: a tiny statement language
+
+::
+
+    x1 = x + dx
+    u1 = u - (3 * x) * (u * dx) - (3 * y) * dx
+    flag = x1 < a
+
+compiled directly to a :class:`~repro.ir.dfg.DataFlowGraph`.  Each binary
+operator application becomes one operation node; identifiers defined by an
+earlier statement become data-dependence edges, all other identifiers and
+numeric literals are primary inputs.  The value of statement ``t = ...``
+is produced by the node named ``t`` (intermediates are ``t#1``, ``t#2``,
+…), so generated graphs stay readable.
+
+Grammar (classic precedence, ``*`` over ``+``/``-`` over ``<``)::
+
+    statement := IDENT '=' compare
+    compare   := sum ( '<' sum )?
+    sum       := product ( ('+' | '-') product )*
+    product   := atom ( '*' atom )*
+    atom      := IDENT | NUMBER | '(' compare ')'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GraphError
+from .dfg import DataFlowGraph
+from .operation import OpKind
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<number>\d+(?:\.\d+)?)"
+    r"|(?P<op>[-+*<=()]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise GraphError(f"behavior: cannot tokenize {remainder[:20]!r}")
+        position = match.end()
+        if match.lastgroup == "ident":
+            tokens.append(("ident", match.group("ident")))
+        elif match.lastgroup == "number":
+            tokens.append(("number", match.group("number")))
+        else:
+            tokens.append(("op", match.group("op")))
+    return tokens
+
+
+class BehaviorParser:
+    """Compiles statements into an existing graph with a symbol table."""
+
+    def __init__(
+        self,
+        graph: DataFlowGraph,
+        *,
+        guard: Optional[Tuple[str, str]] = None,
+    ) -> None:
+        self.graph = graph
+        #: name -> producing operation id (None for primary inputs seen)
+        self.symbols: Dict[str, Optional[str]] = {}
+        self.guard = guard
+        self._tokens: List[Tuple[str, str]] = []
+        self._index = 0
+        self._target = ""
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def statement(
+        self, text: str, *, guard: Optional[Tuple[str, str]] = None
+    ) -> str:
+        """Compile one ``target = expression`` statement.
+
+        Returns the operation id producing the target value.  A pure-copy
+        statement (``y = x``) is rejected: there is nothing to schedule.
+        """
+        self._tokens = _tokenize(text)
+        self._index = 0
+        target = self._expect("ident", "target name")
+        if target in self.symbols:
+            raise GraphError(f"behavior: {target!r} assigned twice")
+        equals = self._next()
+        if equals != ("op", "="):
+            raise GraphError(f"behavior: expected '=' after {target!r}")
+        self._target = target
+        self._counter = 0
+        active_guard = guard if guard is not None else self.guard
+        producer = self._compare(active_guard)
+        if producer is None:
+            raise GraphError(
+                f"behavior: statement for {target!r} computes nothing "
+                "(pure copies/constants are not schedulable operations)"
+            )
+        if self._index != len(self._tokens):
+            kind, value = self._tokens[self._index]
+            raise GraphError(f"behavior: trailing input {value!r}")
+        # Rename the final node to the target for readable graphs.
+        self.symbols[target] = producer
+        return producer
+
+    def parse(self, text: str) -> None:
+        """Compile a multi-line behavior (``#`` comments allowed)."""
+        for raw in text.splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                self.statement(line)
+
+    # ------------------------------------------------------------------
+    # Recursive descent
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Optional[Tuple[str, str]]:
+        token = self._peek()
+        if token is not None:
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, what: str) -> str:
+        token = self._next()
+        if token is None or token[0] != kind:
+            raise GraphError(f"behavior: expected {what}")
+        return token[1]
+
+    def _emit(
+        self,
+        kind: OpKind,
+        lhs: Optional[str],
+        rhs: Optional[str],
+        guard: Optional[Tuple[str, str]],
+    ) -> str:
+        self._counter += 1
+        op_id = f"{self._target}#{self._counter}"
+        self.graph.add(op_id, kind, guard=guard)
+        for operand in (lhs, rhs):
+            if operand is not None:
+                self.graph.add_edge(operand, op_id)
+        return op_id
+
+    def _compare(self, guard) -> Optional[str]:
+        left = self._sum(guard)
+        token = self._peek()
+        if token == ("op", "<"):
+            self._next()
+            right = self._sum(guard)
+            return self._emit(OpKind.CMP, left, right, guard)
+        return left
+
+    def _sum(self, guard) -> Optional[str]:
+        left = self._product(guard)
+        while True:
+            token = self._peek()
+            if token == ("op", "+"):
+                self._next()
+                right = self._product(guard)
+                left = self._emit(OpKind.ADD, left, right, guard)
+            elif token == ("op", "-"):
+                self._next()
+                right = self._product(guard)
+                left = self._emit(OpKind.SUB, left, right, guard)
+            else:
+                return left
+
+    def _product(self, guard) -> Optional[str]:
+        left = self._atom(guard)
+        while self._peek() == ("op", "*"):
+            self._next()
+            right = self._atom(guard)
+            left = self._emit(OpKind.MUL, left, right, guard)
+        return left
+
+    def _atom(self, guard) -> Optional[str]:
+        token = self._next()
+        if token is None:
+            raise GraphError("behavior: unexpected end of statement")
+        kind, value = token
+        if kind == "number":
+            return None  # constants are free inputs
+        if kind == "ident":
+            producer = self.symbols.get(value)
+            if value not in self.symbols:
+                self.symbols[value] = None  # primary input
+            return producer
+        if token == ("op", "("):
+            inner = self._compare(guard)
+            if self._next() != ("op", ")"):
+                raise GraphError("behavior: missing ')'")
+            return inner
+        raise GraphError(f"behavior: unexpected token {value!r}")
+
+
+def parse_behavior(text: str, *, name: str = "behavior") -> DataFlowGraph:
+    """Compile a multi-line behavior into a fresh, validated graph."""
+    graph = DataFlowGraph(name=name)
+    parser = BehaviorParser(graph)
+    parser.parse(text)
+    graph.validate()
+    return graph

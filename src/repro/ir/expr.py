@@ -1,0 +1,120 @@
+"""Expression-capture front end for building dataflow graphs.
+
+Instead of enumerating nodes and edges by hand, a behavioral description
+can be written with ordinary Python operators::
+
+    b = ExprBuilder("diffeq")
+    x, y, u, dx, three = b.inputs("x", "y", "u", "dx", "three")
+    x1 = x + dx
+    u1 = u - (three * x) * (u * dx) - (three * y) * dx
+    b.output("x1", x1)
+    b.output("u1", u1)
+    dfg = b.build()
+
+Inputs are free values (they do not become graph nodes); every arithmetic
+operator application creates one operation node and the data-dependence
+edges to the operand-producing operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GraphError
+from .dfg import DataFlowGraph
+from .operation import OpKind
+
+
+class Value:
+    """A value flowing through the expression builder.
+
+    A value either comes from an input (``producer is None``) or from the
+    operation node that computes it.
+    """
+
+    __slots__ = ("builder", "producer", "name")
+
+    def __init__(self, builder: "ExprBuilder", producer: Optional[str], name: str) -> None:
+        self.builder = builder
+        self.producer = producer
+        self.name = name
+
+    def _binary(self, kind: OpKind, other: "Value") -> "Value":
+        if not isinstance(other, Value):
+            raise TypeError(
+                f"operands must be builder values, got {type(other).__name__}; "
+                "use ExprBuilder.constant() for literals"
+            )
+        if other.builder is not self.builder:
+            raise GraphError("cannot combine values from different builders")
+        return self.builder._apply(kind, self, other)
+
+    def __add__(self, other: "Value") -> "Value":
+        return self._binary(OpKind.ADD, other)
+
+    def __sub__(self, other: "Value") -> "Value":
+        return self._binary(OpKind.SUB, other)
+
+    def __mul__(self, other: "Value") -> "Value":
+        return self._binary(OpKind.MUL, other)
+
+    def __lt__(self, other: "Value") -> "Value":
+        return self._binary(OpKind.CMP, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Value({self.name!r})"
+
+
+class ExprBuilder:
+    """Builds a :class:`DataFlowGraph` from operator-overloaded expressions."""
+
+    def __init__(self, name: str = "dfg") -> None:
+        self._graph = DataFlowGraph(name=name)
+        self._counter = 0
+        self._outputs: Dict[str, Value] = {}
+        self._built = False
+
+    def input(self, name: str) -> Value:
+        """Declare a primary input (does not create a graph node)."""
+        return Value(self, producer=None, name=name)
+
+    def inputs(self, *names: str) -> Tuple[Value, ...]:
+        """Declare several primary inputs at once."""
+        return tuple(self.input(n) for n in names)
+
+    def constant(self, literal) -> Value:
+        """Declare a constant; modeled like an input (no node, no latency)."""
+        return Value(self, producer=None, name=f"const({literal})")
+
+    def _apply(self, kind: OpKind, lhs: Value, rhs: Value) -> Value:
+        if self._built:
+            raise GraphError("builder already finalized; create a new ExprBuilder")
+        self._counter += 1
+        op_id = f"n{self._counter}"
+        self._graph.add(op_id, kind)
+        for operand in (lhs, rhs):
+            if operand.producer is not None:
+                self._graph.add_edge(operand.producer, op_id)
+        return Value(self, producer=op_id, name=op_id)
+
+    def output(self, name: str, value: Value) -> None:
+        """Mark a value as a primary output (for documentation; no node)."""
+        if not isinstance(value, Value):
+            raise TypeError("output must be a builder value")
+        if value.builder is not self:
+            raise GraphError("output value belongs to a different builder")
+        self._outputs[name] = value
+
+    @property
+    def outputs(self) -> Dict[str, str]:
+        """Mapping of declared output names to producing operation ids."""
+        return {
+            name: val.producer if val.producer is not None else f"<input {val.name}>"
+            for name, val in self._outputs.items()
+        }
+
+    def build(self) -> DataFlowGraph:
+        """Finalize and return the graph.  The builder becomes read-only."""
+        self._graph.validate()
+        self._built = True
+        return self._graph

@@ -1,0 +1,137 @@
+"""Operations: the atomic schedulable units of a dataflow graph.
+
+An :class:`Operation` carries a stable identifier, an operation kind (what
+function it computes, e.g. addition), and an optional human-readable name.
+The mapping from operation kind to the hardware resource type that executes
+it lives in :mod:`repro.resources`; the IR stays purely behavioral.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class OpKind(enum.Enum):
+    """Behavioral operation kinds supported by the IR.
+
+    The paper's evaluation (§7) restricts itself to addition, subtraction
+    and multiplication (the comparator of the differential equation solver
+    is substituted by a subtraction); the IR supports the common HLS kinds
+    so workloads beyond the paper's can be expressed.
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    CMP = "cmp"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    MOV = "mov"
+    LOAD = "load"
+    STORE = "store"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def symbol(self) -> str:
+        """Short printable symbol, used by table/trace renderers."""
+        return _SYMBOLS.get(self, self.value)
+
+    @classmethod
+    def from_string(cls, text: str) -> "OpKind":
+        """Parse a kind from its value name or printable symbol.
+
+        >>> OpKind.from_string("+") is OpKind.ADD
+        True
+        >>> OpKind.from_string("mul") is OpKind.MUL
+        True
+        """
+        text = text.strip().lower()
+        for kind, symbol in _SYMBOLS.items():
+            if text == symbol:
+                return kind
+        try:
+            return cls(text)
+        except ValueError:
+            raise ValueError(f"unknown operation kind: {text!r}") from None
+
+
+_SYMBOLS = {
+    OpKind.ADD: "+",
+    OpKind.SUB: "-",
+    OpKind.MUL: "*",
+    OpKind.DIV: "/",
+    OpKind.CMP: "<",
+    OpKind.AND: "&",
+    OpKind.OR: "|",
+    OpKind.XOR: "^",
+    OpKind.NOT: "~",
+    OpKind.SHL: "<<",
+    OpKind.SHR: ">>",
+    OpKind.MOV: "=",
+    OpKind.LOAD: "ld",
+    OpKind.STORE: "st",
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One schedulable operation.
+
+    Attributes:
+        op_id: Identifier, unique within its :class:`~repro.ir.dfg.DataFlowGraph`.
+        kind: The behavioral operation kind.
+        name: Optional human-readable label (defaults to ``kind.symbol + op_id``).
+        tags: Free-form labels, e.g. to mark the source statement.
+        guard: Optional ``(condition, branch)`` pair for conditional
+            behavior.  Two operations guarded by the *same condition* but
+            *different branches* are mutually exclusive: at most one of
+            them executes per block activation, so they may share a
+            functional-unit instance even in the same control step
+            (classic FDS conditional handling).  One guard level is
+            supported; nesting is modeled by separate blocks, as in the
+            paper.
+    """
+
+    op_id: str
+    kind: OpKind
+    name: Optional[str] = None
+    tags: Tuple[str, ...] = field(default=())
+    guard: Optional[Tuple[str, str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.op_id:
+            raise ValueError("operation id must be a non-empty string")
+        if not isinstance(self.kind, OpKind):
+            raise TypeError(f"kind must be an OpKind, got {type(self.kind).__name__}")
+        if self.guard is not None:
+            if (
+                not isinstance(self.guard, tuple)
+                or len(self.guard) != 2
+                or not all(isinstance(part, str) and part for part in self.guard)
+            ):
+                raise ValueError(
+                    "guard must be a (condition, branch) pair of non-empty strings"
+                )
+
+    @property
+    def label(self) -> str:
+        """Display label: explicit name if given, else ``<symbol><id>``."""
+        return self.name if self.name else f"{self.kind.symbol}{self.op_id}"
+
+    def excludes(self, other: "Operation") -> bool:
+        """Whether this operation is mutually exclusive with ``other``."""
+        if self.guard is None or other.guard is None:
+            return False
+        return self.guard[0] == other.guard[0] and self.guard[1] != other.guard[1]
+
+    def __str__(self) -> str:
+        return self.label

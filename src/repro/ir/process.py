@@ -1,0 +1,208 @@
+"""Processes, blocks, and system specifications (§3 of the paper).
+
+The paper's model:
+
+* a **block** is a connected subset of a process description whose
+  operations receive statically assigned control steps relative to the
+  block's (unknown) starting time;
+* a **process** is composed of blocks.  Condition **(C1)**: each block on
+  its own must be schedulable by the unmodified algorithm (it is a DAG with
+  a time constraint).  Condition **(C2)**: two blocks of one process that
+  share a resource must never overlap in execution — loop bodies are
+  separate blocks, and anything that may overlap must be modeled as a
+  separate process;
+* a **system** is a set of mutually independent processes, triggered by
+  spontaneous events, with no synchronization points between them.
+
+A block's ``deadline`` is its *time range*: all of its operations must
+finish within ``deadline`` control steps of the block start (the paper's
+"total execution time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SpecificationError
+from .dfg import DataFlowGraph
+from .operation import OpKind, Operation
+
+
+@dataclass
+class Block:
+    """A statically scheduled unit with an unknown absolute start time.
+
+    Attributes:
+        name: Block name, unique within its process.
+        graph: The block's operation set with precedence constraints.
+        deadline: Time range in control steps; every operation must finish
+            by this many steps after the block starts (time constraint of
+            the time-constrained scheduling).
+        repeats: Marks the block as a loop body with unbounded iteration
+            count (documentation for the simulator; the static schedule of
+            a loop body is identical to a plain block per the paper).
+    """
+
+    name: str
+    graph: DataFlowGraph
+    deadline: int
+    repeats: bool = False
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise SpecificationError(
+                f"block {self.name!r}: deadline must be positive, got {self.deadline}"
+            )
+        if len(self.graph) == 0:
+            raise SpecificationError(f"block {self.name!r}: empty operation set")
+        self.graph.validate()
+
+    @property
+    def operations(self) -> List[Operation]:
+        return self.graph.operations
+
+    def kinds_used(self) -> List[OpKind]:
+        """Operation kinds appearing in this block, deterministic order."""
+        seen: List[OpKind] = []
+        for op in self.graph:
+            if op.kind not in seen:
+                seen.append(op.kind)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"Block(name={self.name!r}, ops={len(self.graph)}, deadline={self.deadline})"
+
+
+@dataclass
+class Process:
+    """An independent task: an ordered collection of non-overlapping blocks.
+
+    Blocks of one process are guaranteed (condition C2) never to execute
+    concurrently with each other; their relative start times may still be
+    unknown at synthesis time (e.g. separated by data-dependent waits or
+    loops with unbounded iteration count).
+    """
+
+    name: str
+    blocks: List[Block] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [b.name for b in self.blocks]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"process {self.name!r}: duplicate block names")
+
+    def add_block(self, block: Block) -> Block:
+        if any(b.name == block.name for b in self.blocks):
+            raise SpecificationError(
+                f"process {self.name!r}: duplicate block name {block.name!r}"
+            )
+        self.blocks.append(block)
+        return block
+
+    def block(self, name: str) -> Block:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise SpecificationError(f"process {self.name!r}: no block named {name!r}")
+
+    def kinds_used(self) -> List[OpKind]:
+        """Operation kinds appearing anywhere in this process."""
+        seen: List[OpKind] = []
+        for block in self.blocks:
+            for kind in block.kinds_used():
+                if kind not in seen:
+                    seen.append(kind)
+        return seen
+
+    @property
+    def operation_count(self) -> int:
+        return sum(len(b.graph) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"Process(name={self.name!r}, blocks={len(self.blocks)})"
+
+
+class SystemSpec:
+    """A group of mutually independent processes (the scheduling scope).
+
+    This is the whole-system view the paper extends scheduling to:
+    "the scope of the scheduling is extended to the processes of the whole
+    system" (§1).
+    """
+
+    def __init__(self, name: str = "system") -> None:
+        self.name = name
+        self._processes: Dict[str, Process] = {}
+
+    def add_process(self, process: Process) -> Process:
+        if process.name in self._processes:
+            raise SpecificationError(f"duplicate process name {process.name!r}")
+        if not process.blocks:
+            raise SpecificationError(f"process {process.name!r} has no blocks")
+        self._processes[process.name] = process
+        return process
+
+    def process(self, name: str) -> Process:
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise SpecificationError(f"no process named {name!r}") from None
+
+    @property
+    def processes(self) -> List[Process]:
+        return list(self._processes.values())
+
+    @property
+    def process_names(self) -> List[str]:
+        return list(self._processes.keys())
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processes
+
+    def iter_blocks(self) -> Iterator[Tuple[Process, Block]]:
+        """Iterate ``(process, block)`` pairs across the whole system."""
+        for process in self._processes.values():
+            for block in process.blocks:
+                yield process, block
+
+    @property
+    def operation_count(self) -> int:
+        return sum(p.operation_count for p in self._processes.values())
+
+    def kinds_used(self) -> List[OpKind]:
+        seen: List[OpKind] = []
+        for process in self._processes.values():
+            for kind in process.kinds_used():
+                if kind not in seen:
+                    seen.append(kind)
+        return seen
+
+    def processes_using(self, kind: OpKind) -> List[str]:
+        """Names of processes containing at least one operation of ``kind``."""
+        return [p.name for p in self._processes.values() if kind in p.kinds_used()]
+
+    def validate(self, latency_of=None) -> None:
+        """Check specification invariants.
+
+        With ``latency_of`` given (a callable ``Operation -> int``),
+        additionally checks condition (C1) feasibility: each block's
+        critical path must fit its deadline.
+        """
+        if not self._processes:
+            raise SpecificationError(f"system {self.name!r} has no processes")
+        for process, block in self.iter_blocks():
+            block.graph.validate()
+            if latency_of is not None:
+                needed = block.graph.critical_path_length(latency_of)
+                if needed > block.deadline:
+                    raise SpecificationError(
+                        f"process {process.name!r} block {block.name!r}: critical "
+                        f"path {needed} exceeds deadline {block.deadline} (C1 violated)"
+                    )
+
+    def __repr__(self) -> str:
+        return f"SystemSpec(name={self.name!r}, processes={len(self._processes)})"

@@ -1,0 +1,306 @@
+"""Plain-text serialization for whole system specifications.
+
+Extends the ``.dfg`` graph format (:mod:`repro.ir.textio`) to a ``.sys``
+format describing a complete scheduling problem: the resource library,
+the processes with their blocks and deadlines, the scope assignment (S1)
+and the periods (S2).  One directive per line::
+
+    system radar
+    resource adder    kinds=add       latency=1 area=1
+    resource mult     kinds=mul       latency=2 area=4 pipelined ii=1
+    process p1
+    block p1 main deadline=12 repeats
+    op p1 main a1 add
+    op p1 main m1 mul
+    edge p1 main a1 m1
+    global mult p1 p2
+    period mult 6
+
+This is what the command-line interface consumes, and it lets scheduling
+problems be shipped as a single reviewable text file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GraphError, SpecificationError
+from .dfg import DataFlowGraph
+from .operation import OpKind
+from .process import Block, Process, SystemSpec
+
+
+class SystemDocument:
+    """A parsed ``.sys`` file: system plus resource/scope/period data.
+
+    The resource and period information is kept as plain data here so the
+    IR layer stays free of dependencies on the resources/core packages;
+    :func:`repro.api.load_problem` turns a document into live objects.
+    """
+
+    def __init__(self) -> None:
+        self.name: str = "system"
+        #: type name -> options dict (kinds, latency, area, pipelined, ii)
+        self.resources: Dict[str, Dict[str, object]] = {}
+        #: process name -> block name -> (graph, deadline, repeats)
+        self.blocks: Dict[str, Dict[str, Tuple[DataFlowGraph, int, bool]]] = {}
+        self.process_order: List[str] = []
+        #: type name -> process group
+        self.globals: Dict[str, List[str]] = {}
+        #: type name -> period
+        self.periods: Dict[str, int] = {}
+        #: per-block behavioral parsers (for the ``stmt`` directive)
+        self._parsers: Dict[Tuple[str, str], object] = {}
+
+    def build_system(self) -> SystemSpec:
+        """Materialize the :class:`SystemSpec` described by the document."""
+        system = SystemSpec(name=self.name)
+        for process_name in self.process_order:
+            process = Process(name=process_name)
+            for block_name, (graph, deadline, repeats) in self.blocks[
+                process_name
+            ].items():
+                graph.validate()
+                process.add_block(
+                    Block(
+                        name=block_name,
+                        graph=graph,
+                        deadline=deadline,
+                        repeats=repeats,
+                    )
+                )
+            system.add_process(process)
+        return system
+
+
+def loads(text: str) -> SystemDocument:
+    """Parse a ``.sys`` document.  Raises :class:`SpecificationError`."""
+    doc = SystemDocument()
+    named = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        directive, args = fields[0].lower(), fields[1:]
+        try:
+            if directive == "stmt":
+                _parse_stmt(doc, line)
+            else:
+                _dispatch(doc, directive, args, named)
+        except (GraphError, SpecificationError, ValueError) as exc:
+            raise SpecificationError(f"line {lineno}: {exc}") from None
+        if directive == "system":
+            named = True
+    return doc
+
+
+def _parse_stmt(doc: SystemDocument, line: str) -> None:
+    """``stmt PROCESS BLOCK [guard=c:b] target = expression``.
+
+    Statements compile through the behavioral front end
+    (:mod:`repro.ir.behavior`); one symbol table lives per block, so later
+    statements may consume earlier targets.
+    """
+    from .behavior import BehaviorParser
+
+    fields = line.split(None, 3)
+    if len(fields) < 4:
+        raise SpecificationError(
+            "'stmt' takes PROCESS BLOCK [guard=c:b] TARGET = EXPR"
+        )
+    __, process_name, block_name, rest = fields
+    graph = _graph_of(doc, [process_name, block_name])
+    guard = None
+    if rest.startswith("guard="):
+        guard_text, __, rest = rest.partition(" ")
+        value = guard_text.split("=", 1)[1]
+        if ":" not in value:
+            raise SpecificationError("guard must be CONDITION:BRANCH")
+        condition, branch = value.split(":", 1)
+        guard = (condition, branch)
+    key = (process_name, block_name)
+    parser = doc._parsers.get(key)
+    if parser is None:
+        parser = BehaviorParser(graph)
+        doc._parsers[key] = parser
+    # Nodes declared through 'op' directives are usable as identifiers.
+    for op_id in graph.op_ids:
+        parser.symbols.setdefault(op_id, op_id)
+    parser.statement(rest, guard=guard)
+
+
+def _dispatch(
+    doc: SystemDocument, directive: str, args: List[str], named: bool
+) -> None:
+    if directive == "system":
+        if len(args) != 1:
+            raise SpecificationError("'system' takes exactly one name")
+        if not named:
+            doc.name = args[0]
+    elif directive == "resource":
+        _parse_resource(doc, args)
+    elif directive == "process":
+        if len(args) != 1:
+            raise SpecificationError("'process' takes exactly one name")
+        if args[0] in doc.blocks:
+            raise SpecificationError(f"duplicate process {args[0]!r}")
+        doc.blocks[args[0]] = {}
+        doc.process_order.append(args[0])
+    elif directive == "block":
+        _parse_block(doc, args)
+    elif directive == "op":
+        graph = _graph_of(doc, args[:2])
+        if len(args) < 4:
+            raise SpecificationError(
+                "'op' takes PROCESS BLOCK ID KIND [NAME] [guard=c:b]"
+            )
+        kind = OpKind.from_string(args[3])
+        name = None
+        guard = None
+        for token in args[4:]:
+            if token.startswith("guard="):
+                value = token.split("=", 1)[1]
+                if ":" not in value:
+                    raise SpecificationError("guard must be CONDITION:BRANCH")
+                condition, branch = value.split(":", 1)
+                guard = (condition, branch)
+            elif name is None:
+                name = token
+            else:
+                raise SpecificationError("too many tokens for 'op'")
+        graph.add(args[2], kind, name=name, guard=guard)
+    elif directive == "edge":
+        graph = _graph_of(doc, args[:2])
+        if len(args) != 4:
+            raise SpecificationError("'edge' takes PROCESS BLOCK SRC DST")
+        graph.add_edge(args[2], args[3])
+    elif directive == "global":
+        if len(args) < 3:
+            raise SpecificationError("'global' takes TYPE P1 P2 [P3 ...]")
+        doc.globals[args[0]] = args[1:]
+    elif directive == "period":
+        if len(args) != 2:
+            raise SpecificationError("'period' takes TYPE VALUE")
+        doc.periods[args[0]] = int(args[1])
+    else:
+        raise SpecificationError(f"unknown directive {directive!r}")
+
+
+def _parse_resource(doc: SystemDocument, args: List[str]) -> None:
+    if not args:
+        raise SpecificationError("'resource' needs a type name")
+    name = args[0]
+    if name in doc.resources:
+        raise SpecificationError(f"duplicate resource {name!r}")
+    options: Dict[str, object] = {
+        "kinds": [],
+        "latency": 1,
+        "area": 1.0,
+        "pipelined": False,
+        "ii": 1,
+    }
+    for token in args[1:]:
+        if token == "pipelined":
+            options["pipelined"] = True
+        elif "=" in token:
+            key, value = token.split("=", 1)
+            if key == "kinds":
+                options["kinds"] = [OpKind.from_string(k) for k in value.split(",")]
+            elif key == "latency":
+                options["latency"] = int(value)
+            elif key == "area":
+                options["area"] = float(value)
+            elif key == "ii":
+                options["ii"] = int(value)
+            else:
+                raise SpecificationError(f"unknown resource option {key!r}")
+        else:
+            raise SpecificationError(f"malformed resource option {token!r}")
+    if not options["kinds"]:
+        raise SpecificationError(f"resource {name!r} declares no kinds")
+    doc.resources[name] = options
+
+
+def _parse_block(doc: SystemDocument, args: List[str]) -> None:
+    if len(args) < 3:
+        raise SpecificationError("'block' takes PROCESS NAME deadline=N [repeats]")
+    process_name, block_name = args[0], args[1]
+    if process_name not in doc.blocks:
+        raise SpecificationError(f"unknown process {process_name!r}")
+    if block_name in doc.blocks[process_name]:
+        raise SpecificationError(f"duplicate block {block_name!r}")
+    deadline: Optional[int] = None
+    repeats = False
+    for token in args[2:]:
+        if token == "repeats":
+            repeats = True
+        elif token.startswith("deadline="):
+            deadline = int(token.split("=", 1)[1])
+        else:
+            raise SpecificationError(f"malformed block option {token!r}")
+    if deadline is None:
+        raise SpecificationError("'block' requires deadline=N")
+    graph = DataFlowGraph(name=f"{process_name}-{block_name}")
+    doc.blocks[process_name][block_name] = (graph, deadline, repeats)
+
+
+def _graph_of(doc: SystemDocument, args: List[str]) -> DataFlowGraph:
+    if len(args) < 2:
+        raise SpecificationError("missing PROCESS BLOCK prefix")
+    process_name, block_name = args
+    try:
+        return doc.blocks[process_name][block_name][0]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown block {process_name}/{block_name}"
+        ) from None
+
+
+def dumps(
+    system: SystemSpec,
+    *,
+    resources: Optional[Dict[str, Dict[str, object]]] = None,
+    global_groups: Optional[Dict[str, List[str]]] = None,
+    periods: Optional[Dict[str, int]] = None,
+) -> str:
+    """Serialize a system (and optional scheduling data) to ``.sys`` text."""
+    lines = [f"system {system.name}"]
+    for name, options in (resources or {}).items():
+        kinds = ",".join(k.value for k in options.get("kinds", []))
+        parts = [f"resource {name}", f"kinds={kinds}"]
+        parts.append(f"latency={options.get('latency', 1)}")
+        parts.append(f"area={options.get('area', 1.0):g}")
+        if options.get("pipelined"):
+            parts.append("pipelined")
+            parts.append(f"ii={options.get('ii', 1)}")
+        lines.append(" ".join(parts))
+    for process in system.processes:
+        lines.append(f"process {process.name}")
+        for block in process.blocks:
+            suffix = " repeats" if block.repeats else ""
+            lines.append(
+                f"block {process.name} {block.name} deadline={block.deadline}{suffix}"
+            )
+            for op in block.graph:
+                name_part = f" {op.name}" if op.name else ""
+                guard_part = (
+                    f" guard={op.guard[0]}:{op.guard[1]}" if op.guard else ""
+                )
+                lines.append(
+                    f"op {process.name} {block.name} {op.op_id} "
+                    f"{op.kind.value}{name_part}{guard_part}"
+                )
+            for src, dst in block.graph.edges:
+                lines.append(f"edge {process.name} {block.name} {src} {dst}")
+    for type_name, group in (global_groups or {}).items():
+        lines.append(f"global {type_name} " + " ".join(group))
+    for type_name, period in (periods or {}).items():
+        lines.append(f"period {type_name} {period}")
+    return "\n".join(lines) + "\n"
+
+
+def load(path) -> SystemDocument:
+    """Parse a ``.sys`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,109 @@
+"""Plain-text serialization for dataflow graphs.
+
+The format is deliberately tiny — one directive per line::
+
+    # comment
+    dfg diffeq
+    op m1 mul
+    op a1 add
+    edge m1 a1
+
+Directives:
+
+* ``dfg NAME`` — optional, names the graph (first occurrence wins);
+* ``op ID KIND [NAME]`` — declares an operation; KIND is an
+  :class:`~repro.ir.operation.OpKind` value name or symbol (``add`` / ``+``);
+* ``edge SRC DST`` — declares a precedence edge.
+
+This exists so workloads can be shipped or exchanged as text files and so
+graphs survive round-trips in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import GraphError
+from .dfg import DataFlowGraph
+from .operation import OpKind
+
+
+def dumps(graph: DataFlowGraph) -> str:
+    """Serialize a graph to the text format (deterministic order)."""
+    lines: List[str] = [f"dfg {graph.name}"]
+    for op in graph:
+        parts = [f"op {op.op_id} {op.kind.value}"]
+        if op.name:
+            parts.append(op.name)
+        if op.guard is not None:
+            parts.append(f"guard={op.guard[0]}:{op.guard[1]}")
+        lines.append(" ".join(parts))
+    for src, dst in graph.edges:
+        lines.append(f"edge {src} {dst}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> DataFlowGraph:
+    """Parse a graph from the text format.  Raises :class:`GraphError` on syntax errors."""
+    graph: DataFlowGraph = DataFlowGraph()
+    named = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        directive, args = fields[0].lower(), fields[1:]
+        if directive == "dfg":
+            if len(args) != 1:
+                raise GraphError(f"line {lineno}: 'dfg' takes exactly one name")
+            if not named:
+                graph.name = args[0]
+                named = True
+        elif directive == "op":
+            if len(args) < 2:
+                raise GraphError(
+                    f"line {lineno}: 'op' takes ID KIND [NAME] [guard=c:b]"
+                )
+            op_id, kind_text = args[0], args[1]
+            try:
+                kind = OpKind.from_string(kind_text)
+            except ValueError as exc:
+                raise GraphError(f"line {lineno}: {exc}") from None
+            name = None
+            guard = None
+            for token in args[2:]:
+                if token.startswith("guard="):
+                    value = token.split("=", 1)[1]
+                    if ":" not in value:
+                        raise GraphError(
+                            f"line {lineno}: guard must be CONDITION:BRANCH"
+                        )
+                    condition, branch = value.split(":", 1)
+                    guard = (condition, branch)
+                elif name is None:
+                    name = token
+                else:
+                    raise GraphError(
+                        f"line {lineno}: too many tokens for 'op'"
+                    )
+            graph.add(op_id, kind, name=name, guard=guard)
+        elif directive == "edge":
+            if len(args) != 2:
+                raise GraphError(f"line {lineno}: 'edge' takes SRC DST")
+            graph.add_edge(args[0], args[1])
+        else:
+            raise GraphError(f"line {lineno}: unknown directive {directive!r}")
+    graph.validate()
+    return graph
+
+
+def dump(graph: DataFlowGraph, path) -> None:
+    """Serialize a graph to a file path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(graph))
+
+
+def load(path) -> DataFlowGraph:
+    """Parse a graph from a file path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,14 @@
+"""Resource model: functional-unit types, libraries, scope assignment (S1)."""
+
+from .assignment import ResourceAssignment
+from .library import ResourceLibrary, alu_library, default_library
+from .types import ResourceType, resource_type
+
+__all__ = [
+    "ResourceAssignment",
+    "ResourceLibrary",
+    "ResourceType",
+    "alu_library",
+    "default_library",
+    "resource_type",
+]

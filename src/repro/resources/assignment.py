@@ -1,0 +1,139 @@
+"""Step (S1): assignment of resource types to processes.
+
+For every resource type a decision between a **local** and a **global**
+assignment is made (§3.1).  A local assignment keeps the traditional
+per-process resource pools.  A global assignment declares a *process
+group*: the named processes share one pool of instances of that type,
+which is exactly what traditional static scheduling cannot express.
+
+In the paper's notation: ``R`` is the set of all resource types, ``P`` the
+set of all processes, ``R_g`` the globally assigned types, ``uses(k)`` the
+processes containing operations of type ``k``, and ``G_p`` the global types
+assigned to process ``p``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ResourceError
+from ..ir.process import SystemSpec
+from .library import ResourceLibrary
+from .types import ResourceType
+
+
+class ResourceAssignment:
+    """Local/global scope decisions for every resource type of a library."""
+
+    def __init__(self, library: ResourceLibrary) -> None:
+        self.library = library
+        self._groups: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+    def make_global(self, type_name: str, processes: Sequence[str]) -> None:
+        """Declare ``type_name`` globally shared by the given process group.
+
+        The group must contain at least two processes — a "global" type
+        shared by a single process is just a local assignment.
+        """
+        self.library.type(type_name)  # raises on unknown type
+        group = list(dict.fromkeys(processes))
+        if len(group) < 2:
+            raise ResourceError(
+                f"global assignment of {type_name!r} needs a group of >= 2 "
+                f"processes, got {group}"
+            )
+        self._groups[type_name] = group
+
+    def make_local(self, type_name: str) -> None:
+        """Revert ``type_name`` to the traditional per-process assignment."""
+        self.library.type(type_name)
+        self._groups.pop(type_name, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_global(self, type_name: str) -> bool:
+        return type_name in self._groups
+
+    def group(self, type_name: str) -> List[str]:
+        """The process group sharing ``type_name`` (empty if local)."""
+        return list(self._groups.get(type_name, []))
+
+    @property
+    def global_types(self) -> List[str]:
+        """Names of all globally assigned types (the paper's ``R_g``)."""
+        return list(self._groups.keys())
+
+    def global_types_of(self, process_name: str) -> List[str]:
+        """Global types assigned to one process (the paper's ``G_p``)."""
+        return [t for t, group in self._groups.items() if process_name in group]
+
+    def shares_globally(self, type_name: str, process_name: str) -> bool:
+        """Whether ``process_name`` takes part in global sharing of the type."""
+        return process_name in self._groups.get(type_name, ())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, system: SystemSpec) -> None:
+        """Check group membership against the system specification.
+
+        Every group member must exist and actually use the type; a process
+        in the group that never executes the type's kinds would get useless
+        authorizations (and points at a specification mistake).
+        """
+        self.library.covers(system)
+        for type_name, group in self._groups.items():
+            rtype = self.library.type(type_name)
+            users = self._users(system, rtype)
+            for process_name in group:
+                if process_name not in system:
+                    raise ResourceError(
+                        f"global type {type_name!r}: unknown process {process_name!r}"
+                    )
+                if process_name not in users:
+                    raise ResourceError(
+                        f"global type {type_name!r}: process {process_name!r} "
+                        f"contains no operation executed by this type"
+                    )
+
+    def _users(self, system: SystemSpec, rtype: ResourceType) -> List[str]:
+        users: List[str] = []
+        for kind in rtype.kinds:
+            for name in system.processes_using(kind):
+                if name not in users:
+                    users.append(name)
+        return users
+
+    def users(self, system: SystemSpec, type_name: str) -> List[str]:
+        """All processes using the type (the paper's ``uses(k)``)."""
+        return self._users(system, self.library.type(type_name))
+
+    @classmethod
+    def all_local(cls, library: ResourceLibrary) -> "ResourceAssignment":
+        """The traditional assignment: every type local (the baseline)."""
+        return cls(library)
+
+    @classmethod
+    def all_global(
+        cls, library: ResourceLibrary, system: SystemSpec
+    ) -> "ResourceAssignment":
+        """Assign every type used by >= 2 processes globally to all its users.
+
+        This is the "pure global resource assignment" of the paper's
+        experiment (§7), generalized to any system.
+        """
+        assignment = cls(library)
+        for rtype in library.types:
+            users = assignment._users(system, rtype)
+            if len(users) >= 2:
+                assignment.make_global(rtype.name, users)
+        return assignment
+
+    def __repr__(self) -> str:
+        scopes = {t.name: ("global" if self.is_global(t.name) else "local")
+                  for t in self.library.types}
+        return f"ResourceAssignment({scopes})"

@@ -1,0 +1,142 @@
+"""Resource libraries: the set of available functional-unit types.
+
+A :class:`ResourceLibrary` maps behavioral operation kinds to the resource
+type that executes them.  Each kind is served by exactly one type (the
+classic HLS "module selection is done" assumption the paper also makes);
+one type may serve several kinds (e.g. an ALU doing add and sub).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ResourceError
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind, Operation
+from ..ir.process import SystemSpec
+from .types import ResourceType, resource_type
+
+
+class ResourceLibrary:
+    """A collection of resource types with a kind -> type mapping."""
+
+    def __init__(self, types: Iterable[ResourceType] = ()) -> None:
+        self._types: Dict[str, ResourceType] = {}
+        self._by_kind: Dict[OpKind, ResourceType] = {}
+        for rtype in types:
+            self.add(rtype)
+
+    def add(self, rtype: ResourceType) -> ResourceType:
+        """Register a type.  Each operation kind may be served by one type only."""
+        if rtype.name in self._types:
+            raise ResourceError(f"duplicate resource type name {rtype.name!r}")
+        for kind in rtype.kinds:
+            if kind in self._by_kind:
+                raise ResourceError(
+                    f"operation kind {kind} already served by "
+                    f"{self._by_kind[kind].name!r}; cannot also map to {rtype.name!r}"
+                )
+        self._types[rtype.name] = rtype
+        for kind in rtype.kinds:
+            self._by_kind[kind] = rtype
+        return rtype
+
+    @property
+    def types(self) -> List[ResourceType]:
+        return list(self._types.values())
+
+    @property
+    def type_names(self) -> List[str]:
+        return list(self._types.keys())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def type(self, name: str) -> ResourceType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ResourceError(f"no resource type named {name!r}") from None
+
+    def type_for(self, kind: OpKind) -> ResourceType:
+        """The resource type executing operations of ``kind``."""
+        try:
+            return self._by_kind[kind]
+        except KeyError:
+            raise ResourceError(f"no resource type executes {kind}") from None
+
+    def type_of(self, op: Operation) -> ResourceType:
+        """The resource type executing a concrete operation."""
+        return self.type_for(op.kind)
+
+    def latency_of(self, op: Operation) -> int:
+        """Latency of an operation under this library (for precedence)."""
+        return self.type_of(op).latency
+
+    def occupancy_of(self, op: Operation) -> int:
+        """Occupancy of an operation under this library (for usage)."""
+        return self.type_of(op).occupancy
+
+    def types_used_by(self, graph: DataFlowGraph) -> List[ResourceType]:
+        """Resource types needed by a graph, in deterministic order."""
+        seen: List[ResourceType] = []
+        for op in graph:
+            rtype = self.type_of(op)
+            if rtype not in seen:
+                seen.append(rtype)
+        return seen
+
+    def covers(self, system: SystemSpec) -> None:
+        """Raise :class:`ResourceError` unless every kind used has a type."""
+        for kind in system.kinds_used():
+            self.type_for(kind)
+
+
+def default_library() -> ResourceLibrary:
+    """The library of the paper's experiment (§7).
+
+    Addition and subtraction: unit delay, area 1.  Multiplication: pipelined,
+    latency 2, initiation interval 1, area 4.  A unit-delay comparator is
+    included for workloads that do not apply the paper's cmp-to-sub
+    substitution.
+    """
+    return ResourceLibrary(
+        [
+            resource_type("adder", [OpKind.ADD], latency=1, area=1.0),
+            resource_type("subtracter", [OpKind.SUB], latency=1, area=1.0),
+            resource_type(
+                "multiplier",
+                [OpKind.MUL],
+                latency=2,
+                area=4.0,
+                pipelined=True,
+                initiation_interval=1,
+            ),
+            resource_type("comparator", [OpKind.CMP], latency=1, area=1.0),
+        ]
+    )
+
+
+def alu_library() -> ResourceLibrary:
+    """An alternative library where one ALU serves add/sub/compare.
+
+    Useful for exercising multi-kind resource types in tests and ablations.
+    """
+    return ResourceLibrary(
+        [
+            resource_type(
+                "alu", [OpKind.ADD, OpKind.SUB, OpKind.CMP], latency=1, area=1.5
+            ),
+            resource_type(
+                "multiplier",
+                [OpKind.MUL],
+                latency=2,
+                area=4.0,
+                pipelined=True,
+                initiation_interval=1,
+            ),
+        ]
+    )

@@ -1,0 +1,98 @@
+"""Hardware resource types.
+
+A :class:`ResourceType` describes one kind of functional unit: which
+behavioral operations it executes, how long an operation takes (latency),
+whether the unit is pipelined, and its area cost.  The paper's evaluation
+uses unit-delay adders/subtracters (area 1) and a two-cycle pipelined
+multiplier (area 4).
+
+Two distinct time quantities matter for scheduling:
+
+* **latency** — control steps until the result is available; precedence
+  constraints use this;
+* **occupancy** — control steps during which the unit is busy and cannot
+  accept another operation.  For a pipelined unit this is the initiation
+  interval (1 unless stated otherwise); for a non-pipelined multicycle unit
+  it equals the latency.  Resource usage distributions use this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from ..errors import ResourceError
+from ..ir.operation import OpKind
+
+
+@dataclass(frozen=True)
+class ResourceType:
+    """One functional-unit type.
+
+    Attributes:
+        name: Unique name within a library (e.g. ``"mult"``).
+        kinds: Operation kinds this unit can execute.
+        latency: Control steps from operation start to result availability.
+        area: Area cost of one instance (arbitrary units).
+        pipelined: Whether the unit accepts a new operation every
+            ``initiation_interval`` steps while earlier ones are in flight.
+        initiation_interval: Steps between successive operation starts on a
+            pipelined unit; ignored for non-pipelined units.
+    """
+
+    name: str
+    kinds: FrozenSet[OpKind]
+    latency: int = 1
+    area: float = 1.0
+    pipelined: bool = False
+    initiation_interval: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ResourceError("resource type needs a non-empty name")
+        if not self.kinds:
+            raise ResourceError(f"resource type {self.name!r} implements no operation kinds")
+        if self.latency < 1:
+            raise ResourceError(f"resource type {self.name!r}: latency must be >= 1")
+        if self.area < 0:
+            raise ResourceError(f"resource type {self.name!r}: area must be >= 0")
+        if self.initiation_interval < 1:
+            raise ResourceError(
+                f"resource type {self.name!r}: initiation interval must be >= 1"
+            )
+        if self.pipelined and self.initiation_interval > self.latency:
+            raise ResourceError(
+                f"resource type {self.name!r}: initiation interval exceeds latency"
+            )
+
+    @property
+    def occupancy(self) -> int:
+        """Control steps one operation keeps the unit busy."""
+        return self.initiation_interval if self.pipelined else self.latency
+
+    def executes(self, kind: OpKind) -> bool:
+        """Whether this unit type can execute operations of ``kind``."""
+        return kind in self.kinds
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def resource_type(
+    name: str,
+    kinds: Iterable[OpKind],
+    *,
+    latency: int = 1,
+    area: float = 1.0,
+    pipelined: bool = False,
+    initiation_interval: int = 1,
+) -> ResourceType:
+    """Convenience constructor accepting any iterable of kinds."""
+    return ResourceType(
+        name=name,
+        kinds=frozenset(kinds),
+        latency=latency,
+        area=area,
+        pipelined=pipelined,
+        initiation_interval=initiation_interval,
+    )

@@ -1,0 +1,13 @@
+"""RTL backend: controllers, datapath units, authorization ROMs, HDL text."""
+
+from .design import ControllerSpec, IssueSpec, RTLDesign, UnitSpec, build_rtl
+from .verilog import emit_verilog
+
+__all__ = [
+    "ControllerSpec",
+    "IssueSpec",
+    "RTLDesign",
+    "UnitSpec",
+    "build_rtl",
+    "emit_verilog",
+]

@@ -1,0 +1,296 @@
+"""RTL-level design model derived from a bound system schedule.
+
+The end product of the paper's flow is hardware: per process a finite
+state machine controller stepping through the block schedule, a datapath
+of functional-unit instances (shared global pools plus per-process local
+units), and — in place of any runtime arbiter — per-process
+*authorization ROMs* holding the periodic access grants.  This module
+derives that structure from a :class:`~repro.core.result.SystemSchedule`
+plus its :class:`~repro.binding.instances.InstanceBinding` and
+cross-checks its consistency; :mod:`repro.rtl.verilog` renders it as
+readable HDL text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import BindingError
+from ..binding.instances import InstanceBinding
+from ..core.result import SystemSchedule
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One functional-unit instance in the datapath."""
+
+    name: str
+    type_name: str
+    scope: str  # "global" or the owning process name
+    index: int
+    occupancy: int = 1  # busy steps per issued operation
+
+
+@dataclass(frozen=True)
+class IssueSpec:
+    """One operation issue: at FSM state ``state``, start ``op_id`` on ``unit``.
+
+    ``guard`` carries the operation's ``(condition, branch)`` pair when
+    the issue is conditional; two issues with the same condition but
+    different branches are mutually exclusive and may target one unit in
+    the same state.
+    """
+
+    state: int
+    op_id: str
+    op_label: str
+    unit: str
+    guard: Optional[Tuple[str, str]] = None
+
+    def excludes(self, other: "IssueSpec") -> bool:
+        if self.guard is None or other.guard is None:
+            return False
+        return self.guard[0] == other.guard[0] and self.guard[1] != other.guard[1]
+
+
+@dataclass
+class ControllerSpec:
+    """The FSM of one block: a linear state sequence with issue slots.
+
+    ``offset`` is the process's start-grid offset: the block may start
+    only at absolute times ≡ offset (mod ``grid``), so FSM state ``s``
+    always executes at absolute period slot ``(s + offset) mod P``.
+    """
+
+    process: str
+    block: str
+    n_states: int
+    grid: int
+    offset: int = 0
+    issues: List[IssueSpec] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"{self.process}_{self.block}_ctrl"
+
+    def issues_at(self, state: int) -> List[IssueSpec]:
+        return [issue for issue in self.issues if issue.state == state]
+
+
+@dataclass
+class RTLDesign:
+    """Complete derived design: units, controllers, authorization ROMs."""
+
+    system_name: str
+    units: List[UnitSpec]
+    controllers: List[ControllerSpec]
+    #: type name -> (period, process -> per-slot grant counts)
+    authorization_roms: Dict[str, Tuple[int, Dict[str, List[int]]]]
+    #: global types whose processes own fixed (slot-independent) id ranges
+    #: sized by their peak grant — required for multicycle units (see
+    #: :class:`repro.binding.AccessAuthorizationTable`)
+    fixed_range_types: frozenset = frozenset()
+
+    def unit(self, name: str) -> UnitSpec:
+        for unit in self.units:
+            if unit.name == name:
+                return unit
+        raise BindingError(f"no unit named {name!r}")
+
+    def units_of_type(self, type_name: str) -> List[UnitSpec]:
+        return [u for u in self.units if u.type_name == type_name]
+
+    def controller(self, process: str, block: str) -> ControllerSpec:
+        for ctrl in self.controllers:
+            if ctrl.process == process and ctrl.block == block:
+                return ctrl
+        raise BindingError(f"no controller for {process}/{block}")
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+    def consistency_check(self) -> None:
+        """Cross-check the derived structure; raises :class:`BindingError`.
+
+        * every issue targets an existing unit of a type;
+        * a controller never issues two operations on one unit in one state;
+        * global-unit issues stay within the process's authorization ROM
+          grant at the issue state's period slot.
+        """
+        unit_names = {unit.name for unit in self.units}
+        for ctrl in self.controllers:
+            for state in range(ctrl.n_states):
+                used: Dict[str, List[IssueSpec]] = {}
+                for issue in ctrl.issues_at(state):
+                    if issue.unit not in unit_names:
+                        raise BindingError(
+                            f"{ctrl.name}: unknown unit {issue.unit!r}"
+                        )
+                    for holder in used.get(issue.unit, ()):
+                        if not issue.excludes(holder):
+                            raise BindingError(
+                                f"{ctrl.name} state {state}: unit "
+                                f"{issue.unit!r} issued to both "
+                                f"{holder.op_id!r} and {issue.op_id!r}"
+                            )
+                    used.setdefault(issue.unit, []).append(issue)
+            self._check_authorizations(ctrl)
+        self._check_cross_process_units()
+
+    def _check_authorizations(self, ctrl: ControllerSpec) -> None:
+        for issue in ctrl.issues:
+            unit = self.unit(issue.unit)
+            if unit.scope != "global":
+                continue
+            if unit.type_name in self.fixed_range_types:
+                # Multicycle types are pooled by the periodic conflict
+                # coloring; cross-process safety is checked unit-wise in
+                # _check_cross_process_units instead of by id ranges.
+                continue
+            period, grants = self.authorization_roms[unit.type_name]
+            slot = (issue.state + ctrl.offset) % period
+            granted = grants.get(ctrl.process, [0] * period)[slot]
+            # The unit index must lie inside the process's granted range.
+            offset = 0
+            for process_name, counts in grants.items():
+                if process_name == ctrl.process:
+                    break
+                offset += counts[slot]
+            if not offset <= unit.index < offset + granted:
+                raise BindingError(
+                    f"{ctrl.name} state {issue.state}: unit {unit.name!r} "
+                    f"outside the authorized range of {ctrl.process!r} at "
+                    f"slot {slot}"
+                )
+
+    def _check_cross_process_units(self) -> None:
+        """No two processes may touch one global unit at a shared slot.
+
+        Block start times are arbitrary grid-aligned values, so issues of
+        different processes on the same unit whose absolute slot sets
+        intersect can collide in some interleaving.
+        """
+        occupancy_slots: Dict[Tuple[str, int], List[Tuple[str, IssueSpec]]] = {}
+        unit_types = {unit.name: unit for unit in self.units}
+        for ctrl in self.controllers:
+            for issue in ctrl.issues:
+                unit = unit_types[issue.unit]
+                if unit.scope != "global":
+                    continue
+                period, __ = self.authorization_roms[unit.type_name]
+                for step in range(issue.state, issue.state + unit.occupancy):
+                    slot = (step + ctrl.offset) % period
+                    key = (issue.unit, slot)
+                    for other_process, other in occupancy_slots.get(key, ()):
+                        if other_process != ctrl.process:
+                            raise BindingError(
+                                f"unit {issue.unit!r} at slot {slot}: issued "
+                                f"by both {other_process!r} ({other.op_id}) "
+                                f"and {ctrl.process!r} ({issue.op_id})"
+                            )
+                    occupancy_slots.setdefault(key, []).append(
+                        (ctrl.process, issue)
+                    )
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "units": len(self.units),
+            "controllers": len(self.controllers),
+            "issues": sum(len(c.issues) for c in self.controllers),
+            "rom_bits": sum(
+                period * len(grants) * 4
+                for period, grants in self.authorization_roms.values()
+            ),
+        }
+
+
+def build_rtl(
+    result: SystemSchedule, binding: Optional[InstanceBinding] = None
+) -> RTLDesign:
+    """Derive the RTL design from a schedule (binding computed if absent)."""
+    if binding is None:
+        from ..binding.instances import bind_instances
+
+        binding = bind_instances(result)
+
+    units: List[UnitSpec] = []
+    for rtype in result.library.types:
+        if result.assignment.is_global(rtype.name):
+            pool = result.global_instances(rtype.name)
+            for index in range(pool):
+                units.append(
+                    UnitSpec(
+                        name=f"{rtype.name}_g{index}",
+                        type_name=rtype.name,
+                        scope="global",
+                        index=index,
+                        occupancy=rtype.occupancy,
+                    )
+                )
+        for process in result.system.processes:
+            count = result.local_instances(process.name, rtype.name)
+            for index in range(count):
+                units.append(
+                    UnitSpec(
+                        name=f"{process.name}_{rtype.name}_{index}",
+                        type_name=rtype.name,
+                        scope=process.name,
+                        index=index,
+                        occupancy=rtype.occupancy,
+                    )
+                )
+
+    roms: Dict[str, Tuple[int, Dict[str, List[int]]]] = {}
+    for type_name in result.assignment.global_types:
+        period = result.periods.period(type_name)
+        grants = {
+            process: result.authorization(process, type_name).tolist()
+            for process in result.assignment.group(type_name)
+        }
+        roms[type_name] = (period, grants)
+
+    controllers: List[ControllerSpec] = []
+    for (process_name, block_name), sched in result.block_schedules.items():
+        ctrl = ControllerSpec(
+            process=process_name,
+            block=block_name,
+            n_states=sched.deadline,
+            grid=result.grid_spacing(process_name),
+            offset=result.offset_of(process_name),
+        )
+        for op in sched.graph:
+            rtype = result.library.type_of(op)
+            instance = binding.instance_of(process_name, block_name, op.op_id)
+            if result.assignment.shares_globally(rtype.name, process_name):
+                unit_name = f"{rtype.name}_g{instance}"
+            else:
+                unit_name = f"{process_name}_{rtype.name}_{instance}"
+            ctrl.issues.append(
+                IssueSpec(
+                    state=sched.start(op.op_id),
+                    op_id=op.op_id,
+                    op_label=op.label,
+                    unit=unit_name,
+                    guard=op.guard,
+                )
+            )
+        ctrl.issues.sort(key=lambda issue: (issue.state, issue.op_id))
+        controllers.append(ctrl)
+
+    design = RTLDesign(
+        system_name=result.system.name,
+        units=units,
+        controllers=controllers,
+        authorization_roms=roms,
+        fixed_range_types=frozenset(
+            type_name
+            for type_name in result.assignment.global_types
+            if result.library.type(type_name).occupancy > 1
+        ),
+    )
+    design.consistency_check()
+    return design

@@ -1,0 +1,38 @@
+"""Scheduling substrate: time frames, distributions, FDS, IFDS, list scheduling."""
+
+from .distribution import BlockDistributions, occupancy_row
+from .fdls import ForceDirectedListScheduler
+from .fds import ForceDirectedScheduler
+from .forces import (
+    DEFAULT_LOOKAHEAD,
+    area_weights,
+    hooke_force,
+    placement_force,
+    uniform_weights,
+)
+from .ifds import ImprovedForceDirectedScheduler, ReductionChoice, evaluate_reduction
+from .list_scheduling import ListScheduler
+from .schedule import BlockSchedule
+from .state import BlockState
+from .timeframes import FrameTable, alap_schedule, asap_schedule
+
+__all__ = [
+    "BlockDistributions",
+    "BlockSchedule",
+    "BlockState",
+    "DEFAULT_LOOKAHEAD",
+    "ForceDirectedListScheduler",
+    "ForceDirectedScheduler",
+    "FrameTable",
+    "ImprovedForceDirectedScheduler",
+    "ListScheduler",
+    "ReductionChoice",
+    "alap_schedule",
+    "area_weights",
+    "asap_schedule",
+    "evaluate_reduction",
+    "hooke_force",
+    "occupancy_row",
+    "placement_force",
+    "uniform_weights",
+]

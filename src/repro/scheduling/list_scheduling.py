@@ -1,0 +1,129 @@
+"""Resource-constrained list scheduling.
+
+The classic counterpart of time-constrained FDS: given *fixed instance
+counts* per resource type, operations are scheduled cycle by cycle; ready
+operations are prioritized by least slack (ALAP-based urgency) and placed
+whenever an instance is free.  Used as a baseline and as the engine of the
+resource-constrained modulo scheduling variant
+(:mod:`repro.core.rc_modulo`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..ir.process import Block
+from ..resources.library import ResourceLibrary
+from .schedule import BlockSchedule
+from .timeframes import alap_schedule
+
+
+class ListScheduler:
+    """Resource-constrained list scheduler for a single block.
+
+    Args:
+        library: Resource library.
+        capacity: Instances available per resource type name.  Types used
+            by a block but missing from the mapping raise
+            :class:`SchedulingError`.
+    """
+
+    def __init__(self, library: ResourceLibrary, capacity: Mapping[str, int]) -> None:
+        self.library = library
+        self.capacity = dict(capacity)
+        for name, count in self.capacity.items():
+            library.type(name)
+            if count < 1:
+                raise SchedulingError(f"capacity of {name!r} must be >= 1, got {count}")
+
+    def schedule(
+        self,
+        block: Block,
+        *,
+        slot_capacity: Optional[Callable[[str, int], int]] = None,
+    ) -> BlockSchedule:
+        """Schedule one block under the instance limits.
+
+        Args:
+            block: The block to schedule.  Its ``deadline`` is used for the
+                urgency priorities; the produced schedule may exceed it if
+                the instance counts force a longer makespan (callers check
+                ``makespan`` against their constraint).
+            slot_capacity: Optional override hook: given a resource type
+                name and an absolute step, returns the capacity available
+                at that step (defaults to the static per-type capacity).
+                The modulo variant uses this to enforce periodic
+                access-authorization limits.
+
+        Returns:
+            A validated :class:`BlockSchedule` whose ``deadline`` equals the
+            achieved makespan.
+        """
+        graph = block.graph
+        for rtype in self.library.types_used_by(graph):
+            if rtype.name not in self.capacity:
+                raise SchedulingError(f"no capacity given for type {rtype.name!r}")
+
+        # Urgency: ALAP starts against the tightest feasible horizon.
+        horizon_guess = max(
+            block.deadline,
+            graph.critical_path_length(self.library.latency_of),
+        )
+        alap = alap_schedule(graph, self.library.latency_of, horizon_guess)
+
+        horizon = horizon_guess + sum(
+            self.library.latency_of(op) for op in graph
+        ) + 1
+        usage: Dict[str, np.ndarray] = {
+            name: np.zeros(horizon, dtype=int) for name in self.capacity
+        }
+
+        def free_at(type_name: str, step: int) -> int:
+            static = self.capacity[type_name]
+            limit = static if slot_capacity is None else min(
+                static, slot_capacity(type_name, step)
+            )
+            return limit - int(usage[type_name][step])
+
+        starts: Dict[str, int] = {}
+        finish: Dict[str, int] = {}
+        remaining = set(graph.op_ids)
+        step = 0
+        while remaining:
+            if step >= horizon:
+                raise SchedulingError(
+                    f"list scheduling exceeded horizon {horizon}; "
+                    "slot capacities may be unsatisfiable"
+                )
+            ready = [
+                oid
+                for oid in remaining
+                if all(finish.get(p, horizon + 1) <= step for p in graph.predecessors(oid))
+            ]
+            ready.sort(key=lambda oid: (alap[oid], oid))
+            for oid in ready:
+                op = graph.operation(oid)
+                rtype = self.library.type_of(op)
+                occupancy = rtype.occupancy
+                if step + occupancy > horizon:
+                    continue
+                if all(free_at(rtype.name, s) > 0 for s in range(step, step + occupancy)):
+                    usage[rtype.name][step : step + occupancy] += 1
+                    starts[oid] = step
+                    finish[oid] = step + rtype.latency
+                    remaining.discard(oid)
+            step += 1
+
+        makespan = max(finish.values())
+        schedule = BlockSchedule(
+            graph=graph,
+            library=self.library,
+            starts=starts,
+            deadline=makespan,
+            iterations=step,
+        )
+        schedule.validate()
+        return schedule

@@ -1,0 +1,126 @@
+"""Schedule results for single blocks: start times, usage profiles, checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import VerificationError
+from ..ir.dfg import DataFlowGraph
+from ..resources.library import ResourceLibrary
+
+
+@dataclass
+class BlockSchedule:
+    """A fully scheduled block.
+
+    Attributes:
+        graph: The scheduled dataflow graph.
+        library: Resource library that defined latencies/occupancies.
+        starts: Start control step of every operation (relative to the
+            block's own, possibly unknown, absolute start time).
+        deadline: The block's time range.
+        iterations: Scheduler iterations spent producing this schedule
+            (0 when not applicable).
+    """
+
+    graph: DataFlowGraph
+    library: ResourceLibrary
+    starts: Dict[str, int]
+    deadline: int
+    iterations: int = 0
+
+    def start(self, op_id: str) -> int:
+        return self.starts[op_id]
+
+    def finish(self, op_id: str) -> int:
+        """First step after the operation's result is available."""
+        return self.starts[op_id] + self.library.latency_of(self.graph.operation(op_id))
+
+    @property
+    def makespan(self) -> int:
+        """Steps until the last operation finishes."""
+        return max(self.finish(oid) for oid in self.starts)
+
+    # ------------------------------------------------------------------
+    # Resource usage
+    # ------------------------------------------------------------------
+    def usage_profile(self, type_name: str) -> np.ndarray:
+        """Integer concurrent-usage counts per step for one resource type.
+
+        Guarded operations are combined like alternation branches: per
+        condition, only the pointwise-maximal branch counts (at most one
+        branch executes per activation), so the profile is the worst case
+        over all branch outcomes.
+        """
+        profile = np.zeros(self.deadline, dtype=int)
+        branch_sums: Dict[str, Dict[str, np.ndarray]] = {}
+        for oid, start in self.starts.items():
+            op = self.graph.operation(oid)
+            rtype = self.library.type_of(op)
+            if rtype.name != type_name:
+                continue
+            row = np.zeros(self.deadline, dtype=int)
+            row[start : start + rtype.occupancy] += 1
+            if op.guard is None:
+                profile += row
+            else:
+                condition, branch = op.guard
+                per_branch = branch_sums.setdefault(condition, {})
+                if branch in per_branch:
+                    per_branch[branch] += row
+                else:
+                    per_branch[branch] = row
+        for per_branch in branch_sums.values():
+            profile += np.maximum.reduce(list(per_branch.values()))
+        return profile
+
+    def peak_usage(self, type_name: str) -> int:
+        """Maximum concurrent usage of one type (its local instance need)."""
+        profile = self.usage_profile(type_name)
+        return int(profile.max()) if profile.size else 0
+
+    def peaks(self) -> Dict[str, int]:
+        """Peak usage for every type the block uses."""
+        result: Dict[str, int] = {}
+        for rtype in self.library.types_used_by(self.graph):
+            result[rtype.name] = self.peak_usage(rtype.name)
+        return result
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check precedence and deadline constraints; raise on violation."""
+        missing = [oid for oid in self.graph.op_ids if oid not in self.starts]
+        if missing:
+            raise VerificationError(f"unscheduled operations: {missing}")
+        for oid in self.graph.op_ids:
+            op = self.graph.operation(oid)
+            start = self.starts[oid]
+            if start < 0:
+                raise VerificationError(f"operation {oid!r} starts before step 0")
+            if self.finish(oid) > self.deadline:
+                raise VerificationError(
+                    f"operation {oid!r} finishes at {self.finish(oid)} past "
+                    f"deadline {self.deadline}"
+                )
+            for pred in self.graph.predecessors(oid):
+                if self.finish(pred) > start:
+                    raise VerificationError(
+                        f"precedence violated: {pred!r} finishes at "
+                        f"{self.finish(pred)} but {oid!r} starts at {start}"
+                    )
+
+    def table(self) -> str:
+        """Human-readable step-by-operation listing."""
+        lines = [f"schedule of {self.graph.name!r} (deadline {self.deadline})"]
+        by_step: Dict[int, List[str]] = {}
+        for oid, start in sorted(self.starts.items(), key=lambda kv: (kv[1], kv[0])):
+            by_step.setdefault(start, []).append(self.graph.operation(oid).label)
+        for step in range(self.deadline):
+            if step in by_step:
+                lines.append(f"  step {step:3d}: " + ", ".join(by_step[step]))
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Mutable scheduling state of one block: frames plus distribution graphs.
+
+A :class:`BlockState` is what a force-directed scheduler iterates on: the
+current partial solution (all time frames) together with the distribution
+graphs derived from it.  It also evaluates the *tentative* effect of
+placing an operation at a step — the distribution displacements from which
+forces are computed — without mutating anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+
+from ..ir.process import Block
+from ..resources.library import ResourceLibrary
+from .distribution import BlockDistributions
+from .timeframes import FrameTable
+
+
+class BlockState:
+    """Frames + distributions of one block under construction."""
+
+    def __init__(self, block: Block, library: ResourceLibrary) -> None:
+        self.block = block
+        self.graph = block.graph
+        self.library = library
+        self.frames = FrameTable(block.graph, library.latency_of, block.deadline)
+        self.dist = BlockDistributions(block.graph, library, self.frames)
+
+    @property
+    def deadline(self) -> int:
+        return self.block.deadline
+
+    def placement_deltas(self, op_id: str, start: int) -> Dict[str, np.ndarray]:
+        """Distribution displacements caused by tentatively placing
+        ``op_id`` at ``start`` (eq. 5).
+
+        Includes the operation's own displacement and the first-order
+        displacements of direct predecessors/successors whose frames the
+        placement would implicitly reduce.  Returns a mapping from resource
+        type name to its displacement array; nothing is mutated.  For
+        types with guarded (conditional) operations the displacement is
+        computed on the branch-max-combined distribution, so moves hidden
+        inside a non-dominant branch cost nothing.
+        """
+        overrides: Dict[str, np.ndarray] = {
+            op_id: self.dist.tentative_row(op_id, start, start)
+        }
+        implied = self.frames.implied_neighbor_frames(op_id, start)
+        for oid, (lo, hi) in implied.items():
+            overrides[oid] = self.dist.tentative_row(oid, lo, hi)
+
+        deltas: Dict[str, np.ndarray] = {}
+        for type_name in {self.dist.type_of[oid] for oid in overrides}:
+            after = self.dist.tentative_array(type_name, overrides)
+            deltas[type_name] = after - self.dist.array(type_name)
+        return deltas
+
+    def commit_reduce(self, op_id: str, lo: int, hi: int) -> Set[str]:
+        """Reduce a frame for real, propagate, refresh distributions.
+
+        Returns the resource type names whose distribution graph changed.
+        """
+        changed_ops = self.frames.reduce(op_id, lo, hi)
+        return self.dist.refresh(changed_ops)
+
+    def commit_fix(self, op_id: str, start: int) -> Set[str]:
+        """Pin an operation to one step for real (classic FDS placement)."""
+        return self.commit_reduce(op_id, start, start)

@@ -1,0 +1,12 @@
+"""Cycle-accurate simulation of scheduled multi-process systems."""
+
+from .simulator import SimulationStats, SystemSimulator
+from .trace import Activation, Trace, Violation
+
+__all__ = [
+    "Activation",
+    "SimulationStats",
+    "SystemSimulator",
+    "Trace",
+    "Violation",
+]

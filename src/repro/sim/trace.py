@@ -1,0 +1,65 @@
+"""Simulation trace records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One block activation observed during simulation."""
+
+    process: str
+    block: str
+    requested_at: int
+    started_at: int
+    finished_at: int
+
+    @property
+    def grid_wait(self) -> int:
+        """Cycles the spontaneous trigger waited for the start grid."""
+        return self.started_at - self.requested_at
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A resource-protocol violation (should never occur)."""
+
+    cycle: int
+    type_name: str
+    detail: str
+
+
+@dataclass
+class Trace:
+    """Chronological record of one simulation run."""
+
+    activations: List[Activation] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+
+    def activations_of(self, process: str) -> List[Activation]:
+        return [a for a in self.activations if a.process == process]
+
+    @property
+    def mean_grid_wait(self) -> float:
+        if not self.activations:
+            return 0.0
+        return sum(a.grid_wait for a in self.activations) / len(self.activations)
+
+    def render(self, limit: Optional[int] = 20) -> str:
+        lines = []
+        shown = self.activations if limit is None else self.activations[:limit]
+        for act in shown:
+            lines.append(
+                f"cycle {act.requested_at:5d}: {act.process}/{act.block} "
+                f"requested, started {act.started_at}, finished {act.finished_at}"
+            )
+        if limit is not None and len(self.activations) > limit:
+            lines.append(f"... {len(self.activations) - limit} more activations")
+        for violation in self.violations:
+            lines.append(
+                f"VIOLATION at cycle {violation.cycle} ({violation.type_name}): "
+                f"{violation.detail}"
+            )
+        return "\n".join(lines)

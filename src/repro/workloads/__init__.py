@@ -1,0 +1,44 @@
+"""Benchmark workloads: standard HLS graphs and generators."""
+
+from .conditional import mode_switching_filter
+from .diffeq import differential_equation
+from .ewf import elliptic_wave_filter, elliptic_wave_filter_split
+from .fft import fft_butterfly_network
+from .fir import fir_filter
+from .iir import iir_biquad_cascade
+from .lattice import ar_lattice
+from .memory_system import (
+    compute_process,
+    dma_process,
+    memory_library,
+    shared_memory_system,
+)
+from .paper_system import (
+    DEADLINES,
+    PERIOD,
+    paper_assignment,
+    paper_periods,
+    paper_system,
+)
+from .random_dfg import random_dfg
+
+__all__ = [
+    "DEADLINES",
+    "PERIOD",
+    "ar_lattice",
+    "differential_equation",
+    "elliptic_wave_filter",
+    "elliptic_wave_filter_split",
+    "fft_butterfly_network",
+    "fir_filter",
+    "iir_biquad_cascade",
+    "compute_process",
+    "dma_process",
+    "memory_library",
+    "mode_switching_filter",
+    "paper_assignment",
+    "paper_periods",
+    "paper_system",
+    "random_dfg",
+    "shared_memory_system",
+]

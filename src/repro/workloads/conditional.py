@@ -1,0 +1,54 @@
+"""Mode-switching (conditional) filter workload.
+
+A reactive filter block that applies either a *fast* path (one multiply-
+accumulate) or a *precise* path (a short FIR cascade) per activation,
+selected at run time by a mode flag.  The two paths are mutually
+exclusive — at most one executes per activation — so they may share
+functional units even within one control step, exercising the guarded-
+operation support throughout the stack.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+
+#: Condition label used by all guarded operations of this workload.
+MODE = "mode"
+
+
+def mode_switching_filter(precise_taps: int = 3, *, name: str = "") -> DataFlowGraph:
+    """Build the mode-switching filter graph.
+
+    Args:
+        precise_taps: Taps of the precise path's FIR (>= 2); the fast path
+            is always a single multiply-accumulate.
+    """
+    if precise_taps < 2:
+        raise GraphError(f"precise path needs >= 2 taps, got {precise_taps}")
+    graph = DataFlowGraph(name=name or f"modal{precise_taps}")
+
+    # Fast path (mode = fast): y = c * x + bias.
+    fast_mul = graph.add("f_mul", OpKind.MUL, guard=(MODE, "fast"))
+    fast_add = graph.add("f_add", OpKind.ADD, guard=(MODE, "fast"))
+    graph.add_edge(fast_mul.op_id, fast_add.op_id)
+
+    # Precise path (mode = precise): an N-tap FIR chain.
+    prev = None
+    for tap in range(precise_taps):
+        mul = graph.add(f"p_mul{tap}", OpKind.MUL, guard=(MODE, "precise"))
+        if tap == 0:
+            prev = mul.op_id
+            continue
+        acc = graph.add(f"p_add{tap}", OpKind.ADD, guard=(MODE, "precise"))
+        graph.add_edge(prev, acc.op_id)
+        graph.add_edge(mul.op_id, acc.op_id)
+        prev = acc.op_id
+
+    # Unconditional output scaling shared by both paths.
+    out = graph.add("scale", OpKind.MUL)
+    graph.add_edge(fast_add.op_id, out.op_id)
+    graph.add_edge(prev, out.op_id)
+    graph.validate()
+    return graph

@@ -1,0 +1,63 @@
+"""HAL differential equation solver benchmark (main loop body).
+
+The classic HLS benchmark from Paulin & Knight's HAL system: one forward
+Euler step of ``y'' + 3xy' + 3y = 0``::
+
+    x1 = x + dx
+    u1 = u - (3 * x) * (u * dx) - (3 * y) * dx
+    y1 = y + u * dx
+    c  = x1 < a
+
+Six multiplications, two additions, two subtractions and one comparison.
+The paper substitutes the comparator by a subtraction (§7), limiting the
+operation types to addition, subtraction and multiplication; pass
+``substitute_compare=False`` to keep the original comparison.
+"""
+
+from __future__ import annotations
+
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+
+#: Critical path with add/sub latency 1, multiply latency 2:
+#: (3*x) -> (3x)*(u dx) -> sub -> sub = 2 + 2 + 1 + 1.
+CRITICAL_PATH = 6
+
+
+def differential_equation(
+    name: str = "diffeq", *, substitute_compare: bool = True
+) -> DataFlowGraph:
+    """Build the diffeq main-loop dataflow graph.
+
+    Args:
+        name: Graph name.
+        substitute_compare: Replace the loop-exit comparison by a
+            subtraction, as the paper's evaluation does.
+    """
+    graph = DataFlowGraph(name=name)
+    graph.add("m1", OpKind.MUL, name="3*x")
+    graph.add("m2", OpKind.MUL, name="u*dx")
+    graph.add("m3", OpKind.MUL, name="3x*udx")
+    graph.add("m4", OpKind.MUL, name="3*y")
+    graph.add("m5", OpKind.MUL, name="3y*dx")
+    graph.add("m6", OpKind.MUL, name="u*dx'")
+    graph.add("s1", OpKind.SUB, name="u-3xudx")
+    graph.add("s2", OpKind.SUB, name="u1")
+    graph.add("a1", OpKind.ADD, name="x1")
+    graph.add("a2", OpKind.ADD, name="y1")
+    exit_kind = OpKind.SUB if substitute_compare else OpKind.CMP
+    graph.add("c1", exit_kind, name="x1?a")
+    graph.add_edges(
+        [
+            ("m1", "m3"),
+            ("m2", "m3"),
+            ("m3", "s1"),
+            ("s1", "s2"),
+            ("m4", "m5"),
+            ("m5", "s2"),
+            ("m6", "a2"),
+            ("a1", "c1"),
+        ]
+    )
+    graph.validate()
+    return graph

@@ -1,0 +1,87 @@
+"""Radix-2 FFT butterfly-network workload.
+
+A decimation-in-time FFT over ``n`` points (power of two) has
+``log2(n)`` stages of ``n/2`` butterflies.  Modeling complex arithmetic
+on real units, each butterfly contributes four multiplications (complex
+twiddle product) and six additions/subtractions; the network is wide and
+shallow — the opposite corner of the workload space from the serial
+lattice filter — which makes it a stress test for the smoothing part of
+force-directed scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import GraphError
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+
+
+def _butterfly(
+    graph: DataFlowGraph,
+    tag: str,
+    a: Tuple[str, str],
+    b: Tuple[str, str],
+) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+    """One butterfly: (a + w*b, a - w*b) on complex values.
+
+    ``a`` and ``b`` are (real-producer, imag-producer) pairs; empty
+    strings denote primary inputs.  Returns the output pairs.
+    """
+    def feed(src: str, dst: str) -> None:
+        if src:
+            graph.add_edge(src, dst)
+
+    # Complex twiddle product w*b: four multiplications, one sub, one add.
+    ops = {}
+    for name in ("mrr", "mii", "mri", "mir"):
+        op = graph.add(f"{tag}_{name}", OpKind.MUL)
+        ops[name] = op.op_id
+    feed(b[0], ops["mrr"])
+    feed(b[1], ops["mii"])
+    feed(b[0], ops["mri"])
+    feed(b[1], ops["mir"])
+    prod_re = graph.add(f"{tag}_pr", OpKind.SUB).op_id  # rr - ii
+    graph.add_edge(ops["mrr"], prod_re)
+    graph.add_edge(ops["mii"], prod_re)
+    prod_im = graph.add(f"{tag}_pi", OpKind.ADD).op_id  # ri + ir
+    graph.add_edge(ops["mri"], prod_im)
+    graph.add_edge(ops["mir"], prod_im)
+
+    # Outputs: a + wb and a - wb (real and imaginary parts).
+    out_top_re = graph.add(f"{tag}_tr", OpKind.ADD).op_id
+    out_top_im = graph.add(f"{tag}_ti", OpKind.ADD).op_id
+    out_bot_re = graph.add(f"{tag}_br", OpKind.SUB).op_id
+    out_bot_im = graph.add(f"{tag}_bi", OpKind.SUB).op_id
+    for dst in (out_top_re, out_bot_re):
+        feed(a[0], dst)
+        graph.add_edge(prod_re, dst)
+    for dst in (out_top_im, out_bot_im):
+        feed(a[1], dst)
+        graph.add_edge(prod_im, dst)
+    return (out_top_re, out_top_im), (out_bot_re, out_bot_im)
+
+
+def fft_butterfly_network(points: int = 8, *, name: str = "") -> DataFlowGraph:
+    """Build the butterfly network of a ``points``-point radix-2 FFT."""
+    if points < 2 or points & (points - 1):
+        raise GraphError(f"points must be a power of two >= 2, got {points}")
+    graph = DataFlowGraph(name=name or f"fft{points}")
+    # One (re, im) producer pair per lane; inputs are primary (empty ids).
+    lanes: List[Tuple[str, str]] = [("", "") for _ in range(points)]
+    stage = 0
+    span = 1
+    while span < points:
+        for base in range(0, points, span * 2):
+            for offset in range(span):
+                top = base + offset
+                bottom = base + offset + span
+                tag = f"s{stage}b{top}"
+                lanes[top], lanes[bottom] = _butterfly(
+                    graph, tag, lanes[top], lanes[bottom]
+                )
+        span *= 2
+        stage += 1
+    graph.validate()
+    return graph

@@ -1,0 +1,64 @@
+"""Parametric FIR filter workloads.
+
+An N-tap finite impulse response filter computes ``y = sum(c_i * x_i)``:
+N multiplications feeding an accumulation network of N-1 additions, either
+as a balanced tree (short critical path, high add concurrency) or as a
+chain (long critical path, low concurrency).  Useful for sweeping the
+sharing benefit against workload shape.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import GraphError
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+
+
+def fir_filter(taps: int = 8, *, adder: str = "tree", name: str = "") -> DataFlowGraph:
+    """Build an N-tap FIR dataflow graph.
+
+    Args:
+        taps: Number of taps (>= 2): one multiplication per tap.
+        adder: ``"tree"`` for a balanced adder tree, ``"chain"`` for a
+            linear accumulator chain.
+        name: Graph name (defaults to ``fir<taps>-<adder>``).
+    """
+    if taps < 2:
+        raise GraphError(f"a FIR filter needs >= 2 taps, got {taps}")
+    if adder not in ("tree", "chain"):
+        raise GraphError(f"adder must be 'tree' or 'chain', got {adder!r}")
+    graph = DataFlowGraph(name=name or f"fir{taps}-{adder}")
+    products: List[str] = []
+    for index in range(taps):
+        op_id = f"m{index}"
+        graph.add(op_id, OpKind.MUL, name=f"c{index}*x{index}")
+        products.append(op_id)
+
+    counter = 0
+    if adder == "chain":
+        acc = products[0]
+        for nxt in products[1:]:
+            op_id = f"a{counter}"
+            counter += 1
+            graph.add(op_id, OpKind.ADD)
+            graph.add_edge(acc, op_id)
+            graph.add_edge(nxt, op_id)
+            acc = op_id
+    else:
+        level = products
+        while len(level) > 1:
+            nxt_level: List[str] = []
+            for i in range(0, len(level) - 1, 2):
+                op_id = f"a{counter}"
+                counter += 1
+                graph.add(op_id, OpKind.ADD)
+                graph.add_edge(level[i], op_id)
+                graph.add_edge(level[i + 1], op_id)
+                nxt_level.append(op_id)
+            if len(level) % 2:
+                nxt_level.append(level[-1])
+            level = nxt_level
+    graph.validate()
+    return graph

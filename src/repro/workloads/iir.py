@@ -1,0 +1,47 @@
+"""IIR biquad-cascade workload.
+
+A cascade of direct-form-I biquad sections::
+
+    y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2
+
+Each section contributes five multiplications, two additions and two
+subtractions; sections are chained through their outputs, giving a
+medium-depth, multiplication-heavy workload (the delayed taps x1/x2/y1/y2
+are primary inputs, as state registers live outside the block).
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+
+
+def iir_biquad_cascade(sections: int = 2, *, name: str = "") -> DataFlowGraph:
+    """Build a cascade of ``sections`` direct-form-I biquads."""
+    if sections < 1:
+        raise GraphError(f"need >= 1 section, got {sections}")
+    graph = DataFlowGraph(name=name or f"iir{sections}")
+    prev_out = ""  # producer of the previous section's output
+    for s in range(sections):
+        muls = {}
+        for tap in ("b0", "b1", "b2", "a1", "a2"):
+            muls[tap] = graph.add(f"s{s}_{tap}", OpKind.MUL).op_id
+        # The b0 tap consumes the previous section's output.
+        if prev_out:
+            graph.add_edge(prev_out, muls["b0"])
+        ff1 = graph.add(f"s{s}_ff1", OpKind.ADD).op_id  # b0x + b1x1
+        graph.add_edge(muls["b0"], ff1)
+        graph.add_edge(muls["b1"], ff1)
+        ff2 = graph.add(f"s{s}_ff2", OpKind.ADD).op_id  # ... + b2x2
+        graph.add_edge(ff1, ff2)
+        graph.add_edge(muls["b2"], ff2)
+        fb1 = graph.add(f"s{s}_fb1", OpKind.SUB).op_id  # ... - a1y1
+        graph.add_edge(ff2, fb1)
+        graph.add_edge(muls["a1"], fb1)
+        fb2 = graph.add(f"s{s}_fb2", OpKind.SUB).op_id  # ... - a2y2
+        graph.add_edge(fb1, fb2)
+        graph.add_edge(muls["a2"], fb2)
+        prev_out = fb2
+    graph.validate()
+    return graph

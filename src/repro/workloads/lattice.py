@@ -1,0 +1,45 @@
+"""Autoregressive (AR) lattice filter workload.
+
+A parametric all-pole lattice filter: stage ``i`` transforms the forward
+and backward signals::
+
+    f_i   = f_{i+1} - k_i * b_i        (1 mul, 1 sub)
+    b_i+1 = b_i + k_i * f_i            (1 mul, 1 add)
+
+Each stage contributes two multiplications, one subtraction and one
+addition, with a serial dependence through the forward path — a workload
+with markedly less parallelism than the wave filter, useful to exercise
+sharing when per-process utilization is low.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+
+
+def ar_lattice(stages: int = 4, *, name: str = "") -> DataFlowGraph:
+    """Build an AR lattice filter graph with the given number of stages."""
+    if stages < 1:
+        raise GraphError(f"a lattice filter needs >= 1 stage, got {stages}")
+    graph = DataFlowGraph(name=name or f"lattice{stages}")
+    prev_f = None  # op producing f_{i+1}; None = primary input
+    prev_b = None  # op producing b_i of this stage
+    for i in range(stages):
+        mul_f = graph.add(f"mf{i}", OpKind.MUL, name=f"k{i}*b{i}")
+        sub_f = graph.add(f"sf{i}", OpKind.SUB, name=f"f{i}")
+        mul_b = graph.add(f"mb{i}", OpKind.MUL, name=f"k{i}*f{i}")
+        add_b = graph.add(f"ab{i}", OpKind.ADD, name=f"b{i + 1}")
+        if prev_b is not None:
+            graph.add_edge(prev_b.op_id, mul_f.op_id)
+            graph.add_edge(prev_b.op_id, add_b.op_id)
+        if prev_f is not None:
+            graph.add_edge(prev_f.op_id, sub_f.op_id)
+        graph.add_edge(mul_f.op_id, sub_f.op_id)
+        graph.add_edge(sub_f.op_id, mul_b.op_id)
+        graph.add_edge(mul_b.op_id, add_b.op_id)
+        prev_f = sub_f
+        prev_b = add_b
+    graph.validate()
+    return graph

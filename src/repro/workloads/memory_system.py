@@ -1,0 +1,85 @@
+"""Shared-memory workload: processes contending for a memory port.
+
+The paper's considered resources "range from simple adders, memories or
+busses to more complex (pipelined or multicycle) functions" (§1.1).  This
+workload exercises that range: a *multicycle, non-pipelined* memory port
+(latency 2, busy both cycles) serves LOAD/STORE operations of several
+independent processes — DMA-style movers and a compute process — with the
+port globally shared through the modulo method.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+from ..ir.process import Block, Process, SystemSpec
+from ..resources.library import ResourceLibrary
+from ..resources.types import resource_type
+
+
+def memory_library() -> ResourceLibrary:
+    """Adder, pipelined multiplier, and a 2-cycle non-pipelined memory port."""
+    return ResourceLibrary(
+        [
+            resource_type("adder", [OpKind.ADD], latency=1, area=1.0),
+            resource_type(
+                "multiplier",
+                [OpKind.MUL],
+                latency=2,
+                area=4.0,
+                pipelined=True,
+                initiation_interval=1,
+            ),
+            resource_type(
+                "memport",
+                [OpKind.LOAD, OpKind.STORE],
+                latency=2,
+                area=6.0,
+                pipelined=False,
+            ),
+        ]
+    )
+
+
+def dma_process(name: str, words: int = 2, deadline: int = 12) -> Process:
+    """A mover: ``words`` load/store pairs, serialized per word."""
+    graph = DataFlowGraph(name=f"{name}-dma")
+    for w in range(words):
+        load = graph.add(f"ld{w}", OpKind.LOAD)
+        store = graph.add(f"st{w}", OpKind.STORE)
+        graph.add_edge(load.op_id, store.op_id)
+    process = Process(name=name)
+    process.add_block(Block(name="move", graph=graph, deadline=deadline))
+    return process
+
+
+def compute_process(name: str, deadline: int = 12) -> Process:
+    """Load two operands, multiply-accumulate, store the result."""
+    graph = DataFlowGraph(name=f"{name}-mac")
+    a = graph.add("ld_a", OpKind.LOAD)
+    b = graph.add("ld_b", OpKind.LOAD)
+    mul = graph.add("mul", OpKind.MUL)
+    acc = graph.add("acc", OpKind.ADD)
+    out = graph.add("st", OpKind.STORE)
+    graph.add_edge(a.op_id, mul.op_id)
+    graph.add_edge(b.op_id, mul.op_id)
+    graph.add_edge(mul.op_id, acc.op_id)
+    graph.add_edge(acc.op_id, out.op_id)
+    process = Process(name=name)
+    process.add_block(Block(name="mac", graph=graph, deadline=deadline))
+    return process
+
+
+def shared_memory_system(
+    movers: int = 2, deadline: int = 12
+) -> Tuple[SystemSpec, ResourceLibrary]:
+    """Build the shared-memory system: ``movers`` DMA processes + 1 compute."""
+    library = memory_library()
+    system = SystemSpec(name="shared-memory")
+    for index in range(movers):
+        system.add_process(dma_process(f"dma{index}", deadline=deadline))
+    system.add_process(compute_process("calc", deadline=deadline))
+    system.validate(library.latency_of)
+    return system, library

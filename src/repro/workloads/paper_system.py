@@ -1,0 +1,99 @@
+"""The paper's multi-process experimental system (§7).
+
+Five independently running processes:
+
+* ``p1``, ``p2``, ``p3`` — elliptic wave filters;
+* ``p4``, ``p5`` — main loops of the differential equation solver, with
+  the comparator substituted by a subtraction.
+
+Execution-time constraints, reconstructed from the OCR-damaged text (see
+DESIGN.md): 30, 30 and 25 steps for the wave filters, 15 steps for the
+equation solvers.  Resource library: unit-delay adder/subtracter of area
+1; two-cycle pipelined multiplier of area 4.  The paper's global
+assignment shares the adder and multiplier across all five processes and
+the subtracter across the two equation solvers; all periods are 15.
+
+Although the five processes could be merged into one, they are considered
+triggered by spontaneous events — which merging cannot handle but modulo
+scheduling can.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ir.process import Block, Process, SystemSpec
+from ..resources.assignment import ResourceAssignment
+from ..resources.library import ResourceLibrary, default_library
+from ..core.periods import PeriodAssignment
+from .diffeq import differential_equation
+from .ewf import elliptic_wave_filter
+
+#: Reconstructed block deadlines (total execution times) per process.
+DEADLINES = {"p1": 30, "p2": 30, "p3": 25, "p4": 15, "p5": 15}
+
+#: Reconstructed common period of all global resource types.
+PERIOD = 15
+
+
+def paper_system(*, split_ewf: bool = False) -> Tuple[SystemSpec, ResourceLibrary]:
+    """Build the 5-process system and its resource library.
+
+    Args:
+        split_ewf: Model each wave-filter process as *two* serialized
+            blocks (front/back filter section) instead of one, exercising
+            the paper's "any block composition" claim (conditions C1/C2,
+            eq. 9 balancing) at full benchmark scale.  Each block gets
+            half the process deadline.
+    """
+    library = default_library()
+    system = SystemSpec(name="paper-multiprocess")
+    for name in ("p1", "p2", "p3"):
+        process = Process(name=name)
+        if split_ewf:
+            from .ewf import elliptic_wave_filter_split
+
+            front, back = elliptic_wave_filter_split(name=f"{name}-ewf")
+            half = DEADLINES[name] // 2
+            process.add_block(Block(name="front", graph=front, deadline=half))
+            process.add_block(
+                Block(name="back", graph=back, deadline=DEADLINES[name] - half)
+            )
+        else:
+            process.add_block(
+                Block(
+                    name="main",
+                    graph=elliptic_wave_filter(name=f"{name}-ewf"),
+                    deadline=DEADLINES[name],
+                )
+            )
+        system.add_process(process)
+    for name in ("p4", "p5"):
+        process = Process(name=name)
+        process.add_block(
+            Block(
+                name="main",
+                graph=differential_equation(name=f"{name}-diffeq"),
+                deadline=DEADLINES[name],
+                repeats=True,
+            )
+        )
+        system.add_process(process)
+    system.validate(library.latency_of)
+    return system, library
+
+
+def paper_assignment(library: ResourceLibrary) -> ResourceAssignment:
+    """The paper's global scope decisions (step S1, done manually in §7)."""
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2", "p3", "p4", "p5"])
+    assignment.make_global("multiplier", ["p1", "p2", "p3", "p4", "p5"])
+    assignment.make_global("subtracter", ["p4", "p5"])
+    return assignment
+
+
+def paper_periods() -> PeriodAssignment:
+    """The paper's period choices (step S2): 15 for every global type."""
+    return PeriodAssignment(
+        {"adder": PERIOD, "multiplier": PERIOD, "subtracter": PERIOD}
+    )

@@ -1,0 +1,82 @@
+"""Seeded random dataflow-graph generation for property tests and scaling.
+
+Graphs are built in layers: every non-first-layer operation draws at least
+one predecessor from an earlier layer, guaranteeing a connected, acyclic
+precedence structure with controllable depth and width.  All randomness
+comes from an explicit seed, so every generated workload is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import GraphError
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+
+#: Default operation-kind mix: mostly additions, some multiplications,
+#: a few subtractions — roughly the paper benchmarks' flavor.
+DEFAULT_KIND_MIX = (
+    (OpKind.ADD, 0.55),
+    (OpKind.MUL, 0.30),
+    (OpKind.SUB, 0.15),
+)
+
+
+def random_dfg(
+    operations: int,
+    *,
+    seed: int,
+    layers: Optional[int] = None,
+    extra_edge_probability: float = 0.25,
+    kind_mix: Sequence = DEFAULT_KIND_MIX,
+    name: str = "",
+) -> DataFlowGraph:
+    """Generate a random layered DAG.
+
+    Args:
+        operations: Total number of operations (>= 1).
+        seed: RNG seed; identical arguments give identical graphs.
+        layers: Number of layers (depth); defaults to roughly sqrt(n)+1.
+        extra_edge_probability: Chance of each additional cross-layer edge
+            beyond the one mandatory predecessor per operation.
+        kind_mix: Sequence of ``(OpKind, weight)`` pairs.
+        name: Graph name (defaults to ``rand<n>-s<seed>``).
+    """
+    if operations < 1:
+        raise GraphError(f"need >= 1 operation, got {operations}")
+    rng = random.Random(seed)
+    if layers is None:
+        layers = max(1, int(operations**0.5))
+    layers = min(layers, operations)
+
+    kinds = [kind for kind, _ in kind_mix]
+    weights = [weight for _, weight in kind_mix]
+    graph = DataFlowGraph(name=name or f"rand{operations}-s{seed}")
+
+    # Partition the ids over layers: every layer gets at least one op.
+    assignments: List[int] = list(range(layers)) + [
+        rng.randrange(layers) for _ in range(operations - layers)
+    ]
+    assignments.sort()
+    layer_members: List[List[str]] = [[] for _ in range(layers)]
+    for index, layer in enumerate(assignments):
+        op_id = f"n{index}"
+        kind = rng.choices(kinds, weights=weights)[0]
+        graph.add(op_id, kind)
+        layer_members[layer].append(op_id)
+
+    earlier: List[str] = list(layer_members[0])
+    for layer in range(1, layers):
+        for op_id in layer_members[layer]:
+            pred = rng.choice(earlier)
+            graph.add_edge(pred, op_id)
+            for candidate in earlier:
+                if candidate != pred and rng.random() < extra_edge_probability / len(
+                    earlier
+                ):
+                    graph.add_edge(candidate, op_id)
+        earlier.extend(layer_members[layer])
+    graph.validate()
+    return graph

@@ -1,0 +1,68 @@
+"""Tests for JSON result export."""
+
+import json
+
+from repro.analysis.export import export_result, result_to_dict, result_to_json
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+def make_result():
+    library = default_library()
+    system = SystemSpec(name="exp")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add_edge("a", "m")
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=6))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("multiplier", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"multiplier": 3})
+    )
+
+
+class TestExport:
+    def test_dict_contents(self):
+        result = make_result()
+        data = result_to_dict(result)
+        assert data["system"] == "exp"
+        assert data["area"] == result.total_area()
+        assert data["instance_counts"] == result.instance_counts()
+        assert data["processes"]["p1"]["blocks"]["main"]["starts"] == (
+            result.schedule_of("p1", "main").starts
+        )
+        auth = data["global_types"]["multiplier"]["authorizations"]["p1"]
+        assert auth == result.authorization("p1", "multiplier").tolist()
+
+    def test_json_round_trips_through_parser(self):
+        text = result_to_json(make_result())
+        parsed = json.loads(text)
+        assert parsed["global_types"]["multiplier"]["period"] == 3
+
+    def test_deterministic_apart_from_timing(self):
+        first = result_to_dict(make_result())
+        second = result_to_dict(make_result())
+        first.pop("wall_time_seconds")
+        second.pop("wall_time_seconds")
+        assert first == second
+
+    def test_export_to_file(self, tmp_path):
+        path = tmp_path / "result.json"
+        export_result(make_result(), path)
+        parsed = json.loads(path.read_text(encoding="utf-8"))
+        assert parsed["system"] == "exp"
+
+    def test_offsets_exported(self):
+        result = make_result()
+        result.start_offsets = {"p2": 1}
+        data = result_to_dict(result)
+        assert data["start_offsets"] == {"p1": 0, "p2": 1}

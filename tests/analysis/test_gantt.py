@@ -1,0 +1,68 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from repro.analysis.gantt import block_gantt, system_gantt, usage_gantt
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.schedule import BlockSchedule
+
+
+def make_schedule():
+    library = default_library()
+    graph = DataFlowGraph(name="g")
+    graph.add("a1", OpKind.ADD)
+    graph.add("m1", OpKind.MUL)
+    graph.add_edge("a1", "m1")
+    return BlockSchedule(
+        graph=graph, library=library, starts={"a1": 0, "m1": 1}, deadline=4
+    )
+
+
+class TestBlockGantt:
+    def test_bars_reflect_occupancy_and_latency(self):
+        text = block_gantt(make_schedule(), label_width=6)
+        lines = text.splitlines()
+        add_row = next(l for l in lines if l.startswith("+a1"))
+        mul_row = next(l for l in lines if l.startswith("*m1"))
+        assert add_row[6] == "#"
+        # Pipelined multiplier: one '#' issue step, one '-' in-flight step.
+        assert mul_row[7] == "#"
+        assert mul_row[8] == "-"
+
+    def test_groups_by_type(self):
+        text = block_gantt(make_schedule())
+        assert "-- adder --" in text
+        assert "-- multiplier --" in text
+
+    def test_header_has_step_digits(self):
+        assert "0123" in block_gantt(make_schedule())
+
+
+class TestUsageGantt:
+    def test_counts_and_dots(self):
+        row = usage_gantt(make_schedule(), "adder")
+        assert row.endswith("1...")
+
+
+class TestSystemGantt:
+    def test_all_blocks_rendered(self):
+        library = default_library()
+        system = SystemSpec(name="s")
+        for name in ("p1", "p2"):
+            graph = DataFlowGraph(name=f"{name}-g")
+            graph.add("a", OpKind.ADD)
+            process = Process(name=name)
+            process.add_block(Block(name="main", graph=graph, deadline=2))
+            system.add_process(process)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        text = system_gantt(result)
+        assert "=== p1/main ===" in text
+        assert "=== p2/main ===" in text

@@ -1,0 +1,84 @@
+"""Tests for the interconnect (multiplexer) cost model."""
+
+import pytest
+
+from repro.analysis.interconnect import (
+    DEFAULT_MUX_ALPHA,
+    interconnect_report,
+    total_area_with_interconnect,
+)
+from repro.binding.instances import bind_instances
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+def shared_binding(n_ops_per_proc=2, deadline=6, share=True):
+    library = default_library()
+    system = SystemSpec(name="ic")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i in range(n_ops_per_proc):
+            graph.add(f"a{i}", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    periods = None
+    if share:
+        assignment.make_global("adder", ["p1", "p2"])
+        periods = PeriodAssignment({"adder": 3})
+    result = ModuloSystemScheduler(library).schedule(system, assignment, periods)
+    return bind_instances(result)
+
+
+class TestInterconnectReport:
+    def test_every_used_unit_reported(self):
+        binding = shared_binding()
+        report = interconnect_report(binding)
+        bound_units = {
+            ("adder", f"g{i}") for i in set(binding.binding.values())
+        }
+        assert set(report.sources_per_unit) == bound_units
+
+    def test_source_count_grows_with_sharing(self):
+        """One shared adder serving 4 source-less adds sees 2 input
+        sources per op (all primary inputs)."""
+        report = interconnect_report(shared_binding())
+        assert report.largest_mux() == 4 * 2
+
+    def test_mux_area_zero_for_single_source_per_port(self):
+        # One op per process, local: each unit serves one op -> fan-in 2
+        # sources over 2 ports -> 1 per port -> no mux.
+        binding = shared_binding(n_ops_per_proc=1, share=False)
+        report = interconnect_report(binding)
+        assert report.mux_area == 0.0
+
+    def test_mux_area_scales_with_alpha(self):
+        binding = shared_binding()
+        base = interconnect_report(binding, mux_alpha=0.3).mux_area
+        double = interconnect_report(binding, mux_alpha=0.6).mux_area
+        assert double == pytest.approx(2 * base)
+
+
+class TestTotalArea:
+    def test_components_sum(self):
+        binding = shared_binding()
+        areas = total_area_with_interconnect(binding)
+        assert areas["total"] == pytest.approx(
+            areas["functional"] + areas["mux"]
+        )
+        assert areas["functional"] == binding.result.total_area()
+
+    def test_sharing_raises_mux_cost(self):
+        shared = total_area_with_interconnect(shared_binding())
+        local = total_area_with_interconnect(shared_binding(share=False))
+        assert shared["functional"] <= local["functional"]
+        assert shared["mux"] >= local["mux"]
+
+    def test_default_alpha_constant(self):
+        assert 0 < DEFAULT_MUX_ALPHA < 1

@@ -1,0 +1,80 @@
+"""Tests for analysis metrics."""
+
+import pytest
+
+from repro.analysis.metrics import area_breakdown, mobility_histogram, static_utilization
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+def small_result():
+    library = default_library()
+    system = SystemSpec(name="s")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=4))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("multiplier", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"multiplier": 2})
+    )
+
+
+class TestAreaBreakdown:
+    def test_items_match_instance_counts(self):
+        result = small_result()
+        items = {item.type_name: item for item in area_breakdown(result)}
+        counts = result.instance_counts()
+        assert set(items) == set(counts)
+        for name, item in items.items():
+            assert item.instances == counts[name]
+
+    def test_total_matches_result_area(self):
+        result = small_result()
+        total = sum(item.total_area for item in area_breakdown(result))
+        assert total == pytest.approx(result.total_area())
+
+    def test_unit_area_from_library(self):
+        result = small_result()
+        items = {item.type_name: item for item in area_breakdown(result)}
+        assert items["multiplier"].unit_area == 4.0
+
+
+class TestStaticUtilization:
+    def test_utilization_in_unit_range(self):
+        result = small_result()
+        for name in result.instance_counts():
+            assert 0.0 < static_utilization(result, name) <= 1.0
+
+    def test_unused_type_zero(self):
+        assert static_utilization(small_result(), "subtracter") == 0.0
+
+
+class TestMobilityHistogram:
+    def test_chain_has_uniform_mobility(self):
+        library = default_library()
+        graph = DataFlowGraph(name="c")
+        graph.add("a", OpKind.ADD)
+        graph.add("b", OpKind.ADD)
+        graph.add_edge("a", "b")
+        block = Block(name="c", graph=graph, deadline=4)
+        histogram = mobility_histogram(block, library)
+        assert histogram == {2: 2}
+
+    def test_zero_mobility_at_critical_deadline(self):
+        library = default_library()
+        graph = DataFlowGraph(name="c")
+        graph.add("a", OpKind.ADD)
+        graph.add("b", OpKind.ADD)
+        graph.add_edge("a", "b")
+        block = Block(name="c", graph=graph, deadline=2)
+        assert mobility_histogram(block, library) == {0: 2}

@@ -1,0 +1,74 @@
+"""Tests for table rendering and the global/local comparison harness."""
+
+import pytest
+
+from repro.analysis.compare import compare_scopes
+from repro.analysis.tables import table1, usage_table
+from repro.core.periods import PeriodAssignment
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+def build_inputs():
+    library = default_library()
+    system = SystemSpec(name="s")
+    for name in ("p1", "p2", "p3"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("a0", OpKind.ADD)
+        graph.add("a1", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=6))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2", "p3"])
+    return system, library, assignment, PeriodAssignment({"adder": 3})
+
+
+class TestCompareScopes:
+    def test_global_saves_area_on_sparse_system(self):
+        comparison = compare_scopes(*build_inputs())
+        assert comparison.global_area < comparison.local_area
+        assert comparison.area_ratio > 1.0
+        assert 0.0 < comparison.area_saving < 1.0
+
+    def test_local_baseline_has_no_global_types(self):
+        comparison = compare_scopes(*build_inputs())
+        assert comparison.local_result.assignment.global_types == []
+
+    def test_render_mentions_both_runs(self):
+        text = compare_scopes(*build_inputs()).render()
+        assert "global:" in text
+        assert "local :" in text
+        assert "saves" in text
+
+    def test_ratio_consistent_with_saving(self):
+        comparison = compare_scopes(*build_inputs())
+        assert comparison.area_saving == pytest.approx(
+            1.0 - 1.0 / comparison.area_ratio
+        )
+
+
+class TestTableRendering:
+    def test_table1_sections(self):
+        system, library, assignment, periods = build_inputs()
+        comparison = compare_scopes(system, library, assignment, periods)
+        text = table1(comparison.global_result)
+        assert "global type 'adder'" in text
+        assert "p1" in text
+        assert "area cost" in text
+        assert "all" in text
+
+    def test_table1_on_local_run_lists_local_instances(self):
+        system, library, assignment, periods = build_inputs()
+        comparison = compare_scopes(system, library, assignment, periods)
+        text = table1(comparison.local_result)
+        assert "local instances:" in text
+
+    def test_usage_table_lists_blocks(self):
+        system, library, assignment, periods = build_inputs()
+        comparison = compare_scopes(system, library, assignment, periods)
+        text = usage_table(comparison.global_result, "adder")
+        assert "p1/main" in text

@@ -1,0 +1,82 @@
+"""Tests for access-authorization tables."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.binding.authorization import AccessAuthorizationTable
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+@pytest.fixture
+def shared_result():
+    library = default_library()
+    system = SystemSpec(name="s")
+    for name, n_ops in (("p1", 2), ("p2", 1)):
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i in range(n_ops):
+            graph.add(f"a{i}", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=4))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"adder": 2})
+    )
+
+
+class TestFromResult:
+    def test_table_matches_result_authorizations(self, shared_result):
+        table = AccessAuthorizationTable.from_result(shared_result, "adder")
+        assert table.period == 2
+        assert table.process_order == ("p1", "p2")
+        for process in ("p1", "p2"):
+            assert (
+                table.grants[process]
+                == shared_result.authorization(process, "adder")
+            ).all()
+
+    def test_non_global_type_rejected(self, shared_result):
+        with pytest.raises(BindingError, match="not globally"):
+            AccessAuthorizationTable.from_result(shared_result, "multiplier")
+
+
+class TestTableQueries:
+    def test_grant_wraps_modulo(self, shared_result):
+        table = AccessAuthorizationTable.from_result(shared_result, "adder")
+        for slot in range(2):
+            assert table.grant("p1", slot) == table.grant("p1", slot + 2)
+
+    def test_offsets_partition_the_pool(self, shared_result):
+        table = AccessAuthorizationTable.from_result(shared_result, "adder")
+        for slot in range(table.period):
+            ids_p1 = set(table.instance_ids("p1", slot))
+            ids_p2 = set(table.instance_ids("p2", slot))
+            assert ids_p1.isdisjoint(ids_p2)
+            assert len(ids_p1) == table.grant("p1", slot)
+            assert len(ids_p2) == table.grant("p2", slot)
+            combined = ids_p1 | ids_p2
+            assert all(0 <= i < table.pool_size for i in combined)
+
+    def test_pool_size_is_max_demand(self, shared_result):
+        table = AccessAuthorizationTable.from_result(shared_result, "adder")
+        assert table.pool_size == int(table.demand().max())
+        assert table.pool_size == shared_result.global_instances("adder")
+
+    def test_unknown_process_rejected(self, shared_result):
+        table = AccessAuthorizationTable.from_result(shared_result, "adder")
+        with pytest.raises(BindingError, match="does not share"):
+            table.grant("zz", 0)
+        with pytest.raises(BindingError, match="does not share"):
+            table.offset("zz", 0)
+
+    def test_render_contains_rows(self, shared_result):
+        text = AccessAuthorizationTable.from_result(shared_result, "adder").render()
+        assert "p1" in text
+        assert "pool size" in text

@@ -1,0 +1,90 @@
+"""Tests for operation-to-instance binding."""
+
+import pytest
+
+from repro.binding.instances import bind_instances
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+
+def build_result(global_adder=True, n1=3, n2=2, deadline=6, period=3):
+    library = default_library()
+    system = SystemSpec(name="s")
+    for name, n_ops in (("p1", n1), ("p2", n2)):
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i in range(n_ops):
+            graph.add(f"a{i}", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    if global_adder:
+        assignment.make_global("adder", ["p1", "p2"])
+        periods = PeriodAssignment({"adder": period})
+    else:
+        periods = None
+    return ModuloSystemScheduler(library).schedule(system, assignment, periods)
+
+
+class TestBindInstances:
+    def test_every_operation_bound(self):
+        result = build_result()
+        binding = bind_instances(result)
+        total_ops = sum(len(s.graph) for s in result.block_schedules.values())
+        assert len(binding.binding) == total_ops
+
+    def test_validation_passes(self):
+        binding = bind_instances(build_result())
+        binding.validate()  # no exception
+
+    def test_global_ids_inside_pool(self):
+        result = build_result()
+        binding = bind_instances(result)
+        pool = result.global_instances("adder")
+        for key, instance in binding.binding.items():
+            assert 0 <= instance < pool
+
+    def test_global_ids_within_process_slot_range(self):
+        result = build_result()
+        binding = bind_instances(result)
+        table = binding.tables["adder"]
+        for (process, block, op_id), instance in binding.binding.items():
+            sched = result.block_schedules[(process, block)]
+            start = sched.start(op_id)
+            assert instance in table.instance_ids(process, start)
+
+    def test_local_binding_within_peak(self):
+        result = build_result(global_adder=False)
+        binding = bind_instances(result)
+        for (process, block, op_id), instance in binding.binding.items():
+            limit = result.local_instances(process, "adder")
+            assert 0 <= instance < limit
+
+    def test_concurrent_ops_get_distinct_instances(self):
+        # 4 adds, deadline 2 -> two ops per step, two instances.
+        result = build_result(global_adder=False, n1=4, n2=1, deadline=2)
+        binding = bind_instances(result)
+        sched = result.block_schedules[("p1", "main")]
+        by_step = {}
+        for op in sched.graph:
+            key = (sched.start(op.op_id),)
+            by_step.setdefault(key, []).append(
+                binding.instance_of("p1", "main", op.op_id)
+            )
+        for instances in by_step.values():
+            assert len(set(instances)) == len(instances)
+
+    def test_paper_system_binds_cleanly(self):
+        system, library = paper_system()
+        result = ModuloSystemScheduler(library).schedule(
+            system, paper_assignment(library), paper_periods()
+        )
+        binding = bind_instances(result)
+        binding.validate()
+        assert len(binding.tables) == 3

@@ -1,0 +1,117 @@
+"""Tests for register/lifetime estimation."""
+
+import pytest
+
+from repro.binding.registers import Lifetime, register_requirement, value_lifetimes
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.resources.library import default_library
+from repro.scheduling.schedule import BlockSchedule
+
+
+def chain_schedule():
+    library = default_library()
+    graph = DataFlowGraph(name="c")
+    graph.add("a", OpKind.ADD)
+    graph.add("b", OpKind.ADD)
+    graph.add("c", OpKind.ADD)
+    graph.add_edges([("a", "b"), ("b", "c")])
+    return BlockSchedule(
+        graph=graph, library=library, starts={"a": 0, "b": 1, "c": 2}, deadline=4
+    )
+
+
+class TestLifetimes:
+    def test_value_lives_from_finish_to_last_consumer(self):
+        lifetimes = {lt.op_id: lt for lt in value_lifetimes(chain_schedule())}
+        assert lifetimes["a"].birth == 1
+        assert lifetimes["a"].death == 2  # consumer b starts at 1
+
+    def test_output_value_lives_to_deadline(self):
+        lifetimes = {lt.op_id: lt for lt in value_lifetimes(chain_schedule())}
+        assert lifetimes["c"].death == 4
+
+    def test_lifetime_length(self):
+        assert Lifetime("x", 2, 5).length == 3
+        assert Lifetime("x", 5, 2).length == 0
+
+
+class TestRegisterRequirement:
+    def test_chain_needs_one_register_at_a_time(self):
+        # a's value dies as b is consumed; c's output value persists.
+        assert register_requirement(chain_schedule()) >= 1
+
+    def test_parallel_producers_need_parallel_registers(self):
+        library = default_library()
+        graph = DataFlowGraph(name="p")
+        for i in range(3):
+            graph.add(f"s{i}", OpKind.ADD)
+        graph.add("sink", OpKind.ADD)
+        for i in range(3):
+            graph.add_edge(f"s{i}", "sink")
+        sched = BlockSchedule(
+            graph=graph,
+            library=library,
+            starts={"s0": 0, "s1": 0, "s2": 0, "sink": 1},
+            deadline=3,
+        )
+        # Three values live simultaneously between step 1 and the sink.
+        assert register_requirement(sched) >= 3
+
+    def test_staggered_producers_reuse_registers(self):
+        library = default_library()
+        graph = DataFlowGraph(name="q")
+        graph.add("s0", OpKind.ADD)
+        graph.add("t0", OpKind.ADD)
+        graph.add("s1", OpKind.ADD)
+        graph.add("t1", OpKind.ADD)
+        graph.add_edges([("s0", "t0"), ("s1", "t1")])
+        sched = BlockSchedule(
+            graph=graph,
+            library=library,
+            starts={"s0": 0, "t0": 1, "s1": 2, "t1": 3},
+            deadline=4,
+        )
+        lifetimes = {lt.op_id: lt for lt in value_lifetimes(sched)}
+        assert lifetimes["s0"].death <= lifetimes["s1"].birth
+
+
+class TestAllocateRegisters:
+    def test_register_count_matches_requirement(self):
+        from repro.binding.registers import allocate_registers
+
+        sched = chain_schedule()
+        allocation = allocate_registers(sched)
+        used = len(set(allocation.values())) if allocation else 0
+        assert used == register_requirement(sched)
+
+    def test_no_overlapping_values_share_a_register(self):
+        from repro.binding.registers import allocate_registers
+
+        sched = chain_schedule()
+        allocation = allocate_registers(sched)
+        lifetimes = {lt.op_id: lt for lt in value_lifetimes(sched)}
+        items = list(allocation.items())
+        for i, (op_a, reg_a) in enumerate(items):
+            for op_b, reg_b in items[i + 1 :]:
+                if reg_a != reg_b:
+                    continue
+                a, b = lifetimes[op_a], lifetimes[op_b]
+                assert a.death <= b.birth or b.death <= a.birth
+
+    def test_allocation_on_random_schedules(self):
+        from repro.binding.registers import allocate_registers
+        from repro.ir.process import Block
+        from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+        from repro.workloads import random_dfg
+
+        library = default_library()
+        for seed in range(5):
+            graph = random_dfg(12, seed=seed)
+            deadline = graph.critical_path_length(library.latency_of) + 3
+            sched = ImprovedForceDirectedScheduler(library).schedule(
+                Block(name="b", graph=graph, deadline=deadline)
+            )
+            allocation = allocate_registers(sched)
+            used = len(set(allocation.values())) if allocation else 0
+            assert used == register_requirement(sched)

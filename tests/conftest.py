@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Block,
+    DataFlowGraph,
+    OpKind,
+    Process,
+    SystemSpec,
+    default_library,
+)
+
+
+@pytest.fixture
+def library():
+    """The paper's default resource library."""
+    return default_library()
+
+
+@pytest.fixture
+def chain_graph():
+    """add -> mul -> add: a three-operation chain."""
+    graph = DataFlowGraph(name="chain")
+    graph.add("a1", OpKind.ADD)
+    graph.add("m1", OpKind.MUL)
+    graph.add("a2", OpKind.ADD)
+    graph.add_edges([("a1", "m1"), ("m1", "a2")])
+    return graph
+
+
+@pytest.fixture
+def diamond_graph():
+    """a1 feeds m1 and a2; both feed a3 (classic diamond)."""
+    graph = DataFlowGraph(name="diamond")
+    graph.add("a1", OpKind.ADD)
+    graph.add("m1", OpKind.MUL)
+    graph.add("a2", OpKind.ADD)
+    graph.add("a3", OpKind.ADD)
+    graph.add_edges([("a1", "m1"), ("a1", "a2"), ("m1", "a3"), ("a2", "a3")])
+    return graph
+
+
+@pytest.fixture
+def parallel_adds_graph():
+    """Four independent additions (maximal scheduling freedom)."""
+    graph = DataFlowGraph(name="par4")
+    for i in range(4):
+        graph.add(f"a{i}", OpKind.ADD)
+    return graph
+
+
+def make_two_process_system(deadline_a: int = 8, deadline_b: int = 8) -> SystemSpec:
+    """Two small independent processes, each a single block of adds."""
+    system = SystemSpec(name="two-proc")
+    for name, deadline in (("pa", deadline_a), ("pb", deadline_b)):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("x1", OpKind.ADD)
+        graph.add("x2", OpKind.ADD)
+        graph.add("x3", OpKind.ADD)
+        graph.add_edge("x1", "x3")
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    return system
+
+
+@pytest.fixture
+def two_process_system():
+    return make_two_process_system()

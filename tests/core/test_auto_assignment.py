@@ -1,0 +1,99 @@
+"""Tests for the automatic scope-selection heuristic."""
+
+import pytest
+
+from repro.core.auto_assignment import (
+    auto_assignment,
+    decide_scopes,
+    process_utilization,
+)
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.library import default_library
+from repro.workloads import paper_system
+
+
+def system_of(spec):
+    """spec: {process: (n_muls, n_adds, deadline)}."""
+    system = SystemSpec(name="s")
+    for name, (n_muls, n_adds, deadline) in spec.items():
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i in range(n_muls):
+            graph.add(f"m{i}", OpKind.MUL)
+        for i in range(n_adds):
+            graph.add(f"a{i}", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    return system
+
+
+class TestUtilization:
+    def test_utilization_is_busy_over_deadline(self):
+        library = default_library()
+        system = system_of({"p": (0, 4, 8)})
+        process = system.process("p")
+        adder = library.type("adder")
+        assert process_utilization(process, library, adder) == pytest.approx(0.5)
+
+    def test_unused_type_zero(self):
+        library = default_library()
+        system = system_of({"p": (0, 4, 8)})
+        mult = library.type("multiplier")
+        assert process_utilization(system.process("p"), library, mult) == 0.0
+
+
+class TestDecideScopes:
+    def test_low_utilization_shared(self):
+        """1 mult op per process over 10 steps: utilization 0.1 each —
+        a single global multiplier should serve all three."""
+        library = default_library()
+        system = system_of(
+            {"p1": (1, 0, 10), "p2": (1, 0, 10), "p3": (1, 0, 10)}
+        )
+        decisions = {d.type_name: d for d in decide_scopes(system, library)}
+        assert decisions["multiplier"].make_global
+        assert decisions["multiplier"].local_estimate == 3
+        assert decisions["multiplier"].global_estimate == 1
+        assert decisions["multiplier"].area_saving == pytest.approx(8.0)
+
+    def test_high_utilization_stays_local(self):
+        """Fully busy adders gain nothing from sharing."""
+        library = default_library()
+        system = system_of({"p1": (0, 8, 8), "p2": (0, 8, 8)})
+        decisions = {d.type_name: d for d in decide_scopes(system, library)}
+        assert not decisions["adder"].make_global
+
+    def test_single_user_types_not_considered(self):
+        library = default_library()
+        system = system_of({"p1": (1, 1, 8), "p2": (0, 1, 8)})
+        names = [d.type_name for d in decide_scopes(system, library)]
+        assert "multiplier" not in names  # only p1 multiplies
+        assert "adder" in names
+
+    def test_min_saving_threshold(self):
+        library = default_library()
+        system = system_of({"p1": (1, 0, 10), "p2": (1, 0, 10)})
+        generous = decide_scopes(system, library, min_saving=0.0)
+        strict = decide_scopes(system, library, min_saving=100.0)
+        assert any(d.make_global for d in generous)
+        assert not any(d.make_global for d in strict)
+
+
+class TestAutoAssignment:
+    def test_builds_valid_assignment(self):
+        library = default_library()
+        system = system_of(
+            {"p1": (1, 2, 10), "p2": (1, 2, 10), "p3": (0, 2, 10)}
+        )
+        assignment = auto_assignment(system, library)
+        assignment.validate(system)
+        assert assignment.is_global("multiplier")
+        assert assignment.group("multiplier") == ["p1", "p2"]
+
+    def test_paper_system_shares_the_multiplier(self):
+        system, library = paper_system()
+        assignment = auto_assignment(system, library)
+        assert assignment.is_global("multiplier")
+        assert set(assignment.group("multiplier")) == {"p1", "p2", "p3", "p4", "p5"}

@@ -1,0 +1,57 @@
+"""Tests for repro.core.balancing (eq. 9 and the system sum)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.balancing import balance, process_max, system_sum
+
+
+class TestProcessMax:
+    def test_pointwise_maximum(self):
+        a = np.array([1.0, 0.0, 2.0])
+        b = np.array([0.5, 3.0, 1.0])
+        assert process_max([a, b], 3).tolist() == [1.0, 3.0, 2.0]
+
+    def test_empty_process_is_zero(self):
+        assert process_max([], 4).tolist() == [0.0] * 4
+
+    def test_single_block_identity(self):
+        a = np.array([1.0, 2.0])
+        assert process_max([a], 2).tolist() == [1.0, 2.0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SchedulingError, match="shape"):
+            process_max([np.zeros(3)], 4)
+
+
+class TestSystemSum:
+    def test_sum_across_processes(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([2.0, 1.0])
+        assert system_sum([a, b], 2).tolist() == [3.0, 1.0]
+
+    def test_empty_group_is_zero(self):
+        assert system_sum([], 3).tolist() == [0.0] * 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SchedulingError, match="shape"):
+            system_sum([np.zeros(2)], 3)
+
+
+class TestBalance:
+    def test_max_then_sum(self):
+        p1_blocks = [np.array([1.0, 0.0]), np.array([0.0, 2.0])]
+        p2_blocks = [np.array([1.0, 1.0])]
+        result = balance([p1_blocks, p2_blocks], 2)
+        # p1 max = [1, 2]; p2 max = [1, 1]; sum = [2, 3].
+        assert result.tolist() == [2.0, 3.0]
+
+    def test_blocks_within_process_do_not_add(self):
+        """C2: blocks of one process are like alternation branches."""
+        blocks = [np.array([1.0]), np.array([1.0]), np.array([1.0])]
+        assert balance([blocks], 1).tolist() == [1.0]
+
+    def test_processes_do_add(self):
+        one = [np.array([1.0])]
+        assert balance([one, one, one], 1).tolist() == [3.0]

@@ -1,0 +1,109 @@
+"""Tests for periodic conflict-graph coloring of multicycle global types."""
+
+import pytest
+
+from repro.core import ModuloSystemScheduler, PeriodAssignment
+from repro.core.coloring import multicycle_coloring, multicycle_pool
+from repro.core.verify import verify_system_schedule
+from repro.binding import bind_instances
+from repro.resources import ResourceAssignment
+from repro.rtl import build_rtl
+from repro.scheduling import area_weights
+from repro.sim import SystemSimulator
+from repro.ir.process import SystemSpec
+from repro.workloads.memory_system import (
+    compute_process,
+    dma_process,
+    memory_library,
+)
+
+
+def memory_result(words=2, deadline=12, period=6, movers=2):
+    library = memory_library()
+    system = SystemSpec(name="mem")
+    names = []
+    for index in range(movers):
+        system.add_process(dma_process(f"dma{index}", words=words, deadline=deadline))
+        names.append(f"dma{index}")
+    system.add_process(compute_process("calc", deadline=deadline))
+    names.append("calc")
+    assignment = ResourceAssignment(library)
+    assignment.make_global("memport", names)
+    scheduler = ModuloSystemScheduler(library, weights=area_weights(library))
+    return scheduler.schedule(system, assignment, PeriodAssignment({"memport": period}))
+
+
+class TestColoring:
+    def test_colors_cover_all_memport_ops(self):
+        result = memory_result()
+        colors = multicycle_coloring(result, "memport")
+        expected = 2 * 4 + 3  # two movers x (2 loads + 2 stores) + calc's 3
+        assert len(colors) == expected
+
+    def test_conflicting_ops_differ(self):
+        """Any two ops of different processes sharing an absolute slot
+        must have different colors."""
+        result = memory_result()
+        period = result.periods.period("memport")
+        occupancy = result.library.type("memport").occupancy
+        colors = multicycle_coloring(result, "memport")
+        slots = {}
+        for (process, block, op_id), color in colors.items():
+            sched = result.block_schedules[(process, block)]
+            start = sched.start(op_id)
+            op_slots = {(s + result.offset_of(process)) % period
+                        for s in range(start, start + occupancy)}
+            slots[(process, block, op_id)] = op_slots
+        keys = list(colors)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                if a[0] != b[0] and slots[a] & slots[b]:
+                    assert colors[a] != colors[b], (a, b)
+
+    def test_pool_bounded_by_demand_and_peak_sum(self):
+        result = memory_result()
+        pool = multicycle_pool(result, "memport")
+        demand_max = int(result.global_demand("memport").max())
+        peak_sum = sum(
+            int(result.authorization(p, "memport").max())
+            for p in result.assignment.group("memport")
+        )
+        assert demand_max <= pool <= peak_sum
+        assert result.global_instances("memport") == pool
+
+    def test_low_utilization_sharing_beats_local(self):
+        """A lightly used multicycle memory port collapses to one shared
+        instance, versus one per process locally."""
+        result = memory_result(words=1, deadline=24, period=12)
+        assert result.global_instances("memport") == 1
+        library = result.library
+        local = ModuloSystemScheduler(library).schedule(
+            result.system, ResourceAssignment.all_local(library)
+        )
+        assert local.instance_counts()["memport"] == 3
+
+    def test_full_stack_with_multicycle_sharing(self):
+        result = memory_result()
+        assert verify_system_schedule(result).ok
+        binding = bind_instances(result)
+        binding.validate()
+        pool = result.global_instances("memport")
+        for (process, block, op_id), instance in binding.binding.items():
+            op = result.block_schedules[(process, block)].graph.operation(op_id)
+            if result.library.type_of(op).name == "memport":
+                assert 0 <= instance < pool
+        build_rtl(result, binding).consistency_check()
+        for seed in range(3):
+            stats = SystemSimulator(result, seed=seed, trigger_probability=0.5)
+            run = stats.run(1200)
+            assert run.ok, run.trace.render()
+
+    def test_deterministic(self):
+        c1 = multicycle_coloring(memory_result(), "memport")
+        c2 = multicycle_coloring(memory_result(), "memport")
+        assert c1 == c2
+
+    def test_non_global_type_rejected(self):
+        result = memory_result()
+        with pytest.raises(Exception, match="not globally"):
+            multicycle_coloring(result, "adder")

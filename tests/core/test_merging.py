@@ -1,0 +1,86 @@
+"""Tests for the process-merging baseline."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.core.merging import merge_system, schedule_merged
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.library import default_library
+from repro.workloads import paper_system
+
+
+def simple_system(repeats=False, extra_block=False):
+    system = SystemSpec(name="s")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add_edge("a", "m")
+        process = Process(name=name)
+        process.add_block(
+            Block(name="main", graph=graph, deadline=6, repeats=repeats)
+        )
+        if extra_block:
+            g2 = DataFlowGraph(name=f"{name}-g2")
+            g2.add("x", OpKind.ADD)
+            process.add_block(Block(name="tail", graph=g2, deadline=3))
+        system.add_process(process)
+    return system
+
+
+class TestMergeSystem:
+    def test_merges_operations_with_prefixes(self):
+        block = merge_system(simple_system())
+        assert sorted(block.graph.op_ids) == [
+            "p1.a", "p1.m", "p2.a", "p2.m",
+        ]
+        assert ("p1.a", "p1.m") in block.graph.edges
+
+    def test_deadline_is_max(self):
+        system = simple_system()
+        system.process("p2").blocks[0].deadline = 9
+        assert merge_system(system).deadline == 9
+
+    def test_repeating_blocks_rejected(self):
+        with pytest.raises(SpecificationError, match="unpredictable"):
+            merge_system(simple_system(repeats=True))
+
+    def test_multi_block_processes_rejected(self):
+        with pytest.raises(SpecificationError, match="exactly one"):
+            merge_system(simple_system(extra_block=True))
+
+    def test_paper_note_processes_could_be_merged(self):
+        """§7: 'although these processes can be merged into one' — the
+        merge itself succeeds; only the spontaneous triggering makes it
+        semantically wrong."""
+        system, __ = paper_system()
+        # paper diffeq blocks repeat; drop the flag to model a merged build
+        for process in system.processes:
+            process.blocks[0].repeats = False
+        block = merge_system(system)
+        assert len(block.graph) == system.operation_count
+
+
+class TestScheduleMerged:
+    def test_merged_counts_are_pooled(self):
+        library = default_library()
+        __, counts, area = schedule_merged(simple_system(), library)
+        # 2 adds + 2 muls in 6 steps: a single adder and multiplier do.
+        assert counts == {"adder": 1, "multiplier": 1}
+        assert area == 5.0
+
+    def test_merged_beats_local_on_deterministic_system(self):
+        """For simultaneously released processes merging is maximal
+        sharing (no period constraints at all)."""
+        from repro.core.scheduler import ModuloSystemScheduler
+        from repro.resources.assignment import ResourceAssignment
+
+        library = default_library()
+        system = simple_system()
+        local = ModuloSystemScheduler(library).schedule(
+            system, ResourceAssignment.all_local(library)
+        )
+        __, __, merged_area = schedule_merged(simple_system(), library)
+        assert merged_area <= local.total_area()

@@ -1,0 +1,82 @@
+"""Tests for the heuristic period search."""
+
+import pytest
+
+from repro.core.period_search import optimize_periods
+from repro.core.periods import PeriodAssignment, enumerate_period_assignments
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+def build_problem():
+    library = default_library()
+    system = SystemSpec(name="search")
+    for name, n_adds in (("p1", 3), ("p2", 2), ("p3", 2)):
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i in range(n_adds):
+            graph.add(f"a{i}", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=12))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2", "p3"])
+    return system, library, assignment
+
+
+class TestOptimizePeriods:
+    def test_returns_valid_outcome(self):
+        system, library, assignment = build_problem()
+        outcome = optimize_periods(system, library, assignment, budget=10)
+        outcome.result.validate()
+        assert outcome.evaluations <= 10
+        assert outcome.periods.period("adder") >= 1
+        assert outcome.trace  # at least the seed evaluation
+
+    def test_never_worse_than_seed(self):
+        system, library, assignment = build_problem()
+        seed_result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 12})
+        )
+        outcome = optimize_periods(system, library, assignment, budget=15)
+        assert outcome.area <= seed_result.total_area()
+
+    def test_matches_enumeration_optimum_within_budget(self):
+        system, library, assignment = build_problem()
+        candidates = enumerate_period_assignments(system, assignment)
+        scheduler = ModuloSystemScheduler(library)
+        best_area = min(
+            scheduler.schedule(system, assignment, periods).total_area()
+            for periods in candidates
+        )
+        outcome = optimize_periods(system, library, assignment, budget=50)
+        assert outcome.area == pytest.approx(best_area)
+
+    def test_budget_one_returns_seed(self):
+        system, library, assignment = build_problem()
+        outcome = optimize_periods(system, library, assignment, budget=1)
+        assert outcome.evaluations == 1
+        assert outcome.periods.period("adder") == 12  # min-deadline seed
+
+    def test_deterministic(self):
+        system, library, assignment = build_problem()
+        o1 = optimize_periods(system, library, assignment, budget=12)
+        system2, library2, assignment2 = build_problem()
+        o2 = optimize_periods(system2, library2, assignment2, budget=12)
+        assert o1.periods.as_dict == o2.periods.as_dict
+        assert o1.area == o2.area
+
+    def test_no_global_types(self):
+        library = default_library()
+        system = SystemSpec(name="s")
+        graph = DataFlowGraph(name="g")
+        graph.add("a", OpKind.ADD)
+        process = Process(name="p")
+        process.add_block(Block(name="main", graph=graph, deadline=4))
+        system.add_process(process)
+        assignment = ResourceAssignment(library)
+        outcome = optimize_periods(system, library, assignment, budget=5)
+        assert outcome.periods.as_dict == {}

@@ -1,0 +1,189 @@
+"""Tests for repro.core.periods (step S2)."""
+
+import pytest
+
+from repro.errors import PeriodError
+from repro.core.periods import (
+    PeriodAssignment,
+    candidate_periods,
+    divisors,
+    enumerate_period_assignments,
+    is_harmonic,
+    lcm_all,
+    suggest_periods,
+)
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.workloads import paper_assignment, paper_system
+
+
+class TestHelpers:
+    def test_lcm_all(self):
+        assert lcm_all([]) == 1
+        assert lcm_all([4]) == 4
+        assert lcm_all([4, 6]) == 12
+        assert lcm_all([3, 5, 15]) == 15
+
+    def test_divisors(self):
+        assert divisors(1) == [1]
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(15) == [1, 3, 5, 15]
+
+    def test_divisors_of_nonpositive_rejected(self):
+        with pytest.raises(PeriodError):
+            divisors(0)
+
+    def test_is_harmonic(self):
+        assert is_harmonic([5, 10, 20])
+        assert is_harmonic([15, 15])
+        assert is_harmonic([7])
+        assert is_harmonic([])
+        assert not is_harmonic([4, 6])
+
+
+class TestPeriodAssignment:
+    def test_lookup(self):
+        periods = PeriodAssignment({"adder": 15})
+        assert periods.period("adder") == 15
+        assert "adder" in periods
+        assert "multiplier" not in periods
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(PeriodError, match="no period"):
+            PeriodAssignment({}).period("adder")
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(PeriodError, match=">= 1"):
+            PeriodAssignment({"adder": 0})
+
+    def test_grid_spacing_is_lcm(self):
+        periods = PeriodAssignment({"a": 4, "b": 6})
+        assert periods.grid_spacing(["a", "b"]) == 12
+        assert periods.grid_spacing(["a"]) == 4
+        assert periods.grid_spacing([]) == 1
+
+    def test_validate_against_assignment(self):
+        library = default_library()
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        PeriodAssignment({"adder": 5}).validate(assignment)
+        with pytest.raises(PeriodError, match="has no period"):
+            PeriodAssignment({}).validate(assignment)
+        with pytest.raises(PeriodError, match="non-global"):
+            PeriodAssignment({"adder": 5, "multiplier": 5}).validate(assignment)
+
+    def test_process_grid(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        periods = PeriodAssignment(
+            {"adder": 5, "multiplier": 15, "subtracter": 15}
+        )
+        assert periods.process_grid(assignment, "p1") == 15  # adder+mult
+        assert periods.process_grid(assignment, "p4") == 15
+
+
+class TestCandidates:
+    def test_candidates_capped_by_smallest_deadline(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        candidates = candidate_periods(system, assignment, "adder")
+        # Deadlines 30/30/25/15/15: divisors <= 15.
+        assert max(candidates) == 15
+        assert 1 in candidates
+        assert 5 in candidates
+        assert 15 in candidates
+        assert 25 not in candidates
+
+    def test_subtracter_candidates_from_diffeq_only(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        candidates = candidate_periods(system, assignment, "subtracter")
+        assert candidates == [1, 3, 5, 15]
+
+
+class TestEnumeration:
+    def test_enumeration_filters_harmonic(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        assignments = enumerate_period_assignments(system, assignment)
+        assert assignments  # something survives
+        for periods in assignments:
+            values = [periods.period(t) for t in assignment.global_types]
+            # Per-process harmonics imply adder/multiplier pair harmonic.
+            assert is_harmonic(values[:2])
+
+    def test_paper_choice_is_among_candidates(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        assignments = enumerate_period_assignments(system, assignment)
+        target = {"adder": 15, "multiplier": 15, "subtracter": 15}
+        assert any(p.as_dict == target for p in assignments)
+
+    def test_limit_guard(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        with pytest.raises(PeriodError, match="limit"):
+            enumerate_period_assignments(system, assignment, limit=2)
+
+    def test_no_global_types_yields_empty_assignment(self):
+        system, library = paper_system()
+        assignment = ResourceAssignment(library)
+        assignments = enumerate_period_assignments(system, assignment)
+        assert len(assignments) == 1
+        assert assignments[0].as_dict == {}
+
+    def test_max_grid_filter(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        assignments = enumerate_period_assignments(system, assignment, max_grid=5)
+        for periods in assignments:
+            for process in system.processes:
+                assert periods.process_grid(assignment, process.name) <= 5
+
+
+class TestSuggestion:
+    def test_min_deadline_strategy_reproduces_paper(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        periods = suggest_periods(system, assignment, strategy="min-deadline")
+        assert periods.as_dict == {
+            "adder": 15,
+            "multiplier": 15,
+            "subtracter": 15,
+        }
+
+    def test_gcd_strategy(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        periods = suggest_periods(system, assignment, strategy="gcd")
+        # gcd(30, 30, 25, 15, 15) = 5 for adder/multiplier.
+        assert periods.period("adder") == 5
+        assert periods.period("subtracter") == 15
+
+    def test_unknown_strategy_rejected(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        with pytest.raises(PeriodError, match="unknown period strategy"):
+            suggest_periods(system, assignment, strategy="magic")
+
+
+class TestEnumerationSize:
+    def test_paper_system_bound(self):
+        from repro.core.periods import estimate_enumeration_size
+
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        size = estimate_enumeration_size(system, assignment)
+        survivors = enumerate_period_assignments(system, assignment)
+        # Unfiltered permutation space: adder/mult 7 candidates each,
+        # subtracter 4 -> 196; eq. 3 filters most of it away (§6: "most
+        # sets are filtered out by equation 3 before scheduling").
+        assert size == 7 * 7 * 4 == 196
+        assert len(survivors) < size / 2
+
+    def test_empty_for_all_local(self):
+        from repro.core.periods import estimate_enumeration_size
+
+        system, library = paper_system()
+        assignment = ResourceAssignment(library)
+        assert estimate_enumeration_size(system, assignment) == 1

@@ -1,0 +1,117 @@
+"""Tests for resource-constrained modulo scheduling (reference [8])."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.periods import PeriodAssignment
+from repro.core.rc_modulo import RCModuloScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+
+def adds_system(spec):
+    """spec: {process: (n_adds, deadline)}."""
+    system = SystemSpec(name="s")
+    for name, (n_adds, deadline) in spec.items():
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i in range(n_adds):
+            graph.add(f"a{i}", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    return system
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+class TestRCModulo:
+    def test_shared_pool_splits_slots(self, library):
+        """One shared adder, period 2: the first process claims some slots,
+        the second gets the rest; both finish."""
+        system = adds_system({"p1": (1, 4), "p2": (1, 4)})
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = RCModuloScheduler(library, {"adder": 1}).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        a1 = result.authorization("p1", "adder")
+        a2 = result.authorization("p2", "adder")
+        # Slot-wise demand never exceeds the single instance.
+        assert np.all(a1 + a2 <= 1)
+        assert result.meets_deadlines()
+
+    def test_exhausted_pool_starves_later_process(self, library):
+        """With period 1 and a single instance, p1's claim covers every
+        absolute step — p2 can never be granted anything."""
+        system = adds_system({"p1": (2, 2), "p2": (1, 1)})
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        with pytest.raises(SchedulingError, match="horizon"):
+            RCModuloScheduler(library, {"adder": 1}).schedule(
+                system, assignment, PeriodAssignment({"adder": 1})
+            )
+
+    def test_bigger_pool_restores_deadlines(self, library):
+        system = adds_system({"p1": (2, 2), "p2": (1, 1)})
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = RCModuloScheduler(library, {"adder": 2}).schedule(
+            system, assignment, PeriodAssignment({"adder": 1})
+        )
+        assert result.meets_deadlines()
+
+    def test_fair_share_prevents_first_process_greed(self, library):
+        """Pool 2, period 2: without fair share, p1 packs both adds into
+        one step and claims both instances at one slot; with fair share it
+        spreads, leaving that slot usable for p2."""
+        def run(fair):
+            system = adds_system({"p1": (2, 4), "p2": (2, 4)})
+            assignment = ResourceAssignment(library)
+            assignment.make_global("adder", ["p1", "p2"])
+            return RCModuloScheduler(
+                library, {"adder": 2}, fair_share=fair
+            ).schedule(system, assignment, PeriodAssignment({"adder": 2}))
+
+        fair = run(True)
+        claims = fair.authorization("p1", "adder")
+        assert claims.max() <= 1
+        assert fair.meets_deadlines()
+
+    def test_missing_capacity_rejected(self, library):
+        system = adds_system({"p1": (1, 4), "p2": (1, 4)})
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        with pytest.raises(SchedulingError, match="capacity"):
+            RCModuloScheduler(library, {}).schedule(
+                system, assignment, PeriodAssignment({"adder": 2})
+            )
+
+    def test_block_schedules_are_valid(self, library):
+        system = adds_system({"p1": (3, 6), "p2": (2, 6)})
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = RCModuloScheduler(library, {"adder": 2}).schedule(
+            system, assignment, PeriodAssignment({"adder": 3})
+        )
+        for sched in result.block_schedules.values():
+            sched.validate()
+
+    def test_paper_system_with_tcms_pool_sizes(self, library):
+        """The pool sizes found by the time-constrained run must allow a
+        resource-constrained schedule that meets the paper deadlines."""
+        system, library = paper_system()
+        capacity = {"adder": 4, "subtracter": 1, "multiplier": 3}
+        result = RCModuloScheduler(library, capacity).schedule(
+            system, paper_assignment(library), paper_periods()
+        )
+        for (pname, bname), sched in result.block_schedules.items():
+            sched.validate()
+        assert result.meets_deadlines()

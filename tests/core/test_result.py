@@ -1,0 +1,115 @@
+"""Tests for SystemSchedule (counting, authorizations, area)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.periods import PeriodAssignment
+from repro.core.result import SystemSchedule
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.schedule import BlockSchedule
+
+
+def hand_built_result():
+    """Two processes, one add-block each, schedules written by hand.
+
+    p1 schedules its two adds at steps 0 and 2 (slot 0 of period 2);
+    p2 schedules its single add at step 1 (slot 1).
+    """
+    library = default_library()
+    system = SystemSpec(name="s")
+
+    g1 = DataFlowGraph(name="g1")
+    g1.add("x0", OpKind.ADD)
+    g1.add("x1", OpKind.ADD)
+    p1 = Process(name="p1")
+    p1.add_block(Block(name="main", graph=g1, deadline=4))
+    system.add_process(p1)
+
+    g2 = DataFlowGraph(name="g2")
+    g2.add("y0", OpKind.ADD)
+    p2 = Process(name="p2")
+    p2.add_block(Block(name="main", graph=g2, deadline=2))
+    system.add_process(p2)
+
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2"])
+    periods = PeriodAssignment({"adder": 2})
+    schedules = {
+        ("p1", "main"): BlockSchedule(
+            graph=g1, library=library, starts={"x0": 0, "x1": 2}, deadline=4
+        ),
+        ("p2", "main"): BlockSchedule(
+            graph=g2, library=library, starts={"y0": 1}, deadline=2
+        ),
+    }
+    return SystemSchedule(
+        system=system,
+        library=library,
+        assignment=assignment,
+        periods=periods,
+        block_schedules=schedules,
+    )
+
+
+class TestAuthorization:
+    def test_folded_authorizations(self):
+        result = hand_built_result()
+        assert result.authorization("p1", "adder").tolist() == [1, 0]
+        assert result.authorization("p2", "adder").tolist() == [0, 1]
+
+    def test_authorization_requires_shared_type(self):
+        result = hand_built_result()
+        with pytest.raises(SchedulingError, match="not globally shared"):
+            result.authorization("p1", "multiplier")
+
+    def test_global_demand_and_instances(self):
+        result = hand_built_result()
+        assert result.global_demand("adder").tolist() == [1, 1]
+        assert result.global_instances("adder") == 1
+
+    def test_global_demand_requires_global_type(self):
+        result = hand_built_result()
+        with pytest.raises(SchedulingError, match="not global"):
+            result.global_demand("multiplier")
+
+
+class TestCounts:
+    def test_local_instances_zero_for_shared_process(self):
+        result = hand_built_result()
+        assert result.local_instances("p1", "adder") == 0
+
+    def test_local_instances_zero_for_unused_type(self):
+        result = hand_built_result()
+        assert result.local_instances("p1", "multiplier") == 0
+
+    def test_instance_counts_only_lists_used_types(self):
+        result = hand_built_result()
+        assert result.instance_counts() == {"adder": 1}
+
+    def test_total_area(self):
+        result = hand_built_result()
+        assert result.total_area() == 1.0
+
+    def test_grid_spacing(self):
+        result = hand_built_result()
+        assert result.grid_spacing("p1") == 2
+        assert result.grid_spacing("p2") == 2
+
+
+class TestValidation:
+    def test_validate_passes(self):
+        hand_built_result().validate()
+
+    def test_missing_block_schedule_detected(self):
+        result = hand_built_result()
+        del result.block_schedules[("p2", "main")]
+        with pytest.raises(SchedulingError, match="no schedule"):
+            result.validate()
+
+    def test_summary_mentions_counts(self):
+        assert "1x adder" in hand_built_result().summary()

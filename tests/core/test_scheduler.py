@@ -1,0 +1,184 @@
+"""Behavioral tests for the modulo system scheduler (step S3)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.core.verify import verify_system_schedule
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+
+
+def adds_block(name, n_ops, deadline, prefix="x"):
+    graph = DataFlowGraph(name=f"{name}-g")
+    for i in range(n_ops):
+        graph.add(f"{prefix}{i}", OpKind.ADD)
+    return Block(name=name, graph=graph, deadline=deadline)
+
+
+def single_block_system(process_specs):
+    """process_specs: list of (process_name, n_adds, deadline)."""
+    system = SystemSpec(name="s")
+    for name, n_ops, deadline in process_specs:
+        process = Process(name=name)
+        process.add_block(adds_block("main", n_ops, deadline))
+        system.add_process(process)
+    return system
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+class TestBaselineEquivalence:
+    def test_all_local_matches_per_block_ifds(self, library):
+        """Without global types the coupled run degenerates to plain IFDS."""
+        system = single_block_system([("p1", 3, 5), ("p2", 4, 6)])
+        result = ModuloSystemScheduler(library).schedule(
+            system, ResourceAssignment.all_local(library)
+        )
+        for process in system.processes:
+            block = process.blocks[0]
+            solo = ImprovedForceDirectedScheduler(library).schedule(block)
+            assert result.schedule_of(process.name, "main").starts == solo.starts
+
+    def test_missing_periods_for_global_types_rejected(self, library):
+        system = single_block_system([("p1", 2, 4), ("p2", 2, 4)])
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        with pytest.raises(SchedulingError, match="PeriodAssignment"):
+            ModuloSystemScheduler(library).schedule(system, assignment)
+
+
+class TestGlobalSharing:
+    def test_two_processes_share_one_adder_via_slot_separation(self, library):
+        """Two 1-add processes, period 2: alignment to different slots
+        lets a single adder serve both."""
+        system = single_block_system([("p1", 1, 2), ("p2", 1, 2)])
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        assert result.global_instances("adder") == 1
+        assert result.total_area() == 1.0
+
+    def test_global_never_worse_than_sum_of_local_peaks(self, library):
+        system = single_block_system([("p1", 3, 6), ("p2", 2, 6), ("p3", 4, 6)])
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2", "p3"])
+        global_result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 3})
+        )
+        local_result = ModuloSystemScheduler(library).schedule(
+            single_block_system([("p1", 3, 6), ("p2", 2, 6), ("p3", 4, 6)]),
+            ResourceAssignment.all_local(library),
+        )
+        assert global_result.total_area() <= local_result.total_area()
+
+    def test_periodic_alignment_within_one_block(self, library):
+        """Figure 2: two free ops in range 4, period 2 — the modified
+        algorithm parks both on the same period slot."""
+        system = single_block_system([("p1", 2, 4), ("p2", 1, 2)])
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        sched = result.schedule_of("p1", "main")
+        starts = sorted(sched.starts.values())
+        assert starts[0] % 2 == starts[1] % 2  # same slot
+        assert starts[0] != starts[1]  # but different steps
+        # p1's authorization then occupies one slot, p2 takes the other.
+        assert result.global_instances("adder") == 1
+
+    def test_multi_block_process_balancing(self, library):
+        """Two blocks of one process may claim the same slot without
+        increasing the pool (they never overlap, eq. 9)."""
+        process = Process(name="p1")
+        process.add_block(adds_block("b1", 1, 2))
+        process.add_block(adds_block("b2", 1, 2))
+        other = Process(name="p2")
+        other.add_block(adds_block("main", 1, 2))
+        system = SystemSpec(name="s")
+        system.add_process(process)
+        system.add_process(other)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        assert result.global_instances("adder") == 1
+
+    def test_mixed_scope_types(self, library):
+        """Global adder, local multiplier in the same system."""
+        system = SystemSpec(name="s")
+        for name in ("p1", "p2"):
+            graph = DataFlowGraph(name=f"{name}-g")
+            graph.add("a", OpKind.ADD)
+            graph.add("m", OpKind.MUL)
+            process = Process(name=name)
+            process.add_block(Block(name="main", graph=graph, deadline=4))
+            system.add_process(process)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        counts = result.instance_counts()
+        assert counts["adder"] == 1  # shared pool
+        assert counts["multiplier"] == 2  # one per process
+
+    def test_result_passes_static_verification(self, library):
+        system = single_block_system([("p1", 3, 5), ("p2", 2, 5)])
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 5})
+        )
+        report = verify_system_schedule(result)
+        assert report.ok, str(report)
+
+
+class TestAblationFlags:
+    def make(self, library, **kwargs):
+        system = single_block_system([("p1", 2, 4), ("p2", 2, 4)])
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        scheduler = ModuloSystemScheduler(library, **kwargs)
+        return scheduler.schedule(system, assignment, PeriodAssignment({"adder": 2}))
+
+    def test_alignment_disabled_still_valid(self, library):
+        result = self.make(library, periodical_alignment=False)
+        assert verify_system_schedule(result).ok
+
+    def test_balancing_disabled_still_valid(self, library):
+        result = self.make(library, global_balancing=False)
+        assert verify_system_schedule(result).ok
+
+    def test_full_modification_not_worse(self, library):
+        full = self.make(library)
+        plain = self.make(library, periodical_alignment=False)
+        assert full.total_area() <= plain.total_area()
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, library):
+        def run():
+            system = single_block_system([("p1", 3, 6), ("p2", 3, 6)])
+            assignment = ResourceAssignment(library)
+            assignment.make_global("adder", ["p1", "p2"])
+            return ModuloSystemScheduler(library).schedule(
+                system, assignment, PeriodAssignment({"adder": 3})
+            )
+
+        first, second = run(), run()
+        for key in first.block_schedules:
+            assert first.block_schedules[key].starts == second.block_schedules[key].starts
+        assert first.iterations == second.iterations

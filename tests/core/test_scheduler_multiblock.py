@@ -1,0 +1,129 @@
+"""Deeper system-scheduler tests: multi-block processes, mixed periods,
+guard/global interplay, and partial group membership."""
+
+import numpy as np
+import pytest
+
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.core.verify import verify_system_schedule
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.sim.simulator import SystemSimulator
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+def block_of(name, ops, deadline, edges=(), guards=None):
+    graph = DataFlowGraph(name=f"{name}-g")
+    for op_id, kind in ops:
+        guard = (guards or {}).get(op_id)
+        graph.add(op_id, kind, guard=guard)
+    graph.add_edges(edges)
+    return Block(name=name, graph=graph, deadline=deadline)
+
+
+class TestMultiBlockProcesses:
+    def test_loop_body_plus_prologue(self, library):
+        """The paper's block composition: a prologue block and a repeating
+        loop body, both drawing from the same global pool."""
+        process = Process(name="p1")
+        process.add_block(block_of("prologue", [("a0", OpKind.ADD)], 4))
+        body = block_of("body", [("a1", OpKind.ADD), ("a2", OpKind.ADD)], 4)
+        body.repeats = True
+        process.add_block(body)
+        other = Process(name="p2")
+        other.add_block(block_of("main", [("x", OpKind.ADD)], 4))
+        system = SystemSpec(name="s")
+        system.add_process(process)
+        system.add_process(other)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        assert verify_system_schedule(result).ok
+        # p1's authorization is the max over prologue and body (eq. 9).
+        auth = result.authorization("p1", "adder")
+        for __, sched in result.blocks_of("p1"):
+            folded = np.zeros(2, dtype=int)
+            profile = sched.usage_profile("adder")
+            for t, used in enumerate(profile):
+                folded[t % 2] = max(folded[t % 2], used)
+            assert (folded <= auth).all()
+        for seed in range(3):
+            stats = SystemSimulator(result, seed=seed, trigger_probability=0.6)
+            assert stats.run(500).ok
+
+    def test_harmonic_mixed_periods(self, library):
+        """Adder period 2 and multiplier period 4 (harmonic) in one process:
+        grid = 4, both couplings hold."""
+        system = SystemSpec(name="s")
+        for name in ("p1", "p2"):
+            graph = DataFlowGraph(name=f"{name}-g")
+            graph.add("a", OpKind.ADD)
+            graph.add("m", OpKind.MUL)
+            process = Process(name=name)
+            process.add_block(Block(name="main", graph=graph, deadline=8))
+            system.add_process(process)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        assignment.make_global("multiplier", ["p1", "p2"])
+        periods = PeriodAssignment({"adder": 2, "multiplier": 4})
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, periods
+        )
+        assert result.grid_spacing("p1") == 4
+        assert verify_system_schedule(result).ok
+        assert result.global_instances("adder") == 1
+        assert result.global_instances("multiplier") == 1
+
+    def test_partial_group_membership(self, library):
+        """p3 uses adders but stays outside the sharing group: it keeps a
+        local instance while p1/p2 share a pool."""
+        system = SystemSpec(name="s")
+        for name in ("p1", "p2", "p3"):
+            graph = DataFlowGraph(name=f"{name}-g")
+            graph.add("a", OpKind.ADD)
+            process = Process(name=name)
+            process.add_block(Block(name="main", graph=graph, deadline=2))
+            system.add_process(process)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        assert result.global_instances("adder") == 1
+        assert result.local_instances("p3", "adder") == 1
+        assert result.instance_counts()["adder"] == 2
+
+    def test_guarded_global_sharing(self, library):
+        """Exclusive branches fold into the authorization at branch-max,
+        so a guarded pair costs one slot grant, not two."""
+        system = SystemSpec(name="s")
+        p1 = Process(name="p1")
+        p1.add_block(
+            block_of(
+                "main",
+                [("t", OpKind.ADD), ("e", OpKind.ADD)],
+                2,
+                guards={"t": ("c", "then"), "e": ("c", "else")},
+            )
+        )
+        system.add_process(p1)
+        p2 = Process(name="p2")
+        p2.add_block(block_of("main", [("x", OpKind.ADD)], 2))
+        system.add_process(p2)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        assert int(result.authorization("p1", "adder").sum()) <= 2
+        assert result.global_instances("adder") == 1

@@ -1,0 +1,197 @@
+"""Tests for the behavioral front end."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.behavior import BehaviorParser, parse_behavior
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.resources.library import default_library
+
+
+class TestStatements:
+    def test_single_addition(self):
+        graph = parse_behavior("y = a + b")
+        assert len(graph) == 1
+        op = graph.operations[0]
+        assert op.kind is OpKind.ADD
+        assert op.op_id == "y#1"
+
+    def test_precedence_mul_over_add(self):
+        graph = parse_behavior("y = a + b * c")
+        kinds = [op.kind for op in graph]
+        assert kinds == [OpKind.MUL, OpKind.ADD]
+        mul, add = graph.op_ids
+        assert (mul, add) in graph.edges
+
+    def test_parentheses_override(self):
+        graph = parse_behavior("y = (a + b) * c")
+        kinds = [op.kind for op in graph]
+        assert kinds == [OpKind.ADD, OpKind.MUL]
+
+    def test_left_associative_subtraction(self):
+        graph = parse_behavior("y = a - b - c")
+        first, second = graph.op_ids
+        assert (first, second) in graph.edges
+
+    def test_comparison(self):
+        graph = parse_behavior("flag = x < limit")
+        assert graph.operations[0].kind is OpKind.CMP
+
+    def test_numbers_are_free_inputs(self):
+        graph = parse_behavior("y = 3 * x")
+        assert len(graph) == 1
+        assert graph.predecessors(graph.op_ids[0]) == []
+
+    def test_cross_statement_dependence(self):
+        graph = parse_behavior("t = a + b\ny = t * c")
+        t_id, y_id = graph.op_ids
+        assert (t_id, y_id) in graph.edges
+
+    def test_diffeq_body(self):
+        text = (
+            "x1 = x + dx\n"
+            "u1 = u - (3 * x) * (u * dx) - (3 * y) * dx\n"
+            "y1 = y + u * dx\n"
+            "c = x1 < a\n"
+        )
+        graph = parse_behavior(text, name="diffeq")
+        counts = graph.count_by_kind()
+        # No common-subexpression elimination: u*dx appears twice, like
+        # the classic HAL graph's six multiplications.
+        assert counts[OpKind.MUL] == 6
+        assert counts[OpKind.SUB] == 2
+        assert counts[OpKind.ADD] == 2
+        assert counts[OpKind.CMP] == 1
+        # It schedules with the default library.
+        from repro.ir.process import Block
+        from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+
+        library = default_library()
+        deadline = graph.critical_path_length(library.latency_of) + 2
+        schedule = ImprovedForceDirectedScheduler(library).schedule(
+            Block(name="d", graph=graph, deadline=deadline)
+        )
+        schedule.validate()
+
+    def test_comments_and_blank_lines(self):
+        graph = parse_behavior("# header\n\ny = a + b  # trailing\n")
+        assert len(graph) == 1
+
+    def test_guarded_statements(self):
+        graph = DataFlowGraph(name="g")
+        parser = BehaviorParser(graph)
+        parser.statement("t = a + b", guard=("mode", "fast"))
+        parser.statement("e = a - b", guard=("mode", "slow"))
+        ops = graph.operations
+        assert ops[0].guard == ("mode", "fast")
+        assert ops[1].guard == ("mode", "slow")
+        assert ops[0].excludes(ops[1])
+
+
+class TestErrors:
+    def test_double_assignment_rejected(self):
+        with pytest.raises(GraphError, match="assigned twice"):
+            parse_behavior("y = a + b\ny = a - b")
+
+    def test_pure_copy_rejected(self):
+        with pytest.raises(GraphError, match="computes nothing"):
+            parse_behavior("y = x")
+
+    def test_constant_only_rejected(self):
+        with pytest.raises(GraphError, match="computes nothing"):
+            parse_behavior("y = 42")
+
+    def test_missing_equals(self):
+        with pytest.raises(GraphError, match="expected '='"):
+            parse_behavior("y a + b")
+
+    def test_missing_paren(self):
+        with pytest.raises(GraphError, match="missing"):
+            parse_behavior("y = (a + b")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(GraphError, match="tokenize"):
+            parse_behavior("y = a @ b")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(GraphError, match="trailing"):
+            parse_behavior("y = a + b c")
+
+
+class TestSystemioIntegration:
+    def test_stmt_directive(self):
+        from repro.ir import systemio
+
+        text = (
+            "process p1\n"
+            "block p1 main deadline=10\n"
+            "stmt p1 main t = a + b\n"
+            "stmt p1 main y = t * c\n"
+        )
+        doc = systemio.loads(text)
+        graph = doc.build_system().process("p1").block("main").graph
+        assert len(graph) == 2
+        assert ("t#1", "y#1") in graph.edges
+
+    def test_stmt_with_guard(self):
+        from repro.ir import systemio
+
+        text = (
+            "process p1\n"
+            "block p1 main deadline=10\n"
+            "stmt p1 main guard=mode:fast t = a + b\n"
+        )
+        doc = systemio.loads(text)
+        graph = doc.build_system().process("p1").block("main").graph
+        assert graph.operations[0].guard == ("mode", "fast")
+
+    def test_stmt_mixed_with_op_directives(self):
+        from repro.ir import systemio
+
+        text = (
+            "process p1\n"
+            "block p1 main deadline=10\n"
+            "op p1 main seed add\n"
+            "stmt p1 main y = a * b\n"
+        )
+        graph = systemio.loads(text).build_system().process("p1").block("main").graph
+        assert sorted(graph.op_ids) == ["seed", "y#1"]
+
+    def test_stmt_error_carries_line_number(self):
+        from repro.ir import systemio
+
+        with pytest.raises(Exception, match="line 3"):
+            systemio.loads(
+                "process p1\nblock p1 main deadline=10\nstmt p1 main y = x\n"
+            )
+
+    def test_schedulable_end_to_end(self):
+        from repro.api import loads_problem
+
+        text = (
+            "process p1\n"
+            "block p1 main deadline=12\n"
+            "stmt p1 main y = (a * x + b) * c\n"
+            "process p2\n"
+            "block p2 main deadline=12\n"
+            "stmt p2 main z = p * q + r * s\n"
+            "global multiplier p1 p2\n"
+            "period multiplier 6\n"
+        )
+        problem = loads_problem(text)
+        result = problem.schedule()
+        assert result.global_instances("multiplier") >= 1
+        result.validate()
+
+    def test_stmt_consumes_op_directive_nodes(self):
+        from repro.ir import systemio
+
+        text = (
+            "process p1\n"
+            "block p1 main deadline=10\n"
+            "op p1 main seed add\n"
+            "stmt p1 main y = seed * gain\n"
+        )
+        graph = systemio.loads(text).build_system().process("p1").block("main").graph
+        assert ("seed", "y#1") in graph.edges

@@ -1,0 +1,98 @@
+"""Tests for repro.ir.expr (expression-capture builder)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.expr import ExprBuilder
+from repro.ir.operation import OpKind
+
+
+class TestExprBuilder:
+    def test_single_addition(self):
+        b = ExprBuilder("t")
+        x, y = b.inputs("x", "y")
+        __ = x + y
+        graph = b.build()
+        assert len(graph) == 1
+        assert graph.operations[0].kind is OpKind.ADD
+
+    def test_operator_kinds(self):
+        b = ExprBuilder()
+        x, y = b.inputs("x", "y")
+        __ = x + y
+        __ = x - y
+        __ = x * y
+        __ = x < y
+        kinds = [op.kind for op in b.build()]
+        assert kinds == [OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.CMP]
+
+    def test_dependencies_create_edges(self):
+        b = ExprBuilder()
+        x, y = b.inputs("x", "y")
+        s = x + y
+        t = s * x
+        graph = b.build()
+        assert (s.producer, t.producer) in graph.edges
+
+    def test_inputs_create_no_nodes(self):
+        b = ExprBuilder()
+        b.inputs("x", "y", "z")
+        assert len(b.build()) == 0
+
+    def test_constant_behaves_like_input(self):
+        b = ExprBuilder()
+        x = b.input("x")
+        three = b.constant(3)
+        p = three * x
+        graph = b.build()
+        assert graph.predecessors(p.producer) == []
+
+    def test_shared_subexpression_fans_out(self):
+        b = ExprBuilder()
+        x, y = b.inputs("x", "y")
+        s = x + y
+        __ = s * x
+        __ = s * y
+        graph = b.build()
+        assert len(graph.successors(s.producer)) == 2
+
+    def test_diffeq_like_expression(self):
+        b = ExprBuilder("diffeq")
+        x, y, u, dx, three = b.inputs("x", "y", "u", "dx", "3")
+        x1 = x + dx
+        u1 = u - (three * x) * (u * dx) - (three * y) * dx
+        b.output("x1", x1)
+        b.output("u1", u1)
+        graph = b.build()
+        counts = graph.count_by_kind()
+        assert counts[OpKind.MUL] == 5
+        assert counts[OpKind.SUB] == 2
+        assert counts[OpKind.ADD] == 1
+        assert set(b.outputs) == {"x1", "u1"}
+
+    def test_mixing_builders_rejected(self):
+        b1, b2 = ExprBuilder(), ExprBuilder()
+        x = b1.input("x")
+        y = b2.input("y")
+        with pytest.raises(GraphError, match="different builders"):
+            __ = x + y
+
+    def test_non_value_operand_rejected(self):
+        b = ExprBuilder()
+        x = b.input("x")
+        with pytest.raises(TypeError, match="builder values"):
+            __ = x + 3
+
+    def test_build_finalizes(self):
+        b = ExprBuilder()
+        x, y = b.inputs("x", "y")
+        __ = x + y
+        b.build()
+        with pytest.raises(GraphError, match="finalized"):
+            __ = x * y
+
+    def test_output_of_foreign_value_rejected(self):
+        b1, b2 = ExprBuilder(), ExprBuilder()
+        x = b1.input("x")
+        with pytest.raises(GraphError, match="different builder"):
+            b2.output("o", x)

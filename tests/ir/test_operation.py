@@ -1,0 +1,68 @@
+"""Tests for repro.ir.operation."""
+
+import pytest
+
+from repro.ir.operation import OpKind, Operation
+
+
+class TestOpKind:
+    def test_symbols_for_arithmetic_kinds(self):
+        assert OpKind.ADD.symbol == "+"
+        assert OpKind.SUB.symbol == "-"
+        assert OpKind.MUL.symbol == "*"
+        assert OpKind.CMP.symbol == "<"
+
+    def test_from_string_accepts_value_names(self):
+        assert OpKind.from_string("add") is OpKind.ADD
+        assert OpKind.from_string("MUL") is OpKind.MUL
+        assert OpKind.from_string("  sub ") is OpKind.SUB
+
+    def test_from_string_accepts_symbols(self):
+        assert OpKind.from_string("+") is OpKind.ADD
+        assert OpKind.from_string("*") is OpKind.MUL
+        assert OpKind.from_string("<") is OpKind.CMP
+        assert OpKind.from_string("<<") is OpKind.SHL
+
+    def test_from_string_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown operation kind"):
+            OpKind.from_string("frobnicate")
+
+    def test_str_is_value(self):
+        assert str(OpKind.ADD) == "add"
+
+    def test_every_kind_has_a_symbol(self):
+        for kind in OpKind:
+            assert kind.symbol
+            assert OpKind.from_string(kind.symbol) is kind
+
+
+class TestOperation:
+    def test_basic_construction(self):
+        op = Operation(op_id="n1", kind=OpKind.ADD)
+        assert op.op_id == "n1"
+        assert op.kind is OpKind.ADD
+
+    def test_label_defaults_to_symbol_and_id(self):
+        assert Operation(op_id="n3", kind=OpKind.MUL).label == "*n3"
+
+    def test_label_uses_explicit_name(self):
+        op = Operation(op_id="n3", kind=OpKind.MUL, name="3*x")
+        assert op.label == "3*x"
+        assert str(op) == "3*x"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Operation(op_id="", kind=OpKind.ADD)
+
+    def test_non_opkind_kind_rejected(self):
+        with pytest.raises(TypeError, match="OpKind"):
+            Operation(op_id="n1", kind="add")
+
+    def test_operations_are_frozen(self):
+        op = Operation(op_id="n1", kind=OpKind.ADD)
+        with pytest.raises(AttributeError):
+            op.op_id = "n2"
+
+    def test_equality_by_value(self):
+        assert Operation("n1", OpKind.ADD) == Operation("n1", OpKind.ADD)
+        assert Operation("n1", OpKind.ADD) != Operation("n1", OpKind.SUB)

@@ -1,0 +1,141 @@
+"""Tests for repro.ir.process (blocks, processes, system specs)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+
+
+def small_graph(name="g", kinds=(OpKind.ADD, OpKind.MUL)):
+    graph = DataFlowGraph(name=name)
+    for i, kind in enumerate(kinds):
+        graph.add(f"n{i}", kind)
+    for i in range(len(kinds) - 1):
+        graph.add_edge(f"n{i}", f"n{i + 1}")
+    return graph
+
+
+class TestBlock:
+    def test_valid_block(self):
+        block = Block(name="b", graph=small_graph(), deadline=5)
+        assert block.deadline == 5
+        assert len(block.operations) == 2
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(SpecificationError, match="positive"):
+            Block(name="b", graph=small_graph(), deadline=0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SpecificationError, match="empty"):
+            Block(name="b", graph=DataFlowGraph(), deadline=5)
+
+    def test_kinds_used_deterministic(self):
+        block = Block(name="b", graph=small_graph(), deadline=5)
+        assert block.kinds_used() == [OpKind.ADD, OpKind.MUL]
+
+    def test_repeats_flag(self):
+        block = Block(name="b", graph=small_graph(), deadline=5, repeats=True)
+        assert block.repeats
+
+
+class TestProcess:
+    def test_add_and_lookup_block(self):
+        process = Process(name="p")
+        block = Block(name="b", graph=small_graph(), deadline=5)
+        process.add_block(block)
+        assert process.block("b") is block
+
+    def test_duplicate_block_name_rejected(self):
+        process = Process(name="p")
+        process.add_block(Block(name="b", graph=small_graph(), deadline=5))
+        with pytest.raises(SpecificationError, match="duplicate"):
+            process.add_block(Block(name="b", graph=small_graph(), deadline=5))
+
+    def test_duplicate_in_constructor_rejected(self):
+        blocks = [
+            Block(name="b", graph=small_graph(), deadline=5),
+            Block(name="b", graph=small_graph(), deadline=6),
+        ]
+        with pytest.raises(SpecificationError, match="duplicate"):
+            Process(name="p", blocks=blocks)
+
+    def test_unknown_block_lookup(self):
+        with pytest.raises(SpecificationError, match="no block"):
+            Process(name="p").block("zz")
+
+    def test_kinds_and_operation_count(self):
+        process = Process(name="p")
+        process.add_block(Block(name="b1", graph=small_graph(), deadline=5))
+        process.add_block(
+            Block(name="b2", graph=small_graph(kinds=(OpKind.SUB,)), deadline=3)
+        )
+        assert process.kinds_used() == [OpKind.ADD, OpKind.MUL, OpKind.SUB]
+        assert process.operation_count == 3
+
+
+class TestSystemSpec:
+    def make_system(self):
+        system = SystemSpec(name="s")
+        for name in ("p1", "p2"):
+            process = Process(name=name)
+            process.add_block(Block(name="main", graph=small_graph(), deadline=6))
+            system.add_process(process)
+        return system
+
+    def test_add_and_lookup(self):
+        system = self.make_system()
+        assert len(system) == 2
+        assert "p1" in system
+        assert system.process("p1").name == "p1"
+
+    def test_duplicate_process_rejected(self):
+        system = self.make_system()
+        process = Process(name="p1")
+        process.add_block(Block(name="main", graph=small_graph(), deadline=6))
+        with pytest.raises(SpecificationError, match="duplicate"):
+            system.add_process(process)
+
+    def test_empty_process_rejected(self):
+        system = SystemSpec()
+        with pytest.raises(SpecificationError, match="no blocks"):
+            system.add_process(Process(name="p"))
+
+    def test_unknown_process_lookup(self):
+        with pytest.raises(SpecificationError, match="no process"):
+            self.make_system().process("zz")
+
+    def test_iter_blocks_covers_everything(self):
+        pairs = list(self.make_system().iter_blocks())
+        assert [(p.name, b.name) for p, b in pairs] == [
+            ("p1", "main"),
+            ("p2", "main"),
+        ]
+
+    def test_processes_using(self):
+        system = self.make_system()
+        assert system.processes_using(OpKind.MUL) == ["p1", "p2"]
+        assert system.processes_using(OpKind.DIV) == []
+
+    def test_validate_empty_system_rejected(self):
+        with pytest.raises(SpecificationError, match="no processes"):
+            SystemSpec().validate()
+
+    def test_validate_c1_deadline_feasibility(self):
+        system = SystemSpec()
+        process = Process(name="p")
+        # Chain add->mul: needs 1 + 2 = 3 steps.
+        process.add_block(Block(name="main", graph=small_graph(), deadline=2))
+        system.add_process(process)
+        latency = {OpKind.ADD: 1, OpKind.MUL: 2}
+        with pytest.raises(SpecificationError, match="C1"):
+            system.validate(lambda op: latency[op.kind])
+
+    def test_validate_passes_with_enough_time(self):
+        system = self.make_system()
+        latency = {OpKind.ADD: 1, OpKind.MUL: 2}
+        system.validate(lambda op: latency[op.kind])
+
+    def test_operation_count(self):
+        assert self.make_system().operation_count == 4

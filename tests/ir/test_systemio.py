@@ -1,0 +1,112 @@
+"""Tests for the .sys system-specification text format."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.ir import systemio
+from repro.ir.operation import OpKind
+
+VALID = """\
+system demo
+resource adder kinds=add latency=1 area=1
+resource mult kinds=mul latency=2 area=4 pipelined ii=1
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul widget
+edge p1 main a1 m1
+process p2
+block p2 loop deadline=6 repeats
+op p2 loop m1 mul
+global mult p1 p2
+period mult 4
+"""
+
+
+class TestLoads:
+    def test_full_document(self):
+        doc = systemio.loads(VALID)
+        assert doc.name == "demo"
+        assert set(doc.resources) == {"adder", "mult"}
+        assert doc.resources["mult"]["pipelined"] is True
+        assert doc.resources["mult"]["latency"] == 2
+        assert doc.process_order == ["p1", "p2"]
+        assert doc.globals == {"mult": ["p1", "p2"]}
+        assert doc.periods == {"mult": 4}
+
+    def test_build_system(self):
+        system = systemio.loads(VALID).build_system()
+        assert system.name == "demo"
+        assert system.process("p1").block("main").deadline == 8
+        assert system.process("p2").block("loop").repeats
+        graph = system.process("p1").block("main").graph
+        assert graph.operation("m1").kind is OpKind.MUL
+        assert graph.operation("m1").name == "widget"
+        assert graph.edges == [("a1", "m1")]
+
+    def test_comments_and_blanks(self):
+        doc = systemio.loads("# hi\n\nsystem x\nprocess p\nblock p b deadline=2\nop p b a add\n")
+        assert doc.name == "x"
+
+    def test_unknown_directive(self):
+        with pytest.raises(SpecificationError, match="line 1"):
+            systemio.loads("frobnicate\n")
+
+    def test_op_before_block(self):
+        with pytest.raises(SpecificationError, match="unknown block"):
+            systemio.loads("process p\nop p b a add\n")
+
+    def test_block_before_process(self):
+        with pytest.raises(SpecificationError, match="unknown process"):
+            systemio.loads("block p b deadline=4\n")
+
+    def test_block_requires_deadline(self):
+        with pytest.raises(SpecificationError, match="deadline"):
+            systemio.loads("process p\nblock p b\n")
+
+    def test_duplicate_process(self):
+        with pytest.raises(SpecificationError, match="duplicate process"):
+            systemio.loads("process p\nprocess p\n")
+
+    def test_resource_without_kinds(self):
+        with pytest.raises(SpecificationError, match="no kinds"):
+            systemio.loads("resource x latency=1\n")
+
+    def test_bad_resource_option(self):
+        with pytest.raises(SpecificationError, match="unknown resource option"):
+            systemio.loads("resource x kinds=add voltage=5\n")
+
+    def test_global_needs_two_processes(self):
+        doc = systemio.loads("global mult p1\n") if False else None
+        with pytest.raises(SpecificationError, match="'global' takes"):
+            systemio.loads("global mult p1\n")
+
+
+class TestRoundTrip:
+    def test_dumps_loads_round_trip(self):
+        doc = systemio.loads(VALID)
+        system = doc.build_system()
+        text = systemio.dumps(
+            system,
+            resources=doc.resources,
+            global_groups=doc.globals,
+            periods=doc.periods,
+        )
+        doc2 = systemio.loads(text)
+        assert doc2.name == doc.name
+        assert doc2.globals == doc.globals
+        assert doc2.periods == doc.periods
+        system2 = doc2.build_system()
+        for process in system.processes:
+            for block in process.blocks:
+                other = system2.process(process.name).block(block.name)
+                assert other.deadline == block.deadline
+                assert other.repeats == block.repeats
+                assert other.graph.op_ids == block.graph.op_ids
+                assert other.graph.edges == block.graph.edges
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "demo.sys"
+        path.write_text(VALID, encoding="utf-8")
+        doc = systemio.load(path)
+        assert doc.name == "demo"

@@ -1,0 +1,78 @@
+"""Tests for repro.ir.textio (text serialization)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir import textio
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+
+
+def sample_graph():
+    graph = DataFlowGraph(name="sample")
+    graph.add("a", OpKind.ADD)
+    graph.add("m", OpKind.MUL, name="3*x")
+    graph.add_edge("a", "m")
+    return graph
+
+
+class TestDumps:
+    def test_dumps_contains_directives(self):
+        text = textio.dumps(sample_graph())
+        assert "dfg sample" in text
+        assert "op a add" in text
+        assert "op m mul 3*x" in text
+        assert "edge a m" in text
+
+
+class TestLoads:
+    def test_round_trip(self):
+        original = sample_graph()
+        loaded = textio.loads(textio.dumps(original))
+        assert loaded.name == original.name
+        assert loaded.op_ids == original.op_ids
+        assert loaded.edges == original.edges
+        assert loaded.operation("m").name == "3*x"
+        assert loaded.operation("m").kind is OpKind.MUL
+
+    def test_symbols_accepted_as_kinds(self):
+        graph = textio.loads("op a +\nop m *\nedge a m\n")
+        assert graph.operation("a").kind is OpKind.ADD
+        assert graph.operation("m").kind is OpKind.MUL
+
+    def test_comments_and_blank_lines_ignored(self):
+        graph = textio.loads("# header\n\nop a add  # trailing\n")
+        assert graph.op_ids == ["a"]
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(GraphError, match="unknown directive"):
+            textio.loads("frob a b\n")
+
+    def test_bad_op_arity_rejected(self):
+        with pytest.raises(GraphError, match="'op' takes"):
+            textio.loads("op a\n")
+
+    def test_bad_edge_arity_rejected(self):
+        with pytest.raises(GraphError, match="'edge' takes"):
+            textio.loads("op a add\nedge a\n")
+
+    def test_unknown_kind_rejected_with_line_number(self):
+        with pytest.raises(GraphError, match="line 1"):
+            textio.loads("op a frob\n")
+
+    def test_cyclic_input_rejected(self):
+        text = "op a add\nop b add\nedge a b\nedge b a\n"
+        with pytest.raises(GraphError, match="cycle"):
+            textio.loads(text)
+
+    def test_first_dfg_name_wins(self):
+        graph = textio.loads("dfg first\ndfg second\nop a add\n")
+        assert graph.name == "first"
+
+
+class TestFileRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        path = tmp_path / "g.dfg"
+        textio.dump(sample_graph(), path)
+        loaded = textio.load(path)
+        assert loaded.op_ids == ["a", "m"]

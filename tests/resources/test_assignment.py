@@ -1,0 +1,127 @@
+"""Tests for repro.resources.assignment (step S1)."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+def system_with_kinds(kind_map):
+    """kind_map: process name -> list of kinds used."""
+    system = SystemSpec(name="s")
+    for name, kinds in kind_map.items():
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i, kind in enumerate(kinds):
+            graph.add(f"n{i}", kind)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=8))
+        system.add_process(process)
+    return system
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+@pytest.fixture
+def system():
+    return system_with_kinds(
+        {
+            "p1": [OpKind.ADD, OpKind.MUL],
+            "p2": [OpKind.ADD, OpKind.MUL],
+            "p3": [OpKind.ADD],
+        }
+    )
+
+
+class TestDeclaration:
+    def test_default_everything_local(self, library):
+        assignment = ResourceAssignment(library)
+        assert assignment.global_types == []
+        assert not assignment.is_global("adder")
+
+    def test_make_global(self, library):
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        assert assignment.is_global("adder")
+        assert assignment.group("adder") == ["p1", "p2"]
+
+    def test_group_of_one_rejected(self, library):
+        assignment = ResourceAssignment(library)
+        with pytest.raises(ResourceError, match=">= 2"):
+            assignment.make_global("adder", ["p1"])
+
+    def test_duplicate_group_members_deduplicated(self, library):
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2", "p1"])
+        assert assignment.group("adder") == ["p1", "p2"]
+
+    def test_unknown_type_rejected(self, library):
+        assignment = ResourceAssignment(library)
+        with pytest.raises(ResourceError, match="no resource type"):
+            assignment.make_global("zz", ["p1", "p2"])
+
+    def test_make_local_reverts(self, library):
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        assignment.make_local("adder")
+        assert not assignment.is_global("adder")
+
+
+class TestQueries:
+    def test_global_types_of_process(self, library):
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        assignment.make_global("multiplier", ["p1", "p3"])
+        assert assignment.global_types_of("p1") == ["adder", "multiplier"]
+        assert assignment.global_types_of("p2") == ["adder"]
+        assert assignment.global_types_of("p4") == []
+
+    def test_shares_globally(self, library):
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        assert assignment.shares_globally("adder", "p1")
+        assert not assignment.shares_globally("adder", "p3")
+        assert not assignment.shares_globally("multiplier", "p1")
+
+    def test_users(self, library, system):
+        assignment = ResourceAssignment(library)
+        assert assignment.users(system, "adder") == ["p1", "p2", "p3"]
+        assert assignment.users(system, "multiplier") == ["p1", "p2"]
+
+
+class TestValidation:
+    def test_valid_assignment_passes(self, library, system):
+        assignment = ResourceAssignment(library)
+        assignment.make_global("multiplier", ["p1", "p2"])
+        assignment.validate(system)
+
+    def test_unknown_process_in_group(self, library, system):
+        assignment = ResourceAssignment(library)
+        assignment.make_global("multiplier", ["p1", "zz"])
+        with pytest.raises(ResourceError, match="unknown process"):
+            assignment.validate(system)
+
+    def test_non_user_in_group(self, library, system):
+        assignment = ResourceAssignment(library)
+        assignment.make_global("multiplier", ["p1", "p3"])  # p3 has no MUL
+        with pytest.raises(ResourceError, match="no operation"):
+            assignment.validate(system)
+
+
+class TestFactories:
+    def test_all_local(self, library):
+        assert ResourceAssignment.all_local(library).global_types == []
+
+    def test_all_global_groups_every_shared_type(self, library, system):
+        assignment = ResourceAssignment.all_global(library, system)
+        assert assignment.group("adder") == ["p1", "p2", "p3"]
+        assert assignment.group("multiplier") == ["p1", "p2"]
+        # Subtracter used by nobody: stays local.
+        assert not assignment.is_global("subtracter")
+        assignment.validate(system)

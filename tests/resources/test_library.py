@@ -1,0 +1,82 @@
+"""Tests for repro.resources.library."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind, Operation
+from repro.resources.library import ResourceLibrary, alu_library, default_library
+from repro.resources.types import resource_type
+
+
+class TestResourceLibrary:
+    def test_add_and_lookup(self):
+        lib = ResourceLibrary()
+        adder = lib.add(resource_type("adder", [OpKind.ADD]))
+        assert lib.type("adder") is adder
+        assert "adder" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_name_rejected(self):
+        lib = ResourceLibrary([resource_type("adder", [OpKind.ADD])])
+        with pytest.raises(ResourceError, match="duplicate"):
+            lib.add(resource_type("adder", [OpKind.SUB]))
+
+    def test_conflicting_kind_rejected(self):
+        lib = ResourceLibrary([resource_type("adder", [OpKind.ADD])])
+        with pytest.raises(ResourceError, match="already served"):
+            lib.add(resource_type("alu", [OpKind.ADD, OpKind.SUB]))
+
+    def test_unknown_type_lookup(self):
+        with pytest.raises(ResourceError, match="no resource type"):
+            ResourceLibrary().type("zz")
+
+    def test_type_for_kind(self):
+        lib = default_library()
+        assert lib.type_for(OpKind.MUL).name == "multiplier"
+        with pytest.raises(ResourceError, match="executes"):
+            lib.type_for(OpKind.DIV)
+
+    def test_latency_and_occupancy_of_operation(self):
+        lib = default_library()
+        mul = Operation("m", OpKind.MUL)
+        add = Operation("a", OpKind.ADD)
+        assert lib.latency_of(mul) == 2
+        assert lib.occupancy_of(mul) == 1  # pipelined
+        assert lib.latency_of(add) == 1
+        assert lib.occupancy_of(add) == 1
+
+    def test_types_used_by_graph(self):
+        lib = default_library()
+        graph = DataFlowGraph()
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add("a2", OpKind.ADD)
+        names = [t.name for t in lib.types_used_by(graph)]
+        assert names == ["adder", "multiplier"]
+
+
+class TestDefaultLibrary:
+    def test_paper_parameters(self):
+        lib = default_library()
+        assert lib.type("adder").latency == 1
+        assert lib.type("adder").area == 1.0
+        assert lib.type("subtracter").latency == 1
+        mult = lib.type("multiplier")
+        assert mult.latency == 2
+        assert mult.pipelined
+        assert mult.area == 4.0
+
+    def test_covers_add_sub_mul_cmp(self):
+        lib = default_library()
+        for kind in (OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.CMP):
+            lib.type_for(kind)
+
+
+class TestAluLibrary:
+    def test_alu_serves_three_kinds(self):
+        lib = alu_library()
+        assert lib.type_for(OpKind.ADD).name == "alu"
+        assert lib.type_for(OpKind.SUB).name == "alu"
+        assert lib.type_for(OpKind.CMP).name == "alu"
+        assert lib.type_for(OpKind.MUL).name == "multiplier"

@@ -1,0 +1,66 @@
+"""Tests for repro.resources.types."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.ir.operation import OpKind
+from repro.resources.types import ResourceType, resource_type
+
+
+class TestResourceType:
+    def test_basic_adder(self):
+        adder = resource_type("adder", [OpKind.ADD])
+        assert adder.latency == 1
+        assert adder.occupancy == 1
+        assert adder.executes(OpKind.ADD)
+        assert not adder.executes(OpKind.MUL)
+
+    def test_pipelined_occupancy_is_initiation_interval(self):
+        mult = resource_type(
+            "mult", [OpKind.MUL], latency=2, pipelined=True, initiation_interval=1
+        )
+        assert mult.latency == 2
+        assert mult.occupancy == 1
+
+    def test_multicycle_nonpipelined_occupancy_is_latency(self):
+        mult = resource_type("mult", [OpKind.MUL], latency=3)
+        assert mult.occupancy == 3
+
+    def test_multi_kind_unit(self):
+        alu = resource_type("alu", [OpKind.ADD, OpKind.SUB])
+        assert alu.executes(OpKind.ADD)
+        assert alu.executes(OpKind.SUB)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ResourceError, match="name"):
+            resource_type("", [OpKind.ADD])
+
+    def test_no_kinds_rejected(self):
+        with pytest.raises(ResourceError, match="no operation kinds"):
+            resource_type("x", [])
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ResourceError, match="latency"):
+            resource_type("x", [OpKind.ADD], latency=0)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ResourceError, match="area"):
+            resource_type("x", [OpKind.ADD], area=-1)
+
+    def test_ii_exceeding_latency_rejected_when_pipelined(self):
+        with pytest.raises(ResourceError, match="initiation interval"):
+            resource_type(
+                "x", [OpKind.MUL], latency=2, pipelined=True, initiation_interval=3
+            )
+
+    def test_zero_ii_rejected(self):
+        with pytest.raises(ResourceError, match="initiation interval"):
+            resource_type("x", [OpKind.MUL], initiation_interval=0)
+
+    def test_frozen(self):
+        adder = resource_type("adder", [OpKind.ADD])
+        with pytest.raises(AttributeError):
+            adder.latency = 2
+
+    def test_str_is_name(self):
+        assert str(resource_type("adder", [OpKind.ADD])) == "adder"

@@ -1,0 +1,123 @@
+"""Tests for the RTL design derivation."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.rtl.design import IssueSpec, build_rtl
+
+
+def shared_result():
+    library = default_library()
+    system = SystemSpec(name="rtl-demo")
+    for name, n_ops in (("p1", 2), ("p2", 1)):
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i in range(n_ops):
+            graph.add(f"m{i}", OpKind.MUL)
+        graph.add("a0", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=6))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("multiplier", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"multiplier": 3})
+    )
+
+
+class TestBuildRtl:
+    def test_units_cover_all_instances(self):
+        result = shared_result()
+        design = build_rtl(result)
+        global_mults = [
+            u for u in design.units if u.type_name == "multiplier" and u.scope == "global"
+        ]
+        assert len(global_mults) == result.global_instances("multiplier")
+        for process in ("p1", "p2"):
+            locals_ = [
+                u for u in design.units
+                if u.type_name == "adder" and u.scope == process
+            ]
+            assert len(locals_) == result.local_instances(process, "adder")
+
+    def test_one_controller_per_block(self):
+        design = build_rtl(shared_result())
+        assert len(design.controllers) == 2
+        ctrl = design.controller("p1", "main")
+        assert ctrl.n_states == 6
+        assert ctrl.name == "p1_main_ctrl"
+
+    def test_every_operation_issued_once(self):
+        result = shared_result()
+        design = build_rtl(result)
+        for (process, block), sched in result.block_schedules.items():
+            ctrl = design.controller(process, block)
+            issued = sorted(issue.op_id for issue in ctrl.issues)
+            assert issued == sorted(sched.graph.op_ids)
+            for issue in ctrl.issues:
+                assert issue.state == sched.start(issue.op_id)
+
+    def test_authorization_roms_match_result(self):
+        result = shared_result()
+        design = build_rtl(result)
+        period, grants = design.authorization_roms["multiplier"]
+        assert period == 3
+        for process in ("p1", "p2"):
+            assert grants[process] == result.authorization(
+                process, "multiplier"
+            ).tolist()
+
+    def test_consistency_check_passes(self):
+        build_rtl(shared_result()).consistency_check()
+
+    def test_unknown_unit_detected(self):
+        design = build_rtl(shared_result())
+        ctrl = design.controllers[0]
+        ctrl.issues.append(
+            IssueSpec(state=0, op_id="zz", op_label="zz", unit="ghost_0")
+        )
+        with pytest.raises(BindingError, match="unknown unit"):
+            design.consistency_check()
+
+    def test_double_issue_detected(self):
+        design = build_rtl(shared_result())
+        ctrl = design.controllers[0]
+        first = ctrl.issues[0]
+        ctrl.issues.append(
+            IssueSpec(
+                state=first.state, op_id="dup", op_label="dup", unit=first.unit
+            )
+        )
+        with pytest.raises(BindingError, match="issued to both"):
+            design.consistency_check()
+
+    def test_unauthorized_global_issue_detected(self):
+        design = build_rtl(shared_result())
+        period, grants = design.authorization_roms["multiplier"]
+        # Find a slot where p1 has no grant and forge an issue there.
+        ctrl = design.controller("p1", "main")
+        empty = next(
+            (tau for tau in range(period) if grants["p1"][tau] == 0), None
+        )
+        if empty is None:
+            pytest.skip("p1 is authorized everywhere in this schedule")
+        ctrl.issues.append(
+            IssueSpec(
+                state=empty, op_id="rogue", op_label="rogue", unit="multiplier_g0"
+            )
+        )
+        with pytest.raises(BindingError, match="authorized range"):
+            design.consistency_check()
+
+    def test_stats(self):
+        design = build_rtl(shared_result())
+        stats = design.stats()
+        assert stats["controllers"] == 2
+        assert stats["issues"] == 5
+        assert stats["rom_bits"] > 0

@@ -1,0 +1,74 @@
+"""Tests for the HDL text emission."""
+
+import pytest
+
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.rtl.design import build_rtl
+from repro.rtl.verilog import emit_verilog
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+
+@pytest.fixture(scope="module")
+def design():
+    library = default_library()
+    system = SystemSpec(name="hdl-demo")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("a0", OpKind.ADD)
+        graph.add("m0", OpKind.MUL)
+        graph.add_edge("a0", "m0")
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=6))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("multiplier", ["p1", "p2"])
+    result = ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"multiplier": 3})
+    )
+    return build_rtl(result)
+
+
+class TestEmitVerilog:
+    def test_controller_modules_present(self, design):
+        text = emit_verilog(design)
+        assert "module p1_main_ctrl (" in text
+        assert "module p2_main_ctrl (" in text
+        assert "module hdl_demo_top (" in text
+
+    def test_operations_appear_as_issue_comments(self, design):
+        text = emit_verilog(design)
+        assert "// a0:" in text
+        assert "// m0:" in text
+
+    def test_units_instantiated(self, design):
+        text = emit_verilog(design)
+        assert "multiplier multiplier_g0 ();  // shared" in text
+        assert "adder p1_adder_0 ();  // local to p1" in text
+
+    def test_authorization_rom_emitted(self, design):
+        text = emit_verilog(design)
+        assert "AUTH_MULTIPLIER_P1" in text
+        assert "no runtime executive" in text
+
+    def test_grid_comment_on_controllers(self, design):
+        assert "grid spacing 3" in emit_verilog(design)
+
+    def test_balanced_module_endmodule(self, design):
+        text = emit_verilog(design)
+        assert text.count("module ") - text.count("endmodule") == 0
+
+    def test_paper_system_emits(self):
+        system, library = paper_system()
+        result = ModuloSystemScheduler(library).schedule(
+            system, paper_assignment(library), paper_periods()
+        )
+        text = emit_verilog(build_rtl(result))
+        # One controller per process plus top.
+        assert text.count("endmodule") == 6
+        assert "AUTH_SUBTRACTER_P4" in text

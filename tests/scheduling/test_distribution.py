@@ -1,0 +1,103 @@
+"""Tests for repro.scheduling.distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.resources.library import default_library
+from repro.scheduling.distribution import BlockDistributions, occupancy_row
+from repro.scheduling.timeframes import FrameTable
+
+
+class TestOccupancyRow:
+    def test_fixed_unit_op(self):
+        row = occupancy_row(2, 2, 1, 5)
+        assert row.tolist() == [0, 0, 1, 0, 0]
+
+    def test_uniform_probability_over_frame(self):
+        row = occupancy_row(0, 3, 1, 4)
+        assert np.allclose(row, [0.25, 0.25, 0.25, 0.25])
+
+    def test_multicycle_occupancy_accumulates(self):
+        # Frame [0,1], occupancy 2: starts at 0 covers {0,1}, start 1 covers {1,2}.
+        row = occupancy_row(0, 1, 2, 4)
+        assert np.allclose(row, [0.5, 1.0, 0.5, 0.0])
+
+    def test_probabilities_sum_to_occupancy(self):
+        for occ in (1, 2, 3):
+            row = occupancy_row(1, 4, occ, 10)
+            assert row.sum() == pytest.approx(occ)
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(SchedulingError, match="empty frame"):
+            occupancy_row(3, 2, 1, 5)
+
+    def test_overflowing_horizon_rejected(self):
+        with pytest.raises(SchedulingError, match="horizon"):
+            occupancy_row(3, 4, 2, 5)
+
+
+def make_block_distributions(deadline=6):
+    library = default_library()
+    graph = DataFlowGraph(name="b")
+    graph.add("a1", OpKind.ADD)
+    graph.add("m1", OpKind.MUL)
+    graph.add("a2", OpKind.ADD)
+    graph.add_edges([("a1", "m1"), ("m1", "a2")])
+    frames = FrameTable(graph, library.latency_of, deadline)
+    return frames, BlockDistributions(graph, library, frames)
+
+
+class TestBlockDistributions:
+    def test_type_names_deterministic(self):
+        __, dist = make_block_distributions()
+        assert dist.type_names == ["adder", "multiplier"]
+
+    def test_ops_of_type(self):
+        __, dist = make_block_distributions()
+        assert dist.ops_of_type("adder") == ["a1", "a2"]
+        assert dist.ops_of_type("multiplier") == ["m1"]
+        assert dist.ops_of_type("subtracter") == []
+
+    def test_distribution_is_sum_of_rows(self):
+        __, dist = make_block_distributions()
+        total = dist.row("a1") + dist.row("a2")
+        assert np.allclose(dist.array("adder"), total)
+
+    def test_unknown_type_rejected(self):
+        __, dist = make_block_distributions()
+        with pytest.raises(SchedulingError, match="no resource"):
+            dist.array("divider")
+
+    def test_pipelined_mul_occupies_one_step_per_start(self):
+        __, dist = make_block_distributions()
+        # Occupancy sums to 1 even though latency is 2 (pipelined).
+        assert dist.row("m1").sum() == pytest.approx(1.0)
+
+    def test_refresh_after_frame_reduction(self):
+        frames, dist = make_block_distributions()
+        changed = frames.reduce("a1", 0, 0)
+        touched = dist.refresh(changed)
+        assert "adder" in touched
+        assert dist.row("a1")[0] == pytest.approx(1.0)
+        assert np.allclose(dist.array("adder"), dist.row("a1") + dist.row("a2"))
+
+    def test_tentative_row_does_not_mutate(self):
+        __, dist = make_block_distributions()
+        before = dist.array("adder").copy()
+        dist.tentative_row("a1", 1, 1)
+        assert np.allclose(dist.array("adder"), before)
+
+    def test_peak(self):
+        frames, dist = make_block_distributions()
+        frames_changed = frames.reduce("a1", 0, 0)
+        dist.refresh(frames_changed)
+        assert dist.peak("adder") >= 1.0
+
+    def test_total_probability_mass_conserved_under_refresh(self):
+        frames, dist = make_block_distributions()
+        mass_before = dist.array("adder").sum()
+        dist.refresh(frames.reduce("a2", 4, 5))
+        assert dist.array("adder").sum() == pytest.approx(mass_before)

@@ -1,0 +1,99 @@
+"""Tests for Force-Directed List Scheduling."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.fdls import ForceDirectedListScheduler
+from repro.scheduling.list_scheduling import ListScheduler
+from repro.workloads import differential_equation, elliptic_wave_filter
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+def parallel_adds(n, deadline=4):
+    graph = DataFlowGraph(name="par")
+    for i in range(n):
+        graph.add(f"n{i}", OpKind.ADD)
+    return Block(name="par", graph=graph, deadline=deadline)
+
+
+class TestFdls:
+    def test_single_adder_serializes(self, library):
+        schedule = ForceDirectedListScheduler(library, {"adder": 1}).schedule(
+            parallel_adds(4)
+        )
+        assert schedule.makespan == 4
+        assert schedule.peak_usage("adder") == 1
+
+    def test_two_adders(self, library):
+        schedule = ForceDirectedListScheduler(library, {"adder": 2}).schedule(
+            parallel_adds(4)
+        )
+        assert schedule.makespan == 2
+        assert schedule.peak_usage("adder") <= 2
+
+    def test_chain_meets_critical_path(self, library):
+        graph = DataFlowGraph(name="c")
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add("b", OpKind.ADD)
+        graph.add_edges([("a", "m"), ("m", "b")])
+        schedule = ForceDirectedListScheduler(
+            library, {"adder": 1, "multiplier": 1}
+        ).schedule(Block(name="c", graph=graph, deadline=4))
+        assert schedule.makespan == 4
+
+    def test_capacity_respected_with_pipelined_mults(self, library):
+        graph = DataFlowGraph(name="m")
+        for i in range(4):
+            graph.add(f"m{i}", OpKind.MUL)
+        schedule = ForceDirectedListScheduler(library, {"multiplier": 2}).schedule(
+            Block(name="m", graph=graph, deadline=8)
+        )
+        assert schedule.peak_usage("multiplier") <= 2
+        assert schedule.makespan == 3  # two waves of 2, latency 2
+
+    def test_diffeq_single_units(self, library):
+        capacity = {"adder": 1, "subtracter": 1, "multiplier": 1}
+        schedule = ForceDirectedListScheduler(library, capacity).schedule(
+            Block(name="d", graph=differential_equation(), deadline=6)
+        )
+        schedule.validate()
+        assert schedule.peak_usage("multiplier") <= 1
+        # Six multiplications through one pipelined unit need >= 6 issues.
+        assert schedule.makespan >= 8
+
+    def test_matches_or_beats_list_scheduling_on_ewf(self, library):
+        capacity = {"adder": 2, "multiplier": 1}
+        block_f = Block(name="e", graph=elliptic_wave_filter(), deadline=17)
+        block_l = Block(name="e", graph=elliptic_wave_filter(), deadline=17)
+        fdls = ForceDirectedListScheduler(library, capacity).schedule(block_f)
+        baseline = ListScheduler(library, capacity).schedule(block_l)
+        assert fdls.makespan <= baseline.makespan + 2
+        assert fdls.peak_usage("adder") <= 2
+
+    def test_missing_capacity_rejected(self, library):
+        with pytest.raises(SchedulingError, match="no capacity"):
+            ForceDirectedListScheduler(library, {"multiplier": 1}).schedule(
+                parallel_adds(2)
+            )
+
+    def test_nonpositive_capacity_rejected(self, library):
+        with pytest.raises(SchedulingError, match=">= 1"):
+            ForceDirectedListScheduler(library, {"adder": 0})
+
+    def test_deterministic(self, library):
+        s1 = ForceDirectedListScheduler(library, {"adder": 2}).schedule(
+            parallel_adds(6)
+        )
+        s2 = ForceDirectedListScheduler(library, {"adder": 2}).schedule(
+            parallel_adds(6)
+        )
+        assert s1.starts == s2.starts

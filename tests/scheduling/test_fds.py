@@ -1,0 +1,82 @@
+"""Tests for the classic Force-Directed Scheduler."""
+
+import pytest
+
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.fds import ForceDirectedScheduler
+from repro.workloads import differential_equation, elliptic_wave_filter
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+def parallel_block(n_ops, deadline, kind=OpKind.ADD):
+    graph = DataFlowGraph(name="par")
+    for i in range(n_ops):
+        graph.add(f"n{i}", kind)
+    return Block(name="par", graph=graph, deadline=deadline)
+
+
+class TestForceDirectedScheduler:
+    def test_chain_is_scheduled_validly(self, library):
+        graph = DataFlowGraph(name="c")
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add("b", OpKind.ADD)
+        graph.add_edges([("a", "m"), ("m", "b")])
+        block = Block(name="c", graph=graph, deadline=6)
+        schedule = ForceDirectedScheduler(library).schedule(block)
+        schedule.validate()
+        assert schedule.makespan <= 6
+
+    def test_smooths_parallel_ops_perfectly(self, library):
+        """4 independent adds over 4 steps: one per step -> 1 adder."""
+        block = parallel_block(4, 4)
+        schedule = ForceDirectedScheduler(library).schedule(block)
+        assert schedule.peak_usage("adder") == 1
+
+    def test_smooths_with_slack(self, library):
+        """6 independent adds over 3 steps -> 2 adders, never 3+."""
+        block = parallel_block(6, 3)
+        schedule = ForceDirectedScheduler(library).schedule(block)
+        assert schedule.peak_usage("adder") == 2
+
+    def test_zero_mobility_block(self, library):
+        graph = DataFlowGraph(name="c")
+        graph.add("a", OpKind.ADD)
+        graph.add("b", OpKind.ADD)
+        graph.add_edge("a", "b")
+        block = Block(name="c", graph=graph, deadline=2)
+        schedule = ForceDirectedScheduler(library).schedule(block)
+        assert schedule.starts == {"a": 0, "b": 1}
+
+    def test_diffeq_under_paper_deadline(self, library):
+        block = Block(name="d", graph=differential_equation(), deadline=15)
+        schedule = ForceDirectedScheduler(library).schedule(block)
+        schedule.validate()
+        # Generous deadline: one multiplier and one adder-equivalent suffice.
+        assert schedule.peak_usage("multiplier") <= 2
+
+    def test_deterministic(self, library):
+        block1 = parallel_block(5, 4)
+        block2 = parallel_block(5, 4)
+        s1 = ForceDirectedScheduler(library).schedule(block1)
+        s2 = ForceDirectedScheduler(library).schedule(block2)
+        assert s1.starts == s2.starts
+
+    def test_ewf_critical_deadline(self, library):
+        """EWF at its critical path: schedule exists and validates."""
+        block = Block(name="e", graph=elliptic_wave_filter(), deadline=17)
+        schedule = ForceDirectedScheduler(library).schedule(block)
+        schedule.validate()
+        assert schedule.makespan == 17
+
+    def test_iterations_counted(self, library):
+        block = parallel_block(3, 3)
+        schedule = ForceDirectedScheduler(library).schedule(block)
+        assert schedule.iterations >= 1

@@ -1,0 +1,105 @@
+"""Tests for the Improved Force-Directed Scheduler (IFDS)."""
+
+import pytest
+
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.fds import ForceDirectedScheduler
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler, evaluate_reduction
+from repro.scheduling.state import BlockState
+from repro.workloads import differential_equation, elliptic_wave_filter
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+def parallel_block(n_ops, deadline, kind=OpKind.ADD):
+    graph = DataFlowGraph(name="par")
+    for i in range(n_ops):
+        graph.add(f"n{i}", kind)
+    return Block(name="par", graph=graph, deadline=deadline)
+
+
+class TestEvaluateReduction:
+    def test_eta_full_for_width_two(self, library):
+        state = BlockState(parallel_block(2, 2), library)
+        choice = evaluate_reduction(state, "n0")
+        # width 2 -> eta = 1: score equals the raw force difference.
+        assert choice.score == pytest.approx(abs(choice.force_low - choice.force_high))
+
+    def test_eta_half_for_wider_frames(self, library):
+        state = BlockState(parallel_block(2, 5), library)
+        state.commit_fix("n1", 0)
+        choice = evaluate_reduction(state, "n0", lookahead=0.0)
+        assert choice.score == pytest.approx(
+            0.5 * abs(choice.force_low - choice.force_high)
+        )
+
+    def test_shrinks_at_higher_force_side(self, library):
+        state = BlockState(parallel_block(2, 3), library)
+        state.commit_fix("n1", 0)  # step 0 now crowded
+        choice = evaluate_reduction(state, "n0", lookahead=0.0)
+        assert choice.force_low > choice.force_high
+        assert choice.shrink_low_side
+
+    def test_tie_shrinks_high_side(self, library):
+        state = BlockState(parallel_block(1, 3), library)
+        choice = evaluate_reduction(state, "n0", lookahead=0.0)
+        assert choice.force_low == pytest.approx(choice.force_high)
+        assert not choice.shrink_low_side
+
+
+class TestImprovedScheduler:
+    def test_valid_schedule_on_chain(self, library):
+        graph = DataFlowGraph(name="c")
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add("b", OpKind.ADD)
+        graph.add_edges([("a", "m"), ("m", "b")])
+        schedule = ImprovedForceDirectedScheduler(library).schedule(
+            Block(name="c", graph=graph, deadline=7)
+        )
+        schedule.validate()
+
+    def test_smooths_parallel_ops(self, library):
+        schedule = ImprovedForceDirectedScheduler(library).schedule(
+            parallel_block(4, 4)
+        )
+        assert schedule.peak_usage("adder") == 1
+
+    def test_matches_fds_quality_on_diffeq(self, library):
+        block_i = Block(name="d", graph=differential_equation(), deadline=10)
+        block_c = Block(name="d", graph=differential_equation(), deadline=10)
+        ifds = ImprovedForceDirectedScheduler(library).schedule(block_i)
+        fds = ForceDirectedScheduler(library).schedule(block_c)
+        assert ifds.peak_usage("multiplier") <= fds.peak_usage("multiplier") + 1
+
+    def test_iteration_count_bounded_by_total_mobility(self, library):
+        block = parallel_block(4, 6)
+        schedule = ImprovedForceDirectedScheduler(library).schedule(block)
+        # Each iteration removes at least one step from one frame.
+        assert schedule.iterations <= 4 * 5
+
+    def test_ewf_with_paper_slack(self, library):
+        block = Block(name="e", graph=elliptic_wave_filter(), deadline=30)
+        schedule = ImprovedForceDirectedScheduler(library).schedule(block)
+        schedule.validate()
+        # With nearly double the critical path, 2 adders and 1 multiplier
+        # suffice for a reasonable force-directed result.
+        assert schedule.peak_usage("adder") <= 3
+        assert schedule.peak_usage("multiplier") <= 2
+
+    def test_deterministic(self, library):
+        s1 = ImprovedForceDirectedScheduler(library).schedule(parallel_block(5, 4))
+        s2 = ImprovedForceDirectedScheduler(library).schedule(parallel_block(5, 4))
+        assert s1.starts == s2.starts
+
+    def test_weights_accepted(self, library):
+        schedule = ImprovedForceDirectedScheduler(
+            library, weights={"adder": 1.0, "multiplier": 4.0}
+        ).schedule(parallel_block(3, 3))
+        schedule.validate()

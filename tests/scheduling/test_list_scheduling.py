@@ -1,0 +1,99 @@
+"""Tests for resource-constrained list scheduling."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.list_scheduling import ListScheduler
+from repro.workloads import differential_equation
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+def parallel_adds(n, deadline=4):
+    graph = DataFlowGraph(name="par")
+    for i in range(n):
+        graph.add(f"n{i}", OpKind.ADD)
+    return Block(name="par", graph=graph, deadline=deadline)
+
+
+class TestListScheduler:
+    def test_single_adder_serializes(self, library):
+        schedule = ListScheduler(library, {"adder": 1}).schedule(parallel_adds(4))
+        assert schedule.makespan == 4
+        assert schedule.peak_usage("adder") == 1
+
+    def test_two_adders_halve_makespan(self, library):
+        schedule = ListScheduler(library, {"adder": 2}).schedule(parallel_adds(4))
+        assert schedule.makespan == 2
+
+    def test_precedence_respected(self, library):
+        graph = DataFlowGraph(name="c")
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add("b", OpKind.ADD)
+        graph.add_edges([("a", "m"), ("m", "b")])
+        schedule = ListScheduler(
+            library, {"adder": 1, "multiplier": 1}
+        ).schedule(Block(name="c", graph=graph, deadline=6))
+        schedule.validate()
+        assert schedule.makespan == 4  # 1 + 2 + 1
+
+    def test_pipelined_multiplier_initiates_every_cycle(self, library):
+        graph = DataFlowGraph(name="m")
+        for i in range(3):
+            graph.add(f"m{i}", OpKind.MUL)
+        schedule = ListScheduler(library, {"multiplier": 1}).schedule(
+            Block(name="m", graph=graph, deadline=8)
+        )
+        # One pipelined multiplier: one start per cycle, last result at 2+2.
+        assert schedule.makespan == 4
+
+    def test_diffeq_with_paper_resources(self, library):
+        capacity = {"adder": 1, "subtracter": 1, "multiplier": 1}
+        schedule = ListScheduler(library, capacity).schedule(
+            Block(name="d", graph=differential_equation(), deadline=15)
+        )
+        schedule.validate()
+        # 6 pipelined multiplications on one unit: >= 6 initiations + latency.
+        assert schedule.makespan >= 7
+
+    def test_missing_capacity_rejected(self, library):
+        with pytest.raises(SchedulingError, match="no capacity"):
+            ListScheduler(library, {"multiplier": 1}).schedule(parallel_adds(2))
+
+    def test_nonpositive_capacity_rejected(self, library):
+        with pytest.raises(SchedulingError, match=">= 1"):
+            ListScheduler(library, {"adder": 0})
+
+    def test_unknown_type_in_capacity_rejected(self, library):
+        with pytest.raises(Exception, match="no resource type"):
+            ListScheduler(library, {"frobnicator": 1})
+
+    def test_slot_capacity_hook_blocks_slots(self, library):
+        """Forbid the adder at even steps: ops land on odd steps only."""
+        scheduler = ListScheduler(library, {"adder": 1})
+        schedule = scheduler.schedule(
+            parallel_adds(2, deadline=6),
+            slot_capacity=lambda name, step: 0 if step % 2 == 0 else 1,
+        )
+        for start in schedule.starts.values():
+            assert start % 2 == 1
+
+    def test_unsatisfiable_slot_capacity_raises(self, library):
+        scheduler = ListScheduler(library, {"adder": 1})
+        with pytest.raises(SchedulingError, match="horizon"):
+            scheduler.schedule(
+                parallel_adds(1), slot_capacity=lambda name, step: 0
+            )
+
+    def test_deterministic(self, library):
+        s1 = ListScheduler(library, {"adder": 2}).schedule(parallel_adds(5))
+        s2 = ListScheduler(library, {"adder": 2}).schedule(parallel_adds(5))
+        assert s1.starts == s2.starts

@@ -1,0 +1,169 @@
+"""Tests for repro.scheduling.timeframes."""
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.scheduling.timeframes import FrameTable, alap_schedule, asap_schedule
+
+UNIT = lambda op: 1  # noqa: E731
+
+
+def mixed_latency(op):
+    return 2 if op.kind is OpKind.MUL else 1
+
+
+def chain(n=3):
+    graph = DataFlowGraph(name="chain")
+    for i in range(n):
+        graph.add(f"n{i}", OpKind.ADD)
+    for i in range(n - 1):
+        graph.add_edge(f"n{i}", f"n{i + 1}")
+    return graph
+
+
+class TestInitialFrames:
+    def test_chain_frames_against_deadline(self):
+        table = FrameTable(chain(3), UNIT, deadline=5)
+        assert table.frame("n0") == (0, 2)
+        assert table.frame("n1") == (1, 3)
+        assert table.frame("n2") == (2, 4)
+
+    def test_zero_mobility_at_critical_deadline(self):
+        table = FrameTable(chain(3), UNIT, deadline=3)
+        for oid in ("n0", "n1", "n2"):
+            assert table.is_fixed(oid)
+        assert table.all_fixed()
+
+    def test_infeasible_deadline_raises(self):
+        with pytest.raises(InfeasibleError, match="deadline"):
+            FrameTable(chain(4), UNIT, deadline=3)
+
+    def test_multicycle_latency_respected(self):
+        graph = DataFlowGraph()
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add("b", OpKind.ADD)
+        graph.add_edges([("a", "m"), ("m", "b")])
+        table = FrameTable(graph, mixed_latency, deadline=6)
+        assert table.frame("a") == (0, 2)
+        assert table.frame("m") == (1, 3)  # latest start 6-1-2
+        assert table.frame("b") == (3, 5)
+
+    def test_independent_ops_full_mobility(self):
+        graph = DataFlowGraph()
+        graph.add("a", OpKind.ADD)
+        graph.add("b", OpKind.ADD)
+        table = FrameTable(graph, UNIT, deadline=4)
+        assert table.frame("a") == (0, 3)
+        assert table.width("b") == 4
+        assert table.mobility("b") == 3
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(Exception, match="latency"):
+            FrameTable(chain(2), lambda op: 0, deadline=5)
+
+
+class TestReduction:
+    def test_reduce_propagates_forward(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        changed = table.reduce("n0", 2, 2)
+        assert table.frame("n0") == (2, 2)
+        assert table.lo("n1") == 3
+        assert table.lo("n2") == 4
+        assert changed == {"n0", "n1", "n2"}
+
+    def test_reduce_propagates_backward(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        changed = table.reduce("n2", 2, 2)
+        assert table.hi("n1") == 1
+        assert table.hi("n0") == 0
+        assert "n0" in changed
+
+    def test_noop_reduction_returns_empty(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        assert table.reduce("n0", 0, 3) == set()
+
+    def test_reduction_clamps_to_current_frame(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        table.reduce("n0", -5, 100)
+        assert table.frame("n0") == (0, 3)
+
+    def test_empty_reduction_raises_and_rolls_back(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        before = table.frames()
+        with pytest.raises(InfeasibleError):
+            table.reduce("n0", 5, 4)
+        assert table.frames() == before
+
+    def test_infeasible_propagation_rolls_back(self):
+        graph = chain(3)
+        table = FrameTable(graph, UNIT, deadline=3)  # all fixed
+        before = table.frames()
+        with pytest.raises(InfeasibleError):
+            table.reduce("n0", 1, 1)
+        assert table.frames() == before
+
+    def test_fix_pins_single_step(self):
+        table = FrameTable(chain(2), UNIT, deadline=5)
+        table.fix("n0", 1)
+        assert table.is_fixed("n0")
+        assert table.lo("n1") == 2
+
+    def test_as_schedule_requires_all_fixed(self):
+        table = FrameTable(chain(2), UNIT, deadline=5)
+        with pytest.raises(Exception, match="not fully reduced"):
+            table.as_schedule()
+        table.fix("n0", 0)
+        table.fix("n1", 1)
+        assert table.as_schedule() == {"n0": 0, "n1": 1}
+
+    def test_unfixed_lists_mobile_ops(self):
+        table = FrameTable(chain(2), UNIT, deadline=5)
+        assert set(table.unfixed()) == {"n0", "n1"}
+        table.fix("n0", 0)
+        assert table.unfixed() == ["n1"]
+
+
+class TestImpliedNeighborFrames:
+    def test_placement_reduces_successor_lo(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        implied = table.implied_neighbor_frames("n0", 3)
+        assert implied["n1"] == (4, 4)
+
+    def test_placement_reduces_predecessor_hi(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        implied = table.implied_neighbor_frames("n2", 2)
+        assert implied["n1"] == (1, 1)
+
+    def test_placement_without_effect_returns_empty(self):
+        graph = DataFlowGraph()
+        graph.add("a", OpKind.ADD)
+        graph.add("b", OpKind.ADD)
+        table = FrameTable(graph, UNIT, deadline=4)
+        assert table.implied_neighbor_frames("a", 2) == {}
+
+    def test_table_not_mutated_by_implied_query(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        before = table.frames()
+        table.implied_neighbor_frames("n0", 3)
+        assert table.frames() == before
+
+
+class TestAsapAlap:
+    def test_asap_schedule(self):
+        starts = asap_schedule(chain(3), UNIT)
+        assert starts == {"n0": 0, "n1": 1, "n2": 2}
+
+    def test_alap_schedule(self):
+        starts = alap_schedule(chain(3), UNIT, deadline=5)
+        assert starts == {"n0": 2, "n1": 3, "n2": 4}
+
+    def test_asap_with_multicycle(self):
+        graph = DataFlowGraph()
+        graph.add("m", OpKind.MUL)
+        graph.add("a", OpKind.ADD)
+        graph.add_edge("m", "a")
+        starts = asap_schedule(graph, mixed_latency)
+        assert starts == {"m": 0, "a": 2}

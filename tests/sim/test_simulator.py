@@ -1,0 +1,109 @@
+"""Tests for the cycle-accurate multi-process simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.sim.simulator import SystemSimulator
+
+
+def shared_adder_result(repeats=False):
+    library = default_library()
+    system = SystemSpec(name="s")
+    for name, n_ops in (("p1", 2), ("p2", 1)):
+        graph = DataFlowGraph(name=f"{name}-g")
+        for i in range(n_ops):
+            graph.add(f"a{i}", OpKind.ADD)
+        process = Process(name=name)
+        process.add_block(
+            Block(name="main", graph=graph, deadline=4, repeats=repeats)
+        )
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"adder": 2})
+    )
+
+
+class TestSimulator:
+    def test_no_violations_across_seeds(self):
+        result = shared_adder_result()
+        for seed in range(10):
+            stats = SystemSimulator(result, seed=seed).run(500)
+            assert stats.ok, stats.trace.render()
+
+    def test_peak_usage_within_pool(self):
+        result = shared_adder_result()
+        stats = SystemSimulator(result, seed=3).run(1000)
+        for type_name, peak in stats.peak_usage.items():
+            assert peak <= stats.pool_sizes.get(type_name, 0)
+
+    def test_block_starts_are_grid_aligned(self):
+        result = shared_adder_result()
+        stats = SystemSimulator(result, seed=1, trigger_probability=0.8).run(400)
+        grid = result.grid_spacing("p1")
+        for activation in stats.trace.activations:
+            assert activation.started_at % grid == 0
+            assert activation.started_at >= activation.requested_at
+
+    def test_activations_happen(self):
+        stats = SystemSimulator(shared_adder_result(), seed=5).run(400)
+        assert all(count > 0 for count in stats.activations.values())
+
+    def test_repeating_blocks_simulate(self):
+        stats = SystemSimulator(shared_adder_result(repeats=True), seed=7).run(600)
+        assert stats.ok
+        assert sum(stats.activations.values()) > 2
+
+    def test_deterministic_per_seed(self):
+        result = shared_adder_result()
+        s1 = SystemSimulator(result, seed=11).run(300)
+        s2 = SystemSimulator(result, seed=11).run(300)
+        assert s1.activations == s2.activations
+        assert s1.busy_cycles == s2.busy_cycles
+
+    def test_different_seeds_differ(self):
+        result = shared_adder_result()
+        s1 = SystemSimulator(result, seed=1, trigger_probability=0.3).run(300)
+        s2 = SystemSimulator(result, seed=2, trigger_probability=0.3).run(300)
+        assert s1.activations != s2.activations or s1.busy_cycles != s2.busy_cycles
+
+    def test_utilization_in_unit_range(self):
+        stats = SystemSimulator(shared_adder_result(), seed=0).run(500)
+        for type_name in stats.pool_sizes:
+            assert 0.0 <= stats.utilization(type_name) <= 1.0
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(SimulationError, match=">= 1"):
+            SystemSimulator(shared_adder_result(), seed=0).run(0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(SimulationError, match="probability"):
+            SystemSimulator(shared_adder_result(), trigger_probability=0.0)
+
+    def test_tampered_execution_detected(self):
+        """A block that runs off its authorized slots must be flagged."""
+        import numpy as np
+
+        result = shared_adder_result()
+        simulator = SystemSimulator(result, seed=0, trigger_probability=0.9)
+        # Corrupt the cached execution profile of p1: shift its adder usage
+        # by one step, so it executes on p2's authorized slot.
+        model = simulator._states["p1"].blocks[0]
+        model.unguarded["adder"] = np.roll(model.unguarded["adder"], 1)
+        stats = simulator.run(400)
+        assert not stats.ok
+        assert any(v.type_name == "adder" for v in stats.trace.violations)
+
+    def test_summary_renders(self):
+        stats = SystemSimulator(shared_adder_result(), seed=0).run(100)
+        text = stats.summary()
+        assert "violations" in text
+        assert "p1" in text

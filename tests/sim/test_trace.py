@@ -1,0 +1,43 @@
+"""Tests for simulation trace records."""
+
+from repro.sim.trace import Activation, Trace, Violation
+
+
+def act(process="p1", requested=3, started=5, finished=10):
+    return Activation(
+        process=process,
+        block="main",
+        requested_at=requested,
+        started_at=started,
+        finished_at=finished,
+    )
+
+
+class TestActivation:
+    def test_grid_wait(self):
+        assert act(requested=3, started=5).grid_wait == 2
+        assert act(requested=5, started=5).grid_wait == 0
+
+
+class TestTrace:
+    def test_activations_of_filters_by_process(self):
+        trace = Trace(activations=[act("p1"), act("p2"), act("p1")])
+        assert len(trace.activations_of("p1")) == 2
+        assert len(trace.activations_of("p3")) == 0
+
+    def test_mean_grid_wait(self):
+        trace = Trace(activations=[act(requested=0, started=2),
+                                   act(requested=0, started=4)])
+        assert trace.mean_grid_wait == 3.0
+
+    def test_mean_grid_wait_empty(self):
+        assert Trace().mean_grid_wait == 0.0
+
+    def test_render_limits_output(self):
+        trace = Trace(activations=[act() for _ in range(30)])
+        text = trace.render(limit=5)
+        assert "25 more activations" in text
+
+    def test_render_shows_violations(self):
+        trace = Trace(violations=[Violation(cycle=7, type_name="adder", detail="x")])
+        assert "VIOLATION at cycle 7" in trace.render()

@@ -1,0 +1,45 @@
+"""Public API surface tests: everything advertised is importable and wired."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must work verbatim."""
+        from repro import ModuloSystemScheduler
+        from repro.workloads import paper_assignment, paper_periods, paper_system
+
+        system, library = paper_system()
+        scheduler = ModuloSystemScheduler(library)
+        assignment = paper_assignment(library)
+        # Keep the test fast: only the two small diffeq processes.
+        small = repro.SystemSpec(name="mini")
+        for name in ("p4", "p5"):
+            small.add_process(system.process(name))
+        small_assignment = repro.ResourceAssignment(library)
+        small_assignment.make_global("multiplier", ["p4", "p5"])
+        result = scheduler.schedule(
+            small, small_assignment, repro.PeriodAssignment({"multiplier": 15})
+        )
+        assert "multiplier" in result.summary()
+
+    def test_exceptions_form_hierarchy(self):
+        for name in (
+            "GraphError",
+            "SpecificationError",
+            "ResourceError",
+            "InfeasibleError",
+            "PeriodError",
+            "SchedulingError",
+            "VerificationError",
+            "BindingError",
+            "SimulationError",
+        ):
+            assert issubclass(getattr(repro, name), repro.ReproError)

@@ -1,0 +1,78 @@
+"""Tests for the Problem API (repro.api)."""
+
+import pytest
+
+from repro.api import Problem, load_problem, loads_problem, problem_from_document
+from repro.errors import SpecificationError
+from repro.ir import systemio
+
+TEXT = """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+global multiplier p1 p2
+period multiplier 4
+"""
+
+
+class TestLoadsProblem:
+    def test_builds_live_objects(self):
+        problem = loads_problem(TEXT)
+        assert problem.system.name == "demo"
+        assert problem.assignment.is_global("multiplier")
+        assert problem.periods.period("multiplier") == 4
+        problem.validate()
+
+    def test_default_library_when_no_resources(self):
+        problem = loads_problem(TEXT)
+        assert "multiplier" in problem.library
+        assert problem.library.type("multiplier").pipelined
+
+    def test_custom_resources(self):
+        text = "resource fancy kinds=add,mul latency=3 area=9\n" + TEXT.replace(
+            "global multiplier p1 p2\nperiod multiplier 4",
+            "global fancy p1 p2\nperiod fancy 4",
+        )
+        problem = loads_problem(text)
+        assert problem.library.type("fancy").latency == 3
+        assert not problem.library.type("fancy").pipelined
+
+    def test_missing_period_gets_heuristic(self):
+        text = TEXT.replace("period multiplier 4\n", "")
+        problem = loads_problem(text)
+        # min-deadline heuristic: min block deadline of the group = 8.
+        assert problem.periods.period("multiplier") == 8
+
+    def test_period_for_local_type_rejected(self):
+        text = TEXT + "period adder 4\n"
+        with pytest.raises(SpecificationError, match="non-global"):
+            loads_problem(text)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "p.sys"
+        path.write_text(TEXT, encoding="utf-8")
+        problem = load_problem(path)
+        assert problem.system.operation_count == 3
+
+
+class TestProblemScheduling:
+    def test_schedule_global(self):
+        result = loads_problem(TEXT).schedule()
+        assert result.global_instances("multiplier") == 1
+        result.validate()
+
+    def test_schedule_local_baseline(self):
+        problem = loads_problem(TEXT)
+        local = problem.schedule_local_baseline()
+        assert local.assignment.global_types == []
+        assert local.instance_counts()["multiplier"] == 2
+
+    def test_scheduler_kwargs_forwarded(self):
+        result = loads_problem(TEXT).schedule(periodical_alignment=False)
+        result.validate()

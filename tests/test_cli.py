@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+TEXT = """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+global multiplier p1 p2
+period multiplier 4
+"""
+
+
+@pytest.fixture
+def sys_file(tmp_path):
+    path = tmp_path / "demo.sys"
+    path.write_text(TEXT, encoding="utf-8")
+    return str(path)
+
+
+class TestScheduleCommand:
+    def test_schedule_prints_summary(self, sys_file, capsys):
+        assert main(["schedule", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "multiplier" in out
+        assert "verified" in out
+
+    def test_schedule_table(self, sys_file, capsys):
+        assert main(["schedule", sys_file, "--table"]) == 0
+        out = capsys.readouterr().out
+        assert "global type 'multiplier'" in out
+
+    def test_schedule_local(self, sys_file, capsys):
+        assert main(["schedule", sys_file, "--local"]) == 0
+        out = capsys.readouterr().out
+        assert "2x multiplier" in out
+
+    def test_schedule_no_verify(self, sys_file, capsys):
+        assert main(["schedule", sys_file, "--no-verify"]) == 0
+        assert "verified" not in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_compare(self, sys_file, capsys):
+        assert main(["compare", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "saves" in out
+
+    def test_simulate(self, sys_file, capsys):
+        assert main(["simulate", sys_file, "--cycles", "300", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "violations: none" in out
+
+    def test_sweep(self, sys_file, capsys):
+        assert main(["sweep", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_info(self, sys_file, capsys):
+        assert main(["info", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 processes" in out
+        assert "critical path" in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["schedule", "/nonexistent/x.sys"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.sys"
+        path.write_text("frobnicate\n", encoding="utf-8")
+        assert main(["schedule", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_infeasible_deadline(self, tmp_path, capsys):
+        path = tmp_path / "tight.sys"
+        path.write_text(
+            "process p\nblock p b deadline=1\n"
+            "op p b m mul\n",
+            encoding="utf-8",
+        )
+        assert main(["schedule", str(path)]) == 2
+
+
+class TestRtlAndGantt:
+    def test_rtl_to_stdout(self, sys_file, capsys):
+        assert main(["rtl", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "module p1_main_ctrl (" in out
+        assert "endmodule" in out
+
+    def test_rtl_to_file(self, sys_file, tmp_path, capsys):
+        target = str(tmp_path / "out.v")
+        assert main(["rtl", sys_file, "-o", target]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        with open(target, encoding="utf-8") as handle:
+            assert "module" in handle.read()
+
+    def test_gantt(self, sys_file, capsys):
+        assert main(["gantt", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "=== p1/main ===" in out
+        assert "-- multiplier --" in out
+
+    def test_export_stdout(self, sys_file, capsys):
+        assert main(["export", sys_file]) == 0
+        import json
+
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["system"] == "demo"
+
+    def test_export_to_file(self, sys_file, tmp_path, capsys):
+        import json
+
+        target = str(tmp_path / "r.json")
+        assert main(["export", sys_file, "-o", target]) == 0
+        with open(target, encoding="utf-8") as handle:
+            parsed = json.load(handle)
+        assert "global_types" in parsed

@@ -1,0 +1,212 @@
+"""Tests for guarded (conditional) operations across the whole stack.
+
+Mutually exclusive branch operations share resources like alternation
+branches in classic FDS: distributions and usage profiles combine per
+condition by pointwise maximum, binding may map exclusive operations to
+one instance, the simulator draws branch outcomes per activation, and
+the RTL consistency checker accepts exclusive same-unit issues.
+"""
+
+import numpy as np
+import pytest
+
+from repro.binding.instances import bind_instances
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.core.verify import verify_system_schedule
+from repro.ir import textio
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind, Operation
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.rtl.design import build_rtl
+from repro.scheduling.distribution import BlockDistributions, combine_rows
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+from repro.scheduling.schedule import BlockSchedule
+from repro.scheduling.timeframes import FrameTable
+from repro.sim.simulator import SystemSimulator
+
+
+def branchy_graph():
+    """Two exclusive adds (then/else of c1) plus one unconditional add."""
+    graph = DataFlowGraph(name="branchy")
+    graph.add("t", OpKind.ADD, guard=("c1", "then"))
+    graph.add("e", OpKind.ADD, guard=("c1", "else"))
+    graph.add("u", OpKind.ADD)
+    return graph
+
+
+class TestOperationGuards:
+    def test_excludes_same_condition_different_branch(self):
+        a = Operation("a", OpKind.ADD, guard=("c", "t"))
+        b = Operation("b", OpKind.ADD, guard=("c", "e"))
+        assert a.excludes(b) and b.excludes(a)
+
+    def test_same_branch_not_exclusive(self):
+        a = Operation("a", OpKind.ADD, guard=("c", "t"))
+        b = Operation("b", OpKind.ADD, guard=("c", "t"))
+        assert not a.excludes(b)
+
+    def test_different_conditions_not_exclusive(self):
+        a = Operation("a", OpKind.ADD, guard=("c1", "t"))
+        b = Operation("b", OpKind.ADD, guard=("c2", "e"))
+        assert not a.excludes(b)
+
+    def test_unguarded_not_exclusive(self):
+        a = Operation("a", OpKind.ADD)
+        b = Operation("b", OpKind.ADD, guard=("c", "t"))
+        assert not a.excludes(b)
+
+    def test_bad_guard_rejected(self):
+        with pytest.raises(ValueError, match="guard"):
+            Operation("a", OpKind.ADD, guard=("c",))
+        with pytest.raises(ValueError, match="guard"):
+            Operation("a", OpKind.ADD, guard=("c", ""))
+
+    def test_graph_conditions(self):
+        assert branchy_graph().conditions() == {"c1": ["then", "else"]}
+
+
+class TestCombineRows:
+    def test_exclusive_rows_take_max(self):
+        rows = {
+            "t": np.array([1.0, 0.0]),
+            "e": np.array([0.5, 0.5]),
+        }
+        guards = {"t": ("c", "t"), "e": ("c", "e")}
+        combined = combine_rows(rows, guards, 2)
+        assert combined.tolist() == [1.0, 0.5]
+
+    def test_same_branch_rows_add(self):
+        rows = {
+            "a": np.array([1.0, 0.0]),
+            "b": np.array([1.0, 0.0]),
+        }
+        guards = {"a": ("c", "t"), "b": ("c", "t")}
+        assert combine_rows(rows, guards, 2).tolist() == [2.0, 0.0]
+
+    def test_unguarded_adds_on_top(self):
+        rows = {
+            "t": np.array([1.0, 0.0]),
+            "e": np.array([1.0, 0.0]),
+            "u": np.array([1.0, 0.0]),
+        }
+        guards = {"t": ("c", "t"), "e": ("c", "e"), "u": None}
+        assert combine_rows(rows, guards, 2).tolist() == [2.0, 0.0]
+
+
+class TestDistributions:
+    def test_distribution_uses_branch_max(self):
+        library = default_library()
+        graph = branchy_graph()
+        frames = FrameTable(graph, library.latency_of, 2)
+        dist = BlockDistributions(graph, library, frames)
+        # 3 ops, each uniform 0.5/0.5; exclusive pair contributes max 0.5.
+        assert np.allclose(dist.array("adder"), [1.0, 1.0])
+        assert dist.has_guards("adder")
+
+    def test_refresh_recomputes_guarded_type(self):
+        library = default_library()
+        graph = branchy_graph()
+        frames = FrameTable(graph, library.latency_of, 2)
+        dist = BlockDistributions(graph, library, frames)
+        dist.refresh(frames.fix("t", 0))
+        dist.refresh(frames.fix("e", 0))
+        dist.refresh(frames.fix("u", 1))
+        assert np.allclose(dist.array("adder"), [1.0, 1.0])
+
+
+class TestUsageProfile:
+    def test_worst_case_over_branches(self):
+        library = default_library()
+        graph = branchy_graph()
+        sched = BlockSchedule(
+            graph=graph,
+            library=library,
+            starts={"t": 0, "e": 0, "u": 1},
+            deadline=2,
+        )
+        assert sched.usage_profile("adder").tolist() == [1, 1]
+        assert sched.peak_usage("adder") == 1
+
+
+class TestSchedulingWithGuards:
+    def test_ifds_exploits_exclusivity(self):
+        """Exclusive ops can overlap: 1 adder suffices in 2 steps for
+        2 exclusive ops + 1 unconditional op."""
+        library = default_library()
+        block = Block(name="b", graph=branchy_graph(), deadline=2)
+        schedule = ImprovedForceDirectedScheduler(library).schedule(block)
+        assert schedule.peak_usage("adder") == 1
+
+    def make_result(self):
+        library = default_library()
+        system = SystemSpec(name="s")
+        p1 = Process(name="p1")
+        p1.add_block(Block(name="main", graph=branchy_graph(), deadline=4))
+        system.add_process(p1)
+        g2 = DataFlowGraph(name="g2")
+        g2.add("x", OpKind.ADD)
+        p2 = Process(name="p2")
+        p2.add_block(Block(name="main", graph=g2, deadline=2))
+        system.add_process(p2)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment, PeriodAssignment({"adder": 2})
+        )
+        return result
+
+    def test_system_schedule_verifies(self):
+        result = self.make_result()
+        report = verify_system_schedule(result)
+        assert report.ok, str(report)
+
+    def test_binding_allows_exclusive_sharing(self):
+        result = self.make_result()
+        binding = bind_instances(result)
+        binding.validate()
+        sched = result.block_schedules[("p1", "main")]
+        if sched.start("t") == sched.start("e"):
+            assert binding.instance_of("p1", "main", "t") == binding.instance_of(
+                "p1", "main", "e"
+            )
+
+    def test_simulation_conflict_free(self):
+        result = self.make_result()
+        for seed in range(5):
+            stats = SystemSimulator(result, seed=seed, trigger_probability=0.6)
+            outcome = stats.run(600)
+            assert outcome.ok, outcome.trace.render()
+
+    def test_rtl_accepts_exclusive_issues(self):
+        result = self.make_result()
+        design = build_rtl(result)
+        design.consistency_check()
+
+
+class TestGuardSerialization:
+    def test_textio_round_trip(self):
+        graph = branchy_graph()
+        loaded = textio.loads(textio.dumps(graph))
+        assert loaded.operation("t").guard == ("c1", "then")
+        assert loaded.operation("e").guard == ("c1", "else")
+        assert loaded.operation("u").guard is None
+
+    def test_systemio_guard_parsing(self):
+        from repro.ir import systemio
+
+        doc = systemio.loads(
+            "process p\nblock p b deadline=4\n"
+            "op p b t add guard=c1:then\n"
+            "op p b e add mylabel guard=c1:else\n"
+        )
+        graph = doc.build_system().process("p").block("b").graph
+        assert graph.operation("t").guard == ("c1", "then")
+        assert graph.operation("e").name == "mylabel"
+        assert graph.operation("e").guard == ("c1", "else")
+
+    def test_bad_guard_rejected(self):
+        with pytest.raises(Exception, match="CONDITION:BRANCH"):
+            textio.loads("op a add guard=oops\n")

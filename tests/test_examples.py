@@ -1,0 +1,61 @@
+"""Smoke tests for the shipped examples and the sample .sys problem."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "access authorizations" in out
+        assert "saves" in out
+
+    def test_hdl_generation(self):
+        out = run_example("hdl_generation.py")
+        assert "RTL design:" in out
+        assert "AUTH_MULTIPLIER" in out
+
+    def test_reactive_loops(self):
+        out = run_example("reactive_loops.py")
+        assert "-> ok" in out
+        assert "VIOLATIONS" not in out
+
+
+class TestSampleSysFile:
+    def test_diffeq_pair_problem(self):
+        from repro.api import load_problem
+
+        problem = load_problem(EXAMPLES / "diffeq_pair.sys")
+        assert problem.system.operation_count == 22
+        result = problem.schedule()
+        counts = result.instance_counts()
+        # One of everything: the pair fully shares the datapath.
+        assert counts == {"adder": 1, "subtracter": 1, "multiplier": 1}
+
+    def test_diffeq_pair_statements_match_benchmark_graph(self):
+        from repro.api import load_problem
+        from repro.ir.operation import OpKind
+
+        problem = load_problem(EXAMPLES / "diffeq_pair.sys")
+        graph = problem.system.process("euler_a").block("step").graph
+        counts = graph.count_by_kind()
+        assert counts[OpKind.MUL] == 6
+        assert counts[OpKind.ADD] == 2
+        assert counts[OpKind.SUB] == 3

@@ -1,0 +1,79 @@
+"""Integration test: the paper's §7 multi-process experiment (Table 1).
+
+Reproduction targets (shape, not absolute numbers — see DESIGN.md):
+
+* pure-global assignment needs strictly fewer resources than the
+  traditional all-local scheduling;
+* the local run's resource mix matches the paper exactly
+  (6 adders, 2 subtracters, 5 multipliers = area 28);
+* the global run stays at or below the paper's pool sizes
+  (4 adders, 1 subtracter, 3 multipliers = area 17);
+* the local/global area ratio is at least the paper's 1.65;
+* the result passes static verification, binds to instances, and
+  survives randomized reactive simulation without a single conflict.
+"""
+
+import pytest
+
+from repro.analysis.compare import compare_scopes
+from repro.analysis.tables import table1
+from repro.binding.instances import bind_instances
+from repro.core.verify import verify_system_schedule
+from repro.scheduling.forces import area_weights
+from repro.sim.simulator import SystemSimulator
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    system, library = paper_system()
+    return compare_scopes(
+        system,
+        library,
+        paper_assignment(library),
+        paper_periods(),
+        weights=area_weights(library),
+    )
+
+
+class TestPaperExperiment:
+    def test_local_baseline_matches_paper_exactly(self, comparison):
+        counts = comparison.local_result.instance_counts()
+        assert counts == {"adder": 6, "subtracter": 2, "multiplier": 5}
+        assert comparison.local_area == 28.0
+
+    def test_global_run_at_or_below_paper_pools(self, comparison):
+        counts = comparison.global_result.instance_counts()
+        assert counts["adder"] <= 4
+        assert counts["subtracter"] <= 1
+        assert counts["multiplier"] <= 3
+        assert comparison.global_area <= 17.0
+
+    def test_area_ratio_at_least_paper(self, comparison):
+        assert comparison.area_ratio >= 1.65
+        assert comparison.area_saving >= 0.39
+
+    def test_global_result_verifies(self, comparison):
+        report = verify_system_schedule(comparison.global_result)
+        assert report.ok, str(report)
+
+    def test_local_result_verifies(self, comparison):
+        report = verify_system_schedule(comparison.local_result)
+        assert report.ok, str(report)
+
+    def test_global_result_binds(self, comparison):
+        bind_instances(comparison.global_result).validate()
+
+    def test_simulation_conflict_free(self, comparison):
+        for seed in (0, 1, 2):
+            stats = SystemSimulator(comparison.global_result, seed=seed).run(1500)
+            assert stats.ok, stats.trace.render()
+
+    def test_grid_spacing_is_the_period(self, comparison):
+        for process in ("p1", "p2", "p3", "p4", "p5"):
+            assert comparison.global_result.grid_spacing(process) == 15
+
+    def test_table1_renders_all_sections(self, comparison):
+        text = table1(comparison.global_result)
+        for needle in ("adder", "multiplier", "subtracter", "p1", "p5", "all"):
+            assert needle in text

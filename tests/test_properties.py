@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the library's load-bearing guarantees on randomized inputs:
+frame consistency, probability-mass conservation, modulo-max dominance,
+schedule validity, the global-pool upper bound, and end-to-end safety
+(verification, binding, simulation) on random multi-process systems.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.binding.instances import bind_instances
+from repro.core.modulo import modulo_max, modulo_max_int
+from repro.core.periods import PeriodAssignment, divisors, is_harmonic, lcm_all
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.core.verify import verify_system_schedule
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.distribution import occupancy_row
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+from repro.scheduling.timeframes import FrameTable
+from repro.sim.simulator import SystemSimulator
+from repro.workloads import random_dfg
+
+LIBRARY = default_library()
+
+
+# ---------------------------------------------------------------------------
+# Numeric helpers
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=10_000))
+def test_divisors_divide_and_include_bounds(value):
+    divs = divisors(value)
+    assert divs[0] == 1
+    assert divs[-1] == value
+    assert all(value % d == 0 for d in divs)
+    assert divs == sorted(set(divs))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50), max_size=5))
+def test_lcm_is_common_multiple(values):
+    lcm = lcm_all(values)
+    assert all(lcm % v == 0 for v in values)
+    if values:
+        assert lcm <= math.prod(values)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=5))
+def test_harmonic_iff_lcm_equals_max(values):
+    if is_harmonic(values):
+        assert lcm_all(values) == max(values)
+
+
+# ---------------------------------------------------------------------------
+# Occupancy rows
+# ---------------------------------------------------------------------------
+@given(
+    lo=st.integers(min_value=0, max_value=10),
+    width=st.integers(min_value=1, max_value=8),
+    occ=st.integers(min_value=1, max_value=3),
+)
+def test_occupancy_row_mass_and_support(lo, width, occ):
+    hi = lo + width - 1
+    horizon = hi + occ
+    row = occupancy_row(lo, hi, occ, horizon)
+    assert row.sum() == pytest.approx(occ)
+    assert (row >= 0).all()
+    assert (row <= 1.0 + 1e-12).all()
+    assert row[:lo].sum() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Modulo-max transformation
+# ---------------------------------------------------------------------------
+@given(
+    values=st.lists(
+        st.floats(min_value=0, max_value=10, allow_nan=False), min_size=1, max_size=40
+    ),
+    period=st.integers(min_value=1, max_value=20),
+)
+def test_modulo_max_dominates_and_preserves_peak(values, period):
+    folded = modulo_max(values, period)
+    for t, value in enumerate(values):
+        assert folded[t % period] >= value - 1e-9
+    assert folded.max() == pytest.approx(max(values))
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=40),
+    period=st.integers(min_value=1, max_value=20),
+)
+def test_modulo_max_int_matches_float_variant(values, period):
+    assert (
+        modulo_max_int(values, period) == modulo_max(values, period).astype(int)
+    ).all()
+
+
+# ---------------------------------------------------------------------------
+# Frame tables on random DAGs
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n_ops=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=1_000),
+    slack=st.integers(min_value=0, max_value=6),
+)
+def test_frames_consistent_on_random_dags(n_ops, seed, slack):
+    graph = random_dfg(n_ops, seed=seed)
+    deadline = graph.critical_path_length(LIBRARY.latency_of) + slack
+    table = FrameTable(graph, LIBRARY.latency_of, deadline)
+    for oid in graph.op_ids:
+        lo, hi = table.frame(oid)
+        assert 0 <= lo <= hi
+        assert hi + table.latency(oid) <= deadline
+        for pred in graph.predecessors(oid):
+            assert table.lo(pred) + table.latency(pred) <= lo
+        for succ in graph.successors(oid):
+            assert hi + table.latency(oid) <= table.hi(succ)
+
+
+# ---------------------------------------------------------------------------
+# IFDS schedules on random DAGs
+# ---------------------------------------------------------------------------
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n_ops=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=500),
+    slack=st.integers(min_value=0, max_value=5),
+)
+def test_ifds_schedules_random_dags_validly(n_ops, seed, slack):
+    graph = random_dfg(n_ops, seed=seed)
+    deadline = graph.critical_path_length(LIBRARY.latency_of) + slack
+    block = Block(name="b", graph=graph, deadline=deadline)
+    schedule = ImprovedForceDirectedScheduler(LIBRARY).schedule(block)
+    schedule.validate()
+    # Peak usage can never beat the averaging lower bound.
+    for rtype in LIBRARY.types_used_by(graph):
+        busy = int(schedule.usage_profile(rtype.name).sum())
+        assert schedule.peak_usage(rtype.name) >= math.ceil(busy / deadline)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: random two-process systems
+# ---------------------------------------------------------------------------
+def _random_system(n1, n2, seed, slack):
+    system = SystemSpec(name="rand")
+    for name, n_ops, offset in (("p1", n1, 0), ("p2", n2, 1)):
+        graph = random_dfg(n_ops, seed=seed + offset)
+        deadline = graph.critical_path_length(LIBRARY.latency_of) + slack
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    return system
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n1=st.integers(min_value=2, max_value=10),
+    n2=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=200),
+    period=st.integers(min_value=1, max_value=4),
+)
+def test_global_scheduling_end_to_end_on_random_systems(n1, n2, seed, period):
+    system = _random_system(n1, n2, seed, slack=4)
+    assignment = ResourceAssignment.all_global(LIBRARY, system)
+    if not assignment.global_types:
+        return  # no shared kinds this draw
+    periods = PeriodAssignment({t: period for t in assignment.global_types})
+    result = ModuloSystemScheduler(LIBRARY).schedule(system, assignment, periods)
+
+    # Static verification must hold.
+    report = verify_system_schedule(result)
+    assert report.ok, str(report)
+
+    # The global pool can never exceed the sum of per-process folded maxima
+    # and never exceed what fully local scheduling would buy.
+    for type_name in assignment.global_types:
+        pool = result.global_instances(type_name)
+        per_process = sum(
+            int(result.authorization(p, type_name).max())
+            for p in assignment.group(type_name)
+        )
+        assert pool <= per_process
+
+    # Binding and randomized simulation must both be conflict-free.
+    bind_instances(result).validate()
+    stats = SystemSimulator(result, seed=seed).run(300)
+    assert stats.ok, stats.trace.render()

@@ -1,0 +1,155 @@
+"""Additional property-based tests: serialization, guards, RC modulo, RTL."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir import textio
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.rtl.design import build_rtl
+from repro.scheduling.distribution import combine_rows
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+from repro.scheduling.schedule import BlockSchedule
+from repro.workloads import random_dfg
+
+LIBRARY = default_library()
+
+
+# ---------------------------------------------------------------------------
+# Text serialization round trip
+# ---------------------------------------------------------------------------
+@settings(max_examples=25)
+@given(
+    n_ops=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_textio_round_trip_on_random_graphs(n_ops, seed):
+    graph = random_dfg(n_ops, seed=seed)
+    loaded = textio.loads(textio.dumps(graph))
+    assert loaded.name == graph.name
+    assert loaded.op_ids == graph.op_ids
+    assert loaded.edges == graph.edges
+    assert [op.kind for op in loaded] == [op.kind for op in graph]
+
+
+# ---------------------------------------------------------------------------
+# Guarded distribution combination
+# ---------------------------------------------------------------------------
+row_strategy = st.lists(
+    st.floats(min_value=0, max_value=2, allow_nan=False), min_size=4, max_size=4
+)
+
+
+@settings(max_examples=50)
+@given(rows=st.lists(row_strategy, min_size=1, max_size=6), data=st.data())
+def test_combine_rows_between_max_and_sum(rows, data):
+    """The guarded combination always lies between the pointwise max of
+    all rows and their plain sum."""
+    arrays = {f"op{i}": np.array(r) for i, r in enumerate(rows)}
+    guards = {}
+    for op_id in arrays:
+        guarded = data.draw(st.booleans(), label=f"{op_id} guarded")
+        if guarded:
+            branch = data.draw(st.sampled_from(["t", "e"]), label=f"{op_id} branch")
+            guards[op_id] = ("c", branch)
+        else:
+            guards[op_id] = None
+    combined = combine_rows(arrays, guards, 4)
+    plain_sum = sum(arrays.values())
+    pointwise_max = np.maximum.reduce(list(arrays.values()))
+    assert np.all(combined <= plain_sum + 1e-9)
+    assert np.all(combined >= pointwise_max - 1e-9)
+
+
+@settings(max_examples=30)
+@given(
+    n_then=st.integers(min_value=0, max_value=3),
+    n_else=st.integers(min_value=0, max_value=3),
+    n_plain=st.integers(min_value=0, max_value=3),
+    deadline=st.integers(min_value=2, max_value=6),
+)
+def test_guarded_usage_profile_is_branch_worst_case(
+    n_then, n_else, n_plain, deadline
+):
+    if n_then + n_else + n_plain == 0:
+        return
+    graph = DataFlowGraph(name="g")
+    for i in range(n_then):
+        graph.add(f"t{i}", OpKind.ADD, guard=("c", "then"))
+    for i in range(n_else):
+        graph.add(f"e{i}", OpKind.ADD, guard=("c", "else"))
+    for i in range(n_plain):
+        graph.add(f"u{i}", OpKind.ADD)
+    # Everything at step 0: worst case = plain + max(then, else).
+    starts = {oid: 0 for oid in graph.op_ids}
+    sched = BlockSchedule(
+        graph=graph, library=LIBRARY, starts=starts, deadline=deadline
+    )
+    profile = sched.usage_profile("adder")
+    assert profile[0] == n_plain + max(n_then, n_else)
+    assert profile[1:].sum() == 0
+
+
+# ---------------------------------------------------------------------------
+# IFDS with guards on random graphs stays valid
+# ---------------------------------------------------------------------------
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n_ops=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=200),
+    guard_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_ifds_valid_with_random_guards(n_ops, seed, guard_fraction):
+    import random as stdlib_random
+
+    base = random_dfg(n_ops, seed=seed)
+    rng = stdlib_random.Random(seed)
+    graph = DataFlowGraph(name="guarded")
+    for op in base:
+        guard = None
+        if rng.random() < guard_fraction:
+            guard = ("c", rng.choice(["t", "e"]))
+        graph.add(op.op_id, op.kind, guard=guard)
+    graph.add_edges(base.edges)
+    deadline = graph.critical_path_length(LIBRARY.latency_of) + 3
+    schedule = ImprovedForceDirectedScheduler(LIBRARY).schedule(
+        Block(name="b", graph=graph, deadline=deadline)
+    )
+    schedule.validate()
+
+
+# ---------------------------------------------------------------------------
+# RTL derivation on random shared systems
+# ---------------------------------------------------------------------------
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n1=st.integers(min_value=2, max_value=8),
+    n2=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_rtl_consistent_on_random_systems(n1, n2, seed):
+    system = SystemSpec(name="rand-rtl")
+    for name, n_ops, offset in (("p1", n1, 0), ("p2", n2, 1)):
+        graph = random_dfg(n_ops, seed=seed + offset)
+        deadline = graph.critical_path_length(LIBRARY.latency_of) + 3
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    assignment = ResourceAssignment.all_global(LIBRARY, system)
+    if not assignment.global_types:
+        return
+    periods = PeriodAssignment({t: 2 for t in assignment.global_types})
+    result = ModuloSystemScheduler(LIBRARY).schedule(system, assignment, periods)
+    design = build_rtl(result)
+    design.consistency_check()
+    issued = sum(len(ctrl.issues) for ctrl in design.controllers)
+    assert issued == system.operation_count

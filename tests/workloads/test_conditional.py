@@ -1,0 +1,47 @@
+"""Tests for the mode-switching (conditional) workload."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.operation import OpKind
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+from repro.workloads import mode_switching_filter
+from repro.workloads.conditional import MODE
+
+
+class TestModeSwitchingFilter:
+    def test_structure(self):
+        graph = mode_switching_filter(3)
+        assert graph.conditions() == {MODE: ["fast", "precise"]}
+        counts = graph.count_by_kind()
+        # fast: 1 mul + 1 add; precise: 3 mul + 2 add; shared: 1 mul.
+        assert counts[OpKind.MUL] == 5
+        assert counts[OpKind.ADD] == 3
+
+    def test_fast_and_precise_paths_exclusive(self):
+        graph = mode_switching_filter(3)
+        fast = graph.operation("f_mul")
+        precise = graph.operation("p_mul0")
+        assert fast.excludes(precise)
+
+    def test_output_depends_on_both_paths(self):
+        graph = mode_switching_filter(3)
+        preds = graph.predecessors("scale")
+        assert "f_add" in preds
+
+    def test_minimum_taps(self):
+        with pytest.raises(GraphError, match=">= 2"):
+            mode_switching_filter(1)
+
+    def test_exclusivity_reduces_multiplier_need(self):
+        """Under a tight deadline the scheduler can overlap the two paths
+        on shared multipliers."""
+        library = default_library()
+        graph = mode_switching_filter(3)
+        cp = graph.critical_path_length(library.latency_of)
+        block = Block(name="m", graph=mode_switching_filter(3), deadline=cp + 2)
+        schedule = ImprovedForceDirectedScheduler(library).schedule(block)
+        # Worst-case branch usage: never all 5 multiplications at once.
+        assert schedule.peak_usage("multiplier") <= 3

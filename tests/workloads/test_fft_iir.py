@@ -1,0 +1,65 @@
+"""Tests for the FFT and IIR workloads."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.operation import OpKind
+from repro.resources.library import default_library
+from repro.workloads import fft_butterfly_network, iir_biquad_cascade
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+class TestFft:
+    def test_butterfly_count(self):
+        # n-point FFT: (n/2) * log2(n) butterflies, 10 ops each.
+        graph = fft_butterfly_network(8)
+        assert len(graph) == 4 * 3 * 10
+
+    def test_operation_mix(self):
+        counts = fft_butterfly_network(4).count_by_kind()
+        # 4 butterflies: 4 muls, 3 adds, 3 subs each.
+        assert counts[OpKind.MUL] == 16
+        assert counts[OpKind.ADD] == 12
+        assert counts[OpKind.SUB] == 12
+
+    def test_depth_grows_logarithmically(self, library):
+        cp2 = fft_butterfly_network(2).critical_path_length(library.latency_of)
+        cp8 = fft_butterfly_network(8).critical_path_length(library.latency_of)
+        assert cp8 == 3 * cp2
+
+    def test_valid_dag(self):
+        fft_butterfly_network(16).validate()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(GraphError, match="power of two"):
+            fft_butterfly_network(6)
+        with pytest.raises(GraphError, match="power of two"):
+            fft_butterfly_network(1)
+
+
+class TestIir:
+    def test_section_counts(self):
+        counts = iir_biquad_cascade(3).count_by_kind()
+        assert counts[OpKind.MUL] == 15
+        assert counts[OpKind.ADD] == 6
+        assert counts[OpKind.SUB] == 6
+
+    def test_cascade_is_serial(self, library):
+        cp1 = iir_biquad_cascade(1).critical_path_length(library.latency_of)
+        cp3 = iir_biquad_cascade(3).critical_path_length(library.latency_of)
+        assert cp3 > 2 * cp1
+
+    def test_sections_linked_through_b0(self):
+        graph = iir_biquad_cascade(2)
+        assert "s1_b0" in graph.successors("s0_fb2")
+
+    def test_valid_dag(self):
+        iir_biquad_cascade(4).validate()
+
+    def test_zero_sections_rejected(self):
+        with pytest.raises(GraphError, match=">= 1"):
+            iir_biquad_cascade(0)

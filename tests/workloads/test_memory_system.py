@@ -1,0 +1,60 @@
+"""Tests for the shared-memory workload."""
+
+import pytest
+
+from repro.ir.operation import OpKind
+from repro.workloads.memory_system import (
+    compute_process,
+    dma_process,
+    memory_library,
+    shared_memory_system,
+)
+
+
+class TestMemoryLibrary:
+    def test_memport_is_multicycle_nonpipelined(self):
+        library = memory_library()
+        port = library.type("memport")
+        assert port.latency == 2
+        assert not port.pipelined
+        assert port.occupancy == 2
+        assert port.executes(OpKind.LOAD)
+        assert port.executes(OpKind.STORE)
+
+
+class TestProcesses:
+    def test_dma_structure(self):
+        process = dma_process("d", words=3)
+        graph = process.blocks[0].graph
+        counts = graph.count_by_kind()
+        assert counts[OpKind.LOAD] == 3
+        assert counts[OpKind.STORE] == 3
+        assert ("ld0", "st0") in graph.edges
+
+    def test_compute_structure(self):
+        process = compute_process("c")
+        graph = process.blocks[0].graph
+        counts = graph.count_by_kind()
+        assert counts[OpKind.LOAD] == 2
+        assert counts[OpKind.STORE] == 1
+        assert counts[OpKind.MUL] == 1
+        assert counts[OpKind.ADD] == 1
+
+    def test_compute_critical_path(self):
+        library = memory_library()
+        process = compute_process("c")
+        # load(2) -> mul(2) -> add(1) -> store(2) = 7.
+        assert process.blocks[0].graph.critical_path_length(
+            library.latency_of
+        ) == 7
+
+
+class TestSharedMemorySystem:
+    def test_system_shape(self):
+        system, library = shared_memory_system(movers=3, deadline=14)
+        assert system.process_names == ["dma0", "dma1", "dma2", "calc"]
+        system.validate(library.latency_of)
+
+    def test_infeasible_deadline_rejected(self):
+        with pytest.raises(Exception, match="C1"):
+            shared_memory_system(deadline=3)

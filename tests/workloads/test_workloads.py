@@ -1,0 +1,222 @@
+"""Tests for the benchmark workloads."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.operation import OpKind
+from repro.resources.library import default_library
+from repro.workloads import (
+    ar_lattice,
+    differential_equation,
+    elliptic_wave_filter,
+    fir_filter,
+    random_dfg,
+)
+from repro.workloads.diffeq import CRITICAL_PATH as DIFFEQ_CP
+from repro.workloads.ewf import CRITICAL_PATH as EWF_CP
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+class TestEllipticWaveFilter:
+    def test_published_operation_mix(self):
+        graph = elliptic_wave_filter()
+        counts = graph.count_by_kind()
+        assert counts[OpKind.ADD] == 26
+        assert counts[OpKind.MUL] == 8
+        assert len(graph) == 34
+
+    def test_published_critical_path(self, library):
+        graph = elliptic_wave_filter()
+        assert graph.critical_path_length(library.latency_of) == EWF_CP == 17
+
+    def test_graph_is_valid_dag(self):
+        elliptic_wave_filter().validate()
+
+    def test_connected(self):
+        graph = elliptic_wave_filter()
+        isolated = [
+            oid
+            for oid in graph.op_ids
+            if not graph.predecessors(oid) and not graph.successors(oid)
+        ]
+        assert isolated == []
+
+    def test_fresh_instance_per_call(self):
+        assert elliptic_wave_filter() is not elliptic_wave_filter()
+
+
+class TestDifferentialEquation:
+    def test_paper_operation_mix_with_substitution(self):
+        counts = differential_equation().count_by_kind()
+        assert counts[OpKind.MUL] == 6
+        assert counts[OpKind.ADD] == 2
+        assert counts[OpKind.SUB] == 3  # comparator substituted
+
+    def test_original_mix_without_substitution(self):
+        counts = differential_equation(substitute_compare=False).count_by_kind()
+        assert counts[OpKind.SUB] == 2
+        assert counts[OpKind.CMP] == 1
+
+    def test_critical_path(self, library):
+        graph = differential_equation()
+        assert graph.critical_path_length(library.latency_of) == DIFFEQ_CP == 6
+
+    def test_structure(self):
+        graph = differential_equation()
+        assert set(graph.predecessors("m3")) == {"m1", "m2"}
+        assert graph.successors("s1") == ["s2"]
+        assert graph.predecessors("a1") == []
+
+
+class TestFirFilter:
+    def test_tree_counts(self):
+        graph = fir_filter(8, adder="tree")
+        counts = graph.count_by_kind()
+        assert counts[OpKind.MUL] == 8
+        assert counts[OpKind.ADD] == 7
+
+    def test_chain_counts(self):
+        counts = fir_filter(5, adder="chain").count_by_kind()
+        assert counts[OpKind.MUL] == 5
+        assert counts[OpKind.ADD] == 4
+
+    def test_tree_shorter_than_chain(self, library):
+        tree = fir_filter(8, adder="tree")
+        chain = fir_filter(8, adder="chain")
+        assert tree.critical_path_length(library.latency_of) < (
+            chain.critical_path_length(library.latency_of)
+        )
+
+    def test_odd_tap_count(self):
+        graph = fir_filter(5, adder="tree")
+        assert graph.count_by_kind()[OpKind.ADD] == 4
+        graph.validate()
+
+    def test_too_few_taps_rejected(self):
+        with pytest.raises(GraphError, match=">= 2"):
+            fir_filter(1)
+
+    def test_bad_adder_mode_rejected(self):
+        with pytest.raises(GraphError, match="tree.*chain"):
+            fir_filter(4, adder="star")
+
+
+class TestArLattice:
+    def test_stage_counts(self):
+        counts = ar_lattice(4).count_by_kind()
+        assert counts[OpKind.MUL] == 8
+        assert counts[OpKind.SUB] == 4
+        assert counts[OpKind.ADD] == 4
+
+    def test_serial_structure(self, library):
+        shallow = ar_lattice(1).critical_path_length(library.latency_of)
+        deep = ar_lattice(4).critical_path_length(library.latency_of)
+        assert deep > shallow
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(GraphError, match=">= 1"):
+            ar_lattice(0)
+
+
+class TestRandomDfg:
+    def test_requested_size(self):
+        assert len(random_dfg(25, seed=1)) == 25
+
+    def test_reproducible(self):
+        g1 = random_dfg(20, seed=42)
+        g2 = random_dfg(20, seed=42)
+        assert g1.edges == g2.edges
+        assert [op.kind for op in g1] == [op.kind for op in g2]
+
+    def test_seeds_differ(self):
+        g1 = random_dfg(20, seed=1)
+        g2 = random_dfg(20, seed=2)
+        assert g1.edges != g2.edges
+
+    def test_every_nonsource_has_predecessor(self):
+        graph = random_dfg(30, seed=3, layers=5)
+        sources = graph.sources()
+        for oid in graph.op_ids:
+            if oid not in sources:
+                assert graph.predecessors(oid)
+
+    def test_layer_count_bounds_depth(self):
+        graph = random_dfg(30, seed=4, layers=3)
+        assert graph.critical_path_length(lambda op: 1) <= 3
+
+    def test_single_operation(self):
+        graph = random_dfg(1, seed=0)
+        assert len(graph) == 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(GraphError, match=">= 1"):
+            random_dfg(0, seed=0)
+
+
+class TestEwfSplit:
+    def test_split_preserves_operation_mix(self):
+        from repro.workloads import elliptic_wave_filter_split
+
+        front, back = elliptic_wave_filter_split()
+        counts = {}
+        for graph in (front, back):
+            for kind, n in graph.count_by_kind().items():
+                counts[kind] = counts.get(kind, 0) + n
+        assert counts[OpKind.ADD] == 26
+        assert counts[OpKind.MUL] == 8
+        assert len(front) + len(back) == 34
+
+    def test_split_blocks_are_valid_dags(self):
+        from repro.workloads import elliptic_wave_filter_split
+
+        front, back = elliptic_wave_filter_split()
+        front.validate()
+        back.validate()
+        assert len(front) >= 10
+        assert len(back) >= 10
+
+    def test_split_shortens_critical_paths(self, library):
+        from repro.workloads import elliptic_wave_filter_split
+        from repro.workloads.ewf import CRITICAL_PATH
+
+        front, back = elliptic_wave_filter_split()
+        cp_front = front.critical_path_length(library.latency_of)
+        cp_back = back.critical_path_length(library.latency_of)
+        assert cp_front < CRITICAL_PATH
+        assert cp_back < CRITICAL_PATH
+
+    def test_split_process_schedules_and_shares(self, library):
+        """A two-block EWF process shares one pool with a diffeq process:
+        the block maxima combine by eq. 9 rather than adding."""
+        from repro.core import ModuloSystemScheduler, PeriodAssignment
+        from repro.core.verify import verify_system_schedule
+        from repro.ir.process import Block, Process, SystemSpec
+        from repro.resources.assignment import ResourceAssignment
+        from repro.workloads import differential_equation, elliptic_wave_filter_split
+
+        front, back = elliptic_wave_filter_split()
+        p1 = Process(name="p1")
+        p1.add_block(Block(name="front", graph=front, deadline=15))
+        p1.add_block(Block(name="back", graph=back, deadline=15))
+        p2 = Process(name="p2")
+        p2.add_block(Block(name="main", graph=differential_equation(), deadline=15))
+        system = SystemSpec(name="split")
+        system.add_process(p1)
+        system.add_process(p2)
+        assignment = ResourceAssignment(library)
+        assignment.make_global("adder", ["p1", "p2"])
+        assignment.make_global("multiplier", ["p1", "p2"])
+        result = ModuloSystemScheduler(library).schedule(
+            system, assignment,
+            PeriodAssignment({"adder": 15, "multiplier": 15}),
+        )
+        assert verify_system_schedule(result).ok
+        # p1's authorization is the blockwise max, not the sum.
+        auth = result.authorization("p1", "adder")
+        fronts = result.schedule_of("p1", "front").peak_usage("adder")
+        backs = result.schedule_of("p1", "back").peak_usage("adder")
+        assert int(auth.max()) <= max(fronts, backs)
