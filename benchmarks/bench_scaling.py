@@ -10,6 +10,7 @@ iterations must grow linearly with total mobility, not explode.
 import time
 
 from conftest import save_artifact
+from repro.obs import Tracer
 
 from repro.core.periods import PeriodAssignment
 from repro.core.scheduler import ModuloSystemScheduler
@@ -44,7 +45,7 @@ def run_scaling():
         periods = PeriodAssignment(
             {name: PERIOD for name in assignment.global_types}
         )
-        scheduler = ModuloSystemScheduler(library)
+        scheduler = ModuloSystemScheduler(library, tracer=Tracer())
         started = time.perf_counter()
         result = scheduler.schedule(system, assignment, periods)
         elapsed = time.perf_counter() - started
@@ -55,6 +56,7 @@ def run_scaling():
                 result.iterations,
                 elapsed,
                 result.total_area(),
+                dict(result.telemetry.get("counters", {})),
             )
         )
     return rows
@@ -64,7 +66,7 @@ def test_scaling(benchmark):
     rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
 
     # Iterations are bounded by total mobility: at most ops * (slack + 1).
-    for n_processes, ops, iterations, _elapsed, _area in rows:
+    for n_processes, ops, iterations, _elapsed, _area, _counters in rows:
         assert iterations <= ops * (SLACK + 2)
 
     lines = [
@@ -74,11 +76,25 @@ def test_scaling(benchmark):
         "",
         f"{'procs':>5} {'ops':>5} {'iterations':>11} {'seconds':>8} {'area':>6}",
     ]
-    for n_processes, ops, iterations, elapsed, area in rows:
+    for n_processes, ops, iterations, elapsed, area, _counters in rows:
         lines.append(
             f"{n_processes:>5} {ops:>5} {iterations:>11} {elapsed:>8.2f} "
             f"{area:>6g}"
         )
     lines.append("")
     lines.append("paper reference point: 124 ops, 71 iterations, 7 s (Pentium 133)")
-    save_artifact("scaling", "\n".join(lines))
+    save_artifact(
+        "scaling",
+        "\n".join(lines),
+        data=[
+            {
+                "processes": n_processes,
+                "operations": ops,
+                "iterations": iterations,
+                "wall_time": elapsed,
+                "area": area,
+                "counters": counters,
+            }
+            for n_processes, ops, iterations, elapsed, area, counters in rows
+        ],
+    )

@@ -9,7 +9,7 @@ more expensive.  The benchmark timing measures one full global run of the
 coupled modified IFDS (the paper reports 7 s on a Pentium 133).
 """
 
-from conftest import save_artifact
+from conftest import save_artifact, telemetry_payload
 
 from repro.analysis.tables import table1
 from repro.core.scheduler import ModuloSystemScheduler
@@ -46,4 +46,12 @@ def test_table1(benchmark, paper_comparison):
         "paper reference: global 4+/1-/3* area 17 | local 6+/2-/5* area 28 "
         "| ratio 1.65x",
     ]
-    save_artifact("table1", "\n".join(lines))
+    save_artifact(
+        "table1",
+        "\n".join(lines),
+        data={
+            "global": telemetry_payload(paper_comparison.global_result),
+            "local": telemetry_payload(paper_comparison.local_result),
+            "area_ratio": paper_comparison.area_ratio,
+        },
+    )

@@ -3,34 +3,78 @@
 Every benchmark regenerates one table or figure of the paper (see
 DESIGN.md, "Experiment index").  Regenerated artifacts are printed and
 also written to ``benchmarks/out/<name>.txt`` so they can be inspected
-and diffed without re-running.
+and diffed without re-running.  Benchmarks that produce structured
+numbers (counters, wall times) additionally persist a machine-readable
+``benchmarks/out/<name>.json`` via :func:`save_artifact_json` (or the
+``data=`` argument of :func:`save_artifact`), so downstream tooling can
+track regressions without parsing the text reports.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 from repro.analysis.compare import Comparison, compare_scopes
+from repro.obs import Tracer
 from repro.scheduling.forces import area_weights
 from repro.workloads import paper_assignment, paper_periods, paper_system
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
-def save_artifact(name: str, text: str) -> None:
-    """Persist a regenerated table/figure and echo it to stdout."""
+def save_artifact(name: str, text: str, data=None) -> None:
+    """Persist a regenerated table/figure and echo it to stdout.
+
+    ``data`` (any JSON-serializable mapping) is written alongside as
+    ``<name>.json``.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n--- artifact {path.name} ---")
     print(text)
+    if data is not None:
+        save_artifact_json(name, data)
+
+
+def save_artifact_json(name: str, payload) -> pathlib.Path:
+    """Persist a machine-readable artifact as ``benchmarks/out/<name>.json``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"--- artifact {path.name} ---")
+    return path
+
+
+def telemetry_payload(result) -> dict:
+    """Counters + wall time of one scheduling run, JSON-ready.
+
+    Pulls from the ``telemetry`` summary the scheduler attaches to every
+    :class:`repro.core.result.SystemSchedule`.
+    """
+    telemetry = dict(result.telemetry)
+    return {
+        "iterations": result.iterations,
+        "wall_time": result.wall_time,
+        "phase_times": telemetry.get("phase_times", {}),
+        "counters": telemetry.get("counters", {}),
+        "area": result.total_area(),
+        "instance_counts": result.instance_counts(),
+    }
 
 
 @pytest.fixture(scope="session")
 def paper_comparison() -> Comparison:
-    """The §7 experiment, scheduled once per benchmark session."""
+    """The §7 experiment, scheduled once per benchmark session.
+
+    Runs fully instrumented so every benchmark can report counters and
+    per-phase times out of the results' telemetry summaries.
+    """
     system, library = paper_system()
     return compare_scopes(
         system,
@@ -38,4 +82,5 @@ def paper_comparison() -> Comparison:
         paper_assignment(library),
         paper_periods(),
         weights=area_weights(library),
+        tracer=Tracer(),
     )

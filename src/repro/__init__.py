@@ -21,7 +21,8 @@ Subpackages: :mod:`repro.ir` (dataflow graphs, processes),
 :mod:`repro.scheduling` (frames, FDS, IFDS, list scheduling),
 :mod:`repro.core` (modulo scheduling itself), :mod:`repro.binding`
 (instances, authorizations), :mod:`repro.sim` (dynamic validation),
-:mod:`repro.workloads` and :mod:`repro.analysis` (evaluation).
+:mod:`repro.workloads` and :mod:`repro.analysis` (evaluation),
+:mod:`repro.obs` (tracing, counters, logging, profiling).
 """
 
 from .errors import (
@@ -74,6 +75,15 @@ from .core import (
     verify_system_schedule,
 )
 from .binding import AccessAuthorizationTable, InstanceBinding, bind_instances
+from .obs import (
+    NULL_TRACER,
+    Counters,
+    NullTracer,
+    Tracer,
+    configure_logging,
+    get_logger,
+    render_profile,
+)
 from .sim import SystemSimulator
 from .analysis import Comparison, bound_report, compare_scopes, table1
 from .api import Problem, load_problem, loads_problem
@@ -88,6 +98,7 @@ __all__ = [
     "Block",
     "BlockSchedule",
     "Comparison",
+    "Counters",
     "DataFlowGraph",
     "ExprBuilder",
     "ForceDirectedScheduler",
@@ -97,6 +108,8 @@ __all__ = [
     "InstanceBinding",
     "ListScheduler",
     "ModuloSystemScheduler",
+    "NULL_TRACER",
+    "NullTracer",
     "OpKind",
     "Operation",
     "PeriodAssignment",
@@ -116,6 +129,7 @@ __all__ = [
     "SystemSchedule",
     "SystemSimulator",
     "SystemSpec",
+    "Tracer",
     "VerificationError",
     "alu_library",
     "area_weights",
@@ -124,14 +138,17 @@ __all__ = [
     "bound_report",
     "build_rtl",
     "compare_scopes",
+    "configure_logging",
     "default_library",
     "emit_verilog",
     "enumerate_period_assignments",
+    "get_logger",
     "load_problem",
     "loads_problem",
     "optimize_offsets",
     "parse_behavior",
     "optimize_periods",
+    "render_profile",
     "resource_type",
     "suggest_periods",
     "table1",

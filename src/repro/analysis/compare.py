@@ -78,14 +78,19 @@ def compare_scopes(
     *,
     lookahead: float = DEFAULT_LOOKAHEAD,
     weights: Optional[Mapping[str, float]] = None,
+    tracer=None,
 ) -> Comparison:
     """Schedule with the given global assignment and with the traditional
-    all-local baseline, using identical scheduler parameters."""
+    all-local baseline, using identical scheduler parameters.
+
+    Both runs share ``tracer`` (if given), so a trace file covers the
+    whole comparison and the tracer's counters are command totals.
+    """
     global_scheduler = ModuloSystemScheduler(
-        library, lookahead=lookahead, weights=weights
+        library, lookahead=lookahead, weights=weights, tracer=tracer
     )
     local_scheduler = ModuloSystemScheduler(
-        library, lookahead=lookahead, weights=weights
+        library, lookahead=lookahead, weights=weights, tracer=tracer
     )
     global_result = global_scheduler.schedule(system, assignment, periods)
     local_result = local_scheduler.schedule(

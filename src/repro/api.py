@@ -49,11 +49,13 @@ class Problem:
         return scheduler.schedule(self.system, self.assignment, self.periods)
 
     def schedule_local_baseline(
-        self, *, use_area_weights: bool = True
+        self, *, use_area_weights: bool = True, **scheduler_kwargs
     ) -> SystemSchedule:
         """Run the traditional all-local scheduling for comparison."""
         weights = area_weights(self.library) if use_area_weights else None
-        scheduler = ModuloSystemScheduler(self.library, weights=weights)
+        scheduler = ModuloSystemScheduler(
+            self.library, weights=weights, **scheduler_kwargs
+        )
         return scheduler.schedule(
             self.system, ResourceAssignment.all_local(self.library)
         )

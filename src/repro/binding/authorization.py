@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import BindingError
 from ..core.result import SystemSchedule
+from ..obs.counters import AUTHORIZATION_CHECKS, count
 
 
 @dataclass
@@ -74,6 +75,7 @@ class AccessAuthorizationTable:
     # ------------------------------------------------------------------
     def grant(self, process_name: str, slot: int) -> int:
         """Instances granted to a process at one slot."""
+        count(AUTHORIZATION_CHECKS)
         try:
             return int(self.grants[process_name][slot % self.period])
         except KeyError:

@@ -4,12 +4,18 @@ Usage (after ``pip install -e .``)::
 
     python -m repro schedule system.sys            # global modulo scheduling
     python -m repro schedule system.sys --local    # traditional baseline
+    python -m repro schedule system.sys --profile  # + phase/counter table
+    python -m repro schedule system.sys --trace t.jsonl   # JSONL trace
+    python -m repro profile system.sys             # profiling front and center
     python -m repro compare system.sys             # both + area comparison
     python -m repro simulate system.sys --cycles 5000 --seed 3
     python -m repro sweep system.sys               # period enumeration (S2)
     python -m repro info system.sys                # problem statistics
 
-The ``.sys`` input format is documented in :mod:`repro.ir.systemio`.
+``-v``/``-vv`` raise the ``repro.*`` log level (INFO/DEBUG on stderr);
+``-q`` silences everything below ERROR.  User-facing results always go
+to stdout.  The ``.sys`` input format is documented in
+:mod:`repro.ir.systemio`.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from .core.periods import enumerate_period_assignments
 from .core.scheduler import ModuloSystemScheduler
 from .core.verify import verify_system_schedule
 from .errors import ReproError
+from .obs import Tracer, configure_logging, render_profile
 from .scheduling.forces import area_weights
 from .sim.simulator import SystemSimulator
 
@@ -35,9 +42,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Time constrained modulo scheduling with global resource sharing",
     )
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log repro.* at INFO (-v) or DEBUG (-vv) on stderr",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true", help="only log errors"
+    )
+    observe = argparse.ArgumentParser(add_help=False)
+    observe.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL trace (spans + per-iteration events) to FILE",
+    )
+    observe.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a phase-timing and counter table after the run",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    schedule = sub.add_parser("schedule", help="schedule a .sys problem")
+    schedule = sub.add_parser(
+        "schedule", help="schedule a .sys problem", parents=[verbosity, observe]
+    )
     schedule.add_argument("file", help="path to a .sys problem file")
     schedule.add_argument(
         "--local", action="store_true", help="ignore global scopes (baseline)"
@@ -49,45 +80,100 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip static verification"
     )
 
-    compare = sub.add_parser("compare", help="global vs local comparison")
+    compare = sub.add_parser(
+        "compare",
+        help="global vs local comparison",
+        parents=[verbosity, observe],
+    )
     compare.add_argument("file")
 
-    simulate = sub.add_parser("simulate", help="randomized reactive simulation")
+    simulate = sub.add_parser(
+        "simulate", help="randomized reactive simulation", parents=[verbosity]
+    )
     simulate.add_argument("file")
     simulate.add_argument("--cycles", type=int, default=5000)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--trigger", type=float, default=0.25)
 
-    sweep = sub.add_parser("sweep", help="enumerate period assignments (step S2)")
+    sweep = sub.add_parser(
+        "sweep",
+        help="enumerate period assignments (step S2)",
+        parents=[verbosity, observe],
+    )
     sweep.add_argument("file")
     sweep.add_argument("--limit", type=int, default=200)
 
-    info = sub.add_parser("info", help="print problem statistics")
+    profile = sub.add_parser(
+        "profile",
+        help="schedule with full instrumentation and report the profile",
+        parents=[verbosity],
+    )
+    profile.add_argument("file")
+    profile.add_argument(
+        "--local", action="store_true", help="profile the all-local baseline"
+    )
+    profile.add_argument(
+        "--trace", metavar="FILE", help="also write the JSONL trace to FILE"
+    )
+
+    info = sub.add_parser(
+        "info", help="print problem statistics", parents=[verbosity]
+    )
     info.add_argument("file")
 
-    rtl = sub.add_parser("rtl", help="schedule, bind, and emit Verilog text")
+    rtl = sub.add_parser(
+        "rtl",
+        help="schedule, bind, and emit Verilog text",
+        parents=[verbosity],
+    )
     rtl.add_argument("file")
     rtl.add_argument("-o", "--output", help="write HDL to this path (default stdout)")
 
-    gantt = sub.add_parser("gantt", help="schedule and print ASCII Gantt charts")
+    gantt = sub.add_parser(
+        "gantt",
+        help="schedule and print ASCII Gantt charts",
+        parents=[verbosity],
+    )
     gantt.add_argument("file")
 
-    export = sub.add_parser("export", help="schedule and emit the result as JSON")
+    export = sub.add_parser(
+        "export",
+        help="schedule and emit the result as JSON",
+        parents=[verbosity],
+    )
     export.add_argument("file")
     export.add_argument("-o", "--output", help="write JSON here (default stdout)")
     return parser
 
 
+def _tracer_for(args: argparse.Namespace) -> Optional[Tracer]:
+    """A live tracer when ``--trace``/``--profile`` ask for one, else None."""
+    if getattr(args, "trace", None) or getattr(args, "profile", False):
+        return Tracer()
+    return None
+
+
+def _finish_trace(args: argparse.Namespace, tracer: Optional[Tracer]) -> None:
+    """Write the JSONL trace file if ``--trace`` was given."""
+    if tracer is not None and getattr(args, "trace", None):
+        written = tracer.write_jsonl(args.trace)
+        print(f"wrote {args.trace}: {written} trace records")
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     problem = load_problem(args.file)
+    tracer = _tracer_for(args)
     if args.local:
-        result = problem.schedule_local_baseline()
+        result = problem.schedule_local_baseline(tracer=tracer)
     else:
-        result = problem.schedule()
+        result = problem.schedule(tracer=tracer)
     print(result.summary())
     if args.table:
         print()
         print(table1(result))
+    if args.profile:
+        print()
+        print(render_profile(result.telemetry, title=f"profile: {args.file}"))
     if not args.no_verify:
         report = verify_system_schedule(result)
         if not report.ok:
@@ -98,19 +184,30 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             f"verified: {len(report.checks)} checks ok, "
             f"{len(binding.binding)} operations bound"
         )
+    _finish_trace(args, tracer)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     problem = load_problem(args.file)
+    tracer = _tracer_for(args)
     comparison = compare_scopes(
         problem.system,
         problem.library,
         problem.assignment,
         problem.periods,
         weights=area_weights(problem.library),
+        tracer=tracer,
     )
     print(comparison.render())
+    if args.profile and tracer is not None:
+        print()
+        print(
+            render_profile(
+                tracer.summary(), title=f"profile: {args.file} (both runs)"
+            )
+        )
+    _finish_trace(args, tracer)
     return 0
 
 
@@ -127,12 +224,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     problem = load_problem(args.file)
+    tracer = _tracer_for(args)
     candidates = enumerate_period_assignments(
         problem.system, problem.assignment, limit=args.limit
     )
     print(f"{len(candidates)} period assignments survive the eq. 3 filters")
     scheduler = ModuloSystemScheduler(
-        problem.library, weights=area_weights(problem.library)
+        problem.library, weights=area_weights(problem.library), tracer=tracer
     )
     best = None
     for periods in candidates:
@@ -143,6 +241,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             best = (periods, area)
     if best is not None:
         print(f"best: {best[0].as_dict} (area {best[1]:g})")
+    if args.profile and tracer is not None:
+        print()
+        print(
+            render_profile(
+                tracer.summary(),
+                title=f"profile: {args.file} ({len(candidates)} sweep runs)",
+            )
+        )
+    _finish_trace(args, tracer)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    problem = load_problem(args.file)
+    tracer = Tracer()
+    if args.local:
+        result = problem.schedule_local_baseline(tracer=tracer)
+    else:
+        result = problem.schedule(tracer=tracer)
+    print(result.summary())
+    print()
+    print(render_profile(result.telemetry, title=f"profile: {args.file}"))
+    _finish_trace(args, tracer)
     return 0
 
 
@@ -223,6 +344,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
+    "profile": cmd_profile,
     "info": cmd_info,
     "rtl": cmd_rtl,
     "gantt": cmd_gantt,
@@ -233,6 +355,9 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        getattr(args, "verbose", 0), getattr(args, "quiet", False)
+    )
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import PeriodError
+from ..obs.counters import MODULO_MAX_TRANSFORMS, count
 
 
 def fold(step: int, period: int) -> int:
@@ -58,6 +59,7 @@ def modulo_max(values: Sequence[float], period: int) -> np.ndarray:
     """
     if period < 1:
         raise PeriodError(f"period must be >= 1, got {period}")
+    count(MODULO_MAX_TRANSFORMS)
     array = np.asarray(values, dtype=float)
     folded = np.zeros(period, dtype=float)
     for offset in range(0, array.size, period):

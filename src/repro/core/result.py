@@ -51,6 +51,12 @@ class SystemSchedule:
     iterations: int = 0
     wall_time: float = 0.0
     start_offsets: Dict[str, int] = field(default_factory=dict)
+    #: Observability summary filled in by the scheduler: ``phase_times``
+    #: (setup / reduction_loop / finalization seconds), ``wall_time``,
+    #: ``iterations``, ``counters`` (from the run's tracer; empty when
+    #: scheduled through the no-op tracer), and ``events`` (trace-event
+    #: count).  Empty for hand-built results.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Accessors

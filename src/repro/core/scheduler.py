@@ -20,6 +20,7 @@ Both modification parts can be disabled independently for ablations.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -28,6 +29,7 @@ import numpy as np
 
 from ..errors import SchedulingError
 from ..ir.process import Block, Process, SystemSpec
+from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
 from ..resources.assignment import ResourceAssignment
 from ..resources.library import ResourceLibrary
 from ..scheduling.forces import DEFAULT_LOOKAHEAD, hooke_force
@@ -36,6 +38,8 @@ from ..scheduling.state import BlockState
 from .modulo import modulo_max
 from .periods import PeriodAssignment
 from .result import SystemSchedule
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -61,6 +65,8 @@ class ModuloSystemScheduler:
             evaluation (instance counts are still derived globally).
         global_balancing: Enable modification part 2 (§5.2).  Only
             meaningful while alignment is enabled.
+        tracer: Observability sink (:class:`repro.obs.Tracer`); the
+            default no-op tracer records nothing and costs nothing.
     """
 
     def __init__(
@@ -71,12 +77,14 @@ class ModuloSystemScheduler:
         weights: Optional[Mapping[str, float]] = None,
         periodical_alignment: bool = True,
         global_balancing: bool = True,
+        tracer=None,
     ) -> None:
         self.library = library
         self.lookahead = lookahead
         self.weights = dict(weights) if weights is not None else None
         self.periodical_alignment = periodical_alignment
         self.global_balancing = global_balancing
+        self.tracer = as_tracer(tracer)
 
     # ------------------------------------------------------------------
     # Public API
@@ -86,11 +94,14 @@ class ModuloSystemScheduler:
         system: SystemSpec,
         assignment: ResourceAssignment,
         periods: Optional[PeriodAssignment] = None,
+        *,
+        tracer=None,
     ) -> SystemSchedule:
         """Schedule the whole system; returns a validated result.
 
         ``periods`` may be omitted only when the assignment declares no
-        global types (the traditional baseline).
+        global types (the traditional baseline).  ``tracer`` overrides
+        the scheduler-level tracer for this one run.
         """
         if periods is None:
             if assignment.global_types:
@@ -98,53 +109,113 @@ class ModuloSystemScheduler:
                     "a PeriodAssignment is required when global types exist"
                 )
             periods = PeriodAssignment({})
-        assignment.validate(system)
-        periods.validate(assignment)
-        system.validate(self.library.latency_of)
+        tracer = self.tracer if tracer is None else as_tracer(tracer)
+        with tracer.activate(), tracer.span(
+            "schedule", system=system.name, blocks=sum(1 for _ in system.iter_blocks())
+        ):
+            return self._schedule_traced(system, assignment, periods, tracer)
 
+    def _schedule_traced(
+        self,
+        system: SystemSpec,
+        assignment: ResourceAssignment,
+        periods: PeriodAssignment,
+        tracer,
+    ) -> SystemSchedule:
         started = time.perf_counter()
-        entries = [
-            _Entry(process.name, block, BlockState(block, self.library))
-            for process, block in system.iter_blocks()
-        ]
-        coupling = _GlobalCoupling(entries, assignment, periods)
+        _log.debug(
+            "scheduling system %r: %d operations, %d global types",
+            system.name,
+            system.operation_count,
+            len(assignment.global_types),
+        )
+        with tracer.span("setup"):
+            assignment.validate(system)
+            periods.validate(assignment)
+            system.validate(self.library.latency_of)
+            entries = [
+                _Entry(process.name, block, BlockState(block, self.library))
+                for process, block in system.iter_blocks()
+            ]
+            coupling = _GlobalCoupling(entries, assignment, periods)
+        setup_done = time.perf_counter()
 
         iterations = 0
-        while True:
-            best = self._select_reduction(entries, coupling)
-            if best is None:
-                break
-            iterations += 1
-            entry_index, op_id, shrink_low = best
-            entry = entries[entry_index]
-            lo, hi = entry.state.frames.frame(op_id)
-            if shrink_low:
-                touched = entry.state.commit_reduce(op_id, lo + 1, hi)
-            else:
-                touched = entry.state.commit_reduce(op_id, lo, hi - 1)
-            coupling.refresh(entry_index, touched)
+        with tracer.span("reduction_loop"):
+            while True:
+                best = self._select_reduction(entries, coupling)
+                if best is None:
+                    break
+                iterations += 1
+                entry_index, op_id, shrink_low, score, candidates = best
+                entry = entries[entry_index]
+                lo, hi = entry.state.frames.frame(op_id)
+                if shrink_low:
+                    touched = entry.state.commit_reduce(op_id, lo + 1, hi)
+                else:
+                    touched = entry.state.commit_reduce(op_id, lo, hi - 1)
+                coupling.refresh(entry_index, touched)
+                if tracer.enabled:
+                    tracer.count(SCHEDULER_ITERATIONS)
+                    tracer.event(
+                        "reduction",
+                        iteration=iterations,
+                        process=entry.process_name,
+                        block=entry.block.name,
+                        op=op_id,
+                        side="low" if shrink_low else "high",
+                        score=round(score, 9),
+                        candidates=candidates,
+                        frames_remaining=sum(
+                            len(e.state.frames.unfixed()) for e in entries
+                        ),
+                    )
+        loop_done = time.perf_counter()
 
-        block_schedules: Dict[Tuple[str, str], BlockSchedule] = {}
-        for entry in entries:
-            sched = BlockSchedule(
-                graph=entry.block.graph,
+        with tracer.span("finalization"):
+            block_schedules: Dict[Tuple[str, str], BlockSchedule] = {}
+            for entry in entries:
+                sched = BlockSchedule(
+                    graph=entry.block.graph,
+                    library=self.library,
+                    starts=entry.state.frames.as_schedule(),
+                    deadline=entry.block.deadline,
+                )
+                sched.validate()
+                block_schedules[(entry.process_name, entry.block.name)] = sched
+
+            finished = time.perf_counter()
+            result = SystemSchedule(
+                system=system,
                 library=self.library,
-                starts=entry.state.frames.as_schedule(),
-                deadline=entry.block.deadline,
+                assignment=assignment,
+                periods=periods,
+                block_schedules=block_schedules,
+                iterations=iterations,
+                wall_time=finished - started,
+                telemetry={
+                    "phase_times": {
+                        "setup": setup_done - started,
+                        "reduction_loop": loop_done - setup_done,
+                        "finalization": finished - loop_done,
+                    },
+                    "wall_time": finished - started,
+                    "iterations": iterations,
+                    "counters": (
+                        tracer.counters.as_dict() if tracer.enabled else {}
+                    ),
+                    "events": len(tracer.events) if tracer.enabled else 0,
+                },
             )
-            sched.validate()
-            block_schedules[(entry.process_name, entry.block.name)] = sched
-
-        result = SystemSchedule(
-            system=system,
-            library=self.library,
-            assignment=assignment,
-            periods=periods,
-            block_schedules=block_schedules,
-            iterations=iterations,
-            wall_time=time.perf_counter() - started,
-        )
-        result.validate()
+            result.validate()
+        if _log.isEnabledFor(logging.INFO):
+            _log.info(
+                "scheduled system %r: %d iterations in %.3f s, area %g",
+                system.name,
+                iterations,
+                result.wall_time,
+                result.total_area(),
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -152,12 +223,19 @@ class ModuloSystemScheduler:
     # ------------------------------------------------------------------
     def _select_reduction(
         self, entries: List[_Entry], coupling: "_GlobalCoupling"
-    ) -> Optional[Tuple[int, str, bool]]:
-        """Pick the IFDS reduction with the largest weighted force difference."""
+    ) -> Optional[Tuple[int, str, bool, float, int]]:
+        """Pick the IFDS reduction with the largest weighted force difference.
+
+        Returns ``(entry_index, op_id, shrink_low, score, candidates)``
+        where ``candidates`` is the number of mobile operations examined,
+        or ``None`` once every frame has collapsed.
+        """
         best_score = None
         best: Optional[Tuple[int, str, bool]] = None
+        candidates = 0
         for index, entry in enumerate(entries):
             for op_id in entry.state.frames.unfixed():
+                candidates += 1
                 lo, hi = entry.state.frames.frame(op_id)
                 force_low = self._placement_force(index, entry, coupling, op_id, lo)
                 force_high = self._placement_force(index, entry, coupling, op_id, hi)
@@ -166,7 +244,10 @@ class ModuloSystemScheduler:
                 if best_score is None or score > best_score + 1e-12:
                     best_score = score
                     best = (index, op_id, force_low > force_high + 1e-12)
-        return best
+        if best is None:
+            return None
+        assert best_score is not None
+        return best + (best_score, candidates)
 
     def _placement_force(
         self,

@@ -1,0 +1,69 @@
+"""Observability: structured tracing, counters, logging, profiling.
+
+The ``repro.obs`` subsystem is how every other layer reports what it
+did without changing what it does:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — hierarchical timed spans and
+  a per-iteration event stream, exportable as JSONL
+  (:mod:`repro.obs.tracer`);
+* :class:`Counters` and the ambient :func:`count` hook — named event
+  counts from the scheduler's inner loops (:mod:`repro.obs.counters`);
+* :func:`get_logger` / :func:`configure_logging` — ``repro.*`` stdlib
+  loggers, wired to the CLI's ``-v``/``-q`` (:mod:`repro.obs.logconfig`);
+* :func:`render_profile` — the phase-time/counter table printed by
+  ``repro … --profile`` (:mod:`repro.obs.profile`).
+
+Everything defaults to off: code instrumented with :data:`NULL_TRACER`
+and an inactive counter registry behaves — and costs — the same as
+before instrumentation.  See docs/observability.md.
+"""
+
+from .counters import (
+    AUTHORIZATION_CHECKS,
+    DISTRIBUTION_REBUILDS,
+    FORCE_EVALUATIONS,
+    FRAME_REDUCTIONS,
+    KNOWN_COUNTERS,
+    MODULO_MAX_TRANSFORMS,
+    SCHEDULER_ITERATIONS,
+    SIMULATION_CYCLES,
+    Counters,
+    active_counters,
+    count,
+)
+from .logconfig import configure_logging, get_logger, verbosity_level
+from .profile import render_counter_table, render_phase_table, render_profile
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    TraceEvent,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "AUTHORIZATION_CHECKS",
+    "DISTRIBUTION_REBUILDS",
+    "FORCE_EVALUATIONS",
+    "FRAME_REDUCTIONS",
+    "KNOWN_COUNTERS",
+    "MODULO_MAX_TRANSFORMS",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEDULER_ITERATIONS",
+    "SIMULATION_CYCLES",
+    "SpanRecord",
+    "TraceEvent",
+    "Tracer",
+    "Counters",
+    "active_counters",
+    "as_tracer",
+    "configure_logging",
+    "count",
+    "get_logger",
+    "render_counter_table",
+    "render_phase_table",
+    "render_profile",
+    "verbosity_level",
+]

@@ -1,0 +1,112 @@
+"""Named event counters with an ambient activation hook.
+
+A :class:`Counters` registry holds integer counts of the interesting
+events of one scheduling (or simulation) run: force evaluations,
+modulo-max transforms, frame reductions, distribution rebuilds,
+authorization checks.  Counts are incremented either directly
+(``counters.inc("force_evaluations")``) or — from leaf modules that have
+no handle on the current run — through the module-level :func:`count`
+hook, which forwards to whichever registry is *active* in the enclosing
+``with counters.activate():`` block.
+
+When no registry is active, :func:`count` is a single global load plus a
+``None`` check: cheap enough for the scheduler's innermost loops, so the
+default (uninstrumented) path stays effectively free.
+
+The activation hook is a plain module global, not a context variable:
+one scheduling run owns the interpreter while it executes (the solvers
+are single-threaded), and a global keeps the hot-path check as small as
+possible.  Nested activations restore the previous registry on exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: Canonical counter names incremented by the instrumented modules.
+#: Other names are allowed — the registry is open — but these are the
+#: ones the scheduler, binding, and simulation layers emit.
+FORCE_EVALUATIONS = "force_evaluations"
+MODULO_MAX_TRANSFORMS = "modulo_max_transforms"
+FRAME_REDUCTIONS = "frame_reductions"
+DISTRIBUTION_REBUILDS = "distribution_rebuilds"
+AUTHORIZATION_CHECKS = "authorization_checks"
+SCHEDULER_ITERATIONS = "scheduler_iterations"
+SIMULATION_CYCLES = "simulation_cycles"
+
+KNOWN_COUNTERS = (
+    FORCE_EVALUATIONS,
+    MODULO_MAX_TRANSFORMS,
+    FRAME_REDUCTIONS,
+    DISTRIBUTION_REBUILDS,
+    AUTHORIZATION_CHECKS,
+    SCHEDULER_ITERATIONS,
+    SIMULATION_CYCLES,
+)
+
+
+class Counters:
+    """An open registry of named integer counters."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: Dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment one counter (created at 0 on first use)."""
+        self._data[name] = self._data.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of a counter; 0 if it was never incremented."""
+        return self._data.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters, sorted by name."""
+        return {name: self._data[name] for name in sorted(self._data)}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._data.clear()
+
+    def merge(self, other: "Counters") -> None:
+        """Add another registry's counts into this one."""
+        for name, value in other._data.items():
+            self.inc(name, value)
+
+    def activate(self) -> "Iterator[Counters]":
+        """Install this registry as the ambient :func:`count` target."""
+        return _activate(self)
+
+    def __bool__(self) -> bool:
+        return any(self._data.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"Counters({inner})"
+
+
+_active: Optional[Counters] = None
+
+
+@contextmanager
+def _activate(counters: Counters) -> Iterator[Counters]:
+    global _active
+    previous = _active
+    _active = counters
+    try:
+        yield counters
+    finally:
+        _active = previous
+
+
+def active_counters() -> Optional[Counters]:
+    """The registry currently receiving ambient counts, if any."""
+    return _active
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment ``name`` on the active registry; no-op when none is."""
+    if _active is not None:
+        _active.inc(name, amount)

@@ -1,0 +1,76 @@
+"""Stdlib ``logging`` wiring for the ``repro.*`` logger hierarchy.
+
+Library modules log through module-level loggers obtained from
+:func:`get_logger` (named ``repro.<module>``); nothing in the library
+ever prints to stdout — stdout belongs to the CLI's user-facing output.
+The CLI maps ``-v``/``-q`` flags onto :func:`configure_logging`, which
+attaches a single stderr handler to the ``repro`` root logger.
+
+Default (no flags): WARNING.  ``-v``: INFO.  ``-vv``: DEBUG.
+``-q``: ERROR.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(module_name: str) -> logging.Logger:
+    """Logger for a library module, inside the ``repro`` hierarchy.
+
+    Pass ``__name__``; names already under ``repro.`` are used as-is,
+    anything else is prefixed so handlers configured on ``repro`` apply.
+    """
+    if module_name == ROOT_LOGGER_NAME or module_name.startswith(
+        ROOT_LOGGER_NAME + "."
+    ):
+        return logging.getLogger(module_name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{module_name}")
+
+
+def verbosity_level(verbose: int = 0, quiet: bool = False) -> int:
+    """Map CLI ``-v`` counts / ``-q`` onto a stdlib logging level."""
+    if quiet:
+        return logging.ERROR
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure_logging(
+    verbose: int = 0,
+    quiet: bool = False,
+    *,
+    stream=None,
+    fmt: Optional[str] = None,
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger at the level
+    implied by the flags; idempotent (reconfigures the same handler).
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    level = verbosity_level(verbose, quiet)
+    root.setLevel(level)
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, "_repro_cli_handler", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler._repro_cli_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(fmt or _FORMAT))
+    # The CLI handler is the sink of record; don't double-log through
+    # the stdlib root logger.
+    root.propagate = False
+    return root

@@ -1,0 +1,66 @@
+"""Rendering of telemetry summaries as aligned text tables.
+
+The profile table is what ``repro schedule --profile`` (and the
+``repro profile`` subcommand) print: per-phase wall times with their
+share of the total, followed by the counter registry.  It consumes the
+``telemetry`` dict attached to :class:`repro.core.result.SystemSchedule`
+(or any mapping with the same keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+
+def render_phase_table(
+    phase_times: Mapping[str, float], wall_time: Optional[float] = None
+) -> str:
+    """Aligned ``phase  seconds  share`` rows plus a total line."""
+    lines = ["phase timings"]
+    if not phase_times:
+        lines.append("  (none recorded)")
+        return "\n".join(lines)
+    total = wall_time if wall_time is not None else sum(phase_times.values())
+    width = max(len(name) for name in phase_times)
+    width = max(width, len("total"))
+    for name, seconds in phase_times.items():
+        share = f"{seconds / total:6.1%}" if total > 0 else "   n/a"
+        lines.append(f"  {name:<{width}}  {seconds:10.4f} s  {share}")
+    lines.append(f"  {'total':<{width}}  {total:10.4f} s")
+    return "\n".join(lines)
+
+
+def render_counter_table(counters: Mapping[str, int]) -> str:
+    """Aligned ``counter  value`` rows, sorted by name."""
+    lines = ["counters"]
+    if not counters:
+        lines.append("  (none recorded)")
+        return "\n".join(lines)
+    width = max(len(name) for name in counters)
+    for name in sorted(counters):
+        lines.append(f"  {name:<{width}}  {counters[name]:>12,}")
+    return "\n".join(lines)
+
+
+def render_profile(telemetry: Mapping[str, Any], *, title: str = "") -> str:
+    """Full profile report for one telemetry summary.
+
+    Expects the keys :data:`SystemSchedule.telemetry` provides —
+    ``phase_times``, ``wall_time``, ``iterations``, ``counters``,
+    ``events`` — all optional.
+    """
+    sections = []
+    if title:
+        sections.append(title)
+    phase_times = telemetry.get("phase_times", {})
+    wall_time = telemetry.get("wall_time")
+    sections.append(render_phase_table(phase_times, wall_time))
+    sections.append(render_counter_table(telemetry.get("counters", {})))
+    volumes = []
+    if telemetry.get("iterations"):
+        volumes.append(f"{telemetry['iterations']} scheduler iterations")
+    if telemetry.get("events"):
+        volumes.append(f"{telemetry['events']} trace events")
+    if volumes:
+        sections.append("volume: " + ", ".join(volumes))
+    return "\n".join(sections)

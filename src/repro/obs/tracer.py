@@ -1,0 +1,279 @@
+"""Structured tracing: hierarchical spans, events, and JSONL export.
+
+A :class:`Tracer` records what one scheduling/simulation run did and how
+long each part took:
+
+* **Spans** are named, timed regions that nest —
+  ``tracer.span("schedule")`` → ``tracer.span("reduction", iter=k)``.
+  Timings use :func:`time.perf_counter` (monotonic) relative to the
+  tracer's creation, so trace times are comparable within one tracer.
+* **Events** are point records (one per scheduler iteration, say) tagged
+  with the path of the enclosing spans.
+* **Counters** (:class:`repro.obs.counters.Counters`) ride along; the
+  tracer owns a registry and installs it as the ambient target while a
+  root span is active via :meth:`activate`.
+
+The default tracer everywhere is :data:`NULL_TRACER`, a shared
+:class:`NullTracer` whose methods do nothing and allocate nothing —
+instrumented code pays one attribute check (``tracer.enabled``) or one
+no-op call on the uninstrumented path.
+
+Export: :meth:`Tracer.jsonl_lines` yields one JSON object per record
+(span records on close, events in emission order), and
+:meth:`Tracer.write_jsonl` persists them; every line round-trips through
+``json.loads``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .counters import Counters
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still open) span."""
+
+    name: str
+    path: Tuple[str, ...]
+    depth: int
+    start: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "path": "/".join(self.path),
+            "depth": self.depth,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One point event, tagged with the enclosing span path."""
+
+    name: str
+    time: float
+    path: Tuple[str, ...]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "type": "event",
+            "name": self.name,
+            "path": "/".join(self.path),
+            "time": round(self.time, 9),
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> SpanRecord:
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close_span(self._record)
+        return False
+
+
+class Tracer:
+    """Collecting tracer: spans nest, events append, counters accumulate."""
+
+    enabled = True
+
+    def __init__(self, counters: Optional[Counters] = None) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self.spans: List[SpanRecord] = []
+        self.events: List[TraceEvent] = []
+        self._stack: List[SpanRecord] = []
+        self._epoch = time.perf_counter()
+
+    # -- time ----------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    # -- spans ---------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a nested span; use as a context manager."""
+        path = tuple(s.name for s in self._stack) + (name,)
+        record = SpanRecord(
+            name=name,
+            path=path,
+            depth=len(self._stack),
+            start=self._now(),
+            attrs=attrs,
+        )
+        self._stack.append(record)
+        return _SpanContext(self, record)
+
+    def _close_span(self, record: SpanRecord) -> None:
+        record.end = self._now()
+        # Close any dangling children first (defensive; the context-
+        # manager protocol normally unwinds the stack in LIFO order).
+        while self._stack and self._stack[-1] is not record:
+            dangling = self._stack.pop()
+            if dangling.end is None:
+                dangling.end = record.end
+                self.spans.append(dangling)
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+        self.spans.append(record)
+
+    @property
+    def open_spans(self) -> List[str]:
+        """Names of the currently open spans, outermost first."""
+        return [record.name for record in self._stack]
+
+    # -- events and counters -------------------------------------------
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record one point event under the current span path."""
+        self.events.append(
+            TraceEvent(
+                name=name,
+                time=self._now(),
+                path=tuple(s.name for s in self._stack),
+                attrs=attrs,
+            )
+        )
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment one of this tracer's counters."""
+        self.counters.inc(name, amount)
+
+    def activate(self):
+        """Install this tracer's counters as the ambient count target."""
+        return self.counters.activate()
+
+    # -- summaries ------------------------------------------------------
+    def phase_times(self, depth: int = 0) -> Dict[str, float]:
+        """Total duration per span name at one nesting depth."""
+        totals: Dict[str, float] = {}
+        for record in self.spans:
+            if record.depth == depth:
+                totals[record.name] = totals.get(record.name, 0.0) + record.duration
+        return totals
+
+    def events_named(self, name: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.name == name]
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact dict summary: counters, top-level phases, volumes."""
+        return {
+            "counters": self.counters.as_dict(),
+            "phase_times": self.phase_times(),
+            "spans": len(self.spans),
+            "events": len(self.events),
+        }
+
+    # -- export ---------------------------------------------------------
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """All records (spans then events) in chronological order."""
+        items: List[Tuple[float, Dict[str, Any]]] = []
+        for span in self.spans:
+            items.append((span.start, span.as_record()))
+        for event in self.events:
+            items.append((event.time, event.as_record()))
+        items.sort(key=lambda pair: pair[0])
+        for _, record in items:
+            yield record
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """One JSON document per record; valid input to ``json.loads``."""
+        for record in self.records():
+            yield json.dumps(record, sort_keys=True)
+
+    def write_jsonl(self, path) -> int:
+        """Write the trace as JSON Lines; returns the number of records."""
+        written = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")
+                written += 1
+        return written
+
+
+class _NullContext:
+    """Reusable do-nothing context manager (shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """Do-nothing tracer with the :class:`Tracer` interface.
+
+    Every method is a constant-time no-op that allocates nothing; the
+    shared :data:`NULL_TRACER` instance is the default ``tracer``
+    argument throughout the scheduler, so uninstrumented runs behave
+    exactly as before instrumentation existed.
+    """
+
+    enabled = False
+    counters: Optional[Counters] = None
+    spans: Tuple[()] = ()
+    events: Tuple[()] = ()
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: Any) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def activate(self) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def phase_times(self, depth: int = 0) -> Dict[str, float]:
+        return {}
+
+    def summary(self) -> Dict[str, Any]:
+        return {"counters": {}, "phase_times": {}, "spans": 0, "events": 0}
+
+
+#: The shared default tracer: safe to pass anywhere, records nothing.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer) -> "Tracer | NullTracer":
+    """Normalize an optional tracer argument (``None`` → no-op)."""
+    return NULL_TRACER if tracer is None else tracer

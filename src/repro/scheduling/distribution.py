@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import SchedulingError
 from ..ir.dfg import DataFlowGraph
+from ..obs.counters import DISTRIBUTION_REBUILDS, count
 from ..resources.library import ResourceLibrary
 from .timeframes import FrameTable
 
@@ -198,6 +199,8 @@ class BlockDistributions:
         for type_name in touched:
             if type_name in self._guarded_types:
                 self._sums[type_name] = self._compute_array(type_name)
+        if touched:
+            count(DISTRIBUTION_REBUILDS, len(touched))
         return touched
 
     def peak(self, type_name: str) -> float:

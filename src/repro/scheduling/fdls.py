@@ -19,11 +19,14 @@ from typing import Dict, List, Mapping, Optional, Set
 
 from ..errors import InfeasibleError, SchedulingError
 from ..ir.process import Block
+from ..obs import as_tracer, get_logger
 from ..resources.library import ResourceLibrary
 from ..resources.types import ResourceType
 from .forces import DEFAULT_LOOKAHEAD, hooke_force
 from .schedule import BlockSchedule
 from .state import BlockState
+
+_log = get_logger(__name__)
 
 
 class ForceDirectedListScheduler:
@@ -45,11 +48,13 @@ class ForceDirectedListScheduler:
         *,
         lookahead: float = DEFAULT_LOOKAHEAD,
         max_extension: Optional[int] = None,
+        tracer=None,
     ) -> None:
         self.library = library
         self.capacity = dict(capacity)
         self.lookahead = lookahead
         self.max_extension = max_extension
+        self.tracer = as_tracer(tracer)
         for name, count in self.capacity.items():
             library.type(name)
             if count < 1:
@@ -68,11 +73,25 @@ class ForceDirectedListScheduler:
         limit = self.max_extension
         if limit is None:
             limit = sum(self.library.latency_of(op) for op in graph)
-        for deadline in range(critical, critical + limit + 1):
-            schedule = self._pass(block, deadline)
-            if schedule is not None:
-                schedule.validate()
-                return schedule
+        tracer = self.tracer
+        with tracer.activate(), tracer.span("fdls", block=block.name):
+            for deadline in range(critical, critical + limit + 1):
+                schedule = self._pass(block, deadline)
+                if tracer.enabled:
+                    tracer.event(
+                        "fdls_pass",
+                        block=block.name,
+                        deadline=deadline,
+                        success=schedule is not None,
+                    )
+                if schedule is not None:
+                    schedule.validate()
+                    _log.debug(
+                        "FDLS scheduled block %r at deadline %d",
+                        block.name,
+                        deadline,
+                    )
+                    return schedule
         raise SchedulingError(
             f"FDLS found no schedule up to deadline {critical + limit}"
         )

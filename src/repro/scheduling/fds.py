@@ -14,10 +14,13 @@ from typing import Mapping, Optional
 
 from ..errors import SchedulingError
 from ..ir.process import Block
+from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
 from ..resources.library import ResourceLibrary
 from .forces import DEFAULT_LOOKAHEAD, placement_force
 from .schedule import BlockSchedule
 from .state import BlockState
+
+_log = get_logger(__name__)
 
 
 class ForceDirectedScheduler:
@@ -35,38 +38,54 @@ class ForceDirectedScheduler:
         *,
         lookahead: float = DEFAULT_LOOKAHEAD,
         weights: Optional[Mapping[str, float]] = None,
+        tracer=None,
     ) -> None:
         self.library = library
         self.lookahead = lookahead
         self.weights = weights
+        self.tracer = as_tracer(tracer)
 
     def schedule(self, block: Block) -> BlockSchedule:
         """Schedule one block; returns a validated :class:`BlockSchedule`."""
+        tracer = self.tracer
         state = BlockState(block, self.library)
         iterations = 0
-        while True:
-            candidates = state.frames.unfixed()
-            if not candidates:
-                break
-            iterations += 1
-            best_force = None
-            best_op = None
-            best_step = None
-            for op_id in candidates:
-                lo, hi = state.frames.frame(op_id)
-                for step in range(lo, hi + 1):
-                    force = placement_force(
-                        state,
-                        op_id,
-                        step,
-                        lookahead=self.lookahead,
-                        weights=self.weights,
+        with tracer.activate(), tracer.span("fds", block=block.name):
+            while True:
+                candidates = state.frames.unfixed()
+                if not candidates:
+                    break
+                iterations += 1
+                best_force = None
+                best_op = None
+                best_step = None
+                for op_id in candidates:
+                    lo, hi = state.frames.frame(op_id)
+                    for step in range(lo, hi + 1):
+                        force = placement_force(
+                            state,
+                            op_id,
+                            step,
+                            lookahead=self.lookahead,
+                            weights=self.weights,
+                        )
+                        if best_force is None or force < best_force - 1e-12:
+                            best_force, best_op, best_step = force, op_id, step
+                if best_op is None:  # pragma: no cover - defensive
+                    raise SchedulingError("no feasible placement found")
+                state.commit_fix(best_op, best_step)
+                if tracer.enabled:
+                    tracer.count(SCHEDULER_ITERATIONS)
+                    tracer.event(
+                        "placement",
+                        iteration=iterations,
+                        block=block.name,
+                        op=best_op,
+                        step=best_step,
+                        force=round(best_force, 9),
+                        candidates=len(candidates),
                     )
-                    if best_force is None or force < best_force - 1e-12:
-                        best_force, best_op, best_step = force, op_id, step
-            if best_op is None:  # pragma: no cover - defensive
-                raise SchedulingError("no feasible placement found")
-            state.commit_fix(best_op, best_step)
+        _log.debug("FDS scheduled block %r in %d iterations", block.name, iterations)
         schedule = BlockSchedule(
             graph=block.graph,
             library=self.library,

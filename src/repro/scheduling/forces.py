@@ -16,6 +16,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from ..obs.counters import FORCE_EVALUATIONS, count
 from ..resources.library import ResourceLibrary
 from .state import BlockState
 
@@ -25,6 +26,7 @@ DEFAULT_LOOKAHEAD = 1.0 / 3.0
 
 def hooke_force(distribution: np.ndarray, delta: np.ndarray, lookahead: float) -> float:
     """Force of displacing ``distribution`` by ``delta`` (eq. 6 + look-ahead)."""
+    count(FORCE_EVALUATIONS)
     return float(np.dot(delta, distribution)) + lookahead * float(np.dot(delta, delta))
 
 

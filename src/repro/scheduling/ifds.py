@@ -20,10 +20,13 @@ from dataclasses import dataclass
 from typing import Mapping, Optional, Tuple
 
 from ..ir.process import Block
+from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
 from ..resources.library import ResourceLibrary
 from .forces import DEFAULT_LOOKAHEAD, placement_force
 from .schedule import BlockSchedule
 from .state import BlockState
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -71,33 +74,49 @@ class ImprovedForceDirectedScheduler:
         *,
         lookahead: float = DEFAULT_LOOKAHEAD,
         weights: Optional[Mapping[str, float]] = None,
+        tracer=None,
     ) -> None:
         self.library = library
         self.lookahead = lookahead
         self.weights = weights
+        self.tracer = as_tracer(tracer)
 
     def schedule(self, block: Block) -> BlockSchedule:
         """Schedule one block; returns a validated :class:`BlockSchedule`."""
+        tracer = self.tracer
         state = BlockState(block, self.library)
         iterations = 0
-        while True:
-            mobile = state.frames.unfixed()
-            if not mobile:
-                break
-            iterations += 1
-            best: Optional[ReductionChoice] = None
-            for op_id in mobile:
-                choice = evaluate_reduction(
-                    state, op_id, lookahead=self.lookahead, weights=self.weights
-                )
-                if best is None or choice.score > best.score + 1e-12:
-                    best = choice
-            assert best is not None
-            lo, hi = state.frames.frame(best.op_id)
-            if best.shrink_low_side:
-                state.commit_reduce(best.op_id, lo + 1, hi)
-            else:
-                state.commit_reduce(best.op_id, lo, hi - 1)
+        with tracer.activate(), tracer.span("ifds", block=block.name):
+            while True:
+                mobile = state.frames.unfixed()
+                if not mobile:
+                    break
+                iterations += 1
+                best: Optional[ReductionChoice] = None
+                for op_id in mobile:
+                    choice = evaluate_reduction(
+                        state, op_id, lookahead=self.lookahead, weights=self.weights
+                    )
+                    if best is None or choice.score > best.score + 1e-12:
+                        best = choice
+                assert best is not None
+                lo, hi = state.frames.frame(best.op_id)
+                if best.shrink_low_side:
+                    state.commit_reduce(best.op_id, lo + 1, hi)
+                else:
+                    state.commit_reduce(best.op_id, lo, hi - 1)
+                if tracer.enabled:
+                    tracer.count(SCHEDULER_ITERATIONS)
+                    tracer.event(
+                        "reduction",
+                        iteration=iterations,
+                        block=block.name,
+                        op=best.op_id,
+                        side="low" if best.shrink_low_side else "high",
+                        score=round(best.score, 9),
+                        candidates=len(mobile),
+                    )
+        _log.debug("IFDS scheduled block %r in %d iterations", block.name, iterations)
         schedule = BlockSchedule(
             graph=block.graph,
             library=self.library,

@@ -14,6 +14,7 @@ from typing import Dict, Set
 import numpy as np
 
 from ..ir.process import Block
+from ..obs.counters import FRAME_REDUCTIONS, count
 from ..resources.library import ResourceLibrary
 from .distribution import BlockDistributions
 from .timeframes import FrameTable
@@ -63,6 +64,7 @@ class BlockState:
 
         Returns the resource type names whose distribution graph changed.
         """
+        count(FRAME_REDUCTIONS)
         changed_ops = self.frames.reduce(op_id, lo, hi)
         return self.dist.refresh(changed_ops)
 

@@ -26,7 +26,16 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..core.result import SystemSchedule
+from ..obs import (
+    AUTHORIZATION_CHECKS,
+    SIMULATION_CYCLES,
+    as_tracer,
+    get_logger,
+)
+from ..obs.counters import count
 from .trace import Activation, Trace, Violation
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -121,6 +130,8 @@ class SystemSimulator:
         result: A complete system schedule.
         seed: RNG seed; runs are fully reproducible.
         trigger_probability: Per-cycle chance an idle process is triggered.
+        tracer: Observability sink; the default no-op tracer records
+            nothing and costs nothing.
     """
 
     def __init__(
@@ -129,6 +140,7 @@ class SystemSimulator:
         *,
         seed: int = 0,
         trigger_probability: float = 0.25,
+        tracer=None,
     ) -> None:
         if not 0.0 < trigger_probability <= 1.0:
             raise SimulationError(
@@ -137,6 +149,7 @@ class SystemSimulator:
         self.result = result
         self.seed = seed
         self.trigger_probability = trigger_probability
+        self.tracer = as_tracer(tracer)
         self._type_names = [t.name for t in result.library.types]
         self._pools = dict(result.instance_counts())
         self._states = self._build_states()
@@ -202,27 +215,40 @@ class SystemSimulator:
         busy = {name: 0 for name in self._type_names}
         peak = {name: 0 for name in self._type_names}
 
-        for cycle in range(cycles):
-            self._advance_triggers(cycle, rng, trace, activations)
-            usage_total: Dict[str, int] = {name: 0 for name in self._type_names}
-            usage_by_process: Dict[Tuple[str, str], int] = {}
-            for process_name, state in self._states.items():
-                if state.active_block is None:
-                    continue
-                rel = cycle - state.active_start
-                for type_name, profile in state.active_profiles.items():
-                    if rel < profile.size:
-                        used = int(profile[rel])
-                        if used:
-                            usage_total[type_name] += used
-                            usage_by_process[(process_name, type_name)] = used
-                if rel + 1 >= state.active_length:
-                    self._finish_block(state, cycle, rng)
-            self._check_cycle(cycle, usage_total, usage_by_process, trace)
-            for type_name, used in usage_total.items():
-                busy[type_name] += used
-                peak[type_name] = max(peak[type_name], used)
+        tracer = self.tracer
+        with tracer.activate(), tracer.span(
+            "simulate", cycles=cycles, seed=self.seed
+        ):
+            if tracer.enabled:
+                tracer.count(SIMULATION_CYCLES, cycles)
+            for cycle in range(cycles):
+                self._advance_triggers(cycle, rng, trace, activations)
+                usage_total: Dict[str, int] = {name: 0 for name in self._type_names}
+                usage_by_process: Dict[Tuple[str, str], int] = {}
+                for process_name, state in self._states.items():
+                    if state.active_block is None:
+                        continue
+                    rel = cycle - state.active_start
+                    for type_name, profile in state.active_profiles.items():
+                        if rel < profile.size:
+                            used = int(profile[rel])
+                            if used:
+                                usage_total[type_name] += used
+                                usage_by_process[(process_name, type_name)] = used
+                    if rel + 1 >= state.active_length:
+                        self._finish_block(state, cycle, rng)
+                self._check_cycle(cycle, usage_total, usage_by_process, trace)
+                for type_name, used in usage_total.items():
+                    busy[type_name] += used
+                    peak[type_name] = max(peak[type_name], used)
 
+        _log.info(
+            "simulated %d cycles (seed %d): %d activations, %d violations",
+            cycles,
+            self.seed,
+            sum(activations.values()),
+            len(trace.violations),
+        )
         return SimulationStats(
             cycles=cycles,
             seed=self.seed,
@@ -301,6 +327,7 @@ class SystemSimulator:
             if not self.result.assignment.shares_globally(type_name, process_name):
                 continue
             period = self.result.periods.period(type_name)
+            count(AUTHORIZATION_CHECKS)
             granted = int(
                 self.result.authorization(process_name, type_name)[cycle % period]
             )

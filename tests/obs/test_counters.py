@@ -1,0 +1,74 @@
+"""Tests for the counter registry and its ambient activation hook."""
+
+from repro.obs import Counters, active_counters, count
+
+
+class TestCounters:
+    def test_starts_empty(self):
+        counters = Counters()
+        assert counters.as_dict() == {}
+        assert counters.get("anything") == 0
+        assert not counters
+
+    def test_inc_and_get(self):
+        counters = Counters()
+        counters.inc("force_evaluations")
+        counters.inc("force_evaluations", 4)
+        assert counters.get("force_evaluations") == 5
+        assert bool(counters)
+
+    def test_as_dict_sorted(self):
+        counters = Counters()
+        counters.inc("zeta")
+        counters.inc("alpha", 2)
+        assert list(counters.as_dict()) == ["alpha", "zeta"]
+        assert counters.as_dict() == {"alpha": 2, "zeta": 1}
+
+    def test_reset(self):
+        counters = Counters()
+        counters.inc("x", 3)
+        counters.reset()
+        assert counters.as_dict() == {}
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 5)
+        a.merge(b)
+        assert a.as_dict() == {"x": 3, "y": 5}
+
+
+class TestAmbientActivation:
+    def test_count_without_activation_is_noop(self):
+        assert active_counters() is None
+        count("orphan")  # must not raise, must not record anywhere
+        assert active_counters() is None
+
+    def test_count_reaches_active_registry(self):
+        counters = Counters()
+        with counters.activate():
+            assert active_counters() is counters
+            count("hits")
+            count("hits", 2)
+        assert counters.get("hits") == 3
+        assert active_counters() is None
+
+    def test_nested_activation_restores_previous(self):
+        outer, inner = Counters(), Counters()
+        with outer.activate():
+            count("a")
+            with inner.activate():
+                count("a")
+            count("a")
+        assert outer.get("a") == 2
+        assert inner.get("a") == 1
+
+    def test_activation_restored_on_exception(self):
+        counters = Counters()
+        try:
+            with counters.activate():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active_counters() is None

@@ -1,0 +1,177 @@
+"""End-to-end telemetry: scheduler counters, phases, events, no-op parity.
+
+The fixed workloads here are small enough that the counter values can be
+cross-checked exactly against the per-iteration event stream:
+
+* ``frame_reductions`` — one per committed IFDS reduction, so it equals
+  the reported iteration count on workloads without propagation;
+* ``force_evaluations`` — two placement forces per mobile candidate per
+  iteration; with a single resource type and no precedence edges each
+  placement force is exactly one Hooke evaluation, so the counter equals
+  ``sum(2 * candidates)`` over the reduction events;
+* ``modulo_max_transforms`` — zero for all-local scheduling, positive as
+  soon as a global type exists.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    Block,
+    DataFlowGraph,
+    ModuloSystemScheduler,
+    OpKind,
+    Process,
+    ResourceAssignment,
+    SystemSpec,
+    Tracer,
+    default_library,
+    loads_problem,
+)
+
+GLOBAL_SYS = """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+global multiplier p1 p2
+period multiplier 4
+"""
+
+
+def independent_adds_system(n_ops: int = 4, deadline: int = 6) -> SystemSpec:
+    graph = DataFlowGraph(name="par")
+    for i in range(n_ops):
+        graph.add(f"a{i}", OpKind.ADD)
+    system = SystemSpec(name="par-sys")
+    process = Process(name="p")
+    process.add_block(Block(name="main", graph=graph, deadline=deadline))
+    system.add_process(process)
+    return system
+
+
+class TestExactCounters:
+    def test_local_counters_exact_on_independent_adds(self):
+        library = default_library()
+        system = independent_adds_system(n_ops=4, deadline=6)
+        tracer = Tracer()
+        scheduler = ModuloSystemScheduler(library, tracer=tracer)
+        result = scheduler.schedule(
+            system, ResourceAssignment.all_local(library)
+        )
+        counters = result.telemetry["counters"]
+
+        # Every operation starts with frame [0, 5]; each of the 4 frames
+        # shrinks one step per iteration until width 1: 4 * 5 iterations.
+        assert result.iterations == 4 * 5
+        assert counters["frame_reductions"] == result.iterations
+        assert counters["scheduler_iterations"] == result.iterations
+
+        # Cross-check the force-evaluation count against the event stream:
+        # one type, no edges => one Hooke evaluation per placement force,
+        # two placement forces per candidate per iteration.
+        events = tracer.events_named("reduction")
+        assert len(events) == result.iterations
+        expected_forces = sum(2 * e.attrs["candidates"] for e in events)
+        assert counters["force_evaluations"] == expected_forces
+
+        # One committed reduction touches exactly one distribution (all
+        # operations share the adder type, no propagation).
+        assert counters["distribution_rebuilds"] == result.iterations
+
+        # No global types anywhere: the modulo machinery must be silent.
+        assert counters.get("modulo_max_transforms", 0) == 0
+
+    def test_global_run_counts_modulo_transforms(self):
+        problem = loads_problem(GLOBAL_SYS)
+        tracer = Tracer()
+        result = problem.schedule(tracer=tracer)
+        counters = result.telemetry["counters"]
+        assert counters["modulo_max_transforms"] > 0
+        assert counters["frame_reductions"] >= result.iterations
+        assert result.telemetry["counters"] == tracer.counters.as_dict()
+
+    def test_counters_deterministic_across_runs(self):
+        problem = loads_problem(GLOBAL_SYS)
+        first = problem.schedule(tracer=Tracer()).telemetry["counters"]
+        second = problem.schedule(tracer=Tracer()).telemetry["counters"]
+        assert first == second
+
+
+class TestNoOpParity:
+    """The acceptance guard: no tracer => same decisions, no telemetry."""
+
+    def test_iteration_counts_identical_with_and_without_tracer(self):
+        problem = loads_problem(GLOBAL_SYS)
+        plain = problem.schedule()
+        traced = problem.schedule(tracer=Tracer())
+        assert plain.iterations == traced.iterations
+        assert plain.instance_counts() == traced.instance_counts()
+        schedules = {
+            key: sched.starts for key, sched in plain.block_schedules.items()
+        }
+        traced_schedules = {
+            key: sched.starts for key, sched in traced.block_schedules.items()
+        }
+        assert schedules == traced_schedules
+
+    def test_noop_run_has_empty_counters_but_phase_times(self):
+        problem = loads_problem(GLOBAL_SYS)
+        result = problem.schedule()
+        assert result.telemetry["counters"] == {}
+        assert result.telemetry["events"] == 0
+        phases = result.telemetry["phase_times"]
+        assert set(phases) == {"setup", "reduction_loop", "finalization"}
+
+
+class TestPhaseTimes:
+    def test_phases_sum_to_wall_time(self):
+        problem = loads_problem(GLOBAL_SYS)
+        result = problem.schedule()
+        phases = result.telemetry["phase_times"]
+        assert all(seconds >= 0.0 for seconds in phases.values())
+        assert sum(phases.values()) == pytest.approx(result.wall_time)
+        assert result.telemetry["wall_time"] == result.wall_time
+        assert result.telemetry["iterations"] == result.iterations
+
+
+class TestTraceStream:
+    def test_one_event_per_iteration_and_jsonl_round_trip(self, tmp_path):
+        problem = loads_problem(GLOBAL_SYS)
+        tracer = Tracer()
+        result = problem.schedule(tracer=tracer)
+        events = tracer.events_named("reduction")
+        assert len(events) == result.iterations
+        for event in events:
+            assert set(event.attrs) >= {
+                "iteration",
+                "process",
+                "block",
+                "op",
+                "side",
+                "score",
+                "candidates",
+                "frames_remaining",
+            }
+            assert event.attrs["side"] in ("low", "high")
+        # Mobility can only shrink.
+        remaining = [event.attrs["frames_remaining"] for event in events]
+        assert remaining[-1] == 0
+        assert all(a >= b for a, b in zip(remaining, remaining[1:]))
+
+        path = tmp_path / "trace.jsonl"
+        written = tracer.write_jsonl(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert written == len(lines) >= result.iterations
+        names = set()
+        for line in lines:
+            record = json.loads(line)
+            names.add(record["name"])
+        assert {"schedule", "setup", "reduction_loop", "finalization",
+                "reduction"} <= names

@@ -1,0 +1,150 @@
+"""Tests for the hierarchical tracer, the no-op tracer, and JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer, as_tracer
+
+
+class TestSpans:
+    def test_spans_nest_and_close(self):
+        tracer = Tracer()
+        with tracer.span("schedule") as outer:
+            assert tracer.open_spans == ["schedule"]
+            with tracer.span("reduction", iter=1) as inner:
+                assert tracer.open_spans == ["schedule", "reduction"]
+                assert inner.depth == 1
+                assert inner.path == ("schedule", "reduction")
+                assert inner.attrs == {"iter": 1}
+            assert tracer.open_spans == ["schedule"]
+        assert tracer.open_spans == []
+        assert outer.depth == 0
+        # Children close before parents; both are recorded.
+        assert [span.name for span in tracer.spans] == ["reduction", "schedule"]
+
+    def test_span_durations_are_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert inner.end is not None and outer.end is not None
+        assert 0.0 <= inner.duration <= outer.duration
+        assert outer.start <= inner.start
+
+    def test_phase_times_aggregate_by_depth_and_name(self):
+        tracer = Tracer()
+        for _ in range(2):
+            with tracer.span("phase_a"):
+                pass
+        with tracer.span("phase_b"):
+            with tracer.span("phase_a"):  # nested: not a top-level phase
+                pass
+        phases = tracer.phase_times()
+        assert set(phases) == {"phase_a", "phase_b"}
+        assert phases["phase_a"] >= 0.0
+
+
+class TestEvents:
+    def test_events_carry_span_path(self):
+        tracer = Tracer()
+        with tracer.span("schedule"):
+            tracer.event("reduction", op="a1", score=0.5)
+        event = tracer.events[0]
+        assert event.name == "reduction"
+        assert event.path == ("schedule",)
+        assert event.attrs == {"op": "a1", "score": 0.5}
+
+    def test_counters_ride_along(self):
+        tracer = Tracer()
+        tracer.count("force_evaluations", 3)
+        assert tracer.counters.get("force_evaluations") == 3
+        assert tracer.summary()["counters"] == {"force_evaluations": 3}
+
+
+class TestJsonl:
+    def test_lines_round_trip_through_json_loads(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("schedule", system="demo"):
+            tracer.event("reduction", iteration=1, op="m1")
+            with tracer.span("finalization"):
+                pass
+        lines = list(tracer.jsonl_lines())
+        assert len(lines) == 3  # 2 spans + 1 event
+        parsed = [json.loads(line) for line in lines]
+        kinds = {record["type"] for record in parsed}
+        assert kinds == {"span", "event"}
+
+        path = tmp_path / "trace.jsonl"
+        written = tracer.write_jsonl(path)
+        content = path.read_text(encoding="utf-8").splitlines()
+        assert written == len(content) == len(lines)
+        for line in content:
+            record = json.loads(line)
+            assert "type" in record and "name" in record
+
+    def test_records_sorted_chronologically(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("early")
+            with tracer.span("inner"):
+                tracer.event("late")
+        times = [
+            record.get("start", record.get("time"))
+            for record in tracer.records()
+        ]
+        assert times == sorted(times)
+
+
+class TestNullTracer:
+    def test_noop_tracer_adds_no_events(self):
+        tracer = NullTracer()
+        with tracer.span("schedule", system="x"):
+            tracer.event("reduction", iteration=1)
+            tracer.count("force_evaluations")
+        assert len(tracer.events) == 0
+        assert len(tracer.spans) == 0
+        assert tracer.enabled is False
+        assert tracer.summary()["events"] == 0
+
+    def test_null_tracer_is_shared_and_reusable(self):
+        with NULL_TRACER.span("a"):
+            with NULL_TRACER.span("b"):
+                NULL_TRACER.event("x")
+        assert NULL_TRACER.phase_times() == {}
+
+    def test_activate_is_noop(self):
+        from repro.obs import active_counters
+
+        with NULL_TRACER.activate():
+            assert active_counters() is None
+
+    def test_as_tracer_normalizes(self):
+        assert as_tracer(None) is NULL_TRACER
+        live = Tracer()
+        assert as_tracer(live) is live
+
+
+class TestDefensiveClose:
+    def test_closing_parent_closes_dangling_children(self):
+        tracer = Tracer()
+        outer_cm = tracer.span("outer")
+        outer = outer_cm.__enter__()
+        tracer.span("inner").__enter__()  # never exited explicitly
+        outer_cm.__exit__(None, None, None)
+        assert tracer.open_spans == []
+        names = {span.name for span in tracer.spans}
+        assert names == {"outer", "inner"}
+        for span in tracer.spans:
+            assert span.end is not None
+        assert outer.end is not None
+
+
+@pytest.mark.parametrize("factory", [Tracer, NullTracer])
+def test_interfaces_match(factory):
+    """Both tracers expose the same instrumented-code-facing surface."""
+    tracer = factory()
+    for attribute in ("span", "event", "count", "activate", "phase_times",
+                      "summary", "enabled", "events", "spans"):
+        assert hasattr(tracer, attribute)

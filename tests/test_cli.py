@@ -71,6 +71,60 @@ class TestOtherCommands:
         assert "critical path" in out
 
 
+class TestObservability:
+    def test_schedule_profile_prints_tables(self, sys_file, capsys):
+        assert main(["schedule", sys_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" in out
+        assert "reduction_loop" in out
+        assert "counters" in out
+        assert "force_evaluations" in out
+
+    def test_schedule_trace_writes_jsonl(self, sys_file, tmp_path, capsys):
+        import json
+
+        target = str(tmp_path / "trace.jsonl")
+        assert main(["schedule", sys_file, "--trace", target]) == 0
+        assert "wrote" in capsys.readouterr().out
+        lines = open(target, encoding="utf-8").read().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        reductions = [r for r in records if r["name"] == "reduction"]
+        assert len(reductions) >= 1
+        # One event per scheduler iteration.
+        iterations = max(r["attrs"]["iteration"] for r in reductions)
+        assert len(reductions) == iterations
+
+    def test_profile_subcommand(self, sys_file, capsys):
+        assert main(["profile", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" in out
+        assert "counters" in out
+
+    def test_profile_subcommand_local(self, sys_file, capsys):
+        assert main(["profile", sys_file, "--local"]) == 0
+        assert "phase timings" in capsys.readouterr().out
+
+    def test_compare_profile(self, sys_file, capsys):
+        assert main(["compare", sys_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "saves" in out
+        assert "counters" in out
+
+    def test_sweep_trace(self, sys_file, tmp_path, capsys):
+        target = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", sys_file, "--trace", target]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out and "wrote" in out
+
+    def test_verbose_flag_accepted(self, sys_file, capsys):
+        assert main(["schedule", sys_file, "-v"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_quiet_flag_accepted(self, sys_file, capsys):
+        assert main(["simulate", sys_file, "--cycles", "100", "-q"]) == 0
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["schedule", "/nonexistent/x.sys"]) == 2
