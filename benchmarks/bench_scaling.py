@@ -5,8 +5,22 @@ The paper reports 71 iterations / 7 s for 124 operations on a Pentium
 complexity class (§5.3).  This benchmark scales the number of processes
 over random workloads and reports operations, iterations, and wall time;
 iterations must grow linearly with total mobility, not explode.
+
+Each size is run twice — with the incremental force cache (the default)
+and with ``force_cache=False`` brute-force re-evaluation — so the
+speedup and force-evaluation reduction of the cache are measured
+directly (see docs/performance.md).  Decisions are identical either
+way; only the wall time and the ``force_evaluations`` counter differ.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py --processes 2 \
+        --out BENCH_scaling.json
 """
 
+import argparse
+import json
+import pathlib
 import time
 
 from conftest import save_artifact
@@ -19,7 +33,7 @@ from repro.resources.assignment import ResourceAssignment
 from repro.resources.library import default_library
 from repro.workloads import random_dfg
 
-PROCESS_COUNTS = (2, 4, 6)
+PROCESS_COUNTS = (2, 4, 6, 8, 12)
 OPS_PER_PROCESS = 12
 SLACK = 6
 PERIOD = 4
@@ -36,65 +50,152 @@ def build_system(n_processes, library):
     return system
 
 
-def run_scaling():
+def run_one(n_processes, library, *, force_cache):
+    """Schedule one system size; returns a flat metrics dict."""
+    system = build_system(n_processes, library)
+    assignment = ResourceAssignment.all_global(library, system)
+    periods = PeriodAssignment({name: PERIOD for name in assignment.global_types})
+    scheduler = ModuloSystemScheduler(
+        library, force_cache=force_cache, tracer=Tracer()
+    )
+    started = time.perf_counter()
+    result = scheduler.schedule(system, assignment, periods)
+    elapsed = time.perf_counter() - started
+    counters = dict(result.telemetry.get("counters", {}))
+    hits = counters.get("force_cache_hits", 0)
+    misses = counters.get("force_cache_misses", 0)
+    probes = hits + misses
+    return {
+        "processes": n_processes,
+        "operations": system.operation_count,
+        "iterations": result.iterations,
+        "wall_time": elapsed,
+        "area": result.total_area(),
+        "force_evaluations": counters.get("force_evaluations", 0),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": (hits / probes) if probes else 0.0,
+        "counters": counters,
+    }
+
+
+def run_scaling(process_counts=PROCESS_COUNTS, *, force_cache_ab=True):
+    """A/B rows per size: cached run, uncached run, and their ratios.
+
+    With ``force_cache_ab=False`` only the uncached arm is run (the
+    ``--no-force-cache`` CLI flag).
+    """
     library = default_library()
     rows = []
-    for n_processes in PROCESS_COUNTS:
-        system = build_system(n_processes, library)
-        assignment = ResourceAssignment.all_global(library, system)
-        periods = PeriodAssignment(
-            {name: PERIOD for name in assignment.global_types}
+    for n_processes in process_counts:
+        uncached = run_one(n_processes, library, force_cache=False)
+        cached = (
+            run_one(n_processes, library, force_cache=True)
+            if force_cache_ab
+            else None
         )
-        scheduler = ModuloSystemScheduler(library, tracer=Tracer())
-        started = time.perf_counter()
-        result = scheduler.schedule(system, assignment, periods)
-        elapsed = time.perf_counter() - started
-        rows.append(
-            (
-                n_processes,
-                system.operation_count,
-                result.iterations,
-                elapsed,
-                result.total_area(),
-                dict(result.telemetry.get("counters", {})),
+        row = {
+            "processes": n_processes,
+            "operations": uncached["operations"],
+            "iterations": uncached["iterations"],
+            "area": uncached["area"],
+            "uncached": uncached,
+        }
+        if cached is not None:
+            row["cached"] = cached
+            row["speedup"] = (
+                uncached["wall_time"] / cached["wall_time"]
+                if cached["wall_time"]
+                else float("inf")
             )
-        )
+            row["eval_reduction"] = (
+                uncached["force_evaluations"] / cached["force_evaluations"]
+                if cached["force_evaluations"]
+                else float("inf")
+            )
+        rows.append(row)
     return rows
+
+
+def format_report(rows):
+    lines = [
+        "A5: scheduler scaling over random multi-process systems",
+        f"({OPS_PER_PROCESS} ops/process, slack {SLACK}, all types global, "
+        f"P = {PERIOD})",
+        "",
+        f"{'procs':>5} {'ops':>5} {'iterations':>11} {'area':>6} "
+        f"{'cached_s':>9} {'brute_s':>8} {'speedup':>8} {'evals':>7} "
+        f"{'hit%':>6}",
+    ]
+    for row in rows:
+        cached = row.get("cached")
+        if cached is None:
+            lines.append(
+                f"{row['processes']:>5} {row['operations']:>5} "
+                f"{row['iterations']:>11} {row['area']:>6g} "
+                f"{'-':>9} {row['uncached']['wall_time']:>8.2f} {'-':>8} "
+                f"{row['uncached']['force_evaluations']:>7} {'-':>6}"
+            )
+        else:
+            lines.append(
+                f"{row['processes']:>5} {row['operations']:>5} "
+                f"{row['iterations']:>11} {row['area']:>6g} "
+                f"{cached['wall_time']:>9.2f} "
+                f"{row['uncached']['wall_time']:>8.2f} "
+                f"{row['speedup']:>7.1f}x "
+                f"{cached['force_evaluations']:>7} "
+                f"{100 * cached['cache_hit_rate']:>5.1f}%"
+            )
+    lines.append("")
+    lines.append("paper reference point: 124 ops, 71 iterations, 7 s (Pentium 133)")
+    return "\n".join(lines)
 
 
 def test_scaling(benchmark):
     rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
 
     # Iterations are bounded by total mobility: at most ops * (slack + 1).
-    for n_processes, ops, iterations, _elapsed, _area, _counters in rows:
-        assert iterations <= ops * (SLACK + 2)
+    for row in rows:
+        assert row["iterations"] <= row["operations"] * (SLACK + 2)
+        # Decision parity: the cache must not change the schedule.
+        assert row["cached"]["iterations"] == row["uncached"]["iterations"]
+        assert row["cached"]["area"] == row["uncached"]["area"]
 
-    lines = [
-        "A5: scheduler scaling over random multi-process systems",
-        f"({OPS_PER_PROCESS} ops/process, slack {SLACK}, all types global, "
-        f"P = {PERIOD})",
-        "",
-        f"{'procs':>5} {'ops':>5} {'iterations':>11} {'seconds':>8} {'area':>6}",
-    ]
-    for n_processes, ops, iterations, elapsed, area, _counters in rows:
-        lines.append(
-            f"{n_processes:>5} {ops:>5} {iterations:>11} {elapsed:>8.2f} "
-            f"{area:>6g}"
-        )
-    lines.append("")
-    lines.append("paper reference point: 124 ops, 71 iterations, 7 s (Pentium 133)")
-    save_artifact(
-        "scaling",
-        "\n".join(lines),
-        data=[
-            {
-                "processes": n_processes,
-                "operations": ops,
-                "iterations": iterations,
-                "wall_time": elapsed,
-                "area": area,
-                "counters": counters,
-            }
-            for n_processes, ops, iterations, elapsed, area, counters in rows
-        ],
+    save_artifact("scaling", format_report(rows), data=rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--processes",
+        type=int,
+        nargs="+",
+        default=list(PROCESS_COUNTS),
+        help="system sizes (number of processes) to run",
     )
+    parser.add_argument(
+        "--no-force-cache",
+        action="store_true",
+        help="run only the brute-force arm (skip the cached A/B run)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the machine-readable report to this JSON file",
+    )
+    args = parser.parse_args(argv)
+    rows = run_scaling(
+        tuple(args.processes), force_cache_ab=not args.no_force_cache
+    )
+    print(format_report(rows))
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(rows, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -29,12 +29,14 @@ import numpy as np
 
 from ..errors import SchedulingError
 from ..ir.process import Block, Process, SystemSpec
-from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
+from ..obs import FORCE_EVALUATIONS, SCHEDULER_ITERATIONS, as_tracer, get_logger
+from ..obs.counters import count
 from ..resources.assignment import ResourceAssignment
 from ..resources.library import ResourceLibrary
-from ..scheduling.forces import DEFAULT_LOOKAHEAD, hooke_force
+from ..scheduling.forces import DEFAULT_LOOKAHEAD, force_from_deltas, hooke_force
 from ..scheduling.schedule import BlockSchedule
-from ..scheduling.state import BlockState
+from ..scheduling.selection_cache import BlockSelectionCache
+from ..scheduling.state import BlockState, ReductionEffect
 from .modulo import modulo_max
 from .periods import PeriodAssignment
 from .result import SystemSchedule
@@ -51,6 +53,39 @@ class _Entry:
     state: BlockState
 
 
+class _CachedScore:
+    """Memoized selection forces of one operation at both frame ends.
+
+    ``terms_*`` hold the *force recipe* of each tentative placement: an
+    ordered list of per-type terms in which purely-local types are frozen
+    scalars and globally balanced types keep their system displacement
+    ``delta_S`` (eq. 9 minus the old process maximum).  The recipe stays
+    valid as long as the op's own block and its same-process siblings are
+    untouched; when only the system distribution ``S`` moved (a commit in
+    *another* process), the final force is re-assembled from the recipe
+    with two period-length dot products instead of a full re-evaluation.
+    ``terms_* is None`` marks a purely-local placement whose force is
+    constant until invalidated.
+    """
+
+    __slots__ = (
+        "force_low",
+        "force_high",
+        "terms_low",
+        "terms_high",
+        "global_types",
+        "versions",
+    )
+
+    def __init__(self, force_low, force_high, terms_low, terms_high, global_types, versions):
+        self.force_low = force_low
+        self.force_high = force_high
+        self.terms_low = terms_low
+        self.terms_high = terms_high
+        self.global_types = global_types
+        self.versions = versions
+
+
 class ModuloSystemScheduler:
     """Time-constrained modulo scheduling with global resource sharing.
 
@@ -65,6 +100,11 @@ class ModuloSystemScheduler:
             evaluation (instance counts are still derived globally).
         global_balancing: Enable modification part 2 (§5.2).  Only
             meaningful while alignment is enabled.
+        force_cache: Memoize the per-operation selection forces between
+            iterations and re-evaluate only the dirty set perturbed by
+            each committed reduction (see docs/performance.md).  The
+            reduction sequence is byte-identical to the brute-force scan;
+            disable only for A/B measurement.
         tracer: Observability sink (:class:`repro.obs.Tracer`); the
             default no-op tracer records nothing and costs nothing.
     """
@@ -77,6 +117,7 @@ class ModuloSystemScheduler:
         weights: Optional[Mapping[str, float]] = None,
         periodical_alignment: bool = True,
         global_balancing: bool = True,
+        force_cache: bool = True,
         tracer=None,
     ) -> None:
         self.library = library
@@ -84,6 +125,7 @@ class ModuloSystemScheduler:
         self.weights = dict(weights) if weights is not None else None
         self.periodical_alignment = periodical_alignment
         self.global_balancing = global_balancing
+        self.force_cache = force_cache
         self.tracer = as_tracer(tracer)
 
     # ------------------------------------------------------------------
@@ -138,12 +180,17 @@ class ModuloSystemScheduler:
                 for process, block in system.iter_blocks()
             ]
             coupling = _GlobalCoupling(entries, assignment, periods)
+            caches = (
+                [BlockSelectionCache(entry.state) for entry in entries]
+                if self.force_cache
+                else None
+            )
         setup_done = time.perf_counter()
 
         iterations = 0
         with tracer.span("reduction_loop"):
             while True:
-                best = self._select_reduction(entries, coupling)
+                best = self._select_reduction(entries, coupling, caches)
                 if best is None:
                     break
                 iterations += 1
@@ -151,10 +198,14 @@ class ModuloSystemScheduler:
                 entry = entries[entry_index]
                 lo, hi = entry.state.frames.frame(op_id)
                 if shrink_low:
-                    touched = entry.state.commit_reduce(op_id, lo + 1, hi)
+                    effect = entry.state.commit_reduce_effect(op_id, lo + 1, hi)
                 else:
-                    touched = entry.state.commit_reduce(op_id, lo, hi - 1)
-                coupling.refresh(entry_index, touched)
+                    effect = entry.state.commit_reduce_effect(op_id, lo, hi - 1)
+                scopes = coupling.refresh(entry_index, effect.touched_types)
+                if caches is not None:
+                    self._invalidate_caches(
+                        caches, entries, coupling, entry_index, effect, scopes
+                    )
                 if tracer.enabled:
                     tracer.count(SCHEDULER_ITERATIONS)
                     tracer.event(
@@ -222,23 +273,53 @@ class ModuloSystemScheduler:
     # Force evaluation
     # ------------------------------------------------------------------
     def _select_reduction(
-        self, entries: List[_Entry], coupling: "_GlobalCoupling"
+        self,
+        entries: List[_Entry],
+        coupling: "_GlobalCoupling",
+        caches: Optional[List[BlockSelectionCache]] = None,
     ) -> Optional[Tuple[int, str, bool, float, int]]:
         """Pick the IFDS reduction with the largest weighted force difference.
 
         Returns ``(entry_index, op_id, shrink_low, score, candidates)``
         where ``candidates`` is the number of mobile operations examined,
-        or ``None`` once every frame has collapsed.
+        or ``None`` once every frame has collapsed.  With ``caches`` the
+        ``(force_low, force_high)`` pair of each clean operation is reused
+        from the previous scan; the fold over candidates is replayed in
+        the same order either way, so the selected reduction is identical.
         """
         best_score = None
         best: Optional[Tuple[int, str, bool]] = None
         candidates = 0
         for index, entry in enumerate(entries):
+            cache = caches[index] if caches is not None else None
             for op_id in entry.state.frames.unfixed():
                 candidates += 1
                 lo, hi = entry.state.frames.frame(op_id)
-                force_low = self._placement_force(index, entry, coupling, op_id, lo)
-                force_high = self._placement_force(index, entry, coupling, op_id, hi)
+                if cache is None:
+                    force_low = self._placement_force(index, entry, coupling, op_id, lo)
+                    force_high = self._placement_force(index, entry, coupling, op_id, hi)
+                else:
+                    cached = cache.get(op_id)
+                    if cached is None:
+                        cached = self._evaluate_cached(index, entry, coupling, op_id, lo, hi)
+                        cache.put(op_id, cached)
+                    elif cached.global_types:
+                        versions = tuple(
+                            coupling.s_version(t) for t in cached.global_types
+                        )
+                        if versions != cached.versions:
+                            # Only S moved (a commit in another process):
+                            # re-assemble from the cached recipe.
+                            if cached.terms_low is not None:
+                                cached.force_low = self._assemble(
+                                    cached.terms_low, coupling
+                                )
+                            if cached.terms_high is not None:
+                                cached.force_high = self._assemble(
+                                    cached.terms_high, coupling
+                                )
+                            cached.versions = versions
+                    force_low, force_high = cached.force_low, cached.force_high
                 eta = 1.0 if hi - lo + 1 <= 2 else 0.5
                 score = eta * abs(force_low - force_high)
                 if best_score is None or score > best_score + 1e-12:
@@ -249,6 +330,91 @@ class ModuloSystemScheduler:
         assert best_score is not None
         return best + (best_score, candidates)
 
+    def _evaluate_cached(
+        self,
+        entry_index: int,
+        entry: _Entry,
+        coupling: "_GlobalCoupling",
+        op_id: str,
+        lo: int,
+        hi: int,
+    ) -> _CachedScore:
+        """Fresh evaluation of both frame ends, packaged with its recipe."""
+        force_low, terms_low = self._force_terms(entry_index, entry, coupling, op_id, lo)
+        force_high, terms_high = self._force_terms(entry_index, entry, coupling, op_id, hi)
+        global_types: List[str] = []
+        for terms in (terms_low, terms_high):
+            if terms is None:
+                continue
+            for type_name, _weight, delta_s, _self_dot in terms:
+                if type_name is not None and type_name not in global_types:
+                    global_types.append(type_name)
+        versions = tuple(coupling.s_version(t) for t in global_types)
+        return _CachedScore(
+            force_low, force_high, terms_low, terms_high, tuple(global_types), versions
+        )
+
+    def _assemble(self, terms, coupling: "_GlobalCoupling") -> float:
+        """Fold a force recipe against the *current* system distributions.
+
+        Produces bit-identical results to :meth:`_force_terms` as long as
+        the recipe is not stale: scalar terms are reused verbatim and
+        global terms recompute exactly the Hooke expression
+        ``w * (delta_S . S + alpha * delta_S . delta_S)``.
+        """
+        total = 0.0
+        for type_name, value_or_weight, delta_s, self_dot in terms:
+            if type_name is None:
+                total += value_or_weight
+            else:
+                total += value_or_weight * (
+                    float(np.dot(delta_s, coupling.system_distribution(type_name)))
+                    + self.lookahead * self_dot
+                )
+        return total
+
+    def _invalidate_caches(
+        self,
+        caches: List[BlockSelectionCache],
+        entries: List[_Entry],
+        coupling: "_GlobalCoupling",
+        entry_index: int,
+        effect: ReductionEffect,
+        scopes: Mapping[str, str],
+    ) -> None:
+        """Drop exactly the cached recipes the committed reduction perturbed.
+
+        Within the committing block the local dirty-set rules apply
+        (changed frames, their direct neighbors, touched types).  For a
+        touched **global** type the perturbation travels through the
+        coupling — but only as far as the re-folded arrays actually
+        changed, which :meth:`_GlobalCoupling.refresh` reports per type:
+
+        * ``"clean"`` — the displacement was hidden under the modulo
+          maximum; ``Q`` is unchanged and no other block is dirty.
+        * ``"process"`` / ``"system"`` — ``Q`` changed, so sibling blocks
+          of the *same* process see it through eq. 9's cross-block
+          maximum and the old process maximum: their recipes are stale.
+          Blocks of **other** processes keep valid recipes even when
+          ``S`` changed (``"system"``), because their ``delta_S`` only
+          reads their own process's coupling state; the S-version bump
+          makes them re-assemble cheaply at the next scan.
+
+        With global balancing disabled the force of a block depends only
+        on its own ``Q``, so no cross-block invalidation is needed at all.
+        """
+        caches[entry_index].invalidate_after_commit(effect)
+        if not (self.periodical_alignment and self.global_balancing):
+            return
+        process_name = entries[entry_index].process_name
+        for type_name, scope in scopes.items():
+            if scope == "clean":
+                continue
+            for index, entry in enumerate(entries):
+                if index == entry_index or entry.process_name != process_name:
+                    continue
+                caches[index].invalidate_type(type_name)
+
     def _placement_force(
         self,
         entry_index: int,
@@ -258,43 +424,72 @@ class ModuloSystemScheduler:
         start: int,
     ) -> float:
         """Modified force F' (§5.3) of tentatively placing ``op_id`` at ``start``."""
-        total = 0.0
-        for type_name, delta in entry.state.placement_deltas(op_id, start).items():
-            weight = (
-                1.0 if self.weights is None else float(self.weights.get(type_name, 1.0))
-            )
-            shared = coupling.is_shared(entry.process_name, type_name)
-            if shared and self.periodical_alignment:
-                total += weight * self._global_force(
-                    entry_index, entry, coupling, type_name, delta
-                )
-            else:
-                total += weight * hooke_force(
-                    entry.state.dist.array(type_name), delta, self.lookahead
-                )
-        return total
+        return self._force_terms(entry_index, entry, coupling, op_id, start)[0]
 
-    def _global_force(
+    def _force_terms(
         self,
         entry_index: int,
         entry: _Entry,
         coupling: "_GlobalCoupling",
-        type_name: str,
-        delta: np.ndarray,
-    ) -> float:
-        period = coupling.period(type_name)
-        displaced = entry.state.dist.array(type_name) + delta
-        q_new = modulo_max(displaced, period)
-        if not self.global_balancing:
-            q_old = coupling.block_q(entry_index, type_name)
-            return hooke_force(q_old, q_new - q_old, self.lookahead)
-        others = coupling.other_blocks_max(entry_index, type_name)
-        m_new = np.maximum(others, q_new)
-        m_old = coupling.process_max(entry.process_name, type_name)
-        delta_s = m_new - m_old
-        return hooke_force(
-            coupling.system_distribution(type_name), delta_s, self.lookahead
-        )
+        op_id: str,
+        start: int,
+    ) -> Tuple[float, Optional[list]]:
+        """Force F' of a tentative placement, plus its cacheable recipe.
+
+        Returns ``(force, terms)``.  ``terms`` is ``None`` for a purely
+        local placement (every displaced type local: the force is a plain
+        constant until the block is perturbed — delegated to the shared
+        :func:`repro.scheduling.forces.force_from_deltas` kernel).
+        Otherwise it is the ordered per-type term list consumed by
+        :meth:`_assemble`: ``(None, scalar, None, None)`` for frozen local
+        (and unbalanced-global) terms, ``(type, weight, delta_S,
+        delta_S . delta_S)`` for globally balanced ones.
+        """
+        deltas = entry.state.placement_deltas(op_id, start)
+        if not self.periodical_alignment or not any(
+            coupling.is_shared(entry.process_name, type_name) for type_name in deltas
+        ):
+            force = force_from_deltas(
+                entry.state.dist, deltas, lookahead=self.lookahead, weights=self.weights
+            )
+            return force, None
+        total = 0.0
+        terms: list = []
+        for type_name, delta in deltas.items():
+            weight = (
+                1.0 if self.weights is None else float(self.weights.get(type_name, 1.0))
+            )
+            if coupling.is_shared(entry.process_name, type_name):
+                period = coupling.period(type_name)
+                displaced = entry.state.dist.array(type_name) + delta
+                q_new = modulo_max(displaced, period)
+                if not self.global_balancing:
+                    q_old = coupling.block_q(entry_index, type_name)
+                    value = weight * hooke_force(q_old, q_new - q_old, self.lookahead)
+                    terms.append((None, value, None, None))
+                else:
+                    others = coupling.other_blocks_max(entry_index, type_name)
+                    m_new = np.maximum(others, q_new)
+                    m_old = coupling.process_max(entry.process_name, type_name)
+                    delta_s = m_new - m_old
+                    # Same expression as hooke_force(S, delta_s), spelled
+                    # out so the recipe keeps the delta_S . delta_S dot.
+                    count(FORCE_EVALUATIONS)
+                    self_dot = float(np.dot(delta_s, delta_s))
+                    value = weight * (
+                        float(
+                            np.dot(delta_s, coupling.system_distribution(type_name))
+                        )
+                        + self.lookahead * self_dot
+                    )
+                    terms.append((type_name, weight, delta_s, self_dot))
+            else:
+                value = weight * hooke_force(
+                    entry.state.dist.array(type_name), delta, self.lookahead
+                )
+                terms.append((None, value, None, None))
+            total += value
+        return total, terms
 
 
 class _GlobalCoupling:
@@ -302,7 +497,9 @@ class _GlobalCoupling:
 
     Maintains, per (block, global type), the block's modulo-max transform
     ``Q`` (eq. 7); per (process, type) the block maximum ``M`` (eq. 9); and
-    per type the system sum ``S`` over the sharing group (§5.2).
+    per type the system sum ``S`` over the sharing group (§5.2).  The
+    sibling maxima of eq. 9 (``other_blocks_max``) are memoized per
+    ``(block, type)`` and invalidated only when a sibling's ``Q`` changes.
     """
 
     def __init__(
@@ -317,6 +514,8 @@ class _GlobalCoupling:
         self._q: Dict[Tuple[int, str], np.ndarray] = {}
         self._m: Dict[Tuple[str, str], np.ndarray] = {}
         self._s: Dict[str, np.ndarray] = {}
+        self._s_version: Dict[str, int] = {}
+        self._others: Dict[Tuple[int, str], np.ndarray] = {}
         for index, entry in enumerate(entries):
             for type_name in self._shared_types(entry):
                 self._q[(index, type_name)] = self._fold(index, type_name)
@@ -344,8 +543,26 @@ class _GlobalCoupling:
     def system_distribution(self, type_name: str) -> np.ndarray:
         return self._s[type_name]
 
+    def s_version(self, type_name: str) -> int:
+        """Monotonic version of ``S``; bumps whenever the sum is rebuilt.
+
+        Cached force recipes are tagged with the versions of the types
+        they touch, so a scan can tell "re-assemble against the new S"
+        apart from "reuse the assembled force verbatim".
+        """
+        return self._s_version.get(type_name, 0)
+
     def other_blocks_max(self, entry_index: int, type_name: str) -> np.ndarray:
-        """Max of the sibling blocks' Q arrays (eq. 9 without this block)."""
+        """Max of the sibling blocks' Q arrays (eq. 9 without this block).
+
+        Memoized per ``(block, type)``; :meth:`refresh` drops the memo of
+        every same-process sibling when a block's ``Q`` changes.  The
+        returned array is read-only.
+        """
+        key = (entry_index, type_name)
+        cached = self._others.get(key)
+        if cached is not None:
+            return cached
         process_name = self.entries[entry_index].process_name
         period = self.period(type_name)
         result = np.zeros(period, dtype=float)
@@ -354,18 +571,45 @@ class _GlobalCoupling:
                 continue
             if type_name in entry.state.dist.type_names:
                 np.maximum(result, self.block_q(index, type_name), out=result)
+        self._others[key] = result
         return result
 
     # -- updates ---------------------------------------------------------
-    def refresh(self, entry_index: int, touched_types) -> None:
-        """Re-fold after a committed reduction changed some distributions."""
+    def refresh(self, entry_index: int, touched_types) -> Dict[str, str]:
+        """Re-fold after a committed reduction changed some distributions.
+
+        Returns, per touched *shared* type, how far the perturbation
+        actually propagated:
+
+        * ``"clean"`` — the re-folded ``Q`` is unchanged (the displacement
+          was hidden under the modulo maximum); nothing downstream moved.
+        * ``"process"`` — ``Q`` changed but the process maximum ``M`` did
+          not, so the system distribution ``S`` is also unchanged.
+        * ``"system"`` — ``M`` (and therefore ``S``) changed.
+        """
         entry = self.entries[entry_index]
+        scopes: Dict[str, str] = {}
         for type_name in touched_types:
             if not self.is_shared(entry.process_name, type_name):
                 continue
-            self._q[(entry_index, type_name)] = self._fold(entry_index, type_name)
-            self._rebuild_process(entry.process_name, type_name)
-            self._rebuild_system(type_name)
+            key = (entry_index, type_name)
+            old_q = self._q.get(key)
+            new_q = self._fold(entry_index, type_name)
+            if old_q is not None and np.array_equal(old_q, new_q):
+                # Hidden displacement: Q, M, S all stay put — skip the
+                # rebuilds entirely.
+                scopes[type_name] = "clean"
+                continue
+            self._q[key] = new_q
+            for index, other in enumerate(self.entries):
+                if index != entry_index and other.process_name == entry.process_name:
+                    self._others.pop((index, type_name), None)
+            if self._rebuild_process(entry.process_name, type_name):
+                self._rebuild_system(type_name)
+                scopes[type_name] = "system"
+            else:
+                scopes[type_name] = "process"
+        return scopes
 
     # -- internals --------------------------------------------------------
     def _shared_types(self, entry: _Entry) -> List[str]:
@@ -382,7 +626,8 @@ class _GlobalCoupling:
             return np.zeros(period, dtype=float)
         return modulo_max(entry.state.dist.array(type_name), period)
 
-    def _rebuild_process(self, process_name: str, type_name: str) -> None:
+    def _rebuild_process(self, process_name: str, type_name: str) -> bool:
+        """Recompute the process maximum ``M``; returns whether it changed."""
         period = self.period(type_name)
         result = np.zeros(period, dtype=float)
         for index, entry in enumerate(self.entries):
@@ -390,7 +635,11 @@ class _GlobalCoupling:
                 continue
             if type_name in entry.state.dist.type_names:
                 np.maximum(result, self.block_q(index, type_name), out=result)
-        self._m[(process_name, type_name)] = result
+        key = (process_name, type_name)
+        old = self._m.get(key)
+        changed = old is None or not np.array_equal(old, result)
+        self._m[key] = result
+        return changed
 
     def _rebuild_system(self, type_name: str) -> None:
         period = self.period(type_name)
@@ -398,3 +647,4 @@ class _GlobalCoupling:
         for process_name in self.assignment.group(type_name):
             result += self._m[(process_name, type_name)]
         self._s[type_name] = result
+        self._s_version[type_name] = self._s_version.get(type_name, 0) + 1

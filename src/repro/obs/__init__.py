@@ -21,6 +21,9 @@ before instrumentation.  See docs/observability.md.
 from .counters import (
     AUTHORIZATION_CHECKS,
     DISTRIBUTION_REBUILDS,
+    FORCE_CACHE_HITS,
+    FORCE_CACHE_INVALIDATIONS,
+    FORCE_CACHE_MISSES,
     FORCE_EVALUATIONS,
     FRAME_REDUCTIONS,
     KNOWN_COUNTERS,
@@ -45,6 +48,9 @@ from .tracer import (
 __all__ = [
     "AUTHORIZATION_CHECKS",
     "DISTRIBUTION_REBUILDS",
+    "FORCE_CACHE_HITS",
+    "FORCE_CACHE_INVALIDATIONS",
+    "FORCE_CACHE_MISSES",
     "FORCE_EVALUATIONS",
     "FRAME_REDUCTIONS",
     "KNOWN_COUNTERS",

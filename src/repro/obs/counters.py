@@ -34,6 +34,9 @@ DISTRIBUTION_REBUILDS = "distribution_rebuilds"
 AUTHORIZATION_CHECKS = "authorization_checks"
 SCHEDULER_ITERATIONS = "scheduler_iterations"
 SIMULATION_CYCLES = "simulation_cycles"
+FORCE_CACHE_HITS = "force_cache_hits"
+FORCE_CACHE_MISSES = "force_cache_misses"
+FORCE_CACHE_INVALIDATIONS = "force_cache_invalidations"
 
 KNOWN_COUNTERS = (
     FORCE_EVALUATIONS,
@@ -43,6 +46,9 @@ KNOWN_COUNTERS = (
     AUTHORIZATION_CHECKS,
     SCHEDULER_ITERATIONS,
     SIMULATION_CYCLES,
+    FORCE_CACHE_HITS,
+    FORCE_CACHE_MISSES,
+    FORCE_CACHE_INVALIDATIONS,
 )
 
 

@@ -6,6 +6,7 @@ from .fds import ForceDirectedScheduler
 from .forces import (
     DEFAULT_LOOKAHEAD,
     area_weights,
+    force_from_deltas,
     hooke_force,
     placement_force,
     uniform_weights,
@@ -13,12 +14,14 @@ from .forces import (
 from .ifds import ImprovedForceDirectedScheduler, ReductionChoice, evaluate_reduction
 from .list_scheduling import ListScheduler
 from .schedule import BlockSchedule
-from .state import BlockState
+from .selection_cache import BlockSelectionCache
+from .state import BlockState, ReductionEffect
 from .timeframes import FrameTable, alap_schedule, asap_schedule
 
 __all__ = [
     "BlockDistributions",
     "BlockSchedule",
+    "BlockSelectionCache",
     "BlockState",
     "DEFAULT_LOOKAHEAD",
     "ForceDirectedListScheduler",
@@ -27,10 +30,12 @@ __all__ = [
     "ImprovedForceDirectedScheduler",
     "ListScheduler",
     "ReductionChoice",
+    "ReductionEffect",
     "alap_schedule",
     "area_weights",
     "asap_schedule",
     "evaluate_reduction",
+    "force_from_deltas",
     "hooke_force",
     "occupancy_row",
     "placement_force",

@@ -44,10 +44,15 @@ def occupancy_row(lo: int, hi: int, occupancy: int, horizon: int) -> np.ndarray:
         raise SchedulingError(
             f"frame [{lo}, {hi}] with occupancy {occupancy} exceeds horizon {horizon}"
         )
+    # Vectorized sliding-window count: step ``t`` is covered by the starts
+    # in ``[max(lo, t - occupancy + 1), min(hi, t)]``, so the probability is
+    # that count times ``1 / width``.  Integer counts times one multiply
+    # keep the entries exact multiples of the weight.
     row = np.zeros(horizon, dtype=float)
     weight = 1.0 / (hi - lo + 1)
-    for start in range(lo, hi + 1):
-        row[start : start + occupancy] += weight
+    steps = np.arange(lo, hi + occupancy)
+    counts = np.minimum(hi, steps) - np.maximum(lo, steps - occupancy + 1) + 1
+    row[lo : hi + occupancy] = counts * weight
     return row
 
 
@@ -99,6 +104,7 @@ class BlockDistributions:
         self._sums: Dict[str, np.ndarray] = {}
         self._ops_of_type: Dict[str, List[str]] = {}
         self._guarded_types: Set[str] = set()
+        self._row_cache: Dict[Tuple[str, int, int], np.ndarray] = {}
         for op in graph:
             rtype = library.type_of(op)
             self.type_of[op.op_id] = rtype.name
@@ -109,9 +115,7 @@ class BlockDistributions:
                 self._guarded_types.add(rtype.name)
         for op in graph:
             lo, hi = frames.frame(op.op_id)
-            self._rows[op.op_id] = occupancy_row(
-                lo, hi, self.occupancy_of[op.op_id], self.horizon
-            )
+            self._rows[op.op_id] = self.tentative_row(op.op_id, lo, hi)
         for type_name in self._ops_of_type:
             self._sums[type_name] = self._compute_array(type_name)
 
@@ -157,8 +161,18 @@ class BlockDistributions:
             ) from None
 
     def tentative_row(self, op_id: str, lo: int, hi: int) -> np.ndarray:
-        """Row the operation would have with frame ``[lo, hi]``."""
-        return occupancy_row(lo, hi, self.occupancy_of[op_id], self.horizon)
+        """Row the operation would have with frame ``[lo, hi]``.
+
+        Rows are memoized per ``(op, lo, hi)`` — the same tentative
+        placements are evaluated over and over between commits — and must
+        therefore be treated as read-only by callers.
+        """
+        key = (op_id, lo, hi)
+        row = self._row_cache.get(key)
+        if row is None:
+            row = occupancy_row(lo, hi, self.occupancy_of[op_id], self.horizon)
+            self._row_cache[key] = row
+        return row
 
     def tentative_array(
         self, type_name: str, override: Mapping[str, np.ndarray]
@@ -188,9 +202,7 @@ class BlockDistributions:
         touched: Set[str] = set()
         for op_id in changed_ops:
             lo, hi = self.frames.frame(op_id)
-            new_row = occupancy_row(
-                lo, hi, self.occupancy_of[op_id], self.horizon
-            )
+            new_row = self.tentative_row(op_id, lo, hi)
             type_name = self.type_of[op_id]
             if type_name not in self._guarded_types:
                 self._sums[type_name] += new_row - self._rows[op_id]

@@ -18,6 +18,7 @@ from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
 from ..resources.library import ResourceLibrary
 from .forces import DEFAULT_LOOKAHEAD, placement_force
 from .schedule import BlockSchedule
+from .selection_cache import BlockSelectionCache
 from .state import BlockState
 
 _log = get_logger(__name__)
@@ -30,6 +31,9 @@ class ForceDirectedScheduler:
         library: Resource library (latencies, occupancies).
         lookahead: Paulin look-ahead fraction (0 disables look-ahead).
         weights: Optional per-type spring-constant weights.
+        force_cache: Memoize the per-operation force rows between
+            iterations, re-evaluating only the dirty set of each commit;
+            decisions are identical to the brute-force scan.
     """
 
     def __init__(
@@ -38,17 +42,20 @@ class ForceDirectedScheduler:
         *,
         lookahead: float = DEFAULT_LOOKAHEAD,
         weights: Optional[Mapping[str, float]] = None,
+        force_cache: bool = True,
         tracer=None,
     ) -> None:
         self.library = library
         self.lookahead = lookahead
         self.weights = weights
+        self.force_cache = force_cache
         self.tracer = as_tracer(tracer)
 
     def schedule(self, block: Block) -> BlockSchedule:
         """Schedule one block; returns a validated :class:`BlockSchedule`."""
         tracer = self.tracer
         state = BlockState(block, self.library)
+        cache = BlockSelectionCache(state) if self.force_cache else None
         iterations = 0
         with tracer.activate(), tracer.span("fds", block=block.name):
             while True:
@@ -61,19 +68,31 @@ class ForceDirectedScheduler:
                 best_step = None
                 for op_id in candidates:
                     lo, hi = state.frames.frame(op_id)
-                    for step in range(lo, hi + 1):
-                        force = placement_force(
-                            state,
-                            op_id,
-                            step,
-                            lookahead=self.lookahead,
-                            weights=self.weights,
-                        )
+                    # The cache stores the whole per-step force row so the
+                    # flat (op, step) fold below replays exactly as the
+                    # uncached scan would.
+                    forces = cache.get(op_id) if cache is not None else None
+                    if forces is None:
+                        forces = [
+                            placement_force(
+                                state,
+                                op_id,
+                                step,
+                                lookahead=self.lookahead,
+                                weights=self.weights,
+                            )
+                            for step in range(lo, hi + 1)
+                        ]
+                        if cache is not None:
+                            cache.put(op_id, forces)
+                    for offset, force in enumerate(forces):
                         if best_force is None or force < best_force - 1e-12:
-                            best_force, best_op, best_step = force, op_id, step
+                            best_force, best_op, best_step = force, op_id, lo + offset
                 if best_op is None:  # pragma: no cover - defensive
                     raise SchedulingError("no feasible placement found")
-                state.commit_fix(best_op, best_step)
+                effect = state.commit_reduce_effect(best_op, best_step, best_step)
+                if cache is not None:
+                    cache.invalidate_after_commit(effect)
                 if tracer.enabled:
                     tracer.count(SCHEDULER_ITERATIONS)
                     tracer.event(

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..obs.counters import FORCE_EVALUATIONS, count
 from ..resources.library import ResourceLibrary
+from .distribution import BlockDistributions
 from .state import BlockState
 
 #: Paulin & Knight's classic look-ahead fraction.
@@ -40,6 +41,28 @@ def area_weights(library: ResourceLibrary) -> Dict[str, float]:
     return {rtype.name: float(rtype.area) for rtype in library.types}
 
 
+def force_from_deltas(
+    dist: BlockDistributions,
+    deltas: Mapping[str, np.ndarray],
+    *,
+    lookahead: float = DEFAULT_LOOKAHEAD,
+    weights: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Weighted Hooke force of a set of per-type displacements.
+
+    This is the purely-local force kernel shared by every scheduler in the
+    repository: the single-block FDS/IFDS paths sum it over all displaced
+    types, and the coupled system scheduler delegates to it for types that
+    are not globally shared (global types route through the balanced
+    system distribution instead).
+    """
+    total = 0.0
+    for type_name, delta in deltas.items():
+        weight = 1.0 if weights is None else float(weights.get(type_name, 1.0))
+        total += weight * hooke_force(dist.array(type_name), delta, lookahead)
+    return total
+
+
 def placement_force(
     state: BlockState,
     op_id: str,
@@ -55,8 +78,9 @@ def placement_force(
     neighbors), the weighted Hooke's-law force.  Negative values mean the
     placement smooths the distributions.
     """
-    total = 0.0
-    for type_name, delta in state.placement_deltas(op_id, start).items():
-        weight = 1.0 if weights is None else float(weights.get(type_name, 1.0))
-        total += weight * hooke_force(state.dist.array(type_name), delta, lookahead)
-    return total
+    return force_from_deltas(
+        state.dist,
+        state.placement_deltas(op_id, start),
+        lookahead=lookahead,
+        weights=weights,
+    )

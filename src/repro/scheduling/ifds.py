@@ -24,6 +24,7 @@ from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
 from ..resources.library import ResourceLibrary
 from .forces import DEFAULT_LOOKAHEAD, placement_force
 from .schedule import BlockSchedule
+from .selection_cache import BlockSelectionCache
 from .state import BlockState
 
 _log = get_logger(__name__)
@@ -66,7 +67,13 @@ def evaluate_reduction(
 
 
 class ImprovedForceDirectedScheduler:
-    """Time-constrained IFDS for a single block."""
+    """Time-constrained IFDS for a single block.
+
+    With ``force_cache`` enabled (the default) the per-operation
+    :class:`ReductionChoice` evaluations are memoized between iterations
+    and only the dirty set of each committed reduction is re-evaluated;
+    decisions are identical to the brute-force scan.
+    """
 
     def __init__(
         self,
@@ -74,17 +81,20 @@ class ImprovedForceDirectedScheduler:
         *,
         lookahead: float = DEFAULT_LOOKAHEAD,
         weights: Optional[Mapping[str, float]] = None,
+        force_cache: bool = True,
         tracer=None,
     ) -> None:
         self.library = library
         self.lookahead = lookahead
         self.weights = weights
+        self.force_cache = force_cache
         self.tracer = as_tracer(tracer)
 
     def schedule(self, block: Block) -> BlockSchedule:
         """Schedule one block; returns a validated :class:`BlockSchedule`."""
         tracer = self.tracer
         state = BlockState(block, self.library)
+        cache = BlockSelectionCache(state) if self.force_cache else None
         iterations = 0
         with tracer.activate(), tracer.span("ifds", block=block.name):
             while True:
@@ -94,17 +104,23 @@ class ImprovedForceDirectedScheduler:
                 iterations += 1
                 best: Optional[ReductionChoice] = None
                 for op_id in mobile:
-                    choice = evaluate_reduction(
-                        state, op_id, lookahead=self.lookahead, weights=self.weights
-                    )
+                    choice = cache.get(op_id) if cache is not None else None
+                    if choice is None:
+                        choice = evaluate_reduction(
+                            state, op_id, lookahead=self.lookahead, weights=self.weights
+                        )
+                        if cache is not None:
+                            cache.put(op_id, choice)
                     if best is None or choice.score > best.score + 1e-12:
                         best = choice
                 assert best is not None
                 lo, hi = state.frames.frame(best.op_id)
                 if best.shrink_low_side:
-                    state.commit_reduce(best.op_id, lo + 1, hi)
+                    effect = state.commit_reduce_effect(best.op_id, lo + 1, hi)
                 else:
-                    state.commit_reduce(best.op_id, lo, hi - 1)
+                    effect = state.commit_reduce_effect(best.op_id, lo, hi - 1)
+                if cache is not None:
+                    cache.invalidate_after_commit(effect)
                 if tracer.enabled:
                     tracer.count(SCHEDULER_ITERATIONS)
                     tracer.event(

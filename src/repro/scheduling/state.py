@@ -9,7 +9,8 @@ forces are computed — without mutating anything.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
 
 import numpy as np
 
@@ -18,6 +19,20 @@ from ..obs.counters import FRAME_REDUCTIONS, count
 from ..resources.library import ResourceLibrary
 from .distribution import BlockDistributions
 from .timeframes import FrameTable
+
+
+@dataclass(frozen=True)
+class ReductionEffect:
+    """What one committed frame reduction actually perturbed.
+
+    ``changed_ops`` are the operations whose frames changed (the reduced
+    operation plus everything reached by precedence propagation);
+    ``touched_types`` are the resource types whose distribution graph
+    changed.  Selection caches derive their dirty sets from this.
+    """
+
+    changed_ops: FrozenSet[str]
+    touched_types: FrozenSet[str]
 
 
 class BlockState:
@@ -64,9 +79,19 @@ class BlockState:
 
         Returns the resource type names whose distribution graph changed.
         """
+        return set(self.commit_reduce_effect(op_id, lo, hi).touched_types)
+
+    def commit_reduce_effect(self, op_id: str, lo: int, hi: int) -> ReductionEffect:
+        """Like :meth:`commit_reduce`, but also reports the changed ops.
+
+        Incremental schedulers need both halves of the perturbation: the
+        operations whose frames moved (their own and their neighbors'
+        cached forces are stale) and the types whose distributions moved.
+        """
         count(FRAME_REDUCTIONS)
         changed_ops = self.frames.reduce(op_id, lo, hi)
-        return self.dist.refresh(changed_ops)
+        touched = self.dist.refresh(changed_ops)
+        return ReductionEffect(frozenset(changed_ops), frozenset(touched))
 
     def commit_fix(self, op_id: str, start: int) -> Set[str]:
         """Pin an operation to one step for real (classic FDS placement)."""

@@ -38,6 +38,38 @@ class TestOccupancyRow:
         with pytest.raises(SchedulingError, match="horizon"):
             occupancy_row(3, 4, 2, 5)
 
+    def test_vectorized_matches_reference_loop(self):
+        """The sliding-window formulation must equal the per-start loop
+        it replaced, bit-for-bit (exact zeros outside the span)."""
+
+        def reference(lo, hi, occupancy, horizon):
+            row = np.zeros(horizon, dtype=float)
+            weight = 1.0 / (hi - lo + 1)
+            for start in range(lo, hi + 1):
+                row[start : start + occupancy] += weight
+            return row
+
+        for lo, hi, occ, horizon in [
+            (0, 0, 1, 1),
+            (0, 3, 1, 4),
+            (0, 1, 2, 4),
+            (2, 6, 3, 12),
+            (1, 9, 4, 20),
+            (5, 5, 5, 10),
+        ]:
+            got = occupancy_row(lo, hi, occ, horizon)
+            want = reference(lo, hi, occ, horizon)
+            assert np.allclose(got, want)
+            # Exact zeros where the op can never execute.
+            assert not got[:lo].any()
+            assert not got[hi + occ :].any()
+
+    def test_tentative_row_cached_instance_reused(self):
+        __, dist = make_block_distributions()
+        first = dist.tentative_row("a1", 1, 2)
+        second = dist.tentative_row("a1", 1, 2)
+        assert first is second
+
 
 def make_block_distributions(deadline=6):
     library = default_library()

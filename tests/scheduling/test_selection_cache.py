@@ -1,0 +1,150 @@
+"""Tests for the selection cache and its use by the FDS/IFDS schedulers."""
+
+import pytest
+
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block
+from repro.obs import Tracer
+from repro.resources.library import default_library
+from repro.scheduling.fds import ForceDirectedScheduler
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+from repro.scheduling.selection_cache import BlockSelectionCache
+from repro.scheduling.state import BlockState, ReductionEffect
+from repro.workloads import random_dfg
+
+
+def diamond_block(deadline=6):
+    """a -> {m, s} -> z : every op has at least one neighbor."""
+    graph = DataFlowGraph(name="d")
+    graph.add("a", OpKind.ADD)
+    graph.add("m", OpKind.MUL)
+    graph.add("s", OpKind.SUB)
+    graph.add("z", OpKind.ADD)
+    graph.add_edges([("a", "m"), ("a", "s"), ("m", "z"), ("s", "z")])
+    return Block(name="b", graph=graph, deadline=deadline)
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+class TestBlockSelectionCache:
+    def test_get_put_roundtrip(self, library):
+        state = BlockState(diamond_block(), library)
+        cache = BlockSelectionCache(state)
+        assert cache.get("a") is None
+        cache.put("a", 1.25)
+        assert cache.get("a") == 1.25
+        assert len(cache) == 1
+
+    def test_changed_op_and_neighbors_dropped(self, library):
+        state = BlockState(diamond_block(), library)
+        cache = BlockSelectionCache(state)
+        for op in ("a", "m", "s", "z"):
+            cache.put(op, op)
+        # m changed: m itself plus its neighbors a and z go dirty; s
+        # survives only if its footprint avoids the touched types.
+        effect = ReductionEffect(
+            changed_ops=frozenset({"m"}), touched_types=frozenset()
+        )
+        cache.invalidate_after_commit(effect)
+        assert cache.get("m") is None
+        assert cache.get("a") is None
+        assert cache.get("z") is None
+        assert cache.get("s") == "s"
+
+    def test_touched_type_drops_footprint_ops(self, library):
+        state = BlockState(diamond_block(), library)
+        cache = BlockSelectionCache(state)
+        for op in ("a", "m", "s", "z"):
+            cache.put(op, op)
+        # multiplier footprint: m itself, plus a and z (m is their
+        # direct neighbor); s has no multiplier in its footprint.
+        effect = ReductionEffect(
+            changed_ops=frozenset(), touched_types=frozenset({"multiplier"})
+        )
+        cache.invalidate_after_commit(effect)
+        assert cache.get("m") is None
+        assert cache.get("a") is None
+        assert cache.get("z") is None
+        assert cache.get("s") == "s"
+
+    def test_invalidate_type(self, library):
+        state = BlockState(diamond_block(), library)
+        cache = BlockSelectionCache(state)
+        for op in ("a", "m", "s", "z"):
+            cache.put(op, op)
+        removed = cache.invalidate_type("subtracter")
+        # subtracter footprint: s itself plus its neighbors a and z.
+        assert removed == 3
+        assert cache.get("s") is None
+        assert cache.get("m") == "m"
+
+    def test_counters(self, library):
+        state = BlockState(diamond_block(), library)
+        cache = BlockSelectionCache(state)
+        tracer = Tracer()
+        with tracer.activate():
+            cache.get("a")
+            cache.put("a", 1.0)
+            cache.get("a")
+            cache.invalidate_ops(["a"])
+        counters = tracer.counters.as_dict()
+        assert counters["force_cache_misses"] == 1
+        assert counters["force_cache_hits"] == 1
+        assert counters["force_cache_invalidations"] == 1
+
+
+def single_block(seed, slack, library):
+    graph = random_dfg(10, seed=seed)
+    deadline = graph.critical_path_length(library.latency_of) + slack
+    return Block(name=f"b{seed}", graph=graph, deadline=deadline)
+
+
+class TestSchedulerParity:
+    """Cached single-block schedulers replay brute-force decisions exactly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ifds_parity(self, seed, library):
+        runs = {}
+        for force_cache in (True, False):
+            tracer = Tracer()
+            scheduler = ImprovedForceDirectedScheduler(
+                library, force_cache=force_cache, tracer=tracer
+            )
+            schedule = scheduler.schedule(single_block(seed, 4, library))
+            decisions = [
+                (e.attrs["op"], e.attrs["side"])
+                for e in tracer.events_named("reduction")
+            ]
+            runs[force_cache] = (decisions, schedule.starts)
+        assert runs[True] == runs[False]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fds_parity(self, seed, library):
+        runs = {}
+        for force_cache in (True, False):
+            tracer = Tracer()
+            scheduler = ForceDirectedScheduler(
+                library, force_cache=force_cache, tracer=tracer
+            )
+            schedule = scheduler.schedule(single_block(seed, 4, library))
+            decisions = [
+                (e.attrs["op"], e.attrs["step"])
+                for e in tracer.events_named("placement")
+            ]
+            runs[force_cache] = (decisions, schedule.starts)
+        assert runs[True] == runs[False]
+
+    def test_ifds_cache_saves_evaluations(self, library):
+        counts = {}
+        for force_cache in (True, False):
+            tracer = Tracer()
+            scheduler = ImprovedForceDirectedScheduler(
+                library, force_cache=force_cache, tracer=tracer
+            )
+            scheduler.schedule(single_block(3, 6, library))
+            counts[force_cache] = tracer.counters.as_dict()["force_evaluations"]
+        assert counts[True] < counts[False]
