@@ -1,0 +1,214 @@
+"""Parallel period-sweep benchmark (docs/parallel.md).
+
+Measures the two accelerations of :class:`repro.parallel.
+ExplorationEngine` on one ≥50-candidate period sweep:
+
+* **parallelism** — the same exhaustive sweep fanned over worker
+  processes (speedup bounded by the machine's core count; the JSON
+  artifact records ``cpu_count`` so a 1-core container's numbers are
+  not misread);
+* **bound-based pruning** — candidates whose admissible area lower
+  bound meets the incumbent best are skipped without scheduling.
+
+Three arms, all required to agree on the best area and best periods
+(the engine's documented parity guarantee):
+
+1. ``serial``            — workers=1, pruning off (the exhaustive baseline);
+2. ``parallel``          — workers=N, pruning off   → ``speedup_parallel``;
+3. ``parallel_pruned``   — workers=N, pruning on    → ``speedup_total``.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_parallel.py --smoke \
+        --workers 2 --out BENCH_sweep.json
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+from conftest import save_artifact
+
+from repro.api import Problem
+from repro.core.periods import (
+    enumerate_period_assignments,
+    suggest_periods,
+)
+from repro.ir.process import Block, Process, SystemSpec
+from repro.parallel import ExplorationEngine
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.workloads import random_dfg
+
+PROCESSES = 3
+OPS_PER_PROCESS = 8
+DEADLINE = 16
+WORKERS = 4
+SMOKE_PROCESSES = 2
+SMOKE_OPS = 5
+SMOKE_DEADLINE = 8
+
+
+def build_problem(n_processes, ops, deadline):
+    """A random multi-process system with every resource type global."""
+    library = default_library()
+    system = SystemSpec(name=f"sweep{n_processes}x{ops}")
+    for index in range(n_processes):
+        graph = random_dfg(ops, seed=42 + index)
+        process = Process(name=f"p{index}")
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    assignment = ResourceAssignment.all_global(library, system)
+    periods = suggest_periods(system, assignment)
+    return Problem(
+        system=system, library=library, assignment=assignment, periods=periods
+    )
+
+
+def run_arm(problem, candidates, *, workers, prune):
+    """One sweep configuration; returns a flat metrics dict."""
+    engine = ExplorationEngine(problem, workers=workers, prune=prune)
+    started = time.perf_counter()
+    outcome = engine.sweep(candidates)
+    elapsed = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "prune": prune,
+        "wall_time": elapsed,
+        "compute_time": outcome.telemetry.get("wall_time", 0.0),
+        "candidates": len(outcome.results),
+        "evaluated": outcome.evaluated,
+        "pruned": outcome.pruned,
+        "failed": outcome.failed,
+        "best_area": outcome.best_area,
+        "best_periods": outcome.best_periods,
+        "worker_summaries": {
+            str(pid): summary
+            for pid, summary in outcome.telemetry.get(
+                "worker_summaries", {}
+            ).items()
+        },
+    }
+
+
+def run_bench(*, workers=WORKERS, smoke=False):
+    """All three arms plus the parity check; returns the report dict."""
+    if smoke:
+        problem = build_problem(SMOKE_PROCESSES, SMOKE_OPS, SMOKE_DEADLINE)
+    else:
+        problem = build_problem(PROCESSES, OPS_PER_PROCESS, DEADLINE)
+    candidates = enumerate_period_assignments(
+        problem.system, problem.assignment, limit=10000
+    )
+    if not smoke and len(candidates) < 50:
+        raise AssertionError(
+            f"benchmark sweep needs >= 50 candidates, got {len(candidates)}"
+        )
+    serial = run_arm(problem, candidates, workers=1, prune=False)
+    parallel = run_arm(problem, candidates, workers=workers, prune=False)
+    pruned = run_arm(problem, candidates, workers=workers, prune=True)
+
+    # Parity: pruning is admissible and parallelism only reorders, so
+    # every arm must land on the same best area and best periods.
+    for arm in (parallel, pruned):
+        assert arm["best_area"] == serial["best_area"], (serial, arm)
+        assert arm["best_periods"] == serial["best_periods"], (serial, arm)
+        assert arm["failed"] == 0, arm
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "smoke": smoke,
+        "candidates": len(candidates),
+        "best_area": serial["best_area"],
+        "best_periods": serial["best_periods"],
+        "serial": serial,
+        "parallel": parallel,
+        "parallel_pruned": pruned,
+        "speedup_parallel": _speedup(serial, parallel),
+        "speedup_total": _speedup(serial, pruned),
+        "pruned_count": pruned["pruned"],
+    }
+
+
+def _speedup(baseline, arm):
+    return baseline["wall_time"] / arm["wall_time"] if arm["wall_time"] else 0.0
+
+
+def format_report(report):
+    lines = [
+        "parallel period sweep: exhaustive serial vs fan-out vs pruned",
+        f"({report['candidates']} candidates, {report['workers']} workers, "
+        f"{report['cpu_count']} cpu cores)",
+        "",
+        f"{'arm':<16} {'wall_s':>8} {'evaluated':>10} {'pruned':>7} "
+        f"{'speedup':>8}",
+    ]
+    for name, key in (
+        ("serial", "serial"),
+        ("parallel", "parallel"),
+        ("parallel+prune", "parallel_pruned"),
+    ):
+        arm = report[key]
+        speedup = _speedup(report["serial"], arm)
+        lines.append(
+            f"{name:<16} {arm['wall_time']:>8.2f} {arm['evaluated']:>10} "
+            f"{arm['pruned']:>7} {speedup:>7.1f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"best: {report['best_periods']} (area {report['best_area']:g}) "
+        "-- identical in all arms"
+    )
+    if report["cpu_count"] == 1:
+        lines.append(
+            "note: single-core machine; the parallel arm cannot beat "
+            "serial here, the pruning arm carries the speedup"
+        )
+    return "\n".join(lines)
+
+
+def test_sweep_parallel(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_bench(workers=2, smoke=True), rounds=1, iterations=1
+    )
+    assert report["parallel"]["best_area"] == report["serial"]["best_area"]
+    assert report["parallel_pruned"]["best_area"] == report["serial"]["best_area"]
+    save_artifact("sweep_parallel", format_report(report), data=report)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=WORKERS,
+        help="worker processes for the parallel arms (default %(default)s)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny system for CI: fast, still checks arm parity",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the machine-readable report to this JSON file",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(workers=args.workers, smoke=args.smoke)
+    print(format_report(report))
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

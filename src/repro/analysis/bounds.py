@@ -95,6 +95,55 @@ def global_pool_bound(
     return max(per_member, math.ceil(density_sum - 1e-9))
 
 
+def type_instance_bound(
+    system: SystemSpec,
+    library: ResourceLibrary,
+    assignment: ResourceAssignment,
+    periods: PeriodAssignment,
+    type_name: str,
+) -> int:
+    """System-wide lower bound on instances of one type.
+
+    A global type needs at least its pool bound plus the local bounds of
+    any processes using the type outside the sharing group; a local type
+    needs the sum of the per-process bounds.  The bound needs no
+    schedule, so it is cheap enough to evaluate for every candidate of a
+    design-space sweep before any scheduling happens.
+    """
+    if assignment.is_global(type_name):
+        bound = global_pool_bound(system, library, assignment, periods, type_name)
+        # Processes using the type outside the group add local bounds.
+        for process in system.processes:
+            if not assignment.shares_globally(type_name, process.name):
+                bound += process_bound(process, library, type_name)
+        return bound
+    return sum(
+        process_bound(process, library, type_name)
+        for process in system.processes
+    )
+
+
+def area_lower_bound(
+    system: SystemSpec,
+    library: ResourceLibrary,
+    assignment: ResourceAssignment,
+    periods: PeriodAssignment,
+) -> float:
+    """Admissible lower bound on the total area of any valid schedule.
+
+    Sums :func:`type_instance_bound` weighted by the types' area costs.
+    Admissibility (``bound <= achieved area`` for every schedule the
+    model admits) is what makes bound-based pruning in
+    :mod:`repro.parallel` sound: a candidate whose bound already meets
+    the best achieved area cannot improve on it.
+    """
+    return sum(
+        type_instance_bound(system, library, assignment, periods, rtype.name)
+        * rtype.area
+        for rtype in library.types
+    )
+
+
 def bound_report(result: SystemSchedule) -> Dict[str, Dict[str, int]]:
     """Achieved instance counts next to their lower bounds, per type.
 
@@ -107,22 +156,12 @@ def bound_report(result: SystemSchedule) -> Dict[str, Dict[str, int]]:
     for rtype in result.library.types:
         if rtype.name not in counts:
             continue
-        if result.assignment.is_global(rtype.name):
-            bound = global_pool_bound(
-                result.system,
-                result.library,
-                result.assignment,
-                result.periods,
-                rtype.name,
-            )
-            # Processes using the type outside the group add local bounds.
-            for process in result.system.processes:
-                if not result.assignment.shares_globally(rtype.name, process.name):
-                    bound += process_bound(process, result.library, rtype.name)
-        else:
-            bound = sum(
-                process_bound(process, result.library, rtype.name)
-                for process in result.system.processes
-            )
+        bound = type_instance_bound(
+            result.system,
+            result.library,
+            result.assignment,
+            result.periods,
+            rtype.name,
+        )
         report[rtype.name] = {"achieved": counts[rtype.name], "bound": bound}
     return report

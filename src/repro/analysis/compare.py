@@ -44,30 +44,51 @@ class Comparison:
         return 1.0 - self.global_area / self.local_area
 
     def render(self) -> str:
-        lines = ["global vs local resource assignment"]
+        return render_comparison(
+            comparison_record(self.global_result),
+            comparison_record(self.local_result),
+        )
+
+
+def comparison_record(result: SystemSchedule) -> Dict[str, object]:
+    """The plain-data slice of a result the comparison report needs.
+
+    The same shape is produced by the parallel engine's job records
+    (:class:`repro.parallel.CandidateResult`), so a comparison renders
+    identically whether the runs happened in-process or in workers.
+    """
+    return {
+        "instance_counts": result.instance_counts(),
+        "area": result.total_area(),
+        "iterations": result.iterations,
+        "wall_time": result.wall_time,
+    }
+
+
+def render_comparison(
+    global_record: Mapping[str, object], local_record: Mapping[str, object]
+) -> str:
+    """Render the §7 comparison report from plain result records."""
+    global_area = float(global_record["area"])
+    local_area = float(local_record["area"])
+    lines = ["global vs local resource assignment"]
+    for label, record in (("global", global_record), ("local ", local_record)):
         lines.append(
-            "  global: "
+            f"  {label}: "
             + ", ".join(
-                f"{c}x {n}" for n, c in self.global_result.instance_counts().items()
+                f"{count}x {name}"
+                for name, count in record["instance_counts"].items()
             )
-            + f"; area {self.global_area:g}"
-            + f" ({self.global_result.iterations} iterations,"
-            + f" {self.global_result.wall_time:.2f} s)"
+            + f"; area {float(record['area']):g}"
+            + f" ({record['iterations']} iterations,"
+            + f" {record['wall_time']:.2f} s)"
         )
-        lines.append(
-            "  local : "
-            + ", ".join(
-                f"{c}x {n}" for n, c in self.local_result.instance_counts().items()
-            )
-            + f"; area {self.local_area:g}"
-            + f" ({self.local_result.iterations} iterations,"
-            + f" {self.local_result.wall_time:.2f} s)"
-        )
-        lines.append(
-            f"  local costs {self.area_ratio:.2f}x more; "
-            f"global saves {self.area_saving:.0%} area"
-        )
-        return "\n".join(lines)
+    ratio = float("inf") if global_area == 0 else local_area / global_area
+    saving = 0.0 if local_area == 0 else 1.0 - global_area / local_area
+    lines.append(
+        f"  local costs {ratio:.2f}x more; global saves {saving:.0%} area"
+    )
+    return "\n".join(lines)
 
 
 def compare_scopes(

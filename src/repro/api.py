@@ -60,6 +60,10 @@ class Problem:
             self.system, ResourceAssignment.all_local(self.library)
         )
 
+    def dumps(self) -> str:
+        """Serialize this problem as ``.sys`` text (see :func:`dumps_problem`)."""
+        return dumps_problem(self)
+
 
 def problem_from_document(document: SystemDocument) -> Problem:
     """Turn a parsed ``.sys`` document into a live :class:`Problem`.
@@ -124,3 +128,37 @@ def loads_problem(text: str) -> Problem:
     from .ir import systemio
 
     return problem_from_document(systemio.loads(text))
+
+
+def dumps_problem(problem: Problem) -> str:
+    """Serialize a whole :class:`Problem` as ``.sys`` text.
+
+    The inverse of :func:`loads_problem`: the emitted text reparses into
+    a problem with the same system, library, scope assignment, and
+    periods, and an identical text round-trip schedules identically.
+    This is how scheduling problems travel to worker processes in
+    :mod:`repro.parallel` — as reviewable text instead of pickled live
+    objects.
+    """
+    from .ir import systemio
+
+    resources = {
+        rtype.name: {
+            "kinds": sorted(rtype.kinds, key=lambda kind: kind.value),
+            "latency": rtype.latency,
+            "area": rtype.area,
+            "pipelined": rtype.pipelined,
+            "ii": rtype.initiation_interval,
+        }
+        for rtype in problem.library.types
+    }
+    global_groups = {
+        type_name: problem.assignment.group(type_name)
+        for type_name in problem.assignment.global_types
+    }
+    return systemio.dumps(
+        problem.system,
+        resources=resources,
+        global_groups=global_groups,
+        periods=problem.periods.as_dict,
+    )

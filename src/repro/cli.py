@@ -24,17 +24,24 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis.compare import compare_scopes
+from .analysis.compare import compare_scopes, render_comparison
 from .analysis.tables import table1
 from .api import load_problem
 from .binding.instances import bind_instances
-from .core.periods import enumerate_period_assignments
-from .core.scheduler import ModuloSystemScheduler
+from .core.periods import enumerate_period_assignments_capped
 from .core.verify import verify_system_schedule
 from .errors import ReproError
-from .obs import Tracer, configure_logging, render_profile
+from .obs import Tracer, configure_logging, get_logger, render_profile
+from .parallel import (
+    STATUS_OK,
+    STATUS_PRUNED,
+    CandidateResult,
+    ExplorationEngine,
+)
 from .scheduling.forces import area_weights
 from .sim.simulator import SystemSimulator
+
+_log = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a phase-timing and counter table after the run",
     )
+    workers = argparse.ArgumentParser(add_help=False)
+    workers.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; 1 (default) runs in-process "
+        "(see docs/parallel.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     schedule = sub.add_parser(
@@ -83,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser(
         "compare",
         help="global vs local comparison",
-        parents=[verbosity, observe],
+        parents=[verbosity, observe, workers],
     )
     compare.add_argument("file")
 
@@ -98,10 +114,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep",
         help="enumerate period assignments (step S2)",
-        parents=[verbosity, observe],
+        parents=[verbosity, observe, workers],
     )
     sweep.add_argument("file")
-    sweep.add_argument("--limit", type=int, default=200)
+    sweep.add_argument(
+        "--limit",
+        type=int,
+        default=200,
+        help="cap on enumerated candidates; exceeding it truncates the "
+        "sweep with a warning (default %(default)s)",
+    )
+    sweep.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="evaluate every candidate instead of skipping those whose "
+        "area lower bound meets the best area found so far",
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="candidates batched per worker call (default %(default)s)",
+    )
+    sweep.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-candidate wall-clock budget; a candidate exceeding it "
+        "is retried once, then reported as failed",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -188,23 +231,47 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _comparison_record(result: CandidateResult) -> dict:
+    """Adapt an engine record to :func:`render_comparison`'s shape."""
+    return {
+        "instance_counts": result.instance_counts,
+        "area": result.area,
+        "iterations": result.iterations,
+        "wall_time": result.wall_time,
+    }
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     problem = load_problem(args.file)
     tracer = _tracer_for(args)
-    comparison = compare_scopes(
-        problem.system,
-        problem.library,
-        problem.assignment,
-        problem.periods,
-        weights=area_weights(problem.library),
-        tracer=tracer,
-    )
-    print(comparison.render())
-    if args.profile and tracer is not None:
+    if args.workers > 1:
+        engine = ExplorationEngine(
+            problem, workers=args.workers, prune=False, tracer=tracer
+        )
+        outcome = engine.compare()
+        print(
+            render_comparison(
+                _comparison_record(outcome.global_result),
+                _comparison_record(outcome.local_result),
+            )
+        )
+        telemetry = outcome.telemetry
+    else:
+        comparison = compare_scopes(
+            problem.system,
+            problem.library,
+            problem.assignment,
+            problem.periods,
+            weights=area_weights(problem.library),
+            tracer=tracer,
+        )
+        print(comparison.render())
+        telemetry = tracer.summary() if tracer is not None else None
+    if args.profile and telemetry is not None:
         print()
         print(
             render_profile(
-                tracer.summary(), title=f"profile: {args.file} (both runs)"
+                telemetry, title=f"profile: {args.file} (both runs)"
             )
         )
     _finish_trace(args, tracer)
@@ -225,31 +292,69 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     problem = load_problem(args.file)
     tracer = _tracer_for(args)
-    candidates = enumerate_period_assignments(
+    candidates, dropped = enumerate_period_assignments_capped(
         problem.system, problem.assignment, limit=args.limit
     )
     print(f"{len(candidates)} period assignments survive the eq. 3 filters")
-    scheduler = ModuloSystemScheduler(
-        problem.library, weights=area_weights(problem.library), tracer=tracer
+    if dropped:
+        _log.warning(
+            "sweep truncated at --limit %d: %d period combinations "
+            "were never examined; raise --limit for a complete sweep",
+            args.limit,
+            dropped,
+        )
+        print(
+            f"warning: truncated at --limit {args.limit} "
+            f"({dropped} combinations not examined)",
+            file=sys.stderr,
+        )
+
+    def show(record: CandidateResult) -> None:
+        """Per-candidate progress line, completion order (behind -v)."""
+        if record.status == STATUS_OK:
+            print(f"  {record.periods} -> area {record.area:g}")
+        elif record.status == STATUS_PRUNED:
+            print(f"  {record.periods} -> pruned (bound {record.bound:g})")
+        else:
+            print(f"  {record.periods} -> failed: {record.error}")
+
+    engine = ExplorationEngine(
+        problem,
+        workers=args.workers,
+        prune=not args.no_prune,
+        chunk_size=args.chunk_size,
+        timeout=args.job_timeout,
+        tracer=tracer,
     )
-    best = None
-    for periods in candidates:
-        result = scheduler.schedule(problem.system, problem.assignment, periods)
-        area = result.total_area()
-        print(f"  {periods.as_dict} -> area {area:g}")
-        if best is None or area < best[1]:
-            best = (periods, area)
-    if best is not None:
-        print(f"best: {best[0].as_dict} (area {best[1]:g})")
-    if args.profile and tracer is not None:
+    outcome = engine.sweep(
+        candidates, on_result=show if args.verbose else None
+    )
+    outcome.telemetry["candidates_truncated"] = dropped
+    summary = (
+        f"sweep: {outcome.evaluated} evaluated, {outcome.pruned} pruned, "
+        f"{outcome.failed} failed"
+    )
+    if dropped:
+        summary += f", {dropped} truncated"
+    summary += f" (workers: {args.workers})"
+    print(summary)
+    if outcome.best is not None:
+        # Tie-break among equal-area winners: lexicographically smallest
+        # sorted(periods.items()) — deterministic across worker counts.
+        print(f"best: {outcome.best.periods} (area {outcome.best.area:g})")
+    if args.profile:
         print()
         print(
             render_profile(
-                tracer.summary(),
-                title=f"profile: {args.file} ({len(candidates)} sweep runs)",
+                outcome.telemetry,
+                title=f"profile: {args.file} "
+                f"({outcome.evaluated} sweep runs)",
             )
         )
     _finish_trace(args, tracer)
+    if candidates and outcome.best is None:
+        print("error: no candidate produced a schedule", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -42,6 +42,9 @@ class SearchOutcome:
     result: SystemSchedule
     evaluations: int
     trace: List[Tuple[Dict[str, int], float]]
+    #: Neighbors skipped because their admissible area lower bound
+    #: already met the incumbent area (``prune_with_bounds=True``).
+    pruned: int = 0
 
     @property
     def area(self) -> float:
@@ -70,11 +73,18 @@ def optimize_periods(
     *,
     budget: int = 25,
     weights: Optional[Mapping[str, float]] = None,
+    prune_with_bounds: bool = False,
 ) -> SearchOutcome:
     """Local search for a good period assignment.
 
     Args:
         budget: Maximum number of scheduling evaluations.
+        prune_with_bounds: Skip neighbors whose admissible area lower
+            bound (:func:`repro.analysis.bounds.area_lower_bound`)
+            already meets the incumbent area.  Saves evaluations
+            without ever discarding an area improvement; off by
+            default because the tie-break on equal-area neighbors
+            (finer start grids) can no longer inspect skipped ones.
 
     Returns:
         The best assignment found, its schedule, and the search trace.
@@ -86,6 +96,7 @@ def optimize_periods(
     scheduler = ModuloSystemScheduler(library, weights=weights)
     cache: Dict[Tuple[int, ...], SystemSchedule] = {}
     trace: List[Tuple[Dict[str, int], float]] = []
+    pruned = 0
 
     def evaluate(periods: Dict[str, int]) -> Optional[SystemSchedule]:
         key = tuple(periods[name] for name in global_types)
@@ -123,6 +134,20 @@ def optimize_periods(
                 neighbor[name] = options[neighbor_index]
                 if not _passes_filters(system, assignment, neighbor):
                     continue
+                if prune_with_bounds and tuple(
+                    neighbor[n] for n in global_types
+                ) not in cache:
+                    from ..analysis.bounds import area_lower_bound
+
+                    bound = area_lower_bound(
+                        system,
+                        library,
+                        assignment,
+                        PeriodAssignment(dict(neighbor)),
+                    )
+                    if bound >= best_result.total_area():
+                        pruned += 1
+                        continue
                 result = evaluate(neighbor)
                 if result is None:
                     break  # budget exhausted
@@ -138,6 +163,7 @@ def optimize_periods(
         result=best_result,
         evaluations=len(cache),
         trace=trace,
+        pruned=pruned,
     )
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import PeriodError
 from ..ir.process import SystemSpec
@@ -189,6 +189,47 @@ def enumerate_period_assignments(
         if _passes_filters(system, assignment, periods, harmonic, max_grid):
             results.append(periods)
     return results
+
+
+def enumerate_period_assignments_capped(
+    system: SystemSpec,
+    assignment: ResourceAssignment,
+    *,
+    harmonic: bool = True,
+    max_grid: Optional[int] = None,
+    limit: int = 10000,
+) -> Tuple[List[PeriodAssignment], int]:
+    """Enumerate candidates, truncating instead of raising at ``limit``.
+
+    Like :func:`enumerate_period_assignments`, but when the space is
+    larger than ``limit`` *surviving* candidates the enumeration stops
+    there and reports how much was left unexplored, so callers can
+    surface the truncation instead of silently (or fatally) capping.
+
+    Returns:
+        ``(assignments, dropped)`` where ``dropped`` counts the raw
+        period combinations never examined (0 when the enumeration
+        completed).  Deterministic prefix of the full enumeration order.
+    """
+    global_types = assignment.global_types
+    if not global_types:
+        return [PeriodAssignment({})], 0
+    candidate_lists = [
+        candidate_periods(system, assignment, name) for name in global_types
+    ]
+    total = 1
+    for candidates in candidate_lists:
+        total *= len(candidates)
+    results: List[PeriodAssignment] = []
+    examined = 0
+    for combo in itertools.product(*candidate_lists):
+        if len(results) >= limit:
+            break
+        examined += 1
+        periods = PeriodAssignment(dict(zip(global_types, combo)))
+        if _passes_filters(system, assignment, periods, harmonic, max_grid):
+            results.append(periods)
+    return results, total - examined
 
 
 def _passes_filters(

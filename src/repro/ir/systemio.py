@@ -78,7 +78,7 @@ def loads(text: str) -> SystemDocument:
     doc = SystemDocument()
     named = False
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
+        line = _strip_comment(raw).strip()
         if not line:
             continue
         fields = line.split()
@@ -93,6 +93,21 @@ def loads(text: str) -> SystemDocument:
         if directive == "system":
             named = True
     return doc
+
+
+def _strip_comment(raw: str) -> str:
+    """Drop a ``#`` comment: at line start or preceded by whitespace.
+
+    A ``#`` embedded in a token is data, not a comment — the behavioral
+    front end names generated operations ``target#N``, and those ids
+    must survive a dump/load round trip.
+    """
+    if raw.startswith("#"):
+        return ""
+    for index, char in enumerate(raw):
+        if char == "#" and raw[index - 1].isspace():
+            return raw[:index]
+    return raw
 
 
 def _parse_stmt(doc: SystemDocument, line: str) -> None:
@@ -304,3 +319,27 @@ def load(path) -> SystemDocument:
     """Parse a ``.sys`` file from disk."""
     with open(path, "r", encoding="utf-8") as handle:
         return loads(handle.read())
+
+
+def dump(
+    path,
+    system: SystemSpec,
+    *,
+    resources: Optional[Dict[str, Dict[str, object]]] = None,
+    global_groups: Optional[Dict[str, List[str]]] = None,
+    periods: Optional[Dict[str, int]] = None,
+) -> None:
+    """Write a system (and optional scheduling data) as a ``.sys`` file.
+
+    The inverse of :func:`load` up to formatting: ``load(path)`` after
+    ``dump(path, ...)`` reproduces the same system, resource options,
+    scope groups, and periods (see :func:`dumps` for the text form).
+    """
+    text = dumps(
+        system,
+        resources=resources,
+        global_groups=global_groups,
+        periods=periods,
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -11,7 +11,10 @@ did without changing what it does:
 * :func:`get_logger` / :func:`configure_logging` — ``repro.*`` stdlib
   loggers, wired to the CLI's ``-v``/``-q`` (:mod:`repro.obs.logconfig`);
 * :func:`render_profile` — the phase-time/counter table printed by
-  ``repro … --profile`` (:mod:`repro.obs.profile`).
+  ``repro … --profile`` (:mod:`repro.obs.profile`);
+* :func:`merge_telemetry` — key-wise aggregation of telemetry
+  summaries from independent (possibly concurrent) runs
+  (:mod:`repro.obs.merge`).
 
 Everything defaults to off: code instrumented with :data:`NULL_TRACER`
 and an inactive counter registry behaves — and costs — the same as
@@ -35,6 +38,7 @@ from .counters import (
     count,
 )
 from .logconfig import configure_logging, get_logger, verbosity_level
+from .merge import merge_telemetry
 from .profile import render_counter_table, render_phase_table, render_profile
 from .tracer import (
     NULL_TRACER,
@@ -68,6 +72,7 @@ __all__ = [
     "configure_logging",
     "count",
     "get_logger",
+    "merge_telemetry",
     "render_counter_table",
     "render_phase_table",
     "render_profile",

@@ -1,0 +1,54 @@
+"""Merging of telemetry summaries from independent runs.
+
+A telemetry summary is the dict shape produced by
+:attr:`repro.core.result.SystemSchedule.telemetry` and
+:meth:`repro.obs.tracer.Tracer.summary`: ``counters`` (name -> int),
+``phase_times`` (phase -> seconds), plus the scalar volumes
+``wall_time``, ``iterations``, ``events``, and ``spans``.
+
+:func:`merge_telemetry` folds any number of such summaries into one
+aggregate with the same shape, so a merged summary renders through
+:func:`repro.obs.profile.render_profile` exactly like a single-run one.
+The parallel exploration engine (:mod:`repro.parallel`) uses this to
+combine per-worker telemetry into the sweep-level profile:
+
+* ``counters`` and ``phase_times`` are summed key-wise;
+* ``wall_time`` is summed — for concurrent runs the result is
+  *cumulative compute seconds*, not elapsed time (callers that also
+  track elapsed time should store it under a separate key);
+* ``iterations``, ``events``, and ``spans`` are summed;
+* ``runs`` counts the summaries merged.
+
+Missing keys contribute nothing, so partially filled summaries (e.g.
+from a run that failed before finalization) merge cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping
+
+
+def merge_telemetry(parts: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Fold telemetry summaries into one aggregate of the same shape."""
+    counters: Dict[str, int] = {}
+    phase_times: Dict[str, float] = {}
+    merged: Dict[str, Any] = {
+        "counters": counters,
+        "phase_times": phase_times,
+        "wall_time": 0.0,
+        "iterations": 0,
+        "events": 0,
+        "spans": 0,
+        "runs": 0,
+    }
+    for part in parts:
+        merged["runs"] += 1
+        for name, value in (part.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in (part.get("phase_times") or {}).items():
+            phase_times[name] = phase_times.get(name, 0.0) + float(value)
+        merged["wall_time"] += float(part.get("wall_time") or 0.0)
+        merged["iterations"] += int(part.get("iterations") or 0)
+        merged["events"] += int(part.get("events") or 0)
+        merged["spans"] += int(part.get("spans") or 0)
+    return merged

@@ -1,0 +1,45 @@
+"""Parallel design-space exploration (docs/parallel.md).
+
+The ``repro.parallel`` subsystem evaluates many scheduling candidates
+for one problem at once:
+
+* :class:`ExplorationEngine` — fans candidates over a process pool
+  (``workers=1`` keeps the exact in-process serial path), prunes
+  candidates with admissible area lower bounds, retries crashed or
+  timed-out jobs once, and merges per-worker telemetry into one
+  ``repro profile``-compatible summary (:mod:`repro.parallel.engine`);
+* :class:`SweepJob` / :class:`JobResult` — the picklable job protocol;
+  problems travel as ``.sys`` text, results as plain data
+  (:mod:`repro.parallel.jobs`).
+
+``repro sweep --workers N`` and ``repro compare --workers N`` are the
+CLI front ends.
+"""
+
+from .engine import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_PRUNED,
+    CandidateResult,
+    CompareOutcome,
+    ExplorationEngine,
+    ExplorationError,
+    SweepOutcome,
+)
+from .jobs import JobResult, JobTimeout, SweepJob, run_job, run_jobs
+
+__all__ = [
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_PRUNED",
+    "CandidateResult",
+    "CompareOutcome",
+    "ExplorationEngine",
+    "ExplorationError",
+    "JobResult",
+    "JobTimeout",
+    "SweepJob",
+    "SweepOutcome",
+    "run_job",
+    "run_jobs",
+]

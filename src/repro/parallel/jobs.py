@@ -1,0 +1,203 @@
+"""Picklable job specifications and the worker entry point.
+
+A :class:`SweepJob` is pure data: the scheduling problem round-tripped
+through the ``.sys`` text format (:mod:`repro.ir.systemio`), the period
+candidate to evaluate, and the execution policy (timeout, attempt
+number, optional fault injection).  Workers reconstruct the live
+:class:`repro.api.Problem` from the text — parsed once per worker and
+memoized — so nothing crosses the process boundary except strings,
+numbers, and plain containers.
+
+:func:`run_jobs` is the function a :class:`concurrent.futures.
+ProcessPoolExecutor` executes: it runs a chunk of jobs back to back and
+returns one :class:`JobResult` per job.  Failures never propagate as
+exceptions — a job that raises (or exceeds its timeout) yields a result
+record with ``ok=False`` and the error text, so one bad candidate cannot
+abort a sweep.  Per-job timeouts are enforced with ``SIGALRM`` where the
+platform provides it (Unix main threads); elsewhere the timeout is
+recorded but not enforced.
+
+The ``fault`` field deliberately injects failures (``"raise[:msg]"``
+raises, ``"sleep:SECONDS"`` stalls before scheduling) so the engine's
+retry and failure paths stay testable without contriving a workload
+that crashes the scheduler.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.periods import PeriodAssignment
+from ..core.scheduler import ModuloSystemScheduler
+from ..obs import Tracer
+from ..resources.assignment import ResourceAssignment
+from ..scheduling.forces import area_weights
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its time budget."""
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One schedulable unit of a design-space exploration, as plain data.
+
+    Attributes:
+        job_id: Caller-chosen identity, echoed on the result record.
+        problem_text: The problem in ``.sys`` form
+            (:func:`repro.api.dumps_problem`).
+        periods: Candidate period assignment as ``(type, period)`` pairs
+            in the candidate's own order; ignored for local jobs.
+        local: Schedule the traditional all-local baseline instead of
+            the global assignment (used by ``repro compare``).
+        timeout: Per-job wall-clock budget in seconds (None = unlimited).
+        fault: Optional fault injection — ``"raise[:msg]"`` or
+            ``"sleep:SECONDS"`` — for exercising failure handling.
+        attempt: 1 for the first try, incremented by the engine's retry.
+    """
+
+    job_id: int
+    problem_text: str
+    periods: Tuple[Tuple[str, int], ...] = ()
+    local: bool = False
+    timeout: Optional[float] = None
+    fault: Optional[str] = None
+    attempt: int = 1
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, shipped back from the worker as plain data."""
+
+    job_id: int
+    ok: bool
+    area: Optional[float] = None
+    iterations: int = 0
+    wall_time: float = 0.0
+    instance_counts: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+    #: Telemetry summary of the run (the ``SystemSchedule.telemetry``
+    #: shape), mergeable via :func:`repro.obs.merge_telemetry`.
+    telemetry: Dict[str, object] = field(default_factory=dict)
+    worker_pid: int = 0
+    attempt: int = 1
+
+
+#: Per-worker memo of the last parsed problem text.  Sweeps ship the
+#: same problem to every job, so one slot removes all repeated parsing
+#: without growing with the number of distinct problems seen.
+_problem_cache: List[Tuple[str, object]] = []
+
+
+def _problem_for(text: str):
+    from ..api import loads_problem
+
+    if _problem_cache and _problem_cache[0][0] == text:
+        return _problem_cache[0][1]
+    problem = loads_problem(text)
+    _problem_cache[:] = [(text, problem)]
+    return problem
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`JobTimeout` after ``seconds`` of wall time.
+
+    Uses ``SIGALRM``; silently unenforced when the platform has no
+    alarm signal or when not running in the main thread (signal
+    handlers can only be installed there).
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job timed out after {seconds:g} s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def inject_fault(fault: Optional[str]) -> None:
+    """Apply a fault-injection directive (no-op for ``None``)."""
+    if fault is None:
+        return
+    kind, _, arg = fault.partition(":")
+    if kind == "raise":
+        raise RuntimeError(arg or "injected fault")
+    if kind == "sleep":
+        time.sleep(float(arg or 1.0))
+        return
+    raise ValueError(f"unknown fault directive {fault!r}")
+
+
+def run_job(job: SweepJob) -> JobResult:
+    """Execute one job; always returns a record, never raises."""
+    started = time.perf_counter()
+    try:
+        with _deadline(job.timeout):
+            inject_fault(job.fault)
+            problem = _problem_for(job.problem_text)
+            tracer = Tracer()
+            scheduler = ModuloSystemScheduler(
+                problem.library,
+                weights=area_weights(problem.library),
+                tracer=tracer,
+            )
+            if job.local:
+                result = scheduler.schedule(
+                    problem.system,
+                    ResourceAssignment.all_local(problem.library),
+                )
+            else:
+                result = scheduler.schedule(
+                    problem.system,
+                    problem.assignment,
+                    PeriodAssignment(dict(job.periods)),
+                )
+        return JobResult(
+            job_id=job.job_id,
+            ok=True,
+            area=result.total_area(),
+            iterations=result.iterations,
+            wall_time=time.perf_counter() - started,
+            instance_counts=result.instance_counts(),
+            telemetry=dict(result.telemetry),
+            worker_pid=os.getpid(),
+            attempt=job.attempt,
+        )
+    except JobTimeout as exc:
+        return _failure(job, str(exc), started)
+    except Exception as exc:  # noqa: BLE001 - isolate any candidate failure
+        return _failure(job, f"{type(exc).__name__}: {exc}", started)
+
+
+def _failure(job: SweepJob, error: str, started: float) -> JobResult:
+    return JobResult(
+        job_id=job.job_id,
+        ok=False,
+        error=error,
+        wall_time=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+        attempt=job.attempt,
+    )
+
+
+def run_jobs(jobs: List[SweepJob]) -> List[JobResult]:
+    """Worker entry point: run a chunk of jobs, one record each."""
+    return [run_job(job) for job in jobs]

@@ -69,6 +69,16 @@ class TestOptimizePeriods:
         assert o1.periods.as_dict == o2.periods.as_dict
         assert o1.area == o2.area
 
+    def test_prune_with_bounds_same_best_area(self):
+        system, library, assignment = build_problem()
+        plain = optimize_periods(system, library, assignment, budget=50)
+        pruned = optimize_periods(
+            system, library, assignment, budget=50, prune_with_bounds=True
+        )
+        assert pruned.area == plain.area
+        assert plain.pruned == 0
+        assert pruned.evaluations <= plain.evaluations
+
     def test_no_global_types(self):
         library = default_library()
         system = SystemSpec(name="s")

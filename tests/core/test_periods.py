@@ -8,6 +8,7 @@ from repro.core.periods import (
     candidate_periods,
     divisors,
     enumerate_period_assignments,
+    enumerate_period_assignments_capped,
     is_harmonic,
     lcm_all,
     suggest_periods,
@@ -139,6 +140,39 @@ class TestEnumeration:
         for periods in assignments:
             for process in system.processes:
                 assert periods.process_grid(assignment, process.name) <= 5
+
+
+class TestCappedEnumeration:
+    def test_complete_when_under_limit(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        full = enumerate_period_assignments(system, assignment)
+        capped, dropped = enumerate_period_assignments_capped(
+            system, assignment
+        )
+        assert dropped == 0
+        assert [p.as_dict for p in capped] == [p.as_dict for p in full]
+
+    def test_truncates_with_dropped_count(self):
+        system, library = paper_system()
+        assignment = paper_assignment(library)
+        full = enumerate_period_assignments(system, assignment)
+        capped, dropped = enumerate_period_assignments_capped(
+            system, assignment, limit=3
+        )
+        assert len(capped) == 3
+        assert dropped > 0
+        # Deterministic prefix of the full enumeration order.
+        assert [p.as_dict for p in capped] == [p.as_dict for p in full[:3]]
+
+    def test_no_global_types(self):
+        system, library = paper_system()
+        assignment = ResourceAssignment(library)
+        capped, dropped = enumerate_period_assignments_capped(
+            system, assignment
+        )
+        assert dropped == 0
+        assert len(capped) == 1 and capped[0].as_dict == {}
 
 
 class TestSuggestion:

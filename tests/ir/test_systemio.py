@@ -110,3 +110,63 @@ class TestRoundTrip:
         path.write_text(VALID, encoding="utf-8")
         doc = systemio.load(path)
         assert doc.name == "demo"
+
+    def test_dump_writes_loadable_file(self, tmp_path):
+        doc = systemio.loads(VALID)
+        system = doc.build_system()
+        path = tmp_path / "out.sys"
+        systemio.dump(
+            path,
+            system,
+            resources=doc.resources,
+            global_groups=doc.globals,
+            periods=doc.periods,
+        )
+        doc2 = systemio.load(path)
+        assert doc2.name == doc.name
+        assert doc2.periods == doc.periods
+
+    def test_hash_in_op_id_survives_round_trip(self):
+        # The behavioral front end names generated ops 'target#N'; a '#'
+        # inside a token is data, only whitespace-preceded '#' comments.
+        text = (
+            "system hashy\n"
+            "process p  # trailing comment still works\n"
+            "block p b deadline=4\n"
+            "op p b t#1 add\n"
+            "op p b t#2 add\n"
+            "edge p b t#1 t#2\n"
+        )
+        doc = systemio.loads(text)
+        system = doc.build_system()
+        graph = system.process("p").block("b").graph
+        assert set(graph.op_ids) == {"t#1", "t#2"}
+        text2 = systemio.dumps(system)
+        system2 = systemio.loads(text2).build_system()
+        assert set(system2.process("p").block("b").graph.op_ids) == {
+            "t#1",
+            "t#2",
+        }
+
+    def test_behavioral_problem_round_trips(self):
+        # stmt-compiled ops (ids with '#') must survive dumps_problem.
+        from repro.api import dumps_problem, loads_problem
+
+        text = (
+            "system behav\n"
+            "process p\n"
+            "block p b deadline=8\n"
+            "stmt p b y = a * b + c\n"
+            "process q\n"
+            "block q b deadline=8\n"
+            "stmt q b z = d * e\n"
+            "global multiplier p q\n"
+            "period multiplier 4\n"
+        )
+        problem = loads_problem(text)
+        clone = loads_problem(dumps_problem(problem))
+        assert clone.periods.as_dict == problem.periods.as_dict
+        result = problem.schedule()
+        clone_result = clone.schedule()
+        assert clone_result.total_area() == result.total_area()
+        assert clone_result.iterations == result.iterations

@@ -1,0 +1,59 @@
+"""Tests for repro.obs.merge (telemetry aggregation)."""
+
+from repro.obs import merge_telemetry
+from repro.obs.profile import render_profile
+
+
+class TestMergeTelemetry:
+    def test_empty(self):
+        merged = merge_telemetry([])
+        assert merged["runs"] == 0
+        assert merged["counters"] == {}
+        assert merged["wall_time"] == 0.0
+
+    def test_sums_counters_and_phases(self):
+        a = {
+            "counters": {"force_evaluations": 10, "frame_reductions": 2},
+            "phase_times": {"setup": 0.5, "reduction_loop": 1.0},
+            "wall_time": 1.5,
+            "iterations": 3,
+            "events": 7,
+        }
+        b = {
+            "counters": {"force_evaluations": 5},
+            "phase_times": {"reduction_loop": 2.0},
+            "wall_time": 2.0,
+            "iterations": 4,
+            "spans": 2,
+        }
+        merged = merge_telemetry([a, b])
+        assert merged["runs"] == 2
+        assert merged["counters"] == {
+            "force_evaluations": 15,
+            "frame_reductions": 2,
+        }
+        assert merged["phase_times"] == {"setup": 0.5, "reduction_loop": 3.0}
+        assert merged["wall_time"] == 3.5
+        assert merged["iterations"] == 7
+        assert merged["events"] == 7
+        assert merged["spans"] == 2
+
+    def test_partial_summaries_merge_cleanly(self):
+        merged = merge_telemetry([{}, {"counters": None}, {"wall_time": 1.0}])
+        assert merged["runs"] == 3
+        assert merged["wall_time"] == 1.0
+
+    def test_merged_summary_renders_as_profile(self):
+        merged = merge_telemetry(
+            [
+                {
+                    "counters": {"force_evaluations": 4},
+                    "phase_times": {"reduction_loop": 1.0},
+                    "wall_time": 1.0,
+                    "iterations": 2,
+                }
+            ]
+        )
+        report = render_profile(merged, title="merged")
+        assert "phase timings" in report
+        assert "force_evaluations" in report

@@ -1,0 +1,40 @@
+"""Shared fixtures for the parallel-exploration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import loads_problem
+from repro.core.periods import enumerate_period_assignments
+
+SMALL_TEXT = """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+op p2 main a1 add
+global multiplier p1 p2
+global adder p1 p2
+period multiplier 4
+period adder 4
+"""
+
+
+@pytest.fixture
+def small_problem():
+    """Two tiny processes sharing a multiplier and an adder pool."""
+    return loads_problem(SMALL_TEXT)
+
+
+@pytest.fixture
+def small_candidates(small_problem):
+    candidates = enumerate_period_assignments(
+        small_problem.system, small_problem.assignment
+    )
+    assert len(candidates) >= 4  # enough to exercise ordering and pruning
+    return candidates

@@ -71,6 +71,78 @@ class TestOtherCommands:
         assert "critical path" in out
 
 
+class TestSweepEngine:
+    """The engine-backed sweep: summary, -v gating, flags, truncation."""
+
+    def test_default_output_is_compact(self, sys_file, capsys):
+        assert main(["sweep", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "sweep:" in out and "evaluated" in out and "pruned" in out
+        assert "-> area" not in out  # per-candidate lines need -v
+
+    def test_verbose_prints_candidates(self, sys_file, capsys):
+        assert main(["sweep", sys_file, "-v", "--no-prune"]) == 0
+        out = capsys.readouterr().out
+        assert "-> area" in out
+        assert "best:" in out
+
+    def test_no_prune_evaluates_everything(self, sys_file, capsys):
+        assert main(["sweep", sys_file, "--no-prune"]) == 0
+        out = capsys.readouterr().out
+        assert " 0 pruned" in out
+
+    def test_prune_and_no_prune_agree_on_best(self, sys_file, capsys):
+        assert main(["sweep", sys_file]) == 0
+        pruned_out = capsys.readouterr().out
+        assert main(["sweep", sys_file, "--no-prune"]) == 0
+        exhaustive_out = capsys.readouterr().out
+        best = [l for l in pruned_out.splitlines() if l.startswith("best:")]
+        best_ex = [
+            l for l in exhaustive_out.splitlines() if l.startswith("best:")
+        ]
+        assert best and best == best_ex
+
+    def test_workers_flag_same_best(self, sys_file, capsys):
+        assert main(["sweep", sys_file, "--no-prune"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["sweep", sys_file, "--no-prune", "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        best = [l for l in serial_out.splitlines() if l.startswith("best:")]
+        best_par = [
+            l for l in parallel_out.splitlines() if l.startswith("best:")
+        ]
+        assert best and best == best_par
+
+    def test_limit_truncation_warns(self, sys_file, capsys):
+        assert main(["sweep", sys_file, "--limit", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "2 period assignments survive" in captured.out
+        assert "truncated" in captured.err
+        assert "truncated" in captured.out  # summary carries the count
+
+    def test_no_truncation_no_warning(self, sys_file, capsys):
+        assert main(["sweep", sys_file]) == 0
+        assert "truncated" not in capsys.readouterr().out
+
+    def test_sweep_profile_uses_merged_telemetry(self, sys_file, capsys):
+        assert main(["sweep", sys_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" in out
+        assert "counters" in out
+
+    def test_compare_workers(self, sys_file, capsys):
+        assert main(["compare", sys_file]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["compare", sys_file, "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Identical report shape; wall times legitimately differ.
+        strip = lambda text: [
+            line.split("(")[0]
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        assert strip(parallel_out) == strip(serial_out)
+
 class TestObservability:
     def test_schedule_profile_prints_tables(self, sys_file, capsys):
         assert main(["schedule", sys_file, "--profile"]) == 0
