@@ -1,0 +1,168 @@
+"""Mutation-fuzz campaign runner with per-input watchdog (docs/robustness.md).
+
+Mutates the valid ``.sys`` corpus (``examples/`` plus a built-in seed)
+and drives every input through parse → build → schedule → verify,
+asserting the robustness invariant: each input is either rejected with a
+:class:`ReproError` subclass or schedules-and-verifies — never a bare
+exception, never a hang.  Each input runs under a ``SIGALRM`` watchdog
+*above* the scheduler's own :class:`RunBudget`, so even a hang outside
+the budgeted loops is caught and reported.
+
+Crashing or hanging inputs are written to ``--crash-dir`` for triage and
+the campaign exits non-zero.  CI runs this as a bounded smoke step::
+
+    PYTHONPATH=src python benchmarks/fuzz_runner.py --count 500 \
+        --seed 1 --time-budget 60 --crash-dir fuzz-crashes \
+        --out BENCH_fuzz.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.parallel.jobs import JobTimeout, _deadline
+from repro.validation.budget import RunBudget
+from repro.validation.fuzz import (
+    OUTCOME_CRASHED,
+    FuzzOutcome,
+    exercise_text,
+    mutate_text,
+)
+
+HERE = pathlib.Path(__file__).resolve().parent
+EXAMPLES = HERE.parent / "examples"
+
+OUTCOME_HUNG = "hung"
+
+SEED_TEXT = """\
+system fuzz-seed
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+op p2 main a1 add
+edge p2 main m1 a1
+global multiplier p1 p2
+period multiplier 4
+"""
+
+
+def load_corpus() -> list:
+    corpus = [SEED_TEXT]
+    for path in sorted(EXAMPLES.glob("*.sys")):
+        corpus.append(path.read_text(encoding="utf-8"))
+    return corpus
+
+
+def run_campaign(args) -> dict:
+    rng = random.Random(args.seed)
+    corpus = load_corpus()
+    budget = RunBudget(
+        max_iterations=args.max_iterations, wall_deadline=args.input_timeout / 2
+    )
+    stats = {"scheduled": 0, "rejected": 0, OUTCOME_CRASHED: 0, OUTCOME_HUNG: 0}
+    failures = []
+    started = time.time()
+    executed = 0
+    for index in range(args.count):
+        if args.time_budget and time.time() - started > args.time_budget:
+            print(
+                f"time budget of {args.time_budget:g}s reached after "
+                f"{executed} inputs"
+            )
+            break
+        mutated = mutate_text(rng.choice(corpus), rng)
+        try:
+            with _deadline(args.input_timeout):
+                outcome = exercise_text(mutated, budget=budget)
+        except JobTimeout:
+            outcome = FuzzOutcome(
+                OUTCOME_HUNG, f"no result within {args.input_timeout:g}s"
+            )
+        executed += 1
+        stats[outcome.outcome] += 1
+        if outcome.outcome in (OUTCOME_CRASHED, OUTCOME_HUNG):
+            failures.append((index, outcome, mutated))
+            print(f"[{index}] {outcome.outcome}: {outcome.detail}")
+
+    if failures and args.crash_dir:
+        crash_dir = pathlib.Path(args.crash_dir)
+        crash_dir.mkdir(parents=True, exist_ok=True)
+        for index, outcome, mutated in failures:
+            stem = f"crash-{args.seed}-{index:05d}"
+            (crash_dir / f"{stem}.sys").write_text(mutated, encoding="utf-8")
+            (crash_dir / f"{stem}.txt").write_text(
+                f"{outcome.outcome}: {outcome.detail}\n", encoding="utf-8"
+            )
+        print(f"wrote {len(failures)} crashing input(s) to {crash_dir}/")
+
+    return {
+        "seed": args.seed,
+        "requested": args.count,
+        "executed": executed,
+        "corpus_files": len(corpus),
+        "wall_time": round(time.time() - started, 3),
+        "outcomes": stats,
+        "failures": len(failures),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=500, help="inputs to run")
+    parser.add_argument("--seed", type=int, default=1, help="campaign RNG seed")
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0 = run all inputs)",
+    )
+    parser.add_argument(
+        "--input-timeout",
+        type=float,
+        default=10.0,
+        help="SIGALRM watchdog per input, seconds",
+    )
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=5000,
+        help="scheduler RunBudget iteration cap per input",
+    )
+    parser.add_argument(
+        "--crash-dir",
+        default="fuzz-crashes",
+        help="directory for crashing inputs ('' disables)",
+    )
+    parser.add_argument("--out", default="", help="write a JSON summary here")
+    args = parser.parse_args(argv)
+
+    summary = run_campaign(args)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if summary["failures"]:
+        print(f"FUZZ FAILURE: {summary['failures']} invariant violation(s)")
+        return 1
+    print(
+        f"fuzz ok: {summary['executed']} inputs, "
+        f"{summary['outcomes']['rejected']} rejected, "
+        f"{summary['outcomes']['scheduled']} scheduled, 0 crashes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

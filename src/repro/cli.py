@@ -10,18 +10,26 @@ Usage (after ``pip install -e .``)::
     python -m repro compare system.sys             # both + area comparison
     python -m repro simulate system.sys --cycles 5000 --seed 3
     python -m repro sweep system.sys               # period enumeration (S2)
+    python -m repro sweep system.sys --resume ck.jsonl  # crash-safe sweep
+    python -m repro check system.sys               # preflight diagnostics
     python -m repro info system.sys                # problem statistics
 
 ``-v``/``-vv`` raise the ``repro.*`` log level (INFO/DEBUG on stderr);
 ``-q`` silences everything below ERROR.  User-facing results always go
 to stdout.  The ``.sys`` input format is documented in
 :mod:`repro.ir.systemio`.
+
+Exit codes (docs/robustness.md): 0 success, 1 "ran but found nothing
+usable" (no candidate schedules, verification/simulation violations,
+diagnostic warnings), 2 errors.  Errors print one ``error [CODE]:``
+line on stderr; the full traceback appears only under ``-v``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import List, Optional
 
 from .analysis.compare import compare_scopes, render_comparison
@@ -40,6 +48,7 @@ from .parallel import (
 )
 from .scheduling.forces import area_weights
 from .sim.simulator import SystemSimulator
+from .validation import RunBudget, validate_path
 
 _log = get_logger(__name__)
 
@@ -95,6 +104,27 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument(
         "--no-verify", action="store_true", help="skip static verification"
     )
+    schedule.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the preflight diagnostics pass",
+    )
+    schedule.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scheduler iteration budget; exhausting it degrades to the "
+        "list-scheduling fallback instead of running on",
+    )
+    schedule.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="scheduler wall-clock budget; exceeding it degrades to the "
+        "list-scheduling fallback",
+    )
 
     compare = sub.add_parser(
         "compare",
@@ -110,6 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--cycles", type=int, default=5000)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--trigger", type=float, default=0.25)
+    simulate.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run N simulations with seeds seed..seed+N-1 and report "
+        "the first failing seed (default %(default)s)",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -145,6 +183,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-candidate wall-clock budget; a candidate exceeding it "
         "is retried once, then reported as failed",
     )
+    sweep.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="JSONL checkpoint journal; finished candidates found in it "
+        "are restored instead of re-evaluated, new results are appended "
+        "durably so a killed sweep can resume exactly-once",
+    )
+    sweep.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the preflight diagnostics pass",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="preflight diagnostics without scheduling",
+        parents=[verbosity],
+    )
+    check.add_argument("file", help="path to a .sys problem file")
 
     profile = sub.add_parser(
         "profile",
@@ -203,14 +261,63 @@ def _finish_trace(args: argparse.Namespace, tracer: Optional[Tracer]) -> None:
         print(f"wrote {args.trace}: {written} trace records")
 
 
+def _preflight(args: argparse.Namespace) -> bool:
+    """Run the diagnostics pass before scheduling (``--no-check`` skips).
+
+    Errors are rendered on stderr and veto the run; warnings are
+    rendered on stderr but let it proceed.
+    """
+    if getattr(args, "no_check", False):
+        return True
+    report = validate_path(args.file)
+    if report.errors or report.warnings:
+        print(report.render(), file=sys.stderr)
+    if report.errors:
+        print(
+            f"error [CHECK]: {args.file}: preflight found "
+            f"{len(report.errors)} error(s); fix them or rerun with "
+            "--no-check",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _run_budget(args: argparse.Namespace) -> Optional[RunBudget]:
+    """A RunBudget from ``--max-iterations``/``--time-budget``, or None."""
+    max_iterations = getattr(args, "max_iterations", None)
+    time_budget = getattr(args, "time_budget", None)
+    if max_iterations is None and time_budget is None:
+        return None
+    return RunBudget(max_iterations=max_iterations, wall_deadline=time_budget)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    report = validate_path(args.file)
+    print(report.render())
+    return report.exit_code
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
+    if not _preflight(args):
+        return 2
     problem = load_problem(args.file)
     tracer = _tracer_for(args)
+    budget = _run_budget(args)
+    kwargs = {} if budget is None else {"budget": budget}
     if args.local:
-        result = problem.schedule_local_baseline(tracer=tracer)
+        result = problem.schedule_local_baseline(tracer=tracer, **kwargs)
     else:
-        result = problem.schedule(tracer=tracer)
+        result = problem.schedule(tracer=tracer, **kwargs)
     print(result.summary())
+    if result.degraded:
+        info = result.telemetry.get("degraded", {})
+        print(
+            f"warning: budget exhausted ({info.get('reason', 'unknown')}); "
+            f"result is a {info.get('fallback', 'fallback')} schedule, "
+            "not force-directed",
+            file=sys.stderr,
+        )
     if args.table:
         print()
         print(table1(result))
@@ -221,7 +328,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         report = verify_system_schedule(result)
         if not report.ok:
             print(report, file=sys.stderr)
-            return 1
+            return 2
         binding = bind_instances(result)
         print(
             f"verified: {len(report.checks)} checks ok, "
@@ -284,12 +391,37 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     simulator = SystemSimulator(
         result, seed=args.seed, trigger_probability=args.trigger
     )
-    stats = simulator.run(args.cycles)
-    print(stats.summary())
-    return 0 if stats.ok else 1
+    if args.trials <= 1:
+        stats = simulator.run(args.cycles)
+        print(stats.summary())
+        return 0 if stats.ok else 1
+    failed = []
+    for seed in range(args.seed, args.seed + args.trials):
+        stats = simulator.run(args.cycles, seed=seed)
+        if not stats.ok:
+            failed.append(seed)
+            print(
+                f"seed {seed}: {len(stats.trace.violations)} violation(s)",
+                file=sys.stderr,
+            )
+    print(
+        f"simulated {args.trials} trials x {args.cycles} cycles "
+        f"(seeds {args.seed}..{args.seed + args.trials - 1}): "
+        f"{len(failed)} failing"
+    )
+    if failed:
+        print(
+            f"failing seeds: {', '.join(str(s) for s in failed)} "
+            f"(reproduce with --seed N --trials 1)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if not _preflight(args):
+        return 2
     problem = load_problem(args.file)
     tracer = _tracer_for(args)
     candidates, dropped = enumerate_period_assignments_capped(
@@ -325,11 +457,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         timeout=args.job_timeout,
         tracer=tracer,
+        checkpoint=args.resume,
     )
     outcome = engine.sweep(
         candidates, on_result=show if args.verbose else None
     )
     outcome.telemetry["candidates_truncated"] = dropped
+    restored = outcome.telemetry.get("candidates_restored", 0)
+    if restored:
+        print(
+            f"resumed from {args.resume}: {restored} candidate(s) "
+            "restored from the journal"
+        )
     summary = (
         f"sweep: {outcome.evaluated} evaluated, {outcome.pruned} pruned, "
         f"{outcome.failed} failed"
@@ -449,6 +588,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
+    "check": cmd_check,
     "profile": cmd_profile,
     "info": cmd_info,
     "rtl": cmd_rtl,
@@ -460,16 +600,19 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    configure_logging(
-        getattr(args, "verbose", 0), getattr(args, "quiet", False)
-    )
+    verbose = getattr(args, "verbose", 0)
+    configure_logging(verbose, getattr(args, "quiet", False))
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        if verbose:
+            traceback.print_exc()
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        if verbose:
+            traceback.print_exc()
+        print(f"error [OS]: {exc}", file=sys.stderr)
         return 2
 
 

@@ -51,6 +51,10 @@ class SystemSchedule:
     iterations: int = 0
     wall_time: float = 0.0
     start_offsets: Dict[str, int] = field(default_factory=dict)
+    #: True when a :class:`~repro.validation.budget.RunBudget` exhausted
+    #: mid-run and the blocks were rescheduled by the list-scheduling
+    #: fallback; the reason lives in ``telemetry["degraded"]``.
+    degraded: bool = False
     #: Observability summary filled in by the scheduler: ``phase_times``
     #: (setup / reduction_loop / finalization seconds), ``wall_time``,
     #: ``iterations``, ``counters`` (from the run's tracer; empty when

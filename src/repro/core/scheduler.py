@@ -33,10 +33,12 @@ from ..obs import FORCE_EVALUATIONS, SCHEDULER_ITERATIONS, as_tracer, get_logger
 from ..obs.counters import count
 from ..resources.assignment import ResourceAssignment
 from ..resources.library import ResourceLibrary
+from ..scheduling.fallback import degraded_block_schedule, frames_state_hash
 from ..scheduling.forces import DEFAULT_LOOKAHEAD, force_from_deltas, hooke_force
 from ..scheduling.schedule import BlockSchedule
 from ..scheduling.selection_cache import BlockSelectionCache
 from ..scheduling.state import BlockState, ReductionEffect
+from ..validation.budget import RunBudget
 from .modulo import modulo_max
 from .periods import PeriodAssignment
 from .result import SystemSchedule
@@ -105,6 +107,12 @@ class ModuloSystemScheduler:
             each committed reduction (see docs/performance.md).  The
             reduction sequence is byte-identical to the brute-force scan;
             disable only for A/B measurement.
+        budget: Optional :class:`~repro.validation.budget.RunBudget`
+            watchdog; on exhaustion (iterations, wall clock, or detected
+            oscillation) the run degrades gracefully to the
+            list-scheduling fallback — the result is still valid and
+            verified, tagged ``degraded=True`` with the reason in
+            ``telemetry["degraded"]`` (see docs/robustness.md).
         tracer: Observability sink (:class:`repro.obs.Tracer`); the
             default no-op tracer records nothing and costs nothing.
     """
@@ -118,6 +126,7 @@ class ModuloSystemScheduler:
         periodical_alignment: bool = True,
         global_balancing: bool = True,
         force_cache: bool = True,
+        budget: Optional[RunBudget] = None,
         tracer=None,
     ) -> None:
         self.library = library
@@ -126,6 +135,7 @@ class ModuloSystemScheduler:
         self.periodical_alignment = periodical_alignment
         self.global_balancing = global_balancing
         self.force_cache = force_cache
+        self.budget = budget
         self.tracer = as_tracer(tracer)
 
     # ------------------------------------------------------------------
@@ -187,12 +197,25 @@ class ModuloSystemScheduler:
             )
         setup_done = time.perf_counter()
 
+        tracker = self.budget.tracker() if self.budget is not None else None
+        degraded_reason: Optional[str] = None
         iterations = 0
         with tracer.span("reduction_loop"):
             while True:
                 best = self._select_reduction(entries, coupling, caches)
                 if best is None:
                     break
+                if tracker is not None:
+                    reason = tracker.tick(self._system_state_hash(entries))
+                    if reason is not None:
+                        degraded_reason = reason
+                        _log.warning(
+                            "budget exhausted scheduling system %r: %s; "
+                            "degrading to list scheduling",
+                            system.name,
+                            reason,
+                        )
+                        break
                 iterations += 1
                 entry_index, op_id, shrink_low, score, candidates = best
                 entry = entries[entry_index]
@@ -226,13 +249,20 @@ class ModuloSystemScheduler:
         with tracer.span("finalization"):
             block_schedules: Dict[Tuple[str, str], BlockSchedule] = {}
             for entry in entries:
-                sched = BlockSchedule(
-                    graph=entry.block.graph,
-                    library=self.library,
-                    starts=entry.state.frames.as_schedule(),
-                    deadline=entry.block.deadline,
-                )
-                sched.validate()
+                if degraded_reason is not None:
+                    # The frames are only partially reduced; reschedule
+                    # each block with the bounded-time fallback instead.
+                    sched = degraded_block_schedule(
+                        entry.block, self.library, degraded_reason
+                    )
+                else:
+                    sched = BlockSchedule(
+                        graph=entry.block.graph,
+                        library=self.library,
+                        starts=entry.state.frames.as_schedule(),
+                        deadline=entry.block.deadline,
+                    )
+                    sched.validate()
                 block_schedules[(entry.process_name, entry.block.name)] = sched
 
             finished = time.perf_counter()
@@ -244,6 +274,7 @@ class ModuloSystemScheduler:
                 block_schedules=block_schedules,
                 iterations=iterations,
                 wall_time=finished - started,
+                degraded=degraded_reason is not None,
                 telemetry={
                     "phase_times": {
                         "setup": setup_done - started,
@@ -256,6 +287,16 @@ class ModuloSystemScheduler:
                         tracer.counters.as_dict() if tracer.enabled else {}
                     ),
                     "events": len(tracer.events) if tracer.enabled else 0,
+                    **(
+                        {
+                            "degraded": {
+                                "reason": degraded_reason,
+                                "fallback": "list_scheduling",
+                            }
+                        }
+                        if degraded_reason is not None
+                        else {}
+                    ),
                 },
             )
             result.validate()
@@ -268,6 +309,19 @@ class ModuloSystemScheduler:
                 result.total_area(),
             )
         return result
+
+    # ------------------------------------------------------------------
+    # Budget support
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _system_state_hash(entries: List["_Entry"]) -> int:
+        """Oscillation-detector state: every mobile frame in the system."""
+        return hash(
+            tuple(
+                frames_state_hash(entry.state, entry.state.frames.unfixed())
+                for entry in entries
+            )
+        )
 
     # ------------------------------------------------------------------
     # Force evaluation

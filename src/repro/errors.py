@@ -2,6 +2,11 @@
 
 All library-specific errors derive from :class:`ReproError` so callers can
 catch everything raised by this package with a single ``except`` clause.
+
+Every class carries a stable, short ``code`` used by the command-line
+interface (``error [CODE]: message``) and by tooling that needs to key on
+the failure category without parsing message text.  The taxonomy is
+documented in docs/robustness.md and docs/api.md.
 """
 
 from __future__ import annotations
@@ -10,38 +15,65 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    #: Stable short error code, overridden by every subclass.
+    code = "REPRO"
+
 
 class GraphError(ReproError):
     """A dataflow graph is malformed (cycles, unknown nodes, bad edges)."""
+
+    code = "GRAPH"
 
 
 class SpecificationError(ReproError):
     """A system specification violates the model conditions (C1/C2)."""
 
+    code = "SPEC"
+
 
 class ResourceError(ReproError):
     """A resource type, library, or assignment is inconsistent."""
+
+    code = "RES"
 
 
 class InfeasibleError(ReproError):
     """No schedule exists under the given timing constraints."""
 
+    code = "INFEASIBLE"
+
 
 class PeriodError(ReproError):
     """A period assignment violates the grid-spacing constraints (eq. 3)."""
+
+    code = "PERIOD"
 
 
 class SchedulingError(ReproError):
     """The scheduler reached an inconsistent internal state."""
 
+    code = "SCHED"
+
 
 class VerificationError(ReproError):
     """A produced schedule failed static verification."""
+
+    code = "VERIFY"
 
 
 class BindingError(ReproError):
     """Operation-to-instance binding failed or is inconsistent."""
 
+    code = "BIND"
+
 
 class SimulationError(ReproError):
     """The cycle-accurate simulator detected a protocol violation."""
+
+    code = "SIM"
+
+
+class ValidationError(ReproError):
+    """Preflight validation could not run (unreadable input, bad usage)."""
+
+    code = "CHECK"

@@ -29,6 +29,13 @@ from .dfg import DataFlowGraph
 from .operation import OpKind
 from .process import Block, Process, SystemSpec
 
+#: Parse-time sanity caps.  Deadlines and periods size the schedulers'
+#: per-step arrays, so an absurd value (typo, fuzzed input) would turn
+#: into a memory blowup deep inside scheduling; reject it at the line
+#: that declares it instead.
+MAX_DEADLINE = 1_000_000
+MAX_PERIOD = 1_000_000
+
 
 class SystemDocument:
     """A parsed ``.sys`` file: system plus resource/scope/period data.
@@ -49,26 +56,43 @@ class SystemDocument:
         self.globals: Dict[str, List[str]] = {}
         #: type name -> period
         self.periods: Dict[str, int] = {}
+        #: (process, block) -> source line of the ``block`` directive,
+        #: so build-time errors can still point at a line (0 = unknown,
+        #: e.g. for programmatically assembled documents)
+        self.block_lines: Dict[Tuple[str, str], int] = {}
         #: per-block behavioral parsers (for the ``stmt`` directive)
         self._parsers: Dict[Tuple[str, str], object] = {}
 
     def build_system(self) -> SystemSpec:
-        """Materialize the :class:`SystemSpec` described by the document."""
+        """Materialize the :class:`SystemSpec` described by the document.
+
+        Build-time failures (empty blocks, malformed graphs) are raised
+        as :class:`SpecificationError` carrying the ``line N:`` of the
+        offending ``block`` directive whenever the document was parsed
+        from text.
+        """
         system = SystemSpec(name=self.name)
         for process_name in self.process_order:
             process = Process(name=process_name)
             for block_name, (graph, deadline, repeats) in self.blocks[
                 process_name
             ].items():
-                graph.validate()
-                process.add_block(
-                    Block(
-                        name=block_name,
-                        graph=graph,
-                        deadline=deadline,
-                        repeats=repeats,
+                try:
+                    graph.validate()
+                    process.add_block(
+                        Block(
+                            name=block_name,
+                            graph=graph,
+                            deadline=deadline,
+                            repeats=repeats,
+                        )
                     )
-                )
+                except (GraphError, SpecificationError, ValueError) as exc:
+                    lineno = self.block_lines.get((process_name, block_name), 0)
+                    prefix = f"line {lineno}: " if lineno else ""
+                    raise SpecificationError(
+                        f"{prefix}block {process_name}/{block_name}: {exc}"
+                    ) from None
             system.add_process(process)
         return system
 
@@ -87,7 +111,7 @@ def loads(text: str) -> SystemDocument:
             if directive == "stmt":
                 _parse_stmt(doc, line)
             else:
-                _dispatch(doc, directive, args, named)
+                _dispatch(doc, directive, args, named, lineno)
         except (GraphError, SpecificationError, ValueError) as exc:
             raise SpecificationError(f"line {lineno}: {exc}") from None
         if directive == "system":
@@ -146,7 +170,11 @@ def _parse_stmt(doc: SystemDocument, line: str) -> None:
 
 
 def _dispatch(
-    doc: SystemDocument, directive: str, args: List[str], named: bool
+    doc: SystemDocument,
+    directive: str,
+    args: List[str],
+    named: bool,
+    lineno: int = 0,
 ) -> None:
     if directive == "system":
         if len(args) != 1:
@@ -163,7 +191,7 @@ def _dispatch(
         doc.blocks[args[0]] = {}
         doc.process_order.append(args[0])
     elif directive == "block":
-        _parse_block(doc, args)
+        _parse_block(doc, args, lineno)
     elif directive == "op":
         graph = _graph_of(doc, args[:2])
         if len(args) < 4:
@@ -197,7 +225,16 @@ def _dispatch(
     elif directive == "period":
         if len(args) != 2:
             raise SpecificationError("'period' takes TYPE VALUE")
-        doc.periods[args[0]] = int(args[1])
+        period = int(args[1])
+        if period < 1:
+            raise SpecificationError(
+                f"period of {args[0]!r} must be >= 1, got {period}"
+            )
+        if period > MAX_PERIOD:
+            raise SpecificationError(
+                f"period of {args[0]!r} exceeds the cap of {MAX_PERIOD}"
+            )
+        doc.periods[args[0]] = period
     else:
         raise SpecificationError(f"unknown directive {directive!r}")
 
@@ -237,7 +274,7 @@ def _parse_resource(doc: SystemDocument, args: List[str]) -> None:
     doc.resources[name] = options
 
 
-def _parse_block(doc: SystemDocument, args: List[str]) -> None:
+def _parse_block(doc: SystemDocument, args: List[str], lineno: int = 0) -> None:
     if len(args) < 3:
         raise SpecificationError("'block' takes PROCESS NAME deadline=N [repeats]")
     process_name, block_name = args[0], args[1]
@@ -256,8 +293,15 @@ def _parse_block(doc: SystemDocument, args: List[str]) -> None:
             raise SpecificationError(f"malformed block option {token!r}")
     if deadline is None:
         raise SpecificationError("'block' requires deadline=N")
+    if deadline < 1:
+        raise SpecificationError(f"deadline must be >= 1, got {deadline}")
+    if deadline > MAX_DEADLINE:
+        raise SpecificationError(
+            f"deadline {deadline} exceeds the cap of {MAX_DEADLINE}"
+        )
     graph = DataFlowGraph(name=f"{process_name}-{block_name}")
     doc.blocks[process_name][block_name] = (graph, deadline, repeats)
+    doc.block_lines[(process_name, block_name)] = lineno
 
 
 def _graph_of(doc: SystemDocument, args: List[str]) -> DataFlowGraph:

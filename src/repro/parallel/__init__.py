@@ -10,12 +10,17 @@ for one problem at once:
   ``repro profile``-compatible summary (:mod:`repro.parallel.engine`);
 * :class:`SweepJob` / :class:`JobResult` — the picklable job protocol;
   problems travel as ``.sys`` text, results as plain data
-  (:mod:`repro.parallel.jobs`).
+  (:mod:`repro.parallel.jobs`);
+* :class:`SweepJournal` — crash-safe JSONL checkpoints; a sweep given a
+  ``checkpoint`` path journals every finished candidate durably and can
+  resume exactly-once after being killed mid-run
+  (:mod:`repro.parallel.checkpoint`).
 
 ``repro sweep --workers N`` and ``repro compare --workers N`` are the
-CLI front ends.
+CLI front ends; ``repro sweep --resume PATH`` enables checkpointing.
 """
 
+from .checkpoint import CheckpointError, SweepJournal
 from .engine import (
     STATUS_FAILED,
     STATUS_OK,
@@ -33,12 +38,14 @@ __all__ = [
     "STATUS_OK",
     "STATUS_PRUNED",
     "CandidateResult",
+    "CheckpointError",
     "CompareOutcome",
     "ExplorationEngine",
     "ExplorationError",
     "JobResult",
     "JobTimeout",
     "SweepJob",
+    "SweepJournal",
     "SweepOutcome",
     "run_job",
     "run_jobs",

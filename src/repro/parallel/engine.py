@@ -52,6 +52,7 @@ from ..obs import get_logger, merge_telemetry
 from ..obs.tracer import as_tracer
 from ..resources.assignment import ResourceAssignment
 from ..scheduling.forces import area_weights
+from .checkpoint import SweepJournal
 from .jobs import JobTimeout, SweepJob, _deadline, inject_fault, run_jobs
 
 _log = get_logger(__name__)
@@ -66,6 +67,8 @@ STATUS_FAILED = "failed"
 
 class ExplorationError(ReproError):
     """A mandatory exploration job failed after all retries."""
+
+    code = "SWEEP"
 
 
 def _lexkey(periods: Dict[str, int]) -> LexKey:
@@ -87,7 +90,11 @@ class _Spec:
 
 @dataclass
 class CandidateResult:
-    """Outcome of one candidate of a sweep."""
+    """Outcome of one candidate of a sweep.
+
+    ``restored`` marks a candidate whose outcome was replayed from a
+    sweep checkpoint journal instead of being evaluated in this run.
+    """
 
     order: int
     periods: Dict[str, int]
@@ -100,6 +107,7 @@ class CandidateResult:
     error: Optional[str] = None
     attempts: int = 0
     worker_pid: int = 0
+    restored: bool = False
     telemetry: Dict[str, object] = field(default_factory=dict, repr=False)
 
     @property
@@ -176,6 +184,13 @@ class ExplorationEngine:
             ``SIGALRM`` where available).
         retries: How often a crashed/raised/timed-out candidate is
             re-dispatched before being recorded as failed.
+        checkpoint: Optional path of a JSONL sweep journal
+            (:class:`repro.parallel.checkpoint.SweepJournal`).  Every
+            finished candidate is durably appended before its result is
+            surfaced; if the file already holds records (a previous run
+            of the same sweep died), those candidates are skipped
+            exactly-once and the incumbent area bound is restored so
+            pruning stays sound.  See docs/robustness.md.
         tracer: Optional :class:`repro.obs.Tracer`; receives one event
             per candidate and the merged worker counters.
         fault_for: Test hook — maps a candidate's period dict to a
@@ -193,6 +208,7 @@ class ExplorationEngine:
         inflight_factor: int = 2,
         timeout: Optional[float] = None,
         retries: int = 1,
+        checkpoint=None,
         tracer=None,
         fault_for: Optional[Callable[[Dict[str, int]], Optional[str]]] = None,
     ) -> None:
@@ -207,9 +223,11 @@ class ExplorationEngine:
         self.inflight_factor = max(1, inflight_factor)
         self.timeout = timeout
         self.retries = max(0, retries)
+        self.checkpoint = checkpoint
         self.tracer = as_tracer(tracer)
         self.fault_for = fault_for
         self._problem_text: Optional[str] = None
+        self._journal: Optional[SweepJournal] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -223,7 +241,8 @@ class ExplorationEngine:
         """Evaluate period-assignment candidates; returns every outcome.
 
         ``on_result`` is called in the parent process, in completion
-        order, once per candidate (evaluated, pruned, or failed).
+        order, once per candidate (evaluated, pruned, or failed) — but
+        not for candidates replayed from a checkpoint journal.
         """
         started = time.perf_counter()
         specs: List[_Spec] = []
@@ -244,14 +263,49 @@ class ExplorationEngine:
                     fault=self.fault_for(periods) if self.fault_for else None,
                 )
             )
+
+        journal: Optional[SweepJournal] = None
+        restored: List[CandidateResult] = []
+        initial_best: Optional[float] = None
+        if self.checkpoint is not None:
+            journal = SweepJournal(self.checkpoint)
+            journaled = journal.load()
+            initial_best = SweepJournal.best_area(journaled)
+            fresh: List[_Spec] = []
+            for spec in specs:
+                entry = journaled.get(spec.lexkey)
+                if entry is None:
+                    fresh.append(spec)
+                else:
+                    restored.append(self._restored_record(spec, entry))
+            specs = fresh
+            if restored:
+                _log.info(
+                    "sweep checkpoint %s: restored %d candidate(s), "
+                    "%d left to run",
+                    journal.path,
+                    len(restored),
+                    len(specs),
+                )
+
         if self.prune:
             # Cheapest admissible bound first: good areas surface early,
             # which is what makes the >= skip rule bite.
             specs.sort(key=lambda spec: (spec.bound, spec.lexkey))
-        records = self._run(specs, on_result, self.prune)
+        self._journal = journal
+        try:
+            records = self._run(
+                specs, on_result, self.prune, initial_best=initial_best
+            )
+        finally:
+            self._journal = None
+            if journal is not None:
+                journal.close()
+        records.extend(restored)
         records.sort(key=lambda record: record.order)
         best = self._best_of(records)
         telemetry = self._aggregate(records, time.perf_counter() - started)
+        telemetry["candidates_restored"] = len(restored)
         return SweepOutcome(results=records, best=best, telemetry=telemetry)
 
     def compare(
@@ -306,16 +360,18 @@ class ExplorationEngine:
         specs: List[_Spec],
         on_result: Optional[Callable[[CandidateResult], None]],
         prune: bool,
+        initial_best: Optional[float] = None,
     ) -> List[CandidateResult]:
         if self.workers <= 1:
-            return self._run_serial(specs, on_result, prune)
-        return self._run_parallel(specs, on_result, prune)
+            return self._run_serial(specs, on_result, prune, initial_best)
+        return self._run_parallel(specs, on_result, prune, initial_best)
 
     def _run_serial(
         self,
         specs: List[_Spec],
         on_result: Optional[Callable[[CandidateResult], None]],
         prune: bool,
+        initial_best: Optional[float] = None,
     ) -> List[CandidateResult]:
         scheduler = ModuloSystemScheduler(
             self.problem.library,
@@ -323,7 +379,7 @@ class ExplorationEngine:
             tracer=self.tracer,
         )
         records: List[CandidateResult] = []
-        best_area: Optional[float] = None
+        best_area: Optional[float] = initial_best
         for spec in specs:
             if prune and best_area is not None and spec.bound >= best_area:
                 record = self._pruned_record(spec)
@@ -393,12 +449,13 @@ class ExplorationEngine:
         specs: List[_Spec],
         on_result: Optional[Callable[[CandidateResult], None]],
         prune: bool,
+        initial_best: Optional[float] = None,
     ) -> List[CandidateResult]:
         records: List[CandidateResult] = []
         pending = deque(specs)
         inflight: Dict[object, List[_Spec]] = {}
         max_inflight = self.workers * self.inflight_factor
-        best_area: Optional[float] = None
+        best_area: Optional[float] = initial_best
 
         def finish(record: CandidateResult) -> None:
             nonlocal best_area
@@ -579,11 +636,36 @@ class ExplorationEngine:
             status=STATUS_PRUNED,
         )
 
+    @staticmethod
+    def _restored_record(spec: _Spec, entry: Dict[str, object]) -> CandidateResult:
+        """Replay a journaled outcome onto this run's candidate spec."""
+        area = entry.get("area")
+        return CandidateResult(
+            order=spec.order,
+            periods=dict(spec.periods),
+            bound=spec.bound,
+            status=str(entry["status"]),
+            area=None if area is None else float(area),
+            iterations=int(entry.get("iterations") or 0),
+            wall_time=float(entry.get("wall_time") or 0.0),
+            instance_counts={
+                str(k): int(v)
+                for k, v in (entry.get("instance_counts") or {}).items()
+            },
+            error=entry.get("error"),
+            attempts=int(entry.get("attempts") or 0),
+            restored=True,
+        )
+
     def _emit(
         self,
         record: CandidateResult,
         on_result: Optional[Callable[[CandidateResult], None]],
     ) -> None:
+        # Journal before surfacing: a crash inside the callback (or
+        # anywhere later) must never lose a completed candidate.
+        if self._journal is not None:
+            self._journal.append(record)
         if self.tracer.enabled:
             self.tracer.event(
                 "candidate",

@@ -1,0 +1,68 @@
+"""Graceful-degradation fallback for budget-exhausted scheduler runs.
+
+When a :class:`~repro.validation.budget.RunBudget` trips mid-run, the
+force-directed schedulers abandon the partially reduced frames and hand
+the block to :func:`degraded_block_schedule`: a list-scheduling pass with
+one instance per operation of each type, which is ASAP-equivalent and
+therefore always meets the deadline whenever the critical path does (the
+C1 feasibility check every scheduler performs up front).  The result is
+a valid, verifiable schedule — just without the force-directed area
+optimization — tagged ``degraded=True`` with the reason attached.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from ..ir.process import Block
+from ..resources.library import ResourceLibrary
+from .list_scheduling import ListScheduler
+from .schedule import BlockSchedule
+
+
+def frames_state_hash(state, op_ids) -> int:
+    """Hash of the mobile operations' current frames.
+
+    Fed to :meth:`BudgetTracker.tick` as the oscillation-detector state;
+    frame reductions are monotone, so a repeat within the window always
+    indicates a genuine cycle, never a false positive.
+    """
+    return hash(tuple((op_id, state.frames.frame(op_id)) for op_id in op_ids))
+
+
+def asap_capacity(block: Block, library: ResourceLibrary) -> Dict[str, int]:
+    """One instance per operation of each type: never a resource stall."""
+    counts: Counter = Counter(
+        library.type_of(op).name for op in block.graph
+    )
+    return dict(counts)
+
+
+def degraded_block_schedule(
+    block: Block,
+    library: ResourceLibrary,
+    reason: str,
+    *,
+    iterations: int = 0,
+) -> BlockSchedule:
+    """Best-effort schedule for ``block`` after a budget exhaustion.
+
+    Runs :class:`ListScheduler` with unconstrained (per-op) capacities so
+    the makespan equals the critical path, then re-tags the result with
+    the block's own deadline and the degradation reason.  Raises only if
+    the block itself is infeasible (critical path beyond the deadline),
+    which the schedulers have already ruled out before starting.
+    """
+    listed = ListScheduler(library, asap_capacity(block, library)).schedule(block)
+    schedule = BlockSchedule(
+        graph=listed.graph,
+        library=library,
+        starts=listed.starts,
+        deadline=block.deadline,
+        iterations=iterations,
+        degraded=True,
+        degraded_reason=reason,
+    )
+    schedule.validate()
+    return schedule

@@ -16,6 +16,8 @@ from ..errors import SchedulingError
 from ..ir.process import Block
 from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
 from ..resources.library import ResourceLibrary
+from ..validation.budget import RunBudget
+from .fallback import degraded_block_schedule, frames_state_hash
 from .forces import DEFAULT_LOOKAHEAD, placement_force
 from .schedule import BlockSchedule
 from .selection_cache import BlockSelectionCache
@@ -34,6 +36,9 @@ class ForceDirectedScheduler:
         force_cache: Memoize the per-operation force rows between
             iterations, re-evaluating only the dirty set of each commit;
             decisions are identical to the brute-force scan.
+        budget: Optional :class:`~repro.validation.budget.RunBudget`;
+            on exhaustion the run degrades to the list-scheduling
+            fallback (``degraded=True``) instead of continuing.
     """
 
     def __init__(
@@ -43,12 +48,14 @@ class ForceDirectedScheduler:
         lookahead: float = DEFAULT_LOOKAHEAD,
         weights: Optional[Mapping[str, float]] = None,
         force_cache: bool = True,
+        budget: Optional[RunBudget] = None,
         tracer=None,
     ) -> None:
         self.library = library
         self.lookahead = lookahead
         self.weights = weights
         self.force_cache = force_cache
+        self.budget = budget
         self.tracer = as_tracer(tracer)
 
     def schedule(self, block: Block) -> BlockSchedule:
@@ -56,12 +63,25 @@ class ForceDirectedScheduler:
         tracer = self.tracer
         state = BlockState(block, self.library)
         cache = BlockSelectionCache(state) if self.force_cache else None
+        tracker = self.budget.tracker() if self.budget is not None else None
         iterations = 0
         with tracer.activate(), tracer.span("fds", block=block.name):
             while True:
                 candidates = state.frames.unfixed()
                 if not candidates:
                     break
+                if tracker is not None:
+                    reason = tracker.tick(frames_state_hash(state, candidates))
+                    if reason is not None:
+                        _log.warning(
+                            "FDS budget exhausted on block %r: %s; "
+                            "degrading to list scheduling",
+                            block.name,
+                            reason,
+                        )
+                        return degraded_block_schedule(
+                            block, self.library, reason, iterations=iterations
+                        )
                 iterations += 1
                 best_force = None
                 best_op = None

@@ -22,6 +22,8 @@ from typing import Mapping, Optional, Tuple
 from ..ir.process import Block
 from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
 from ..resources.library import ResourceLibrary
+from ..validation.budget import RunBudget
+from .fallback import degraded_block_schedule, frames_state_hash
 from .forces import DEFAULT_LOOKAHEAD, placement_force
 from .schedule import BlockSchedule
 from .selection_cache import BlockSelectionCache
@@ -73,6 +75,10 @@ class ImprovedForceDirectedScheduler:
     :class:`ReductionChoice` evaluations are memoized between iterations
     and only the dirty set of each committed reduction is re-evaluated;
     decisions are identical to the brute-force scan.
+
+    ``budget`` optionally bounds the run; on exhaustion the block is
+    rescheduled by the list-scheduling fallback and the result is tagged
+    ``degraded=True`` instead of the run continuing unbounded.
     """
 
     def __init__(
@@ -82,12 +88,14 @@ class ImprovedForceDirectedScheduler:
         lookahead: float = DEFAULT_LOOKAHEAD,
         weights: Optional[Mapping[str, float]] = None,
         force_cache: bool = True,
+        budget: Optional[RunBudget] = None,
         tracer=None,
     ) -> None:
         self.library = library
         self.lookahead = lookahead
         self.weights = weights
         self.force_cache = force_cache
+        self.budget = budget
         self.tracer = as_tracer(tracer)
 
     def schedule(self, block: Block) -> BlockSchedule:
@@ -95,12 +103,25 @@ class ImprovedForceDirectedScheduler:
         tracer = self.tracer
         state = BlockState(block, self.library)
         cache = BlockSelectionCache(state) if self.force_cache else None
+        tracker = self.budget.tracker() if self.budget is not None else None
         iterations = 0
         with tracer.activate(), tracer.span("ifds", block=block.name):
             while True:
                 mobile = state.frames.unfixed()
                 if not mobile:
                     break
+                if tracker is not None:
+                    reason = tracker.tick(frames_state_hash(state, mobile))
+                    if reason is not None:
+                        _log.warning(
+                            "IFDS budget exhausted on block %r: %s; "
+                            "degrading to list scheduling",
+                            block.name,
+                            reason,
+                        )
+                        return degraded_block_schedule(
+                            block, self.library, reason, iterations=iterations
+                        )
                 iterations += 1
                 best: Optional[ReductionChoice] = None
                 for op_id in mobile:

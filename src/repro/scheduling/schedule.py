@@ -24,6 +24,11 @@ class BlockSchedule:
         deadline: The block's time range.
         iterations: Scheduler iterations spent producing this schedule
             (0 when not applicable).
+        degraded: True when a budget exhaustion forced the producing
+            scheduler onto the list-scheduling fallback
+            (:mod:`repro.scheduling.fallback`); the schedule is still
+            valid, just not force-optimized.
+        degraded_reason: Human-readable reason for the degradation.
     """
 
     graph: DataFlowGraph
@@ -31,6 +36,8 @@ class BlockSchedule:
     starts: Dict[str, int]
     deadline: int
     iterations: int = 0
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
 
     def start(self, op_id: str) -> int:
         return self.starts[op_id]

@@ -205,11 +205,27 @@ class SystemSimulator:
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
-    def run(self, cycles: int) -> SimulationStats:
-        """Simulate the given number of cycles and return statistics."""
+    def run(self, cycles: int, *, seed: Optional[int] = None) -> SimulationStats:
+        """Simulate the given number of cycles and return statistics.
+
+        ``seed`` overrides the constructor seed for this run only, so
+        one simulator can drive a multi-seed campaign; the stats always
+        report the seed actually used.
+        """
         if cycles < 1:
             raise SimulationError(f"need >= 1 cycle, got {cycles}")
-        rng = random.Random(self.seed)
+        run_seed = self.seed if seed is None else seed
+        rng = random.Random(run_seed)
+        # Reset run-time process state: trials must not leak in-flight
+        # blocks or pending triggers from a previous seed into the next
+        # one.  The precomputed block models are kept as-is.
+        for state in self._states.values():
+            state.next_block = 0
+            state.pending_since = None
+            state.active_block = None
+            state.active_profiles = {}
+            state.active_start = 0
+            state.active_length = 0
         trace = Trace()
         activations = {name: 0 for name in self.result.system.process_names}
         busy = {name: 0 for name in self._type_names}
@@ -217,7 +233,7 @@ class SystemSimulator:
 
         tracer = self.tracer
         with tracer.activate(), tracer.span(
-            "simulate", cycles=cycles, seed=self.seed
+            "simulate", cycles=cycles, seed=run_seed
         ):
             if tracer.enabled:
                 tracer.count(SIMULATION_CYCLES, cycles)
@@ -245,13 +261,13 @@ class SystemSimulator:
         _log.info(
             "simulated %d cycles (seed %d): %d activations, %d violations",
             cycles,
-            self.seed,
+            run_seed,
             sum(activations.values()),
             len(trace.violations),
         )
         return SimulationStats(
             cycles=cycles,
-            seed=self.seed,
+            seed=run_seed,
             activations=activations,
             busy_cycles=busy,
             pool_sizes=self._pools,

@@ -1,0 +1,43 @@
+"""Preflight validation, run budgets, and fuzzing for the repro library.
+
+Three robustness facilities live here (see docs/robustness.md):
+
+* :mod:`~repro.validation.preflight` — ``validate_problem()`` and
+  friends: structured :class:`Diagnostic` findings with stable codes,
+  surfaced by ``repro check`` and run before ``schedule``/``sweep``;
+* :mod:`~repro.validation.budget` — :class:`RunBudget` watchdogs that
+  bound scheduler work and trigger graceful list-scheduling degradation;
+* :mod:`~repro.validation.fuzz` — the mutation fuzz harness backing
+  ``tests/fuzz`` and ``benchmarks/fuzz_runner.py``.
+"""
+
+from .budget import BudgetTracker, RunBudget
+from .diagnostics import (
+    CODES,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+    DiagnosticReport,
+)
+from .preflight import (
+    validate_document,
+    validate_path,
+    validate_problem,
+    validate_text,
+)
+
+__all__ = [
+    "BudgetTracker",
+    "CODES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "RunBudget",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "validate_document",
+    "validate_path",
+    "validate_problem",
+    "validate_text",
+]

@@ -1,0 +1,109 @@
+"""Run budgets and watchdogs for the iterative schedulers.
+
+A :class:`RunBudget` declares how much work a scheduling run may spend:
+an iteration ceiling, a wall-clock deadline, and an oscillation window.
+A :class:`BudgetTracker` is the per-run mutable companion the schedulers
+tick once per reduction/improvement step; the first tick that trips a
+limit returns a human-readable reason string, and the scheduler reacts
+by degrading to the list-scheduling fallback (result tagged
+``degraded=True``) instead of hanging or raising.
+
+Oscillation detection hashes the scheduler's visible state each tick
+and keeps a sliding window of recent hashes; revisiting a state that is
+still inside the window means the run is cycling through the same
+configurations without making progress (IFDS can do this when two
+blocks keep stealing the same instance back and forth).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Declarative work limits for one scheduling run.
+
+    ``max_iterations``
+        Ceiling on scheduler ticks (``None`` = unlimited).
+    ``wall_deadline``
+        Wall-clock seconds the run may take (``None`` = unlimited).
+    ``oscillation_window``
+        How many recent state hashes to remember; a state seen twice
+        within the window trips the detector.  ``0`` disables it.
+    """
+
+    max_iterations: Optional[int] = None
+    wall_deadline: Optional[float] = None
+    oscillation_window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1 or None")
+        if self.wall_deadline is not None and self.wall_deadline <= 0:
+            raise ValueError("wall_deadline must be positive or None")
+        if self.oscillation_window < 0:
+            raise ValueError("oscillation_window must be >= 0")
+
+    def tracker(self) -> "BudgetTracker":
+        """Start the clock: build the mutable per-run companion."""
+        return BudgetTracker(self)
+
+
+class BudgetTracker:
+    """Mutable per-run state for one :class:`RunBudget`.
+
+    Schedulers call :meth:`tick` once per iteration; the first call that
+    exhausts the budget returns the reason string, and every later call
+    keeps returning it (so nested loops all observe the stop).
+    """
+
+    def __init__(self, budget: RunBudget) -> None:
+        self.budget = budget
+        self.started = time.perf_counter()
+        self.iterations = 0
+        self.exhausted_reason: Optional[str] = None
+        # Sliding window of recently seen state hashes (insertion order).
+        self._window: "OrderedDict[int, None]" = OrderedDict()
+
+    def tick(self, state_hash: Optional[int] = None) -> Optional[str]:
+        """Account one iteration; return a reason string once exhausted."""
+        if self.exhausted_reason is not None:
+            return self.exhausted_reason
+        self.iterations += 1
+        budget = self.budget
+        if (
+            budget.max_iterations is not None
+            and self.iterations > budget.max_iterations
+        ):
+            self.exhausted_reason = (
+                f"iteration budget exhausted ({budget.max_iterations})"
+            )
+        elif (
+            budget.wall_deadline is not None
+            and self.elapsed() > budget.wall_deadline
+        ):
+            self.exhausted_reason = (
+                f"wall-clock budget exhausted ({budget.wall_deadline:g}s)"
+            )
+        elif state_hash is not None and budget.oscillation_window > 0:
+            if state_hash in self._window:
+                self.exhausted_reason = (
+                    "oscillation detected (state revisited within "
+                    f"{budget.oscillation_window} iterations)"
+                )
+            else:
+                self._window[state_hash] = None
+                while len(self._window) > budget.oscillation_window:
+                    self._window.popitem(last=False)
+        return self.exhausted_reason
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    @property
+    def exhausted(self) -> bool:
+        return self.exhausted_reason is not None

@@ -1,0 +1,232 @@
+"""Structured diagnostics: stable codes, severities, and reports.
+
+A :class:`Diagnostic` is one finding of the preflight validation pass
+(:mod:`repro.validation.preflight`): a stable code (keyed in
+:data:`CODES`, documented in docs/robustness.md), a severity, an
+optional process/block/op location, the human-readable message, and a
+fix hint.  A :class:`DiagnosticReport` collects findings and maps them
+to the ``repro check`` exit-code convention (0 ok / 1 warnings /
+2 errors).
+
+Codes are grouped by prefix:
+
+* ``SYS``    — document-level problems (parse failures, empty systems);
+* ``GRAPH``  — dataflow-graph structure (cycles, dangling edges);
+* ``LIB``    — resource-library completeness and sanity;
+* ``TIME``   — timing feasibility (critical path vs. deadline, C1);
+* ``SCOPE``  — global scope assignments (S1);
+* ``PERIOD`` — period assignments and the eq. 2-3 grid rules (S2).
+
+Numbers below 100 are errors (scheduling would fail or be meaningless),
+1xx are warnings (scheduling works but the spec looks mistaken), and
+2xx are informational notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Severity levels, ordered weakest to strongest.
+SEVERITY_INFO = "info"
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+
+_SEVERITY_RANK = {SEVERITY_INFO: 0, SEVERITY_WARNING: 1, SEVERITY_ERROR: 2}
+
+#: Registry of every diagnostic code with its severity and one-line title.
+#: The table in docs/robustness.md is generated from this mapping; codes
+#: are append-only — never renumber or reuse one.
+CODES: Dict[str, Dict[str, str]] = {
+    "SYS001": {
+        "severity": SEVERITY_ERROR,
+        "title": "document does not parse",
+    },
+    "SYS002": {
+        "severity": SEVERITY_ERROR,
+        "title": "system declares no processes",
+    },
+    "SYS003": {
+        "severity": SEVERITY_ERROR,
+        "title": "system construction failed",
+    },
+    "GRAPH001": {
+        "severity": SEVERITY_ERROR,
+        "title": "dataflow graph contains a cycle",
+    },
+    "LIB001": {
+        "severity": SEVERITY_ERROR,
+        "title": "operation kind not covered by the resource library",
+    },
+    "LIB002": {
+        "severity": SEVERITY_ERROR,
+        "title": "resource declaration is invalid",
+    },
+    "LIB101": {
+        "severity": SEVERITY_WARNING,
+        "title": "resource type declared but never used",
+    },
+    "TIME001": {
+        "severity": SEVERITY_ERROR,
+        "title": "critical path exceeds the block deadline (C1 infeasible)",
+    },
+    "SCOPE001": {
+        "severity": SEVERITY_ERROR,
+        "title": "global group names an unknown process",
+    },
+    "SCOPE002": {
+        "severity": SEVERITY_ERROR,
+        "title": "global group needs at least two processes",
+    },
+    "SCOPE003": {
+        "severity": SEVERITY_ERROR,
+        "title": "group member never uses the global type",
+    },
+    "SCOPE004": {
+        "severity": SEVERITY_ERROR,
+        "title": "global directive names an unknown resource type",
+    },
+    "PERIOD001": {
+        "severity": SEVERITY_ERROR,
+        "title": "period declared for a non-global type",
+    },
+    "PERIOD002": {
+        "severity": SEVERITY_ERROR,
+        "title": "period must be a positive integer",
+    },
+    "PERIOD101": {
+        "severity": SEVERITY_WARNING,
+        "title": "non-harmonic period set for a process (eq. 3)",
+    },
+    "PERIOD102": {
+        "severity": SEVERITY_WARNING,
+        "title": "process start grid exceeds its smallest block deadline",
+    },
+    "PERIOD103": {
+        "severity": SEVERITY_WARNING,
+        "title": "period exceeds a sharing block's deadline (never folds)",
+    },
+    "PERIOD201": {
+        "severity": SEVERITY_INFO,
+        "title": "global type has no period directive (heuristic default)",
+    },
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured preflight finding."""
+
+    code: str
+    message: str
+    severity: str = SEVERITY_ERROR
+    process: Optional[str] = None
+    block: Optional[str] = None
+    op: Optional[str] = None
+    hint: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        """``process/block/op`` path, as far as it is known."""
+        parts = [p for p in (self.process, self.block, self.op) if p]
+        return "/".join(parts)
+
+    def render(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        text = f"{self.severity} {self.code}{where}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class DiagnosticReport:
+    """Findings of one preflight pass over one problem."""
+
+    source: str = "<memory>"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        process: Optional[str] = None,
+        block: Optional[str] = None,
+        op: Optional[str] = None,
+        hint: Optional[str] = None,
+    ) -> Diagnostic:
+        """Record a finding; its severity comes from the :data:`CODES` registry."""
+        try:
+            severity = CODES[code]["severity"]
+        except KeyError:
+            raise KeyError(f"unregistered diagnostic code {code!r}") from None
+        diagnostic = Diagnostic(
+            code=code,
+            message=message,
+            severity=severity,
+            process=process,
+            block=block,
+            op=op,
+            hint=hint,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def by_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(SEVERITY_WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings and notes are allowed)."""
+        return not self.errors
+
+    @property
+    def codes(self) -> List[str]:
+        """Codes of all findings, in report order."""
+        return [d.code for d in self.diagnostics]
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """``repro check`` convention: 0 ok, 1 warnings only, 2 errors."""
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable report, strongest findings first."""
+        lines = [f"check {self.source}:"]
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: -_SEVERITY_RANK.get(d.severity, 0),
+        )
+        for diagnostic in ordered:
+            lines.append("  " + diagnostic.render().replace("\n", "\n  "))
+        counts = (
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings, "
+            f"{len(self.by_severity(SEVERITY_INFO))} notes"
+        )
+        lines.append(f"  {counts}" if self.diagnostics else f"  ok ({counts})")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,396 @@
+"""Preflight validation: diagnose a scheduling problem before running it.
+
+:func:`validate_text` / :func:`validate_path` check a ``.sys`` document,
+:func:`validate_problem` a live :class:`repro.api.Problem`; all three
+produce a :class:`~repro.validation.diagnostics.DiagnosticReport` and
+never raise on bad input — every defect becomes a structured
+:class:`~repro.validation.diagnostics.Diagnostic` with a stable code.
+
+The pass covers the failure classes a raw ``schedule`` run would only
+surface as a traceback deep inside the scheduler:
+
+* document parses and builds (``SYS*``, ``GRAPH*``);
+* every operation kind has a resource type (``LIB*``);
+* every block's critical path fits its deadline — ASAP/ALAP
+  feasibility, the paper's condition C1 (``TIME*``);
+* global scope groups are well-formed — S1, condition C2's "sharing
+  processes" model (``SCOPE*``);
+* period assignments respect the eq. 2-3 grid rules (``PERIOD*``).
+
+The CLI exposes this as ``repro check FILE`` and runs it automatically
+before ``schedule`` and ``sweep``.  See docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.periods import is_harmonic, lcm_all
+from ..errors import GraphError, ReproError, SpecificationError
+from ..ir.process import SystemSpec
+from ..ir.systemio import SystemDocument
+from ..resources.library import ResourceLibrary, default_library
+from ..resources.types import resource_type
+from .diagnostics import DiagnosticReport
+
+
+def validate_path(path) -> DiagnosticReport:
+    """Validate a ``.sys`` file on disk.  Never raises on bad content."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_text(handle.read(), source=str(path))
+
+
+def validate_text(text: str, *, source: str = "<memory>") -> DiagnosticReport:
+    """Validate ``.sys`` text; parse failures become ``SYS001`` findings."""
+    from ..ir import systemio
+
+    report = DiagnosticReport(source=source)
+    try:
+        document = systemio.loads(text)
+    except ReproError as exc:
+        # Cycles are rejected at edge-insertion time, i.e. during the
+        # parse — classify them as the graph defect they are.
+        if "cycle" in str(exc):
+            report.add(
+                "GRAPH001",
+                str(exc),
+                hint="remove the named edge; dataflow must be acyclic",
+            )
+        else:
+            report.add(
+                "SYS001",
+                str(exc),
+                hint="fix the named line; see docs/sys-format.md for the "
+                "grammar",
+            )
+        return report
+    return validate_document(document, report=report)
+
+
+def validate_document(
+    document: SystemDocument, *, report: Optional[DiagnosticReport] = None
+) -> DiagnosticReport:
+    """Validate a parsed document without building a live problem."""
+    if report is None:
+        report = DiagnosticReport(source=document.name)
+
+    library = _build_library(document, report)
+    system = _build_system(document, report)
+    if system is None or library is None:
+        return report
+
+    if document.resources:
+        used = {kind for kind in system.kinds_used()}
+        for rtype in library.types:
+            if not any(kind in used for kind in rtype.kinds):
+                report.add(
+                    "LIB101",
+                    f"resource type {rtype.name!r} is never used by the system",
+                    hint="drop the directive or add operations of its kinds",
+                )
+
+    _validate_semantics(report, system, library, document.globals, document.periods)
+    return report
+
+
+def validate_problem(problem, *, report: Optional[DiagnosticReport] = None):
+    """Validate a live :class:`repro.api.Problem` (API entry point).
+
+    Problems reachable through :func:`repro.api.load_problem` already
+    passed the raising build checks, so on those this surfaces mostly
+    warnings (grid spacing, harmonics, folding); hand-assembled problems
+    get the full error coverage.
+    """
+    if report is None:
+        report = DiagnosticReport(source=problem.system.name)
+    globals_map = {
+        type_name: problem.assignment.group(type_name)
+        for type_name in problem.assignment.global_types
+    }
+    _validate_semantics(
+        report,
+        problem.system,
+        problem.library,
+        globals_map,
+        problem.periods.as_dict,
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Build stages (document level)
+# ----------------------------------------------------------------------
+def _build_library(
+    document: SystemDocument, report: DiagnosticReport
+) -> Optional[ResourceLibrary]:
+    if not document.resources:
+        return default_library()
+    library = ResourceLibrary()
+    for name, options in document.resources.items():
+        try:
+            library.add(
+                resource_type(
+                    name,
+                    options["kinds"],
+                    latency=int(options["latency"]),
+                    area=float(options["area"]),
+                    pipelined=bool(options["pipelined"]),
+                    initiation_interval=int(options["ii"]),
+                )
+            )
+        except (ReproError, ValueError) as exc:
+            report.add(
+                "LIB002",
+                f"resource {name!r}: {exc}",
+                hint="latency/ii must be >= 1, area >= 0, kinds unique "
+                "across resources",
+            )
+    return library
+
+
+def _build_system(
+    document: SystemDocument, report: DiagnosticReport
+) -> Optional[SystemSpec]:
+    if not document.process_order:
+        report.add(
+            "SYS002",
+            "document declares no processes",
+            hint="add at least one 'process NAME' with a block",
+        )
+        return None
+    try:
+        return document.build_system()
+    except (GraphError, SpecificationError) as exc:
+        if "cycle" in str(exc):
+            report.add("GRAPH001", str(exc))
+        else:
+            report.add(
+                "SYS003",
+                str(exc),
+                hint="every process needs >= 1 block, every block >= 1 "
+                "operation",
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# Semantic checks (shared by document and live-problem entry points)
+# ----------------------------------------------------------------------
+def _validate_semantics(
+    report: DiagnosticReport,
+    system: SystemSpec,
+    library: ResourceLibrary,
+    globals_map: Mapping[str, Sequence[str]],
+    periods_map: Mapping[str, int],
+) -> None:
+    _check_graphs(report, system)
+    covered = _check_coverage(report, system, library)
+    _check_deadlines(report, system, library, covered)
+    groups = _check_scopes(report, system, library, globals_map)
+    _check_periods(report, system, globals_map, groups, periods_map)
+
+
+def _check_graphs(report: DiagnosticReport, system: SystemSpec) -> None:
+    for process, block in system.iter_blocks():
+        try:
+            block.graph.validate()
+        except GraphError as exc:
+            code = "GRAPH001" if "cycle" in str(exc) else "SYS003"
+            report.add(
+                code, str(exc), process=process.name, block=block.name
+            )
+
+
+def _check_coverage(
+    report: DiagnosticReport, system: SystemSpec, library: ResourceLibrary
+) -> Dict[str, bool]:
+    """Per-``process/block`` flag: every kind has a resource type."""
+    covered: Dict[str, bool] = {}
+    for process, block in system.iter_blocks():
+        ok = True
+        flagged = set()
+        for op in block.graph:
+            if op.kind in flagged:
+                continue
+            try:
+                library.type_for(op.kind)
+            except ReproError:
+                ok = False
+                flagged.add(op.kind)
+                report.add(
+                    "LIB001",
+                    f"no resource type executes kind {op.kind.value!r}",
+                    process=process.name,
+                    block=block.name,
+                    op=op.op_id,
+                    hint=f"declare a resource with kinds={op.kind.value}",
+                )
+        covered[f"{process.name}/{block.name}"] = ok
+    return covered
+
+
+def _check_deadlines(
+    report: DiagnosticReport,
+    system: SystemSpec,
+    library: ResourceLibrary,
+    covered: Mapping[str, bool],
+) -> None:
+    for process, block in system.iter_blocks():
+        if not covered.get(f"{process.name}/{block.name}", False):
+            continue  # critical path undefined without latencies
+        try:
+            needed = block.graph.critical_path_length(library.latency_of)
+        except GraphError:
+            continue  # already reported as a graph finding
+        if needed > block.deadline:
+            report.add(
+                "TIME001",
+                f"critical path {needed} exceeds deadline {block.deadline}",
+                process=process.name,
+                block=block.name,
+                hint=f"raise the deadline to >= {needed} or split the block",
+            )
+
+
+def _check_scopes(
+    report: DiagnosticReport,
+    system: SystemSpec,
+    library: ResourceLibrary,
+    globals_map: Mapping[str, Sequence[str]],
+) -> Dict[str, List[str]]:
+    """Validate global groups; returns the well-formed subset."""
+    valid: Dict[str, List[str]] = {}
+    for type_name, group in globals_map.items():
+        if type_name not in library:
+            report.add(
+                "SCOPE004",
+                f"global directive names unknown resource type {type_name!r}",
+                hint=f"known types: {', '.join(library.type_names)}",
+            )
+            continue
+        members = list(dict.fromkeys(group))
+        if len(members) < 2:
+            report.add(
+                "SCOPE002",
+                f"global type {type_name!r} is shared by "
+                f"{len(members)} process(es); sharing needs >= 2",
+                hint="a single-process 'global' is just a local assignment",
+            )
+            continue
+        rtype = library.type(type_name)
+        users = {
+            process.name
+            for process in system.processes
+            if any(kind in process.kinds_used() for kind in rtype.kinds)
+        }
+        ok = True
+        for process_name in members:
+            if process_name not in system:
+                ok = False
+                report.add(
+                    "SCOPE001",
+                    f"global type {type_name!r}: unknown process "
+                    f"{process_name!r}",
+                    process=process_name,
+                )
+            elif process_name not in users:
+                ok = False
+                report.add(
+                    "SCOPE003",
+                    f"global type {type_name!r}: process {process_name!r} "
+                    f"contains no operation executed by this type",
+                    process=process_name,
+                    hint="drop the process from the group or fix the kinds",
+                )
+        if ok:
+            valid[type_name] = members
+    return valid
+
+
+def _check_periods(
+    report: DiagnosticReport,
+    system: SystemSpec,
+    globals_map: Mapping[str, Sequence[str]],
+    groups: Mapping[str, Sequence[str]],
+    periods_map: Mapping[str, int],
+) -> None:
+    for type_name, period in periods_map.items():
+        if type_name not in globals_map:
+            report.add(
+                "PERIOD001",
+                f"period declared for non-global type {type_name!r}",
+                hint="add a matching 'global' directive or drop the period",
+            )
+        elif type_name not in groups:
+            pass  # the group itself was flagged; period checks are moot
+        elif period < 1:
+            report.add(
+                "PERIOD002",
+                f"type {type_name!r}: period must be >= 1, got {period}",
+            )
+
+    effective: Dict[str, int] = {}
+    for type_name, group in groups.items():
+        declared = periods_map.get(type_name)
+        if declared is not None and declared >= 1:
+            effective[type_name] = declared
+            min_deadline = _min_group_deadline(system, group)
+            if min_deadline is not None and declared > min_deadline:
+                report.add(
+                    "PERIOD103",
+                    f"type {type_name!r}: period {declared} exceeds the "
+                    f"smallest sharing-block deadline {min_deadline}, so no "
+                    "block ever folds over it",
+                    hint=f"use a period <= {min_deadline}",
+                )
+        elif declared is None:
+            suggested = _min_group_deadline(system, group)
+            if suggested is not None:
+                effective[type_name] = suggested
+                report.add(
+                    "PERIOD201",
+                    f"type {type_name!r} has no period directive; the "
+                    f"min-deadline heuristic will pick {suggested}",
+                    hint=f"pin it with 'period {type_name} {suggested}'",
+                )
+
+    # Per-process grid rules (eq. 3): harmonic periods, grid <= deadline.
+    for process in system.processes:
+        type_names = [
+            t for t, group in groups.items()
+            if process.name in group and t in effective
+        ]
+        if not type_names:
+            continue
+        values = [effective[t] for t in type_names]
+        if not is_harmonic(values):
+            report.add(
+                "PERIOD101",
+                f"periods {dict(zip(type_names, values))} are not a divisor "
+                "chain; the start grid inflates to their lcm",
+                process=process.name,
+                hint="prefer harmonic periods (each divides the next)",
+            )
+        grid = lcm_all(values)
+        bound = min(block.deadline for block in process.blocks)
+        if grid > bound:
+            report.add(
+                "PERIOD102",
+                f"start grid {grid} exceeds the smallest block deadline "
+                f"{bound}; the process can be frozen longer than a block "
+                "runs",
+                process=process.name,
+                hint="shrink the periods or raise the deadlines",
+            )
+
+
+def _min_group_deadline(
+    system: SystemSpec, group: Sequence[str]
+) -> Optional[int]:
+    deadlines = [
+        block.deadline
+        for process_name in group
+        if process_name in system
+        for block in system.process(process_name).blocks
+    ]
+    return min(deadlines) if deadlines else None

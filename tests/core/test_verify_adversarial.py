@@ -1,0 +1,121 @@
+"""Adversarial tests for the static verifier.
+
+The verifier is the last line of defense: these tests take a correct
+schedule and tamper with it — shifted start times, understated
+authorizations, lying pool sizes — asserting that every corruption is
+caught.  A verifier that only ever sees honest schedules proves nothing.
+"""
+
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro.core.periods import PeriodAssignment
+from repro.core.result import SystemSchedule
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.core.verify import verify, verify_system_schedule
+from repro.errors import VerificationError
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+def scheduled_system():
+    """Two processes sharing adders globally, with local multipliers."""
+    library = default_library()
+    system = SystemSpec(name="adv")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("a0", OpKind.ADD)
+        graph.add("a1", OpKind.ADD)
+        graph.add("m0", OpKind.MUL)
+        graph.add_edge("a0", "a1")
+        graph.add_edge("a1", "m0")
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=8))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"adder": 4})
+    )
+
+
+@pytest.fixture
+def result():
+    return scheduled_system()
+
+
+def failing_checks(result):
+    return [c.name for c in verify_system_schedule(result).failures()]
+
+
+class TestHonestBaseline:
+    def test_untampered_schedule_verifies(self, result):
+        report = verify_system_schedule(result)
+        assert report.ok, str(report)
+        verify(result)  # must not raise
+
+    def test_verification_error_carries_code(self, result):
+        sched = result.schedule_of("p1", "main")
+        sched.starts["a1"] = sched.starts["a0"]  # break precedence
+        with pytest.raises(VerificationError) as excinfo:
+            verify(result)
+        assert excinfo.value.code == "VERIFY"
+
+
+class TestTamperedStarts:
+    def test_precedence_violation_is_caught(self, result):
+        sched = result.schedule_of("p1", "main")
+        # a1 must start after a0 finishes; pull it onto the same step.
+        sched.starts["a1"] = sched.starts["a0"]
+        assert "block p1/main" in failing_checks(result)
+
+    def test_deadline_violation_is_caught(self, result):
+        sched = result.schedule_of("p2", "main")
+        last = max(sched.starts, key=sched.starts.get)
+        sched.starts[last] = 40  # way past deadline 8
+        assert "block p2/main" in failing_checks(result)
+
+    def test_negative_start_is_caught(self, result):
+        sched = result.schedule_of("p1", "main")
+        sched.starts["a0"] = -1
+        assert "block p1/main" in failing_checks(result)
+
+
+class TestTamperedAuthorizations:
+    def test_understated_authorization_is_caught(self, result):
+        period = result.periods.period("adder")
+        zero = np.zeros(period, dtype=int)
+        with mock.patch.object(
+            SystemSchedule, "authorization", return_value=zero
+        ):
+            failed = failing_checks(result)
+        assert any(name.startswith("authorization") for name in failed)
+
+
+class TestTamperedPoolSizes:
+    def test_understated_global_pool_is_caught(self, result):
+        with mock.patch.object(
+            SystemSchedule, "global_instances", return_value=0
+        ):
+            failed = failing_checks(result)
+        assert "global pool adder" in failed
+
+    def test_understated_local_count_is_caught(self, result):
+        with mock.patch.object(
+            SystemSchedule, "local_instances", return_value=0
+        ):
+            failed = failing_checks(result)
+        assert any(name.startswith("local") for name in failed)
+
+    def test_overstated_pool_passes_but_is_not_hidden(self, result):
+        """An oversized pool is wasteful, not unsafe: verify stays green."""
+        with mock.patch.object(
+            SystemSchedule, "global_instances", return_value=99
+        ):
+            report = verify_system_schedule(result)
+        assert report.ok

@@ -1,0 +1,101 @@
+"""Bounded mutation-fuzz campaign asserting the robustness invariant.
+
+Every mutated ``.sys`` input must either be rejected with a
+:class:`ReproError` subclass or schedule-and-verify — never escape with
+a bare ``KeyError``/``IndexError``/``TypeError`` and never hang (the
+scheduler honours the :class:`RunBudget`; CI adds a step-level timeout).
+
+The campaign is deterministic: a fixed seed, a fixed corpus, a fixed
+input count.  ``benchmarks/fuzz_runner.py`` runs the open-ended version.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.validation.budget import RunBudget
+from repro.validation.fuzz import (
+    OUTCOME_CRASHED,
+    OUTCOME_REJECTED,
+    OUTCOME_SCHEDULED,
+    exercise_text,
+    mutate_text,
+)
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "diffeq_pair.sys"
+
+SMALL_TEXT = """\
+system fuzz-seed
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+op p2 main a1 add
+edge p2 main m1 a1
+global multiplier p1 p2
+period multiplier 4
+"""
+
+BUDGET = RunBudget(max_iterations=5000, wall_deadline=2.0)
+
+
+def corpus():
+    return [SMALL_TEXT, EXAMPLE.read_text()]
+
+
+def test_valid_corpus_schedules_clean():
+    for text in corpus():
+        outcome = exercise_text(text, budget=BUDGET)
+        assert outcome.outcome == OUTCOME_SCHEDULED, outcome.detail
+
+
+def test_fuzz_invariant_fixed_seed():
+    rng = random.Random(0xC0FFEE)
+    seeds = corpus()
+    crashes = []
+    outcomes = {OUTCOME_REJECTED: 0, OUTCOME_SCHEDULED: 0, OUTCOME_CRASHED: 0}
+    for _ in range(150):
+        mutated = mutate_text(rng.choice(seeds), rng)
+        outcome = exercise_text(mutated, budget=BUDGET)
+        outcomes[outcome.outcome] += 1
+        if not outcome.ok:
+            crashes.append((outcome.detail, mutated))
+    assert not crashes, "\n\n".join(
+        f"{detail}\n{text}" for detail, text in crashes[:3]
+    )
+    # The campaign must actually exercise both sides of the invariant.
+    assert outcomes[OUTCOME_REJECTED] > 0
+    assert outcomes[OUTCOME_SCHEDULED] > 0
+
+
+def test_rejections_carry_error_codes():
+    rng = random.Random(99)
+    seen_codes = set()
+    for _ in range(60):
+        mutated = mutate_text(SMALL_TEXT, rng)
+        outcome = exercise_text(mutated, budget=BUDGET)
+        if outcome.outcome == OUTCOME_REJECTED:
+            assert "[" in outcome.detail and "]" in outcome.detail
+            seen_codes.add(outcome.detail.split("[", 1)[1].split("]", 1)[0])
+    assert seen_codes, "no rejection was produced at all"
+
+
+def test_numeric_blowup_is_rejected_not_oom():
+    """The parse-time caps stop fuzzed deadlines from sizing huge arrays."""
+    huge = SMALL_TEXT.replace("deadline=8", "deadline=999999999999")
+    outcome = exercise_text(huge, budget=BUDGET)
+    assert outcome.outcome == OUTCOME_REJECTED
+    assert "cap" in outcome.detail
+
+
+def test_mutations_are_deterministic():
+    a = mutate_text(SMALL_TEXT, random.Random(7), rounds=3)
+    b = mutate_text(SMALL_TEXT, random.Random(7), rounds=3)
+    assert a == b

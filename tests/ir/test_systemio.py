@@ -77,7 +77,6 @@ class TestLoads:
             systemio.loads("resource x kinds=add voltage=5\n")
 
     def test_global_needs_two_processes(self):
-        doc = systemio.loads("global mult p1\n") if False else None
         with pytest.raises(SpecificationError, match="'global' takes"):
             systemio.loads("global mult p1\n")
 

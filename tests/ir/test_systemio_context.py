@@ -1,0 +1,95 @@
+"""Error context in the ``.sys`` front end: line numbers and value caps.
+
+Every :class:`SpecificationError` the parser or the document builder
+raises must carry a ``line N:`` prefix pointing at the offending
+directive, so fuzzed or hand-mangled inputs are debuggable without a
+traceback.  The numeric caps keep a corrupted ``deadline=``/``period``
+from sizing gigabyte arrays inside the schedulers.
+"""
+
+import re
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.ir import systemio
+from repro.ir.systemio import MAX_DEADLINE, MAX_PERIOD
+
+
+def error_of(text):
+    with pytest.raises(SpecificationError) as excinfo:
+        doc = systemio.loads(text)
+        doc.build_system()
+    return str(excinfo.value)
+
+
+class TestLineContext:
+    def test_parse_error_names_the_line(self):
+        message = error_of("system x\nfrobnicate\n")
+        assert message.startswith("line 2:")
+
+    def test_line_numbers_count_comments_and_blanks(self):
+        message = error_of("# header\n\nsystem x\nfrobnicate\n")
+        assert message.startswith("line 4:")
+
+    def test_bad_op_names_its_line(self):
+        message = error_of(
+            "system x\nprocess p\nblock p b deadline=4\nop p b a1\n"
+        )
+        assert message.startswith("line 4:")
+        assert "'op' takes" in message
+
+    def test_build_error_points_at_the_block_directive(self):
+        """Empty blocks only surface at build time; the error still names
+        the ``block`` line, not just the block."""
+        message = error_of("system x\nprocess p\nblock p b deadline=4\n")
+        assert message.startswith("line 3:")
+        assert "block p/b" in message
+
+    def test_cycle_rejection_names_the_edge_line(self):
+        message = error_of(
+            "system x\nprocess p\nblock p b deadline=4\n"
+            "op p b a add\nop p b c add\n"
+            "edge p b a c\nedge p b c a\n"
+        )
+        assert message.startswith("line 7:")
+        assert "cycle" in message
+
+    def test_every_reported_line_is_within_the_document(self):
+        texts = [
+            "nonsense\n",
+            "system x\nprocess p\nblock p b deadline=0\n",
+            "system x\nprocess p\nblock p b deadline=4\nedge p b a c\n",
+        ]
+        for text in texts:
+            match = re.match(r"line (\d+):", error_of(text))
+            assert match, text
+            assert 1 <= int(match.group(1)) <= text.count("\n")
+
+
+class TestNumericCaps:
+    def test_deadline_cap(self):
+        message = error_of(
+            f"system x\nprocess p\nblock p b deadline={MAX_DEADLINE + 1}\n"
+        )
+        assert "cap" in message
+        assert str(MAX_DEADLINE) in message
+
+    def test_deadline_at_cap_is_accepted(self):
+        doc = systemio.loads(
+            f"system x\nprocess p\nblock p b deadline={MAX_DEADLINE}\n"
+            "op p b a add\n"
+        )
+        assert doc.blocks["p"]["b"][1] == MAX_DEADLINE
+
+    def test_deadline_must_be_positive(self):
+        message = error_of("system x\nprocess p\nblock p b deadline=0\n")
+        assert ">= 1" in message
+
+    def test_period_cap(self):
+        message = error_of(f"system x\nperiod mult {MAX_PERIOD + 1}\n")
+        assert "cap" in message
+
+    def test_period_must_be_positive(self):
+        message = error_of("system x\nperiod mult 0\n")
+        assert ">= 1" in message

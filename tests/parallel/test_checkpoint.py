@@ -1,0 +1,161 @@
+"""Crash-safe sweep checkpointing: journal mechanics and kill/resume.
+
+Acceptance criteria of the robustness PR: a sweep killed mid-run and
+resumed from its journal reaches the identical best area and periods,
+evaluates each candidate exactly once across both runs, and the journal
+holds no duplicate candidate keys.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel import CandidateResult, ExplorationEngine, SweepJournal
+from repro.parallel.checkpoint import CheckpointError, candidate_key
+
+
+def _record(periods, status="ok", area=6.0, order=0):
+    return CandidateResult(
+        order=order, periods=periods, bound=1.0, status=status, area=area
+    )
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with SweepJournal(path) as journal:
+            journal.append(_record({"multiplier": 4}))
+        records = SweepJournal(path).load()
+        assert list(records) == [candidate_key({"multiplier": 4})]
+        entry = records[candidate_key({"multiplier": 4})]
+        assert entry["area"] == 6.0
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert SweepJournal(tmp_path / "absent.jsonl").load() == {}
+
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with SweepJournal(path) as journal:
+            journal.append(_record({"multiplier": 4}))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"version": 1, "periods": {"multi')  # killed mid-write
+        records = SweepJournal(path).load()
+        assert len(records) == 1  # the valid record survives
+
+    def test_malformed_records_are_skipped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        lines = [
+            json.dumps({"version": 1, "periods": {"a": 2}, "status": "ok"}),
+            json.dumps({"version": 99, "periods": {"b": 2}, "status": "ok"}),
+            json.dumps({"version": 1, "status": "ok"}),  # no periods
+            json.dumps({"version": 1, "periods": {"c": 2}}),  # no status
+            "not json at all",
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        records = SweepJournal(path).load()
+        assert list(records) == [candidate_key({"a": 2})]
+
+    def test_duplicate_keys_keep_first(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with SweepJournal(path) as journal:
+            journal.append(_record({"a": 2}, area=5.0))
+            journal.append(_record({"a": 2}, area=9.0))
+        records = SweepJournal(path).load()
+        assert records[candidate_key({"a": 2})]["area"] == 5.0
+
+    def test_best_area_ignores_failures(self):
+        records = {
+            ("a",): {"status": "ok", "area": 8.0},
+            ("b",): {"status": "failed", "area": None},
+            ("c",): {"status": "ok", "area": 6.0},
+            ("d",): {"status": "pruned", "area": None},
+        }
+        assert SweepJournal.best_area(records) == 6.0
+        assert SweepJournal.best_area({}) is None
+
+    def test_unwritable_path_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            SweepJournal(tmp_path / "no" / "such" / "dir" / "x.jsonl").append(
+                _record({"a": 2})
+            )
+
+
+class _Kill(Exception):
+    pass
+
+
+class TestKillResume:
+    def test_resume_matches_uninterrupted_run(
+        self, tmp_path, small_problem, small_candidates
+    ):
+        baseline = ExplorationEngine(small_problem).sweep(small_candidates)
+
+        path = tmp_path / "ck.jsonl"
+        seen = []
+
+        def killer(record):
+            seen.append(record)
+            if len(seen) == 3:
+                raise _Kill()
+
+        engine = ExplorationEngine(small_problem, checkpoint=path)
+        with pytest.raises(_Kill):
+            engine.sweep(small_candidates, on_result=killer)
+
+        journaled = SweepJournal(path).load()
+        assert len(journaled) == 3  # every surfaced result hit disk first
+
+        resumed = ExplorationEngine(small_problem, checkpoint=path).sweep(
+            small_candidates
+        )
+        assert resumed.best is not None
+        assert resumed.best.area == baseline.best.area
+        assert resumed.best.periods == baseline.best.periods
+        assert resumed.telemetry["candidates_restored"] == 3
+        # Exactly-once across both runs: the second run re-evaluated only
+        # what the first never journaled.
+        fresh = [r for r in resumed.results if not r.restored]
+        assert len(fresh) == len(small_candidates) - 3
+
+    def test_journal_has_no_duplicate_keys_after_resume(
+        self, tmp_path, small_problem, small_candidates
+    ):
+        path = tmp_path / "ck.jsonl"
+        seen = []
+
+        def killer(record):
+            seen.append(record)
+            if len(seen) == 2:
+                raise _Kill()
+
+        with pytest.raises(_Kill):
+            ExplorationEngine(small_problem, checkpoint=path).sweep(
+                small_candidates, on_result=killer
+            )
+        ExplorationEngine(small_problem, checkpoint=path).sweep(
+            small_candidates
+        )
+
+        keys = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                keys.append(candidate_key(json.loads(line)["periods"]))
+        assert len(keys) == len(small_candidates)
+        assert len(set(keys)) == len(keys)
+
+    def test_completed_journal_restores_everything(
+        self, tmp_path, small_problem, small_candidates
+    ):
+        path = tmp_path / "ck.jsonl"
+        first = ExplorationEngine(small_problem, checkpoint=path).sweep(
+            small_candidates
+        )
+        second = ExplorationEngine(small_problem, checkpoint=path).sweep(
+            small_candidates
+        )
+        assert second.telemetry["candidates_restored"] == len(
+            small_candidates
+        )
+        assert all(record.restored for record in second.results)
+        assert second.best.area == first.best.area
+        assert second.best.periods == first.best.periods

@@ -1,0 +1,122 @@
+"""Budget-exhaustion degradation: schedulers fall back, never hang.
+
+Acceptance criterion of the robustness PR: exhausting a
+:class:`RunBudget` mid-run yields a *valid* fallback schedule tagged
+``degraded=True`` with the exhaustion reason in the telemetry — instead
+of an unbounded run or an exception.
+"""
+
+import pytest
+
+from repro.api import loads_problem
+from repro.core.verify import verify
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.fds import ForceDirectedScheduler
+from repro.scheduling.ifds import ImprovedForceDirectedScheduler
+from repro.validation import RunBudget
+
+TEXT = """\
+system degrade
+process p1
+block p1 main deadline=10
+op p1 main a1 add
+op p1 main a2 add
+op p1 main m1 mul
+op p1 main m2 mul
+edge p1 main a1 m1
+edge p1 main a2 m2
+process p2
+block p2 main deadline=10
+op p2 main m1 mul
+op p2 main m2 mul
+op p2 main a1 add
+edge p2 main m1 a1
+global multiplier p1 p2
+period multiplier 5
+"""
+
+
+def wide_block(n_ops=8, deadline=12):
+    graph = DataFlowGraph(name="wide")
+    for i in range(n_ops):
+        graph.add(f"a{i}", OpKind.ADD)
+    return Block(name="wide", graph=graph, deadline=deadline)
+
+
+class TestBlockSchedulers:
+    @pytest.mark.parametrize(
+        "cls", [ForceDirectedScheduler, ImprovedForceDirectedScheduler]
+    )
+    def test_exhaustion_degrades_to_valid_schedule(self, cls):
+        scheduler = cls(default_library(), budget=RunBudget(max_iterations=1))
+        schedule = scheduler.schedule(wide_block())
+        assert schedule.degraded
+        assert "iteration budget exhausted" in schedule.degraded_reason
+        schedule.validate()
+        assert schedule.makespan <= 12
+
+    @pytest.mark.parametrize(
+        "cls", [ForceDirectedScheduler, ImprovedForceDirectedScheduler]
+    )
+    def test_ample_budget_never_degrades(self, cls):
+        scheduler = cls(
+            default_library(), budget=RunBudget(max_iterations=100_000)
+        )
+        schedule = scheduler.schedule(wide_block())
+        assert not schedule.degraded
+        assert schedule.degraded_reason is None
+
+    def test_no_budget_keeps_exact_behavior(self):
+        baseline = ForceDirectedScheduler(default_library()).schedule(
+            wide_block()
+        )
+        budgeted = ForceDirectedScheduler(
+            default_library(), budget=RunBudget(max_iterations=100_000)
+        ).schedule(wide_block())
+        assert baseline.starts == budgeted.starts
+
+
+class TestSystemScheduler:
+    def test_exhaustion_tags_result_and_telemetry(self):
+        problem = loads_problem(TEXT)
+        result = problem.schedule(budget=RunBudget(max_iterations=1))
+        assert result.degraded
+        info = result.telemetry["degraded"]
+        assert "iteration budget exhausted" in info["reason"]
+        assert info["fallback"] == "list_scheduling"
+        for sched in result.block_schedules.values():
+            assert sched.degraded
+
+    def test_degraded_result_still_verifies(self):
+        problem = loads_problem(TEXT)
+        result = problem.schedule(budget=RunBudget(max_iterations=1))
+        verify(result)  # safety holds even on the fallback path
+
+    def test_degraded_area_bounds_the_optimized_one(self):
+        problem = loads_problem(TEXT)
+        good = problem.schedule()
+        degraded = problem.schedule(budget=RunBudget(max_iterations=1))
+        assert degraded.total_area() >= good.total_area()
+
+    def test_ample_budget_matches_unbudgeted_run(self):
+        problem = loads_problem(TEXT)
+        free = problem.schedule()
+        budgeted = problem.schedule(
+            budget=RunBudget(max_iterations=100_000, wall_deadline=300.0)
+        )
+        assert not budgeted.degraded
+        assert budgeted.total_area() == free.total_area()
+        assert "degraded" not in budgeted.telemetry
+
+    def test_wall_deadline_degrades(self):
+        problem = loads_problem(TEXT)
+        result = problem.schedule(
+            budget=RunBudget(wall_deadline=1e-9)
+        )
+        assert result.degraded
+        info = result.telemetry["degraded"]
+        assert "wall-clock budget exhausted" in info["reason"]
+        verify(result)

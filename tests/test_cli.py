@@ -200,13 +200,13 @@ class TestObservability:
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["schedule", "/nonexistent/x.sys"]) == 2
-        assert "error:" in capsys.readouterr().err
+        assert "error [OS]:" in capsys.readouterr().err
 
     def test_malformed_file(self, tmp_path, capsys):
         path = tmp_path / "bad.sys"
         path.write_text("frobnicate\n", encoding="utf-8")
         assert main(["schedule", str(path)]) == 2
-        assert "error:" in capsys.readouterr().err
+        assert "error [" in capsys.readouterr().err
 
     def test_infeasible_deadline(self, tmp_path, capsys):
         path = tmp_path / "tight.sys"

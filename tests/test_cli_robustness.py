@@ -1,0 +1,140 @@
+"""CLI robustness: error contract, preflight, budgets, trials, resume.
+
+The error contract (docs/robustness.md): every failure prints one
+``error [CODE]: message`` line on stderr and exits 2; tracebacks appear
+only under ``-v``; exit 1 is reserved for "ran fine but found nothing
+usable" (no candidate schedules, warnings from ``check``).
+"""
+
+import pytest
+
+from repro.cli import main
+
+VALID = """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+op p2 main a1 add
+edge p2 main m1 a1
+global multiplier p1 p2
+period multiplier 4
+"""
+
+BROKEN = "system demo\nblock p1 main deadline=8\n"  # block before process
+
+WARNING_ONLY = VALID.replace("period multiplier 4", "period multiplier 16")
+
+
+@pytest.fixture
+def sys_file(tmp_path):
+    path = tmp_path / "demo.sys"
+    path.write_text(VALID, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.sys"
+    path.write_text(BROKEN, encoding="utf-8")
+    return str(path)
+
+
+class TestErrorContract:
+    def test_repro_error_prints_code_and_exits_2(self, broken_file, capsys):
+        assert main(["schedule", broken_file, "--no-check"]) == 2
+        err = capsys.readouterr().err
+        assert "error [SPEC]:" in err
+        assert "Traceback" not in err
+
+    def test_os_error_prints_code_and_exits_2(self, capsys):
+        assert main(["schedule", "/no/such/file.sys"]) == 2
+        err = capsys.readouterr().err
+        assert "error [OS]:" in err
+
+    def test_traceback_only_under_verbose(self, broken_file, capsys):
+        assert main(["schedule", broken_file, "--no-check", "-v"]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" in err
+        assert "error [SPEC]:" in err
+
+
+class TestCheckCommand:
+    def test_clean_file_exits_0(self, sys_file, capsys):
+        assert main(["check", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "ok (0 errors" in out
+
+    def test_warnings_exit_1(self, tmp_path, capsys):
+        path = tmp_path / "warn.sys"
+        path.write_text(WARNING_ONLY, encoding="utf-8")
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "PERIOD103" in out
+
+    def test_errors_exit_2_with_stable_code(self, broken_file, capsys):
+        assert main(["check", broken_file]) == 2
+        out = capsys.readouterr().out
+        assert "SYS001" in out
+
+
+class TestPreflightGate:
+    def test_schedule_vetoes_broken_input(self, broken_file, capsys):
+        assert main(["schedule", broken_file]) == 2
+        err = capsys.readouterr().err
+        assert "SYS001" in err
+        assert "error [CHECK]:" in err
+
+    def test_sweep_vetoes_broken_input(self, broken_file, capsys):
+        assert main(["sweep", broken_file]) == 2
+        assert "SYS001" in capsys.readouterr().err
+
+    def test_warnings_do_not_veto(self, tmp_path, capsys):
+        path = tmp_path / "warn.sys"
+        path.write_text(WARNING_ONLY, encoding="utf-8")
+        assert main(["schedule", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "PERIOD103" in captured.err  # surfaced, not fatal
+        assert "verified" in captured.out
+
+
+class TestBudgetFlags:
+    def test_exhaustion_warns_and_degrades(self, sys_file, capsys):
+        assert main(["schedule", sys_file, "--max-iterations", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "budget exhausted" in captured.err
+        assert "verified" in captured.out  # fallback still verifies
+
+    def test_ample_budget_stays_silent(self, sys_file, capsys):
+        assert main(["schedule", sys_file, "--max-iterations", "99999"]) == 0
+        assert "budget exhausted" not in capsys.readouterr().err
+
+
+class TestSimulateTrials:
+    def test_multi_trial_campaign(self, sys_file, capsys):
+        assert main(
+            ["simulate", sys_file, "--cycles", "200", "--trials", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 trials" in out
+        assert "seeds 0..2" in out
+
+    def test_single_trial_keeps_plain_summary(self, sys_file, capsys):
+        assert main(["simulate", sys_file, "--cycles", "200"]) == 0
+        assert "violations: none" in capsys.readouterr().out
+
+
+class TestSweepResume:
+    def test_second_run_restores_from_journal(self, sys_file, tmp_path, capsys):
+        journal = str(tmp_path / "ck.jsonl")
+        assert main(["sweep", sys_file, "--resume", journal]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", sys_file, "--resume", journal]) == 0
+        second = capsys.readouterr().out
+        assert "restored from the journal" in second
+        assert first.splitlines()[-1] == second.splitlines()[-1]  # same best

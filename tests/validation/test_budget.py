@@ -1,0 +1,86 @@
+"""Tests for RunBudget / BudgetTracker watchdog semantics."""
+
+import time
+
+import pytest
+
+from repro.validation.budget import BudgetTracker, RunBudget
+
+
+class TestRunBudget:
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ValueError):
+            RunBudget(max_iterations=0)
+        with pytest.raises(ValueError):
+            RunBudget(wall_deadline=-1.0)
+        with pytest.raises(ValueError):
+            RunBudget(max_iterations=10, oscillation_window=-1)
+
+    def test_zero_window_disables_oscillation_detection(self):
+        tracker = RunBudget(
+            max_iterations=100, oscillation_window=0
+        ).tracker()
+        for _ in range(10):
+            assert tracker.tick(state_hash=42) is None
+
+    def test_tracker_is_fresh_per_call(self):
+        budget = RunBudget(max_iterations=2)
+        first = budget.tracker()
+        assert first.tick() is None
+        assert first.tick() is None
+        assert first.tick() is not None
+        second = budget.tracker()
+        assert second.tick() is None
+
+
+class TestIterationBudget:
+    def test_exhausts_after_max_iterations(self):
+        tracker = RunBudget(max_iterations=3).tracker()
+        reasons = [tracker.tick() for _ in range(4)]
+        assert reasons[:3] == [None, None, None]
+        assert "iteration budget exhausted (3)" in reasons[3]
+
+    def test_reason_is_sticky(self):
+        tracker = RunBudget(max_iterations=1).tracker()
+        tracker.tick()
+        reason = tracker.tick()
+        assert reason is not None
+        assert tracker.tick() == reason
+        assert tracker.exhausted_reason == reason
+
+
+class TestWallDeadline:
+    def test_expires_with_time(self):
+        tracker = RunBudget(wall_deadline=0.01).tracker()
+        time.sleep(0.02)
+        reason = tracker.tick()
+        assert reason is not None
+        assert "wall-clock budget exhausted" in reason
+
+
+class TestOscillation:
+    def test_state_revisit_is_flagged(self):
+        tracker = RunBudget(
+            max_iterations=100, oscillation_window=8
+        ).tracker()
+        assert tracker.tick(state_hash=1) is None
+        assert tracker.tick(state_hash=2) is None
+        reason = tracker.tick(state_hash=1)
+        assert reason is not None
+        assert "oscillation" in reason
+
+    def test_old_states_fall_out_of_the_window(self):
+        tracker = RunBudget(
+            max_iterations=1000, oscillation_window=2
+        ).tracker()
+        assert tracker.tick(state_hash=1) is None
+        assert tracker.tick(state_hash=2) is None
+        assert tracker.tick(state_hash=3) is None  # evicts 1
+        assert tracker.tick(state_hash=1) is None  # not a revisit anymore
+
+    def test_monotone_progress_never_trips(self):
+        tracker = RunBudget(
+            max_iterations=1000, oscillation_window=64
+        ).tracker()
+        for step in range(200):
+            assert tracker.tick(state_hash=step) is None

@@ -1,0 +1,87 @@
+"""Tests for the diagnostic code registry and report mechanics."""
+
+import pytest
+
+from repro.validation.diagnostics import (
+    CODES,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+    DiagnosticReport,
+)
+
+
+class TestRegistry:
+    def test_every_code_has_severity_and_title(self):
+        for code, entry in CODES.items():
+            assert entry["severity"] in (
+                SEVERITY_ERROR,
+                SEVERITY_WARNING,
+                SEVERITY_INFO,
+            ), code
+            assert entry["title"], code
+
+    def test_numbering_convention_matches_severity(self):
+        """Sub-100 numbers are errors, 1xx warnings, 2xx notes."""
+        for code, entry in CODES.items():
+            number = int(code[-3:])
+            if number < 100:
+                assert entry["severity"] == SEVERITY_ERROR, code
+            elif number < 200:
+                assert entry["severity"] == SEVERITY_WARNING, code
+            else:
+                assert entry["severity"] == SEVERITY_INFO, code
+
+    def test_unregistered_code_is_rejected(self):
+        report = DiagnosticReport()
+        with pytest.raises(KeyError, match="unregistered"):
+            report.add("NOPE999", "made up")
+
+
+class TestDiagnostic:
+    def test_location_path(self):
+        d = Diagnostic(code="LIB001", message="m", process="p1", block="main")
+        assert d.location == "p1/main"
+        assert Diagnostic(code="SYS002", message="m").location == ""
+
+    def test_render_includes_hint(self):
+        d = Diagnostic(
+            code="TIME001", message="too long", hint="raise the deadline"
+        )
+        text = d.render()
+        assert "TIME001" in text
+        assert "hint: raise the deadline" in text
+
+
+class TestReport:
+    def test_exit_codes(self):
+        clean = DiagnosticReport()
+        assert (clean.ok, clean.exit_code) == (True, 0)
+        warn = DiagnosticReport()
+        warn.add("LIB101", "unused")
+        assert (warn.ok, warn.exit_code) == (True, 1)
+        err = DiagnosticReport()
+        err.add("LIB101", "unused")
+        err.add("SYS002", "empty")
+        assert (err.ok, err.exit_code) == (False, 2)
+
+    def test_severity_pulled_from_registry(self):
+        report = DiagnosticReport()
+        d = report.add("PERIOD201", "no period")
+        assert d.severity == SEVERITY_INFO
+
+    def test_render_orders_errors_first(self):
+        report = DiagnosticReport(source="x.sys")
+        report.add("PERIOD201", "note first")
+        report.add("SYS002", "error second")
+        text = report.render()
+        assert text.index("SYS002") < text.index("PERIOD201")
+        assert "1 errors, 0 warnings, 1 notes" in text
+
+    def test_has_and_codes(self):
+        report = DiagnosticReport()
+        report.add("SCOPE002", "tiny group")
+        assert report.has("SCOPE002")
+        assert not report.has("SCOPE001")
+        assert report.codes == ["SCOPE002"]

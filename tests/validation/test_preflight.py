@@ -1,0 +1,179 @@
+"""Preflight validation over a corpus of seeded defects.
+
+Acceptance criterion of the robustness PR: ``repro check`` flags every
+seeded defect with its stable diagnostic code.  Each corpus entry pairs
+one defective document with the code it must trigger.
+"""
+
+import pytest
+
+from repro.validation import validate_path, validate_text
+
+VALID = """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+op p2 main a1 add
+edge p2 main m1 a1
+global multiplier p1 p2
+period multiplier 4
+"""
+
+#: defect name -> (document text, diagnostic code it must raise)
+SEEDED_DEFECTS = {
+    "parse-failure": (
+        "system demo\nblock p1 main deadline=8\n",  # block before process
+        "SYS001",
+    ),
+    "no-processes": ("system empty\n", "SYS002"),
+    "graph-cycle": (
+        """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main a2 add
+edge p1 main a1 a2
+edge p1 main a2 a1
+""",
+        "GRAPH001",
+    ),
+    "uncovered-kind": (
+        """\
+system demo
+resource adder kinds=add area=1
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+""",
+        "LIB001",
+    ),
+    "infeasible-deadline": (
+        """\
+system demo
+process p1
+block p1 main deadline=2
+op p1 main a1 add
+op p1 main a2 add
+op p1 main a3 add
+edge p1 main a1 a2
+edge p1 main a2 a3
+""",
+        "TIME001",
+    ),
+    "unknown-process-in-scope": (
+        VALID.replace("global multiplier p1 p2", "global multiplier p1 p9"),
+        "SCOPE001",
+    ),
+    "unknown-type-in-scope": (
+        VALID.replace("global multiplier p1 p2", "global divider p1 p2")
+        .replace("period multiplier 4", "period divider 4"),
+        "SCOPE004",
+    ),
+    "member-never-uses-type": (
+        """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main m1 mul
+process p2
+block p2 main deadline=8
+op p2 main a1 add
+global multiplier p1 p2
+period multiplier 4
+""",
+        "SCOPE003",
+    ),
+    "period-for-nonglobal": (
+        VALID + "period adder 4\n",
+        "PERIOD001",
+    ),
+}
+
+SEEDED_WARNINGS = {
+    "unused-resource": (
+        """\
+system demo
+resource adder kinds=add area=1
+resource divider kinds=div area=8
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+""",
+        "LIB101",
+    ),
+    "non-harmonic-periods": (
+        VALID.replace("op p2 main a1 add", "op p2 main a1 add")
+        + "global adder p1 p2\nperiod adder 3\n",
+        "PERIOD101",
+    ),
+    "period-exceeds-deadline": (
+        VALID.replace("period multiplier 4", "period multiplier 16"),
+        "PERIOD103",
+    ),
+}
+
+
+def test_valid_document_is_clean():
+    report = validate_text(VALID)
+    assert report.ok
+    assert report.exit_code == 0
+    assert not report.diagnostics
+
+
+@pytest.mark.parametrize(
+    "text,code", SEEDED_DEFECTS.values(), ids=list(SEEDED_DEFECTS)
+)
+def test_seeded_defects_flagged_with_stable_code(text, code):
+    report = validate_text(text)
+    assert report.has(code), (
+        f"expected {code}, got {report.codes}\n{report.render()}"
+    )
+    assert not report.ok
+    assert report.exit_code == 2
+
+
+@pytest.mark.parametrize(
+    "text,code", SEEDED_WARNINGS.values(), ids=list(SEEDED_WARNINGS)
+)
+def test_seeded_warnings_flagged_but_not_fatal(text, code):
+    report = validate_text(text)
+    assert report.has(code), (
+        f"expected {code}, got {report.codes}\n{report.render()}"
+    )
+    assert report.ok  # warnings never veto a run
+    assert report.exit_code == 1
+
+
+def test_missing_period_is_a_note_with_suggestion():
+    text = VALID.replace("period multiplier 4\n", "")
+    report = validate_text(text)
+    assert report.has("PERIOD201")
+    assert report.exit_code == 0 or report.exit_code == 1
+    note = next(d for d in report.diagnostics if d.code == "PERIOD201")
+    assert note.hint  # suggests a concrete period
+
+
+def test_validate_path_carries_source_name(tmp_path):
+    path = tmp_path / "demo.sys"
+    path.write_text(VALID, encoding="utf-8")
+    report = validate_path(path)
+    assert report.ok
+    assert "demo.sys" in report.source
+
+
+def test_examples_are_clean():
+    """The shipped examples must stay preflight-clean (CI lints them)."""
+    import pathlib
+
+    examples = pathlib.Path(__file__).resolve().parents[2] / "examples"
+    for path in sorted(examples.glob("*.sys")):
+        report = validate_path(path)
+        assert report.ok, f"{path.name}:\n{report.render()}"
