@@ -1,0 +1,65 @@
+"""Static analysis: safety certification and IR lint.
+
+Two pillars (see docs/static-analysis.md):
+
+* :func:`certify` proves, per global resource type, that the summed
+  slot occupancy never exceeds the allocated pool under *every*
+  admissible block-start offset combination of the eq. 2-3 period grid,
+  emitting a machine-checkable :class:`Certificate` — or a concrete
+  :class:`Counterexample` offset assignment when the proof fails.
+  :func:`check_certificate` re-verifies the artifact independently.
+* :func:`run_lint` drives rule-based IR lint passes with stable
+  ``LINT*`` diagnostic codes over a problem and its schedule.
+"""
+
+from .certificate import (
+    CERTIFICATE_FORMAT,
+    CERTIFICATE_VERSION,
+    MODEL_ANY,
+    MODEL_DEPLOYED,
+    VERDICT_SAFE,
+    VERDICT_UNSAFE,
+    Certificate,
+    Contribution,
+    Counterexample,
+    ProcessEnvelope,
+    SlotWitness,
+    TypeProof,
+)
+from .certifier import CertificationError, certify, pool_conflict
+from .checker import check_certificate
+from .lint import (
+    DEFAULT_RULES,
+    RULES_BY_NAME,
+    SCOPE_PROBLEM,
+    SCOPE_SCHEDULE,
+    LintContext,
+    LintRule,
+    run_lint,
+)
+
+__all__ = [
+    "CERTIFICATE_FORMAT",
+    "CERTIFICATE_VERSION",
+    "MODEL_ANY",
+    "MODEL_DEPLOYED",
+    "VERDICT_SAFE",
+    "VERDICT_UNSAFE",
+    "Certificate",
+    "CertificationError",
+    "Contribution",
+    "Counterexample",
+    "DEFAULT_RULES",
+    "LintContext",
+    "LintRule",
+    "ProcessEnvelope",
+    "RULES_BY_NAME",
+    "SCOPE_PROBLEM",
+    "SCOPE_SCHEDULE",
+    "SlotWitness",
+    "TypeProof",
+    "certify",
+    "check_certificate",
+    "pool_conflict",
+    "run_lint",
+]

@@ -1,0 +1,384 @@
+"""Certificate artifacts: machine-checkable safety proofs and refutations.
+
+A :class:`Certificate` is the output of the safety certifier
+(:mod:`repro.analysis.static.certifier`): per global resource type, the
+per-process folded occupancy envelopes with their slot witnesses, the
+admissible offset-class coverage record, and the proven peak demand
+against the allocated pool.  The artifact is plain data — JSON in, JSON
+out — so it can be re-verified by the independent
+:func:`repro.analysis.static.checker.check_certificate` without trusting
+a single line of the certifier.
+
+When the proof fails, the certificate instead carries a
+:class:`Counterexample`: one concrete, grid-admissible offset assignment
+plus the period slot at which the summed occupancy exceeds the pool,
+down to the ``(process, block, relative step)`` contributions.  The same
+formatting backs the conflict details of :mod:`repro.core.verify`.
+
+This module deliberately imports nothing from the scheduling layers:
+certificates are pure data and must stay loadable anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Format tag of the JSON artifact; bump on breaking schema changes.
+CERTIFICATE_FORMAT = "repro-certificate"
+CERTIFICATE_VERSION = 1
+
+#: Verdict labels.
+VERDICT_SAFE = "safe"
+VERDICT_UNSAFE = "unsafe"
+
+#: Offset models a certificate can be proven under.
+MODEL_DEPLOYED = "deployed"
+MODEL_ANY = "any-offset"
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One process's share of a conflicting period slot."""
+
+    process: str
+    block: str
+    step: int  # block-relative control step
+    usage: int
+    start: int  # absolute block start time realizing the conflict
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "process": self.process,
+            "block": self.block,
+            "step": self.step,
+            "usage": self.usage,
+            "start": self.start,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Contribution":
+        return cls(
+            process=str(data["process"]),
+            block=str(data["block"]),
+            step=int(data["step"]),
+            usage=int(data["usage"]),
+            start=int(data["start"]),
+        )
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete offset assignment that overfills one global pool.
+
+    The refutation triple the paper's safety argument forbids: a global
+    ``type``, a period ``slot``, and the sharing ``processes`` whose
+    summed occupancy at that slot exceeds the allocated pool — each with
+    the block, relative step, and grid-admissible absolute start time
+    realizing it.
+    """
+
+    type_name: str
+    slot: int
+    period: int
+    pool: int
+    demand: int
+    contributions: List[Contribution] = field(default_factory=list)
+
+    @property
+    def processes(self) -> List[str]:
+        return [c.process for c in self.contributions]
+
+    @property
+    def offsets(self) -> Dict[str, int]:
+        """Absolute start offsets per process realizing the conflict."""
+        return {c.process: c.start for c in self.contributions}
+
+    def triple(self) -> str:
+        """The ``(type, slot, processes)`` conflict triple, rendered."""
+        return (
+            f"(type {self.type_name!r}, slot {self.slot}, "
+            f"processes {', '.join(self.processes)})"
+        )
+
+    def render(self) -> str:
+        """Multi-line human-readable refutation."""
+        lines = [
+            f"conflict {self.triple()}: slot demand {self.demand} exceeds "
+            f"pool {self.pool} (period {self.period})"
+        ]
+        for c in self.contributions:
+            lines.append(
+                f"  {c.process}/{c.block} starting at t={c.start} uses "
+                f"{c.usage} at relative step {c.step} "
+                f"(absolute slot {(c.start + c.step) % self.period})"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "slot": self.slot,
+            "period": self.period,
+            "pool": self.pool,
+            "demand": self.demand,
+            "contributions": [c.as_dict() for c in self.contributions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Counterexample":
+        return cls(
+            type_name=str(data["type"]),
+            slot=int(data["slot"]),
+            period=int(data["period"]),
+            pool=int(data["pool"]),
+            demand=int(data["demand"]),
+            contributions=[
+                Contribution.from_dict(entry)
+                for entry in data.get("contributions", [])
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class SlotWitness:
+    """Evidence that an envelope entry is attained by a real operation set.
+
+    ``usage`` operations of the certified type are simultaneously busy at
+    block-relative step ``step`` of ``block``, and ``step`` folds onto the
+    witnessed slot under the process's rotation.
+    """
+
+    slot: int
+    block: str
+    step: int
+    usage: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "slot": self.slot,
+            "block": self.block,
+            "step": self.step,
+            "usage": self.usage,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SlotWitness":
+        return cls(
+            slot=int(data["slot"]),
+            block=str(data["block"]),
+            step=int(data["step"]),
+            usage=int(data["usage"]),
+        )
+
+
+@dataclass(frozen=True)
+class ProcessEnvelope:
+    """One process's folded worst-case occupancy of one global type.
+
+    ``envelope[tau]`` bounds the process's concurrent usage at every
+    absolute time step congruent to ``tau`` **relative to the block
+    start** (unrotated); the admissible rotations of the envelope along
+    the period axis are ``{(base + i * step) % period : 0 <= i < count}``.
+    """
+
+    process: str
+    grid: int
+    configured_offset: int
+    rotation_base: int
+    rotation_step: int
+    rotation_count: int
+    envelope: List[int]
+    witnesses: List[SlotWitness] = field(default_factory=list)
+
+    def rotations(self) -> List[int]:
+        period = len(self.envelope)
+        return [
+            (self.rotation_base + i * self.rotation_step) % period
+            for i in range(self.rotation_count)
+        ]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "process": self.process,
+            "grid": self.grid,
+            "configured_offset": self.configured_offset,
+            "rotation": {
+                "base": self.rotation_base,
+                "step": self.rotation_step,
+                "count": self.rotation_count,
+            },
+            "envelope": list(self.envelope),
+            "witnesses": [w.as_dict() for w in self.witnesses],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProcessEnvelope":
+        rotation = data.get("rotation", {})
+        return cls(
+            process=str(data["process"]),
+            grid=int(data["grid"]),
+            configured_offset=int(data["configured_offset"]),
+            rotation_base=int(rotation.get("base", 0)),
+            rotation_step=int(rotation.get("step", 1)),
+            rotation_count=int(rotation.get("count", 1)),
+            envelope=[int(v) for v in data.get("envelope", [])],
+            witnesses=[
+                SlotWitness.from_dict(entry)
+                for entry in data.get("witnesses", [])
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class TypeProof:
+    """The per-type proof obligation and its outcome.
+
+    For a safe proof ``proven_peak`` is the exact maximum slot demand
+    over the full offset-class coverage; for an unsafe one it is the
+    demand of the first violating combination found (a reachable lower
+    bound — enumeration stops at the refutation).
+    """
+
+    type_name: str
+    period: int
+    pool: int
+    proven_peak: int
+    multicycle: bool
+    classes_total: int  # |product of per-process rotation sets|
+    classes_checked: int  # after the common-rotation quotient
+    processes: List[ProcessEnvelope] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return self.proven_peak <= self.pool
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "period": self.period,
+            "pool": self.pool,
+            "proven_peak": self.proven_peak,
+            "multicycle": self.multicycle,
+            "offset_classes": {
+                "total": self.classes_total,
+                "checked": self.classes_checked,
+            },
+            "processes": [p.as_dict() for p in self.processes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TypeProof":
+        classes = data.get("offset_classes", {})
+        return cls(
+            type_name=str(data["type"]),
+            period=int(data["period"]),
+            pool=int(data["pool"]),
+            proven_peak=int(data["proven_peak"]),
+            multicycle=bool(data.get("multicycle", False)),
+            classes_total=int(classes.get("total", 1)),
+            classes_checked=int(classes.get("checked", 1)),
+            processes=[
+                ProcessEnvelope.from_dict(entry)
+                for entry in data.get("processes", [])
+            ],
+        )
+
+
+@dataclass
+class Certificate:
+    """A machine-checkable safety proof (or refutation) of one schedule."""
+
+    system: str
+    offset_model: str
+    verdict: str
+    types: List[TypeProof] = field(default_factory=list)
+    counterexample: Optional[Counterexample] = None
+
+    @property
+    def safe(self) -> bool:
+        return self.verdict == VERDICT_SAFE
+
+    def proof(self, type_name: str) -> TypeProof:
+        for proof in self.types:
+            if proof.type_name == type_name:
+                return proof
+        raise KeyError(f"certificate holds no proof for type {type_name!r}")
+
+    def summary(self) -> str:
+        lines = [
+            f"certificate for {self.system!r} "
+            f"({self.offset_model} offsets): {self.verdict}"
+        ]
+        for proof in self.types:
+            lines.append(
+                f"  {proof.type_name}: period {proof.period}, "
+                f"proven peak {proof.proven_peak} <= pool {proof.pool}"
+                if proof.safe
+                else f"  {proof.type_name}: period {proof.period}, "
+                f"proven peak {proof.proven_peak} > pool {proof.pool}"
+            )
+            lines.append(
+                f"    offset classes: {proof.classes_checked} checked "
+                f"(of {proof.classes_total} admissible)"
+            )
+        if self.counterexample is not None:
+            lines.append(self.counterexample.render())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "format": CERTIFICATE_FORMAT,
+            "version": CERTIFICATE_VERSION,
+            "system": self.system,
+            "offset_model": self.offset_model,
+            "verdict": self.verdict,
+            "types": [proof.as_dict() for proof in self.types],
+        }
+        data["counterexample"] = (
+            None
+            if self.counterexample is None
+            else self.counterexample.as_dict()
+        )
+        return data
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Certificate":
+        if data.get("format") != CERTIFICATE_FORMAT:
+            raise ValueError(
+                f"not a {CERTIFICATE_FORMAT} artifact: "
+                f"format={data.get('format')!r}"
+            )
+        counterexample = data.get("counterexample")
+        return cls(
+            system=str(data.get("system", "")),
+            offset_model=str(data.get("offset_model", MODEL_DEPLOYED)),
+            verdict=str(data.get("verdict", "")),
+            types=[TypeProof.from_dict(entry) for entry in data.get("types", [])],
+            counterexample=(
+                None
+                if counterexample is None
+                else Counterexample.from_dict(counterexample)
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Certificate":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Certificate":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -1,0 +1,473 @@
+"""The safety certifier: proves interference-freedom over all offsets.
+
+The paper's safety argument (S2/§4) folds every block's global-resource
+usage onto period slots and grants per-slot access authorizations, so a
+synthesis-time decision stays safe for *any* run-time interleaving.  The
+certifier turns that argument into a checked proof over one finished
+:class:`~repro.core.result.SystemSchedule`:
+
+1. **Residue-class reduction.**  A block of process ``p`` may start at
+   any absolute time ``s ≡ offset_p (mod g_p)`` (eq. 2/3).  For a global
+   type with period ``P`` the contribution of that block at absolute
+   slot ``tau`` depends on ``s`` only through ``s mod P`` — the
+   unbounded space of start times collapses to the rotation coset
+   ``{(offset_p + m * g_p) mod P} = offset_p + gcd(g_p, P) * Z_P``.
+   Under the eq. 3 grid rule ``P | g_p`` the coset is a singleton: this
+   *is* the paper's theorem, and the certifier verifies the divisibility
+   premise instead of assuming it.
+
+2. **Envelopes.**  Per process, the folded worst-case occupancy
+   ``E_p[tau] = max over blocks b, steps j ≡ tau (mod P) of usage_b[j]``
+   (condition C2: at most one block of a process is ever active, so the
+   per-process contribution is a max, not a sum).  Every nonzero entry
+   carries a witness ``(block, step, usage)``.
+
+3. **Coverage.**  The summed demand ``sum_p roll(E_p, rho_p)`` is
+   checked against the allocated pool for every admissible rotation
+   combination ``(rho_p)``.  Two reductions keep this far below brute
+   force: a common rotation of all processes leaves the slot maximum
+   unchanged (the first process's range shrinks by ``P / lcm(steps)``),
+   and a process whose envelope is rotationally symmetric with period
+   ``r`` contributes only ``r`` distinct rotations.
+
+4. **Verdict.**  If every combination stays within the pool the
+   certificate records the proven peak and the coverage counts; the
+   first violating combination is realized as a concrete
+   :class:`~repro.analysis.static.certificate.Counterexample` — a
+   grid-admissible start-offset assignment, the conflicting slot, and
+   the per-process ``(block, step, usage)`` contributions.
+
+``offset_model="deployed"`` (default) certifies the configured
+deployment (the schedule's ``start_offsets``); ``offset_model="any"``
+proves the stronger property that *no* grid-aligned offset choice can
+ever overfill the pool — the robustness question offset optimization
+(:mod:`repro.core.offsets`) trades away.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...core.result import SystemSchedule
+from ...errors import VerificationError
+from ...obs.counters import (
+    CERTIFIER_OFFSET_CLASSES,
+    CERTIFIER_SLOT_CHECKS,
+    count,
+)
+from ...obs.tracer import as_tracer
+from .certificate import (
+    MODEL_ANY,
+    MODEL_DEPLOYED,
+    VERDICT_SAFE,
+    VERDICT_UNSAFE,
+    Certificate,
+    Contribution,
+    Counterexample,
+    ProcessEnvelope,
+    SlotWitness,
+    TypeProof,
+)
+
+#: Accepted ``offset_model`` spellings.
+_MODELS = {
+    "deployed": MODEL_DEPLOYED,
+    MODEL_DEPLOYED: MODEL_DEPLOYED,
+    "any": MODEL_ANY,
+    MODEL_ANY: MODEL_ANY,
+}
+
+
+class CertificationError(VerificationError):
+    """The certifier was handed an input it cannot build a proof for."""
+
+    code = "CERT"
+
+
+def certify(
+    result: SystemSchedule,
+    *,
+    pools: Optional[Mapping[str, int]] = None,
+    offset_model: str = MODEL_DEPLOYED,
+    tracer: Optional[Any] = None,
+) -> Certificate:
+    """Build a safety certificate (or counterexample) for a schedule.
+
+    Args:
+        result: The finished system schedule to certify.
+        pools: Optional per-type pool allocations to certify *against*
+            (e.g. a deployment's fixed instance counts).  Types not
+            named fall back to the schedule's own derived pool sizes.
+        offset_model: ``"deployed"`` proves the configured start
+            offsets; ``"any"`` proves safety for every grid-aligned
+            offset assignment.
+
+    Returns:
+        A :class:`Certificate`; ``certificate.safe`` tells the verdict
+        and an unsafe certificate carries a concrete counterexample.
+    """
+    try:
+        model = _MODELS[offset_model]
+    except KeyError:
+        raise CertificationError(
+            f"unknown offset model {offset_model!r}; "
+            f"use 'deployed' or 'any'"
+        ) from None
+    tracer = as_tracer(tracer)
+    proofs: List[TypeProof] = []
+    counterexample: Optional[Counterexample] = None
+    with tracer.activate(), tracer.span(
+        "certify", system=result.system.name, model=model
+    ):
+        for type_name in result.assignment.global_types:
+            proof, refutation = _certify_type(
+                result, type_name, model, pools
+            )
+            proofs.append(proof)
+            if tracer.enabled:
+                tracer.event(
+                    "certify_type",
+                    type=type_name,
+                    safe=proof.safe,
+                    proven_peak=proof.proven_peak,
+                    pool=proof.pool,
+                    classes_checked=proof.classes_checked,
+                )
+            if counterexample is None and refutation is not None:
+                counterexample = refutation
+    verdict = VERDICT_SAFE if counterexample is None else VERDICT_UNSAFE
+    return Certificate(
+        system=result.system.name,
+        offset_model=model,
+        verdict=verdict,
+        types=proofs,
+        counterexample=counterexample,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-type proof construction
+# ----------------------------------------------------------------------
+def _certify_type(
+    result: SystemSchedule,
+    type_name: str,
+    model: str,
+    pools: Optional[Mapping[str, int]],
+) -> Tuple[TypeProof, Optional[Counterexample]]:
+    period = result.periods.period(type_name)
+    if pools is not None and type_name in pools:
+        pool = int(pools[type_name])
+    else:
+        pool = result.global_instances(type_name)
+    multicycle = result.library.type(type_name).occupancy > 1
+    envelopes = [
+        _process_envelope(result, process_name, type_name, period, model)
+        for process_name in result.assignment.group(type_name)
+    ]
+
+    peak, violation, checked = _sweep_offset_classes(
+        envelopes, period, pool
+    )
+    classes_total = 1
+    for env in envelopes:
+        # Full admissible class count, before any reduction.
+        step = math.gcd(env.grid, period) if model == MODEL_DEPLOYED else 1
+        classes_total *= period // step
+    count(CERTIFIER_OFFSET_CLASSES, checked)
+    count(CERTIFIER_SLOT_CHECKS, checked * period)
+
+    proof = TypeProof(
+        type_name=type_name,
+        period=period,
+        pool=pool,
+        proven_peak=peak,
+        multicycle=multicycle,
+        classes_total=classes_total,
+        classes_checked=checked,
+        processes=envelopes,
+    )
+    if violation is None:
+        return proof, None
+    rotations, slot, demand = violation
+    refutation = _realize_counterexample(
+        result, type_name, period, pool, demand, envelopes, rotations, slot,
+        model,
+    )
+    return proof, refutation
+
+
+def _process_envelope(
+    result: SystemSchedule,
+    process_name: str,
+    type_name: str,
+    period: int,
+    model: str,
+) -> ProcessEnvelope:
+    """Fold one process's worst-case occupancy onto the period axis.
+
+    The envelope is *unrotated*: entry ``tau`` covers block-relative
+    steps ``j ≡ tau (mod P)``; a start time with residue ``rho`` places
+    the entry at absolute slot ``(rho + tau) mod P``.
+    """
+    grid = max(1, result.grid_spacing(process_name))
+    offset = result.offset_of(process_name)
+    envelope = [0] * period
+    witnesses: Dict[int, SlotWitness] = {}
+    for block_name, sched in result.blocks_of(process_name):
+        profile = sched.usage_profile(type_name)
+        for step, usage in enumerate(int(v) for v in profile):
+            tau = step % period
+            if usage > envelope[tau]:
+                envelope[tau] = usage
+                witnesses[tau] = SlotWitness(
+                    slot=tau, block=block_name, step=step, usage=usage
+                )
+    if model == MODEL_DEPLOYED:
+        rotation_step = math.gcd(grid, period)
+        rotation_count = period // rotation_step
+        rotation_base = offset % period
+    else:
+        rotation_step = 1
+        rotation_count = period
+        rotation_base = 0
+    return ProcessEnvelope(
+        process=process_name,
+        grid=grid,
+        configured_offset=offset,
+        rotation_base=rotation_base,
+        rotation_step=rotation_step,
+        rotation_count=rotation_count,
+        envelope=envelope,
+        witnesses=[witnesses[tau] for tau in sorted(witnesses)],
+    )
+
+
+# ----------------------------------------------------------------------
+# Offset-class enumeration
+# ----------------------------------------------------------------------
+def _symmetry_period(envelope: Sequence[int], period: int) -> int:
+    """Smallest ``r`` dividing ``period`` with the envelope ``r``-periodic.
+
+    Rotations congruent modulo ``r`` contribute identically, so only
+    ``r`` of them are distinct — the "exploiting modulo structure"
+    reduction for constant and periodic envelopes.
+    """
+    for r in range(1, period):
+        if period % r:
+            continue
+        if all(envelope[i] == envelope[i % r] for i in range(period)):
+            return r
+    return period
+
+
+def _reduced_rotations(
+    envelopes: Sequence[ProcessEnvelope], period: int
+) -> List[List[int]]:
+    """Per-process rotation lists after the two sound reductions."""
+    if not envelopes:
+        return []
+    rotations = [env.rotations() for env in envelopes]
+    # Common-rotation quotient: shifting every rotation by a multiple of
+    # lcm(steps) is admissible (stays inside each coset) and leaves the
+    # slot maximum unchanged, so the first process only needs one
+    # representative per orbit.
+    steps = [env.rotation_step for env in envelopes]
+    lcm = 1
+    for step in steps:
+        lcm = lcm * step // math.gcd(lcm, step)
+    anchor = 0
+    keep = max(1, lcm // steps[anchor])
+    rotations[anchor] = rotations[anchor][:keep]
+    # Symmetry de-duplication for the remaining processes: rotations
+    # congruent modulo the envelope's rotational period are equivalent.
+    for index in range(len(envelopes)):
+        if index == anchor:
+            continue
+        r = _symmetry_period(envelopes[index].envelope, period)
+        seen = set()
+        unique: List[int] = []
+        for rho in rotations[index]:
+            key = rho % r
+            if key not in seen:
+                seen.add(key)
+                unique.append(rho)
+        rotations[index] = unique
+    return rotations
+
+
+def _sweep_offset_classes(
+    envelopes: Sequence[ProcessEnvelope],
+    period: int,
+    pool: int,
+) -> Tuple[int, Optional[Tuple[List[int], int, int]], int]:
+    """Check every reduced rotation combination against the pool.
+
+    Returns ``(proven_peak, violation, combinations_checked)`` where
+    ``violation`` is ``(rotations, slot, demand)`` for the first
+    combination whose slot demand exceeds the pool, or None.  Partial
+    demand sums are shared along the enumeration tree, so the work is
+    ``O(sum over depths of prefix-combination counts * P)`` instead of
+    ``O(product * n * P)``.
+    """
+    if not envelopes:
+        return 0, None, 1
+    rotations = _reduced_rotations(envelopes, period)
+    peak = 0
+    checked = 0
+    chosen: List[int] = []
+    violation: Optional[Tuple[List[int], int, int]] = None
+
+    def descend(index: int, demand: List[int]) -> bool:
+        """Returns True to stop (violation found)."""
+        nonlocal peak, checked, violation
+        if index == len(envelopes):
+            checked += 1
+            worst_slot = max(range(period), key=lambda tau: demand[tau])
+            worst = demand[worst_slot]
+            peak = max(peak, worst)
+            if worst > pool:
+                violation = (list(chosen), worst_slot, worst)
+                return True
+            return False
+        envelope = envelopes[index].envelope
+        for rho in rotations[index]:
+            rolled = [
+                demand[tau] + envelope[(tau - rho) % period]
+                for tau in range(period)
+            ]
+            chosen.append(rho)
+            stop = descend(index + 1, rolled)
+            chosen.pop()
+            if stop:
+                return True
+        return False
+
+    descend(0, [0] * period)
+    return peak, violation, checked
+
+
+# ----------------------------------------------------------------------
+# Counterexample realization
+# ----------------------------------------------------------------------
+def _modinv(value: int, modulus: int) -> int:
+    """Modular inverse via the extended Euclid algorithm."""
+    if modulus == 1:
+        return 0
+    g, x = _egcd(value % modulus, modulus)
+    if g != 1:
+        raise CertificationError(
+            f"{value} has no inverse modulo {modulus}"
+        )
+    return x % modulus
+
+
+def _egcd(a: int, b: int) -> Tuple[int, int]:
+    """gcd(a, b) and a coefficient x with a*x ≡ gcd (mod b)."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+    return old_r, old_x
+
+
+def _admissible_start(
+    offset: int, grid: int, period: int, rho: int
+) -> int:
+    """Smallest start ``s >= 0`` with ``s ≡ offset (mod grid)`` and
+    ``s ≡ rho (mod period)`` — the concrete grid point realizing a
+    rotation class."""
+    d = math.gcd(grid, period)
+    delta = (rho - offset) % period
+    if delta % d:
+        raise CertificationError(
+            f"rotation {rho} is not admissible for offset {offset} "
+            f"on grid {grid} (period {period})"
+        )
+    m = (delta // d * _modinv(grid // d, period // d)) % (period // d)
+    return offset % grid + m * grid
+
+
+def _realize_counterexample(
+    result: SystemSchedule,
+    type_name: str,
+    period: int,
+    pool: int,
+    demand: int,
+    envelopes: Sequence[ProcessEnvelope],
+    rotations: Sequence[int],
+    slot: int,
+    model: str,
+) -> Counterexample:
+    contributions: List[Contribution] = []
+    for env, rho in zip(envelopes, rotations):
+        tau = (slot - rho) % period
+        usage = env.envelope[tau]
+        if not usage:
+            continue
+        witness = next(w for w in env.witnesses if w.slot == tau)
+        if model == MODEL_DEPLOYED:
+            start = _admissible_start(
+                env.configured_offset, env.grid, period, rho
+            )
+        else:
+            start = rho
+        contributions.append(
+            Contribution(
+                process=env.process,
+                block=witness.block,
+                step=witness.step,
+                usage=usage,
+                start=start,
+            )
+        )
+    return Counterexample(
+        type_name=type_name,
+        slot=slot,
+        period=period,
+        pool=pool,
+        demand=demand,
+        contributions=contributions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared conflict formatting (reused by repro.core.verify)
+# ----------------------------------------------------------------------
+def pool_conflict(
+    result: SystemSchedule, type_name: str, pool: int
+) -> Counterexample:
+    """Build the conflict triple for a pool exceeded under the
+    *configured* offsets — the shape :mod:`repro.core.verify` reports.
+
+    The offending slot is the demand argmax; contributions come from the
+    per-process envelope witnesses at that slot.
+    """
+    if not result.assignment.is_global(type_name):
+        raise CertificationError(
+            f"type {type_name!r} is not globally assigned; no pool to refute"
+        )
+    period = result.periods.period(type_name)
+    envelopes = [
+        _process_envelope(result, name, type_name, period, MODEL_DEPLOYED)
+        for name in result.assignment.group(type_name)
+    ]
+    rotations = [env.rotation_base for env in envelopes]
+    demand = [0] * period
+    for env, rho in zip(envelopes, rotations):
+        for tau in range(period):
+            demand[tau] += env.envelope[(tau - rho) % period]
+    slot = max(range(period), key=lambda tau: demand[tau])
+    return _realize_counterexample(
+        result,
+        type_name,
+        period,
+        pool,
+        demand[slot],
+        envelopes,
+        rotations,
+        slot,
+        MODEL_DEPLOYED,
+    )

@@ -1,0 +1,252 @@
+"""Independent certificate re-verification.
+
+:func:`check_certificate` re-derives every obligation of a
+:class:`~repro.analysis.static.certificate.Certificate` from the schedule
+itself, sharing no code with the certifier: envelopes are refolded from
+the raw block usage profiles, rotation arithmetic is recomputed from the
+configured offsets and grids, and the proven peak is re-established by a
+direct product enumeration over per-process *distinct* rolled envelopes
+(an independent formulation of the certifier's symmetry reduction).  A
+certificate only passes if a second, dissimilar implementation reaches
+the same verdict — tampering with witnesses, envelopes, coverage counts,
+or the counterexample is reported as a concrete problem string.
+
+Returns a list of problems; an empty list means the certificate is valid
+for the given schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from .certificate import (
+    MODEL_ANY,
+    MODEL_DEPLOYED,
+    VERDICT_SAFE,
+    VERDICT_UNSAFE,
+    Certificate,
+    Counterexample,
+    ProcessEnvelope,
+    TypeProof,
+)
+
+if TYPE_CHECKING:  # imported for annotations only: the checker stays
+    from ...core.result import SystemSchedule  # independent of the solvers
+
+
+def check_certificate(
+    certificate: Certificate,
+    result: "SystemSchedule",
+    *,
+    pools: Optional[Mapping[str, int]] = None,
+) -> List[str]:
+    """Re-verify a certificate against a schedule; [] means valid."""
+    problems: List[str] = []
+    if certificate.offset_model not in (MODEL_DEPLOYED, MODEL_ANY):
+        return [f"unknown offset model {certificate.offset_model!r}"]
+    if certificate.system != result.system.name:
+        problems.append(
+            f"certificate is for system {certificate.system!r}, "
+            f"schedule is {result.system.name!r}"
+        )
+    covered = {proof.type_name for proof in certificate.types}
+    for type_name in result.assignment.global_types:
+        if type_name not in covered:
+            problems.append(f"global type {type_name!r} has no proof")
+    unsafe = False
+    for proof in certificate.types:
+        problems.extend(_check_proof(proof, certificate.offset_model, result, pools))
+        unsafe = unsafe or proof.proven_peak > proof.pool
+    if certificate.safe and unsafe:
+        problems.append("verdict says safe but a proof exceeds its pool")
+    if certificate.verdict == VERDICT_UNSAFE:
+        if certificate.counterexample is None:
+            problems.append("unsafe verdict without a counterexample")
+        else:
+            problems.extend(
+                _check_counterexample(
+                    certificate.counterexample, certificate.offset_model, result
+                )
+            )
+    elif certificate.verdict != VERDICT_SAFE:
+        problems.append(f"unknown verdict {certificate.verdict!r}")
+    return problems
+
+
+def _check_proof(
+    proof: TypeProof,
+    model: str,
+    result: "SystemSchedule",
+    pools: Optional[Mapping[str, int]],
+) -> List[str]:
+    problems: List[str] = []
+    name = proof.type_name
+    if not result.assignment.is_global(name):
+        return [f"{name}: not a global type of this schedule"]
+    period = result.periods.period(name)
+    if proof.period != period:
+        return [f"{name}: period {proof.period} != schedule period {period}"]
+    expected_pool = (
+        int(pools[name])
+        if pools is not None and name in pools
+        else result.global_instances(name)
+    )
+    if proof.pool != expected_pool:
+        problems.append(f"{name}: pool {proof.pool} != allocated {expected_pool}")
+    group = result.assignment.group(name)
+    if sorted(e.process for e in proof.processes) != sorted(group):
+        problems.append(f"{name}: envelope processes != sharing group {group}")
+        return problems
+
+    classes_total = 1
+    variants: List[List[Tuple[int, ...]]] = []
+    for env in proof.processes:
+        problems.extend(_check_envelope(env, name, period, model, result))
+        if problems:
+            return problems
+        rotations = env.rotations()
+        classes_total *= len(rotations)
+        distinct = list(
+            dict.fromkeys(
+                tuple(env.envelope[(tau - rho) % period] for tau in range(period))
+                for rho in rotations
+            )
+        )
+        variants.append(distinct)
+    if proof.classes_total != classes_total:
+        problems.append(
+            f"{name}: coverage claims {proof.classes_total} admissible "
+            f"classes, rotation sets give {classes_total}"
+        )
+    peak = 0
+    for combo in product(*variants):
+        peak = max(peak, max(sum(vals) for vals in zip(*combo)) if combo else 0)
+    if proof.proven_peak <= proof.pool:
+        # Safe claim: the peak is exact (full coverage was enumerated).
+        if peak != proof.proven_peak:
+            problems.append(
+                f"{name}: recomputed peak {peak} != claimed {proof.proven_peak}"
+            )
+    else:
+        # Unsafe claim: the certifier stops at the first violation, so
+        # the claimed peak is a *reachable* demand, not the maximum.
+        if peak <= proof.pool:
+            problems.append(
+                f"{name}: claims demand {proof.proven_peak} is reachable "
+                f"but no rotation combination exceeds pool {proof.pool}"
+            )
+        elif proof.proven_peak > peak:
+            problems.append(
+                f"{name}: claimed demand {proof.proven_peak} exceeds the "
+                f"recomputed maximum {peak}"
+            )
+    return problems
+
+
+def _check_envelope(
+    env: ProcessEnvelope,
+    name: str,
+    period: int,
+    model: str,
+    result: "SystemSchedule",
+) -> List[str]:
+    who = f"{name}/{env.process}"
+    problems: List[str] = []
+    grid = max(1, result.grid_spacing(env.process))
+    offset = result.offset_of(env.process)
+    if env.grid != grid or env.configured_offset != offset:
+        problems.append(f"{who}: grid/offset do not match the schedule")
+    expect = (
+        (offset % period, math.gcd(grid, period), period // math.gcd(grid, period))
+        if model == MODEL_DEPLOYED
+        else (0, 1, period)
+    )
+    if (env.rotation_base, env.rotation_step, env.rotation_count) != expect:
+        problems.append(f"{who}: rotation set is not the admissible coset")
+    folded: Dict[int, int] = {tau: 0 for tau in range(period)}
+    for block, sched in result.blocks_of(env.process):
+        for step, usage in enumerate(sched.usage_profile(name)):
+            tau = step % period
+            folded[tau] = max(folded[tau], int(usage))
+    if list(env.envelope) != [folded[tau] for tau in range(period)]:
+        problems.append(f"{who}: envelope does not refold from block schedules")
+    schedules = dict(result.blocks_of(env.process))
+    witnessed = set()
+    for w in env.witnesses:
+        witnessed.add(w.slot)
+        sched = schedules.get(w.block)
+        profile = None if sched is None else sched.usage_profile(name)
+        ok = (
+            profile is not None
+            and 0 <= w.step < len(profile)
+            and int(profile[w.step]) == w.usage
+            and w.step % period == w.slot
+            and 0 <= w.slot < period
+            and env.envelope[w.slot] == w.usage
+        )
+        if not ok:
+            problems.append(
+                f"{who}: witness (slot {w.slot}, {w.block}, step {w.step}, "
+                f"usage {w.usage}) is not realized by the schedule"
+            )
+    for tau in range(period):
+        if folded[tau] and tau not in witnessed:
+            problems.append(f"{who}: nonzero envelope slot {tau} has no witness")
+    return problems
+
+
+def _check_counterexample(
+    cex: Counterexample, model: str, result: "SystemSchedule"
+) -> List[str]:
+    problems: List[str] = []
+    name = cex.type_name
+    if not result.assignment.is_global(name):
+        return [f"counterexample names non-global type {name!r}"]
+    period = result.periods.period(name)
+    if cex.period != period:
+        return [f"counterexample period {cex.period} != {period}"]
+    group = set(result.assignment.group(name))
+    total = 0
+    for c in cex.contributions:
+        if c.process not in group:
+            problems.append(
+                f"counterexample process {c.process!r} does not share {name!r}"
+            )
+            continue
+        schedules = dict(result.blocks_of(c.process))
+        sched = schedules.get(c.block)
+        profile = None if sched is None else sched.usage_profile(name)
+        if (
+            profile is None
+            or not 0 <= c.step < len(profile)
+            or int(profile[c.step]) != c.usage
+        ):
+            problems.append(
+                f"counterexample usage {c.usage} of {c.process}/{c.block} "
+                f"at step {c.step} is not in the schedule"
+            )
+            continue
+        if (c.start + c.step) % period != cex.slot:
+            problems.append(
+                f"counterexample contribution of {c.process} lands on slot "
+                f"{(c.start + c.step) % period}, not {cex.slot}"
+            )
+        grid = max(1, result.grid_spacing(c.process))
+        if model == MODEL_DEPLOYED and c.start % grid != result.offset_of(c.process) % grid:
+            problems.append(
+                f"counterexample start {c.start} of {c.process} is not on "
+                f"its configured grid (offset {result.offset_of(c.process)} "
+                f"mod {grid})"
+            )
+        total += c.usage
+    if total != cex.demand:
+        problems.append(
+            f"counterexample demand {cex.demand} != summed usage {total}"
+        )
+    if cex.demand <= cex.pool:
+        problems.append(
+            f"counterexample demand {cex.demand} does not exceed pool {cex.pool}"
+        )
+    return problems

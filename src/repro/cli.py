@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep system.sys               # period enumeration (S2)
     python -m repro sweep system.sys --resume ck.jsonl  # crash-safe sweep
     python -m repro check system.sys               # preflight diagnostics
+    python -m repro lint system.sys                # IR lint (LINT* codes)
+    python -m repro certify system.sys             # static safety proof
+    python -m repro certify system.sys --offset-model any
     python -m repro info system.sys                # problem statistics
 
 ``-v``/``-vv`` raise the ``repro.*`` log level (INFO/DEBUG on stderr);
@@ -28,9 +31,12 @@ line on stderr; the full traceback appears only under ``-v``.
 from __future__ import annotations
 
 import argparse
+import glob
+import json
+import os
 import sys
 import traceback
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .analysis.compare import compare_scopes, render_comparison
 from .analysis.tables import table1
@@ -196,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the preflight diagnostics pass",
     )
+    sweep.add_argument(
+        "--certify",
+        action="store_true",
+        help="statically certify the incumbent best after the sweep "
+        "(exit 1 when the proof fails)",
+    )
 
     check = sub.add_parser(
         "check",
@@ -203,6 +215,75 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[verbosity],
     )
     check.add_argument("file", help="path to a .sys problem file")
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default %(default)s)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="rule-driven IR lint (LINT* codes; see docs/static-analysis.md)",
+        parents=[verbosity],
+    )
+    lint.add_argument(
+        "paths",
+        nargs="+",
+        help=".sys files or directories (directories lint every *.sys)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default %(default)s)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="run only the named rule (repeatable); default: all rules",
+    )
+
+    certify = sub.add_parser(
+        "certify",
+        help="prove pool safety over all admissible offsets",
+        parents=[verbosity, observe],
+    )
+    certify.add_argument("file", help="path to a .sys problem file")
+    certify.add_argument(
+        "--offset-model",
+        choices=("deployed", "any"),
+        default="deployed",
+        help="offset space to prove: the configured deployment or every "
+        "grid-aligned offset assignment (default %(default)s)",
+    )
+    certify.add_argument(
+        "--pool",
+        action="append",
+        metavar="TYPE=N",
+        default=None,
+        help="certify against a fixed pool allocation instead of the "
+        "derived one (repeatable)",
+    )
+    certify.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the certificate JSON to FILE",
+    )
+    certify.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default %(default)s)",
+    )
+    certify.add_argument(
+        "--recheck",
+        action="store_true",
+        help="re-verify the certificate with the independent checker",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -294,8 +375,113 @@ def _run_budget(args: argparse.Namespace) -> Optional[RunBudget]:
 
 def cmd_check(args: argparse.Namespace) -> int:
     report = validate_path(args.file)
-    print(report.render())
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
     return report.exit_code
+
+
+def _sys_paths(paths: List[str]) -> List[str]:
+    """Expand directories to the ``*.sys`` files they contain."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(glob.glob(os.path.join(path, "*.sys"))))
+        else:
+            files.append(path)
+    return files
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.static import RULES_BY_NAME, run_lint
+
+    rules = None
+    if args.rule:
+        unknown = [name for name in args.rule if name not in RULES_BY_NAME]
+        if unknown:
+            print(
+                f"error [CHECK]: unknown lint rule(s) "
+                f"{', '.join(unknown)}; known: "
+                f"{', '.join(sorted(RULES_BY_NAME))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [RULES_BY_NAME[name] for name in args.rule]
+    files = _sys_paths(args.paths)
+    if not files:
+        print("error [CHECK]: no .sys files to lint", file=sys.stderr)
+        return 2
+    reports = []
+    worst = 0
+    for path in files:
+        report = validate_path(path)
+        if report.ok:
+            report = run_lint(load_problem(path), rules=rules, source=path)
+        else:
+            report.label = "lint"
+        reports.append(report)
+        worst = max(worst, report.exit_code)
+    if args.format == "json":
+        records = [report.as_dict() for report in reports]
+        print(json.dumps(records[0] if len(records) == 1 else records, indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return worst
+
+
+def _parse_pools(entries: Optional[List[str]]) -> Optional[Dict[str, int]]:
+    """``--pool TYPE=N`` entries as a mapping (None when absent)."""
+    if not entries:
+        return None
+    pools: Dict[str, int] = {}
+    for entry in entries:
+        name, sep, value = entry.partition("=")
+        try:
+            pools[name] = int(value)
+        except ValueError:
+            sep = ""
+        if not sep or not name:
+            raise ReproError(f"--pool expects TYPE=N, got {entry!r}")
+    return pools
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    from .analysis.static import certify, check_certificate
+
+    pools = _parse_pools(args.pool)
+    problem = load_problem(args.file)
+    tracer = _tracer_for(args)
+    result = problem.schedule(tracer=tracer)
+    certificate = certify(
+        result, pools=pools, offset_model=args.offset_model, tracer=tracer
+    )
+    if args.format == "json":
+        print(certificate.to_json())
+    else:
+        print(certificate.summary())
+    if args.output:
+        certificate.save(args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.recheck:
+        problems = check_certificate(certificate, result, pools=pools)
+        if problems:
+            for problem_text in problems:
+                print(f"recheck: {problem_text}", file=sys.stderr)
+            print(
+                "error [CERT]: the independent checker rejected the "
+                f"certificate ({len(problems)} problem(s))",
+                file=sys.stderr,
+            )
+            return 2
+        if args.format != "json":
+            print("recheck: certificate independently re-verified")
+    if args.profile and tracer is not None:
+        print()
+        print(render_profile(tracer.summary(), title=f"profile: {args.file}"))
+    _finish_trace(args, tracer)
+    return 0 if certificate.safe else 1
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
@@ -477,10 +663,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         summary += f", {dropped} truncated"
     summary += f" (workers: {args.workers})"
     print(summary)
+    certified_safe = True
     if outcome.best is not None:
         # Tie-break among equal-area winners: lexicographically smallest
         # sorted(periods.items()) — deterministic across worker counts.
         print(f"best: {outcome.best.periods} (area {outcome.best.area:g})")
+        if args.certify:
+            _, certificate = engine.certify_best(outcome)
+            print()
+            print(certificate.summary())
+            certified_safe = certificate.safe
     if args.profile:
         print()
         print(
@@ -493,6 +685,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _finish_trace(args, tracer)
     if candidates and outcome.best is None:
         print("error: no candidate produced a schedule", file=sys.stderr)
+        return 1
+    if not certified_safe:
+        print(
+            "error: the best candidate failed static certification",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -589,6 +787,8 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "check": cmd_check,
+    "lint": cmd_lint,
+    "certify": cmd_certify,
     "profile": cmd_profile,
     "info": cmd_info,
     "rtl": cmd_rtl,

@@ -113,9 +113,16 @@ def _check_authorizations(result: SystemSchedule, report: VerificationReport) ->
                 folded = modulo_max_int(sched.usage_profile(type_name), period)
                 if offset:
                     folded = np.roll(folded, offset)
-                if np.any(folded > auth):
+                over = np.flatnonzero(folded > auth)
+                if over.size:
+                    slot = int(over[0])
                     ok = False
-                    detail = f"block {block_name} usage exceeds authorization"
+                    detail = (
+                        f"(type {type_name!r}, slot {slot}, processes "
+                        f"{process_name}): block {block_name} usage "
+                        f"{int(folded[slot])} exceeds authorization "
+                        f"{int(auth[slot])}"
+                    )
                     break
             report.add(name, ok, detail)
 
@@ -127,10 +134,28 @@ def _check_global_pools(result: SystemSchedule, report: VerificationReport) -> N
         name = f"global pool {type_name}"
         if demand.size and int(demand.max()) > instances:
             report.add(
-                name, False, f"slot demand {int(demand.max())} > pool {instances}"
+                name, False, _pool_conflict_detail(result, type_name, instances)
             )
         else:
             report.add(name, True, f"pool {instances}")
+
+
+def _pool_conflict_detail(
+    result: SystemSchedule, type_name: str, instances: int
+) -> str:
+    """A pool-exceeded detail naming the ``(type, slot, processes)`` triple.
+
+    Reuses the certifier's counterexample realization so the verifier and
+    ``repro certify`` render one conflict identically.  Imported lazily:
+    the certifier sits above this module in the layering.
+    """
+    try:
+        from ..analysis.static.certifier import pool_conflict
+
+        return pool_conflict(result, type_name, instances).render()
+    except Exception:  # noqa: BLE001 - a broken detail must not mask the FAIL
+        demand = result.global_demand(type_name)
+        return f"slot demand {int(demand.max())} > pool {instances}"
 
 
 def _check_local_counts(result: SystemSchedule, report: VerificationReport) -> None:

@@ -23,6 +23,8 @@ before instrumentation.  See docs/observability.md.
 
 from .counters import (
     AUTHORIZATION_CHECKS,
+    CERTIFIER_OFFSET_CLASSES,
+    CERTIFIER_SLOT_CHECKS,
     DISTRIBUTION_REBUILDS,
     FORCE_CACHE_HITS,
     FORCE_CACHE_INVALIDATIONS,
@@ -30,6 +32,8 @@ from .counters import (
     FORCE_EVALUATIONS,
     FRAME_REDUCTIONS,
     KNOWN_COUNTERS,
+    LINT_FINDINGS,
+    LINT_RULES_RUN,
     MODULO_MAX_TRANSFORMS,
     SCHEDULER_ITERATIONS,
     SIMULATION_CYCLES,
@@ -51,6 +55,8 @@ from .tracer import (
 
 __all__ = [
     "AUTHORIZATION_CHECKS",
+    "CERTIFIER_OFFSET_CLASSES",
+    "CERTIFIER_SLOT_CHECKS",
     "DISTRIBUTION_REBUILDS",
     "FORCE_CACHE_HITS",
     "FORCE_CACHE_INVALIDATIONS",
@@ -58,6 +64,8 @@ __all__ = [
     "FORCE_EVALUATIONS",
     "FRAME_REDUCTIONS",
     "KNOWN_COUNTERS",
+    "LINT_FINDINGS",
+    "LINT_RULES_RUN",
     "MODULO_MAX_TRANSFORMS",
     "NULL_TRACER",
     "NullTracer",

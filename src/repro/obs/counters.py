@@ -37,6 +37,10 @@ SIMULATION_CYCLES = "simulation_cycles"
 FORCE_CACHE_HITS = "force_cache_hits"
 FORCE_CACHE_MISSES = "force_cache_misses"
 FORCE_CACHE_INVALIDATIONS = "force_cache_invalidations"
+CERTIFIER_OFFSET_CLASSES = "certifier_offset_classes"
+CERTIFIER_SLOT_CHECKS = "certifier_slot_checks"
+LINT_RULES_RUN = "lint_rules_run"
+LINT_FINDINGS = "lint_findings"
 
 KNOWN_COUNTERS = (
     FORCE_EVALUATIONS,
@@ -49,6 +53,10 @@ KNOWN_COUNTERS = (
     FORCE_CACHE_HITS,
     FORCE_CACHE_MISSES,
     FORCE_CACHE_INVALIDATIONS,
+    CERTIFIER_OFFSET_CLASSES,
+    CERTIFIER_SLOT_CHECKS,
+    LINT_RULES_RUN,
+    LINT_FINDINGS,
 )
 
 

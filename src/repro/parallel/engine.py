@@ -352,6 +352,46 @@ class ExplorationEngine:
             telemetry=telemetry,
         )
 
+    def certify_best(
+        self,
+        outcome: SweepOutcome,
+        *,
+        offset_model: str = "deployed",
+        pools: Optional[Dict[str, int]] = None,
+    ):
+        """Re-schedule the sweep's incumbent best and statically certify it.
+
+        Sweep workers only ship area/instance summaries back (results
+        cross process boundaries as records, not schedules), so the
+        winning period assignment is re-scheduled in-process — the
+        scheduler is deterministic, the candidate was already proven
+        schedulable — and handed to :func:`repro.analysis.static.certify`.
+
+        Returns ``(SystemSchedule, Certificate)``, or ``None`` when the
+        sweep produced no schedulable candidate.
+        """
+        if outcome.best is None:
+            return None
+        from ..analysis.static import certify
+
+        scheduler = ModuloSystemScheduler(
+            self.problem.library,
+            weights=area_weights(self.problem.library),
+            tracer=self.tracer,
+        )
+        result = scheduler.schedule(
+            self.problem.system,
+            self.problem.assignment,
+            PeriodAssignment(dict(outcome.best.periods)),
+        )
+        certificate = certify(
+            result,
+            pools=pools,
+            offset_model=offset_model,
+            tracer=self.tracer,
+        )
+        return result, certificate
+
     # ------------------------------------------------------------------
     # Serial path
     # ------------------------------------------------------------------

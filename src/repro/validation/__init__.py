@@ -12,6 +12,16 @@ Three robustness facilities live here (see docs/robustness.md):
 """
 
 from .budget import BudgetTracker, RunBudget
+from .fuzz import (
+    OUTCOME_CRASHED,
+    OUTCOME_DIVERGED,
+    OUTCOME_REJECTED,
+    OUTCOME_SCHEDULED,
+    FuzzOutcome,
+    differential_text,
+    exercise_text,
+    mutate_text,
+)
 from .diagnostics import (
     CODES,
     SEVERITY_ERROR,
@@ -32,10 +42,18 @@ __all__ = [
     "CODES",
     "Diagnostic",
     "DiagnosticReport",
+    "FuzzOutcome",
+    "OUTCOME_CRASHED",
+    "OUTCOME_DIVERGED",
+    "OUTCOME_REJECTED",
+    "OUTCOME_SCHEDULED",
     "RunBudget",
     "SEVERITY_ERROR",
     "SEVERITY_INFO",
     "SEVERITY_WARNING",
+    "differential_text",
+    "exercise_text",
+    "mutate_text",
     "validate_document",
     "validate_path",
     "validate_problem",

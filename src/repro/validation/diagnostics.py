@@ -110,6 +110,34 @@ CODES: Dict[str, Dict[str, str]] = {
         "severity": SEVERITY_INFO,
         "title": "global type has no period directive (heuristic default)",
     },
+    "LINT001": {
+        "severity": SEVERITY_ERROR,
+        "title": "operation timeframe is infeasible (ASAP exceeds ALAP)",
+    },
+    "LINT101": {
+        "severity": SEVERITY_WARNING,
+        "title": "dead operation: result never consumed or stored",
+    },
+    "LINT102": {
+        "severity": SEVERITY_WARNING,
+        "title": "redundant transitive dependence edge",
+    },
+    "LINT103": {
+        "severity": SEVERITY_WARNING,
+        "title": "pool allocation exceeds the proven peak demand",
+    },
+    "LINT201": {
+        "severity": SEVERITY_INFO,
+        "title": "block is fully rigid (every timeframe is a single slot)",
+    },
+    "LINT202": {
+        "severity": SEVERITY_INFO,
+        "title": "multicycle pool is sized above the peak slot demand",
+    },
+    "LINT203": {
+        "severity": SEVERITY_INFO,
+        "title": "period slots never authorized for the sharing group",
+    },
 }
 
 
@@ -138,13 +166,28 @@ class Diagnostic:
             text += f"\n    hint: {self.hint}"
         return text
 
+    def as_dict(self) -> Dict[str, object]:
+        """Stable machine-readable record (``--format json``)."""
+        record: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        for key in ("process", "block", "op", "hint"):
+            value = getattr(self, key)
+            if value is not None:
+                record[key] = value
+        return record
+
 
 @dataclass
 class DiagnosticReport:
-    """Findings of one preflight pass over one problem."""
+    """Findings of one preflight (or lint) pass over one problem."""
 
     source: str = "<memory>"
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Pass name shown in :meth:`render` ("check", "lint", ...).
+    label: str = "check"
 
     def add(
         self,
@@ -212,9 +255,22 @@ class DiagnosticReport:
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable report: source, findings, counts, exit code."""
+        return {
+            "source": self.source,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "counts": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "notes": len(self.by_severity(SEVERITY_INFO)),
+            },
+            "exit_code": self.exit_code,
+        }
+
     def render(self) -> str:
         """Human-readable report, strongest findings first."""
-        lines = [f"check {self.source}:"]
+        lines = [f"{self.label} {self.source}:"]
         ordered = sorted(
             self.diagnostics,
             key=lambda d: -_SEVERITY_RANK.get(d.severity, 0),

@@ -26,10 +26,11 @@ from typing import Callable, List, Optional
 from ..errors import ReproError
 from .budget import RunBudget
 
-#: Outcome labels of :func:`exercise_text`.
+#: Outcome labels of :func:`exercise_text` / :func:`differential_text`.
 OUTCOME_SCHEDULED = "scheduled"  # parsed, scheduled, verified
 OUTCOME_REJECTED = "rejected"  # a ReproError subclass, as designed
 OUTCOME_CRASHED = "crashed"  # non-ReproError escape: a genuine bug
+OUTCOME_DIVERGED = "diverged"  # static certifier vs simulation disagree
 
 _NUMBER = re.compile(r"\d+")
 
@@ -44,7 +45,7 @@ class FuzzOutcome:
     @property
     def ok(self) -> bool:
         """True unless the input exposed a robustness bug."""
-        return self.outcome != OUTCOME_CRASHED
+        return self.outcome not in (OUTCOME_CRASHED, OUTCOME_DIVERGED)
 
 
 # ----------------------------------------------------------------------
@@ -168,3 +169,67 @@ def exercise_text(
     except Exception as exc:  # noqa: BLE001 - the invariant under test
         return FuzzOutcome(OUTCOME_CRASHED, f"{type(exc).__name__}: {exc}")
     return FuzzOutcome(OUTCOME_SCHEDULED, f"area {result.total_area():g}")
+
+
+def differential_text(
+    text: str,
+    *,
+    budget: Optional[RunBudget] = None,
+    seeds: int = 10,
+    cycles: int = 400,
+    trigger: float = 0.25,
+) -> FuzzOutcome:
+    """Differential oracle: certifier verdict vs multi-seed simulation.
+
+    Runs the pipeline like :func:`exercise_text`; when the input
+    schedules, the result is statically certified (deployed offsets,
+    derived pools) and dynamically simulated ``seeds`` times.  The two
+    oracles must agree — a schedule the certifier proves safe must
+    survive every randomized simulation, and on self-derived pools the
+    certifier must never refute.  Disagreement is the ``diverged``
+    outcome (``ok`` is False): one of the two sides is wrong.
+    """
+    from ..analysis.static import certify
+    from ..api import problem_from_document
+    from ..ir import systemio
+    from ..sim.simulator import SystemSimulator
+
+    if budget is None:
+        budget = RunBudget(max_iterations=20_000, wall_deadline=10.0)
+    try:
+        document = systemio.loads(text)
+        problem = problem_from_document(document)
+        result = problem.schedule(budget=budget)
+        certificate = certify(result)
+        simulator = SystemSimulator(result, trigger_probability=trigger)
+        failing = [
+            seed
+            for seed in range(seeds)
+            if not simulator.run(cycles, seed=seed).ok
+        ]
+    except ReproError as exc:
+        return FuzzOutcome(
+            OUTCOME_REJECTED, f"{type(exc).__name__} [{exc.code}]: {exc}"
+        )
+    except Exception as exc:  # noqa: BLE001 - the invariant under test
+        return FuzzOutcome(OUTCOME_CRASHED, f"{type(exc).__name__}: {exc}")
+    if not certificate.safe:
+        return FuzzOutcome(
+            OUTCOME_DIVERGED,
+            "certifier refutes the schedule's own derived pools: "
+            + (
+                certificate.counterexample.triple()
+                if certificate.counterexample
+                else certificate.verdict
+            ),
+        )
+    if failing:
+        return FuzzOutcome(
+            OUTCOME_DIVERGED,
+            f"certificate is safe but simulation seeds {failing} hit "
+            "conflicts",
+        )
+    return FuzzOutcome(
+        OUTCOME_SCHEDULED,
+        f"safe and {seeds} seed(s) conflict-free",
+    )

@@ -23,7 +23,7 @@ before ``schedule`` and ``sweep``.  See docs/robustness.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from ..core.periods import is_harmonic, lcm_all
 from ..errors import GraphError, ReproError, SpecificationError
@@ -33,8 +33,11 @@ from ..resources.library import ResourceLibrary, default_library
 from ..resources.types import resource_type
 from .diagnostics import DiagnosticReport
 
+if TYPE_CHECKING:
+    from ..api import Problem
 
-def validate_path(path) -> DiagnosticReport:
+
+def validate_path(path: str) -> DiagnosticReport:
     """Validate a ``.sys`` file on disk.  Never raises on bad content."""
     with open(path, "r", encoding="utf-8") as handle:
         return validate_text(handle.read(), source=str(path))
@@ -93,7 +96,9 @@ def validate_document(
     return report
 
 
-def validate_problem(problem, *, report: Optional[DiagnosticReport] = None):
+def validate_problem(
+    problem: "Problem", *, report: Optional[DiagnosticReport] = None
+) -> DiagnosticReport:
     """Validate a live :class:`repro.api.Problem` (API entry point).
 
     Problems reachable through :func:`repro.api.load_problem` already
@@ -187,7 +192,7 @@ def _validate_semantics(
     covered = _check_coverage(report, system, library)
     _check_deadlines(report, system, library, covered)
     groups = _check_scopes(report, system, library, globals_map)
-    _check_periods(report, system, globals_map, groups, periods_map)
+    check_period_grid(report, system, globals_map, groups, periods_map)
 
 
 def _check_graphs(report: DiagnosticReport, system: SystemSpec) -> None:
@@ -307,13 +312,19 @@ def _check_scopes(
     return valid
 
 
-def _check_periods(
+def check_period_grid(
     report: DiagnosticReport,
     system: SystemSpec,
     globals_map: Mapping[str, Sequence[str]],
     groups: Mapping[str, Sequence[str]],
     periods_map: Mapping[str, int],
 ) -> None:
+    """Eq. 2-3 period/grid rules (``PERIOD*``), shared with the IR lint.
+
+    ``globals_map`` is every declared global group, ``groups`` the
+    well-formed subset whose periods are worth checking (pass the same
+    mapping twice when linting an already-built problem).
+    """
     for type_name, period in periods_map.items():
         if type_name not in globals_map:
             report.add(

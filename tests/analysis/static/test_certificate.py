@@ -1,0 +1,128 @@
+"""Round-trip and rendering tests for the certificate artifact."""
+
+import pytest
+
+from repro.analysis.static import (
+    CERTIFICATE_FORMAT,
+    MODEL_DEPLOYED,
+    VERDICT_SAFE,
+    VERDICT_UNSAFE,
+    Certificate,
+    Contribution,
+    Counterexample,
+    ProcessEnvelope,
+    SlotWitness,
+    TypeProof,
+)
+
+
+def sample_certificate(verdict=VERDICT_SAFE):
+    envelope = ProcessEnvelope(
+        process="p1",
+        grid=4,
+        configured_offset=0,
+        rotation_base=0,
+        rotation_step=4,
+        rotation_count=1,
+        envelope=[2, 1, 0, 0],
+        witnesses=[
+            SlotWitness(slot=0, block="main", step=0, usage=2),
+            SlotWitness(slot=1, block="main", step=5, usage=1),
+        ],
+    )
+    proof = TypeProof(
+        type_name="adder",
+        period=4,
+        pool=2,
+        proven_peak=2,
+        multicycle=False,
+        classes_total=1,
+        classes_checked=1,
+        processes=[envelope],
+    )
+    counterexample = None
+    if verdict == VERDICT_UNSAFE:
+        counterexample = Counterexample(
+            type_name="adder",
+            slot=0,
+            period=4,
+            pool=1,
+            demand=2,
+            contributions=[
+                Contribution(process="p1", block="main", step=0, usage=1, start=0),
+                Contribution(process="p2", block="main", step=4, usage=1, start=8),
+            ],
+        )
+    return Certificate(
+        system="demo",
+        offset_model=MODEL_DEPLOYED,
+        verdict=verdict,
+        types=[proof],
+        counterexample=counterexample,
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_safe(self):
+        cert = sample_certificate()
+        again = Certificate.from_json(cert.to_json())
+        assert again == cert
+
+    def test_json_round_trip_unsafe(self):
+        cert = sample_certificate(VERDICT_UNSAFE)
+        again = Certificate.from_json(cert.to_json())
+        assert again == cert
+        assert again.counterexample is not None
+        assert again.counterexample.contributions == cert.counterexample.contributions
+
+    def test_save_load(self, tmp_path):
+        cert = sample_certificate()
+        path = str(tmp_path / "cert.json")
+        cert.save(path)
+        assert Certificate.load(path) == cert
+
+    def test_format_tag_required(self):
+        assert sample_certificate().as_dict()["format"] == CERTIFICATE_FORMAT
+        with pytest.raises(ValueError, match="not a repro-certificate"):
+            Certificate.from_json('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            Certificate.from_json('{"system": "demo"}')
+
+
+class TestAccessors:
+    def test_safe_property_tracks_verdict(self):
+        assert sample_certificate().safe
+        assert not sample_certificate(VERDICT_UNSAFE).safe
+
+    def test_proof_lookup(self):
+        cert = sample_certificate()
+        assert cert.proof("adder").pool == 2
+        with pytest.raises(KeyError):
+            cert.proof("multiplier")
+
+    def test_rotations_enumerate_the_coset(self):
+        env = ProcessEnvelope(
+            process="p",
+            grid=6,
+            configured_offset=2,
+            rotation_base=2,
+            rotation_step=2,
+            rotation_count=2,
+            envelope=[1, 0, 0, 0],
+        )
+        assert env.rotations() == [2, 0]
+
+    def test_triple_and_render(self):
+        cex = sample_certificate(VERDICT_UNSAFE).counterexample
+        assert cex.triple() == "(type 'adder', slot 0, processes p1, p2)"
+        text = cex.render()
+        assert "slot demand 2 exceeds pool 1" in text
+        assert "p2/main starting at t=8" in text
+        assert cex.offsets == {"p1": 0, "p2": 8}
+
+    def test_type_proof_safety(self):
+        proof = sample_certificate().proof("adder")
+        assert proof.safe
+        import dataclasses
+
+        assert not dataclasses.replace(proof, proven_peak=3).safe

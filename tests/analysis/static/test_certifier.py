@@ -1,0 +1,178 @@
+"""Tests for the symbolic safety certifier.
+
+The certifier must (a) prove the paper's system safe under its deployed
+offsets, (b) refute under-provisioned pools with a concrete,
+grid-admissible counterexample, and (c) agree with a brute-force
+enumeration of every admissible rotation combination — the coset
+quotient and symmetry reductions are only sound if they never change
+the answer.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.analysis.static import (
+    MODEL_ANY,
+    MODEL_DEPLOYED,
+    CertificationError,
+    certify,
+    check_certificate,
+    pool_conflict,
+)
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+
+def small_shared_system(period=4, deadline=8):
+    """Two processes sharing adders globally."""
+    library = default_library()
+    system = SystemSpec(name="small")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("a0", OpKind.ADD)
+        graph.add("a1", OpKind.ADD)
+        graph.add("a2", OpKind.ADD)
+        graph.add_edge("a0", "a1")
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"adder": period})
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_result():
+    system, library = paper_system()
+    return ModuloSystemScheduler(library).schedule(
+        system, paper_assignment(library), paper_periods()
+    )
+
+
+def brute_force_peak(proof):
+    """Max slot demand over the FULL rotation product (no reductions)."""
+    period = proof.period
+    peak = 0
+    for combo in product(*(env.rotations() for env in proof.processes)):
+        for tau in range(period):
+            demand = sum(
+                env.envelope[(tau - rho) % period]
+                for env, rho in zip(proof.processes, combo)
+            )
+            peak = max(peak, demand)
+    return peak
+
+
+class TestDeployedModel:
+    def test_paper_system_is_safe(self, paper_result):
+        cert = certify(paper_result)
+        assert cert.safe
+        assert cert.offset_model == MODEL_DEPLOYED
+        assert {p.type_name for p in cert.types} == {
+            "adder",
+            "subtracter",
+            "multiplier",
+        }
+        # Deployed offsets pin every process to one residue class.
+        for proof in cert.types:
+            assert proof.classes_checked >= 1
+            assert proof.proven_peak <= proof.pool
+        assert check_certificate(cert, paper_result) == []
+
+    def test_derived_pools_match_peak(self, paper_result):
+        cert = certify(paper_result)
+        for proof in cert.types:
+            assert proof.pool == paper_result.global_instances(proof.type_name)
+
+    def test_small_system_round_trips_through_checker(self):
+        result = small_shared_system()
+        cert = certify(result)
+        assert cert.safe
+        assert check_certificate(cert, result) == []
+
+    def test_unknown_offset_model_rejected(self, paper_result):
+        with pytest.raises(CertificationError):
+            certify(paper_result, offset_model="bogus")
+
+
+class TestRefutation:
+    def test_underprovisioned_pool_is_refuted(self):
+        result = small_shared_system()
+        cert = certify(result, pools={"adder": 0})
+        assert not cert.safe
+        cex = cert.counterexample
+        assert cex is not None
+        assert cex.type_name == "adder"
+        assert cex.demand > 0 == cex.pool
+        # The refutation is self-consistent and checker-valid.
+        assert check_certificate(cert, result, pools={"adder": 0}) == []
+
+    def test_counterexample_starts_are_grid_admissible(self):
+        result = small_shared_system()
+        cert = certify(result, pools={"adder": 0})
+        assert not cert.safe
+        for c in cert.counterexample.contributions:
+            grid = max(1, result.grid_spacing(c.process))
+            assert c.start % grid == result.offset_of(c.process) % grid
+            assert c.start >= 0
+
+    def test_triple_names_type_slot_processes(self):
+        result = small_shared_system()
+        cert = certify(result, pools={"adder": 0})
+        triple = cert.counterexample.triple()
+        assert triple.startswith("(type 'adder', slot ")
+        assert "processes" in triple
+
+    def test_pool_conflict_helper(self):
+        result = small_shared_system()
+        cex = pool_conflict(result, "adder", 0)
+        assert cex.pool == 0
+        assert cex.demand > 0
+        assert "exceeds pool 0" in cex.render()
+        with pytest.raises(CertificationError):
+            pool_conflict(result, "not-a-type", 1)
+
+
+class TestAnyOffsetModel:
+    def test_any_model_covers_full_residue_classes(self):
+        result = small_shared_system(period=4)
+        cert = certify(result, offset_model=MODEL_ANY, pools={"adder": 99})
+        assert cert.safe
+        proof = cert.proof("adder")
+        assert proof.classes_total == 4 * 4
+        for env in proof.processes:
+            assert env.rotations() == [0, 1, 2, 3]
+
+    def test_reductions_match_brute_force(self):
+        """Safe any-offset proofs state the exact brute-force peak."""
+        for period in (3, 4, 6):
+            result = small_shared_system(period=period)
+            cert = certify(result, offset_model=MODEL_ANY, pools={"adder": 99})
+            proof = cert.proof("adder")
+            assert proof.proven_peak == brute_force_peak(proof), (
+                f"period {period}: reduction changed the proven peak"
+            )
+
+    def test_deployed_reductions_match_brute_force(self):
+        for period in (3, 4, 6):
+            result = small_shared_system(period=period)
+            cert = certify(result, pools={"adder": 99})
+            proof = cert.proof("adder")
+            assert proof.proven_peak == brute_force_peak(proof)
+
+    def test_paper_system_unsafe_under_any_offsets(self, paper_result):
+        """Safety RELIES on the deployed offsets: free offsets break it."""
+        deployed = certify(paper_result)
+        anymodel = certify(paper_result, offset_model=MODEL_ANY)
+        assert deployed.safe
+        assert not anymodel.safe
+        assert check_certificate(anymodel, paper_result) == []

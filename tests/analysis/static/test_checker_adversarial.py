@@ -1,0 +1,271 @@
+"""Adversarial tests for the certificate checker.
+
+A checker that only ever sees honest certificates proves nothing: these
+tests tamper with every load-bearing field of a valid certificate —
+witnesses, envelopes, rotation sets, coverage counts, verdicts, and
+counterexamples — and assert that :func:`check_certificate` rejects each
+corruption with a concrete problem string.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.static import (
+    VERDICT_SAFE,
+    VERDICT_UNSAFE,
+    Certificate,
+    certify,
+    check_certificate,
+)
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+
+
+def scheduled_system():
+    library = default_library()
+    system = SystemSpec(name="adv")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        graph.add("a0", OpKind.ADD)
+        graph.add("a1", OpKind.ADD)
+        graph.add("a2", OpKind.ADD)
+        graph.add_edge("a0", "a1")
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=8))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    assignment.make_global("adder", ["p1", "p2"])
+    return ModuloSystemScheduler(library).schedule(
+        system, assignment, PeriodAssignment({"adder": 4})
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scheduled_system()
+
+
+@pytest.fixture
+def certificate(result):
+    return certify(result)
+
+
+def with_proof(certificate, proof):
+    """Clone the certificate with one proof swapped in."""
+    types = [
+        proof if p.type_name == proof.type_name else p for p in certificate.types
+    ]
+    return Certificate(
+        system=certificate.system,
+        offset_model=certificate.offset_model,
+        verdict=certificate.verdict,
+        types=types,
+        counterexample=certificate.counterexample,
+    )
+
+
+def test_honest_certificate_passes(certificate, result):
+    assert check_certificate(certificate, result) == []
+
+
+class TestTamperedProofs:
+    def test_lowered_peak_rejected(self, certificate, result):
+        proof = certificate.proof("adder")
+        bad = with_proof(
+            certificate, dataclasses.replace(proof, proven_peak=0)
+        )
+        problems = check_certificate(bad, result)
+        assert any("recomputed peak" in p for p in problems)
+
+    def test_inflated_pool_rejected(self, certificate, result):
+        proof = certificate.proof("adder")
+        bad = with_proof(certificate, dataclasses.replace(proof, pool=99))
+        problems = check_certificate(bad, result)
+        assert any("pool 99 != allocated" in p for p in problems)
+
+    def test_wrong_period_rejected(self, certificate, result):
+        proof = certificate.proof("adder")
+        bad = with_proof(certificate, dataclasses.replace(proof, period=5))
+        assert check_certificate(bad, result)
+
+    def test_coverage_count_tampering_rejected(self, certificate, result):
+        proof = certificate.proof("adder")
+        bad = with_proof(
+            certificate, dataclasses.replace(proof, classes_total=17)
+        )
+        problems = check_certificate(bad, result)
+        assert any("coverage claims 17" in p for p in problems)
+
+    def test_dropped_proof_rejected(self, certificate, result):
+        bad = Certificate(
+            system=certificate.system,
+            offset_model=certificate.offset_model,
+            verdict=certificate.verdict,
+            types=[],
+        )
+        problems = check_certificate(bad, result)
+        assert any("has no proof" in p for p in problems)
+
+
+class TestTamperedEnvelopes:
+    def test_understated_envelope_rejected(self, certificate, result):
+        proof = certificate.proof("adder")
+        env = proof.processes[0]
+        zeroed = dataclasses.replace(
+            env, envelope=[0] * len(env.envelope), witnesses=[]
+        )
+        bad = with_proof(
+            certificate,
+            dataclasses.replace(
+                proof, processes=[zeroed] + list(proof.processes[1:])
+            ),
+        )
+        problems = check_certificate(bad, result)
+        assert any("does not refold" in p for p in problems)
+
+    def test_tampered_witness_rejected(self, certificate, result):
+        proof = certificate.proof("adder")
+        env = next(e for e in proof.processes if e.witnesses)
+        lied = dataclasses.replace(
+            env.witnesses[0], usage=env.witnesses[0].usage + 1
+        )
+        bad_env = dataclasses.replace(
+            env, witnesses=[lied] + list(env.witnesses[1:])
+        )
+        bad = with_proof(
+            certificate,
+            dataclasses.replace(
+                proof,
+                processes=[
+                    bad_env if e.process == env.process else e
+                    for e in proof.processes
+                ],
+            ),
+        )
+        problems = check_certificate(bad, result)
+        assert any("not realized" in p for p in problems)
+
+    def test_dropped_witness_rejected(self, certificate, result):
+        proof = certificate.proof("adder")
+        env = next(e for e in proof.processes if e.witnesses)
+        bad_env = dataclasses.replace(env, witnesses=[])
+        bad = with_proof(
+            certificate,
+            dataclasses.replace(
+                proof,
+                processes=[
+                    bad_env if e.process == env.process else e
+                    for e in proof.processes
+                ],
+            ),
+        )
+        problems = check_certificate(bad, result)
+        assert any("has no witness" in p for p in problems)
+
+    def test_widened_rotation_set_rejected(self, certificate, result):
+        # Claiming a coarser grid (more admissible rotations) than the
+        # deployed configuration must not pass as a "deployed" proof.
+        proof = certificate.proof("adder")
+        env = proof.processes[0]
+        bad_env = dataclasses.replace(env, rotation_step=1, rotation_count=4)
+        bad = with_proof(
+            certificate,
+            dataclasses.replace(
+                proof, processes=[bad_env] + list(proof.processes[1:])
+            ),
+        )
+        problems = check_certificate(bad, result)
+        assert any("admissible coset" in p for p in problems)
+
+
+class TestTamperedVerdicts:
+    def test_unsafe_without_counterexample_rejected(self, certificate, result):
+        certificate.verdict = VERDICT_UNSAFE
+        problems = check_certificate(certificate, result)
+        assert any("without a counterexample" in p for p in problems)
+
+    def test_unknown_verdict_rejected(self, certificate, result):
+        certificate.verdict = "trust-me"
+        problems = check_certificate(certificate, result)
+        assert any("unknown verdict" in p for p in problems)
+
+    def test_wrong_system_rejected(self, certificate, result):
+        certificate.system = "other"
+        problems = check_certificate(certificate, result)
+        assert any("is for system" in p for p in problems)
+
+    def test_unknown_model_rejected(self, certificate, result):
+        certificate.offset_model = "psychic"
+        assert check_certificate(certificate, result) == [
+            "unknown offset model 'psychic'"
+        ]
+
+
+class TestTamperedCounterexamples:
+    @pytest.fixture
+    def refutation(self, result):
+        cert = certify(result, pools={"adder": 0})
+        assert not cert.safe
+        return cert
+
+    def test_honest_refutation_passes(self, refutation, result):
+        assert check_certificate(refutation, result, pools={"adder": 0}) == []
+
+    def test_whitewashed_verdict_rejected(self, refutation, result):
+        refutation.verdict = VERDICT_SAFE
+        problems = check_certificate(refutation, result, pools={"adder": 0})
+        assert any("says safe" in p for p in problems)
+
+    def test_inflated_demand_rejected(self, refutation, result):
+        cex = refutation.counterexample
+        refutation.counterexample = dataclasses.replace(
+            cex, demand=cex.demand + 3
+        )
+        problems = check_certificate(refutation, result, pools={"adder": 0})
+        assert any("summed usage" in p for p in problems)
+
+    def test_off_grid_start_rejected(self, refutation, result):
+        cex = refutation.counterexample
+        c = cex.contributions[0]
+        grid = max(1, result.grid_spacing(c.process))
+        if grid == 1:
+            pytest.skip("grid of 1 admits every start")
+        period = cex.period
+        # Shift start AND slot together so the slot arithmetic still
+        # holds but the start leaves the configured grid.
+        moved = dataclasses.replace(c, start=c.start + 1)
+        refutation.counterexample = dataclasses.replace(
+            cex,
+            slot=(cex.slot + 1) % period,
+            contributions=[moved]
+            + [
+                dataclasses.replace(other, start=other.start + 1)
+                for other in cex.contributions[1:]
+            ],
+        )
+        problems = check_certificate(refutation, result, pools={"adder": 0})
+        assert any("not on" in p and "grid" in p for p in problems)
+
+    def test_fabricated_contribution_rejected(self, refutation, result):
+        cex = refutation.counterexample
+        fake = dataclasses.replace(
+            cex.contributions[0], usage=cex.contributions[0].usage + 1
+        )
+        refutation.counterexample = dataclasses.replace(
+            cex,
+            demand=cex.demand + 1,
+            contributions=[fake] + list(cex.contributions[1:]),
+        )
+        problems = check_certificate(refutation, result, pools={"adder": 0})
+        assert any("is not in the schedule" in p for p in problems)
+
+    def test_json_round_trip_preserves_rejection(self, refutation, result):
+        refutation.verdict = VERDICT_SAFE
+        again = Certificate.from_json(refutation.to_json())
+        assert check_certificate(again, result, pools={"adder": 0})

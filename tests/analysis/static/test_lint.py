@@ -1,0 +1,163 @@
+"""Tests for the rule-driven IR lint: every rule must fire on a crafted
+defect and stay silent on clean input."""
+
+from repro.analysis.static import DEFAULT_RULES, RULES_BY_NAME, run_lint
+from repro.api import Problem
+from repro.core.periods import PeriodAssignment
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+
+def make_problem(build_graph, deadline=8, period=4, globals_on=True):
+    """Two identical single-block processes sharing adders."""
+    library = default_library()
+    system = SystemSpec(name="lintable")
+    for name in ("p1", "p2"):
+        graph = DataFlowGraph(name=f"{name}-g")
+        build_graph(graph)
+        process = Process(name=name)
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    assignment = ResourceAssignment(library)
+    periods = {}
+    if globals_on:
+        assignment.make_global("adder", ["p1", "p2"])
+        periods["adder"] = period
+    return Problem(system, library, assignment, PeriodAssignment(periods))
+
+
+def add_chain(graph, count=3):
+    prev = None
+    for i in range(count):
+        graph.add(f"a{i}", OpKind.ADD)
+        if prev is not None:
+            graph.add_edge(prev, f"a{i}")
+        prev = f"a{i}"
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestProblemScopedRules:
+    def test_clean_problem_has_no_errors_or_warnings(self):
+        problem = make_problem(add_chain)
+        report = run_lint(problem)
+        assert not report.errors
+        assert not report.warnings
+        assert report.label == "lint"
+
+    def test_infeasible_timeframe_fires_lint001(self):
+        problem = make_problem(lambda g: add_chain(g, count=5), deadline=3)
+        report = run_lint(problem, rules=[RULES_BY_NAME["timeframes"]])
+        assert "LINT001" in codes(report)
+        assert report.exit_code == 2
+
+    def test_rigid_block_fires_lint201(self):
+        # Critical path exactly fills the deadline: zero mobility.
+        problem = make_problem(lambda g: add_chain(g, count=4), deadline=4)
+        report = run_lint(problem, rules=[RULES_BY_NAME["timeframes"]])
+        assert "LINT201" in codes(report)
+        assert report.exit_code == 0  # info only
+
+    def test_dead_operation_fires_lint101(self):
+        def build(graph):
+            add_chain(graph, count=2)
+            graph.add("st", OpKind.STORE)
+            graph.add_edge("a1", "st")
+            graph.add("dead", OpKind.ADD)  # sink, but not a store
+
+        problem = make_problem(build, globals_on=False)
+        report = run_lint(problem, rules=[RULES_BY_NAME["dead-operations"]])
+        found = [d for d in report.diagnostics if d.code == "LINT101"]
+        assert [d.op for d in found] == ["dead", "dead"]  # once per process
+
+    def test_plain_sinks_without_stores_are_not_dead(self):
+        problem = make_problem(add_chain)
+        report = run_lint(problem, rules=[RULES_BY_NAME["dead-operations"]])
+        assert codes(report) == []
+
+    def test_redundant_edge_fires_lint102(self):
+        def build(graph):
+            add_chain(graph, count=3)
+            graph.add_edge("a0", "a2")  # implied by a0 -> a1 -> a2
+
+        problem = make_problem(build)
+        report = run_lint(problem, rules=[RULES_BY_NAME["redundant-edges"]])
+        assert codes(report).count("LINT102") == 2  # once per process
+
+    def test_diamond_edges_are_not_redundant(self):
+        def build(graph):
+            for name in ("a0", "a1", "a2", "a3"):
+                graph.add(name, OpKind.ADD)
+            graph.add_edges(
+                [("a0", "a1"), ("a0", "a2"), ("a1", "a3"), ("a2", "a3")]
+            )
+
+        problem = make_problem(build)
+        report = run_lint(problem, rules=[RULES_BY_NAME["redundant-edges"]])
+        assert codes(report) == []
+
+    def test_period_grid_rule_reuses_preflight_codes(self):
+        # Period exceeding every sharing deadline: PERIOD103.
+        problem = make_problem(add_chain, deadline=4, period=9)
+        report = run_lint(problem, rules=[RULES_BY_NAME["period-grid"]])
+        assert "PERIOD103" in codes(report)
+
+
+class TestScheduleScopedRules:
+    def test_overprovisioned_pool_fires_lint103(self):
+        problem = make_problem(add_chain)
+        report = run_lint(
+            problem,
+            rules=[RULES_BY_NAME["pool-provisioning"]],
+            pools={"adder": 7},
+        )
+        found = [d for d in report.diagnostics if d.code == "LINT103"]
+        assert len(found) == 1
+        assert "7" in found[0].message
+
+    def test_exact_pool_is_silent(self):
+        problem = make_problem(add_chain)
+        report = run_lint(problem, rules=[RULES_BY_NAME["pool-provisioning"]])
+        assert codes(report) == []
+
+    def test_idle_slots_fire_lint203(self):
+        # One add per block against period 4: most slots stay idle.
+        problem = make_problem(lambda g: add_chain(g, count=1), period=4)
+        report = run_lint(problem, rules=[RULES_BY_NAME["idle-slots"]])
+        assert "LINT203" in codes(report)
+        assert report.exit_code == 0
+
+    def test_unschedulable_problem_skips_schedule_rules(self):
+        problem = make_problem(lambda g: add_chain(g, count=5), deadline=3)
+        report = run_lint(problem)
+        # Problem-scoped findings present, schedule-scoped rules skipped.
+        assert "LINT001" in codes(report)
+        assert "LINT203" not in codes(report)
+
+
+class TestRuleSet:
+    def test_default_rules_have_unique_names_and_codes(self):
+        names = [rule.name for rule in DEFAULT_RULES]
+        assert len(names) == len(set(names))
+        assert set(RULES_BY_NAME) == set(names)
+
+    def test_paper_system_lints_clean(self):
+        system, library = paper_system()
+        problem = Problem(
+            system, library, paper_assignment(library), paper_periods()
+        )
+        report = run_lint(problem)
+        assert not report.errors
+        assert not report.warnings
+
+    def test_report_as_dict_counts(self):
+        problem = make_problem(lambda g: add_chain(g, count=5), deadline=3)
+        data = run_lint(problem, rules=[RULES_BY_NAME["timeframes"]]).as_dict()
+        assert data["counts"]["errors"] >= 1
+        assert data["exit_code"] == 2

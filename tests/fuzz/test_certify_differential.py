@@ -1,0 +1,73 @@
+"""Differential fuzzing: the static certifier vs dynamic simulation.
+
+Two independent oracles judge every schedulable input: the symbolic
+safety certifier (deployed offsets, derived pools) and the randomized
+system simulator.  They must agree — a certificate that proves the pools
+safe while a simulation seed produces a conflict (or vice versa) is the
+``diverged`` outcome, and means one of the two implementations is wrong.
+
+The campaign is deterministic, mirroring ``test_fuzz_invariant``: fixed
+seed, fixed corpus, fixed input count.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+from repro.validation.budget import RunBudget
+from repro.validation.fuzz import (
+    OUTCOME_CRASHED,
+    OUTCOME_DIVERGED,
+    OUTCOME_SCHEDULED,
+    differential_text,
+    mutate_text,
+)
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "diffeq_pair.sys"
+
+SMALL_TEXT = """\
+system differential-seed
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+op p2 main a1 add
+edge p2 main m1 a1
+global multiplier p1 p2
+period multiplier 4
+"""
+
+BUDGET = RunBudget(max_iterations=5000, wall_deadline=2.0)
+
+
+def corpus():
+    return [SMALL_TEXT, EXAMPLE.read_text()]
+
+
+def test_valid_corpus_certifies_and_simulates_clean():
+    for text in corpus():
+        outcome = differential_text(text, budget=BUDGET, seeds=10, cycles=300)
+        assert outcome.outcome == OUTCOME_SCHEDULED, outcome.detail
+        assert "safe" in outcome.detail
+
+
+def test_differential_oracle_fixed_seed():
+    rng = random.Random(0xD1FF)
+    tallies = {OUTCOME_SCHEDULED: 0}
+    for i in range(30):
+        text = mutate_text(corpus()[i % 2], rng)
+        outcome = differential_text(text, budget=BUDGET, seeds=3, cycles=200)
+        assert outcome.outcome != OUTCOME_DIVERGED, (
+            f"oracles disagree on mutant {i}: {outcome.detail}"
+        )
+        assert outcome.outcome != OUTCOME_CRASHED, (
+            f"mutant {i} escaped: {outcome.detail}"
+        )
+        tallies[outcome.outcome] = tallies.get(outcome.outcome, 0) + 1
+    # The campaign must exercise the certifier, not only the parser.
+    assert tallies[OUTCOME_SCHEDULED] >= 3, tallies

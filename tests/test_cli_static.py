@@ -1,0 +1,158 @@
+"""CLI tests for the static-analysis commands: certify, lint, and the
+JSON output formats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+TEXT = """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+global multiplier p1 p2
+period multiplier 4
+"""
+
+BROKEN = """\
+system broken
+process p1
+block p1 main deadline=1
+op p1 main a1 add
+op p1 main a2 add
+op p1 main a3 add
+edge p1 main a1 a2
+edge p1 main a2 a3
+"""
+
+
+@pytest.fixture
+def sys_file(tmp_path):
+    path = tmp_path / "demo.sys"
+    path.write_text(TEXT, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.sys"
+    path.write_text(BROKEN, encoding="utf-8")
+    return str(path)
+
+
+class TestCertifyCommand:
+    def test_safe_system_exits_zero(self, sys_file, capsys):
+        assert main(["certify", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "certificate for 'demo'" in out
+        assert "safe" in out
+
+    def test_recheck_passes(self, sys_file, capsys):
+        assert main(["certify", sys_file, "--recheck"]) == 0
+        assert "independently re-verified" in capsys.readouterr().out
+
+    def test_seeded_conflict_exits_one_with_counterexample(
+        self, sys_file, capsys
+    ):
+        code = main(["certify", sys_file, "--pool", "multiplier=0"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "unsafe" in out
+        assert "(type 'multiplier', slot " in out
+        assert "exceeds pool 0" in out
+
+    def test_json_format_round_trips(self, sys_file, capsys):
+        assert main(["certify", sys_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "repro-certificate"
+        assert data["verdict"] == "safe"
+        assert data["types"][0]["type"] == "multiplier"
+
+    def test_output_file_round_trips(self, sys_file, tmp_path, capsys):
+        from repro.analysis.static import Certificate
+
+        out_path = str(tmp_path / "cert.json")
+        assert main(["certify", sys_file, "-o", out_path]) == 0
+        cert = Certificate.load(out_path)
+        assert cert.system == "demo"
+        assert cert.safe
+
+    def test_any_offset_model(self, sys_file, capsys):
+        code = main(["certify", sys_file, "--offset-model", "any"])
+        out = capsys.readouterr().out
+        assert "any-offset" in out
+        assert code in (0, 1)
+
+    def test_malformed_pool_argument(self, sys_file, capsys):
+        assert main(["certify", sys_file, "--pool", "nonsense"]) == 2
+        assert "TYPE=N" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, sys_file, capsys):
+        assert main(["lint", sys_file]) == 0
+        assert "lint" in capsys.readouterr().out
+
+    def test_defective_file_reports_errors(self, broken_file, capsys):
+        assert main(["lint", broken_file]) == 2
+        out = capsys.readouterr().out
+        assert "TIME001" in out or "LINT001" in out
+
+    def test_directory_expansion(self, sys_file, tmp_path, capsys):
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "demo.sys" in capsys.readouterr().out
+
+    def test_json_format(self, sys_file, capsys):
+        assert main(["lint", sys_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["exit_code"] == 0
+        assert "counts" in data
+
+    def test_json_format_many_files(self, sys_file, broken_file, capsys):
+        assert main(["lint", sys_file, broken_file, "--format", "json"]) == 2
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and len(data) == 2
+
+    def test_rule_selection(self, sys_file, capsys):
+        assert main(["lint", sys_file, "--rule", "redundant-edges"]) == 0
+        out = capsys.readouterr().out
+        assert "LINT203" not in out
+
+    def test_unknown_rule_rejected(self, sys_file, capsys):
+        assert main(["lint", sys_file, "--rule", "no-such-rule"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_no_sys_files(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["lint", str(empty)]) == 2
+        assert "no .sys files" in capsys.readouterr().err
+
+
+class TestCheckJson:
+    def test_check_json_format(self, sys_file, capsys):
+        assert main(["check", sys_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"] == {"errors": 0, "warnings": 0, "notes": 0}
+
+    def test_check_json_reports_findings(self, broken_file, capsys):
+        assert main(["check", broken_file, "--format", "json"]) == 2
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["errors"] >= 1
+        assert data["diagnostics"][0]["code"]
+
+
+class TestSweepCertify:
+    def test_sweep_certify_safe(self, sys_file, capsys):
+        code = main(["sweep", sys_file, "--limit", "8", "--certify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certificate" in out
+        assert "safe" in out
