@@ -6,11 +6,12 @@ same as before the instrumentation subsystem existed: the no-op path is
 one attribute check or empty method call per instrumentation point, and
 no events, spans, or counter dicts are ever allocated.
 
-This benchmark times the paper workload three ways — no-op tracer,
-live tracer, live tracer + JSONL export — and records the ratios.  The
-decision equality assertion (identical iteration counts and schedules)
-is the hard guarantee; the timing ratio is reported as a note, not
-asserted, because CI machines are noisy.
+This benchmark times the paper workload four ways — no-op tracer, live
+tracer, live tracer publishing to an event bus, and live tracer plus a
+full decision audit trail — and records the ratios.  The decision
+equality assertion (identical iteration counts and schedules) is the
+hard guarantee; the timing ratios are reported as notes, not asserted,
+because CI machines are noisy.
 """
 
 import time
@@ -18,15 +19,15 @@ import time
 from conftest import save_artifact
 
 from repro.core.scheduler import ModuloSystemScheduler
-from repro.obs import Tracer
+from repro.obs import AuditTrail, EventBus, Tracer
 from repro.scheduling.forces import area_weights
 from repro.workloads import paper_assignment, paper_periods, paper_system
 
 
-def _run(tracer=None):
+def _run(tracer=None, audit=None):
     system, library = paper_system()
     scheduler = ModuloSystemScheduler(
-        library, weights=area_weights(library), tracer=tracer
+        library, weights=area_weights(library), tracer=tracer, audit=audit
     )
     started = time.perf_counter()
     result = scheduler.schedule(system, paper_assignment(library), paper_periods())
@@ -38,21 +39,35 @@ def test_noop_tracer_overhead(benchmark):
     tracer = Tracer()
     traced, traced_s = _run(tracer)
 
-    # The hard guarantee: instrumentation observes, never steers.
-    assert traced.iterations == baseline.iterations
-    assert traced.instance_counts() == baseline.instance_counts()
-    assert len(tracer.events) == traced.iterations
+    bus = EventBus()
+    bus.subscribe(lambda event: None)
+    streamed, streamed_s = _run(Tracer(bus=bus))
 
-    ratio = traced_s / baseline_s if baseline_s > 0 else float("inf")
+    audit = AuditTrail()
+    audited, audited_s = _run(Tracer(), audit)
+
+    # The hard guarantee: instrumentation observes, never steers.
+    for arm in (traced, streamed, audited):
+        assert arm.iterations == baseline.iterations
+        assert arm.instance_counts() == baseline.instance_counts()
+    # One reduction event per scheduler iteration (commit events ride
+    # alongside, so the raw event stream is larger).
+    assert len(tracer.events_named("reduction")) == traced.iterations
+    assert len(audit) == audited.iterations
+
+    def ratio(seconds):
+        return seconds / baseline_s if baseline_s > 0 else float("inf")
+
     lines = [
         "O1: tracing overhead on the paper workload (§7 system)",
         "",
         f"  no-op tracer : {baseline_s:8.3f} s, {baseline.iterations} iterations",
-        f"  live tracer  : {traced_s:8.3f} s, {traced.iterations} iterations",
-        f"  ratio        : {ratio:8.2f}x",
+        f"  live tracer  : {traced_s:8.3f} s ({ratio(traced_s):5.2f}x)",
+        f"  tracer + bus : {streamed_s:8.3f} s ({ratio(streamed_s):5.2f}x)",
+        f"  tracer + audit: {audited_s:7.3f} s ({ratio(audited_s):5.2f}x)",
         "",
         "note: identical iteration counts and instance counts are asserted;",
-        "the timing ratio is informational (live tracing pays for event",
+        "the timing ratios are informational (live tracing pays for event",
         "objects and counter increments, the no-op path pays one attribute",
         "check per instrumentation point).",
     ]
@@ -62,7 +77,9 @@ def test_noop_tracer_overhead(benchmark):
         data={
             "noop_seconds": baseline_s,
             "traced_seconds": traced_s,
-            "ratio": ratio,
+            "streamed_seconds": streamed_s,
+            "audited_seconds": audited_s,
+            "ratio": ratio(traced_s),
             "iterations": baseline.iterations,
             "counters": dict(traced.telemetry.get("counters", {})),
         },

@@ -1,0 +1,193 @@
+"""CI bench-regression gate.
+
+Compares a freshly generated benchmark JSON against a committed
+baseline and exits non-zero when the run regressed by more than the
+tolerance (default 25%) on either axis:
+
+* **evaluation counts** — force evaluations, scheduler iterations,
+  sweep candidates evaluated.  The workloads are seeded and the
+  scheduler deterministic, so these reproduce bit-for-bit across
+  machines; growth means the algorithm started doing more work.
+* **wall time** — compared only through dimensionless same-run ratios
+  (cached/uncached for the scaling bench, pruned/unpruned for the
+  sweep bench), so a slower or faster CI machine cannot trip or mask
+  the gate; only a change in the *relative* benefit of the
+  optimization can.
+
+Solution quality (area, best periods) is deterministic and must not
+regress at all.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --kind scaling --current BENCH_scaling.json \
+        --baseline benchmarks/baselines/BENCH_scaling_smoke.json
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --kind sweep --current BENCH_sweep.json \
+        --baseline benchmarks/baselines/BENCH_sweep_smoke.json
+
+The committed baselines under ``benchmarks/baselines/`` are smoke-scale
+runs matching the CI invocations; the root-level ``BENCH_scaling.json``
+/ ``BENCH_sweep.json`` remain the full-scale reference artifacts quoted
+in the docs.  Regenerate a baseline by re-running the bench with the CI
+flags and copying the output over the baseline file.
+"""
+
+import argparse
+import json
+import sys
+
+#: Fail when a guarded metric grows past baseline * (1 + TOLERANCE).
+TOLERANCE = 0.25
+
+#: Wall-time ratios of arms faster than this are dominated by process
+#: startup noise; the ratio check is skipped (the count checks, which
+#: are exact, still apply).
+NOISE_FLOOR_SECONDS = 0.05
+
+
+class Gate:
+    """Collects pass/fail lines; one failure fails the run."""
+
+    def __init__(self, tolerance):
+        self.tolerance = tolerance
+        self.failures = []
+        self.lines = []
+
+    def check_count(self, name, current, baseline):
+        """Deterministic work counter: must not grow past tolerance."""
+        limit = baseline * (1.0 + self.tolerance)
+        ok = current <= limit
+        self._note(ok, f"{name}: {current} vs baseline {baseline} "
+                       f"(limit {limit:.0f})")
+
+    def check_ratio(self, name, current, baseline):
+        """Dimensionless ratio: must not grow past tolerance."""
+        if baseline <= 0:
+            self._note(True, f"{name}: baseline ratio {baseline} — skipped")
+            return
+        limit = baseline * (1.0 + self.tolerance)
+        ok = current <= limit
+        self._note(ok, f"{name}: {current:.3f} vs baseline {baseline:.3f} "
+                       f"(limit {limit:.3f})")
+
+    def check_quality(self, name, current, baseline):
+        """Solution quality: must be no worse than the baseline."""
+        ok = current <= baseline
+        self._note(ok, f"{name}: {current} vs baseline {baseline}")
+
+    def skip(self, message):
+        self.lines.append(f"  SKIP {message}")
+
+    def _note(self, ok, message):
+        tag = "ok  " if ok else "FAIL"
+        self.lines.append(f"  {tag} {message}")
+        if not ok:
+            self.failures.append(message)
+
+
+def _wall_ratio(gate, name, numer_arm, denom_arm, base_numer, base_denom):
+    """Compare a same-run wall-time ratio, respecting the noise floor."""
+    if min(denom_arm, base_denom) < NOISE_FLOOR_SECONDS:
+        gate.skip(f"{name}: runtimes below {NOISE_FLOOR_SECONDS}s noise floor")
+        return
+    gate.check_ratio(name, numer_arm / denom_arm, base_numer / base_denom)
+
+
+def check_scaling(gate, current, baseline):
+    """Rows matched on process count; unmatched rows are reported."""
+    base_rows = {row["processes"]: row for row in baseline}
+    matched = 0
+    for row in current:
+        base = base_rows.get(row["processes"])
+        if base is None:
+            gate.skip(f"no baseline row for processes={row['processes']}")
+            continue
+        matched += 1
+        n = row["processes"]
+        gate.check_quality(f"[{n}p] area", row["area"], base["area"])
+        for arm in ("cached", "uncached"):
+            gate.check_count(
+                f"[{n}p] {arm} force_evaluations",
+                row[arm]["force_evaluations"],
+                base[arm]["force_evaluations"],
+            )
+        gate.check_count(
+            f"[{n}p] iterations", row["iterations"], base["iterations"]
+        )
+        _wall_ratio(
+            gate,
+            f"[{n}p] cached/uncached wall-time ratio",
+            row["cached"]["wall_time"], row["uncached"]["wall_time"],
+            base["cached"]["wall_time"], base["uncached"]["wall_time"],
+        )
+    if matched == 0:
+        gate.failures.append("no scaling rows matched the baseline")
+
+
+def check_sweep(gate, current, baseline):
+    if current["candidates"] != baseline["candidates"]:
+        gate.failures.append(
+            f"candidate-set mismatch: current sweep enumerates "
+            f"{current['candidates']} candidates, baseline "
+            f"{baseline['candidates']} — regenerate the baseline with "
+            f"the CI flags"
+        )
+        return
+    gate.check_quality("best_area", current["best_area"],
+                       baseline["best_area"])
+    gate.check_count(
+        "pruned-arm candidates evaluated",
+        current["parallel_pruned"]["evaluated"],
+        baseline["parallel_pruned"]["evaluated"],
+    )
+    for arm in ("serial", "parallel", "parallel_pruned"):
+        gate.check_count(f"{arm} failed jobs", current[arm]["failed"], 0)
+    _wall_ratio(
+        gate,
+        "pruned/unpruned wall-time ratio",
+        current["parallel_pruned"]["wall_time"],
+        current["parallel"]["wall_time"],
+        baseline["parallel_pruned"]["wall_time"],
+        baseline["parallel"]["wall_time"],
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kind", choices=("scaling", "sweep"), required=True)
+    parser.add_argument("--current", required=True,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional growth (default 0.25)")
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    gate = Gate(args.tolerance)
+    if args.kind == "scaling":
+        check_scaling(gate, current, baseline)
+    else:
+        check_sweep(gate, current, baseline)
+
+    print(f"bench-regression gate ({args.kind}): "
+          f"{args.current} vs {args.baseline}")
+    for line in gate.lines:
+        print(line)
+    if gate.failures:
+        print(f"REGRESSION: {len(gate.failures)} check(s) failed "
+              f"(tolerance {args.tolerance:.0%})")
+        for failure in gate.failures:
+            print(f"  - {failure}")
+        return 1
+    print("no regression detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

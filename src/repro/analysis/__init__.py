@@ -1,5 +1,11 @@
-"""Evaluation harness: metrics, tables, comparisons."""
+"""Evaluation harness: metrics, tables, comparisons, attribution."""
 
+from .attribution import (
+    AttributionReport,
+    BottleneckEntry,
+    ContributingOp,
+    attribute,
+)
 from .bounds import block_bound, bound_report, global_pool_bound, process_bound
 from .compare import Comparison, compare_scopes
 from .export import export_result, result_to_dict, result_to_json
@@ -10,10 +16,17 @@ from .interconnect import (
     total_area_with_interconnect,
 )
 from .metrics import AreaItem, area_breakdown, mobility_histogram, static_utilization
+from .report import RunReport, run_report
 from .tables import table1, usage_table
 
 __all__ = [
     "AreaItem",
+    "AttributionReport",
+    "BottleneckEntry",
+    "ContributingOp",
+    "RunReport",
+    "attribute",
+    "run_report",
     "block_bound",
     "bound_report",
     "Comparison",

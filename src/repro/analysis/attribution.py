@@ -1,0 +1,382 @@
+"""Bottleneck attribution: which (type, slot, processes) pin the area.
+
+The paper's cost model makes area attribution unusually crisp: a global
+pool is sized by its *peak period-slot demand* (the multicycle coloring
+only raises that), so for every global type there is a concrete
+``(type, slot, processes)`` triple — the demand-argmax slot and the
+processes whose authorizations stack there — that *is* the reason the
+pool is as large as it is.  Shaving any contribution at that slot is the
+only way to shrink the pool; smoothing elsewhere is free but useless.
+
+:func:`attribute` builds that ranking for a finished
+:class:`~repro.core.result.SystemSchedule`:
+
+* the bottleneck triple of every global type is delegated to the
+  certifier's :func:`repro.analysis.static.certifier.pool_conflict` —
+  the same argmax slot and per-process envelope witnesses a failed
+  certification would report, so ``repro explain`` and ``repro certify``
+  never disagree about where the pressure is;
+* each per-process contribution is resolved down to the **operations**
+  of the type active at the witnessed block step — the seed set a
+  feedback-guided rescheduler (see ROADMAP) would extract as the
+  bottleneck subgraph;
+* when a decision :class:`~repro.obs.audit.AuditTrail` (or its exported
+  records) is supplied, each entry also reports how many audited
+  reduction decisions involved its contributing operations — linking
+  *where the area sits* to *how the scheduler got there*;
+* local types are folded in as single-line entries (their instance need
+  is a per-process peak, not a slot conflict) so the ranking covers the
+  whole area, not just the pools.
+
+Renderers: :meth:`AttributionReport.render` (text),
+:meth:`AttributionReport.render_markdown`, and
+:meth:`AttributionReport.as_dict` (JSON-safe).  The CLI front end is
+``repro explain``; ``repro report`` embeds the same report next to the
+profile and metric tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.result import SystemSchedule
+from .static.certificate import Counterexample
+from .static.certifier import pool_conflict
+
+
+@dataclass(frozen=True)
+class ContributingOp:
+    """One operation active at the bottleneck slot of its process."""
+
+    process: str
+    block: str
+    op: str
+    step: int
+    start: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "process": self.process,
+            "block": self.block,
+            "op": self.op,
+            "step": self.step,
+            "start": self.start,
+        }
+
+
+@dataclass(frozen=True)
+class BottleneckEntry:
+    """One ranked source of area pressure.
+
+    For a global type this is the certifier-consistent conflict triple
+    plus the named operations; for a local type ``slot`` is ``None`` and
+    the "conflict" is the per-process peak.
+    """
+
+    type_name: str
+    scope: str  # "global" | "local"
+    instances: int
+    unit_area: float
+    area: float
+    slot: Optional[int] = None
+    period: Optional[int] = None
+    demand: Optional[int] = None
+    processes: Sequence[str] = ()
+    operations: Sequence[ContributingOp] = ()
+    #: Audited reduction decisions whose winning op is one of the
+    #: contributing operations (0 when no audit trail was supplied).
+    audit_decisions: int = 0
+
+    def triple(self) -> Optional[str]:
+        """The ``(type, slot, processes)`` conflict triple, rendered."""
+        if self.slot is None:
+            return None
+        return (
+            f"(type {self.type_name!r}, slot {self.slot}, "
+            f"processes {', '.join(self.processes)})"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "type": self.type_name,
+            "scope": self.scope,
+            "instances": self.instances,
+            "unit_area": self.unit_area,
+            "area": self.area,
+        }
+        if self.slot is not None:
+            record.update(
+                {
+                    "slot": self.slot,
+                    "period": self.period,
+                    "demand": self.demand,
+                    "processes": list(self.processes),
+                    "operations": [op.as_dict() for op in self.operations],
+                }
+            )
+        if self.audit_decisions:
+            record["audit_decisions"] = self.audit_decisions
+        return record
+
+
+@dataclass
+class AttributionReport:
+    """Ranked area attribution for one system schedule."""
+
+    system: str
+    total_area: float
+    entries: List[BottleneckEntry] = field(default_factory=list)
+
+    @property
+    def bottleneck(self) -> Optional[BottleneckEntry]:
+        """The top-ranked global entry (None without global types)."""
+        for entry in self.entries:
+            if entry.scope == "global":
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Aligned plain-text report."""
+        lines = [
+            f"area attribution for system {self.system!r} "
+            f"(total area {self.total_area:g})"
+        ]
+        for rank, entry in enumerate(self.entries, start=1):
+            share = entry.area / self.total_area if self.total_area else 0.0
+            lines.append(
+                f"{rank}. {entry.type_name} [{entry.scope}] — "
+                f"{entry.instances} instance(s) x {entry.unit_area:g} area "
+                f"= {entry.area:g} ({share:.1%} of total)"
+            )
+            if entry.slot is not None:
+                lines.append(
+                    f"   pinned by {entry.triple()}: slot demand "
+                    f"{entry.demand} of period {entry.period}"
+                )
+                for op in entry.operations:
+                    lines.append(
+                        f"     {op.process}/{op.block}: op {op.op} "
+                        f"(start {op.start}) active at step {op.step}"
+                    )
+                if entry.audit_decisions:
+                    lines.append(
+                        f"   {entry.audit_decisions} audited reduction "
+                        f"decision(s) placed these operations"
+                    )
+        if not self.entries:
+            lines.append("  (no resource usage)")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Markdown report (tables + per-entry detail)."""
+        lines = [
+            f"## Area attribution: `{self.system}`",
+            "",
+            f"Total area: **{self.total_area:g}**",
+            "",
+            "| rank | type | scope | instances | area | share | bottleneck |",
+            "| --- | --- | --- | --- | --- | --- | --- |",
+        ]
+        for rank, entry in enumerate(self.entries, start=1):
+            share = entry.area / self.total_area if self.total_area else 0.0
+            triple = entry.triple() or "per-process peak"
+            lines.append(
+                f"| {rank} | `{entry.type_name}` | {entry.scope} "
+                f"| {entry.instances} | {entry.area:g} | {share:.1%} "
+                f"| {triple} |"
+            )
+        for entry in self.entries:
+            if entry.slot is None or not entry.operations:
+                continue
+            lines.extend(
+                [
+                    "",
+                    f"### `{entry.type_name}` @ slot {entry.slot}",
+                    "",
+                    f"Slot demand {entry.demand} of period {entry.period}"
+                    + (
+                        f"; {entry.audit_decisions} audited decision(s)"
+                        if entry.audit_decisions
+                        else ""
+                    ),
+                    "",
+                ]
+            )
+            for op in entry.operations:
+                lines.append(
+                    f"- `{op.process}/{op.block}` op `{op.op}` "
+                    f"(start {op.start}, active step {op.step})"
+                )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "total_area": self.total_area,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    def as_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def _ops_at_step(
+    result: SystemSchedule,
+    process_name: str,
+    block_name: str,
+    type_name: str,
+    step: int,
+) -> List[ContributingOp]:
+    """Operations of ``type_name`` active at a block-relative step."""
+    sched = result.schedule_of(process_name, block_name)
+    occupancy = result.library.type(type_name).occupancy
+    ops: List[ContributingOp] = []
+    for op_id in sorted(sched.starts):
+        op = sched.graph.operation(op_id)
+        if result.library.type_of(op).name != type_name:
+            continue
+        start = sched.starts[op_id]
+        if start <= step < start + occupancy:
+            ops.append(
+                ContributingOp(
+                    process=process_name,
+                    block=block_name,
+                    op=op_id,
+                    step=step,
+                    start=start,
+                )
+            )
+    return ops
+
+
+def _audit_decision_records(audit: Any) -> List[Mapping[str, Any]]:
+    """Normalize an audit argument to a list of decision records.
+
+    Accepts an :class:`~repro.obs.audit.AuditTrail`, an iterable of
+    exported JSONL records, or ``None``.
+    """
+    if audit is None:
+        return []
+    if hasattr(audit, "as_records"):
+        return [r for r in audit.as_records() if r.get("type") == "decision"]
+    records: List[Mapping[str, Any]] = []
+    for record in audit:
+        if isinstance(record, Mapping) and record.get("type") in (
+            None,
+            "decision",
+        ):
+            if "op" in record:
+                records.append(record)
+    return records
+
+
+def _count_audit_decisions(
+    records: Iterable[Mapping[str, Any]],
+    operations: Sequence[ContributingOp],
+) -> int:
+    keys = {(op.process, op.block, op.op) for op in operations}
+    return sum(
+        1
+        for record in records
+        if (record.get("process"), record.get("block"), record.get("op"))
+        in keys
+    )
+
+
+def attribute(
+    result: SystemSchedule,
+    *,
+    audit: Any = None,
+) -> AttributionReport:
+    """Build the ranked area attribution of a finished schedule.
+
+    Args:
+        result: The schedule to explain.
+        audit: Optional decision audit — an
+            :class:`~repro.obs.audit.AuditTrail` or the records it
+            exported — used to count the reduction decisions behind each
+            bottleneck's operations.
+
+    Entries are ranked by area contribution (ties broken by type name),
+    with global types' conflict triples delegated to the certifier's
+    :func:`~repro.analysis.static.certifier.pool_conflict` so `explain`
+    and `certify` always name the same bottleneck.
+    """
+    decisions = _audit_decision_records(audit)
+    counts = result.instance_counts()
+    entries: List[BottleneckEntry] = []
+    for rtype in result.library.types:
+        instances = counts.get(rtype.name, 0)
+        if not instances:
+            continue
+        if result.assignment.is_global(rtype.name):
+            pool = result.global_instances(rtype.name)
+            conflict: Counterexample = pool_conflict(
+                result, rtype.name, pool
+            )
+            operations: List[ContributingOp] = []
+            for contribution in conflict.contributions:
+                operations.extend(
+                    _ops_at_step(
+                        result,
+                        contribution.process,
+                        contribution.block,
+                        rtype.name,
+                        contribution.step,
+                    )
+                )
+            local_extra = instances - pool
+            entries.append(
+                BottleneckEntry(
+                    type_name=rtype.name,
+                    scope="global",
+                    instances=instances,
+                    unit_area=float(rtype.area),
+                    area=instances * float(rtype.area),
+                    slot=conflict.slot,
+                    period=conflict.period,
+                    demand=conflict.demand,
+                    processes=list(conflict.processes),
+                    operations=operations,
+                    audit_decisions=_count_audit_decisions(
+                        decisions, operations
+                    ),
+                )
+            )
+            # Processes using the type outside the sharing group add
+            # local instances on top of the pool; surface them so the
+            # instance count always reconciles with the area table.
+            if local_extra > 0:
+                entries.append(
+                    BottleneckEntry(
+                        type_name=rtype.name,
+                        scope="local",
+                        instances=local_extra,
+                        unit_area=float(rtype.area),
+                        area=local_extra * float(rtype.area),
+                    )
+                )
+        else:
+            entries.append(
+                BottleneckEntry(
+                    type_name=rtype.name,
+                    scope="local",
+                    instances=instances,
+                    unit_area=float(rtype.area),
+                    area=instances * float(rtype.area),
+                )
+            )
+    entries.sort(key=lambda entry: (-entry.area, entry.type_name, entry.scope))
+    return AttributionReport(
+        system=result.system.name,
+        total_area=result.total_area(),
+        entries=entries,
+    )

@@ -1,0 +1,123 @@
+"""Self-contained run reports: schedule + profile + attribution.
+
+``repro report`` (and :func:`run_report` behind it) folds everything a
+single run produces — the schedule summary, the area table, the
+telemetry profile with its metric histograms, and the bottleneck
+attribution of :mod:`repro.analysis.attribution` — into one document a
+reader can consume without the repository checked out.  The markdown
+form is what CI uploads as the run artifact; the JSON form
+(:meth:`RunReport.as_dict`) is the machine-readable twin used by the
+bench-regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.result import SystemSchedule
+from ..obs.profile import render_profile
+from .attribution import AttributionReport, attribute
+from .metrics import area_breakdown
+
+
+@dataclass
+class RunReport:
+    """One run, fully described."""
+
+    system: str
+    source: Optional[str]
+    summary: str
+    area_rows: List[Dict[str, Any]] = field(default_factory=list)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+    attribution: Optional[AttributionReport] = None
+
+    def render_markdown(self) -> str:
+        title = self.source or self.system
+        lines = [
+            f"# Run report: `{title}`",
+            "",
+            "## Schedule",
+            "",
+            "```",
+            self.summary,
+            "```",
+            "",
+            "## Area",
+            "",
+            "| type | instances | unit area | total |",
+            "| --- | --- | --- | --- |",
+        ]
+        for row in self.area_rows:
+            lines.append(
+                f"| `{row['type']}` | {row['instances']} "
+                f"| {row['unit_area']:g} | {row['total_area']:g} |"
+            )
+        if self.telemetry:
+            lines.extend(
+                [
+                    "",
+                    "## Profile",
+                    "",
+                    "```",
+                    render_profile(self.telemetry, title=f"profile: {title}"),
+                    "```",
+                ]
+            )
+        if self.attribution is not None:
+            lines.extend(["", self.attribution.render_markdown()])
+        lines.append("")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "system": self.system,
+            "source": self.source,
+            "summary": self.summary,
+            "area": self.area_rows,
+            "telemetry": self.telemetry,
+        }
+        if self.attribution is not None:
+            record["attribution"] = self.attribution.as_dict()
+        return record
+
+    def as_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+def run_report(
+    result: SystemSchedule,
+    *,
+    audit: Any = None,
+    source: Optional[str] = None,
+) -> RunReport:
+    """Build the full report for a finished schedule.
+
+    Args:
+        result: The schedule to report on; its attached ``telemetry``
+            supplies the profile section.
+        audit: Optional decision audit forwarded to :func:`attribute`.
+        source: The ``.sys`` path the run came from, for the title.
+
+    Attribution is only attempted when the assignment has global types
+    (a purely local baseline has no conflict triples to report).
+    """
+    area_rows = [
+        {
+            "type": item.type_name,
+            "instances": item.instances,
+            "unit_area": item.unit_area,
+            "total_area": item.total_area,
+        }
+        for item in area_breakdown(result)
+    ]
+    attribution = attribute(result, audit=audit)
+    return RunReport(
+        system=result.system.name,
+        source=source,
+        summary=result.summary(),
+        area_rows=area_rows,
+        telemetry=dict(result.telemetry),
+        attribution=attribution,
+    )

@@ -136,7 +136,15 @@ def certify(
                 )
             if counterexample is None and refutation is not None:
                 counterexample = refutation
-    verdict = VERDICT_SAFE if counterexample is None else VERDICT_UNSAFE
+        verdict = VERDICT_SAFE if counterexample is None else VERDICT_UNSAFE
+        if tracer.enabled:
+            tracer.event(
+                "certify",
+                system=result.system.name,
+                verdict=verdict,
+                types_checked=len(proofs),
+                safe_types=sum(1 for proof in proofs if proof.safe),
+            )
     return Certificate(
         system=result.system.name,
         offset_model=model,

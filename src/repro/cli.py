@@ -10,11 +10,14 @@ Usage (after ``pip install -e .``)::
     python -m repro compare system.sys             # both + area comparison
     python -m repro simulate system.sys --cycles 5000 --seed 3
     python -m repro sweep system.sys               # period enumeration (S2)
+    python -m repro sweep system.sys --live        # stream candidate progress
     python -m repro sweep system.sys --resume ck.jsonl  # crash-safe sweep
     python -m repro check system.sys               # preflight diagnostics
     python -m repro lint system.sys                # IR lint (LINT* codes)
     python -m repro certify system.sys             # static safety proof
     python -m repro certify system.sys --offset-model any
+    python -m repro explain system.sys             # bottleneck attribution
+    python -m repro report system.sys -o run.md    # self-contained run report
     python -m repro info system.sys                # problem statistics
 
 ``-v``/``-vv`` raise the ``repro.*`` log level (INFO/DEBUG on stderr);
@@ -45,7 +48,15 @@ from .binding.instances import bind_instances
 from .core.periods import enumerate_period_assignments_capped
 from .core.verify import verify_system_schedule
 from .errors import ReproError
-from .obs import Tracer, configure_logging, get_logger, render_profile
+from .obs import (
+    AuditTrail,
+    EventBus,
+    Tracer,
+    configure_logging,
+    get_logger,
+    render_profile,
+)
+from .obs.events import EVENT_CANDIDATE, EVENT_PRUNE
 from .parallel import (
     STATUS_OK,
     STATUS_PRUNED,
@@ -86,6 +97,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a phase-timing and counter table after the run",
     )
+    audit = argparse.ArgumentParser(add_help=False)
+    audit.add_argument(
+        "--audit",
+        metavar="FILE",
+        help="record every reduction decision (candidates, forces, "
+        "time-frame deltas, cache classification) and write the trail "
+        "as JSONL to FILE",
+    )
+    audit.add_argument(
+        "--audit-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ring-buffer capacity of the audit trail; older decisions "
+        "are dropped beyond it (default 16384)",
+    )
     workers = argparse.ArgumentParser(add_help=False)
     workers.add_argument(
         "--workers",
@@ -98,7 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     schedule = sub.add_parser(
-        "schedule", help="schedule a .sys problem", parents=[verbosity, observe]
+        "schedule",
+        help="schedule a .sys problem",
+        parents=[verbosity, observe, audit],
     )
     schedule.add_argument("file", help="path to a .sys problem file")
     schedule.add_argument(
@@ -208,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="statically certify the incumbent best after the sweep "
         "(exit 1 when the proof fails)",
     )
+    sweep.add_argument(
+        "--live",
+        action="store_true",
+        help="stream one progress line per candidate (evaluated or "
+        "pruned) to stderr as the engine's events arrive",
+    )
 
     check = sub.add_parser(
         "check",
@@ -297,6 +332,42 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--trace", metavar="FILE", help="also write the JSONL trace to FILE"
     )
+    profile.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format; json emits the full telemetry summary "
+        "(counters, gauges, histograms, phase times) (default %(default)s)",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="schedule and attribute the area to its bottlenecks",
+        parents=[verbosity, audit],
+    )
+    explain.add_argument("file", help="path to a .sys problem file")
+    explain.add_argument(
+        "--format",
+        choices=("text", "json", "markdown"),
+        default="text",
+        help="output format (default %(default)s)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="schedule with full instrumentation and emit a run report",
+        parents=[verbosity, audit],
+    )
+    report.add_argument("file", help="path to a .sys problem file")
+    report.add_argument(
+        "-o", "--output", help="write the report here (default stdout)"
+    )
+    report.add_argument(
+        "--format",
+        choices=("markdown", "json"),
+        default="markdown",
+        help="report format (default %(default)s)",
+    )
 
     info = sub.add_parser(
         "info", help="print problem statistics", parents=[verbosity]
@@ -340,6 +411,64 @@ def _finish_trace(args: argparse.Namespace, tracer: Optional[Tracer]) -> None:
     if tracer is not None and getattr(args, "trace", None):
         written = tracer.write_jsonl(args.trace)
         print(f"wrote {args.trace}: {written} trace records")
+
+
+def _audit_for(
+    args: argparse.Namespace, *, always: bool = False
+) -> Optional[AuditTrail]:
+    """An :class:`AuditTrail` when ``--audit`` asks for one.
+
+    ``always`` forces a trail even without the flag (``explain`` and
+    ``report`` enrich their output with it regardless).
+    """
+    if not always and not getattr(args, "audit", None):
+        return None
+    capacity = getattr(args, "audit_capacity", None)
+    return AuditTrail(capacity) if capacity else AuditTrail()
+
+
+def _finish_audit(
+    args: argparse.Namespace, audit: Optional[AuditTrail]
+) -> None:
+    """Write the audit JSONL file if ``--audit`` was given."""
+    if audit is not None and getattr(args, "audit", None):
+        written = audit.write_jsonl(args.audit)
+        print(f"wrote {args.audit}: {written} audit records")
+
+
+def _live_progress(tracer: Tracer, total: int) -> None:
+    """Subscribe a per-candidate progress line to the tracer's bus.
+
+    The engine publishes one ``candidate`` event per finished candidate
+    (and a ``prune`` event before it for skipped ones); rendering them
+    as they arrive is what makes ``repro sweep --live`` a progress bar
+    instead of a post-mortem.  Lines go to stderr so piped stdout stays
+    machine-readable.
+    """
+    if tracer.bus is None:
+        tracer.bus = EventBus()
+    done = {"count": 0}
+
+    def _render(event) -> None:
+        if event.name == EVENT_PRUNE:
+            return  # the paired candidate event carries the status
+        if event.name != EVENT_CANDIDATE:
+            return
+        done["count"] += 1
+        attrs = event.attrs
+        status = attrs.get("status")
+        if status == STATUS_OK:
+            detail = f"area {attrs.get('area'):g}"
+        elif status == STATUS_PRUNED:
+            detail = f"pruned (bound {attrs.get('bound'):g})"
+        else:
+            detail = status or "?"
+        print(
+            f"[{done['count']}/{total}] {attrs.get('periods')} -> {detail}",
+            file=sys.stderr,
+        )
+
+    tracer.bus.subscribe(_render)
 
 
 def _preflight(args: argparse.Namespace) -> bool:
@@ -489,8 +618,11 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         return 2
     problem = load_problem(args.file)
     tracer = _tracer_for(args)
+    audit = _audit_for(args)
     budget = _run_budget(args)
     kwargs = {} if budget is None else {"budget": budget}
+    if audit is not None:
+        kwargs["audit"] = audit
     if args.local:
         result = problem.schedule_local_baseline(tracer=tracer, **kwargs)
     else:
@@ -520,6 +652,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             f"verified: {len(report.checks)} checks ok, "
             f"{len(binding.binding)} operations bound"
         )
+    _finish_audit(args, audit)
     _finish_trace(args, tracer)
     return 0
 
@@ -610,6 +743,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     problem = load_problem(args.file)
     tracer = _tracer_for(args)
+    if args.live and tracer is None:
+        tracer = Tracer()
     candidates, dropped = enumerate_period_assignments_capped(
         problem.system, problem.assignment, limit=args.limit
     )
@@ -636,6 +771,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         else:
             print(f"  {record.periods} -> failed: {record.error}")
 
+    if args.live:
+        _live_progress(tracer, total=len(candidates))
     engine = ExplorationEngine(
         problem,
         workers=args.workers,
@@ -702,10 +839,53 @@ def cmd_profile(args: argparse.Namespace) -> int:
         result = problem.schedule_local_baseline(tracer=tracer)
     else:
         result = problem.schedule(tracer=tracer)
-    print(result.summary())
-    print()
-    print(render_profile(result.telemetry, title=f"profile: {args.file}"))
+    if args.format == "json":
+        print(json.dumps(result.telemetry, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        print()
+        print(render_profile(result.telemetry, title=f"profile: {args.file}"))
     _finish_trace(args, tracer)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .analysis.attribution import attribute
+
+    problem = load_problem(args.file)
+    audit = _audit_for(args, always=True)
+    result = problem.schedule(audit=audit)
+    report = attribute(result, audit=audit)
+    if args.format == "json":
+        print(report.as_json())
+    elif args.format == "markdown":
+        print(report.render_markdown())
+    else:
+        print(report.render())
+    _finish_audit(args, audit)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import run_report
+
+    problem = load_problem(args.file)
+    tracer = Tracer()
+    audit = _audit_for(args, always=True)
+    result = problem.schedule(tracer=tracer, audit=audit)
+    report = run_report(result, audit=audit, source=args.file)
+    text = (
+        report.as_json()
+        if args.format == "json"
+        else report.render_markdown()
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    _finish_audit(args, audit)
     return 0
 
 
@@ -789,6 +969,8 @@ _COMMANDS = {
     "check": cmd_check,
     "lint": cmd_lint,
     "certify": cmd_certify,
+    "explain": cmd_explain,
+    "report": cmd_report,
     "profile": cmd_profile,
     "info": cmd_info,
     "rtl": cmd_rtl,

@@ -30,7 +30,22 @@ import numpy as np
 from ..errors import SchedulingError
 from ..ir.process import Block, Process, SystemSpec
 from ..obs import FORCE_EVALUATIONS, SCHEDULER_ITERATIONS, as_tracer, get_logger
-from ..obs.counters import count
+from ..obs.audit import (
+    CACHE_ASSEMBLED,
+    CACHE_FRESH,
+    CACHE_HIT,
+    CACHE_UNCACHED,
+    CandidateAudit,
+    DecisionAudit,
+)
+from ..obs.counters import AUDIT_DECISIONS, FORCE_CACHE_ASSEMBLIES, count
+from ..obs.events import EVENT_COMMIT, EVENT_DEGRADE, EVENT_REDUCTION
+from ..obs.metrics import (
+    CANDIDATES_SCANNED,
+    FRAMES_REMAINING,
+    REDUCTION_SCORE,
+    SELECT_SECONDS,
+)
 from ..resources.assignment import ResourceAssignment
 from ..resources.library import ResourceLibrary
 from ..scheduling.fallback import degraded_block_schedule, frames_state_hash
@@ -115,6 +130,12 @@ class ModuloSystemScheduler:
             ``telemetry["degraded"]`` (see docs/robustness.md).
         tracer: Observability sink (:class:`repro.obs.Tracer`); the
             default no-op tracer records nothing and costs nothing.
+        audit: Optional :class:`repro.obs.AuditTrail`; when given, every
+            committed reduction is recorded with its full decision
+            context (candidates, forces, timeframe delta, cache
+            classification) and attached under ``telemetry["audit"]``.
+            Auditing observes and never steers — decisions are
+            byte-identical with or without it.
     """
 
     def __init__(
@@ -128,6 +149,7 @@ class ModuloSystemScheduler:
         force_cache: bool = True,
         budget: Optional[RunBudget] = None,
         tracer=None,
+        audit=None,
     ) -> None:
         self.library = library
         self.lookahead = lookahead
@@ -137,6 +159,7 @@ class ModuloSystemScheduler:
         self.force_cache = force_cache
         self.budget = budget
         self.tracer = as_tracer(tracer)
+        self.audit = audit
 
     # ------------------------------------------------------------------
     # Public API
@@ -148,12 +171,13 @@ class ModuloSystemScheduler:
         periods: Optional[PeriodAssignment] = None,
         *,
         tracer=None,
+        audit=None,
     ) -> SystemSchedule:
         """Schedule the whole system; returns a validated result.
 
         ``periods`` may be omitted only when the assignment declares no
-        global types (the traditional baseline).  ``tracer`` overrides
-        the scheduler-level tracer for this one run.
+        global types (the traditional baseline).  ``tracer`` and
+        ``audit`` override the scheduler-level sinks for this one run.
         """
         if periods is None:
             if assignment.global_types:
@@ -162,10 +186,13 @@ class ModuloSystemScheduler:
                 )
             periods = PeriodAssignment({})
         tracer = self.tracer if tracer is None else as_tracer(tracer)
+        audit = self.audit if audit is None else audit
+        if audit is not None and not audit.enabled:
+            audit = None
         with tracer.activate(), tracer.span(
             "schedule", system=system.name, blocks=sum(1 for _ in system.iter_blocks())
         ):
-            return self._schedule_traced(system, assignment, periods, tracer)
+            return self._schedule_traced(system, assignment, periods, tracer, audit)
 
     def _schedule_traced(
         self,
@@ -173,6 +200,7 @@ class ModuloSystemScheduler:
         assignment: ResourceAssignment,
         periods: PeriodAssignment,
         tracer,
+        audit=None,
     ) -> SystemSchedule:
         started = time.perf_counter()
         _log.debug(
@@ -200,9 +228,23 @@ class ModuloSystemScheduler:
         tracker = self.budget.tracker() if self.budget is not None else None
         degraded_reason: Optional[str] = None
         iterations = 0
+        keep_candidates = audit is not None and audit.keep_candidates
         with tracer.span("reduction_loop"):
             while True:
-                best = self._select_reduction(entries, coupling, caches)
+                collect: Optional[list] = [] if keep_candidates else None
+                if tracer.enabled:
+                    select_started = time.perf_counter()
+                best = self._select_reduction(
+                    entries,
+                    coupling,
+                    caches,
+                    collect=collect,
+                    want_detail=audit is not None,
+                )
+                if tracer.enabled:
+                    tracer.observe(
+                        SELECT_SECONDS, time.perf_counter() - select_started
+                    )
                 if best is None:
                     break
                 if tracker is not None:
@@ -215,9 +257,16 @@ class ModuloSystemScheduler:
                             system.name,
                             reason,
                         )
+                        if tracer.enabled:
+                            tracer.event(
+                                EVENT_DEGRADE,
+                                reason=reason,
+                                iteration=iterations,
+                                fallback="list_scheduling",
+                            )
                         break
                 iterations += 1
-                entry_index, op_id, shrink_low, score, candidates = best
+                entry_index, op_id, shrink_low, score, candidates, detail = best
                 entry = entries[entry_index]
                 lo, hi = entry.state.frames.frame(op_id)
                 if shrink_low:
@@ -229,20 +278,61 @@ class ModuloSystemScheduler:
                     self._invalidate_caches(
                         caches, entries, coupling, entry_index, effect, scopes
                     )
+                side = "low" if shrink_low else "high"
+                if audit is not None:
+                    force_low, force_high, cache_kind = detail or (
+                        0.0,
+                        0.0,
+                        CACHE_UNCACHED,
+                    )
+                    audit.record(
+                        DecisionAudit(
+                            iteration=iterations,
+                            process=entry.process_name,
+                            block=entry.block.name,
+                            op=op_id,
+                            side=side,
+                            score=score,
+                            force_low=force_low,
+                            force_high=force_high,
+                            frame_before=(lo, hi),
+                            frame_after=entry.state.frames.frame(op_id),
+                            cache=cache_kind,
+                            changed_ops=tuple(sorted(effect.changed_ops)),
+                            touched_types=tuple(sorted(effect.touched_types)),
+                            scopes=dict(scopes),
+                            candidates=tuple(collect) if collect else (),
+                        )
+                    )
+                    count(AUDIT_DECISIONS)
                 if tracer.enabled:
+                    frames_remaining = sum(
+                        len(e.state.frames.unfixed()) for e in entries
+                    )
                     tracer.count(SCHEDULER_ITERATIONS)
+                    tracer.observe(REDUCTION_SCORE, score)
+                    tracer.observe(CANDIDATES_SCANNED, candidates)
+                    tracer.set_gauge(FRAMES_REMAINING, frames_remaining)
                     tracer.event(
-                        "reduction",
+                        EVENT_REDUCTION,
                         iteration=iterations,
                         process=entry.process_name,
                         block=entry.block.name,
                         op=op_id,
-                        side="low" if shrink_low else "high",
+                        side=side,
                         score=round(score, 9),
                         candidates=candidates,
-                        frames_remaining=sum(
-                            len(e.state.frames.unfixed()) for e in entries
-                        ),
+                        frames_remaining=frames_remaining,
+                    )
+                    tracer.event(
+                        EVENT_COMMIT,
+                        iteration=iterations,
+                        process=entry.process_name,
+                        block=entry.block.name,
+                        op=op_id,
+                        changed_ops=len(effect.changed_ops),
+                        touched_types=sorted(effect.touched_types),
+                        scopes=dict(scopes),
                     )
         loop_done = time.perf_counter()
 
@@ -266,6 +356,33 @@ class ModuloSystemScheduler:
                 block_schedules[(entry.process_name, entry.block.name)] = sched
 
             finished = time.perf_counter()
+            telemetry: Dict[str, object] = {
+                "phase_times": {
+                    "setup": setup_done - started,
+                    "reduction_loop": loop_done - setup_done,
+                    "finalization": finished - loop_done,
+                },
+                "wall_time": finished - started,
+                "iterations": iterations,
+                "counters": (
+                    tracer.counters.as_dict() if tracer.enabled else {}
+                ),
+                "events": len(tracer.events) if tracer.enabled else 0,
+            }
+            if tracer.enabled:
+                gauges = tracer.metrics.gauges_dict()
+                if gauges:
+                    telemetry["gauges"] = gauges
+                histograms = tracer.metrics.histograms_dict()
+                if histograms:
+                    telemetry["histograms"] = histograms
+            if degraded_reason is not None:
+                telemetry["degraded"] = {
+                    "reason": degraded_reason,
+                    "fallback": "list_scheduling",
+                }
+            if audit is not None:
+                telemetry["audit"] = audit.summary()
             result = SystemSchedule(
                 system=system,
                 library=self.library,
@@ -275,29 +392,7 @@ class ModuloSystemScheduler:
                 iterations=iterations,
                 wall_time=finished - started,
                 degraded=degraded_reason is not None,
-                telemetry={
-                    "phase_times": {
-                        "setup": setup_done - started,
-                        "reduction_loop": loop_done - setup_done,
-                        "finalization": finished - loop_done,
-                    },
-                    "wall_time": finished - started,
-                    "iterations": iterations,
-                    "counters": (
-                        tracer.counters.as_dict() if tracer.enabled else {}
-                    ),
-                    "events": len(tracer.events) if tracer.enabled else 0,
-                    **(
-                        {
-                            "degraded": {
-                                "reason": degraded_reason,
-                                "fallback": "list_scheduling",
-                            }
-                        }
-                        if degraded_reason is not None
-                        else {}
-                    ),
-                },
+                telemetry=telemetry,
             )
             result.validate()
         if _log.isEnabledFor(logging.INFO):
@@ -331,18 +426,32 @@ class ModuloSystemScheduler:
         entries: List[_Entry],
         coupling: "_GlobalCoupling",
         caches: Optional[List[BlockSelectionCache]] = None,
-    ) -> Optional[Tuple[int, str, bool, float, int]]:
+        *,
+        collect: Optional[list] = None,
+        want_detail: bool = False,
+    ) -> Optional[Tuple[int, str, bool, float, int, Optional[Tuple]]]:
         """Pick the IFDS reduction with the largest weighted force difference.
 
-        Returns ``(entry_index, op_id, shrink_low, score, candidates)``
-        where ``candidates`` is the number of mobile operations examined,
-        or ``None`` once every frame has collapsed.  With ``caches`` the
-        ``(force_low, force_high)`` pair of each clean operation is reused
-        from the previous scan; the fold over candidates is replayed in
-        the same order either way, so the selected reduction is identical.
+        Returns ``(entry_index, op_id, shrink_low, score, candidates,
+        detail)`` where ``candidates`` is the number of mobile operations
+        examined, or ``None`` once every frame has collapsed.  With
+        ``caches`` the ``(force_low, force_high)`` pair of each clean
+        operation is reused from the previous scan; the fold over
+        candidates is replayed in the same order either way, so the
+        selected reduction is identical.
+
+        Audit support is opt-in and observation-only: with ``want_detail``
+        the winner's ``(force_low, force_high, cache_kind)`` triple is
+        returned as ``detail`` (else ``None``); with ``collect`` a
+        :class:`~repro.obs.audit.CandidateAudit` is appended for every
+        candidate examined.  Neither changes the scan order or the
+        winner.
         """
+        track = want_detail or collect is not None
         best_score = None
         best: Optional[Tuple[int, str, bool]] = None
+        best_detail: Optional[Tuple[float, float, str]] = None
+        kind = CACHE_UNCACHED
         candidates = 0
         for index, entry in enumerate(entries):
             cache = caches[index] if caches is not None else None
@@ -352,11 +461,15 @@ class ModuloSystemScheduler:
                 if cache is None:
                     force_low = self._placement_force(index, entry, coupling, op_id, lo)
                     force_high = self._placement_force(index, entry, coupling, op_id, hi)
+                    if track:
+                        kind = CACHE_UNCACHED
                 else:
                     cached = cache.get(op_id)
                     if cached is None:
                         cached = self._evaluate_cached(index, entry, coupling, op_id, lo, hi)
                         cache.put(op_id, cached)
+                        if track:
+                            kind = CACHE_FRESH
                     elif cached.global_types:
                         versions = tuple(
                             coupling.s_version(t) for t in cached.global_types
@@ -364,6 +477,7 @@ class ModuloSystemScheduler:
                         if versions != cached.versions:
                             # Only S moved (a commit in another process):
                             # re-assemble from the cached recipe.
+                            count(FORCE_CACHE_ASSEMBLIES)
                             if cached.terms_low is not None:
                                 cached.force_low = self._assemble(
                                     cached.terms_low, coupling
@@ -373,16 +487,36 @@ class ModuloSystemScheduler:
                                     cached.terms_high, coupling
                                 )
                             cached.versions = versions
+                            if track:
+                                kind = CACHE_ASSEMBLED
+                        elif track:
+                            kind = CACHE_HIT
+                    elif track:
+                        kind = CACHE_HIT
                     force_low, force_high = cached.force_low, cached.force_high
                 eta = 1.0 if hi - lo + 1 <= 2 else 0.5
                 score = eta * abs(force_low - force_high)
+                if collect is not None:
+                    collect.append(
+                        CandidateAudit(
+                            process=entry.process_name,
+                            block=entry.block.name,
+                            op=op_id,
+                            force_low=force_low,
+                            force_high=force_high,
+                            score=score,
+                            cache=kind,
+                        )
+                    )
                 if best_score is None or score > best_score + 1e-12:
                     best_score = score
                     best = (index, op_id, force_low > force_high + 1e-12)
+                    if track:
+                        best_detail = (force_low, force_high, kind)
         if best is None:
             return None
         assert best_score is not None
-        return best + (best_score, candidates)
+        return best + (best_score, candidates, best_detail)
 
     def _evaluate_cached(
         self,

@@ -1,19 +1,28 @@
-"""Observability: structured tracing, counters, logging, profiling.
+"""Observability: tracing, metrics, events, audit, logging, profiling.
 
 The ``repro.obs`` subsystem is how every other layer reports what it
 did without changing what it does:
 
 * :class:`Tracer` / :data:`NULL_TRACER` — hierarchical timed spans and
-  a per-iteration event stream, exportable as JSONL
-  (:mod:`repro.obs.tracer`);
-* :class:`Counters` and the ambient :func:`count` hook — named event
-  counts from the scheduler's inner loops (:mod:`repro.obs.counters`);
+  a per-iteration event stream, exportable as JSONL; a tracer built
+  with ``bus=`` publishes events live (:mod:`repro.obs.tracer`);
+* :class:`MetricsRegistry` — typed Counter/Gauge/Histogram instruments
+  with associatively mergeable summaries (:mod:`repro.obs.metrics`);
+  :class:`Counters` and the ambient :func:`count`/:func:`observe`/
+  :func:`set_gauge` hooks feed it from the scheduler's inner loops
+  (:mod:`repro.obs.counters`);
+* :class:`EventBus` / :class:`JsonlEventWriter` /
+  :func:`prometheus_text` — subscribe-able structured event streaming
+  and exporters (:mod:`repro.obs.events`);
+* :class:`AuditTrail` — opt-in ring-buffered record of every reduction
+  decision, exportable via ``repro schedule --audit``
+  (:mod:`repro.obs.audit`);
 * :func:`get_logger` / :func:`configure_logging` — ``repro.*`` stdlib
   loggers, wired to the CLI's ``-v``/``-q`` (:mod:`repro.obs.logconfig`);
-* :func:`render_profile` — the phase-time/counter table printed by
-  ``repro … --profile`` (:mod:`repro.obs.profile`);
-* :func:`merge_telemetry` — key-wise aggregation of telemetry
-  summaries from independent (possibly concurrent) runs
+* :func:`render_profile` — the phase/counter/gauge/histogram tables
+  printed by ``repro … --profile`` (:mod:`repro.obs.profile`);
+* :func:`merge_telemetry` — associative, order-independent aggregation
+  of telemetry summaries from independent (possibly concurrent) runs
   (:mod:`repro.obs.merge`).
 
 Everything defaults to off: code instrumented with :data:`NULL_TRACER`
@@ -21,11 +30,21 @@ and an inactive counter registry behaves — and costs — the same as
 before instrumentation.  See docs/observability.md.
 """
 
+from .audit import (
+    DEFAULT_CAPACITY,
+    NULL_AUDIT,
+    AuditTrail,
+    CandidateAudit,
+    DecisionAudit,
+    NullAuditTrail,
+)
 from .counters import (
+    AUDIT_DECISIONS,
     AUTHORIZATION_CHECKS,
     CERTIFIER_OFFSET_CLASSES,
     CERTIFIER_SLOT_CHECKS,
     DISTRIBUTION_REBUILDS,
+    FORCE_CACHE_ASSEMBLIES,
     FORCE_CACHE_HITS,
     FORCE_CACHE_INVALIDATIONS,
     FORCE_CACHE_MISSES,
@@ -40,10 +59,48 @@ from .counters import (
     Counters,
     active_counters,
     count,
+    observe,
+    set_gauge,
+)
+from .events import (
+    EVENT_CANDIDATE,
+    EVENT_CERTIFY,
+    EVENT_CERTIFY_TYPE,
+    EVENT_COMMIT,
+    EVENT_DEGRADE,
+    EVENT_PLACEMENT,
+    EVENT_PRUNE,
+    EVENT_REDUCTION,
+    EventBus,
+    JsonlEventWriter,
+    prometheus_text,
 )
 from .logconfig import configure_logging, get_logger, verbosity_level
 from .merge import merge_telemetry
-from .profile import render_counter_table, render_phase_table, render_profile
+from .metrics import (
+    CANDIDATE_SECONDS,
+    CANDIDATES_SCANNED,
+    DIRTY_SET_SIZE,
+    FRAMES_REMAINING,
+    INCUMBENT_AREA,
+    KNOWN_GAUGES,
+    KNOWN_HISTOGRAMS,
+    REDUCTION_SCORE,
+    SELECT_SECONDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_gauge_summary,
+    merge_histogram_summary,
+)
+from .profile import (
+    render_counter_table,
+    render_gauge_table,
+    render_histogram_table,
+    render_phase_table,
+    render_profile,
+)
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -54,35 +111,73 @@ from .tracer import (
 )
 
 __all__ = [
+    "AUDIT_DECISIONS",
     "AUTHORIZATION_CHECKS",
+    "AuditTrail",
+    "CANDIDATES_SCANNED",
+    "CANDIDATE_SECONDS",
     "CERTIFIER_OFFSET_CLASSES",
     "CERTIFIER_SLOT_CHECKS",
+    "CandidateAudit",
+    "Counter",
+    "Counters",
+    "DEFAULT_CAPACITY",
+    "DIRTY_SET_SIZE",
     "DISTRIBUTION_REBUILDS",
+    "DecisionAudit",
+    "EVENT_CANDIDATE",
+    "EVENT_CERTIFY",
+    "EVENT_CERTIFY_TYPE",
+    "EVENT_COMMIT",
+    "EVENT_DEGRADE",
+    "EVENT_PLACEMENT",
+    "EVENT_PRUNE",
+    "EVENT_REDUCTION",
+    "EventBus",
+    "FORCE_CACHE_ASSEMBLIES",
     "FORCE_CACHE_HITS",
     "FORCE_CACHE_INVALIDATIONS",
     "FORCE_CACHE_MISSES",
     "FORCE_EVALUATIONS",
+    "FRAMES_REMAINING",
     "FRAME_REDUCTIONS",
+    "Gauge",
+    "Histogram",
+    "INCUMBENT_AREA",
+    "JsonlEventWriter",
     "KNOWN_COUNTERS",
+    "KNOWN_GAUGES",
+    "KNOWN_HISTOGRAMS",
     "LINT_FINDINGS",
     "LINT_RULES_RUN",
     "MODULO_MAX_TRANSFORMS",
+    "MetricsRegistry",
+    "NULL_AUDIT",
     "NULL_TRACER",
+    "NullAuditTrail",
     "NullTracer",
+    "REDUCTION_SCORE",
     "SCHEDULER_ITERATIONS",
+    "SELECT_SECONDS",
     "SIMULATION_CYCLES",
     "SpanRecord",
     "TraceEvent",
     "Tracer",
-    "Counters",
     "active_counters",
     "as_tracer",
     "configure_logging",
     "count",
     "get_logger",
+    "merge_gauge_summary",
+    "merge_histogram_summary",
     "merge_telemetry",
+    "observe",
+    "prometheus_text",
     "render_counter_table",
+    "render_gauge_table",
+    "render_histogram_table",
     "render_phase_table",
     "render_profile",
+    "set_gauge",
     "verbosity_level",
 ]

@@ -1,15 +1,22 @@
 """Named event counters with an ambient activation hook.
 
-A :class:`Counters` registry holds integer counts of the interesting
-events of one scheduling (or simulation) run: force evaluations,
-modulo-max transforms, frame reductions, distribution rebuilds,
-authorization checks.  Counts are incremented either directly
+Since the metrics registry landed (:mod:`repro.obs.metrics`), a
+:class:`Counters` object is a *compatibility shim* over a
+:class:`~repro.obs.metrics.MetricsRegistry`: the historical API
+(``inc``/``get``/``as_dict``/``merge``/``activate``) is preserved
+verbatim, while the registry underneath also carries the typed gauge
+and histogram instruments.  Code that held a ``Counters`` keeps
+working; code that wants the full registry reads ``counters.registry``.
+
+Counts are incremented either directly
 (``counters.inc("force_evaluations")``) or — from leaf modules that have
 no handle on the current run — through the module-level :func:`count`
 hook, which forwards to whichever registry is *active* in the enclosing
-``with counters.activate():`` block.
+``with counters.activate():`` block.  :func:`observe` and
+:func:`set_gauge` are the equivalent ambient hooks for histograms and
+gauges.
 
-When no registry is active, :func:`count` is a single global load plus a
+When no registry is active, each hook is a single global load plus a
 ``None`` check: cheap enough for the scheduler's innermost loops, so the
 default (uninstrumented) path stays effectively free.
 
@@ -24,6 +31,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from .metrics import MetricsRegistry
+
 #: Canonical counter names incremented by the instrumented modules.
 #: Other names are allowed — the registry is open — but these are the
 #: ones the scheduler, binding, and simulation layers emit.
@@ -37,10 +46,12 @@ SIMULATION_CYCLES = "simulation_cycles"
 FORCE_CACHE_HITS = "force_cache_hits"
 FORCE_CACHE_MISSES = "force_cache_misses"
 FORCE_CACHE_INVALIDATIONS = "force_cache_invalidations"
+FORCE_CACHE_ASSEMBLIES = "force_cache_assemblies"
 CERTIFIER_OFFSET_CLASSES = "certifier_offset_classes"
 CERTIFIER_SLOT_CHECKS = "certifier_slot_checks"
 LINT_RULES_RUN = "lint_rules_run"
 LINT_FINDINGS = "lint_findings"
+AUDIT_DECISIONS = "audit_decisions"
 
 KNOWN_COUNTERS = (
     FORCE_EVALUATIONS,
@@ -53,48 +64,49 @@ KNOWN_COUNTERS = (
     FORCE_CACHE_HITS,
     FORCE_CACHE_MISSES,
     FORCE_CACHE_INVALIDATIONS,
+    FORCE_CACHE_ASSEMBLIES,
     CERTIFIER_OFFSET_CLASSES,
     CERTIFIER_SLOT_CHECKS,
     LINT_RULES_RUN,
     LINT_FINDINGS,
+    AUDIT_DECISIONS,
 )
 
 
 class Counters:
-    """An open registry of named integer counters."""
+    """The historical counter API, now a shim over a metrics registry."""
 
-    __slots__ = ("_data",)
+    __slots__ = ("registry",)
 
-    def __init__(self) -> None:
-        self._data: Dict[str, int] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Increment one counter (created at 0 on first use)."""
-        self._data[name] = self._data.get(name, 0) + amount
+        self.registry.inc(name, amount)
 
     def get(self, name: str) -> int:
         """Current value of a counter; 0 if it was never incremented."""
-        return self._data.get(name, 0)
+        return self.registry.counter_value(name)
 
     def as_dict(self) -> Dict[str, int]:
         """Snapshot of all counters, sorted by name."""
-        return {name: self._data[name] for name in sorted(self._data)}
+        return self.registry.counters_dict()
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self._data.clear()
+        """Zero every instrument of the underlying registry."""
+        self.registry.reset()
 
     def merge(self, other: "Counters") -> None:
-        """Add another registry's counts into this one."""
-        for name, value in other._data.items():
-            self.inc(name, value)
+        """Add another registry's counts (and other instruments) into this one."""
+        self.registry.merge(other.registry)
 
     def activate(self) -> "Iterator[Counters]":
-        """Install this registry as the ambient :func:`count` target."""
+        """Install this registry as the ambient hook target."""
         return _activate(self)
 
     def __bool__(self) -> bool:
-        return any(self._data.values())
+        return any(self.as_dict().values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -123,4 +135,16 @@ def active_counters() -> Optional[Counters]:
 def count(name: str, amount: int = 1) -> None:
     """Increment ``name`` on the active registry; no-op when none is."""
     if _active is not None:
-        _active.inc(name, amount)
+        _active.registry.inc(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active registry; else no-op."""
+    if _active is not None:
+        _active.registry.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Sample a gauge on the active registry; no-op when none is."""
+    if _active is not None:
+        _active.registry.set_gauge(name, value)

@@ -1,0 +1,213 @@
+"""Structured event streaming: a subscribe-able bus plus exporters.
+
+The first-generation tracer *collected* events; this module makes them
+*observable while the run is still going*.  An :class:`EventBus` holds
+subscriber callbacks; a :class:`~repro.obs.tracer.Tracer` built with
+``bus=`` publishes every :class:`~repro.obs.tracer.TraceEvent` to the
+bus the moment it is recorded.  That is how ``repro sweep --live``
+renders per-candidate progress, and how a future scheduling service
+will stream job progress without touching the schedulers again.
+
+Canonical event names the instrumented layers emit (the stream is open;
+subscribers must tolerate unknown names):
+
+* ``reduction`` — one coupled-scheduler iteration (process, block, op,
+  side, score, candidates, frames_remaining);
+* ``placement`` — one classic-FDS placement;
+* ``commit`` — the propagation effect of a committed reduction
+  (changed ops, touched types, coupling scopes);
+* ``candidate`` — one sweep candidate finished (periods, status, area,
+  bound);
+* ``prune`` / ``degrade`` — a candidate skipped by its bound / a run
+  degraded to the fallback;
+* ``certify_type`` / ``certify`` — per-type and whole-run certifier
+  verdicts.
+
+Exporters:
+
+* :class:`JsonlEventWriter` — append events to a JSON-Lines stream as
+  they happen (one durable line per event);
+* :func:`prometheus_text` — render a telemetry summary (counters,
+  gauges, histograms) in the Prometheus text exposition format.
+
+Subscriber errors are never swallowed silently into the scheduler: a
+raising subscriber is detached after logging one warning, so a broken
+progress renderer cannot take a sweep down with it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO
+
+from .logconfig import get_logger
+from .metrics import bucket_bound
+
+_log = get_logger(__name__)
+
+#: Canonical event names (see module docstring).
+EVENT_REDUCTION = "reduction"
+EVENT_PLACEMENT = "placement"
+EVENT_COMMIT = "commit"
+EVENT_CANDIDATE = "candidate"
+EVENT_PRUNE = "prune"
+EVENT_DEGRADE = "degrade"
+EVENT_CERTIFY_TYPE = "certify_type"
+EVENT_CERTIFY = "certify"
+
+Subscriber = Callable[[Any], None]
+
+
+class EventBus:
+    """Fan-out of trace events to subscriber callbacks, as they happen.
+
+    Subscribers receive the live :class:`~repro.obs.tracer.TraceEvent`
+    (name, time, span path, attrs).  ``subscribe`` returns the callback
+    so it can be used as a decorator; ``unsubscribe`` detaches it.  A
+    subscriber that raises is detached after one logged warning —
+    observation must never abort the observed run.
+    """
+
+    __slots__ = ("_subscribers", "published")
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+        self.published = 0
+
+    def subscribe(self, callback: Subscriber) -> Subscriber:
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Subscriber) -> None:
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def publish(self, event: Any) -> None:
+        """Deliver one event to every subscriber (detaching raisers)."""
+        self.published += 1
+        broken: Optional[List[Subscriber]] = None
+        for callback in self._subscribers:
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 - observation must not abort
+                _log.warning(
+                    "event subscriber %r raised; detaching it",
+                    callback,
+                    exc_info=True,
+                )
+                if broken is None:
+                    broken = []
+                broken.append(callback)
+        if broken:
+            for callback in broken:
+                self.unsubscribe(callback)
+
+
+class JsonlEventWriter:
+    """Bus subscriber that appends each event as one JSON line.
+
+    Usable directly as a callback (``bus.subscribe(writer)``) and as a
+    context manager that closes the underlying stream::
+
+        with JsonlEventWriter(path) as writer:
+            bus.subscribe(writer)
+            ...  # run
+    """
+
+    def __init__(self, target) -> None:
+        if hasattr(target, "write"):
+            self._handle: TextIO = target
+            self._owns_handle = False
+        else:
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        self.written = 0
+
+    def __call__(self, event: Any) -> None:
+        record = event.as_record() if hasattr(event, "as_record") else dict(event)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlEventWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _metric_name(name: str, prefix: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}{safe}"
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_text(
+    telemetry: Mapping[str, Any], *, prefix: str = "repro_"
+) -> str:
+    """Render a telemetry summary in the Prometheus text format.
+
+    Consumes the ``SystemSchedule.telemetry`` /
+    :meth:`repro.obs.tracer.Tracer.summary` shape: ``counters``
+    (name → int), ``gauges`` and ``histograms`` (name → summary dicts),
+    and ``phase_times`` (rendered as a gauge family labelled by phase).
+    Histograms expose the standard cumulative ``_bucket{le=...}``
+    series plus ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for name, value in (telemetry.get("counters") or {}).items():
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    phase_times = telemetry.get("phase_times") or {}
+    if phase_times:
+        metric = _metric_name("phase_seconds", prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        for phase, seconds in phase_times.items():
+            lines.append(f'{metric}{{phase="{phase}"}} {_format_value(seconds)}')
+    for name, summary in (telemetry.get("gauges") or {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(summary.get('value'))}")
+        for suffix in ("min", "max"):
+            if summary.get(suffix) is not None:
+                lines.append(
+                    f"{metric}_{suffix} {_format_value(summary[suffix])}"
+                )
+    for name, summary in (telemetry.get("histograms") or {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        buckets: Dict[int, int] = {
+            int(i): int(c) for i, c in (summary.get("buckets") or {}).items()
+        }
+        for index in sorted(buckets):
+            cumulative += buckets[index]
+            bound = repr(bucket_bound(index))
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {int(summary.get("count") or 0)}'
+        )
+        lines.append(f"{metric}_sum {_format_value(summary.get('sum'))}")
+        lines.append(f"{metric}_count {int(summary.get('count') or 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -3,8 +3,10 @@
 A telemetry summary is the dict shape produced by
 :attr:`repro.core.result.SystemSchedule.telemetry` and
 :meth:`repro.obs.tracer.Tracer.summary`: ``counters`` (name -> int),
-``phase_times`` (phase -> seconds), plus the scalar volumes
-``wall_time``, ``iterations``, ``events``, and ``spans``.
+``phase_times`` (phase -> seconds), optional ``gauges`` and
+``histograms`` (name -> summary dicts from
+:mod:`repro.obs.metrics`), plus the scalar volumes ``wall_time``,
+``iterations``, ``events``, and ``spans``.
 
 :func:`merge_telemetry` folds any number of such summaries into one
 aggregate with the same shape, so a merged summary renders through
@@ -13,11 +15,25 @@ The parallel exploration engine (:mod:`repro.parallel`) uses this to
 combine per-worker telemetry into the sweep-level profile:
 
 * ``counters`` and ``phase_times`` are summed key-wise;
+* ``gauges`` merge min/max/samples exactly; the merged ``value`` is the
+  merged ``max`` (the last-sampled value of *one* run has no meaning
+  across runs, and max is order-independent);
+* ``histograms`` merge bucket-wise — all histograms share one fixed
+  global bucket grid (:mod:`repro.obs.metrics`), so no re-binning is
+  needed and quantiles of the merged histogram are as accurate as the
+  parts';
 * ``wall_time`` is summed — for concurrent runs the result is
   *cumulative compute seconds*, not elapsed time (callers that also
   track elapsed time should store it under a separate key);
 * ``iterations``, ``events``, and ``spans`` are summed;
-* ``runs`` counts the summaries merged.
+* ``runs`` counts the *original* runs folded in: a part that is itself
+  a merged summary contributes its own ``runs`` count, not 1.
+
+That last rule is what makes the fold **associative and
+order-independent**: ``merge([a, merge([b, c])])`` equals
+``merge([merge([a, b]), c])`` equals ``merge([a, b, c])`` (pinned by
+property tests in ``tests/obs/test_merge.py``), so streamed worker
+telemetry can be folded incrementally in any arrival order.
 
 Missing keys contribute nothing, so partially filled summaries (e.g.
 from a run that failed before finalization) merge cleanly.
@@ -27,11 +43,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Mapping
 
+from .metrics import merge_gauge_summary, merge_histogram_summary
+
 
 def merge_telemetry(parts: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     """Fold telemetry summaries into one aggregate of the same shape."""
     counters: Dict[str, int] = {}
     phase_times: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, Any]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
     merged: Dict[str, Any] = {
         "counters": counters,
         "phase_times": phase_times,
@@ -42,13 +62,29 @@ def merge_telemetry(parts: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         "runs": 0,
     }
     for part in parts:
-        merged["runs"] += 1
+        merged["runs"] += int(part.get("runs") or 1)
         for name, value in (part.get("counters") or {}).items():
             counters[name] = counters.get(name, 0) + int(value)
         for name, value in (part.get("phase_times") or {}).items():
             phase_times[name] = phase_times.get(name, 0.0) + float(value)
+        for name, summary in (part.get("gauges") or {}).items():
+            if name in gauges:
+                merge_gauge_summary(gauges[name], summary)
+            else:
+                gauges[name] = dict(summary)
+        for name, summary in (part.get("histograms") or {}).items():
+            if name in histograms:
+                merge_histogram_summary(histograms[name], summary)
+            else:
+                copied = dict(summary)
+                copied["buckets"] = dict(summary.get("buckets") or {})
+                histograms[name] = copied
         merged["wall_time"] += float(part.get("wall_time") or 0.0)
         merged["iterations"] += int(part.get("iterations") or 0)
         merged["events"] += int(part.get("events") or 0)
         merged["spans"] += int(part.get("spans") or 0)
+    if gauges:
+        merged["gauges"] = gauges
+    if histograms:
+        merged["histograms"] = histograms
     return merged

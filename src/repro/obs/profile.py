@@ -2,7 +2,8 @@
 
 The profile table is what ``repro schedule --profile`` (and the
 ``repro profile`` subcommand) print: per-phase wall times with their
-share of the total, followed by the counter registry.  It consumes the
+share of the total, followed by the counter registry, gauge extremes,
+and histogram quantiles when any were recorded.  It consumes the
 ``telemetry`` dict attached to :class:`repro.core.result.SystemSchedule`
 (or any mapping with the same keys).
 """
@@ -10,6 +11,16 @@ share of the total, followed by the counter registry.  It consumes the
 from __future__ import annotations
 
 from typing import Any, Mapping, Optional
+
+
+def _format_quantity(value: Optional[float]) -> str:
+    """Render a histogram/gauge value compactly (durations vs counts)."""
+    if value is None:
+        return "-"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e12:
+        return f"{int(number):,}"
+    return f"{number:.6g}"
 
 
 def render_phase_table(
@@ -42,12 +53,57 @@ def render_counter_table(counters: Mapping[str, int]) -> str:
     return "\n".join(lines)
 
 
+def render_histogram_table(histograms: Mapping[str, Mapping[str, Any]]) -> str:
+    """Aligned ``histogram  count  p50  p95  max  mean`` rows."""
+    lines = ["histograms"]
+    if not histograms:
+        lines.append("  (none recorded)")
+        return "\n".join(lines)
+    width = max(len(name) for name in histograms)
+    header = f"  {'':<{width}}  {'count':>10}  {'p50':>12}  {'p95':>12}  {'max':>12}  {'mean':>12}"
+    lines.append(header)
+    for name in sorted(histograms):
+        summary = histograms[name]
+        count = int(summary.get("count") or 0)
+        mean = (float(summary.get("sum") or 0.0) / count) if count else None
+        lines.append(
+            f"  {name:<{width}}  {count:>10,}"
+            f"  {_format_quantity(summary.get('p50')):>12}"
+            f"  {_format_quantity(summary.get('p95')):>12}"
+            f"  {_format_quantity(summary.get('max')):>12}"
+            f"  {_format_quantity(mean):>12}"
+        )
+    return "\n".join(lines)
+
+
+def render_gauge_table(gauges: Mapping[str, Mapping[str, Any]]) -> str:
+    """Aligned ``gauge  value  min  max  samples`` rows."""
+    lines = ["gauges"]
+    if not gauges:
+        lines.append("  (none recorded)")
+        return "\n".join(lines)
+    width = max(len(name) for name in gauges)
+    header = f"  {'':<{width}}  {'value':>12}  {'min':>12}  {'max':>12}  {'samples':>10}"
+    lines.append(header)
+    for name in sorted(gauges):
+        summary = gauges[name]
+        lines.append(
+            f"  {name:<{width}}"
+            f"  {_format_quantity(summary.get('value')):>12}"
+            f"  {_format_quantity(summary.get('min')):>12}"
+            f"  {_format_quantity(summary.get('max')):>12}"
+            f"  {int(summary.get('samples') or 0):>10,}"
+        )
+    return "\n".join(lines)
+
+
 def render_profile(telemetry: Mapping[str, Any], *, title: str = "") -> str:
     """Full profile report for one telemetry summary.
 
     Expects the keys :data:`SystemSchedule.telemetry` provides —
     ``phase_times``, ``wall_time``, ``iterations``, ``counters``,
-    ``events`` — all optional.
+    ``events``, and optionally ``gauges``/``histograms``/``degraded``/
+    ``audit`` — all optional.
     """
     sections = []
     if title:
@@ -56,11 +112,32 @@ def render_profile(telemetry: Mapping[str, Any], *, title: str = "") -> str:
     wall_time = telemetry.get("wall_time")
     sections.append(render_phase_table(phase_times, wall_time))
     sections.append(render_counter_table(telemetry.get("counters", {})))
+    gauges = telemetry.get("gauges")
+    if gauges:
+        sections.append(render_gauge_table(gauges))
+    histograms = telemetry.get("histograms")
+    if histograms:
+        sections.append(render_histogram_table(histograms))
+    degraded = telemetry.get("degraded")
+    if degraded:
+        sections.append(
+            "degradations: "
+            + "; ".join(str(item) for item in degraded)
+        )
+    audit = telemetry.get("audit")
+    if isinstance(audit, Mapping) and audit.get("recorded"):
+        sections.append(
+            f"audit: {audit.get('decisions', 0)} decisions retained"
+            f" ({audit.get('recorded', 0)} recorded,"
+            f" {audit.get('dropped', 0)} dropped)"
+        )
     volumes = []
     if telemetry.get("iterations"):
         volumes.append(f"{telemetry['iterations']} scheduler iterations")
     if telemetry.get("events"):
         volumes.append(f"{telemetry['events']} trace events")
+    if telemetry.get("runs"):
+        volumes.append(f"{telemetry['runs']} runs merged")
     if volumes:
         sections.append("volume: " + ", ".join(volumes))
     return "\n".join(sections)

@@ -8,10 +8,16 @@ long each part took:
   Timings use :func:`time.perf_counter` (monotonic) relative to the
   tracer's creation, so trace times are comparable within one tracer.
 * **Events** are point records (one per scheduler iteration, say) tagged
-  with the path of the enclosing spans.
-* **Counters** (:class:`repro.obs.counters.Counters`) ride along; the
-  tracer owns a registry and installs it as the ambient target while a
-  root span is active via :meth:`activate`.
+  with the path of the enclosing spans.  A tracer built with ``bus=``
+  also *publishes* each event to that
+  :class:`~repro.obs.events.EventBus` the moment it is recorded, which
+  is how live progress rendering subscribes to a running sweep.
+* **Metrics** (:class:`repro.obs.metrics.MetricsRegistry`, wrapped by a
+  :class:`repro.obs.counters.Counters` shim) ride along; the tracer owns
+  a registry and installs it as the ambient target while a root span is
+  active via :meth:`activate`.  Besides counters, :meth:`Tracer.observe`
+  and :meth:`Tracer.set_gauge` feed the typed histogram/gauge
+  instruments.
 
 The default tracer everywhere is :data:`NULL_TRACER`, a shared
 :class:`NullTracer` whose methods do nothing and allocate nothing —
@@ -109,12 +115,20 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, counters: Optional[Counters] = None) -> None:
+    def __init__(
+        self, counters: Optional[Counters] = None, *, bus: Any = None
+    ) -> None:
         self.counters = counters if counters is not None else Counters()
+        self.bus = bus
         self.spans: List[SpanRecord] = []
         self.events: List[TraceEvent] = []
         self._stack: List[SpanRecord] = []
         self._epoch = time.perf_counter()
+
+    @property
+    def metrics(self):
+        """The full typed-instrument registry behind the counters shim."""
+        return self.counters.registry
 
     # -- time ----------------------------------------------------------
     def _now(self) -> float:
@@ -154,19 +168,33 @@ class Tracer:
 
     # -- events and counters -------------------------------------------
     def event(self, name: str, **attrs: Any) -> None:
-        """Record one point event under the current span path."""
-        self.events.append(
-            TraceEvent(
-                name=name,
-                time=self._now(),
-                path=tuple(s.name for s in self._stack),
-                attrs=attrs,
-            )
+        """Record one point event under the current span path.
+
+        When the tracer has a bus, the event is also published to every
+        subscriber before this method returns, so live consumers see it
+        while the run is still going.
+        """
+        event = TraceEvent(
+            name=name,
+            time=self._now(),
+            path=tuple(s.name for s in self._stack),
+            attrs=attrs,
         )
+        self.events.append(event)
+        if self.bus is not None:
+            self.bus.publish(event)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment one of this tracer's counters."""
         self.counters.inc(name, amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram observation on this tracer's registry."""
+        self.counters.registry.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record one gauge sample on this tracer's registry."""
+        self.counters.registry.set_gauge(name, value)
 
     def activate(self):
         """Install this tracer's counters as the ambient count target."""
@@ -185,13 +213,26 @@ class Tracer:
         return [event for event in self.events if event.name == name]
 
     def summary(self) -> Dict[str, Any]:
-        """Compact dict summary: counters, top-level phases, volumes."""
-        return {
+        """Compact dict summary: counters, top-level phases, volumes.
+
+        Typed instruments appear under ``"gauges"`` and ``"histograms"``
+        only when at least one was recorded, so counter-only summaries
+        keep their historical shape.
+        """
+        summary: Dict[str, Any] = {
             "counters": self.counters.as_dict(),
             "phase_times": self.phase_times(),
             "spans": len(self.spans),
             "events": len(self.events),
         }
+        registry = self.counters.registry
+        gauges = registry.gauges_dict()
+        if gauges:
+            summary["gauges"] = gauges
+        histograms = registry.histograms_dict()
+        if histograms:
+            summary["histograms"] = histograms
+        return summary
 
     # -- export ---------------------------------------------------------
     def records(self) -> Iterator[Dict[str, Any]]:
@@ -246,6 +287,8 @@ class NullTracer:
 
     enabled = False
     counters: Optional[Counters] = None
+    metrics = None
+    bus = None
     spans: Tuple[()] = ()
     events: Tuple[()] = ()
 
@@ -258,6 +301,12 @@ class NullTracer:
         return None
 
     def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
         return None
 
     def activate(self) -> _NullContext:

@@ -49,6 +49,8 @@ from ..core.periods import PeriodAssignment
 from ..core.scheduler import ModuloSystemScheduler
 from ..errors import ReproError
 from ..obs import get_logger, merge_telemetry
+from ..obs.events import EVENT_CANDIDATE, EVENT_PRUNE
+from ..obs.metrics import CANDIDATE_SECONDS, INCUMBENT_AREA, merge_gauge_summary
 from ..obs.tracer import as_tracer
 from ..resources.assignment import ResourceAssignment
 from ..scheduling.forces import area_weights
@@ -435,6 +437,8 @@ class ExplorationEngine:
                     best_area is None or record.area < best_area
                 ):
                     best_area = record.area
+                    if self.tracer.enabled:
+                        self.tracer.set_gauge(INCUMBENT_AREA, best_area)
             records.append(record)
             self._emit(record, on_result)
         return records
@@ -463,10 +467,16 @@ class ExplorationEngine:
             return self._failed_record(
                 spec, f"{type(exc).__name__}: {exc}", started
             )
+        wall = time.perf_counter() - started
         telemetry = dict(result.telemetry)
-        # With a shared in-process tracer the per-run counter snapshot is
-        # cumulative; drop it here and overlay the tracer total once.
+        # With a shared in-process tracer the per-run counter/instrument
+        # snapshots are cumulative; drop them here and overlay the tracer
+        # totals once in _aggregate.
         telemetry["counters"] = {}
+        telemetry.pop("gauges", None)
+        telemetry.pop("histograms", None)
+        if self.tracer.enabled:
+            self.tracer.observe(CANDIDATE_SECONDS, wall)
         return CandidateResult(
             order=spec.order,
             periods=dict(spec.periods),
@@ -474,7 +484,7 @@ class ExplorationEngine:
             status=STATUS_OK,
             area=result.total_area(),
             iterations=result.iterations,
-            wall_time=time.perf_counter() - started,
+            wall_time=wall,
             instance_counts=result.instance_counts(),
             attempts=spec.attempt,
             worker_pid=os.getpid(),
@@ -503,6 +513,8 @@ class ExplorationEngine:
                 best_area is None or record.area < best_area
             ):
                 best_area = record.area
+                if self.tracer.enabled:
+                    self.tracer.set_gauge(INCUMBENT_AREA, best_area)
             records.append(record)
             self._emit(record, on_result)
 
@@ -707,8 +719,14 @@ class ExplorationEngine:
         if self._journal is not None:
             self._journal.append(record)
         if self.tracer.enabled:
+            if record.status == STATUS_PRUNED:
+                self.tracer.event(
+                    EVENT_PRUNE,
+                    periods=dict(record.periods),
+                    bound=record.bound,
+                )
             self.tracer.event(
-                "candidate",
+                EVENT_CANDIDATE,
                 periods=dict(record.periods),
                 status=record.status,
                 area=record.area,
@@ -742,11 +760,30 @@ class ExplorationEngine:
         )
         if self.workers <= 1 and self.tracer.enabled:
             # Serial runs share the engine tracer; its registry already
-            # holds the sweep-total counts.
+            # holds the sweep-total counts and instrument values.
             telemetry["counters"] = self.tracer.counters.as_dict()
+            gauges = self.tracer.metrics.gauges_dict()
+            if gauges:
+                telemetry["gauges"] = gauges
+            histograms = self.tracer.metrics.histograms_dict()
+            if histograms:
+                telemetry["histograms"] = histograms
         elif self.workers > 1 and self.tracer.enabled:
+            # Mirror the merged worker instruments into the engine tracer
+            # so its registry reflects the whole sweep.
             for name, value in telemetry["counters"].items():
                 self.tracer.counters.inc(name, value)
+            registry = self.tracer.metrics
+            for name, summary in (telemetry.get("histograms") or {}).items():
+                registry.histogram(name).merge_summary(summary)
+            engine_gauges = registry.gauges_dict()
+            if engine_gauges:
+                merged_gauges = telemetry.setdefault("gauges", {})
+                for name, summary in engine_gauges.items():
+                    if name in merged_gauges:
+                        merge_gauge_summary(merged_gauges[name], summary)
+                    else:
+                        merged_gauges[name] = summary
         workers_seen: Dict[int, Dict[str, object]] = {}
         for record in records:
             if record.status != STATUS_OK or not record.worker_pid:

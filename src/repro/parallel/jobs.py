@@ -36,6 +36,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from ..core.periods import PeriodAssignment
 from ..core.scheduler import ModuloSystemScheduler
 from ..obs import Tracer
+from ..obs.metrics import CANDIDATE_SECONDS
 from ..resources.assignment import ResourceAssignment
 from ..scheduling.forces import area_weights
 
@@ -170,14 +171,20 @@ def run_job(job: SweepJob) -> JobResult:
                     problem.assignment,
                     PeriodAssignment(dict(job.periods)),
                 )
+        wall = time.perf_counter() - started
+        telemetry = dict(result.telemetry)
+        # The candidate's end-to-end latency joins the run's histograms
+        # so the sweep-level merge can report per-candidate quantiles.
+        tracer.observe(CANDIDATE_SECONDS, wall)
+        telemetry["histograms"] = tracer.metrics.histograms_dict()
         return JobResult(
             job_id=job.job_id,
             ok=True,
             area=result.total_area(),
             iterations=result.iterations,
-            wall_time=time.perf_counter() - started,
+            wall_time=wall,
             instance_counts=result.instance_counts(),
-            telemetry=dict(result.telemetry),
+            telemetry=telemetry,
             worker_pid=os.getpid(),
             attempt=job.attempt,
         )

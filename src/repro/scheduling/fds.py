@@ -15,6 +15,8 @@ from typing import Mapping, Optional
 from ..errors import SchedulingError
 from ..ir.process import Block
 from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
+from ..obs.events import EVENT_DEGRADE, EVENT_PLACEMENT
+from ..obs.metrics import CANDIDATES_SCANNED, FRAMES_REMAINING
 from ..resources.library import ResourceLibrary
 from ..validation.budget import RunBudget
 from .fallback import degraded_block_schedule, frames_state_hash
@@ -79,6 +81,14 @@ class ForceDirectedScheduler:
                             block.name,
                             reason,
                         )
+                        if tracer.enabled:
+                            tracer.event(
+                                EVENT_DEGRADE,
+                                reason=reason,
+                                block=block.name,
+                                iteration=iterations,
+                                fallback="list_scheduling",
+                            )
                         return degraded_block_schedule(
                             block, self.library, reason, iterations=iterations
                         )
@@ -115,8 +125,12 @@ class ForceDirectedScheduler:
                     cache.invalidate_after_commit(effect)
                 if tracer.enabled:
                     tracer.count(SCHEDULER_ITERATIONS)
+                    tracer.observe(CANDIDATES_SCANNED, len(candidates))
+                    tracer.set_gauge(
+                        FRAMES_REMAINING, len(state.frames.unfixed())
+                    )
                     tracer.event(
-                        "placement",
+                        EVENT_PLACEMENT,
                         iteration=iterations,
                         block=block.name,
                         op=best_op,

@@ -12,11 +12,14 @@ multiplier outweighs smoothing a cheap adder.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from ..obs import counters as _ambient
 from ..obs.counters import FORCE_EVALUATIONS, count
+from ..obs.metrics import FORCE_EVAL_SECONDS
 from ..resources.library import ResourceLibrary
 from .distribution import BlockDistributions
 from .state import BlockState
@@ -77,10 +80,26 @@ def placement_force(
     operation's own type plus the types of implicitly reduced direct
     neighbors), the weighted Hooke's-law force.  Negative values mean the
     placement smooths the distributions.
+
+    When an ambient metrics registry is active the evaluation latency is
+    recorded in the ``force_eval_seconds`` histogram; the uninstrumented
+    path pays one global load and a ``None`` check.
     """
-    return force_from_deltas(
+    if _ambient._active is None:
+        return force_from_deltas(
+            state.dist,
+            state.placement_deltas(op_id, start),
+            lookahead=lookahead,
+            weights=weights,
+        )
+    started = time.perf_counter()
+    force = force_from_deltas(
         state.dist,
         state.placement_deltas(op_id, start),
         lookahead=lookahead,
         weights=weights,
     )
+    _ambient._active.registry.observe(
+        FORCE_EVAL_SECONDS, time.perf_counter() - started
+    )
+    return force

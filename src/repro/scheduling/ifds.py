@@ -21,6 +21,8 @@ from typing import Mapping, Optional, Tuple
 
 from ..ir.process import Block
 from ..obs import SCHEDULER_ITERATIONS, as_tracer, get_logger
+from ..obs.events import EVENT_DEGRADE, EVENT_REDUCTION
+from ..obs.metrics import CANDIDATES_SCANNED, FRAMES_REMAINING, REDUCTION_SCORE
 from ..resources.library import ResourceLibrary
 from ..validation.budget import RunBudget
 from .fallback import degraded_block_schedule, frames_state_hash
@@ -119,6 +121,14 @@ class ImprovedForceDirectedScheduler:
                             block.name,
                             reason,
                         )
+                        if tracer.enabled:
+                            tracer.event(
+                                EVENT_DEGRADE,
+                                reason=reason,
+                                block=block.name,
+                                iteration=iterations,
+                                fallback="list_scheduling",
+                            )
                         return degraded_block_schedule(
                             block, self.library, reason, iterations=iterations
                         )
@@ -144,8 +154,13 @@ class ImprovedForceDirectedScheduler:
                     cache.invalidate_after_commit(effect)
                 if tracer.enabled:
                     tracer.count(SCHEDULER_ITERATIONS)
+                    tracer.observe(REDUCTION_SCORE, best.score)
+                    tracer.observe(CANDIDATES_SCANNED, len(mobile))
+                    tracer.set_gauge(
+                        FRAMES_REMAINING, len(state.frames.unfixed())
+                    )
                     tracer.event(
-                        "reduction",
+                        EVENT_REDUCTION,
                         iteration=iterations,
                         block=block.name,
                         op=best.op_id,

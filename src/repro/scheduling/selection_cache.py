@@ -39,7 +39,9 @@ from ..obs.counters import (
     FORCE_CACHE_INVALIDATIONS,
     FORCE_CACHE_MISSES,
     count,
+    observe,
 )
+from ..obs.metrics import DIRTY_SET_SIZE
 from .state import BlockState, ReductionEffect
 
 
@@ -101,6 +103,7 @@ class BlockSelectionCache:
             dirty.update(self._neighbors[op_id])
         for type_name in effect.touched_types:
             dirty.update(self._ops_touching_type.get(type_name, ()))
+        observe(DIRTY_SET_SIZE, len(dirty))
         return self.invalidate_ops(dirty)
 
     def invalidate_type(self, type_name: str) -> int:

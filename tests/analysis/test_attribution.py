@@ -1,0 +1,172 @@
+"""Tests for the bottleneck attribution layer and the run report."""
+
+import json
+
+import pytest
+
+from repro.analysis.attribution import attribute
+from repro.analysis.report import run_report
+from repro.analysis.static.certifier import pool_conflict
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.obs import AuditTrail
+from repro.scheduling.forces import area_weights
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+
+@pytest.fixture(scope="module")
+def paper_run():
+    system, library = paper_system()
+    audit = AuditTrail()
+    scheduler = ModuloSystemScheduler(
+        library, weights=area_weights(library), audit=audit
+    )
+    result = scheduler.schedule(
+        system, paper_assignment(library), paper_periods()
+    )
+    return result, audit
+
+
+class TestCertifierConsistency:
+    def test_every_global_entry_matches_pool_conflict(self, paper_run):
+        """The acceptance criterion: each (type, slot, processes)
+        triple must be exactly what the certifier's own conflict
+        construction reports for that type's pool."""
+        result, _ = paper_run
+        report = attribute(result)
+        global_entries = [e for e in report.entries if e.scope == "global"]
+        assert global_entries, "the paper system has global pools"
+        for entry in global_entries:
+            conflict = pool_conflict(
+                result, entry.type_name, result.global_instances(entry.type_name)
+            )
+            assert entry.slot == conflict.slot
+            assert entry.period == conflict.period
+            assert entry.demand == conflict.demand
+            assert list(entry.processes) == list(conflict.processes)
+            assert entry.triple() == conflict.triple()
+
+    def test_bottleneck_names_a_triple(self, paper_run):
+        result, _ = paper_run
+        bottleneck = attribute(result).bottleneck
+        assert bottleneck is not None
+        triple = bottleneck.triple()
+        assert triple.startswith(f"(type {bottleneck.type_name!r}, slot ")
+        for process in bottleneck.processes:
+            assert process in triple
+
+
+class TestOperations:
+    def test_contributing_ops_are_active_at_the_witness_step(self, paper_run):
+        result, _ = paper_run
+        report = attribute(result)
+        for entry in report.entries:
+            if entry.scope != "global":
+                continue
+            assert entry.operations, "a conflicting slot has active ops"
+            for op in entry.operations:
+                sched = result.schedule_of(op.process, op.block)
+                occupancy = result.library.type(entry.type_name).occupancy
+                assert op.start == sched.starts[op.op]
+                assert op.start <= op.step < op.start + occupancy
+                op_type = result.library.type_of(
+                    sched.graph.operation(op.op)
+                )
+                assert op_type.name == entry.type_name
+
+    def test_demand_is_backed_by_enough_operations(self, paper_run):
+        """At least ``demand`` distinct operations stand behind each
+        conflicting slot (guard branches can add more than demand)."""
+        result, _ = paper_run
+        for entry in attribute(result).entries:
+            if entry.scope == "global":
+                assert len(entry.operations) >= entry.demand
+
+
+class TestRanking:
+    def test_entries_cover_the_total_area(self, paper_run):
+        result, _ = paper_run
+        report = attribute(result)
+        assert sum(e.area for e in report.entries) == pytest.approx(
+            report.total_area
+        )
+        areas = [e.area for e in report.entries]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_local_baseline_has_no_conflict_triples(self):
+        system, library = paper_system()
+        from repro.resources.assignment import ResourceAssignment
+
+        result = ModuloSystemScheduler(
+            library, weights=area_weights(library)
+        ).schedule(system, ResourceAssignment.all_local(library))
+        report = attribute(result)
+        assert report.bottleneck is None
+        assert all(e.scope == "local" for e in report.entries)
+        assert all(e.slot is None for e in report.entries)
+
+
+class TestAuditEnrichment:
+    def test_audit_counts_decisions_behind_the_bottleneck(self, paper_run):
+        result, audit = paper_run
+        enriched = attribute(result, audit=audit)
+        assert enriched.bottleneck.audit_decisions > 0
+        # Exported records work the same as the live trail.
+        replayed = attribute(result, audit=audit.as_records())
+        assert (
+            replayed.bottleneck.audit_decisions
+            == enriched.bottleneck.audit_decisions
+        )
+        # Without an audit the counts are zero, everything else equal.
+        bare = attribute(result)
+        assert bare.bottleneck.audit_decisions == 0
+        assert bare.bottleneck.triple() == enriched.bottleneck.triple()
+
+
+class TestRendering:
+    def test_text_render_names_the_triples(self, paper_run):
+        result, _ = paper_run
+        report = attribute(result)
+        text = report.render()
+        for entry in report.entries:
+            if entry.scope == "global":
+                assert entry.triple() in text
+        assert "of total" in text
+
+    def test_markdown_has_table_and_details(self, paper_run):
+        result, _ = paper_run
+        text = attribute(result).render_markdown()
+        assert "| rank | type | scope |" in text
+        assert text.count("###") >= 1
+
+    def test_json_round_trips(self, paper_run):
+        result, _ = paper_run
+        report = attribute(result)
+        data = json.loads(report.as_json())
+        assert data["system"] == result.system.name
+        assert data["total_area"] == result.total_area()
+        globals_ = [e for e in data["entries"] if e["scope"] == "global"]
+        for entry in globals_:
+            assert {"slot", "period", "demand", "processes", "operations"} <= (
+                set(entry)
+            )
+
+
+class TestRunReport:
+    def test_report_composes_all_sections(self, paper_run):
+        result, audit = paper_run
+        report = run_report(result, audit=audit, source="paper.sys")
+        markdown = report.render_markdown()
+        assert "# Run report: `paper.sys`" in markdown
+        assert "## Schedule" in markdown
+        assert "## Area" in markdown
+        assert "## Profile" in markdown
+        assert "## Area attribution" in markdown
+
+    def test_report_json_is_machine_readable(self, paper_run):
+        result, audit = paper_run
+        data = json.loads(run_report(result, audit=audit).as_json())
+        assert data["system"] == result.system.name
+        assert data["attribution"]["entries"]
+        assert {row["type"] for row in data["area"]} == set(
+            result.instance_counts()
+        )

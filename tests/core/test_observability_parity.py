@@ -1,0 +1,171 @@
+"""Decision parity of the observability layer (PR 6 acceptance gate).
+
+Every observability feature — the decision audit trail, the typed
+histogram/gauge instruments, and live event streaming through a bus —
+must *observe* the scheduler, never steer it: enabling any of them must
+leave the reduction-decision sequence, the final starts, and the total
+area byte-identical to a plain traced run.  Pinned here over the paper
+workload and a population of seeded random systems, one test class per
+feature.
+"""
+
+import pytest
+
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.process import Block, Process, SystemSpec
+from repro.obs import AuditTrail, EventBus, Tracer
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.forces import area_weights
+from repro.workloads import (
+    paper_assignment,
+    paper_periods,
+    paper_system,
+    random_dfg,
+)
+
+RANDOM_SEEDS = range(10)
+
+
+def _random_workload(seed):
+    library = default_library()
+
+    def build_system():
+        system = SystemSpec(name=f"obs{seed}")
+        for index in range(3):
+            graph = random_dfg(8, seed=500 * seed + index)
+            deadline = graph.critical_path_length(library.latency_of) + 4
+            process = Process(name=f"p{index}")
+            process.add_block(
+                Block(name="main", graph=graph, deadline=deadline)
+            )
+            system.add_process(process)
+        return system
+
+    def build_assignment():
+        return ResourceAssignment.all_global(library, build_system())
+
+    periods = PeriodAssignment(
+        {name: 4 for name in build_assignment().global_types}
+    )
+    return library, build_system, build_assignment, periods
+
+
+def _paper_workload():
+    _, library = paper_system()
+
+    def build_system():
+        return paper_system()[0]
+
+    def build_assignment():
+        return paper_assignment(library)
+
+    return library, build_system, build_assignment, paper_periods()
+
+
+WORKLOADS = [("paper", _paper_workload)] + [
+    (f"random{seed}", lambda seed=seed: _random_workload(seed))
+    for seed in RANDOM_SEEDS
+]
+
+
+def _run(workload, *, tracer=None, audit=None):
+    """One run; returns (decisions, starts, area)."""
+    library, build_system, build_assignment, periods = workload
+    tracer = tracer if tracer is not None else Tracer()
+    scheduler = ModuloSystemScheduler(
+        library,
+        weights=area_weights(library),
+        tracer=tracer,
+        audit=audit,
+    )
+    result = scheduler.schedule(
+        build_system(), build_assignment(), periods
+    )
+    decisions = [
+        (e.attrs["process"], e.attrs["block"], e.attrs["op"], e.attrs["side"])
+        for e in tracer.events_named("reduction")
+    ]
+    starts = {
+        key: sched.starts for key, sched in result.block_schedules.items()
+    }
+    return decisions, starts, result.total_area()
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in WORKLOADS], ids=[n for n, _ in WORKLOADS]
+)
+class TestAuditParity:
+    def test_audit_trail_never_changes_decisions(self, factory):
+        workload = factory()
+        base = _run(factory())
+        audit = AuditTrail()
+        audited = _run(workload, audit=audit)
+        assert audited == base
+        # The trail mirrors the event stream decision for decision.
+        assert [
+            (d.process, d.block, d.op, d.side) for d in audit.decisions
+        ] == base[0][-len(audit.decisions):]
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in WORKLOADS], ids=[n for n, _ in WORKLOADS]
+)
+class TestHistogramParity:
+    def test_typed_instruments_never_change_decisions(self, factory):
+        """The traced arm records histograms/gauges (select latency,
+        scores, frames-remaining) through the ambient registry; the
+        baseline arm schedules with everything disabled.  Results must
+        match exactly."""
+        library, build_system, build_assignment, periods = factory()
+        plain = ModuloSystemScheduler(
+            library, weights=area_weights(library)
+        ).schedule(build_system(), build_assignment(), periods)
+
+        tracer = Tracer()
+        decisions, starts, area = _run(factory(), tracer=tracer)
+        assert area == plain.total_area()
+        assert starts == {
+            key: sched.starts
+            for key, sched in plain.block_schedules.items()
+        }
+        summary = tracer.summary()
+        assert summary["histograms"]["reduction_score"]["count"] == len(
+            decisions
+        )
+        assert summary["gauges"]["frames_remaining"]["samples"] == len(
+            decisions
+        )
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in WORKLOADS], ids=[n for n, _ in WORKLOADS]
+)
+class TestEventStreamingParity:
+    def test_bus_subscribers_never_change_decisions(self, factory):
+        base = _run(factory())
+        bus = EventBus()
+        streamed = []
+        bus.subscribe(
+            lambda event: streamed.append((event.name, dict(event.attrs)))
+        )
+        live = _run(factory(), tracer=Tracer(bus=bus))
+        assert live == base
+        # The bus saw every reduction event, in order, as it happened.
+        assert [
+            (a["process"], a["block"], a["op"], a["side"])
+            for name, a in streamed
+            if name == "reduction"
+        ] == base[0]
+
+    def test_raising_subscriber_never_changes_decisions(self, factory):
+        base = _run(factory())
+        bus = EventBus()
+
+        def broken(event):
+            raise RuntimeError("observer crash")
+
+        bus.subscribe(broken)
+        live = _run(factory(), tracer=Tracer(bus=bus))
+        assert live == base

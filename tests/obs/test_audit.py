@@ -1,0 +1,206 @@
+"""Tests for the decision audit trail: ring buffer, export, scheduler
+integration, and the observe-never-steer guarantee."""
+
+import json
+
+import pytest
+
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.obs import NULL_AUDIT, AuditTrail, CandidateAudit, DecisionAudit
+from repro.obs.audit import CACHE_FRESH, CACHE_HIT
+from repro.scheduling.forces import area_weights
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+
+def _decision(iteration, op="a1", process="p1"):
+    return DecisionAudit(
+        iteration=iteration,
+        process=process,
+        block="main",
+        op=op,
+        side="low",
+        score=1.5,
+        force_low=1.5,
+        force_high=2.5,
+        frame_before=(0, 4),
+        frame_after=(1, 4),
+        cache=CACHE_FRESH,
+        changed_ops=(op,),
+        touched_types=("adder",),
+        scopes={"adder": "process"},
+        candidates=(
+            CandidateAudit(
+                process=process,
+                block="main",
+                op=op,
+                force_low=1.5,
+                force_high=2.5,
+                score=1.5,
+                cache=CACHE_HIT,
+            ),
+        ),
+    )
+
+
+class TestRingBuffer:
+    def test_records_accumulate_oldest_first(self):
+        trail = AuditTrail()
+        for i in range(3):
+            trail.record(_decision(i))
+        assert [d.iteration for d in trail.decisions] == [0, 1, 2]
+        assert len(trail) == trail.recorded == 3
+        assert trail.dropped == 0
+
+    def test_capacity_drops_oldest(self):
+        trail = AuditTrail(2)
+        for i in range(5):
+            trail.record(_decision(i))
+        assert [d.iteration for d in trail.decisions] == [3, 4]
+        assert trail.recorded == 5
+        assert trail.dropped == 3
+        summary = trail.summary()
+        assert summary["decisions"] == 2
+        assert summary["dropped"] == 3
+        assert summary["capacity"] == 2
+
+    def test_unbounded_capacity(self):
+        trail = AuditTrail(None)
+        for i in range(100):
+            trail.record(_decision(i))
+        assert len(trail) == 100 and trail.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AuditTrail(0)
+
+    def test_decisions_for_filters_by_winner(self):
+        trail = AuditTrail()
+        trail.record(_decision(0, op="a1", process="p1"))
+        trail.record(_decision(1, op="m1", process="p2"))
+        trail.record(_decision(2, op="a1", process="p2"))
+        assert len(trail.decisions_for(op="a1")) == 2
+        assert len(trail.decisions_for(process="p2")) == 2
+        assert len(trail.decisions_for(process="p2", op="a1")) == 1
+
+
+class TestExport:
+    def test_jsonl_round_trips_with_summary_header(self, tmp_path):
+        trail = AuditTrail()
+        trail.record(_decision(0))
+        trail.record(_decision(1))
+        path = tmp_path / "audit.jsonl"
+        written = trail.write_jsonl(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert written == len(lines) == 3  # header + 2 decisions
+        header = json.loads(lines[0])
+        assert header["type"] == "audit_summary"
+        assert header["decisions"] == 2
+        for line in lines[1:]:
+            record = json.loads(line)
+            assert record["type"] == "decision"
+            assert record["frame_before"] == [0, 4]
+            assert record["candidates"][0]["cache"] == CACHE_HIT
+
+    def test_as_records_omits_empty_fields(self):
+        bare = DecisionAudit(
+            iteration=0,
+            process="p1",
+            block="main",
+            op="a1",
+            side="high",
+            score=0.0,
+            force_low=0.0,
+            force_high=0.0,
+            frame_before=(0, 1),
+            frame_after=(0, 0),
+        )
+        trail = AuditTrail()
+        trail.record(bare)
+        (record,) = trail.as_records()
+        assert "scopes" not in record
+        assert "candidates" not in record
+
+
+class TestNullTrail:
+    def test_null_audit_is_inert(self):
+        NULL_AUDIT.record(_decision(0))
+        assert len(NULL_AUDIT) == 0
+        assert NULL_AUDIT.enabled is False
+        assert NULL_AUDIT.decisions == []
+        assert NULL_AUDIT.as_records() == []
+        assert NULL_AUDIT.summary()["recorded"] == 0
+
+
+class TestSchedulerIntegration:
+    @pytest.fixture(scope="class")
+    def audited_run(self):
+        system, library = paper_system()
+        audit = AuditTrail()
+        scheduler = ModuloSystemScheduler(
+            library, weights=area_weights(library), audit=audit
+        )
+        result = scheduler.schedule(
+            system, paper_assignment(library), paper_periods()
+        )
+        return result, audit
+
+    def test_one_decision_per_iteration(self, audited_run):
+        result, audit = audited_run
+        assert audit.recorded == result.iterations
+        assert result.telemetry["audit"]["recorded"] == result.iterations
+
+    def test_decisions_carry_frames_and_candidates(self, audited_run):
+        _, audit = audited_run
+        for decision in audit.decisions[:50]:
+            lo, hi = decision.frame_before
+            after_lo, after_hi = decision.frame_after
+            assert lo <= hi
+            # The commit shrank the winner's frame on the chosen side.
+            assert (after_lo, after_hi) != (lo, hi)
+            assert after_lo >= lo and after_hi <= hi
+            assert decision.op in decision.changed_ops
+            assert decision.candidates, "keep_candidates must capture scans"
+            winner = [
+                c
+                for c in decision.candidates
+                if (c.process, c.block, c.op)
+                == (decision.process, decision.block, decision.op)
+            ]
+            assert winner and winner[0].score == decision.score
+
+    def test_winner_has_maximal_score(self, audited_run):
+        """Selection picks the largest eta-weighted force difference."""
+        _, audit = audited_run
+        for decision in audit.decisions[:50]:
+            best = max(c.score for c in decision.candidates)
+            assert decision.score >= best - 1e-9
+
+    def test_audit_never_steers(self):
+        """An audited run reaches the identical schedule and area."""
+        system, library = paper_system()
+        plain = ModuloSystemScheduler(
+            library, weights=area_weights(library)
+        ).schedule(system, paper_assignment(library), paper_periods())
+
+        system2, library2 = paper_system()
+        audited = ModuloSystemScheduler(
+            library2, weights=area_weights(library2), audit=AuditTrail()
+        ).schedule(system2, paper_assignment(library2), paper_periods())
+
+        assert audited.iterations == plain.iterations
+        assert audited.total_area() == plain.total_area()
+        assert {
+            key: sched.starts
+            for key, sched in audited.block_schedules.items()
+        } == {
+            key: sched.starts for key, sched in plain.block_schedules.items()
+        }
+
+    def test_winner_only_mode_skips_candidates(self):
+        system, library = paper_system()
+        audit = AuditTrail(keep_candidates=False)
+        ModuloSystemScheduler(
+            library, weights=area_weights(library), audit=audit
+        ).schedule(system, paper_assignment(library), paper_periods())
+        assert audit.recorded > 0
+        assert all(not d.candidates for d in audit.decisions)

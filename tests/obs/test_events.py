@@ -1,0 +1,124 @@
+"""Tests for the event bus, the JSONL event writer, and Prometheus text."""
+
+import json
+
+from repro.obs import EventBus, JsonlEventWriter, Tracer, prometheus_text
+from repro.obs.metrics import bucket_bound
+
+
+class TestEventBus:
+    def test_subscribers_receive_published_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        tracer = Tracer(bus=bus)
+        tracer.event("reduction", op="a1")
+        tracer.event("commit", op="a1")
+        assert [event.name for event in seen] == ["reduction", "commit"]
+        assert bus.published == 2
+        # The tracer also keeps its own copy — the bus observes, it does
+        # not replace collection.
+        assert len(tracer.events) == 2
+
+    def test_subscribe_returns_callback_for_decorator_use(self):
+        bus = EventBus()
+
+        @bus.subscribe
+        def on_event(event):
+            pass
+
+        assert len(bus) == 1
+        bus.unsubscribe(on_event)
+        assert len(bus) == 0
+
+    def test_raising_subscriber_is_detached_not_fatal(self):
+        bus = EventBus()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(broken)
+        bus.subscribe(seen.append)
+        tracer = Tracer(bus=bus)
+        tracer.event("reduction")  # must not raise
+        tracer.event("reduction")
+        assert len(seen) == 2  # the healthy subscriber kept receiving
+        assert len(bus) == 1  # the raiser is gone after one delivery
+
+    def test_unsubscribe_unknown_callback_is_harmless(self):
+        bus = EventBus()
+        bus.unsubscribe(lambda event: None)
+
+
+class TestJsonlEventWriter:
+    def test_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with JsonlEventWriter(str(path)) as writer:
+            bus.subscribe(writer)
+            tracer = Tracer(bus=bus)
+            with tracer.span("schedule"):
+                tracer.event("reduction", iteration=1, op="m1")
+                tracer.event("commit", iteration=1, changed_ops=3)
+            assert writer.written == 2
+        records = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [r["name"] for r in records] == ["reduction", "commit"]
+        assert records[0]["attrs"] == {"iteration": 1, "op": "m1"}
+        assert records[0]["path"] == "schedule"
+
+    def test_accepts_an_open_handle(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            writer = JsonlEventWriter(handle)
+            tracer = Tracer(bus=EventBus())
+            tracer.bus.subscribe(writer)
+            tracer.event("prune", bound=13.0)
+            writer.close()  # must not close the borrowed handle
+            handle.write("tail\n")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert json.loads(lines[0])["name"] == "prune"
+        assert lines[1] == "tail"
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms_render(self):
+        tracer = Tracer()
+        tracer.count("force_evaluations", 42)
+        tracer.set_gauge("frames_remaining", 7.0)
+        tracer.observe("select_seconds", 0.002)
+        tracer.observe("select_seconds", 0.004)
+        text = prometheus_text(tracer.summary())
+        assert "# TYPE repro_force_evaluations_total counter" in text
+        assert "repro_force_evaluations_total 42" in text
+        assert "repro_frames_remaining 7" in text
+        assert "# TYPE repro_select_seconds histogram" in text
+        assert 'repro_select_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_select_seconds_count 2" in text
+
+    def test_bucket_series_is_cumulative(self):
+        tracer = Tracer()
+        for value in (0.001, 0.001, 0.1):
+            tracer.observe("select_seconds", value)
+        text = prometheus_text(tracer.summary())
+        small = bucket_bound(
+            next(
+                i
+                for i in range(200)
+                if bucket_bound(i) >= 0.001
+            )
+        )
+        assert f'repro_select_seconds_bucket{{le="{small!r}"}} 2' in text
+        assert 'repro_select_seconds_bucket{le="+Inf"} 3' in text
+
+    def test_empty_telemetry_renders_empty(self):
+        assert prometheus_text({"counters": {}}) == ""
+
+    def test_phase_times_become_labelled_gauges(self):
+        text = prometheus_text(
+            {"counters": {}, "phase_times": {"reduction_loop": 1.5}}
+        )
+        assert 'repro_phase_seconds{phase="reduction_loop"} 1.5' in text

@@ -1,0 +1,118 @@
+"""Property tests: telemetry merging is associative and order-independent.
+
+Worker telemetry arrives in completion order, which varies run to run;
+a sweep's aggregate must not depend on it.  These tests generate random
+telemetry parts — values drawn from dyadic rationals (multiples of
+1/1024), which add exactly in binary floating point, so aggregates can
+be compared with ``==`` instead of tolerances — and check that any
+permutation and any fold grouping of the parts produces the same merge.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import merge_telemetry
+from repro.obs.metrics import Gauge, Histogram
+
+#: Dyadic rationals: exactly representable, exact addition for the value
+#: ranges generated here — float nondeterminism cannot mask (or fake) an
+#: order dependence.
+dyadic = st.integers(min_value=0, max_value=4096).map(lambda n: n / 1024.0)
+
+counter_names = st.sampled_from(
+    ["force_evaluations", "force_cache_hits", "frame_reductions"]
+)
+phase_names = st.sampled_from(["setup", "reduction_loop", "finalization"])
+
+
+@st.composite
+def telemetry_parts(draw):
+    """One run's telemetry summary with all mergeable sections."""
+    part = {
+        "counters": draw(
+            st.dictionaries(
+                counter_names, st.integers(min_value=0, max_value=1000)
+            )
+        ),
+        "phase_times": draw(st.dictionaries(phase_names, dyadic)),
+        "wall_time": draw(dyadic),
+        "iterations": draw(st.integers(min_value=0, max_value=50)),
+        "events": draw(st.integers(min_value=0, max_value=50)),
+        "spans": draw(st.integers(min_value=0, max_value=10)),
+    }
+    gauge_values = draw(st.lists(dyadic, max_size=5))
+    if gauge_values:
+        gauge = Gauge("frames_remaining")
+        for value in gauge_values:
+            gauge.set(value)
+        part["gauges"] = {"frames_remaining": gauge.summary()}
+    hist_values = draw(st.lists(dyadic, max_size=6))
+    if hist_values:
+        hist = Histogram("select_seconds")
+        for value in hist_values:
+            hist.observe(value)
+        part["histograms"] = {"select_seconds": hist.summary()}
+    runs = draw(st.integers(min_value=0, max_value=3))
+    if runs:
+        part["runs"] = runs
+    return part
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    parts=st.lists(telemetry_parts(), min_size=2, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_merge_is_order_independent(parts, seed):
+    shuffled = list(parts)
+    random.Random(seed).shuffle(shuffled)
+    assert merge_telemetry(parts) == merge_telemetry(shuffled)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    parts=st.lists(telemetry_parts(), min_size=3, max_size=5),
+    split=st.integers(min_value=1, max_value=4),
+)
+def test_merge_is_associative(parts, split):
+    """Merging a pre-merged group equals merging everything flat.
+
+    This is the streaming-aggregation property: a sweep can fold worker
+    summaries incrementally (merge the merged-so-far with each arrival)
+    and land on the same aggregate as one batch merge at the end.
+    """
+    split = min(split, len(parts) - 1)
+    left = merge_telemetry(parts[:split])
+    grouped = merge_telemetry([left, *parts[split:]])
+    flat = merge_telemetry(parts)
+    assert grouped == flat
+
+
+@settings(max_examples=40, deadline=None)
+@given(parts=st.lists(telemetry_parts(), min_size=1, max_size=4))
+def test_runs_count_parts_not_merges(parts):
+    """``runs`` sums each part's own run count (default 1), so nesting
+    merges never double- or under-counts the underlying runs."""
+    merged = merge_telemetry(parts)
+    assert merged["runs"] == sum(p.get("runs") or 1 for p in parts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(parts=st.lists(telemetry_parts(), min_size=2, max_size=4))
+def test_histogram_volumes_merge_exactly(parts):
+    merged = merge_telemetry(parts)
+    expected_count = sum(
+        (p.get("histograms") or {})
+        .get("select_seconds", {})
+        .get("count", 0)
+        for p in parts
+    )
+    got = (merged.get("histograms") or {}).get("select_seconds", {})
+    assert got.get("count", 0) == expected_count
+    expected_sum = sum(
+        (p.get("histograms") or {}).get("select_seconds", {}).get("sum", 0.0)
+        for p in parts
+    )
+    assert got.get("sum", 0.0) == expected_sum

@@ -1,0 +1,150 @@
+"""Tests for the typed metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_COUNT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_bound,
+    bucket_index,
+    merge_gauge_summary,
+    merge_histogram_summary,
+)
+
+
+class TestBuckets:
+    def test_bounds_are_geometric_and_shared(self):
+        assert bucket_bound(0) > 0
+        for index in range(1, 20):
+            assert bucket_bound(index) == pytest.approx(
+                2.0 * bucket_bound(index - 1)
+            )
+
+    def test_index_respects_bounds(self):
+        for index in (0, 1, 7, 40, BUCKET_COUNT - 1):
+            bound = bucket_bound(index)
+            assert bucket_index(bound) == index
+            assert bucket_index(bound * 1.01) == index + 1
+
+    def test_nonpositive_values_land_in_bucket_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert bucket_index(1e300) <= BUCKET_COUNT
+
+
+class TestHistogram:
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = Histogram("h")
+        for value in (0.001, 0.002, 0.004, 0.100):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.100
+        assert summary["min"] <= summary["p50"] <= summary["p95"]
+        assert summary["p95"] <= summary["max"]
+
+    def test_merge_matches_pooled_observations(self):
+        values_a = [0.001 * (i + 1) for i in range(10)]
+        values_b = [0.05 * (i + 1) for i in range(5)]
+        pooled = Histogram("h")
+        for value in values_a + values_b:
+            pooled.observe(value)
+        part_a, part_b = Histogram("h"), Histogram("h")
+        for value in values_a:
+            part_a.observe(value)
+        for value in values_b:
+            part_b.observe(value)
+        part_a.merge_summary(part_b.summary())
+        assert part_a.summary() == pooled.summary()
+
+    def test_from_summary_round_trips(self):
+        hist = Histogram("h")
+        for value in (0.25, 0.5, 2.0):
+            hist.observe(value)
+        assert Histogram.from_summary("h", hist.summary()).summary() == (
+            hist.summary()
+        )
+
+
+class TestSummaryMerges:
+    def test_histogram_summary_merge_is_associative(self):
+        parts = []
+        for shift in range(3):
+            hist = Histogram("h")
+            for i in range(4):
+                hist.observe(0.001 * (i + 1) * 10**shift)
+            parts.append(hist.summary())
+
+        def fold(order):
+            into = {k: dict(v) if isinstance(v, dict) else v
+                    for k, v in parts[order[0]].items()}
+            into["buckets"] = dict(parts[order[0]]["buckets"])
+            for index in order[1:]:
+                merge_histogram_summary(into, parts[index])
+            return into
+
+        assert fold([0, 1, 2]) == fold([2, 0, 1]) == fold([1, 2, 0])
+
+    def test_gauge_summary_merge_takes_extremes(self):
+        a = Gauge("g")
+        a.set(3.0)
+        a.set(1.0)
+        b = Gauge("g")
+        b.set(7.0)
+        into = a.summary()
+        merge_gauge_summary(into, b.summary())
+        assert into["min"] == 1.0
+        assert into["max"] == 7.0
+        assert into["samples"] == 3
+        # The merged "value" is the max — last-written is meaningless
+        # across parts, the extreme is order-independent.
+        assert into["value"] == 7.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_dicts_are_sorted_and_skip_empty(self):
+        registry = MetricsRegistry()
+        registry.inc("z_counter")
+        registry.inc("a_counter", 2)
+        registry.observe("h", 0.5)
+        registry.set_gauge("g", 4.0)
+        assert list(registry.counters_dict()) == ["a_counter", "z_counter"]
+        assert set(registry.histograms_dict()) == {"h"}
+        assert set(registry.gauges_dict()) == {"g"}
+
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_merge_folds_another_registry(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 1)
+        b.inc("c", 2)
+        b.observe("h", 0.25)
+        b.set_gauge("g", 9.0)
+        a.merge(b)
+        assert a.counter("c").value == 3
+        assert a.histogram("h").count == 1
+        assert a.gauge("g").summary()["max"] == 9.0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 1.0)
+        registry.reset()
+        assert not registry.counters_dict()
+        assert not registry.histograms_dict()

@@ -1,0 +1,118 @@
+"""Trace JSONL export guarantees: round-trip, monotonic timestamps,
+span nesting, and event-order determinism of serial runs (S4)."""
+
+import json
+
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.process import Block, Process, SystemSpec
+from repro.obs import Tracer
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.forces import area_weights
+from repro.workloads import random_dfg
+
+
+def _small_problem():
+    library = default_library()
+    system = SystemSpec(name="export-demo")
+    for index in range(2):
+        graph = random_dfg(6, seed=40 + index)
+        deadline = graph.critical_path_length(library.latency_of) + 3
+        process = Process(name=f"p{index}")
+        process.add_block(Block(name="main", graph=graph, deadline=deadline))
+        system.add_process(process)
+    assignment = ResourceAssignment.all_global(library, system)
+    periods = PeriodAssignment({name: 4 for name in assignment.global_types})
+    return system, library, assignment, periods
+
+
+def _traced_run():
+    system, library, assignment, periods = _small_problem()
+    tracer = Tracer()
+    ModuloSystemScheduler(
+        library, weights=area_weights(library), tracer=tracer
+    ).schedule(system, assignment, periods)
+    return tracer
+
+
+class TestRoundTrip:
+    def test_every_line_parses_and_rebuilds_the_records(self, tmp_path):
+        tracer = _traced_run()
+        path = tmp_path / "trace.jsonl"
+        written = tracer.write_jsonl(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert written == len(lines) > 0
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == list(tracer.records())
+        for record in parsed:
+            assert record["type"] in ("span", "event")
+            assert isinstance(record["name"], str)
+            assert isinstance(record["path"], str)
+
+
+class TestMonotonicTimestamps:
+    def test_records_are_time_sorted(self):
+        tracer = _traced_run()
+        times = [
+            record.get("start", record.get("time"))
+            for record in tracer.records()
+        ]
+        assert all(t is not None and t >= 0.0 for t in times)
+        assert times == sorted(times)
+
+    def test_event_emission_order_is_monotonic(self):
+        tracer = _traced_run()
+        event_times = [event.time for event in tracer.events]
+        assert event_times == sorted(event_times)
+
+
+class TestSpanNesting:
+    def test_exported_depths_and_paths_nest_consistently(self):
+        tracer = _traced_run()
+        for span in tracer.spans:
+            assert span.depth == len(span.path) - 1
+            assert span.path[-1] == span.name
+            assert span.end is not None and span.end >= span.start
+        top_level = [span for span in tracer.spans if span.depth == 0]
+        assert {span.name for span in top_level} == {"schedule"}
+        phases = [span for span in tracer.spans if span.depth == 1]
+        assert {span.name for span in phases} >= {
+            "setup",
+            "reduction_loop",
+            "finalization",
+        }
+
+    def test_events_are_tagged_with_enclosing_span(self):
+        tracer = _traced_run()
+        events = tracer.events_named("reduction")
+        assert events, "a traced run must emit reduction events"
+        for event in events:
+            assert event.path == ("schedule", "reduction_loop")
+
+
+class TestDeterminism:
+    def test_serial_runs_export_identical_event_streams(self, tmp_path):
+        """Two serial runs of the same problem must produce the same
+        events in the same order — the ``--workers 1`` determinism the
+        docs promise.  Timestamps differ run to run, so they are the
+        only field masked out."""
+
+        def stream(tracer):
+            masked = []
+            for record in tracer.records():
+                record = dict(record)
+                record.pop("time", None)
+                record.pop("start", None)
+                record.pop("duration", None)
+                masked.append(record)
+            return masked
+
+        first, second = _traced_run(), _traced_run()
+        assert stream(first) == stream(second)
+        path_a, path_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        first.write_jsonl(path_a)
+        second.write_jsonl(path_b)
+        assert len(path_a.read_text(encoding="utf-8").splitlines()) == len(
+            path_b.read_text(encoding="utf-8").splitlines()
+        )

@@ -197,6 +197,145 @@ class TestObservability:
         assert main(["simulate", sys_file, "--cycles", "100", "-q"]) == 0
 
 
+class TestExplainAndReport:
+    def test_explain_names_a_bottleneck_triple(self, sys_file, capsys):
+        assert main(["explain", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "area attribution" in out
+        assert "pinned by (type 'multiplier', slot " in out
+        assert "audited reduction decision(s)" in out
+
+    def test_explain_triple_matches_certifier(self, sys_file, capsys):
+        from repro.analysis.static.certifier import pool_conflict
+        from repro.api import load_problem
+
+        assert main(["explain", sys_file]) == 0
+        out = capsys.readouterr().out
+        result = load_problem(sys_file).schedule()
+        conflict = pool_conflict(
+            result, "multiplier", result.global_instances("multiplier")
+        )
+        assert conflict.triple() in out
+
+    def test_explain_json(self, sys_file, capsys):
+        import json
+
+        assert main(["explain", sys_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["system"] == "demo"
+        globals_ = [e for e in data["entries"] if e["scope"] == "global"]
+        assert globals_ and globals_[0]["type"] == "multiplier"
+        assert globals_[0]["audit_decisions"] > 0
+
+    def test_explain_markdown(self, sys_file, capsys):
+        assert main(["explain", sys_file, "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| rank | type | scope |" in out
+
+    def test_explain_audit_export(self, sys_file, tmp_path, capsys):
+        import json
+
+        target = str(tmp_path / "audit.jsonl")
+        assert main(["explain", sys_file, "--audit", target]) == 0
+        assert "audit records" in capsys.readouterr().out
+        lines = open(target, encoding="utf-8").read().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "audit_summary"
+        assert header["recorded"] == len(lines) - 1 > 0
+
+    def test_schedule_audit_export(self, sys_file, tmp_path, capsys):
+        import json
+
+        target = str(tmp_path / "audit.jsonl")
+        assert main(["schedule", sys_file, "--audit", target]) == 0
+        assert "audit records" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in open(target, encoding="utf-8")
+        ]
+        decisions = [r for r in records if r["type"] == "decision"]
+        assert decisions
+        for record in decisions:
+            assert record["candidates"]
+            assert record["op"] in {
+                c["op"] for c in record["candidates"]
+            }
+
+    def test_schedule_audit_capacity_caps_trail(
+        self, sys_file, tmp_path, capsys
+    ):
+        import json
+
+        target = str(tmp_path / "audit.jsonl")
+        assert main(
+            ["schedule", sys_file, "--audit", target, "--audit-capacity", "3"]
+        ) == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in open(target, encoding="utf-8")
+        ]
+        assert records[0]["dropped"] > 0
+        assert len(records) - 1 == 3
+
+    def test_report_to_stdout(self, sys_file, capsys):
+        assert main(["report", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report:" in out
+        assert "## Area attribution" in out
+        assert "(type 'multiplier', slot " in out
+
+    def test_report_to_file(self, sys_file, tmp_path, capsys):
+        target = str(tmp_path / "report.md")
+        assert main(["report", sys_file, "-o", target]) == 0
+        assert "wrote" in capsys.readouterr().out
+        text = open(target, encoding="utf-8").read()
+        assert "## Profile" in text and "## Schedule" in text
+
+    def test_report_json(self, sys_file, capsys):
+        import json
+
+        assert main(["report", sys_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["system"] == "demo"
+        assert data["telemetry"]["iterations"] > 0
+        assert data["attribution"]["entries"]
+
+    def test_profile_json_format(self, sys_file, capsys):
+        import json
+
+        assert main(["profile", sys_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["iterations"] > 0
+        assert "force_evaluations" in data["counters"]
+        assert "force_cache_hits" in data["counters"]
+        assert "force_cache_misses" in data["counters"]
+        assert "phase_times" in data
+        assert "select_seconds" in data["histograms"]
+        assert "frames_remaining" in data["gauges"]
+
+    def test_sweep_live_progress_on_stderr(self, sys_file, capsys):
+        assert main(["sweep", sys_file, "--live"]) == 0
+        captured = capsys.readouterr()
+        assert "best:" in captured.out
+        lines = [
+            line for line in captured.err.splitlines() if line.startswith("[")
+        ]
+        assert lines
+        assert lines[-1].startswith(f"[{len(lines)}/{len(lines)}]")
+        assert any("-> area" in line or "pruned" in line for line in lines)
+
+    def test_sweep_live_does_not_change_best(self, sys_file, capsys):
+        assert main(["sweep", sys_file]) == 0
+        plain = capsys.readouterr().out
+        assert main(["sweep", sys_file, "--live"]) == 0
+        live = capsys.readouterr().out
+        pick = lambda text: [
+            l for l in text.splitlines() if l.startswith("best:")
+        ]
+        assert pick(plain) and pick(plain) == pick(live)
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["schedule", "/nonexistent/x.sys"]) == 2
