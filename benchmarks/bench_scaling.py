@@ -6,11 +6,13 @@ complexity class (§5.3).  This benchmark scales the number of processes
 over random workloads and reports operations, iterations, and wall time;
 iterations must grow linearly with total mobility, not explode.
 
-Each size is run twice — with the incremental force cache (the default)
-and with ``force_cache=False`` brute-force re-evaluation — so the
-speedup and force-evaluation reduction of the cache are measured
-directly (see docs/performance.md).  Decisions are identical either
-way; only the wall time and the ``force_evaluations`` counter differ.
+Each size is run three times — brute-force scalar re-evaluation
+(``force_cache=False``), the incremental force cache on the scalar
+force path (``use_kernels=False``, PR 2's configuration), and cache
+plus the batched array kernels (the default) — so the speedup of each
+optimization layer is measured separately (see docs/performance.md).
+Decisions are identical in every arm; only the wall time and the
+``force_evaluations`` counter differ.
 
 Runnable standalone for CI smoke checks::
 
@@ -50,13 +52,13 @@ def build_system(n_processes, library):
     return system
 
 
-def run_one(n_processes, library, *, force_cache):
+def run_one(n_processes, library, *, force_cache, use_kernels=True):
     """Schedule one system size; returns a flat metrics dict."""
     system = build_system(n_processes, library)
     assignment = ResourceAssignment.all_global(library, system)
     periods = PeriodAssignment({name: PERIOD for name in assignment.global_types})
     scheduler = ModuloSystemScheduler(
-        library, force_cache=force_cache, tracer=Tracer()
+        library, force_cache=force_cache, use_kernels=use_kernels, tracer=Tracer()
     )
     started = time.perf_counter()
     result = scheduler.schedule(system, assignment, periods)
@@ -79,19 +81,33 @@ def run_one(n_processes, library, *, force_cache):
     }
 
 
-def run_scaling(process_counts=PROCESS_COUNTS, *, force_cache_ab=True):
-    """A/B rows per size: cached run, uncached run, and their ratios.
+def run_scaling(process_counts=PROCESS_COUNTS, *, force_cache_ab=True,
+                kernels_ab=True):
+    """A/B rows per size: brute force, cache-only, cache+kernels.
 
-    With ``force_cache_ab=False`` only the uncached arm is run (the
-    ``--no-force-cache`` CLI flag).
+    Three arms separate the two optimization layers in the perf
+    trajectory: ``uncached`` (brute-force scalar scan), ``cached_scalar``
+    (incremental cache, scalar force path — PR 2's configuration), and
+    ``cached`` (cache plus the batched array kernels, the default).
+    ``force_cache_ab=False`` runs only the uncached arm (the
+    ``--no-force-cache`` CLI flag); ``kernels_ab=False`` skips the
+    cache+kernels arm (the ``--no-kernels`` CLI flag), leaving the
+    cached arm on the scalar path.
     """
     library = default_library()
     rows = []
     for n_processes in process_counts:
-        uncached = run_one(n_processes, library, force_cache=False)
-        cached = (
-            run_one(n_processes, library, force_cache=True)
+        uncached = run_one(
+            n_processes, library, force_cache=False, use_kernels=False
+        )
+        cached_scalar = (
+            run_one(n_processes, library, force_cache=True, use_kernels=False)
             if force_cache_ab
+            else None
+        )
+        cached = (
+            run_one(n_processes, library, force_cache=True, use_kernels=True)
+            if force_cache_ab and kernels_ab
             else None
         )
         row = {
@@ -101,18 +117,27 @@ def run_scaling(process_counts=PROCESS_COUNTS, *, force_cache_ab=True):
             "area": uncached["area"],
             "uncached": uncached,
         }
-        if cached is not None:
-            row["cached"] = cached
+        if cached_scalar is not None:
+            # The best available cached arm keeps the historical "cached"
+            # key so downstream gates keep reading the same schema.
+            row["cached_scalar"] = cached_scalar
+            row["cached"] = cached if cached is not None else cached_scalar
             row["speedup"] = (
-                uncached["wall_time"] / cached["wall_time"]
-                if cached["wall_time"]
+                uncached["wall_time"] / row["cached"]["wall_time"]
+                if row["cached"]["wall_time"]
                 else float("inf")
             )
             row["eval_reduction"] = (
-                uncached["force_evaluations"] / cached["force_evaluations"]
-                if cached["force_evaluations"]
+                uncached["force_evaluations"] / row["cached"]["force_evaluations"]
+                if row["cached"]["force_evaluations"]
                 else float("inf")
             )
+            if cached is not None:
+                row["kernel_speedup"] = (
+                    cached_scalar["wall_time"] / cached["wall_time"]
+                    if cached["wall_time"]
+                    else float("inf")
+                )
         rows.append(row)
     return rows
 
@@ -124,8 +149,8 @@ def format_report(rows):
         f"P = {PERIOD})",
         "",
         f"{'procs':>5} {'ops':>5} {'iterations':>11} {'area':>6} "
-        f"{'cached_s':>9} {'brute_s':>8} {'speedup':>8} {'evals':>7} "
-        f"{'hit%':>6}",
+        f"{'cached_s':>9} {'brute_s':>8} {'speedup':>8} {'kern':>6} "
+        f"{'evals':>7} {'hit%':>6}",
     ]
     for row in rows:
         cached = row.get("cached")
@@ -134,15 +159,22 @@ def format_report(rows):
                 f"{row['processes']:>5} {row['operations']:>5} "
                 f"{row['iterations']:>11} {row['area']:>6g} "
                 f"{'-':>9} {row['uncached']['wall_time']:>8.2f} {'-':>8} "
+                f"{'-':>6} "
                 f"{row['uncached']['force_evaluations']:>7} {'-':>6}"
             )
         else:
+            kernel_speedup = row.get("kernel_speedup")
+            kernel_cell = (
+                f"{kernel_speedup:>5.1f}x" if kernel_speedup is not None
+                else f"{'-':>6}"
+            )
             lines.append(
                 f"{row['processes']:>5} {row['operations']:>5} "
                 f"{row['iterations']:>11} {row['area']:>6g} "
                 f"{cached['wall_time']:>9.2f} "
                 f"{row['uncached']['wall_time']:>8.2f} "
                 f"{row['speedup']:>7.1f}x "
+                f"{kernel_cell} "
                 f"{cached['force_evaluations']:>7} "
                 f"{100 * cached['cache_hit_rate']:>5.1f}%"
             )
@@ -157,9 +189,12 @@ def test_scaling(benchmark):
     # Iterations are bounded by total mobility: at most ops * (slack + 1).
     for row in rows:
         assert row["iterations"] <= row["operations"] * (SLACK + 2)
-        # Decision parity: the cache must not change the schedule.
+        # Decision parity: neither the cache nor the kernels may change
+        # the schedule.
         assert row["cached"]["iterations"] == row["uncached"]["iterations"]
         assert row["cached"]["area"] == row["uncached"]["area"]
+        assert row["cached_scalar"]["iterations"] == row["uncached"]["iterations"]
+        assert row["cached_scalar"]["area"] == row["uncached"]["area"]
 
     save_artifact("scaling", format_report(rows), data=rows)
 
@@ -176,7 +211,14 @@ def main(argv=None):
     parser.add_argument(
         "--no-force-cache",
         action="store_true",
-        help="run only the brute-force arm (skip the cached A/B run)",
+        help="run only the brute-force arm (skip the cached A/B runs)",
+    )
+    parser.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="skip the cache+kernels arm: the cached run uses the scalar "
+        "force path (PR 2's configuration), separating the caching and "
+        "kernel contributions in the perf trajectory",
     )
     parser.add_argument(
         "--out",
@@ -186,7 +228,9 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     rows = run_scaling(
-        tuple(args.processes), force_cache_ab=not args.no_force_cache
+        tuple(args.processes),
+        force_cache_ab=not args.no_force_cache,
+        kernels_ab=not args.no_kernels,
     )
     print(format_report(rows))
     if args.out is not None:

@@ -10,9 +10,9 @@ tolerance (default 25%) on either axis:
   machines; growth means the algorithm started doing more work.
 * **wall time** — compared only through dimensionless same-run ratios
   (cached/uncached for the scaling bench, pruned/unpruned for the
-  sweep bench), so a slower or faster CI machine cannot trip or mask
-  the gate; only a change in the *relative* benefit of the
-  optimization can.
+  sweep bench, vector/scalar and kernel/scalar for the kernels bench),
+  so a slower or faster CI machine cannot trip or mask the gate; only
+  a change in the *relative* benefit of the optimization can.
 
 Solution quality (area, best periods) is deterministic and must not
 regress at all.
@@ -25,6 +25,9 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py \
         --kind sweep --current BENCH_sweep.json \
         --baseline benchmarks/baselines/BENCH_sweep_smoke.json
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --kind kernels --current BENCH_kernel.json \
+        --baseline benchmarks/baselines/BENCH_kernel_smoke.json
 
 The committed baselines under ``benchmarks/baselines/`` are smoke-scale
 runs matching the CI invocations; the root-level ``BENCH_scaling.json``
@@ -153,9 +156,68 @@ def check_sweep(gate, current, baseline):
     )
 
 
+def check_kernels(gate, current, baseline):
+    """Per-kernel and end-to-end kernel A/B rows (bench_kernels.py)."""
+    base_kernels = {
+        (row["name"], row["processes"]): row for row in baseline["kernels"]
+    }
+    matched = 0
+    for row in current["kernels"]:
+        key = (row["name"], row["processes"])
+        base = base_kernels.get(key)
+        if base is None:
+            gate.skip(f"no baseline kernel row for {key}")
+            continue
+        if row["batch"] != base["batch"] or row["loops"] != base["loops"]:
+            gate.failures.append(
+                f"kernel {key} workload mismatch: batch/loops "
+                f"{row['batch']}/{row['loops']} vs baseline "
+                f"{base['batch']}/{base['loops']} — regenerate the baseline"
+            )
+            continue
+        matched += 1
+        _wall_ratio(
+            gate,
+            f"{row['name']}@{row['processes']}p vector/scalar time ratio",
+            row["vector_seconds"], row["scalar_seconds"],
+            base["vector_seconds"], base["scalar_seconds"],
+        )
+    base_rows = {row["processes"]: row for row in baseline["end_to_end"]}
+    for row in current["end_to_end"]:
+        base = base_rows.get(row["processes"])
+        if base is None:
+            gate.skip(f"no baseline end-to-end row for "
+                      f"processes={row['processes']}")
+            continue
+        matched += 1
+        n = row["processes"]
+        for arm in ("kernel", "scalar"):
+            gate.check_quality(
+                f"[{n}p] {arm} area", row[arm]["area"], base[arm]["area"]
+            )
+            gate.check_count(
+                f"[{n}p] {arm} iterations",
+                row[arm]["iterations"], base[arm]["iterations"],
+            )
+            gate.check_count(
+                f"[{n}p] {arm} force_evaluations",
+                row[arm]["force_evaluations"],
+                base[arm]["force_evaluations"],
+            )
+        _wall_ratio(
+            gate,
+            f"[{n}p] kernel/scalar wall-time ratio",
+            row["kernel"]["wall_time"], row["scalar"]["wall_time"],
+            base["kernel"]["wall_time"], base["scalar"]["wall_time"],
+        )
+    if matched == 0:
+        gate.failures.append("no kernel rows matched the baseline")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--kind", choices=("scaling", "sweep"), required=True)
+    parser.add_argument("--kind", choices=("scaling", "sweep", "kernels"),
+                        required=True)
     parser.add_argument("--current", required=True,
                         help="freshly generated benchmark JSON")
     parser.add_argument("--baseline", required=True,
@@ -172,6 +234,8 @@ def main(argv=None):
     gate = Gate(args.tolerance)
     if args.kind == "scaling":
         check_scaling(gate, current, baseline)
+    elif args.kind == "kernels":
+        check_kernels(gate, current, baseline)
     else:
         check_sweep(gate, current, baseline)
 

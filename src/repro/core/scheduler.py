@@ -38,7 +38,13 @@ from ..obs.audit import (
     CandidateAudit,
     DecisionAudit,
 )
-from ..obs.counters import AUDIT_DECISIONS, FORCE_CACHE_ASSEMBLIES, count
+from ..obs.counters import (
+    AUDIT_DECISIONS,
+    FORCE_CACHE_ASSEMBLIES,
+    FORCE_CACHE_HITS,
+    FORCE_CACHE_MISSES,
+    count,
+)
 from ..obs.events import EVENT_COMMIT, EVENT_DEGRADE, EVENT_REDUCTION
 from ..obs.metrics import (
     CANDIDATES_SCANNED,
@@ -50,11 +56,17 @@ from ..resources.assignment import ResourceAssignment
 from ..resources.library import ResourceLibrary
 from ..scheduling.fallback import degraded_block_schedule, frames_state_hash
 from ..scheduling.forces import DEFAULT_LOOKAHEAD, force_from_deltas, hooke_force
+from ..scheduling.kernels import (
+    DeltaBatch,
+    guarded_footprint_ops,
+    row_dots,
+    row_self_dots,
+)
 from ..scheduling.schedule import BlockSchedule
 from ..scheduling.selection_cache import BlockSelectionCache
 from ..scheduling.state import BlockState, ReductionEffect
 from ..validation.budget import RunBudget
-from .modulo import modulo_max
+from .modulo import modulo_max, modulo_max_rows
 from .periods import PeriodAssignment
 from .result import SystemSchedule
 
@@ -63,11 +75,17 @@ _log = get_logger(__name__)
 
 @dataclass
 class _Entry:
-    """One block being scheduled, with its system coordinates."""
+    """One block being scheduled, with its system coordinates.
+
+    ``scalar_ops`` (kernel mode only) holds the operations whose force
+    footprint contains a guarded type; they always evaluate through the
+    scalar reference machinery, in both kernel and scalar modes.
+    """
 
     process_name: str
     block: Block
     state: BlockState
+    scalar_ops: frozenset = frozenset()
 
 
 class _CachedScore:
@@ -103,6 +121,578 @@ class _CachedScore:
         self.versions = versions
 
 
+#: Marker stored in a :class:`BlockSelectionCache` for operations whose
+#: selection state lives in the :class:`_SystemKernel` flat arrays.  The
+#: cache keeps exactly one entry per evaluated operation either way, so
+#: hit/miss/invalidation accounting is identical to the scalar mode.
+_KERNEL_EVALUATED = object()
+
+
+class _SystemKernel:
+    """Persistent array-backed selection engine (kernel mode).
+
+    Replaces the per-candidate scalar fold of
+    :meth:`ModuloSystemScheduler._select_reduction` with flat
+    system-wide arrays.  Every operation owns one *slot*, and each of
+    its two frame-end forces is decomposed as::
+
+        force = const + sum over balanced types T of (w * delta_S_T) . S_T
+
+    ``const`` freezes everything independent of the system distribution
+    ``S`` — local and unbalanced Hooke terms plus the
+    ``alpha * delta_S . delta_S`` look-ahead parts — while the
+    pre-weighted ``w * delta_S`` vectors live as rows of one per-type
+    matrix ``G`` (row 0 is a permanent all-zero sentinel for slots that
+    do not touch the type).  A scan is then three vectorized steps:
+
+    * types whose ``S`` moved re-dot their whole ``G`` matrix against
+      the new ``S`` in one matrix–vector product;
+    * every slot's forces refold as ``const + gathered dots``;
+    * scores ``eta * |F_low - F_high|`` come from one gathered
+      elementwise pass, folded in scan order with the scalar epsilons.
+
+    Only invalidated operations do real work: their frame-end deltas are
+    built in one :class:`~repro.scheduling.kernels.DeltaBatch` per block
+    and folded per displaced type with batched matrix products.
+
+    Parity with the scalar scan is kept exactly where it is observable:
+    the per-block :class:`BlockSelectionCache` stores one marker per
+    evaluated operation (hits, misses, invalidations, and dirty-set
+    sizes are unchanged); the staleness mask counts one
+    ``force_cache_assemblies`` per cached operation whose folded force
+    predates an ``S`` bump of a type it touches — the same set the
+    scalar version-tuple comparison re-assembles; and operations with a
+    guarded force footprint keep using the scalar :class:`_CachedScore`
+    machinery in both modes.  Decision parity is pinned by
+    ``tests/core/test_kernel_parity.py``.
+    """
+
+    def __init__(
+        self,
+        scheduler: "ModuloSystemScheduler",
+        entries: List[_Entry],
+        coupling: "_GlobalCoupling",
+        caches: List[BlockSelectionCache],
+    ) -> None:
+        self.scheduler = scheduler
+        self.entries = entries
+        self.coupling = coupling
+        self.caches = caches
+        self.lookahead = scheduler.lookahead
+        self.weights = scheduler.weights
+        self.alignment = scheduler.periodical_alignment
+        self.balancing = scheduler.global_balancing
+
+        self.slot_of: List[Dict[str, int]] = []
+        n = 0
+        for entry in entries:
+            mapping: Dict[str, int] = {}
+            for op_id in entry.state.graph.op_ids:
+                mapping[op_id] = n
+                n += 1
+            self.slot_of.append(mapping)
+        self.n_slots = n
+        # Row 0 holds the low frame end, row 1 the high end: fusing the
+        # two sides into (2, n) arrays halves the per-scan numpy call
+        # count of the refold/gather phases.
+        self._const = np.zeros((2, n), dtype=float)
+        self._eta = np.ones(n, dtype=float)
+        self._fold_stamp = np.zeros(n, dtype=np.int64)
+        self._force = np.empty((2, n), dtype=float)
+        # Balanced types currently holding a G row for each slot's two
+        # sides, so a re-evaluation can free exactly its own rows.
+        self._assigned_low: List[Tuple[str, ...]] = [()] * n
+        self._assigned_high: List[Tuple[str, ...]] = [()] * n
+        self._scan_no = 0
+
+        # Per-entry candidate lists persist between scans; a commit only
+        # perturbs the committed entry (and, for a non-clean scope, its
+        # same-process siblings), which :meth:`note_commit` marks dirty.
+        # Clean entries skip classification wholesale: their candidates,
+        # guarded jobs, and hit totals are unchanged by construction.
+        self._dirty: List[bool] = [True] * len(entries)
+        self._cand_ops: List[List[str]] = [[] for _ in entries]
+        self._cand_slots: List[np.ndarray] = [
+            np.empty(0, dtype=np.intp) for _ in entries
+        ]
+        self._guarded_jobs: List[List[Tuple[str, int]]] = [[] for _ in entries]
+        self._hit_counts: List[int] = [0] * len(entries)
+        self._mobile = np.zeros(n, dtype=bool)
+        self._guarded_mask = np.zeros(n, dtype=bool)
+        # Scan-order cache: the concatenated candidate slots, their owner
+        # entries, and the staleness-active mask only change when an op
+        # becomes fixed (144 events across ~1000 scans at 12 processes).
+        self._order_dirty = True
+        self._sel_owners: List[int] = []
+        self._sel_idx = np.empty(0, dtype=np.intp)
+        self._act_idx = np.empty(0, dtype=np.intp)
+        for index, entry in enumerate(entries):
+            frames = entry.state.frames
+            slots_map = self.slot_of[index]
+            scalar_ops = entry.scalar_ops
+            for op_id in entry.state.graph.op_ids:
+                slot = slots_map[op_id]
+                self._mobile[slot] = not frames.is_fixed(op_id)
+                if op_id in scalar_ops:
+                    self._guarded_mask[slot] = True
+
+        # Sorted so cross-run accumulation order never depends on set
+        # (hash) iteration order.
+        balanced = (
+            sorted(coupling.assignment.global_types)
+            if self.alignment and self.balancing
+            else []
+        )
+        self._balanced_types: List[str] = balanced
+        self._g: Dict[str, np.ndarray] = {}
+        self._gdots: Dict[str, np.ndarray] = {}
+        self._top: Dict[str, int] = {}
+        self._free: Dict[str, List[int]] = {}
+        self._gslot: Dict[str, np.ndarray] = {}
+        self._seen_version: Dict[str, int] = {}
+        self._changed_scan: Dict[str, int] = {}
+        for type_name in balanced:
+            period = coupling.period(type_name)
+            self._g[type_name] = np.zeros((16, period), dtype=float)
+            self._gdots[type_name] = np.zeros(16, dtype=float)
+            self._top[type_name] = 1  # row 0: permanent all-zero sentinel
+            self._free[type_name] = []
+            self._gslot[type_name] = np.zeros((2, n), dtype=np.int64)
+            self._seen_version[type_name] = coupling.s_version(type_name)
+            self._changed_scan[type_name] = 0
+
+    # -- scan ----------------------------------------------------------
+    def select(
+        self, *, collect: Optional[list] = None, want_detail: bool = False
+    ) -> Optional[Tuple[int, str, bool, float, int, Optional[Tuple]]]:
+        """One selection scan; same contract as ``_select_reduction``."""
+        track = want_detail or collect is not None
+        coupling = self.coupling
+        self._scan_no += 1
+        scan_no = self._scan_no
+
+        # (1) Sync to S: every type whose system distribution moved
+        # since the last scan re-dots its G matrix in one matvec.
+        for type_name in self._balanced_types:
+            version = coupling.s_version(type_name)
+            if version != self._seen_version[type_name]:
+                self._seen_version[type_name] = version
+                self._changed_scan[type_name] = scan_no
+                top = self._top[type_name]
+                if top > 1:
+                    np.matmul(
+                        self._g[type_name][:top],
+                        coupling.system_distribution(type_name),
+                        out=self._gdots[type_name][:top],
+                    )
+
+        # (2) Classify the candidates of *dirty* entries: marker present
+        # -> hit, absent -> fresh (batch-evaluated per block), guarded
+        # footprint -> scalar job.  Clean entries reuse last scan's
+        # candidate lists — every non-guarded candidate is a hit by
+        # construction — so aggregated hit/miss totals still equal the
+        # scalar per-probe counts.
+        kinds: Optional[Dict[int, str]] = {} if track else None
+        for index, entry in enumerate(self.entries):
+            if not self._dirty[index]:
+                hits = self._hit_counts[index]
+                if hits:
+                    count(FORCE_CACHE_HITS, hits)
+                continue
+            self._dirty[index] = False
+            unfixed = entry.state.frames.unfixed()
+            self._cand_ops[index] = unfixed
+            store = self.caches[index]._store
+            slots_map = self.slot_of[index]
+            scalar_ops = entry.scalar_ops
+            slots = np.empty(len(unfixed), dtype=np.intp)
+            guarded: List[Tuple[str, int]] = []
+            fresh_ops: List[str] = []
+            hits = 0
+            for pos, op_id in enumerate(unfixed):
+                slot = slots_map[op_id]
+                slots[pos] = slot
+                if op_id in scalar_ops:
+                    guarded.append((op_id, slot))
+                elif op_id in store:
+                    hits += 1
+                else:
+                    fresh_ops.append(op_id)
+                    store[op_id] = _KERNEL_EVALUATED
+                    if kinds is not None:
+                        kinds[slot] = CACHE_FRESH
+            self._cand_slots[index] = slots
+            self._guarded_jobs[index] = guarded
+            # Once this entry is clean every non-guarded candidate —
+            # fresh ones included — probes as a hit.
+            self._hit_counts[index] = hits + len(fresh_ops)
+            if hits:
+                count(FORCE_CACHE_HITS, hits)
+            if fresh_ops:
+                count(FORCE_CACHE_MISSES, len(fresh_ops))
+                self._fresh_eval(index, entry, fresh_ops, scan_no)
+
+        if self._order_dirty:
+            self._order_dirty = False
+            self._sel_owners = [
+                index
+                for index in range(len(self.entries))
+                if self._cand_slots[index].size
+            ]
+            self._sel_idx = (
+                np.concatenate(
+                    [self._cand_slots[index] for index in self._sel_owners]
+                )
+                if self._sel_owners
+                else np.empty(0, dtype=np.intp)
+            )
+            self._act_idx = np.nonzero(self._mobile & ~self._guarded_mask)[0]
+
+        # (3) Staleness: one assembly per cached op holding a G row of
+        # a type whose S moved after the op's last fold — exactly the
+        # set the scalar version-tuple comparison re-assembles.  Freshly
+        # evaluated slots carry this scan's stamp and drop out; guarded
+        # and fixed slots are masked off.
+        act_idx = self._act_idx if self._balanced_types else None
+        if act_idx is not None and act_idx.size:
+            stamps = self._fold_stamp[act_idx]
+            min_stamp = int(stamps.min())
+            stale = None
+            for type_name in self._balanced_types:
+                changed = self._changed_scan[type_name]
+                if changed <= min_stamp:
+                    continue
+                has_row = (self._gslot[type_name][:, act_idx] > 0).any(axis=0)
+                mask = has_row & (stamps < changed)
+                stale = mask if stale is None else (stale | mask)
+            if stale is not None:
+                assembled = int(stale.sum())
+                if assembled:
+                    count(FORCE_CACHE_ASSEMBLIES, assembled)
+                    self._fold_stamp[act_idx[stale]] = scan_no
+                    if kinds is not None:
+                        for slot in act_idx[stale].tolist():
+                            kinds[slot] = CACHE_ASSEMBLED
+
+        # (4) Refold every slot: constants plus the gathered per-type
+        # dots (the sentinel row contributes an exact 0.0).
+        np.copyto(self._force, self._const)
+        for type_name in self._balanced_types:
+            if self._top[type_name] > 1:
+                self._force += self._gdots[type_name][self._gslot[type_name]]
+
+        # (5) Guarded ops: scalar _CachedScore machinery, written into
+        # their slots after the wholesale refold.  Probed every scan so
+        # the cache's own hit/miss accounting matches the scalar path.
+        scheduler = self.scheduler
+        for index, entry in enumerate(self.entries):
+            jobs = self._guarded_jobs[index]
+            if not jobs:
+                continue
+            cache = self.caches[index]
+            frames = entry.state.frames
+            for op_id, slot in jobs:
+                cached = cache.get(op_id)
+                kind = CACHE_HIT
+                if cached is None:
+                    lo, hi = frames.frame(op_id)
+                    cached = scheduler._evaluate_cached(
+                        index, entry, coupling, op_id, lo, hi
+                    )
+                    cache.put(op_id, cached)
+                    kind = CACHE_FRESH
+                elif cached.global_types:
+                    versions = tuple(
+                        coupling.s_version(t) for t in cached.global_types
+                    )
+                    if versions != cached.versions:
+                        count(FORCE_CACHE_ASSEMBLIES)
+                        if cached.terms_low is not None:
+                            cached.force_low = scheduler._assemble(
+                                cached.terms_low, coupling
+                            )
+                        if cached.terms_high is not None:
+                            cached.force_high = scheduler._assemble(
+                                cached.terms_high, coupling
+                            )
+                        cached.versions = versions
+                        kind = CACHE_ASSEMBLED
+                self._force[0, slot] = cached.force_low
+                self._force[1, slot] = cached.force_high
+                lo, hi = frames.frame(op_id)
+                self._eta[slot] = 1.0 if hi - lo + 1 <= 2 else 0.5
+                if kinds is not None:
+                    kinds[slot] = kind
+
+        # (6) Score and fold in scan order with the scalar epsilons.
+        owners = self._sel_owners
+        if not owners:
+            return None
+        idx = self._sel_idx
+        fpair = self._force[:, idx]
+        flows = fpair[0]
+        fhighs = fpair[1]
+        scores = self._eta[idx] * np.abs(flows - fhighs)
+        # The scan-order hysteresis fold (``score > best + 1e-12``) only
+        # ever accepts strict prefix maxima: the running best never drops
+        # more than the epsilon below the prefix maximum, so an accepted
+        # score strictly exceeds every earlier one.  Replaying the fold
+        # over just that (short) subsequence is therefore exact.
+        total = scores.shape[0]
+        if total > 1:
+            prefix = np.maximum.accumulate(scores[:-1])
+            front = np.nonzero(scores[1:] > prefix)[0]
+            positions = [0] + (front + 1).tolist()
+        else:
+            positions = [0]
+        best_pos = -1
+        best_score = None
+        for pos in positions:
+            score = float(scores[pos])
+            if best_score is None or score > best_score + 1e-12:
+                best_score = score
+                best_pos = pos
+        if collect is not None:
+            flow_list = flows.tolist()
+            fhigh_list = fhighs.tolist()
+            score_list = scores.tolist()
+            idx_list = idx.tolist()
+            pos = 0
+            for index in owners:
+                entry = self.entries[index]
+                for op_id in self._cand_ops[index]:
+                    collect.append(
+                        CandidateAudit(
+                            process=entry.process_name,
+                            block=entry.block.name,
+                            op=op_id,
+                            force_low=flow_list[pos],
+                            force_high=fhigh_list[pos],
+                            score=score_list[pos],
+                            cache=kinds.get(idx_list[pos], CACHE_HIT),
+                        )
+                    )
+                    pos += 1
+        best_entry = -1
+        offset = best_pos
+        for index in owners:
+            size = self._cand_slots[index].size
+            if offset < size:
+                best_entry = index
+                break
+            offset -= size
+        force_low = float(flows[best_pos])
+        force_high = float(fhighs[best_pos])
+        detail = None
+        if want_detail:
+            detail = (
+                force_low,
+                force_high,
+                kinds.get(int(idx[best_pos]), CACHE_HIT),
+            )
+        assert best_score is not None
+        return (
+            best_entry,
+            self._cand_ops[best_entry][offset],
+            force_low > force_high + 1e-12,
+            float(best_score),
+            total,
+            detail,
+        )
+
+    def note_commit(
+        self,
+        entry_index: int,
+        effect: ReductionEffect,
+        scopes: Mapping[str, str],
+    ) -> None:
+        """Record a committed reduction, mirroring ``_invalidate_caches``.
+
+        The committed entry always reclassifies next scan; same-process
+        siblings only do when the commit moved any shared type's ``Q``
+        (a non-``clean`` scope) — exactly the condition under which the
+        scalar path invalidates their stores.
+        """
+        frames = self.entries[entry_index].state.frames
+        slots_map = self.slot_of[entry_index]
+        for op_id in effect.changed_ops:
+            if frames.is_fixed(op_id):
+                slot = slots_map[op_id]
+                if self._mobile[slot]:
+                    self._mobile[slot] = False
+                    self._order_dirty = True
+        self._dirty[entry_index] = True
+        if not (self.alignment and self.balancing):
+            return
+        if all(scope == "clean" for scope in scopes.values()):
+            return
+        process_name = self.entries[entry_index].process_name
+        for index, entry in enumerate(self.entries):
+            if index != entry_index and entry.process_name == process_name:
+                self._dirty[index] = True
+
+    # -- fresh evaluation ----------------------------------------------
+    def _fresh_eval(
+        self, index: int, entry: _Entry, fresh_ops: List[str], scan_no: int
+    ) -> None:
+        """Batch-evaluate both frame ends of a block's invalidated ops.
+
+        One :class:`DeltaBatch` covers every (op, frame-end) pair; each
+        displaced type folds its participating rows with batched matrix
+        products, mirroring :meth:`ModuloSystemScheduler._force_terms`
+        branch for branch.  Constants, ``w * delta_S`` rows, and their
+        current-``S`` dots are written into the persistent arrays; the
+        wholesale refold in :meth:`select` produces the forces.
+        """
+        coupling = self.coupling
+        state = entry.state
+        frames = state.frames
+        dist = state.dist
+        lookahead = self.lookahead
+        weights = self.weights
+        process_name = entry.process_name
+        pairs: List[Tuple[str, int]] = []
+        for op_id in fresh_ops:
+            lo, hi = frames.frame(op_id)
+            pairs.append((op_id, lo))
+            pairs.append((op_id, hi))
+        batch = DeltaBatch(state, pairs)
+        type_orders = batch.type_orders
+        # Per type: S-independent value per participating row, plus (for
+        # balanced shared types) the pre-weighted delta_S row and its
+        # current-S dot.
+        const_parts: Dict[str, Dict[int, float]] = {}
+        gvec_parts: Dict[str, Tuple[np.ndarray, np.ndarray, Dict[int, int]]] = {}
+        for type_name, matrix in batch.deltas.items():
+            participants = [
+                row for row, order in enumerate(type_orders) if type_name in order
+            ]
+            if not participants:
+                continue
+            deltas = matrix[np.asarray(participants, dtype=np.intp)]
+            weight = 1.0 if weights is None else float(weights.get(type_name, 1.0))
+            count(FORCE_EVALUATIONS, len(participants))
+            if self.alignment and coupling.is_shared(process_name, type_name):
+                period = coupling.period(type_name)
+                # ``deltas`` is a fancy-gather copy, safe to fold the
+                # current distribution into in place (a + b commutes).
+                deltas += dist.array(type_name)
+                q_new = modulo_max_rows(deltas, period)
+                if not self.balancing:
+                    q_old = coupling.block_q(index, type_name)
+                    q_new -= q_old
+                    vals = weight * (
+                        row_dots(q_new, q_old)
+                        + lookahead * row_self_dots(q_new)
+                    )
+                    const_parts[type_name] = dict(zip(participants, vals.tolist()))
+                else:
+                    others = coupling.other_blocks_max(index, type_name)
+                    m_old = coupling.process_max(process_name, type_name)
+                    np.maximum(others, q_new, out=q_new)
+                    q_new -= m_old
+                    delta_s = q_new
+                    frozen = (weight * lookahead) * row_self_dots(delta_s)
+                    delta_s *= weight
+                    weighted = delta_s
+                    gdot_vals = row_dots(
+                        weighted, coupling.system_distribution(type_name)
+                    )
+                    const_parts[type_name] = dict(
+                        zip(participants, frozen.tolist())
+                    )
+                    gvec_parts[type_name] = (
+                        weighted,
+                        gdot_vals,
+                        {row: i for i, row in enumerate(participants)},
+                    )
+            else:
+                vals = weight * (
+                    row_dots(deltas, dist.array(type_name))
+                    + lookahead * row_self_dots(deltas)
+                )
+                const_parts[type_name] = dict(zip(participants, vals.tolist()))
+
+        slots_map = self.slot_of[index]
+        # Per-slot scalar array writes are collected in python lists and
+        # flushed as one fancy write per target array (and per type for
+        # the G rows — allocation may grow those, so the flush re-reads
+        # them); the bookkeeping loop itself touches no numpy state.
+        pending: Dict[str, Tuple[List[int], List[int]]] = {}
+        gslot_writes: Dict[Tuple[str, int], Tuple[List[int], List[int]]] = {}
+        slots_list: List[int] = []
+        const_lows: List[float] = []
+        const_highs: List[float] = []
+        etas: List[float] = []
+        gslot = self._gslot
+        for k, op_id in enumerate(fresh_ops):
+            slot = slots_map[op_id]
+            slots_list.append(slot)
+            for side, row, assigned in (
+                (0, 2 * k, self._assigned_low),
+                (1, 2 * k + 1, self._assigned_high),
+            ):
+                for type_name in assigned[slot]:
+                    stale_rows = gslot[type_name]
+                    self._free[type_name].append(int(stale_rows[side, slot]))
+                    stale_rows[side, slot] = 0
+                const = 0.0
+                new_types: List[str] = []
+                for type_name in type_orders[row]:
+                    const += const_parts[type_name][row]
+                    per_type = gvec_parts.get(type_name)
+                    if per_type is not None:
+                        i = per_type[2].get(row)
+                        if i is not None:
+                            row_id = self._alloc_row(type_name)
+                            g_slots, g_rows = gslot_writes.setdefault(
+                                (type_name, side), ([], [])
+                            )
+                            g_slots.append(slot)
+                            g_rows.append(row_id)
+                            row_ids, sources = pending.setdefault(
+                                type_name, ([], [])
+                            )
+                            row_ids.append(row_id)
+                            sources.append(i)
+                            new_types.append(type_name)
+                if side == 0:
+                    const_lows.append(const)
+                else:
+                    const_highs.append(const)
+                assigned[slot] = tuple(new_types)
+            lo, hi = frames.frame(op_id)
+            etas.append(1.0 if hi - lo + 1 <= 2 else 0.5)
+        slots_arr = np.asarray(slots_list, dtype=np.intp)
+        self._const[0, slots_arr] = const_lows
+        self._const[1, slots_arr] = const_highs
+        self._eta[slots_arr] = etas
+        self._fold_stamp[slots_arr] = scan_no
+        for (type_name, side), (g_slots, g_rows) in gslot_writes.items():
+            gslot[type_name][side, g_slots] = g_rows
+        for type_name, (row_ids, sources) in pending.items():
+            weighted, gdot_vals, _rowmap = gvec_parts[type_name]
+            self._g[type_name][row_ids] = weighted[sources]
+            self._gdots[type_name][row_ids] = gdot_vals[sources]
+
+    def _alloc_row(self, type_name: str) -> int:
+        """Next free G row of a type, growing the arrays by doubling."""
+        free = self._free[type_name]
+        if free:
+            return free.pop()
+        top = self._top[type_name]
+        g = self._g[type_name]
+        if top == g.shape[0]:
+            grown = np.zeros((2 * top, g.shape[1]), dtype=float)
+            grown[:top] = g
+            self._g[type_name] = grown
+            grown_dots = np.zeros(2 * top, dtype=float)
+            grown_dots[:top] = self._gdots[type_name]
+            self._gdots[type_name] = grown_dots
+        self._top[type_name] = top + 1
+        return top
+
+
 class ModuloSystemScheduler:
     """Time-constrained modulo scheduling with global resource sharing.
 
@@ -122,6 +712,18 @@ class ModuloSystemScheduler:
             each committed reduction (see docs/performance.md).  The
             reduction sequence is byte-identical to the brute-force scan;
             disable only for A/B measurement.
+        use_kernels: Evaluate selection forces with the batched array
+            kernels (:mod:`repro.scheduling.kernels`): all dirty
+            operations of a block are freshly evaluated in one
+            (op × slot) pass, and stale cached recipes re-assemble with
+            one stacked dot product per global type instead of one tiny
+            ``np.dot`` per term.  Kernel evaluation engages together
+            with ``force_cache``; with the cache disabled the scan uses
+            the scalar reference path regardless (the brute-force arm
+            exists for A/B measurement and stays the bitwise reference).
+            Decisions agree with the scalar path — pinned at decision
+            level by ``tests/core/test_kernel_parity.py`` (see
+            docs/performance.md, "Batched kernels").
         budget: Optional :class:`~repro.validation.budget.RunBudget`
             watchdog; on exhaustion (iterations, wall clock, or detected
             oscillation) the run degrades gracefully to the
@@ -147,6 +749,7 @@ class ModuloSystemScheduler:
         periodical_alignment: bool = True,
         global_balancing: bool = True,
         force_cache: bool = True,
+        use_kernels: bool = True,
         budget: Optional[RunBudget] = None,
         tracer=None,
         audit=None,
@@ -157,6 +760,7 @@ class ModuloSystemScheduler:
         self.periodical_alignment = periodical_alignment
         self.global_balancing = global_balancing
         self.force_cache = force_cache
+        self.use_kernels = use_kernels
         self.budget = budget
         self.tracer = as_tracer(tracer)
         self.audit = audit
@@ -217,10 +821,18 @@ class ModuloSystemScheduler:
                 _Entry(process.name, block, BlockState(block, self.library))
                 for process, block in system.iter_blocks()
             ]
+            if self.use_kernels and self.force_cache:
+                for entry in entries:
+                    entry.scalar_ops = guarded_footprint_ops(entry.state)
             coupling = _GlobalCoupling(entries, assignment, periods)
             caches = (
                 [BlockSelectionCache(entry.state) for entry in entries]
                 if self.force_cache
+                else None
+            )
+            kernel = (
+                _SystemKernel(self, entries, coupling, caches)
+                if caches is not None and self.use_kernels
                 else None
             )
         setup_done = time.perf_counter()
@@ -238,6 +850,7 @@ class ModuloSystemScheduler:
                     entries,
                     coupling,
                     caches,
+                    kernel=kernel,
                     collect=collect,
                     want_detail=audit is not None,
                 )
@@ -278,6 +891,8 @@ class ModuloSystemScheduler:
                     self._invalidate_caches(
                         caches, entries, coupling, entry_index, effect, scopes
                     )
+                if kernel is not None:
+                    kernel.note_commit(entry_index, effect, scopes)
                 side = "low" if shrink_low else "high"
                 if audit is not None:
                     force_low, force_high, cache_kind = detail or (
@@ -427,6 +1042,7 @@ class ModuloSystemScheduler:
         coupling: "_GlobalCoupling",
         caches: Optional[List[BlockSelectionCache]] = None,
         *,
+        kernel: Optional["_SystemKernel"] = None,
         collect: Optional[list] = None,
         want_detail: bool = False,
     ) -> Optional[Tuple[int, str, bool, float, int, Optional[Tuple]]]:
@@ -438,7 +1054,8 @@ class ModuloSystemScheduler:
         ``caches`` the ``(force_low, force_high)`` pair of each clean
         operation is reused from the previous scan; the fold over
         candidates is replayed in the same order either way, so the
-        selected reduction is identical.
+        selected reduction is identical.  With ``kernel`` the whole scan
+        is delegated to the :class:`_SystemKernel` flat arrays.
 
         Audit support is opt-in and observation-only: with ``want_detail``
         the winner's ``(force_low, force_high, cache_kind)`` triple is
@@ -447,6 +1064,8 @@ class ModuloSystemScheduler:
         candidate examined.  Neither changes the scan order or the
         winner.
         """
+        if kernel is not None:
+            return kernel.select(collect=collect, want_detail=want_detail)
         track = want_detail or collect is not None
         best_score = None
         best: Optional[Tuple[int, str, bool]] = None
@@ -455,7 +1074,10 @@ class ModuloSystemScheduler:
         candidates = 0
         for index, entry in enumerate(entries):
             cache = caches[index] if caches is not None else None
-            for op_id in entry.state.frames.unfixed():
+            unfixed = entry.state.frames.unfixed()
+            if not unfixed:
+                continue
+            for op_id in unfixed:
                 candidates += 1
                 lo, hi = entry.state.frames.frame(op_id)
                 if cache is None:
@@ -704,7 +1326,9 @@ class _GlobalCoupling:
         self._s: Dict[str, np.ndarray] = {}
         self._s_version: Dict[str, int] = {}
         self._others: Dict[Tuple[int, str], np.ndarray] = {}
+        self._process_entries: Dict[str, List[int]] = {}
         for index, entry in enumerate(entries):
+            self._process_entries.setdefault(entry.process_name, []).append(index)
             for type_name in self._shared_types(entry):
                 self._q[(index, type_name)] = self._fold(index, type_name)
         for type_name in assignment.global_types:
@@ -754,10 +1378,11 @@ class _GlobalCoupling:
         process_name = self.entries[entry_index].process_name
         period = self.period(type_name)
         result = np.zeros(period, dtype=float)
-        for index, entry in enumerate(self.entries):
-            if index == entry_index or entry.process_name != process_name:
+        entries = self.entries
+        for index in self._process_entries.get(process_name, ()):
+            if index == entry_index:
                 continue
-            if type_name in entry.state.dist.type_names:
+            if type_name in entries[index].state.dist.type_names:
                 np.maximum(result, self.block_q(index, type_name), out=result)
         self._others[key] = result
         return result
@@ -789,8 +1414,8 @@ class _GlobalCoupling:
                 scopes[type_name] = "clean"
                 continue
             self._q[key] = new_q
-            for index, other in enumerate(self.entries):
-                if index != entry_index and other.process_name == entry.process_name:
+            for index in self._process_entries.get(entry.process_name, ()):
+                if index != entry_index:
                     self._others.pop((index, type_name), None)
             if self._rebuild_process(entry.process_name, type_name):
                 self._rebuild_system(type_name)
@@ -818,10 +1443,9 @@ class _GlobalCoupling:
         """Recompute the process maximum ``M``; returns whether it changed."""
         period = self.period(type_name)
         result = np.zeros(period, dtype=float)
-        for index, entry in enumerate(self.entries):
-            if entry.process_name != process_name:
-                continue
-            if type_name in entry.state.dist.type_names:
+        entries = self.entries
+        for index in self._process_entries.get(process_name, ()):
+            if type_name in entries[index].state.dist.type_names:
                 np.maximum(result, self.block_q(index, type_name), out=result)
         key = (process_name, type_name)
         old = self._m.get(key)
@@ -831,8 +1455,16 @@ class _GlobalCoupling:
 
     def _rebuild_system(self, type_name: str) -> None:
         period = self.period(type_name)
-        result = np.zeros(period, dtype=float)
-        for process_name in self.assignment.group(type_name):
-            result += self._m[(process_name, type_name)]
+        rows = [
+            self._m[(process_name, type_name)]
+            for process_name in self.assignment.group(type_name)
+        ]
+        if rows:
+            # Sequential left-fold (reduce lengths this small never take
+            # numpy's pairwise path), value-identical to the old ``+=``
+            # loop starting from zeros.
+            result = np.add.reduce(rows, axis=0)
+        else:
+            result = np.zeros(period, dtype=float)
         self._s[type_name] = result
         self._s_version[type_name] = self._s_version.get(type_name, 0) + 1

@@ -144,6 +144,18 @@ def observe(name: str, value: float) -> None:
         _active.registry.observe(name, value)
 
 
+def observe_many(name: str, value: float, n: int) -> None:
+    """Record ``n`` equal observations on the active registry; else no-op.
+
+    The batched force kernels fold a whole (op × slot) reduction into
+    one aggregate record — e.g. the mean per-evaluation latency times
+    the batch width — so the uninstrumented hot path still pays only a
+    single global load and ``None`` check per batch.
+    """
+    if _active is not None:
+        _active.registry.observe_many(name, value, n)
+
+
 def set_gauge(name: str, value: float) -> None:
     """Sample a gauge on the active registry; no-op when none is."""
     if _active is not None:

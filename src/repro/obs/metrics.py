@@ -144,6 +144,29 @@ class Histogram:
         index = bucket_index(value)
         self.buckets[index] = self.buckets.get(index, 0) + 1
 
+    def observe_many(self, value: float, n: int) -> None:
+        """Record ``n`` observations of the same ``value`` in one call.
+
+        The batched-kernel hot paths record one aggregate per reduction
+        (typically the per-evaluation mean of a batch) instead of one
+        histogram update per candidate, keeping instrumentation overhead
+        bounded regardless of batch width.  Equivalent to calling
+        :meth:`observe` ``n`` times with ``value``: counts, sums,
+        extremes, and bucket tallies all land identically, so summaries
+        stay associative and merge-stable.
+        """
+        if n <= 0:
+            return
+        value = float(value)
+        self.count += n
+        self.sum += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + n
+
     def percentile(self, q: float) -> Optional[float]:
         """Bucket-resolved quantile, clamped to the observed extremes.
 
@@ -292,6 +315,10 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         """Record one histogram observation."""
         self.histogram(name).observe(value)
+
+    def observe_many(self, name: str, value: float, n: int) -> None:
+        """Record ``n`` equal histogram observations in one batched call."""
+        self.histogram(name).observe_many(value, n)
 
     def set_gauge(self, name: str, value: float) -> None:
         """Sample a gauge level."""

@@ -12,6 +12,13 @@ from .forces import (
     uniform_weights,
 )
 from .ifds import ImprovedForceDirectedScheduler, ReductionChoice, evaluate_reduction
+from .kernels import (
+    DeltaBatch,
+    PlacementKernel,
+    batched_occupancy_rows,
+    row_dots,
+    row_self_dots,
+)
 from .list_scheduling import ListScheduler
 from .schedule import BlockSchedule
 from .selection_cache import BlockSelectionCache
@@ -24,20 +31,25 @@ __all__ = [
     "BlockSelectionCache",
     "BlockState",
     "DEFAULT_LOOKAHEAD",
+    "DeltaBatch",
     "ForceDirectedListScheduler",
     "ForceDirectedScheduler",
     "FrameTable",
     "ImprovedForceDirectedScheduler",
     "ListScheduler",
+    "PlacementKernel",
     "ReductionChoice",
     "ReductionEffect",
     "alap_schedule",
     "area_weights",
     "asap_schedule",
+    "batched_occupancy_rows",
     "evaluate_reduction",
     "force_from_deltas",
     "hooke_force",
     "occupancy_row",
     "placement_force",
+    "row_dots",
+    "row_self_dots",
     "uniform_weights",
 ]

@@ -76,11 +76,21 @@ def combine_rows(
             condition, branch = guard
             per_branch = branch_sums.setdefault(condition, {})
             if branch in per_branch:
-                per_branch[branch] = per_branch[branch] + row
+                per_branch[branch] += row
             else:
                 per_branch[branch] = row.astype(float, copy=True)
     for per_branch in branch_sums.values():
-        total += np.maximum.reduce(list(per_branch.values()))
+        # Left fold in insertion order, value-identical to the old
+        # ``np.maximum.reduce(list(...))`` without rebuilding a list of
+        # the dict values on every tentative evaluation.
+        folded: Optional[np.ndarray] = None
+        for branch_sum in per_branch.values():
+            if folded is None:
+                folded = branch_sum
+            else:
+                folded = np.maximum(folded, branch_sum)
+        if folded is not None:
+            total += folded
     return total
 
 
@@ -175,15 +185,27 @@ class BlockDistributions:
         return row
 
     def tentative_array(
-        self, type_name: str, override: Mapping[str, np.ndarray]
+        self,
+        type_name: str,
+        override: Mapping[str, np.ndarray],
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Distribution the type would have with some rows replaced.
 
         Takes the fast additive path when the type has no guarded
-        operations; recombines with branch maxima otherwise.
+        operations; recombines with branch maxima otherwise.  ``out``
+        optionally reuses a caller-owned scratch buffer of length
+        ``horizon`` on the additive path (the hot tentative-evaluation
+        loops call this once per candidate, so per-call allocation is
+        measurable churn); the guarded path ignores it because the
+        branch-max recombination allocates its own accumulator.
         """
         if type_name not in self._guarded_types:
-            result = self._sums[type_name].copy()
+            if out is None:
+                result = self._sums[type_name].copy()
+            else:
+                result = out
+                np.copyto(result, self._sums[type_name])
             for op_id, row in override.items():
                 if self.type_of[op_id] == type_name:
                     result += row - self._rows[op_id]

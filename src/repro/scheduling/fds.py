@@ -21,6 +21,7 @@ from ..resources.library import ResourceLibrary
 from ..validation.budget import RunBudget
 from .fallback import degraded_block_schedule, frames_state_hash
 from .forces import DEFAULT_LOOKAHEAD, placement_force
+from .kernels import PlacementKernel
 from .schedule import BlockSchedule
 from .selection_cache import BlockSelectionCache
 from .state import BlockState
@@ -38,6 +39,12 @@ class ForceDirectedScheduler:
         force_cache: Memoize the per-operation force rows between
             iterations, re-evaluating only the dirty set of each commit;
             decisions are identical to the brute-force scan.
+        use_kernels: Evaluate each operation's whole force row with the
+            batched array kernels (:mod:`repro.scheduling.kernels`)
+            instead of one scalar ``placement_force`` call per step.
+            Decisions agree with the scalar reference path (pinned by
+            the kernel parity tests); disable for A/B measurement or to
+            force the scalar path.
         budget: Optional :class:`~repro.validation.budget.RunBudget`;
             on exhaustion the run degrades to the list-scheduling
             fallback (``degraded=True``) instead of continuing.
@@ -50,6 +57,7 @@ class ForceDirectedScheduler:
         lookahead: float = DEFAULT_LOOKAHEAD,
         weights: Optional[Mapping[str, float]] = None,
         force_cache: bool = True,
+        use_kernels: bool = True,
         budget: Optional[RunBudget] = None,
         tracer=None,
     ) -> None:
@@ -57,6 +65,7 @@ class ForceDirectedScheduler:
         self.lookahead = lookahead
         self.weights = weights
         self.force_cache = force_cache
+        self.use_kernels = use_kernels
         self.budget = budget
         self.tracer = as_tracer(tracer)
 
@@ -65,6 +74,11 @@ class ForceDirectedScheduler:
         tracer = self.tracer
         state = BlockState(block, self.library)
         cache = BlockSelectionCache(state) if self.force_cache else None
+        kernel = (
+            PlacementKernel(state, lookahead=self.lookahead, weights=self.weights)
+            if self.use_kernels
+            else None
+        )
         tracker = self.budget.tracker() if self.budget is not None else None
         iterations = 0
         with tracer.activate(), tracer.span("fds", block=block.name):
@@ -103,16 +117,19 @@ class ForceDirectedScheduler:
                     # uncached scan would.
                     forces = cache.get(op_id) if cache is not None else None
                     if forces is None:
-                        forces = [
-                            placement_force(
-                                state,
-                                op_id,
-                                step,
-                                lookahead=self.lookahead,
-                                weights=self.weights,
-                            )
-                            for step in range(lo, hi + 1)
-                        ]
+                        if kernel is not None:
+                            forces = kernel.forces(op_id, range(lo, hi + 1))
+                        else:
+                            forces = [
+                                placement_force(
+                                    state,
+                                    op_id,
+                                    step,
+                                    lookahead=self.lookahead,
+                                    weights=self.weights,
+                                )
+                                for step in range(lo, hi + 1)
+                            ]
                         if cache is not None:
                             cache.put(op_id, forces)
                     for offset, force in enumerate(forces):

@@ -27,6 +27,7 @@ from ..resources.library import ResourceLibrary
 from ..validation.budget import RunBudget
 from .fallback import degraded_block_schedule, frames_state_hash
 from .forces import DEFAULT_LOOKAHEAD, placement_force
+from .kernels import PlacementKernel
 from .schedule import BlockSchedule
 from .selection_cache import BlockSelectionCache
 from .state import BlockState
@@ -51,11 +52,24 @@ def evaluate_reduction(
     *,
     lookahead: float = DEFAULT_LOOKAHEAD,
     weights: Optional[Mapping[str, float]] = None,
+    kernel: Optional[PlacementKernel] = None,
 ) -> ReductionChoice:
-    """Evaluate the IFDS reduction candidate for one mobile operation."""
+    """Evaluate the IFDS reduction candidate for one mobile operation.
+
+    With ``kernel`` both frame-end forces come from one batched
+    evaluation (:meth:`~repro.scheduling.kernels.PlacementKernel.forces`)
+    instead of two scalar ``placement_force`` calls.
+    """
     lo, hi = state.frames.frame(op_id)
-    force_low = placement_force(state, op_id, lo, lookahead=lookahead, weights=weights)
-    force_high = placement_force(state, op_id, hi, lookahead=lookahead, weights=weights)
+    if kernel is not None:
+        force_low, force_high = kernel.forces(op_id, (lo, hi))
+    else:
+        force_low = placement_force(
+            state, op_id, lo, lookahead=lookahead, weights=weights
+        )
+        force_high = placement_force(
+            state, op_id, hi, lookahead=lookahead, weights=weights
+        )
     eta = 1.0 if hi - lo + 1 <= 2 else 0.5
     score = eta * abs(force_low - force_high)
     # Shrink at the side with the higher force (drop the worst placement);
@@ -76,7 +90,9 @@ class ImprovedForceDirectedScheduler:
     With ``force_cache`` enabled (the default) the per-operation
     :class:`ReductionChoice` evaluations are memoized between iterations
     and only the dirty set of each committed reduction is re-evaluated;
-    decisions are identical to the brute-force scan.
+    decisions are identical to the brute-force scan.  With
+    ``use_kernels`` (also the default) fresh evaluations go through the
+    batched array kernels; disable for the scalar reference path.
 
     ``budget`` optionally bounds the run; on exhaustion the block is
     rescheduled by the list-scheduling fallback and the result is tagged
@@ -90,6 +106,7 @@ class ImprovedForceDirectedScheduler:
         lookahead: float = DEFAULT_LOOKAHEAD,
         weights: Optional[Mapping[str, float]] = None,
         force_cache: bool = True,
+        use_kernels: bool = True,
         budget: Optional[RunBudget] = None,
         tracer=None,
     ) -> None:
@@ -97,6 +114,7 @@ class ImprovedForceDirectedScheduler:
         self.lookahead = lookahead
         self.weights = weights
         self.force_cache = force_cache
+        self.use_kernels = use_kernels
         self.budget = budget
         self.tracer = as_tracer(tracer)
 
@@ -105,6 +123,11 @@ class ImprovedForceDirectedScheduler:
         tracer = self.tracer
         state = BlockState(block, self.library)
         cache = BlockSelectionCache(state) if self.force_cache else None
+        kernel = (
+            PlacementKernel(state, lookahead=self.lookahead, weights=self.weights)
+            if self.use_kernels
+            else None
+        )
         tracker = self.budget.tracker() if self.budget is not None else None
         iterations = 0
         with tracer.activate(), tracer.span("ifds", block=block.name):
@@ -138,7 +161,11 @@ class ImprovedForceDirectedScheduler:
                     choice = cache.get(op_id) if cache is not None else None
                     if choice is None:
                         choice = evaluate_reduction(
-                            state, op_id, lookahead=self.lookahead, weights=self.weights
+                            state,
+                            op_id,
+                            lookahead=self.lookahead,
+                            weights=self.weights,
+                            kernel=kernel,
                         )
                         if cache is not None:
                             cache.put(op_id, choice)

@@ -44,6 +44,11 @@ class BlockState:
         self.library = library
         self.frames = FrameTable(block.graph, library.latency_of, block.deadline)
         self.dist = BlockDistributions(block.graph, library, self.frames)
+        # Scratch buffer for tentative-array evaluation: one horizon-length
+        # array reused across every placement_deltas call instead of a
+        # fresh allocation per (candidate, type).  Single-threaded use
+        # only, like the rest of the scheduling state.
+        self._scratch = np.empty(self.frames.deadline, dtype=float)
 
     @property
     def deadline(self) -> int:
@@ -70,7 +75,7 @@ class BlockState:
 
         deltas: Dict[str, np.ndarray] = {}
         for type_name in {self.dist.type_of[oid] for oid in overrides}:
-            after = self.dist.tentative_array(type_name, overrides)
+            after = self.dist.tentative_array(type_name, overrides, out=self._scratch)
             deltas[type_name] = after - self.dist.array(type_name)
         return deltas
 

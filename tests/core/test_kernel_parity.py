@@ -1,0 +1,190 @@
+"""Decision parity of the batched force kernels (docs/performance.md).
+
+The array kernels must change *how* forces are computed, never *which*
+reduction wins: a ``use_kernels=True`` run of the coupled scheduler must
+make the identical sequence of reduction decisions — same (process,
+block, op, side) at every iteration — and land on the same schedules,
+area, and telemetry counters as the scalar reference path.  Pinned over
+the paper workload, a guarded/conditional workload, and 20 seeded
+random systems (the ISSUE 7 acceptance oracle).
+
+Counter equality is deliberately strict: the kernel engine mirrors the
+scalar cache's classification (hits, misses, invalidations, assemblies,
+evaluations) event for event, so any drift in the dirty-set or
+staleness bookkeeping shows up here before it can perturb a decision.
+"""
+
+import pytest
+
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.process import Block, Process, SystemSpec
+from repro.obs import Tracer
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.forces import area_weights
+from repro.workloads import (
+    mode_switching_filter,
+    paper_assignment,
+    paper_periods,
+    paper_system,
+    random_dfg,
+)
+
+
+def run_scheduler(system, library, assignment, periods, *, use_kernels, weights=None):
+    """One traced run; returns (decisions, starts, area, counters)."""
+    tracer = Tracer()
+    scheduler = ModuloSystemScheduler(
+        library, weights=weights, use_kernels=use_kernels, tracer=tracer
+    )
+    result = scheduler.schedule(system, assignment, periods)
+    decisions = [
+        (e.attrs["process"], e.attrs["block"], e.attrs["op"], e.attrs["side"])
+        for e in tracer.events_named("reduction")
+    ]
+    starts = {key: sched.starts for key, sched in result.block_schedules.items()}
+    return decisions, starts, result.total_area(), tracer.counters.as_dict()
+
+
+def assert_parity(system_factory, library, assignment_factory, periods, weights=None):
+    """Kernel and scalar runs must agree on every decision and counter."""
+    kernel = run_scheduler(
+        system_factory(),
+        library,
+        assignment_factory(),
+        periods,
+        use_kernels=True,
+        weights=weights,
+    )
+    scalar = run_scheduler(
+        system_factory(),
+        library,
+        assignment_factory(),
+        periods,
+        use_kernels=False,
+        weights=weights,
+    )
+    assert kernel[0] == scalar[0], "reduction sequences diverged"
+    assert kernel[1] == scalar[1], "final schedules diverged"
+    assert kernel[2] == scalar[2], "total area diverged"
+    assert kernel[3] == scalar[3], "telemetry counters diverged"
+    return kernel[3]
+
+
+class TestPaperSystemParity:
+    def test_paper_system_identical_decisions_and_schedule(self):
+        _system, library = paper_system()
+
+        counters = assert_parity(
+            lambda: paper_system()[0],
+            library,
+            lambda: paper_assignment(library),
+            paper_periods(),
+            weights=area_weights(library),
+        )
+        assert counters.get("force_evaluations", 0) > 0
+
+
+class TestGuardedWorkloadParity:
+    def test_mode_switching_system(self):
+        """Guarded footprints take the scalar fallback inside the kernel
+        engine; decisions and counters still match the reference path."""
+        library = default_library()
+
+        def build_system():
+            system = SystemSpec(name="modal")
+            for index, taps in enumerate((3, 4)):
+                graph = mode_switching_filter(taps, name=f"g{index}")
+                deadline = graph.critical_path_length(library.latency_of) + 4
+                process = Process(name=f"p{index}")
+                process.add_block(
+                    Block(name="main", graph=graph, deadline=deadline)
+                )
+                system.add_process(process)
+            return system
+
+        def build_assignment():
+            return ResourceAssignment.all_global(library, build_system())
+
+        periods = PeriodAssignment(
+            {name: 3 for name in build_assignment().global_types}
+        )
+        assert_parity(build_system, library, build_assignment, periods)
+
+
+class TestRandomPopulationParity:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_system(self, seed):
+        library = default_library()
+
+        def build_system():
+            system = SystemSpec(name=f"rand{seed}")
+            for index in range(3):
+                graph = random_dfg(8, seed=100 * seed + index)
+                deadline = graph.critical_path_length(library.latency_of) + 4
+                process = Process(name=f"p{index}")
+                process.add_block(
+                    Block(name="main", graph=graph, deadline=deadline)
+                )
+                system.add_process(process)
+            return system
+
+        def build_assignment():
+            return ResourceAssignment.all_global(library, build_system())
+
+        periods = PeriodAssignment(
+            {name: 4 for name in build_assignment().global_types}
+        )
+        assert_parity(build_system, library, build_assignment, periods)
+
+
+class TestModificationTogglesParity:
+    """The kernel engine must agree with the scalar path in every
+    alignment/balancing mode, not just the full modification."""
+
+    @pytest.mark.parametrize(
+        "alignment,balancing",
+        [(True, True), (True, False), (False, False)],
+    )
+    def test_toggle_parity(self, alignment, balancing):
+        library = default_library()
+
+        def build_system():
+            system = SystemSpec(name="toggles")
+            for index in range(3):
+                graph = random_dfg(8, seed=4242 + index)
+                deadline = graph.critical_path_length(library.latency_of) + 4
+                process = Process(name=f"p{index}")
+                process.add_block(
+                    Block(name="main", graph=graph, deadline=deadline)
+                )
+                system.add_process(process)
+            return system
+
+        def build_assignment():
+            return ResourceAssignment.all_global(library, build_system())
+
+        periods = PeriodAssignment(
+            {name: 4 for name in build_assignment().global_types}
+        )
+
+        def run(use_kernels):
+            tracer = Tracer()
+            scheduler = ModuloSystemScheduler(
+                library,
+                periodical_alignment=alignment,
+                global_balancing=balancing,
+                use_kernels=use_kernels,
+                tracer=tracer,
+            )
+            result = scheduler.schedule(
+                build_system(), build_assignment(), periods
+            )
+            starts = {
+                key: sched.starts
+                for key, sched in result.block_schedules.items()
+            }
+            return starts, result.total_area(), tracer.counters.as_dict()
+
+        assert run(True) == run(False)

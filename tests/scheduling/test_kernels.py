@@ -1,0 +1,302 @@
+"""Property tests for the batched force kernels (docs/performance.md).
+
+The kernels promise two different strengths of agreement with the
+scalar reference path, and these tests pin both:
+
+* **bit-exact** — occupancy rows, modulo folds, and ``DeltaBatch``
+  displacement rows are elementwise constructions and must equal the
+  scalar results bit for bit, on arbitrary frames, occupancies, and
+  periods (``assert_array_equal``, no tolerance);
+* **decision-level** — force totals go through batched matrix products
+  whose BLAS summation order may differ from the scalar ``np.dot``
+  sequence by ulps; they are compared against an epsilon far below the
+  ``1e-12`` decision threshold every scheduler uses.
+
+Edge cases named by the kernel contracts are covered explicitly:
+empty candidate batches, single-slot frames, occupancy wider than the
+frame, guarded (modal) fallback, and dtype stability.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from numpy.testing import assert_array_equal
+
+from repro.core.modulo import modulo_max_reference, modulo_max_rows
+from repro.errors import SchedulingError
+from repro.ir.process import Block
+from repro.resources.library import default_library
+from repro.scheduling.distribution import occupancy_row
+from repro.scheduling.forces import placement_force
+from repro.scheduling.kernels import (
+    DeltaBatch,
+    PlacementKernel,
+    batched_occupancy_rows,
+    guarded_footprint_ops,
+    row_dots,
+    row_self_dots,
+)
+from repro.scheduling.state import BlockState
+from repro.workloads import mode_switching_filter, random_dfg
+
+LIBRARY = default_library()
+
+#: Decisions compare forces against 1e-12; batching noise is ~1e-16.
+DECISION_EPS = 1e-12
+
+
+def random_state(seed, ops=8, slack=5):
+    """A BlockState over a random DFG with a feasible deadline."""
+    graph = random_dfg(ops, seed=seed)
+    deadline = graph.critical_path_length(LIBRARY.latency_of) + slack
+    return BlockState(Block(name=f"b{seed}", graph=graph, deadline=deadline), LIBRARY)
+
+
+def scrambled_state(seed, reductions=3):
+    """A random state after a few committed reductions (mixed frames)."""
+    state = random_state(seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(reductions):
+        mobile = state.frames.unfixed()
+        if not mobile:
+            break
+        op_id = mobile[int(rng.integers(len(mobile)))]
+        lo, hi = state.frames.frame(op_id)
+        if rng.integers(2):
+            state.commit_reduce_effect(op_id, lo + 1, hi)
+        else:
+            state.commit_reduce_effect(op_id, lo, hi - 1)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# batched_occupancy_rows
+# ---------------------------------------------------------------------------
+frame_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=12),  # lo offset
+        st.integers(min_value=0, max_value=12),  # frame width - 1
+        st.integers(min_value=1, max_value=6),  # occupancy
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(frames=frame_lists)
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+def test_batched_occupancy_rows_bit_match_scalar(frames):
+    los = [lo for lo, width, _occ in frames]
+    his = [lo + width for lo, width, _occ in frames]
+    occs = [occ for _lo, _width, occ in frames]
+    horizon = max(hi + occ for hi, occ in zip(his, occs))
+    batched = batched_occupancy_rows(los, his, occs, horizon)
+    assert batched.shape == (len(frames), horizon)
+    assert batched.dtype == np.float64
+    for i, (lo, hi, occ) in enumerate(zip(los, his, occs)):
+        assert_array_equal(batched[i], occupancy_row(lo, hi, occ, horizon))
+
+
+def test_batched_occupancy_scalar_occupancy_and_out_buffer():
+    los, his = [0, 2, 5], [4, 2, 9]
+    horizon = 12
+    out = np.full((5, horizon), np.nan)
+    batched = batched_occupancy_rows(los, his, 3, horizon, out=out)
+    assert batched.base is out or batched is out[:3]
+    for i, (lo, hi) in enumerate(zip(los, his)):
+        assert_array_equal(batched[i], occupancy_row(lo, hi, 3, horizon))
+    # validate=False takes the unchecked internal path, same values.
+    assert_array_equal(
+        batched_occupancy_rows(los, his, 3, horizon, validate=False), batched
+    )
+
+
+def test_batched_occupancy_single_slot_and_wider_than_frame():
+    # Single-slot frame (lo == hi) with occupancy wider than the frame:
+    # the sliding window clips exactly like the scalar row.
+    assert_array_equal(
+        batched_occupancy_rows([3], [3], 4, 10)[0], occupancy_row(3, 3, 4, 10)
+    )
+
+
+def test_batched_occupancy_empty_batch():
+    rows = batched_occupancy_rows([], [], 2, 8)
+    assert rows.shape == (0, 8)
+
+
+def test_batched_occupancy_rejects_bad_frames():
+    with pytest.raises(SchedulingError):
+        batched_occupancy_rows([3], [2], 1, 8)  # empty frame
+    with pytest.raises(SchedulingError):
+        batched_occupancy_rows([0], [7], 2, 8)  # exceeds horizon
+    with pytest.raises(SchedulingError):
+        batched_occupancy_rows([0, 1], [2], 1, 8)  # shape mismatch
+
+
+# ---------------------------------------------------------------------------
+# modulo_max_rows
+# ---------------------------------------------------------------------------
+@given(
+    matrix=st.lists(
+        st.lists(
+            st.floats(
+                min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+            ),
+            min_size=0,
+            max_size=17,
+        ),
+        min_size=0,
+        max_size=6,
+    ).filter(lambda rows: len({len(r) for r in rows}) <= 1),
+    period=st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+def test_modulo_max_rows_bit_match_reference(matrix, period):
+    horizon = len(matrix[0]) if matrix else 0
+    rows = np.asarray(matrix, dtype=float).reshape(len(matrix), horizon)
+    folded = modulo_max_rows(rows, period)
+    assert folded.shape == (len(matrix), period)
+    assert folded.dtype == np.float64
+    for i, row in enumerate(rows):
+        assert_array_equal(folded[i], modulo_max_reference(row, period))
+
+
+def test_modulo_max_rows_int_dtype_stable():
+    rows = np.asarray([[3, -1, 2, 5, 0], [1, 1, 1, 1, 1]], dtype=np.int64)
+    folded = modulo_max_rows(rows, 2)
+    assert folded.dtype == np.int64
+    for i, row in enumerate(rows):
+        assert_array_equal(folded[i], modulo_max_reference(row, 2))
+
+
+def test_modulo_max_rows_horizon_shorter_than_period():
+    rows = np.asarray([[2.0, -3.0]])
+    assert_array_equal(modulo_max_rows(rows, 5)[0], modulo_max_reference(rows[0], 5))
+
+
+# ---------------------------------------------------------------------------
+# row dot helpers
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50)
+def test_row_dot_helpers_match_scalar_dots(seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(5, 9))
+    vector = rng.normal(size=9)
+    dots = row_dots(matrix, vector)
+    selfs = row_self_dots(matrix)
+    for i in range(matrix.shape[0]):
+        assert abs(dots[i] - float(np.dot(matrix[i], vector))) < DECISION_EPS
+        assert abs(selfs[i] - float(np.dot(matrix[i], matrix[i]))) < DECISION_EPS
+
+
+# ---------------------------------------------------------------------------
+# DeltaBatch vs BlockState.placement_deltas (bit parity)
+# ---------------------------------------------------------------------------
+def assert_batch_matches_scalar(state, candidates):
+    batch = DeltaBatch(state, candidates)
+    for row, (op_id, start) in enumerate(candidates):
+        scalar = state.placement_deltas(op_id, start)
+        # The scalar dict iterates a set, so only the membership is
+        # deterministic; the batch pins first-occurrence order on top.
+        assert set(batch.type_orders[row]) == set(scalar.keys())
+        for type_name, delta in scalar.items():
+            assert_array_equal(
+                batch.deltas[type_name][row],
+                delta,
+                err_msg=f"{op_id}@{start} type {type_name}",
+            )
+        # Rows of types the candidate does not displace stay exact zero.
+        for type_name, matrix in batch.deltas.items():
+            if type_name not in scalar:
+                assert not matrix[row].any()
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_delta_batch_narrow_bit_parity(seed):
+    """Frame-end batches (IFDS shape) replay the scalar accumulation."""
+    state = scrambled_state(seed)
+    fallback = guarded_footprint_ops(state)
+    candidates = []
+    for op_id in state.frames.unfixed():
+        if op_id in fallback:
+            continue
+        lo, hi = state.frames.frame(op_id)
+        candidates.extend([(op_id, lo), (op_id, hi)])
+    if candidates:
+        assert_batch_matches_scalar(state, candidates)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_delta_batch_wide_bit_parity(seed):
+    """Whole-frame batches (FDS shape) through the stacked-occupancy path."""
+    state = scrambled_state(seed)
+    fallback = guarded_footprint_ops(state)
+    candidates = []
+    for op_id in state.frames.unfixed():
+        if op_id in fallback:
+            continue
+        lo, hi = state.frames.frame(op_id)
+        candidates.extend((op_id, step) for step in range(lo, hi + 1))
+    if candidates:
+        assert_batch_matches_scalar(state, candidates)
+
+
+def test_delta_batch_empty_candidates():
+    state = random_state(0)
+    batch = DeltaBatch(state, [])
+    assert batch.deltas == {}
+    assert batch.type_orders == []
+
+
+def test_delta_batch_single_slot_frame():
+    state = random_state(1)
+    op_id = state.frames.unfixed()[0]
+    lo, _hi = state.frames.frame(op_id)
+    state.commit_reduce_effect(op_id, lo, lo)
+    assert_batch_matches_scalar(state, [(op_id, lo), (op_id, lo)])
+
+
+def test_delta_batch_dtype_stability():
+    state = random_state(2)
+    op_id = state.frames.unfixed()[0]
+    lo, hi = state.frames.frame(op_id)
+    batch = DeltaBatch(state, [(op_id, lo), (op_id, hi)])
+    for matrix in batch.deltas.values():
+        assert matrix.dtype == np.float64
+
+
+# ---------------------------------------------------------------------------
+# PlacementKernel vs placement_force
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_placement_kernel_decision_level_parity(seed):
+    state = scrambled_state(seed)
+    kernel = PlacementKernel(state)
+    for op_id in state.frames.unfixed():
+        lo, hi = state.frames.frame(op_id)
+        steps = range(lo, hi + 1)
+        batched = kernel.forces(op_id, steps)
+        scalar = [placement_force(state, op_id, step) for step in steps]
+        assert len(batched) == len(scalar)
+        for got, want in zip(batched, scalar):
+            assert abs(got - want) < DECISION_EPS
+
+
+def test_guarded_footprint_falls_back_to_scalar_bitwise():
+    """Modal blocks route guarded-footprint ops through placement_force;
+    results there are bit-identical (the kernel delegates verbatim)."""
+    graph = mode_switching_filter(4, name="modal")
+    deadline = graph.critical_path_length(LIBRARY.latency_of) + 4
+    state = BlockState(Block(name="m", graph=graph, deadline=deadline), LIBRARY)
+    kernel = PlacementKernel(state)
+    assert kernel.scalar_ops, "modal workload must have a guarded footprint"
+    for op_id in sorted(kernel.scalar_ops):
+        lo, hi = state.frames.frame(op_id)
+        batched = kernel.forces(op_id, range(lo, hi + 1))
+        for step, got in zip(range(lo, hi + 1), batched):
+            assert got == placement_force(state, op_id, step)

@@ -40,6 +40,40 @@ def _sweep_report(evaluated=10, pruned_wall=0.5):
     }
 
 
+def _kernel_report(vector=0.1, kernel_wall=0.5):
+    return {
+        "kernels": [
+            {
+                "name": "modulo_max",
+                "processes": 6,
+                "batch": 100,
+                "loops": 20,
+                "scalar_seconds": 1.0,
+                "vector_seconds": vector,
+                "speedup": 1.0 / vector,
+            },
+        ],
+        "end_to_end": [
+            {
+                "processes": 6,
+                "kernel": {
+                    "area": 10.0,
+                    "iterations": 100,
+                    "force_evaluations": 1000,
+                    "wall_time": kernel_wall,
+                },
+                "scalar": {
+                    "area": 10.0,
+                    "iterations": 100,
+                    "force_evaluations": 1000,
+                    "wall_time": 1.0,
+                },
+                "speedup": 1.0 / kernel_wall,
+            },
+        ],
+    }
+
+
 def _run(tmp_path, kind, current, baseline, *extra):
     cur = tmp_path / "current.json"
     base = tmp_path / "baseline.json"
@@ -130,10 +164,55 @@ class TestSweepGate:
         capsys.readouterr()
 
 
+class TestKernelsGate:
+    def test_identical_run_passes(self, tmp_path, capsys):
+        assert _run(tmp_path, "kernels", _kernel_report(), _kernel_report()) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_vector_slowdown_fails(self, tmp_path, capsys):
+        current = _kernel_report(vector=0.2)  # ratio doubled vs baseline
+        assert _run(tmp_path, "kernels", current, _kernel_report()) == 1
+        assert "vector/scalar" in capsys.readouterr().out
+
+    def test_end_to_end_slowdown_fails(self, tmp_path, capsys):
+        current = _kernel_report(kernel_wall=0.9)
+        assert _run(tmp_path, "kernels", current, _kernel_report()) == 1
+        assert "kernel/scalar" in capsys.readouterr().out
+
+    def test_eval_count_regression_fails(self, tmp_path, capsys):
+        current = _kernel_report()
+        current["end_to_end"][0]["kernel"]["force_evaluations"] = 1300
+        assert _run(tmp_path, "kernels", current, _kernel_report()) == 1
+        capsys.readouterr()
+
+    def test_workload_mismatch_demands_new_baseline(self, tmp_path, capsys):
+        current = _kernel_report()
+        current["kernels"][0]["batch"] = 999
+        assert _run(tmp_path, "kernels", current, _kernel_report()) == 1
+        assert "regenerate the baseline" in capsys.readouterr().out
+
+    def test_unmatched_rows_are_skipped_not_failed(self, tmp_path, capsys):
+        current = _kernel_report()
+        current["kernels"].append(dict(current["kernels"][0], processes=12))
+        current["end_to_end"].append(
+            dict(current["end_to_end"][0], processes=12)
+        )
+        assert _run(tmp_path, "kernels", current, _kernel_report()) == 0
+        assert "SKIP" in capsys.readouterr().out
+
+    def test_no_matched_rows_fails(self, tmp_path, capsys):
+        current = _kernel_report()
+        current["kernels"][0]["processes"] = 12
+        current["end_to_end"][0]["processes"] = 12
+        assert _run(tmp_path, "kernels", current, _kernel_report()) == 1
+        capsys.readouterr()
+
+
 class TestCommittedBaselines:
     @pytest.mark.parametrize("name", [
         "BENCH_scaling_smoke.json",
         "BENCH_sweep_smoke.json",
+        "BENCH_kernel_smoke.json",
     ])
     def test_baseline_files_parse(self, name):
         path = _MODULE_PATH.parent / "baselines" / name
