@@ -1,0 +1,190 @@
+"""Experiment A8 — selection-scoreboard A/B on the scenario corpus.
+
+PR 8's dirty-cone selection scoreboard removes the per-iteration full
+candidate rescan: a scan rescores only the entries inside the commit's
+dirty cone and folds every other entry from its cached incumbent.  This
+benchmark measures the end-to-end effect on the scenario corpus
+(:mod:`repro.workloads.corpus` — filter banks, ODE solver chains, and
+I/O-timing kernels with eleven globally shared clusters) at 50, 100,
+and 200 processes.
+
+Each size runs twice — full rescan (``use_scoreboard=False``) and
+scoreboard (the default) — and the rows assert decision parity:
+iterations, area, and every telemetry counter except the scoreboard's
+own ``selection_rescored`` / ``selection_skipped`` split must match
+bit-for-bit.  The headline number is the wall-time speedup; the target
+is >= 3x at 100+ processes on top of the PR 7 kernel path.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --processes 10 20 \
+        --out BENCH_scale.json
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+from conftest import save_artifact
+from repro.obs import Tracer
+
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.workloads import corpus_system
+
+PROCESS_COUNTS = (50, 100, 200)
+SEED = 1
+
+#: Counters owned by the scoreboard itself: the only telemetry allowed
+#: to differ between the two arms.
+SCOREBOARD_COUNTERS = ("selection_rescored", "selection_skipped")
+
+
+def run_one(instance, *, use_scoreboard):
+    """Schedule one corpus instance; returns a flat metrics dict."""
+    scheduler = ModuloSystemScheduler(
+        instance.library, use_scoreboard=use_scoreboard, tracer=Tracer()
+    )
+    started = time.perf_counter()
+    result = scheduler.schedule(
+        instance.system, instance.assignment, instance.periods
+    )
+    elapsed = time.perf_counter() - started
+    counters = dict(result.telemetry.get("counters", {}))
+    return {
+        "iterations": result.iterations,
+        "wall_time": elapsed,
+        "area": result.total_area(),
+        "force_evaluations": counters.get("force_evaluations", 0),
+        "selection_rescored": counters.get("selection_rescored", 0),
+        "selection_skipped": counters.get("selection_skipped", 0),
+        "counters": counters,
+    }
+
+
+def comparable_counters(arm):
+    """An arm's counters minus the scoreboard-owned split."""
+    return {
+        name: value
+        for name, value in arm["counters"].items()
+        if name not in SCOREBOARD_COUNTERS
+    }
+
+
+def run_scale(process_counts=PROCESS_COUNTS, *, seed=SEED):
+    """A/B rows per corpus size: full rescan vs selection scoreboard."""
+    rows = []
+    for n_processes in process_counts:
+        instance = corpus_system(n_processes, seed=seed)
+        n_blocks = sum(
+            len(process.blocks) for process in instance.system.processes
+        )
+        off = run_one(instance, use_scoreboard=False)
+        on = run_one(instance, use_scoreboard=True)
+        if comparable_counters(on) != comparable_counters(off):
+            raise AssertionError(
+                f"telemetry parity violated at {n_processes} processes"
+            )
+        rescored = on["selection_rescored"]
+        skipped = on["selection_skipped"]
+        entries_scanned = rescored + skipped
+        rows.append({
+            "processes": n_processes,
+            "seed": seed,
+            "blocks": n_blocks,
+            "operations": instance.system.operation_count,
+            "iterations": on["iterations"],
+            "area": on["area"],
+            "scoreboard_off": off,
+            "scoreboard_on": on,
+            "speedup": (
+                off["wall_time"] / on["wall_time"]
+                if on["wall_time"]
+                else float("inf")
+            ),
+            "rescored_fraction": (
+                rescored / entries_scanned if entries_scanned else 0.0
+            ),
+        })
+    return rows
+
+
+def format_report(rows):
+    lines = [
+        "A8: selection-scoreboard A/B on the scenario corpus",
+        "(heterogeneous filter-bank / ODE-chain / I/O-kernel processes, "
+        "11 shared clusters)",
+        "",
+        f"{'procs':>5} {'blocks':>6} {'ops':>6} {'iterations':>11} "
+        f"{'area':>8} {'scan_s':>8} {'board_s':>8} {'speedup':>8} "
+        f"{'rescored':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['processes']:>5} {row['blocks']:>6} "
+            f"{row['operations']:>6} {row['iterations']:>11} "
+            f"{row['area']:>8g} "
+            f"{row['scoreboard_off']['wall_time']:>8.2f} "
+            f"{row['scoreboard_on']['wall_time']:>8.2f} "
+            f"{row['speedup']:>7.2f}x "
+            f"{100 * row['rescored_fraction']:>8.2f}%"
+        )
+    lines.append("")
+    lines.append(
+        "parity: iterations, area, and all non-scoreboard counters are "
+        "bit-identical per row (asserted at generation time)"
+    )
+    return "\n".join(lines)
+
+
+def test_scale(benchmark):
+    # Smoke sizes: the full 50/100/200 run is the standalone artifact.
+    rows = benchmark.pedantic(
+        run_scale, kwargs={"process_counts": (10, 20)}, rounds=1, iterations=1
+    )
+    for row in rows:
+        off = row["scoreboard_off"]
+        on = row["scoreboard_on"]
+        assert on["iterations"] == off["iterations"]
+        assert on["area"] == off["area"]
+        assert comparable_counters(on) == comparable_counters(off)
+        # The scoreboard must actually skip work: the rescored share of
+        # all entry visits stays a small fraction on corpus systems.
+        assert row["rescored_fraction"] < 0.5
+    save_artifact("scale", format_report(rows), data=rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--processes",
+        type=int,
+        nargs="+",
+        default=list(PROCESS_COUNTS),
+        help="corpus sizes (number of processes) to run",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=SEED,
+        help="corpus generator seed",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the machine-readable report to this JSON file",
+    )
+    args = parser.parse_args(argv)
+    rows = run_scale(tuple(args.processes), seed=args.seed)
+    print(format_report(rows))
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(rows, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,9 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py \
         --kind kernels --current BENCH_kernel.json \
         --baseline benchmarks/baselines/BENCH_kernel_smoke.json
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --kind scale --current BENCH_scale.json \
+        --baseline benchmarks/baselines/BENCH_scale_smoke.json
 
 The committed baselines under ``benchmarks/baselines/`` are smoke-scale
 runs matching the CI invocations; the root-level ``BENCH_scaling.json``
@@ -128,6 +131,56 @@ def check_scaling(gate, current, baseline):
         gate.failures.append("no scaling rows matched the baseline")
 
 
+def check_scale(gate, current, baseline):
+    """Scoreboard A/B rows on the scenario corpus (bench_scale.py)."""
+    base_rows = {row["processes"]: row for row in baseline}
+    matched = 0
+    for row in current:
+        base = base_rows.get(row["processes"])
+        if base is None:
+            gate.skip(f"no baseline row for processes={row['processes']}")
+            continue
+        matched += 1
+        n = row["processes"]
+        on = row["scoreboard_on"]
+        off = row["scoreboard_off"]
+        # Decision parity between the arms is a hard invariant, not a
+        # tolerance check: the scoreboard must replay the scan exactly.
+        if (on["iterations"], on["area"]) != (off["iterations"], off["area"]):
+            gate.failures.append(
+                f"[{n}p] scoreboard arm parity violated: "
+                f"{on['iterations']}/{on['area']} vs "
+                f"{off['iterations']}/{off['area']}"
+            )
+            continue
+        gate.check_quality(f"[{n}p] area", row["area"], base["area"])
+        gate.check_count(
+            f"[{n}p] iterations", row["iterations"], base["iterations"]
+        )
+        for arm in ("scoreboard_on", "scoreboard_off"):
+            gate.check_count(
+                f"[{n}p] {arm} force_evaluations",
+                row[arm]["force_evaluations"],
+                base[arm]["force_evaluations"],
+            )
+        # Deterministic scoreboard work split: more rescoring means the
+        # dirty cone grew (an incremental-selection regression).
+        gate.check_count(
+            f"[{n}p] selection_rescored",
+            on["selection_rescored"],
+            base["scoreboard_on"]["selection_rescored"],
+        )
+        _wall_ratio(
+            gate,
+            f"[{n}p] scoreboard/scan wall-time ratio",
+            on["wall_time"], off["wall_time"],
+            base["scoreboard_on"]["wall_time"],
+            base["scoreboard_off"]["wall_time"],
+        )
+    if matched == 0:
+        gate.failures.append("no scale rows matched the baseline")
+
+
 def check_sweep(gate, current, baseline):
     if current["candidates"] != baseline["candidates"]:
         gate.failures.append(
@@ -216,7 +269,8 @@ def check_kernels(gate, current, baseline):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--kind", choices=("scaling", "sweep", "kernels"),
+    parser.add_argument("--kind",
+                        choices=("scaling", "sweep", "kernels", "scale"),
                         required=True)
     parser.add_argument("--current", required=True,
                         help="freshly generated benchmark JSON")
@@ -236,6 +290,8 @@ def main(argv=None):
         check_scaling(gate, current, baseline)
     elif args.kind == "kernels":
         check_kernels(gate, current, baseline)
+    elif args.kind == "scale":
+        check_scale(gate, current, baseline)
     else:
         check_sweep(gate, current, baseline)
 

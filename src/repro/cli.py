@@ -160,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler wall-clock budget; exceeding it degrades to the "
         "list-scheduling fallback",
     )
+    schedule.add_argument(
+        "--no-scoreboard",
+        action="store_true",
+        help="select reductions with the full candidate rescan instead "
+        "of the incremental dirty-cone scoreboard (decisions are "
+        "identical; see docs/performance.md)",
+    )
 
     compare = sub.add_parser(
         "compare",
@@ -242,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream one progress line per candidate (evaluated or "
         "pruned) to stderr as the engine's events arrive",
+    )
+    sweep.add_argument(
+        "--no-scoreboard",
+        action="store_true",
+        help="evaluate candidates with the full candidate rescan "
+        "instead of the incremental dirty-cone scoreboard (decisions "
+        "are identical; see docs/performance.md)",
     )
 
     check = sub.add_parser(
@@ -623,6 +637,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     kwargs = {} if budget is None else {"budget": budget}
     if audit is not None:
         kwargs["audit"] = audit
+    if args.no_scoreboard:
+        kwargs["use_scoreboard"] = False
     if args.local:
         result = problem.schedule_local_baseline(tracer=tracer, **kwargs)
     else:
@@ -781,6 +797,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         timeout=args.job_timeout,
         tracer=tracer,
         checkpoint=args.resume,
+        use_scoreboard=not args.no_scoreboard,
     )
     outcome = engine.sweep(
         candidates, on_result=show if args.verbose else None

@@ -43,6 +43,8 @@ from ..obs.counters import (
     FORCE_CACHE_ASSEMBLIES,
     FORCE_CACHE_HITS,
     FORCE_CACHE_MISSES,
+    SELECTION_RESCORED,
+    SELECTION_SKIPPED,
     count,
 )
 from ..obs.events import EVENT_COMMIT, EVENT_DEGRADE, EVENT_REDUCTION
@@ -63,6 +65,7 @@ from ..scheduling.kernels import (
     row_self_dots,
 )
 from ..scheduling.schedule import BlockSchedule
+from ..scheduling.scoreboard import SelectionScoreboard, prefix_maxima_positions
 from ..scheduling.selection_cache import BlockSelectionCache
 from ..scheduling.state import BlockState, ReductionEffect
 from ..validation.budget import RunBudget
@@ -86,6 +89,9 @@ class _Entry:
     block: Block
     state: BlockState
     scalar_ops: frozenset = frozenset()
+    #: ``(frames.version(), hash)`` memo for ``_system_state_hash``; the
+    #: frame version pins exactly when the hash can be reused.
+    hash_memo: Optional[Tuple[int, int]] = None
 
 
 class _CachedScore:
@@ -217,8 +223,42 @@ class _SystemKernel:
         ]
         self._guarded_jobs: List[List[Tuple[str, int]]] = [[] for _ in entries]
         self._hit_counts: List[int] = [0] * len(entries)
+        # Scoreboard mode: persistent per-entry incumbents (see
+        # repro.scheduling.scoreboard); only the commit's dirty cone is
+        # rescored per scan, everything else folds from the records.
+        self.scoreboard = (
+            SelectionScoreboard(len(entries))
+            if scheduler.use_scoreboard
+            else None
+        )
+        self._dirty_set = set(range(len(entries)))
+        # Per-entry staleness-active slots (mobile, non-guarded) and the
+        # candidate-list positions of the guarded jobs, rebuilt whenever
+        # the entry is reclassified.
+        self._entry_act: List[np.ndarray] = [
+            np.empty(0, dtype=np.intp) for _ in entries
+        ]
+        self._guarded_pos: List[List[Tuple[str, int, int]]] = [
+            [] for _ in entries
+        ]
+        # Balanced types holding a G row among each entry's act slots —
+        # the act-derived half of its record's ``touched_types``.  Kept
+        # as a sorted list, recomputed on (re)classification from the
+        # per-slot ``_assigned_*`` tuples, which mirror ``gslot > 0``.
+        self._act_types: List[List[str]] = [[] for _ in entries]
+        # Scoreboard mode keeps the scored state *per slot* between
+        # scans: the winner is then extracted with the same vectorized
+        # prefix-maxima pass as the full scan, over a persistent
+        # concatenated candidate-slot array maintained by splicing only
+        # reclassified entries' spans (``_sb_splices``).
+        self._scores_g = np.zeros(n, dtype=float)
+        self._sb_idx = np.empty(0, dtype=np.intp)
+        self._sb_sizes = np.zeros(len(entries), dtype=np.int64)
+        self._sb_bounds = np.zeros(len(entries), dtype=np.int64)
+        self._sb_splices: List[int] = []
         self._mobile = np.zeros(n, dtype=bool)
         self._guarded_mask = np.zeros(n, dtype=bool)
+        self._has_guards = any(entry.scalar_ops for entry in entries)
         # Scan-order cache: the concatenated candidate slots, their owner
         # entries, and the staleness-active mask only change when an op
         # becomes fixed (144 events across ~1000 scans at 12 processes).
@@ -266,6 +306,8 @@ class _SystemKernel:
         self, *, collect: Optional[list] = None, want_detail: bool = False
     ) -> Optional[Tuple[int, str, bool, float, int, Optional[Tuple]]]:
         """One selection scan; same contract as ``_select_reduction``."""
+        if self.scoreboard is not None:
+            return self._select_scoreboard(collect, want_detail)
         track = want_detail or collect is not None
         coupling = self.coupling
         self._scan_no += 1
@@ -500,6 +542,412 @@ class _SystemKernel:
             detail,
         )
 
+    # -- scoreboard scan ------------------------------------------------
+    def _select_scoreboard(
+        self, collect: Optional[list], want_detail: bool
+    ) -> Optional[Tuple[int, str, bool, float, int, Optional[Tuple]]]:
+        """Dirty-cone scan: rescore only perturbed entries, fold the rest
+        from their cached incumbents.
+
+        Exactness and counter parity with :meth:`select` rest on three
+        facts (docs/performance.md, "Selection scoreboard"):
+
+        * a clean entry's forces are bit-unchanged — its constants moved
+          only through a fresh evaluation (needs a dirty entry) and its
+          per-type dots only through an ``S`` bump of a touched type
+          (which puts the entry in the rescore set via its subscription);
+        * its counters are unchanged too: every candidate probe would be
+          a hit (charged in bulk from the record) and the staleness mask
+          over its slots would be empty, so zero assemblies are lost;
+        * the hysteresis fold over the concatenated per-entry strict
+          prefix maxima is bit-identical to the full scan-order fold.
+
+        ``collect`` (audit candidate capture) needs every candidate's
+        force, so it degrades to rescore-all — rescoring a clean entry
+        re-counts exactly the same hits and zero assemblies, keeping the
+        telemetry contract.
+
+        The rescored entries are processed as *one* batch: their slots
+        concatenate into a single index array and the staleness mask,
+        the refold, and the score pass each run once over it — the same
+        elementwise operations as the full scan, restricted to the
+        rescored columns, so every per-slot value stays bit-identical
+        while the per-scan numpy call count stays constant instead of
+        linear in the rescore-set size.
+        """
+        track = want_detail or collect is not None
+        coupling = self.coupling
+        self._scan_no += 1
+        scan_no = self._scan_no
+
+        # (1) Sync to S, remembering which types bumped this scan.
+        bumped: List[str] = []
+        for type_name in self._balanced_types:
+            version = coupling.s_version(type_name)
+            if version != self._seen_version[type_name]:
+                self._seen_version[type_name] = version
+                self._changed_scan[type_name] = scan_no
+                bumped.append(type_name)
+                top = self._top[type_name]
+                if top > 1:
+                    np.matmul(
+                        self._g[type_name][:top],
+                        coupling.system_distribution(type_name),
+                        out=self._gdots[type_name][:top],
+                    )
+
+        # (2) The rescore set: the commit's dirty cone plus every entry
+        # subscribed to a bumped type.
+        board = self.scoreboard
+        assert board is not None
+        if collect is not None:
+            rescore = list(range(len(self.entries)))
+        else:
+            rescore = board.rescore_set(self._dirty_set, bumped)
+
+        # (3) Charge the hits skipped entries would have probed, in one
+        # aggregated count: total over all records minus the rescored
+        # entries' shares (they count their own probes live).
+        records = board.records
+        skip_hits = board.sum_skip_hits
+        for index in rescore:
+            skip_hits -= records[index].skip_hits
+        if skip_hits:
+            count(FORCE_CACHE_HITS, skip_hits)
+
+        # (4) Classify dirty rescored entries — the same python pass as
+        # the full scan, restricted to the rescore set; clean rescored
+        # entries just re-count their candidate probes as hits.  Only
+        # the classified (dirty) entries need their records restored
+        # afterwards: a clean rescored entry's counters, subscriptions,
+        # and candidate span are all provably unchanged.
+        kinds: Optional[Dict[int, str]] = {} if track else None
+        classified: List[int] = []
+        for index in rescore:
+            if self._dirty[index]:
+                self._classify_entry(index, scan_no, kinds)
+                classified.append(index)
+            else:
+                hits = self._hit_counts[index]
+                if hits:
+                    count(FORCE_CACHE_HITS, hits)
+        self._dirty_set.clear()
+        count(SELECTION_RESCORED, len(rescore))
+        count(SELECTION_SKIPPED, len(self.entries) - len(rescore))
+
+        # (4b) Splice reclassified spans whose candidate count changed
+        # into the persistent concatenated slot array (one pass, in
+        # entry order); wholesale rebuild when many moved at once.
+        splices = self._sb_splices
+        if splices:
+            sizes = self._sb_sizes
+            cand_slots = self._cand_slots
+            if len(splices) > 16:
+                arrays = [slots for slots in cand_slots if slots.size]
+                self._sb_idx = (
+                    np.concatenate(arrays)
+                    if arrays
+                    else np.empty(0, dtype=np.intp)
+                )
+                for i, slots in enumerate(cand_slots):
+                    sizes[i] = slots.size
+            else:
+                bounds = self._sb_bounds
+                idx_arr = self._sb_idx
+                parts: List[np.ndarray] = []
+                prev = 0
+                for index in splices:
+                    start = int(bounds[index - 1]) if index else 0
+                    if start > prev:
+                        parts.append(idx_arr[prev:start])
+                    new_arr = cand_slots[index]
+                    if new_arr.size:
+                        parts.append(new_arr)
+                    prev = int(bounds[index])
+                    sizes[index] = new_arr.size
+                parts.append(idx_arr[prev:])
+                self._sb_idx = np.concatenate(parts)
+            np.cumsum(sizes, out=self._sb_bounds)
+            self._sb_splices = []
+
+        # (5) Concatenate the rescored entries' candidate and staleness
+        # index arrays (slots partition by entry, so per-slot work and
+        # counter totals decompose exactly).
+        if len(rescore) == 1:
+            only = rescore[0]
+            cat_slots = self._cand_slots[only]
+            cat_act = self._entry_act[only]
+        elif rescore:
+            cat_slots = np.concatenate(
+                [self._cand_slots[index] for index in rescore]
+            )
+            cat_act = np.concatenate(
+                [self._entry_act[index] for index in rescore]
+            )
+        else:
+            cat_slots = cat_act = np.empty(0, dtype=np.intp)
+
+        # The balanced types with a G row anywhere among the rescored
+        # slots: the union of the rescored entries' act-derived types.
+        # Every other type contributes only the all-zero sentinel row to
+        # the staleness mask and the refold, so restricting both loops
+        # to this union is exact.
+        act_union: set = set()
+        for index in rescore:
+            act_union.update(self._act_types[index])
+
+        # (6) Staleness over the rescored act slots — the full scan's
+        # mask restricted to those columns (a skipped entry's share is
+        # provably empty, see above).
+        if act_union and cat_act.size:
+            stamps = self._fold_stamp[cat_act]
+            min_stamp = int(stamps.min())
+            stale = None
+            for type_name in self._balanced_types:
+                changed = self._changed_scan[type_name]
+                if changed <= min_stamp or type_name not in act_union:
+                    continue
+                has_row = (self._gslot[type_name][:, cat_act] > 0).any(axis=0)
+                mask = has_row & (stamps < changed)
+                stale = mask if stale is None else (stale | mask)
+            if stale is not None:
+                assembled = int(stale.sum())
+                if assembled:
+                    count(FORCE_CACHE_ASSEMBLIES, assembled)
+                    self._fold_stamp[cat_act[stale]] = scan_no
+                    if kinds is not None:
+                        for slot in cat_act[stale].tolist():
+                            kinds[slot] = CACHE_ASSEMBLED
+
+        # (7) Refold the rescored slots: same additions, same type order
+        # as the wholesale refold — elementwise bit-identical.
+        guard_types: Dict[int, set] = {}
+        if cat_slots.size:
+            force = self._const[:, cat_slots]
+            for type_name in self._balanced_types:
+                if type_name in act_union and self._top[type_name] > 1:
+                    force += self._gdots[type_name][
+                        self._gslot[type_name][:, cat_slots]
+                    ]
+
+            # (8) Guarded ops: scalar machinery written over the refold.
+            scheduler = self.scheduler
+            base = 0
+            for index in rescore if self._has_guards else ():
+                jobs = self._guarded_pos[index]
+                if jobs:
+                    cache = self.caches[index]
+                    frames = self.entries[index].state.frames
+                    gset = guard_types[index] = set()
+                    for op_id, slot, pos in jobs:
+                        cached = cache.get(op_id)
+                        kind = CACHE_HIT
+                        if cached is None:
+                            lo, hi = frames.frame(op_id)
+                            cached = scheduler._evaluate_cached(
+                                index,
+                                self.entries[index],
+                                coupling,
+                                op_id,
+                                lo,
+                                hi,
+                            )
+                            cache.put(op_id, cached)
+                            kind = CACHE_FRESH
+                        elif cached.global_types:
+                            versions = tuple(
+                                coupling.s_version(t)
+                                for t in cached.global_types
+                            )
+                            if versions != cached.versions:
+                                count(FORCE_CACHE_ASSEMBLIES)
+                                if cached.terms_low is not None:
+                                    cached.force_low = scheduler._assemble(
+                                        cached.terms_low, coupling
+                                    )
+                                if cached.terms_high is not None:
+                                    cached.force_high = scheduler._assemble(
+                                        cached.terms_high, coupling
+                                    )
+                                cached.versions = versions
+                                kind = CACHE_ASSEMBLED
+                        force[0, base + pos] = cached.force_low
+                        force[1, base + pos] = cached.force_high
+                        lo, hi = frames.frame(op_id)
+                        self._eta[slot] = 1.0 if hi - lo + 1 <= 2 else 0.5
+                        gset.update(cached.global_types)
+                        if kinds is not None:
+                            kinds[slot] = kind
+                base += self._cand_slots[index].size
+
+            # (9) Score the rescored columns once and scatter forces and
+            # scores into the persistent per-slot arrays — the same
+            # elementwise operations the full scan applies, so every
+            # stored value is bit-identical to a full recompute; the
+            # skipped columns provably kept theirs.
+            flows = force[0]
+            fhighs = force[1]
+            scores = self._eta[cat_slots] * np.abs(flows - fhighs)
+            self._force[:, cat_slots] = force
+            self._scores_g[cat_slots] = scores
+
+        # Record bookkeeping for the classified entries only: a clean
+        # rescored entry's candidate count, skip-hit share, and type
+        # subscriptions cannot have changed (its candidates and cached
+        # recipes are untouched; ``global_types`` of a guarded op is
+        # static while its cache entry lives).
+        for index in classified:
+            touched = set(self._act_types[index])
+            gset = guard_types.get(index)
+            if gset:
+                touched.update(gset)
+            board.store(
+                index,
+                n_candidates=self._cand_slots[index].size,
+                skip_hits=self._hit_counts[index]
+                + len(self._guarded_jobs[index]),
+                touched_types=sorted(touched),
+                scan_no=scan_no,
+            )
+
+        if collect is not None and cat_slots.size:
+            score_list = scores.tolist()
+            flow_list = flows.tolist()
+            fhigh_list = fhighs.tolist()
+            slot_list = cat_slots.tolist()
+            base = 0
+            for index in rescore:
+                entry = self.entries[index]
+                for pos, op_id in enumerate(self._cand_ops[index]):
+                    collect.append(
+                        CandidateAudit(
+                            process=entry.process_name,
+                            block=entry.block.name,
+                            op=op_id,
+                            force_low=flow_list[base + pos],
+                            force_high=fhigh_list[base + pos],
+                            score=score_list[base + pos],
+                            cache=(
+                                kinds.get(slot_list[base + pos], CACHE_HIT)
+                                if kinds is not None
+                                else CACHE_HIT
+                            ),
+                        )
+                    )
+                base += self._cand_slots[index].size
+
+        # (10) Winner extraction: the full scan's vectorized strict
+        # prefix-maxima fold, over the persistent gathered scores.
+        idx = self._sb_idx
+        total = int(idx.size)
+        if not total:
+            return None
+        scores_v = self._scores_g[idx]
+        if total > 1:
+            prefix = np.maximum.accumulate(scores_v[:-1])
+            front = np.nonzero(scores_v[1:] > prefix)[0]
+            positions = [0] + (front + 1).tolist()
+        else:
+            positions = [0]
+        best_pos = -1
+        best_score = None
+        for pos in positions:
+            score = float(scores_v[pos])
+            if best_score is None or score > best_score + 1e-12:
+                best_score = score
+                best_pos = pos
+        best_entry = int(
+            np.searchsorted(self._sb_bounds, best_pos, side="right")
+        )
+        start = int(self._sb_bounds[best_entry - 1]) if best_entry else 0
+        slot = int(idx[best_pos])
+        force_low = float(self._force[0, slot])
+        force_high = float(self._force[1, slot])
+        detail = None
+        if want_detail:
+            kind = kinds.get(slot, CACHE_HIT) if kinds is not None else CACHE_HIT
+            detail = (force_low, force_high, kind)
+        assert best_score is not None
+        return (
+            best_entry,
+            self._cand_ops[best_entry][best_pos - start],
+            force_low > force_high + 1e-12,
+            best_score,
+            total,
+            detail,
+        )
+
+    def _classify_entry(
+        self,
+        index: int,
+        scan_no: int,
+        kinds: Optional[Dict[int, str]],
+    ) -> None:
+        """Reclassify one dirty entry's candidates (scoreboard mode).
+
+        The same python pass as the full scan's step 2 — probe counting,
+        fresh batch evaluation, guarded-job split — plus the candidate
+        *positions* of the guarded jobs and the act-derived touched-type
+        list the batched rescore consumes.
+        """
+        entry = self.entries[index]
+        self._dirty[index] = False
+        unfixed = entry.state.frames.unfixed()
+        self._cand_ops[index] = unfixed
+        store = self.caches[index]._store
+        slots_map = self.slot_of[index]
+        scalar_ops = entry.scalar_ops
+        slots = np.empty(len(unfixed), dtype=np.intp)
+        act_list: List[int] = []
+        guarded: List[Tuple[str, int]] = []
+        guarded_pos: List[Tuple[str, int, int]] = []
+        fresh_ops: List[str] = []
+        hits = 0
+        for pos, op_id in enumerate(unfixed):
+            slot = slots_map[op_id]
+            slots[pos] = slot
+            if op_id in scalar_ops:
+                guarded.append((op_id, slot))
+                guarded_pos.append((op_id, slot, pos))
+                continue
+            act_list.append(slot)
+            if op_id in store:
+                hits += 1
+            else:
+                fresh_ops.append(op_id)
+                store[op_id] = _KERNEL_EVALUATED
+                if kinds is not None:
+                    kinds[slot] = CACHE_FRESH
+        if slots.size != self._sb_sizes[index]:
+            # Candidates only ever disappear (commits fix ops in their
+            # own block), so an unchanged count means an unchanged span.
+            self._sb_splices.append(index)
+        self._cand_slots[index] = slots
+        self._entry_act[index] = np.asarray(act_list, dtype=np.intp)
+        self._guarded_jobs[index] = guarded
+        self._guarded_pos[index] = guarded_pos
+        self._hit_counts[index] = hits + len(fresh_ops)
+        if hits:
+            count(FORCE_CACHE_HITS, hits)
+        if fresh_ops:
+            count(FORCE_CACHE_MISSES, len(fresh_ops))
+            self._fresh_eval(index, entry, fresh_ops, scan_no)
+        # Act-derived touched types, read *after* the fresh evaluation
+        # reassigned G rows: ``_assigned_*[slot]`` is nonempty exactly
+        # when ``gslot[type][:, slot] > 0`` for the type, so this union
+        # equals the full scan's per-type ``(gslot[:, act] > 0).any()``.
+        assigned_low = self._assigned_low
+        assigned_high = self._assigned_high
+        acts: set = set()
+        for slot in act_list:
+            low = assigned_low[slot]
+            if low:
+                acts.update(low)
+            high = assigned_high[slot]
+            if high:
+                acts.update(high)
+        self._act_types[index] = sorted(acts)
+
     def note_commit(
         self,
         entry_index: int,
@@ -522,6 +970,7 @@ class _SystemKernel:
                     self._mobile[slot] = False
                     self._order_dirty = True
         self._dirty[entry_index] = True
+        self._dirty_set.add(entry_index)
         if not (self.alignment and self.balancing):
             return
         if all(scope == "clean" for scope in scopes.values()):
@@ -530,6 +979,7 @@ class _SystemKernel:
         for index, entry in enumerate(self.entries):
             if index != entry_index and entry.process_name == process_name:
                 self._dirty[index] = True
+                self._dirty_set.add(index)
 
     # -- fresh evaluation ----------------------------------------------
     def _fresh_eval(
@@ -693,6 +1143,175 @@ class _SystemKernel:
         return top
 
 
+class _ScalarSelector:
+    """Scoreboard driver for the scalar cached path (kernels disabled).
+
+    Same dirty-cone contract as the kernel scoreboard, with the scalar
+    :class:`_CachedScore` probe loop as the per-entry rescore.  An entry
+    is clean when its :class:`BlockSelectionCache` generation is
+    unchanged since the last rescore (no invalidation touched the block,
+    so every candidate still probes as a hit) *and* no balanced type in
+    the union of its cached ``global_types`` bumped its ``S`` version
+    (so no probe would re-assemble).  Both conditions reduce to integer
+    comparisons; a clean entry's forces, counters, and incumbents are
+    bit-unchanged, so its cached prefix-maxima record folds verbatim.
+    """
+
+    def __init__(
+        self,
+        scheduler: "ModuloSystemScheduler",
+        entries: List[_Entry],
+        coupling: "_GlobalCoupling",
+        caches: List[BlockSelectionCache],
+    ) -> None:
+        self.scheduler = scheduler
+        self.entries = entries
+        self.coupling = coupling
+        self.caches = caches
+        self.board = SelectionScoreboard(len(entries))
+        self._generations = [-1] * len(entries)
+        self._scan_no = 0
+        self._global_types = sorted(coupling.assignment.global_types)
+        self._seen_version = {
+            type_name: coupling.s_version(type_name)
+            for type_name in self._global_types
+        }
+
+    def select(
+        self, collect: Optional[list], want_detail: bool
+    ) -> Optional[Tuple[int, str, bool, float, int, Optional[Tuple]]]:
+        track = want_detail or collect is not None
+        coupling = self.coupling
+        self._scan_no += 1
+        scan_no = self._scan_no
+        bumped: List[str] = []
+        for type_name in self._global_types:
+            version = coupling.s_version(type_name)
+            if version != self._seen_version[type_name]:
+                self._seen_version[type_name] = version
+                bumped.append(type_name)
+        board = self.board
+        caches = self.caches
+        generations = self._generations
+        if collect is not None:
+            rescore = list(range(len(self.entries)))
+        else:
+            dirty = [
+                index
+                for index in range(len(self.entries))
+                if caches[index].generation != generations[index]
+            ]
+            rescore = board.rescore_set(dirty, bumped)
+        records = board.records
+        skip_hits = board.sum_skip_hits
+        for index in rescore:
+            skip_hits -= records[index].skip_hits
+        if skip_hits:
+            count(FORCE_CACHE_HITS, skip_hits)
+        for index in rescore:
+            self._rescore_entry(index, scan_no, track, collect)
+        count(SELECTION_RESCORED, len(rescore))
+        count(SELECTION_SKIPPED, len(self.entries) - len(rescore))
+        winner = board.fold()
+        if winner is None:
+            return None
+        best_score, best_entry, offset, force_low, force_high = winner
+        detail = None
+        if want_detail:
+            record = records[best_entry]
+            kind = CACHE_HIT
+            if record.last_scored == scan_no and record.pm_kinds is not None:
+                kind = record.pm_kinds[record.pm_offsets.index(offset)]
+            detail = (force_low, force_high, kind)
+        entry = self.entries[best_entry]
+        op_id = entry.state.frames.unfixed()[offset]
+        return (
+            best_entry,
+            op_id,
+            force_low > force_high + 1e-12,
+            best_score,
+            board.sum_candidates,
+            detail,
+        )
+
+    def _rescore_entry(
+        self, index: int, scan_no: int, track: bool, collect: Optional[list]
+    ) -> None:
+        """The reference scalar probe loop, restricted to one entry."""
+        entry = self.entries[index]
+        scheduler = self.scheduler
+        coupling = self.coupling
+        cache = self.caches[index]
+        frames = entry.state.frames
+        unfixed = frames.unfixed()
+        scores: List[float] = []
+        flows: List[float] = []
+        fhighs: List[float] = []
+        all_kinds: List[str] = []
+        touched: set = set()
+        for op_id in unfixed:
+            lo, hi = frames.frame(op_id)
+            cached = cache.get(op_id)
+            kind = CACHE_HIT
+            if cached is None:
+                cached = scheduler._evaluate_cached(
+                    index, entry, coupling, op_id, lo, hi
+                )
+                cache.put(op_id, cached)
+                kind = CACHE_FRESH
+            elif cached.global_types:
+                versions = tuple(
+                    coupling.s_version(t) for t in cached.global_types
+                )
+                if versions != cached.versions:
+                    count(FORCE_CACHE_ASSEMBLIES)
+                    if cached.terms_low is not None:
+                        cached.force_low = scheduler._assemble(
+                            cached.terms_low, coupling
+                        )
+                    if cached.terms_high is not None:
+                        cached.force_high = scheduler._assemble(
+                            cached.terms_high, coupling
+                        )
+                    cached.versions = versions
+                    kind = CACHE_ASSEMBLED
+            force_low, force_high = cached.force_low, cached.force_high
+            eta = 1.0 if hi - lo + 1 <= 2 else 0.5
+            score = eta * abs(force_low - force_high)
+            scores.append(score)
+            flows.append(force_low)
+            fhighs.append(force_high)
+            touched.update(cached.global_types)
+            if track:
+                all_kinds.append(kind)
+            if collect is not None:
+                collect.append(
+                    CandidateAudit(
+                        process=entry.process_name,
+                        block=entry.block.name,
+                        op=op_id,
+                        force_low=force_low,
+                        force_high=force_high,
+                        score=score,
+                        cache=kind,
+                    )
+                )
+        positions = prefix_maxima_positions(scores)
+        self.board.store(
+            index,
+            pm_offsets=positions,
+            pm_scores=[scores[p] for p in positions],
+            pm_flows=[flows[p] for p in positions],
+            pm_fhighs=[fhighs[p] for p in positions],
+            pm_kinds=[all_kinds[p] for p in positions] if track else None,
+            n_candidates=len(unfixed),
+            skip_hits=len(unfixed),
+            touched_types=sorted(touched),
+            scan_no=scan_no,
+        )
+        self._generations[index] = cache.generation
+
+
 class ModuloSystemScheduler:
     """Time-constrained modulo scheduling with global resource sharing.
 
@@ -724,6 +1343,20 @@ class ModuloSystemScheduler:
             Decisions agree with the scalar path — pinned at decision
             level by ``tests/core/test_kernel_parity.py`` (see
             docs/performance.md, "Batched kernels").
+        use_scoreboard: Keep a persistent per-entry incumbent record
+            (:class:`repro.scheduling.scoreboard.SelectionScoreboard`)
+            and rescore, each iteration, only the entries inside the
+            commit's dirty cone — the committed block, its same-process
+            siblings on a non-``clean`` coupling scope, and the
+            subscribers of every balanced type whose ``S`` bumped; clean
+            entries fold their cached incumbents untouched.  Engages
+            together with ``force_cache`` (in both kernel and scalar
+            modes); decisions, schedules, areas, and telemetry counters
+            are bit-identical to the full scan — pinned by
+            ``tests/core/test_selection_scoreboard_parity.py`` — with
+            the scoreboard's own work split reported via the new
+            ``selection_rescored``/``selection_skipped`` counters.
+            Disable only for A/B measurement.
         budget: Optional :class:`~repro.validation.budget.RunBudget`
             watchdog; on exhaustion (iterations, wall clock, or detected
             oscillation) the run degrades gracefully to the
@@ -750,6 +1383,7 @@ class ModuloSystemScheduler:
         global_balancing: bool = True,
         force_cache: bool = True,
         use_kernels: bool = True,
+        use_scoreboard: bool = True,
         budget: Optional[RunBudget] = None,
         tracer=None,
         audit=None,
@@ -761,6 +1395,7 @@ class ModuloSystemScheduler:
         self.global_balancing = global_balancing
         self.force_cache = force_cache
         self.use_kernels = use_kernels
+        self.use_scoreboard = use_scoreboard
         self.budget = budget
         self.tracer = as_tracer(tracer)
         self.audit = audit
@@ -835,6 +1470,11 @@ class ModuloSystemScheduler:
                 if caches is not None and self.use_kernels
                 else None
             )
+            selector = (
+                _ScalarSelector(self, entries, coupling, caches)
+                if caches is not None and kernel is None and self.use_scoreboard
+                else None
+            )
         setup_done = time.perf_counter()
 
         tracker = self.budget.tracker() if self.budget is not None else None
@@ -851,6 +1491,7 @@ class ModuloSystemScheduler:
                     coupling,
                     caches,
                     kernel=kernel,
+                    selector=selector,
                     collect=collect,
                     want_detail=audit is not None,
                 )
@@ -922,7 +1563,7 @@ class ModuloSystemScheduler:
                     count(AUDIT_DECISIONS)
                 if tracer.enabled:
                     frames_remaining = sum(
-                        len(e.state.frames.unfixed()) for e in entries
+                        e.state.frames.unfixed_count() for e in entries
                     )
                     tracer.count(SCHEDULER_ITERATIONS)
                     tracer.observe(REDUCTION_SCORE, score)
@@ -1025,13 +1666,24 @@ class ModuloSystemScheduler:
     # ------------------------------------------------------------------
     @staticmethod
     def _system_state_hash(entries: List["_Entry"]) -> int:
-        """Oscillation-detector state: every mobile frame in the system."""
-        return hash(
-            tuple(
-                frames_state_hash(entry.state, entry.state.frames.unfixed())
-                for entry in entries
-            )
-        )
+        """Oscillation-detector state: every mobile frame in the system.
+
+        Per-entry hashes are memoized against the frame table's version
+        counter — only the block a commit actually touched rehashes, the
+        rest revalidate with one integer comparison.
+        """
+        parts = []
+        for entry in entries:
+            frames = entry.state.frames
+            version = frames.version()
+            memo = entry.hash_memo
+            if memo is not None and memo[0] == version:
+                parts.append(memo[1])
+            else:
+                value = frames_state_hash(entry.state, frames.unfixed())
+                entry.hash_memo = (version, value)
+                parts.append(value)
+        return hash(tuple(parts))
 
     # ------------------------------------------------------------------
     # Force evaluation
@@ -1043,6 +1695,7 @@ class ModuloSystemScheduler:
         caches: Optional[List[BlockSelectionCache]] = None,
         *,
         kernel: Optional["_SystemKernel"] = None,
+        selector: Optional["_ScalarSelector"] = None,
         collect: Optional[list] = None,
         want_detail: bool = False,
     ) -> Optional[Tuple[int, str, bool, float, int, Optional[Tuple]]]:
@@ -1066,6 +1719,8 @@ class ModuloSystemScheduler:
         """
         if kernel is not None:
             return kernel.select(collect=collect, want_detail=want_detail)
+        if selector is not None:
+            return selector.select(collect, want_detail)
         track = want_detail or collect is not None
         best_score = None
         best: Optional[Tuple[int, str, bool]] = None
@@ -1323,6 +1978,12 @@ class _GlobalCoupling:
         self.periods = periods
         self._q: Dict[Tuple[int, str], np.ndarray] = {}
         self._m: Dict[Tuple[str, str], np.ndarray] = {}
+        # Persistent (processes, period) stack of the group's M rows per
+        # type: a process rebuild rewrites one row in place and the
+        # system rebuild reduces the stack, instead of re-gathering the
+        # group's rows into a fresh list every commit.
+        self._m_rows: Dict[str, np.ndarray] = {}
+        self._m_rowidx: Dict[Tuple[str, str], int] = {}
         self._s: Dict[str, np.ndarray] = {}
         self._s_version: Dict[str, int] = {}
         self._others: Dict[Tuple[int, str], np.ndarray] = {}
@@ -1451,18 +2112,30 @@ class _GlobalCoupling:
         old = self._m.get(key)
         changed = old is None or not np.array_equal(old, result)
         self._m[key] = result
+        if changed:
+            rows = self._m_rows.get(type_name)
+            if rows is not None:
+                position = self._m_rowidx.get(key)
+                if position is not None:
+                    rows[position] = result
         return changed
 
     def _rebuild_system(self, type_name: str) -> None:
         period = self.period(type_name)
-        rows = [
-            self._m[(process_name, type_name)]
-            for process_name in self.assignment.group(type_name)
-        ]
-        if rows:
-            # Sequential left-fold (reduce lengths this small never take
-            # numpy's pairwise path), value-identical to the old ``+=``
-            # loop starting from zeros.
+        rows = self._m_rows.get(type_name)
+        if rows is None:
+            group = list(self.assignment.group(type_name))
+            if group:
+                rows = np.empty((len(group), period), dtype=float)
+                for position, process_name in enumerate(group):
+                    self._m_rowidx[(process_name, type_name)] = position
+                    rows[position] = self._m[(process_name, type_name)]
+                self._m_rows[type_name] = rows
+        if rows is not None:
+            # Sequential left-fold over the stacked rows: ``np.add.reduce``
+            # over a python list converts to exactly this 2-D stack first
+            # (and lengths this small never take numpy's pairwise path),
+            # so the sum is value-identical to the old list form.
             result = np.add.reduce(rows, axis=0)
         else:
             result = np.zeros(period, dtype=float)

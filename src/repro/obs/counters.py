@@ -52,6 +52,8 @@ CERTIFIER_SLOT_CHECKS = "certifier_slot_checks"
 LINT_RULES_RUN = "lint_rules_run"
 LINT_FINDINGS = "lint_findings"
 AUDIT_DECISIONS = "audit_decisions"
+SELECTION_RESCORED = "selection_rescored"
+SELECTION_SKIPPED = "selection_skipped"
 
 KNOWN_COUNTERS = (
     FORCE_EVALUATIONS,
@@ -70,6 +72,8 @@ KNOWN_COUNTERS = (
     LINT_RULES_RUN,
     LINT_FINDINGS,
     AUDIT_DECISIONS,
+    SELECTION_RESCORED,
+    SELECTION_SKIPPED,
 )
 
 

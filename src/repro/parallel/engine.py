@@ -212,6 +212,7 @@ class ExplorationEngine:
         retries: int = 1,
         checkpoint=None,
         tracer=None,
+        use_scoreboard: bool = True,
         fault_for: Optional[Callable[[Dict[str, int]], Optional[str]]] = None,
     ) -> None:
         if workers < 1:
@@ -227,6 +228,7 @@ class ExplorationEngine:
         self.retries = max(0, retries)
         self.checkpoint = checkpoint
         self.tracer = as_tracer(tracer)
+        self.use_scoreboard = use_scoreboard
         self.fault_for = fault_for
         self._problem_text: Optional[str] = None
         self._journal: Optional[SweepJournal] = None
@@ -380,6 +382,7 @@ class ExplorationEngine:
             self.problem.library,
             weights=area_weights(self.problem.library),
             tracer=self.tracer,
+            use_scoreboard=self.use_scoreboard,
         )
         result = scheduler.schedule(
             self.problem.system,
@@ -419,6 +422,7 @@ class ExplorationEngine:
             self.problem.library,
             weights=area_weights(self.problem.library),
             tracer=self.tracer,
+            use_scoreboard=self.use_scoreboard,
         )
         records: List[CandidateResult] = []
         best_area: Optional[float] = initial_best
@@ -664,6 +668,7 @@ class ExplorationEngine:
             timeout=self.timeout,
             fault=spec.fault,
             attempt=spec.attempt,
+            use_scoreboard=self.use_scoreboard,
         )
 
     def _failed_record(

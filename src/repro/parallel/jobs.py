@@ -61,6 +61,9 @@ class SweepJob:
         fault: Optional fault injection — ``"raise[:msg]"`` or
             ``"sleep:SECONDS"`` — for exercising failure handling.
         attempt: 1 for the first try, incremented by the engine's retry.
+        use_scoreboard: Select reductions through the incremental
+            scoreboard (the default) or the full candidate rescan
+            (``repro sweep --no-scoreboard``).
     """
 
     job_id: int
@@ -70,6 +73,7 @@ class SweepJob:
     timeout: Optional[float] = None
     fault: Optional[str] = None
     attempt: int = 1
+    use_scoreboard: bool = True
 
 
 @dataclass
@@ -159,6 +163,7 @@ def run_job(job: SweepJob) -> JobResult:
                 problem.library,
                 weights=area_weights(problem.library),
                 tracer=tracer,
+                use_scoreboard=job.use_scoreboard,
             )
             if job.local:
                 result = scheduler.schedule(

@@ -190,7 +190,8 @@ class DeltaBatch:
             predecessors', then overridden successors').
         deltas: Mapping from type name to its ``(n, horizon)``
             displacement matrix; rows of candidates that do not displace
-            the type are zero and never consumed.
+            the type are never consumed (the narrow path leaves them
+            uninitialized, the wide path zero).
 
     Candidates must not have a guarded force footprint — callers route
     those through the scalar reference path.
@@ -299,22 +300,42 @@ class DeltaBatch:
                     lists[2].append(current_rows[oid])
                 else:
                     multis.append((row, type_name, overrides))
-        for type_name, (rows, news, olds) in singles.items():
-            matrix = deltas.get(type_name)
-            if matrix is None:
-                matrix = np.zeros((n, horizon), dtype=float)
-                deltas[type_name] = matrix
-            inc = np.asarray(news) - np.asarray(olds)
-            base = dist.array(type_name)
-            inc += base
-            inc -= base
-            matrix[rows] = inc
+        # One stacked round trip for every single-override pair of every
+        # type at once: row ``i`` still computes exactly
+        # ``(new - old) + S_t - S_t`` elementwise, so each row is
+        # bit-identical to the per-type version while the numpy call
+        # count per batch stays constant instead of linear in the
+        # number of displaced types.  Rows a candidate does not displace
+        # are never consumed (``type_orders`` gates every consumer), so
+        # the matrices need no zero fill.
+        if singles:
+            news_all: List[np.ndarray] = []
+            olds_all: List[np.ndarray] = []
+            bases_all: List[np.ndarray] = []
+            spans: List[Tuple[str, List[int], int, int]] = []
+            offset = 0
+            for type_name, (rows, news, olds) in singles.items():
+                news_all.extend(news)
+                olds_all.extend(olds)
+                bases_all.extend([dist.array(type_name)] * len(rows))
+                spans.append((type_name, rows, offset, offset + len(rows)))
+                offset += len(rows)
+            inc = np.asarray(news_all) - np.asarray(olds_all)
+            base_stack = np.asarray(bases_all)
+            inc += base_stack
+            inc -= base_stack
+            for type_name, rows, lo, hi in spans:
+                matrix = deltas.get(type_name)
+                if matrix is None:
+                    matrix = np.empty((n, horizon), dtype=float)
+                    deltas[type_name] = matrix
+                matrix[rows] = inc[lo:hi]
         if multis:
             scratch = state._scratch
             for row, type_name, overrides in multis:
                 matrix = deltas.get(type_name)
                 if matrix is None:
-                    matrix = np.zeros((n, horizon), dtype=float)
+                    matrix = np.empty((n, horizon), dtype=float)
                     deltas[type_name] = matrix
                 after = dist.tentative_array(
                     type_name, dict(overrides), out=scratch

@@ -51,6 +51,18 @@ class FrameTable:
         self._lo: Dict[str, int] = {}
         self._hi: Dict[str, int] = {}
         self._compute_initial_frames()
+        # Incremental mobility tracking: ``_unfixed_list`` is a
+        # topo-ordered superset of the mobile operations, compacted
+        # lazily on read, so :meth:`unfixed` costs O(mobile + newly
+        # fixed) instead of a full scan; ``_unfixed_count`` keeps
+        # :meth:`all_fixed` O(1); ``_version`` bumps on every committed
+        # frame change so callers can memoize frame-derived state.
+        self._unfixed_list: List[str] = [
+            oid for oid in self._topo if self._lo[oid] != self._hi[oid]
+        ]
+        self._unfixed_count = len(self._unfixed_list)
+        self._unfixed_stale = False
+        self._version = 0
 
     def _compute_initial_frames(self) -> None:
         for oid in self._topo:
@@ -98,11 +110,30 @@ class FrameTable:
         return self._lo[op_id] == self._hi[op_id]
 
     def all_fixed(self) -> bool:
-        return all(self._lo[oid] == self._hi[oid] for oid in self._lo)
+        return self._unfixed_count == 0
+
+    def unfixed_count(self) -> int:
+        """Number of operations whose frame allows more than one start."""
+        return self._unfixed_count
+
+    def version(self) -> int:
+        """Monotonic counter bumped by every committed frame change.
+
+        Lets callers memoize frame-derived state (hashes, candidate
+        lists) and revalidate with one integer comparison instead of a
+        full-table scan.
+        """
+        return self._version
 
     def unfixed(self) -> List[str]:
         """Ids of operations whose frame still allows more than one start."""
-        return [oid for oid in self._topo if self._lo[oid] != self._hi[oid]]
+        if self._unfixed_stale:
+            lo, hi = self._lo, self._hi
+            self._unfixed_list = [
+                oid for oid in self._unfixed_list if lo[oid] != hi[oid]
+            ]
+            self._unfixed_stale = False
+        return self._unfixed_list
 
     def frames(self) -> Dict[str, Tuple[int, int]]:
         """Snapshot of all frames."""
@@ -126,21 +157,33 @@ class FrameTable:
         that case.
         """
         lo, hi = self._lo[op_id], self._hi[op_id]
+        if new_lo <= lo and new_hi >= hi:
+            # Superset request: nothing can shrink (frames only ever
+            # narrow) and the clamped bounds equal the current frame, so
+            # skip the clamp arithmetic entirely.  This is the hot exit
+            # for ``fix`` on an already-fixed operation.
+            return set()
         new_lo = max(lo, new_lo)
         new_hi = min(hi, new_hi)
         if new_lo > new_hi:
             raise InfeasibleError(
                 f"reduction of {op_id!r} to [{new_lo}, {new_hi}] empties the frame"
             )
-        if new_lo == lo and new_hi == hi:
-            return set()
         undo: List[Tuple[str, int, int]] = []
         try:
             changed = self._apply(op_id, new_lo, new_hi, undo)
         except InfeasibleError:
             for oid, old_lo, old_hi in reversed(undo):
                 self._lo[oid], self._hi[oid] = old_lo, old_hi
+            # The fix-count bookkeeping ran ahead of the failure; recount
+            # against the (restored) superset list.  Error paths are cold.
+            lo_map, hi_map = self._lo, self._hi
+            self._unfixed_count = sum(
+                1 for oid in self._unfixed_list if lo_map[oid] != hi_map[oid]
+            )
+            self._unfixed_stale = True
             raise
+        self._version += 1
         return changed
 
     def fix(self, op_id: str, start: int) -> Set[str]:
@@ -155,7 +198,11 @@ class FrameTable:
         undo: List[Tuple[str, int, int]],
     ) -> Set[str]:
         undo.append((op_id, self._lo[op_id], self._hi[op_id]))
+        was_mobile = self._lo[op_id] != self._hi[op_id]
         self._lo[op_id], self._hi[op_id] = new_lo, new_hi
+        if was_mobile and new_lo == new_hi:
+            self._unfixed_count -= 1
+            self._unfixed_stale = True
         changed: Set[str] = {op_id}
         worklist: List[str] = [op_id]
         while worklist:
@@ -164,23 +211,31 @@ class FrameTable:
             earliest_succ_start = self._lo[oid] + lat
             for succ in self.graph.successors(oid):
                 if self._lo[succ] < earliest_succ_start:
-                    undo.append((succ, self._lo[succ], self._hi[succ]))
+                    hi_succ = self._hi[succ]
+                    undo.append((succ, self._lo[succ], hi_succ))
                     self._lo[succ] = earliest_succ_start
-                    if self._lo[succ] > self._hi[succ]:
+                    if earliest_succ_start > hi_succ:
                         raise InfeasibleError(
                             f"propagation emptied frame of {succ!r}"
                         )
+                    if earliest_succ_start == hi_succ:
+                        self._unfixed_count -= 1
+                        self._unfixed_stale = True
                     changed.add(succ)
                     worklist.append(succ)
             for pred in self.graph.predecessors(oid):
                 latest_pred_start = self._hi[oid] - self._latency[pred]
                 if self._hi[pred] > latest_pred_start:
-                    undo.append((pred, self._lo[pred], self._hi[pred]))
+                    lo_pred = self._lo[pred]
+                    undo.append((pred, lo_pred, self._hi[pred]))
                     self._hi[pred] = latest_pred_start
-                    if self._lo[pred] > self._hi[pred]:
+                    if lo_pred > latest_pred_start:
                         raise InfeasibleError(
                             f"propagation emptied frame of {pred!r}"
                         )
+                    if lo_pred == latest_pred_start:
+                        self._unfixed_count -= 1
+                        self._unfixed_stale = True
                     changed.add(pred)
                     worklist.append(pred)
         return changed
@@ -227,6 +282,36 @@ def asap_schedule(
 def alap_schedule(
     graph: DataFlowGraph, latency_of: Callable[[Operation], int], deadline: int
 ) -> Dict[str, int]:
-    """As-late-as-possible start times against a deadline."""
-    table = FrameTable(graph, latency_of, deadline)
-    return {oid: table.hi(oid) for oid in graph.op_ids}
+    """As-late-as-possible start times against a deadline.
+
+    One direct reverse pass over the precedence edges — no
+    :class:`FrameTable` (whose forward pass, dict snapshots, and frame
+    consistency checks this function never needed).  Infeasibility is
+    detected exactly as before: a backward-pass bound below step 0 means
+    the critical path through that operation exceeds the deadline, which
+    is precisely the ``asap > alap`` condition the full table reports
+    (the ASAP of the chain's head is 0).
+    """
+    latency: Dict[str, int] = {}
+    for op in graph:
+        lat = int(latency_of(op))
+        if lat < 1:
+            raise SchedulingError(
+                f"operation {op.op_id!r}: latency must be >= 1"
+            )
+        latency[op.op_id] = lat
+    starts: Dict[str, int] = {}
+    for oid in reversed(graph.topological_order()):
+        lat = latency[oid]
+        bound = deadline - lat
+        for succ in graph.successors(oid):
+            implied = starts[succ] - lat
+            if implied < bound:
+                bound = implied
+        if bound < 0:
+            raise InfeasibleError(
+                f"block {graph.name!r}: operation {oid!r} cannot meet "
+                f"deadline {deadline} (alap start {bound} before step 0)"
+            )
+        starts[oid] = bound
+    return {oid: starts[oid] for oid in graph.op_ids}

@@ -1,6 +1,15 @@
 """Benchmark workloads: standard HLS graphs and generators."""
 
 from .conditional import mode_switching_filter
+from .corpus import (
+    CORPUS_FAMILIES,
+    CorpusInstance,
+    corpus_library,
+    corpus_system,
+    filter_bank,
+    io_kernel,
+    ode_chain,
+)
 from .diffeq import differential_equation
 from .ewf import elliptic_wave_filter, elliptic_wave_filter_split
 from .fft import fft_butterfly_network
@@ -23,19 +32,26 @@ from .paper_system import (
 from .random_dfg import random_dfg
 
 __all__ = [
+    "CORPUS_FAMILIES",
+    "CorpusInstance",
     "DEADLINES",
     "PERIOD",
     "ar_lattice",
+    "corpus_library",
+    "corpus_system",
     "differential_equation",
     "elliptic_wave_filter",
     "elliptic_wave_filter_split",
     "fft_butterfly_network",
+    "filter_bank",
     "fir_filter",
     "iir_biquad_cascade",
+    "io_kernel",
     "compute_process",
     "dma_process",
     "memory_library",
     "mode_switching_filter",
+    "ode_chain",
     "paper_assignment",
     "paper_periods",
     "paper_system",

@@ -1,0 +1,362 @@
+"""Generated scenario corpus: many-process systems with sparse sharing.
+
+The paper's experiment (§7) couples a handful of processes through a
+pure global assignment.  Scaling the coupled scheduler to *hundreds* of
+processes needs workloads of that many processes whose sharing pattern
+is realistic: each process is 4-5 small blocks drawn from *distinct*
+classes of three parameterized families, each block sharing one "heavy"
+functional-unit class with the other processes of its class's cluster,
+while the ADD/SUB glue stays local.
+
+Families (several variants each, eleven disjoint sharing clusters):
+
+* **Filter banks** — FIR channel blocks, each ``taps`` heavy products
+  feeding a balanced accumulation tree.  Variants share pipelined
+  multipliers, shift-add (CSD) shifters, barrel-shift scalers, or
+  PN-code correlator (XOR) taps.
+* **ODE solver chains** — state-chain blocks of serialized integration
+  steps (evaluate, accumulate, error tap), the long-critical-path /
+  low-concurrency shape of explicit solvers.  Variants share dividers
+  (implicit-step solves), step-acceptance comparators, sign
+  normalizers, or saturation/flag-merge units.
+* **I/O-timing-constrained kernels** — after Coussy et al. ("High-level
+  synthesis under I/O Timing and Memory constraints"): transfer lane
+  blocks of sequentialized input transfers, a compute ladder, and
+  sequentialized output transfers, under a deliberately tight deadline
+  so the transfer chains pin the schedule.  Variants share 2-cycle
+  memory ports, single-cycle stream movers, or word packers.
+
+A process's blocks all iterate under the process-wide maximum (the
+coupled scheduler's per-process iteration bound), so multi-block
+processes exercise the process-max coupling path, not just the global
+sharing path.
+
+Every instance is fully determined by ``(processes, seed)``: process
+family assignment is round-robin (so cluster sizes stay balanced at any
+process count) and per-process sizes/slacks are drawn from one seeded
+:class:`random.Random`.  Sharing clusters are the per-variant process
+sets; a cluster of fewer than two processes keeps its type local.
+
+The sparse pattern is what makes the corpus a scoreboard stressor (see
+docs/corpus.md): most commits perturb only local glue — the dirty cone
+is a single entry — and a system-distribution bump of one cluster's
+type never rescores the other ten clusters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.periods import PeriodAssignment
+from ..errors import GraphError
+from ..ir.dfg import DataFlowGraph
+from ..ir.operation import OpKind
+from ..ir.process import Block, Process, SystemSpec
+from ..resources.assignment import ResourceAssignment
+from ..resources.library import ResourceLibrary
+from ..resources.types import resource_type
+
+__all__ = [
+    "CORPUS_FAMILIES",
+    "CorpusInstance",
+    "corpus_library",
+    "corpus_system",
+    "filter_bank",
+    "io_kernel",
+    "ode_chain",
+]
+
+#: ``(family, variant)`` classes in round-robin assignment order, each
+#: mapped to the resource type its cluster shares globally.  ADD/SUB
+#: stay local glue everywhere, which leaves eleven disjoint heavy
+#: operation kinds — eleven sharing clusters.
+CORPUS_FAMILIES: Tuple[Tuple[str, str], ...] = (
+    ("filter_bank", "multiplier"),
+    ("ode_chain", "divider"),
+    ("io_kernel", "memport"),
+    ("filter_bank", "shifter"),
+    ("ode_chain", "comparator"),
+    ("io_kernel", "mover"),
+    ("filter_bank", "scaler"),
+    ("ode_chain", "normalizer"),
+    ("io_kernel", "packer"),
+    ("filter_bank", "correlator"),
+    ("ode_chain", "saturator"),
+)
+
+#: Heavy operation kind(s) per shared type; disjoint so each cluster's
+#: operations bind to exactly its own globally shared unit.
+_HEAVY_KIND: Dict[str, OpKind] = {
+    "multiplier": OpKind.MUL,
+    "shifter": OpKind.SHL,
+    "scaler": OpKind.SHR,
+    "correlator": OpKind.XOR,
+    "divider": OpKind.DIV,
+    "comparator": OpKind.CMP,
+    "normalizer": OpKind.NOT,
+    "saturator": OpKind.OR,
+    "memport": OpKind.LOAD,
+    "mover": OpKind.MOV,
+    "packer": OpKind.AND,
+}
+
+#: Authorization period per shared type (the memory port gets a longer
+#: window: its 2-cycle busy occupancy needs the head room).
+_PERIOD: Dict[str, int] = {
+    "multiplier": 4,
+    "shifter": 4,
+    "scaler": 4,
+    "correlator": 4,
+    "divider": 4,
+    "comparator": 4,
+    "normalizer": 4,
+    "saturator": 4,
+    "memport": 6,
+    "mover": 4,
+    "packer": 4,
+}
+
+
+def corpus_library() -> ResourceLibrary:
+    """Library of every functional-unit class the corpus families use."""
+    return ResourceLibrary(
+        [
+            resource_type("adder", [OpKind.ADD], latency=1, area=1.0),
+            resource_type("subtracter", [OpKind.SUB], latency=1, area=1.0),
+            resource_type(
+                "multiplier",
+                [OpKind.MUL],
+                latency=2,
+                area=4.0,
+                pipelined=True,
+                initiation_interval=1,
+            ),
+            resource_type("shifter", [OpKind.SHL], latency=1, area=0.5),
+            resource_type("scaler", [OpKind.SHR], latency=1, area=0.5),
+            resource_type("correlator", [OpKind.XOR], latency=1, area=1.0),
+            resource_type("divider", [OpKind.DIV], latency=2, area=6.0),
+            resource_type("comparator", [OpKind.CMP], latency=1, area=1.0),
+            resource_type("normalizer", [OpKind.NOT], latency=1, area=0.5),
+            resource_type("saturator", [OpKind.OR], latency=1, area=1.0),
+            resource_type(
+                "memport",
+                [OpKind.LOAD, OpKind.STORE],
+                latency=2,
+                area=6.0,
+                pipelined=False,
+            ),
+            resource_type("mover", [OpKind.MOV], latency=1, area=2.0),
+            resource_type("packer", [OpKind.AND], latency=1, area=1.0),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Family graph builders
+# ----------------------------------------------------------------------
+def filter_bank(
+    taps: int, *, heavy: OpKind = OpKind.MUL, name: str = ""
+) -> DataFlowGraph:
+    """One FIR channel: ``taps`` heavy products into a balanced add tree."""
+    if taps < 2:
+        raise GraphError(f"a filter bank channel needs >= 2 taps, got {taps}")
+    graph = DataFlowGraph(name=name or f"fb{taps}")
+    level: List[str] = []
+    for index in range(taps):
+        graph.add(f"t{index}", heavy, name=f"c{index}*x{index}")
+        level.append(f"t{index}")
+    counter = 0
+    while len(level) > 1:
+        next_level: List[str] = []
+        for i in range(0, len(level) - 1, 2):
+            op_id = f"a{counter}"
+            counter += 1
+            graph.add(op_id, OpKind.ADD)
+            graph.add_edge(level[i], op_id)
+            graph.add_edge(level[i + 1], op_id)
+            next_level.append(op_id)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    graph.validate()
+    return graph
+
+
+def ode_chain(
+    stages: int, *, heavy: OpKind = OpKind.DIV, name: str = ""
+) -> DataFlowGraph:
+    """Serialized solver steps: evaluate, accumulate, and an error tap.
+
+    Stage ``i`` computes ``f_i = heavy(y_{i-1})``, the new state
+    ``y_i = y_{i-1} + f_i``, and an error tap ``e_i = f_i - y_i`` — a
+    long serial critical path with a little per-stage concurrency,
+    the characteristic shape of explicit integration chains.
+    """
+    if stages < 1:
+        raise GraphError(f"an ODE chain needs >= 1 stage, got {stages}")
+    graph = DataFlowGraph(name=name or f"ode{stages}")
+    graph.add("y0", OpKind.ADD, name="initial state")
+    state = "y0"
+    for index in range(stages):
+        f_id = f"f{index}"
+        y_id = f"y{index + 1}"
+        e_id = f"e{index}"
+        graph.add(f_id, heavy, name=f"step {index}")
+        graph.add(y_id, OpKind.ADD)
+        graph.add(e_id, OpKind.SUB)
+        graph.add_edge(state, f_id)
+        graph.add_edge(state, y_id)
+        graph.add_edge(f_id, y_id)
+        graph.add_edge(f_id, e_id)
+        graph.add_edge(y_id, e_id)
+        state = y_id
+    graph.validate()
+    return graph
+
+
+def io_kernel(
+    words: int, *, heavy: OpKind = OpKind.LOAD, name: str = ""
+) -> DataFlowGraph:
+    """Sequential input transfers, a compute ladder, sequential outputs.
+
+    The transfer operations are chained — an I/O bus delivers and
+    accepts one word at a time — so under a tight deadline the two
+    chains behave like the fixed I/O timing windows of Coussy et al.:
+    the schedule of every transfer is pinned within a few steps.
+    ``heavy`` is :data:`OpKind.LOAD` for memory-port kernels (stores
+    use :data:`OpKind.STORE`, the same shared port) or
+    :data:`OpKind.MOV` for stream-mover kernels (both directions).
+    """
+    if words < 2:
+        raise GraphError(f"an I/O kernel needs >= 2 words, got {words}")
+    store_kind = OpKind.STORE if heavy is OpKind.LOAD else heavy
+    graph = DataFlowGraph(name=name or f"io{words}")
+    loads: List[str] = []
+    for index in range(words):
+        op_id = f"in{index}"
+        graph.add(op_id, heavy, name=f"read word {index}")
+        if loads:
+            graph.add_edge(loads[-1], op_id)
+        loads.append(op_id)
+    acc = None
+    outs: List[str] = []
+    for index in range(words):
+        c_id = f"c{index}"
+        graph.add(c_id, OpKind.ADD if index % 2 == 0 else OpKind.SUB)
+        graph.add_edge(loads[index], c_id)
+        if acc is not None:
+            graph.add_edge(acc, c_id)
+        acc = c_id
+        out_id = f"out{index}"
+        graph.add(out_id, store_kind, name=f"write word {index}")
+        graph.add_edge(c_id, out_id)
+        if outs:
+            graph.add_edge(outs[-1], out_id)
+        outs.append(out_id)
+    graph.validate()
+    return graph
+
+
+# ----------------------------------------------------------------------
+# System builder
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CorpusInstance:
+    """One generated scenario: system, sharing pattern, periods, library."""
+
+    name: str
+    system: SystemSpec
+    assignment: ResourceAssignment
+    periods: PeriodAssignment
+    library: ResourceLibrary
+
+
+def _build_block(
+    family: str,
+    shared_type: str,
+    name: str,
+    slot: int,
+    rng: random.Random,
+    library: ResourceLibrary,
+) -> Block:
+    """One small block of the given class under its deadline."""
+    heavy = _HEAVY_KIND[shared_type]
+    if family == "filter_bank":
+        graph = filter_bank(rng.randint(4, 6), heavy=heavy, name=f"{name}-fb{slot}")
+        slack = rng.randint(3, 4)
+        block_name = f"ch{slot}"
+    elif family == "ode_chain":
+        graph = ode_chain(rng.randint(2, 3), heavy=heavy, name=f"{name}-ode{slot}")
+        slack = rng.randint(2, 3)
+        block_name = f"st{slot}"
+    else:  # io_kernel: tight slack — the transfer chains pin the timing
+        graph = io_kernel(rng.randint(2, 3), heavy=heavy, name=f"{name}-io{slot}")
+        slack = 2
+        block_name = f"lane{slot}"
+    deadline = graph.critical_path_length(library.latency_of) + slack
+    return Block(name=block_name, graph=graph, deadline=deadline)
+
+
+def _build_process(
+    index: int, name: str, rng: random.Random, library: ResourceLibrary
+) -> Tuple[Process, List[str]]:
+    """One heterogeneous process: blocks from *distinct* sharing classes.
+
+    A real process mixes work — input transfers feeding filter channels
+    feeding solver steps — so its blocks come from consecutive classes
+    of the rotation, each sharing a *different* heavy type.  That keeps
+    each block's dirty cone narrow (a commit that moves one shared
+    type's allocation never stales a sibling's forces: the sibling has
+    no operations of that type) while the process still couples to
+    several clusters and its blocks couple through the process-wide
+    iteration maximum.  Returns the process and its shared type names.
+    """
+    process = Process(name=name)
+    blocks = rng.randint(4, 5)
+    shared: List[str] = []
+    for slot in range(blocks):
+        family, shared_type = CORPUS_FAMILIES[(index + slot) % len(CORPUS_FAMILIES)]
+        process.add_block(
+            _build_block(family, shared_type, name, slot, rng, library)
+        )
+        shared.append(shared_type)
+    return process, shared
+
+
+def corpus_system(processes: int, *, seed: int = 0) -> CorpusInstance:
+    """Build one corpus instance with ``processes`` processes.
+
+    Process ``i`` holds 4-5 blocks drawn from the consecutive classes
+    ``CORPUS_FAMILIES[(i + j) % 11]`` — distinct heavy types within a
+    process — with per-block graph sizes and deadline slacks drawn from
+    ``random.Random(seed)``.  The processes using a class's heavy type
+    form that type's sharing group (kept local below two members);
+    ADD/SUB glue stays local.
+    """
+    if processes < 1:
+        raise GraphError(f"a corpus system needs >= 1 process, got {processes}")
+    library = corpus_library()
+    rng = random.Random(seed)
+    system = SystemSpec(name=f"corpus-p{processes}-s{seed}")
+    clusters: Dict[str, List[str]] = {}
+    for index in range(processes):
+        name = f"p{index:03d}"
+        process, shared = _build_process(index, name, rng, library)
+        system.add_process(process)
+        for shared_type in shared:
+            clusters.setdefault(shared_type, []).append(name)
+    assignment = ResourceAssignment(library)
+    period_map: Dict[str, int] = {}
+    for shared_type, members in clusters.items():
+        if len(members) >= 2:
+            assignment.make_global(shared_type, members)
+            period_map[shared_type] = _PERIOD[shared_type]
+    return CorpusInstance(
+        name=system.name,
+        system=system,
+        assignment=assignment,
+        periods=PeriodAssignment(period_map),
+        library=library,
+    )

@@ -1,0 +1,198 @@
+"""Decision parity of the selection scoreboard (docs/performance.md).
+
+The dirty-cone scoreboard must change *how much work* a selection scan
+does, never *which* reduction wins: a ``use_scoreboard=True`` run of
+the coupled scheduler must make the identical sequence of reduction
+decisions — same (process, block, op, side) at every iteration — and
+land on the same schedules, area, and telemetry counters as the full
+per-iteration candidate rescan.  Pinned over the paper workload, a
+guarded/conditional workload, 20 seeded random systems, and 3 scenario
+corpus instances (the ISSUE 8 acceptance oracle), on both the kernel
+and the scalar force paths.
+
+Counter equality is deliberately strict: a skipped entry still charges
+its candidate count and its cache-hit probes exactly as the full scan
+would have, so any drift in the dirty-cone or subscription bookkeeping
+shows up here before it can perturb a decision.  Only the scoreboard's
+own work split (``selection_rescored`` / ``selection_skipped``) is
+excluded — it measures the optimization itself and is zero when the
+scoreboard is off.
+"""
+
+import pytest
+
+from repro.core.periods import PeriodAssignment
+from repro.core.scheduler import ModuloSystemScheduler
+from repro.ir.process import Block, Process, SystemSpec
+from repro.obs import Tracer
+from repro.resources.assignment import ResourceAssignment
+from repro.resources.library import default_library
+from repro.scheduling.forces import area_weights
+from repro.workloads import (
+    corpus_system,
+    mode_switching_filter,
+    paper_assignment,
+    paper_periods,
+    paper_system,
+    random_dfg,
+)
+
+#: The scoreboard's own counters: legitimately differ between the arms.
+SCOREBOARD_COUNTERS = ("selection_rescored", "selection_skipped")
+
+
+def comparable(counters):
+    """Counters minus the scoreboard-owned work split."""
+    return {
+        name: value
+        for name, value in counters.items()
+        if name not in SCOREBOARD_COUNTERS
+    }
+
+
+def run_scheduler(
+    system, library, assignment, periods, *,
+    use_scoreboard, use_kernels=True, weights=None,
+):
+    """One traced run; returns (decisions, starts, area, counters)."""
+    tracer = Tracer()
+    scheduler = ModuloSystemScheduler(
+        library,
+        weights=weights,
+        use_kernels=use_kernels,
+        use_scoreboard=use_scoreboard,
+        tracer=tracer,
+    )
+    result = scheduler.schedule(system, assignment, periods)
+    decisions = [
+        (e.attrs["process"], e.attrs["block"], e.attrs["op"], e.attrs["side"])
+        for e in tracer.events_named("reduction")
+    ]
+    starts = {key: sched.starts for key, sched in result.block_schedules.items()}
+    return decisions, starts, result.total_area(), tracer.counters.as_dict()
+
+
+def assert_parity(
+    system_factory, library, assignment_factory, periods, *,
+    use_kernels=True, weights=None,
+):
+    """Scoreboard and full-rescan runs must agree decision for decision."""
+    board = run_scheduler(
+        system_factory(),
+        library,
+        assignment_factory(),
+        periods,
+        use_scoreboard=True,
+        use_kernels=use_kernels,
+        weights=weights,
+    )
+    rescan = run_scheduler(
+        system_factory(),
+        library,
+        assignment_factory(),
+        periods,
+        use_scoreboard=False,
+        use_kernels=use_kernels,
+        weights=weights,
+    )
+    assert board[0] == rescan[0], "reduction sequences diverged"
+    assert board[1] == rescan[1], "final schedules diverged"
+    assert board[2] == rescan[2], "total area diverged"
+    assert comparable(board[3]) == comparable(rescan[3]), (
+        "telemetry counters diverged"
+    )
+    return board[3]
+
+
+class TestPaperSystemParity:
+    @pytest.mark.parametrize("use_kernels", [True, False])
+    def test_paper_system_identical_decisions_and_schedule(self, use_kernels):
+        _system, library = paper_system()
+
+        counters = assert_parity(
+            lambda: paper_system()[0],
+            library,
+            lambda: paper_assignment(library),
+            paper_periods(),
+            use_kernels=use_kernels,
+            weights=area_weights(library),
+        )
+        # The scoreboard must actually skip entries, not just agree.
+        assert counters.get("selection_skipped", 0) > 0
+
+
+class TestGuardedWorkloadParity:
+    @pytest.mark.parametrize("use_kernels", [True, False])
+    def test_mode_switching_system(self, use_kernels):
+        """Guarded footprints rescore through the scalar probe path;
+        decisions and counters still match the full rescan."""
+        library = default_library()
+
+        def build_system():
+            system = SystemSpec(name="modal")
+            for index, taps in enumerate((3, 4)):
+                graph = mode_switching_filter(taps, name=f"g{index}")
+                deadline = graph.critical_path_length(library.latency_of) + 4
+                process = Process(name=f"p{index}")
+                process.add_block(
+                    Block(name="main", graph=graph, deadline=deadline)
+                )
+                system.add_process(process)
+            return system
+
+        def build_assignment():
+            return ResourceAssignment.all_global(library, build_system())
+
+        periods = PeriodAssignment(
+            {name: 3 for name in build_assignment().global_types}
+        )
+        assert_parity(
+            build_system, library, build_assignment, periods,
+            use_kernels=use_kernels,
+        )
+
+
+class TestRandomPopulationParity:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_system(self, seed):
+        library = default_library()
+
+        def build_system():
+            system = SystemSpec(name=f"rand{seed}")
+            for index in range(3):
+                graph = random_dfg(8, seed=100 * seed + index)
+                deadline = graph.critical_path_length(library.latency_of) + 4
+                process = Process(name=f"p{index}")
+                process.add_block(
+                    Block(name="main", graph=graph, deadline=deadline)
+                )
+                system.add_process(process)
+            return system
+
+        def build_assignment():
+            return ResourceAssignment.all_global(library, build_system())
+
+        periods = PeriodAssignment(
+            {name: 4 for name in build_assignment().global_types}
+        )
+        assert_parity(build_system, library, build_assignment, periods)
+
+
+class TestCorpusParity:
+    """The scenario corpus is the scoreboard's target workload: many
+    heterogeneous processes coupled through eleven shared clusters."""
+
+    @pytest.mark.parametrize("processes,seed", [(6, 0), (10, 1), (14, 2)])
+    def test_corpus_instance(self, processes, seed):
+        instance = corpus_system(processes, seed=seed)
+        counters = assert_parity(
+            lambda: instance.system,
+            instance.library,
+            lambda: instance.assignment,
+            instance.periods,
+        )
+        # Corpus commits touch a small dirty cone: most entry visits
+        # must be skips for the optimization to be doing its job.
+        rescored = counters["selection_rescored"]
+        skipped = counters["selection_skipped"]
+        assert skipped > rescored

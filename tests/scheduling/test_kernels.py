@@ -207,10 +207,9 @@ def assert_batch_matches_scalar(state, candidates):
                 delta,
                 err_msg=f"{op_id}@{start} type {type_name}",
             )
-        # Rows of types the candidate does not displace stay exact zero.
-        for type_name, matrix in batch.deltas.items():
-            if type_name not in scalar:
-                assert not matrix[row].any()
+        # Rows of types the candidate does not displace are never
+        # consumed (type_orders gates every reader), so their contents
+        # are unspecified — only the membership above is checked.
 
 
 @given(seed=st.integers(min_value=0, max_value=500))

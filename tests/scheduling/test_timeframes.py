@@ -151,6 +151,52 @@ class TestImpliedNeighborFrames:
         assert table.frames() == before
 
 
+class TestMobilityTracking:
+    """Incremental unfixed/version bookkeeping (the frame fast paths)."""
+
+    def test_unfixed_count_tracks_fixes(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        assert table.unfixed_count() == 3
+        table.fix("n0", 0)
+        assert table.unfixed_count() == 2
+        assert not table.all_fixed()
+        table.fix("n1", 1)
+        table.fix("n2", 2)
+        assert table.unfixed_count() == 0
+        assert table.all_fixed()
+
+    def test_unfixed_count_includes_propagated_fixes(self):
+        # Fixing n2 at its earliest start pins the whole chain at once.
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        table.fix("n2", 2)
+        assert table.unfixed_count() == 0
+        assert table.unfixed() == []
+
+    def test_version_bumps_only_on_committed_change(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        v0 = table.version()
+        table.reduce("n0", -5, 100)  # superset: no frame changes
+        assert table.version() == v0
+        table.reduce("n0", 1, 3)
+        assert table.version() > v0
+
+    def test_infeasible_reduce_keeps_count_consistent(self):
+        table = FrameTable(chain(3), UNIT, deadline=6)
+        table.fix("n0", 3)  # pins the whole chain at 3, 4, 5
+        with pytest.raises(InfeasibleError):
+            table.reduce("n1", 5, 5)
+        assert table.unfixed_count() == 0
+        assert table.unfixed() == []
+
+    def test_refix_at_same_start_is_noop(self):
+        table = FrameTable(chain(2), UNIT, deadline=5)
+        table.fix("n0", 1)
+        v = table.version()
+        assert table.fix("n0", 1) == set()
+        assert table.version() == v
+        assert table.unfixed_count() == 1
+
+
 class TestAsapAlap:
     def test_asap_schedule(self):
         starts = asap_schedule(chain(3), UNIT)
@@ -159,6 +205,26 @@ class TestAsapAlap:
     def test_alap_schedule(self):
         starts = alap_schedule(chain(3), UNIT, deadline=5)
         assert starts == {"n0": 2, "n1": 3, "n2": 4}
+
+    def test_alap_matches_frame_table_hi(self):
+        graph = DataFlowGraph(name="diamond")
+        graph.add("a", OpKind.ADD)
+        graph.add("m", OpKind.MUL)
+        graph.add("b", OpKind.ADD)
+        graph.add("c", OpKind.ADD)
+        graph.add_edges([("a", "m"), ("a", "b"), ("m", "c"), ("b", "c")])
+        deadline = 7
+        table = FrameTable(graph, mixed_latency, deadline)
+        starts = alap_schedule(graph, mixed_latency, deadline)
+        assert starts == {oid: table.hi(oid) for oid in graph.op_ids}
+
+    def test_alap_infeasible_deadline_raises(self):
+        with pytest.raises(InfeasibleError, match="deadline"):
+            alap_schedule(chain(4), UNIT, deadline=3)
+
+    def test_alap_zero_latency_rejected(self):
+        with pytest.raises(Exception, match="latency"):
+            alap_schedule(chain(2), lambda op: 0, deadline=5)
 
     def test_asap_with_multicycle(self):
         graph = DataFlowGraph()

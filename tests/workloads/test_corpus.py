@@ -1,0 +1,147 @@
+"""Tests for the generated scenario corpus (repro.workloads.corpus)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.operation import OpKind
+from repro.workloads import (
+    CORPUS_FAMILIES,
+    corpus_library,
+    corpus_system,
+    filter_bank,
+    io_kernel,
+    ode_chain,
+)
+
+
+class TestGraphBuilders:
+    def test_filter_bank_shape(self):
+        graph = filter_bank(4)
+        kinds = [graph.operation(oid).kind for oid in graph.op_ids]
+        assert kinds.count(OpKind.MUL) == 4
+        # A balanced reduction of n taps needs n - 1 adders.
+        assert kinds.count(OpKind.ADD) == 3
+        graph.validate()
+
+    def test_filter_bank_heavy_override(self):
+        graph = filter_bank(5, heavy=OpKind.SHL)
+        kinds = [graph.operation(oid).kind for oid in graph.op_ids]
+        assert kinds.count(OpKind.SHL) == 5
+        assert OpKind.MUL not in kinds
+
+    def test_filter_bank_rejects_single_tap(self):
+        with pytest.raises(GraphError):
+            filter_bank(1)
+
+    def test_ode_chain_shape(self):
+        stages = 3
+        graph = ode_chain(stages)
+        kinds = [graph.operation(oid).kind for oid in graph.op_ids]
+        assert kinds.count(OpKind.DIV) == stages
+        assert kinds.count(OpKind.SUB) == stages  # one error tap per stage
+        # The state chain serializes: critical path grows with stages.
+        unit = lambda op: 1  # noqa: E731
+        assert graph.critical_path_length(unit) >= stages + 1
+
+    def test_ode_chain_rejects_zero_stages(self):
+        with pytest.raises(GraphError):
+            ode_chain(0)
+
+    def test_io_kernel_memport_uses_both_port_kinds(self):
+        graph = io_kernel(3)
+        kinds = [graph.operation(oid).kind for oid in graph.op_ids]
+        assert kinds.count(OpKind.LOAD) == 3
+        assert kinds.count(OpKind.STORE) == 3
+
+    def test_io_kernel_mover_uses_one_kind_both_directions(self):
+        graph = io_kernel(3, heavy=OpKind.MOV)
+        kinds = [graph.operation(oid).kind for oid in graph.op_ids]
+        assert kinds.count(OpKind.MOV) == 6
+
+    def test_io_kernel_transfers_are_chained(self):
+        graph = io_kernel(3)
+        assert "in0" in graph.predecessors("in1")
+        assert "out1" in graph.predecessors("out2")
+
+
+class TestCorpusSystem:
+    def test_deterministic_generation(self):
+        first = corpus_system(8, seed=3)
+        second = corpus_system(8, seed=3)
+        assert first.name == second.name
+        assert [p.name for p in first.system.processes] == [
+            p.name for p in second.system.processes
+        ]
+        for p_a, p_b in zip(first.system.processes, second.system.processes):
+            assert [b.name for b in p_a.blocks] == [b.name for b in p_b.blocks]
+            assert [b.deadline for b in p_a.blocks] == [
+                b.deadline for b in p_b.blocks
+            ]
+            assert [len(b.graph) for b in p_a.blocks] == [
+                len(b.graph) for b in p_b.blocks
+            ]
+        assert first.periods.as_dict == second.periods.as_dict
+
+    def test_seed_changes_instance(self):
+        base = corpus_system(8, seed=0)
+        other = corpus_system(8, seed=1)
+        sizes = lambda inst: [  # noqa: E731
+            len(b.graph) for p in inst.system.processes for b in p.blocks
+        ]
+        assert sizes(base) != sizes(other)
+
+    def test_processes_hold_distinct_heavy_types(self):
+        instance = corpus_system(6, seed=0)
+        heavy_kinds = set(kind for kind in OpKind) - {
+            OpKind.ADD, OpKind.SUB
+        }
+        for process in instance.system.processes:
+            block_types = []
+            for block in process.blocks:
+                kinds = {
+                    block.graph.operation(oid).kind for oid in block.graph.op_ids
+                } & heavy_kinds
+                # STORE rides on the LOAD port: one shared type per block.
+                kinds.discard(OpKind.STORE)
+                assert len(kinds) == 1
+                block_types.append(kinds.pop())
+            assert len(set(block_types)) == len(block_types)
+
+    def test_all_eleven_clusters_form_at_scale(self):
+        instance = corpus_system(12, seed=0)
+        assert set(instance.assignment.global_types) == {
+            shared for _family, shared in CORPUS_FAMILIES
+        }
+        for type_name in instance.assignment.global_types:
+            assert len(instance.assignment.group(type_name)) >= 2
+            assert instance.periods.period(type_name) >= 1
+
+    def test_glue_stays_local(self):
+        instance = corpus_system(10, seed=0)
+        assert "adder" not in instance.assignment.global_types
+        assert "subtracter" not in instance.assignment.global_types
+
+    def test_instance_validates_and_schedules(self):
+        from repro.core.scheduler import ModuloSystemScheduler
+
+        instance = corpus_system(4, seed=2)
+        instance.library.covers(instance.system)
+        instance.assignment.validate(instance.system)
+        instance.system.validate(instance.library.latency_of)
+        scheduler = ModuloSystemScheduler(instance.library)
+        result = scheduler.schedule(
+            instance.system, instance.assignment, instance.periods
+        )
+        assert result.total_area() > 0
+        assert len(result.block_schedules) == sum(
+            len(p.blocks) for p in instance.system.processes
+        )
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(GraphError):
+            corpus_system(0)
+
+    def test_library_covers_every_family_kind(self):
+        library = corpus_library()
+        instance = corpus_system(11, seed=0)
+        library.covers(instance.system)
