@@ -1,0 +1,252 @@
+"""Scheduling-service benchmark and chaos smoke (docs/service.md).
+
+Measures the three guarantees the ``repro serve`` job server sells:
+
+* **content-addressed caching** — the same submission answered from the
+  durable result cache instead of rescheduling (``cache_hit.speedup``);
+* **byte-identical payloads** — the cached bytes, the server's bytes,
+  and an uninterrupted in-process run's bytes are all equal
+  (``byte_identical`` flags, a hard invariant);
+* **exactly-once crash recovery** — the server is ``SIGKILL``-ed in the
+  middle of a sweep, restarted on the same state directory, and must
+  finish the job without re-evaluating a single journaled candidate
+  (``crash_resume.duplicate_evaluations == 0``, also hard).
+
+The server runs as a real subprocess (``python -m repro serve``) so the
+kill is a genuine process death, not an in-process simulation.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from conftest import save_artifact
+
+from repro.parallel.checkpoint import candidate_key, load_jsonl_tolerant
+from repro.service import LocalSession, ServiceClient, cache_key
+
+#: The benchmark workload: a two-process system sharing both pools.
+SYSTEM_TEXT = """\
+system service-bench
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+op p2 main a1 add
+global multiplier p1 p2
+global adder p1 p2
+period multiplier 4
+period adder 4
+"""
+
+
+class ServeProcess:
+    """A ``repro serve`` subprocess plus its parsed ephemeral address."""
+
+    def __init__(self, state_dir):
+        self.state_dir = str(state_dir)
+        self.process = None
+        self.address = None
+
+    def start(self):
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--state",
+                self.state_dir,
+                "--address",
+                "127.0.0.1:0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if "listening on" in line:
+                self.address = line.split("listening on", 1)[1].split()[0]
+                return self
+            if self.process.poll() is not None:
+                raise RuntimeError("repro serve exited before binding")
+        raise RuntimeError("repro serve never reported its address")
+
+    def sigkill(self):
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=10)
+
+    def stop(self):
+        if self.process is not None and self.process.poll() is None:
+            self.process.terminate()
+            self.process.wait(timeout=10)
+        if self.process is not None and self.process.stdout:
+            self.process.stdout.close()
+
+
+def wait_for_candidates(path, count, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            records, _ = load_jsonl_tolerant(path)
+            if len(records) >= count:
+                return len(records)
+        time.sleep(0.02)
+    raise RuntimeError(f"never saw {count} journaled candidate(s)")
+
+
+def run_bench(limit, candidate_delay, state_root):
+    cold_options = {"limit": limit}
+    chaos_options = {"limit": limit, "candidate_delay": candidate_delay}
+
+    # Uninterrupted in-process references: the bytes every server-side
+    # arm must reproduce.
+    with LocalSession() as session:
+        ref_cold = session.sweep(SYSTEM_TEXT, cold_options).raw
+    with LocalSession() as session:
+        ref_chaos = session.sweep(SYSTEM_TEXT, chaos_options).raw
+
+    state = os.path.join(state_root, "state")
+    server = ServeProcess(state).start()
+    try:
+        client = ServiceClient(server.address, timeout=10.0)
+
+        # Arm 1: cold submission — full scheduling on the server.
+        started = time.perf_counter()
+        cold_status = client.submit("sweep", SYSTEM_TEXT, cold_options)
+        client.wait(cold_status["job"], timeout=300.0)
+        cold_bytes = client.result_bytes(cold_status["job"])
+        cold_seconds = time.perf_counter() - started
+
+        # Arm 2: identical resubmission — served from the result cache.
+        started = time.perf_counter()
+        warm_status = client.submit("sweep", SYSTEM_TEXT, cold_options)
+        warm_bytes = client.result_bytes(warm_status["job"])
+        warm_seconds = time.perf_counter() - started
+
+        # Arm 3: SIGKILL mid-sweep, restart, exactly-once resume.  The
+        # per-candidate delay widens the window the kill lands in.
+        chaos_job = cache_key("sweep", SYSTEM_TEXT, chaos_options)
+        journal = os.path.join(state, "sweeps", f"{chaos_job}.jsonl")
+        submitted = client.submit("sweep", SYSTEM_TEXT, chaos_options)
+        assert submitted["job"] == chaos_job
+        before_kill = wait_for_candidates(journal, 2)
+        server.sigkill()
+    except BaseException:
+        server.stop()
+        raise
+
+    started = time.perf_counter()
+    restarted = ServeProcess(state).start()
+    try:
+        client = ServiceClient(restarted.address, timeout=10.0)
+        final = client.wait(chaos_job, timeout=300.0)
+        resume_seconds = time.perf_counter() - started
+        assert final["state"] == "done", final
+        chaos_bytes = client.result_bytes(chaos_job)
+    finally:
+        restarted.stop()
+
+    records, _ = load_jsonl_tolerant(journal)
+    keys = [candidate_key(record["periods"]) for record in records]
+    cold_payload = json.loads(cold_bytes)
+    return {
+        "workload": {
+            "system": "service-bench",
+            "limit": limit,
+            "candidate_delay": candidate_delay,
+            "candidates": cold_payload["total"],
+            "evaluated": cold_payload["evaluated"],
+        },
+        "cold": {
+            "seconds": cold_seconds,
+            "cached": bool(cold_status["cached"]),
+        },
+        "cache_hit": {
+            "seconds": warm_seconds,
+            "cached": bool(warm_status["cached"]),
+            "speedup": cold_seconds / warm_seconds if warm_seconds else 0.0,
+            "byte_identical": warm_bytes == cold_bytes == ref_cold,
+        },
+        "crash_resume": {
+            "candidates_before_kill": before_kill,
+            "resume_seconds": resume_seconds,
+            "duplicate_evaluations": len(keys) - len(set(keys)),
+            "journaled_candidates": len(keys),
+            "byte_identical": chaos_bytes == ref_chaos,
+        },
+    }
+
+
+def render(result):
+    lines = [
+        "scheduling service bench (cold vs cache-hit vs crash-resume)",
+        f"  workload: sweep limit={result['workload']['limit']}, "
+        f"{result['workload']['candidates']} candidates "
+        f"({result['workload']['evaluated']} evaluated)",
+        f"  cold submit:  {result['cold']['seconds']:.3f} s",
+        f"  cache hit:    {result['cache_hit']['seconds']:.3f} s "
+        f"(speedup {result['cache_hit']['speedup']:.0f}x, "
+        f"byte_identical={result['cache_hit']['byte_identical']})",
+        f"  crash resume: killed after "
+        f"{result['crash_resume']['candidates_before_kill']} candidate(s), "
+        f"resumed in {result['crash_resume']['resume_seconds']:.3f} s, "
+        f"duplicates={result['crash_resume']['duplicate_evaluations']}, "
+        f"byte_identical={result['crash_resume']['byte_identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--limit", type=int, default=6,
+                        help="period-candidate cap of the sweep workload")
+    parser.add_argument("--candidate-delay", type=float, default=0.4,
+                        help="per-candidate stall of the chaos arm "
+                             "(widens the SIGKILL window)")
+    parser.add_argument("--out", default=None,
+                        help="also write the JSON artifact to this path")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as root:
+        result = run_bench(args.limit, args.candidate_delay, root)
+
+    text = render(result)
+    save_artifact("bench_service", text, data=result)
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    ok = (
+        result["cache_hit"]["byte_identical"]
+        and result["crash_resume"]["byte_identical"]
+        and result["crash_resume"]["duplicate_evaluations"] == 0
+        and result["cache_hit"]["cached"]
+        and not result["cold"]["cached"]
+    )
+    if not ok:
+        print("SERVICE BENCH FAILED: invariant violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

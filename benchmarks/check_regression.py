@@ -31,6 +31,9 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py \
         --kind scale --current BENCH_scale.json \
         --baseline benchmarks/baselines/BENCH_scale_smoke.json
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --kind service --current BENCH_service.json \
+        --baseline benchmarks/baselines/BENCH_service_smoke.json
 
 The committed baselines under ``benchmarks/baselines/`` are smoke-scale
 runs matching the CI invocations; the root-level ``BENCH_scaling.json``
@@ -209,6 +212,54 @@ def check_sweep(gate, current, baseline):
     )
 
 
+def check_service(gate, current, baseline):
+    """Job-server cache/crash-recovery smoke rows (bench_service.py)."""
+    if current["workload"]["limit"] != baseline["workload"]["limit"]:
+        gate.failures.append(
+            f"workload mismatch: sweep limit "
+            f"{current['workload']['limit']} vs baseline "
+            f"{baseline['workload']['limit']} — regenerate the baseline "
+            f"with the CI flags"
+        )
+        return
+    # Correctness invariants first — these are hard, not tolerances.
+    for name, value in (
+        ("cache-hit byte_identical", current["cache_hit"]["byte_identical"]),
+        ("crash-resume byte_identical",
+         current["crash_resume"]["byte_identical"]),
+        ("first submission uncached", not current["cold"]["cached"]),
+        ("resubmission cached", current["cache_hit"]["cached"]),
+    ):
+        if not value:
+            gate.failures.append(f"{name} invariant violated")
+        else:
+            gate.lines.append(f"  ok   {name}")
+    gate.check_count(
+        "crash-resume duplicate evaluations",
+        current["crash_resume"]["duplicate_evaluations"],
+        0,
+    )
+    gate.check_count(
+        "journaled candidates",
+        current["crash_resume"]["journaled_candidates"],
+        baseline["crash_resume"]["journaled_candidates"],
+    )
+    gate.check_count(
+        "candidates evaluated",
+        current["workload"]["evaluated"],
+        baseline["workload"]["evaluated"],
+    )
+    # Cache-hit latency relative to the cold run of the same process: a
+    # shrinking speedup means cache lookups got slower or cold runs
+    # faster-by-doing-less; either way, look.
+    _wall_ratio(
+        gate,
+        "cache-hit/cold wall-time ratio",
+        current["cache_hit"]["seconds"], current["cold"]["seconds"],
+        baseline["cache_hit"]["seconds"], baseline["cold"]["seconds"],
+    )
+
+
 def check_kernels(gate, current, baseline):
     """Per-kernel and end-to-end kernel A/B rows (bench_kernels.py)."""
     base_kernels = {
@@ -269,9 +320,11 @@ def check_kernels(gate, current, baseline):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--kind",
-                        choices=("scaling", "sweep", "kernels", "scale"),
-                        required=True)
+    parser.add_argument(
+        "--kind",
+        choices=("scaling", "sweep", "kernels", "scale", "service"),
+        required=True,
+    )
     parser.add_argument("--current", required=True,
                         help="freshly generated benchmark JSON")
     parser.add_argument("--baseline", required=True,
@@ -292,6 +345,8 @@ def main(argv=None):
         check_kernels(gate, current, baseline)
     elif args.kind == "scale":
         check_scale(gate, current, baseline)
+    elif args.kind == "service":
+        check_service(gate, current, baseline)
     else:
         check_sweep(gate, current, baseline)
 

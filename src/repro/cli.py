@@ -19,6 +19,9 @@ Usage (after ``pip install -e .``)::
     python -m repro explain system.sys             # bottleneck attribution
     python -m repro report system.sys -o run.md    # self-contained run report
     python -m repro info system.sys                # problem statistics
+    python -m repro serve --state dir              # scheduling job server
+    python -m repro schedule system.sys --server 127.0.0.1:7070
+    python -m repro jobs --server 127.0.0.1:7070 --watch
 
 ``-v``/``-vv`` raise the ``repro.*`` log level (INFO/DEBUG on stderr);
 ``-q`` silences everything below ERROR.  User-facing results always go
@@ -122,12 +125,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; 1 (default) runs in-process "
         "(see docs/parallel.md)",
     )
+    server = argparse.ArgumentParser(add_help=False)
+    server.add_argument(
+        "--server",
+        metavar="ADDR",
+        default=None,
+        help="run this command as a thin client of a `repro serve` "
+        "daemon at ADDR (HOST:PORT or a unix-socket path); results "
+        "come from its content-addressed cache (see docs/service.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     schedule = sub.add_parser(
         "schedule",
         help="schedule a .sys problem",
-        parents=[verbosity, observe, audit],
+        parents=[verbosity, observe, audit, server],
     )
     schedule.add_argument("file", help="path to a .sys problem file")
     schedule.add_argument(
@@ -194,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep",
         help="enumerate period assignments (step S2)",
-        parents=[verbosity, observe, workers],
+        parents=[verbosity, observe, workers, server],
     )
     sweep.add_argument("file")
     sweep.add_argument(
@@ -298,7 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     certify = sub.add_parser(
         "certify",
         help="prove pool safety over all admissible offsets",
-        parents=[verbosity, observe],
+        parents=[verbosity, observe, server],
     )
     certify.add_argument("file", help="path to a .sys problem file")
     certify.add_argument(
@@ -410,6 +422,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("file")
     export.add_argument("-o", "--output", help="write JSON here (default stdout)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe scheduling job server (docs/service.md)",
+        parents=[verbosity],
+    )
+    serve.add_argument(
+        "--state",
+        required=True,
+        metavar="DIR",
+        help="state directory: job journal, result cache, sweep journals",
+    )
+    serve.add_argument(
+        "--address",
+        default="127.0.0.1:7070",
+        metavar="ADDR",
+        help="HOST:PORT (port 0 picks a free port) or a unix-socket "
+        "path (default %(default)s)",
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads draining the job queue (default %(default)s)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max queued jobs before submissions get 429 "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock budget; timed-out attempts retry "
+        "under the backoff policy",
+    )
+    serve.add_argument(
+        "--inject-fault",
+        metavar="SPEC",
+        default=None,
+        help="chaos harness: fire a fault on the Nth job attempt, "
+        "e.g. 'exit:7@2' or 'hang:5@1x2' (DIRECTIVE[@N[xC]]; "
+        "see repro.parallel.jobs)",
+    )
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="list or watch the jobs of a running `repro serve` daemon",
+        parents=[verbosity],
+    )
+    jobs.add_argument(
+        "--server",
+        required=True,
+        metavar="ADDR",
+        help="the daemon's address (HOST:PORT or unix-socket path)",
+    )
+    jobs.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep polling and print every job state change until "
+        "interrupted (or until all jobs are terminal)",
+    )
+    jobs.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval for --watch (default %(default)s)",
+    )
+    jobs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the daemon's Prometheus metrics instead of the "
+        "job table",
+    )
     return parser
 
 
@@ -516,6 +609,276 @@ def _run_budget(args: argparse.Namespace) -> Optional[RunBudget]:
     return RunBudget(max_iterations=max_iterations, wall_deadline=time_budget)
 
 
+# ----------------------------------------------------------------------
+# Thin-client paths (--server ADDR; see docs/service.md)
+# ----------------------------------------------------------------------
+def _reject_server_flags(
+    args: argparse.Namespace, flags: Dict[str, str]
+) -> None:
+    """Fail fast on flags the remote protocol cannot honor.
+
+    ``flags`` maps attribute names to the user-facing spelling; an
+    attribute that is set (truthy, or non-default where a default is
+    embedded in the message) raises a ``SERVE``-coded error instead of
+    being silently dropped.
+    """
+    from .service import ServiceError
+
+    for attr, flag in flags.items():
+        if getattr(args, attr, None):
+            raise ServiceError(
+                f"{flag} is not supported with --server; run locally "
+                "or drop the flag"
+            )
+
+
+def _remote_outcome(args: argparse.Namespace, kind: str, options: Dict):
+    """Submit one job to the daemon and wait for its payload."""
+    from .service import RemoteSession
+
+    with open(args.file, encoding="utf-8") as handle:
+        text = handle.read()
+    session = RemoteSession(args.server)
+    outcome = session.run(kind, text, options)
+    if outcome.cached:
+        print(
+            "cache hit: result served from the daemon's "
+            "content-addressed cache",
+            file=sys.stderr,
+        )
+    return outcome
+
+
+def _render_result_payload(payload: Dict) -> None:
+    """Mirror ``SystemSchedule.summary()`` from a service payload."""
+    counts = payload.get("instance_counts") or {}
+    parts = [f"{count}x {name}" for name, count in counts.items()]
+    line = f"system {payload.get('system')!r}: " + ", ".join(parts)
+    line += f"; area {payload.get('area'):g}"
+    if payload.get("iterations"):
+        line += f"; {payload['iterations']} iterations"
+    print(line)
+    if payload.get("degraded"):
+        print(
+            "warning: the server's budget degraded this schedule to the "
+            "list-scheduling fallback",
+            file=sys.stderr,
+        )
+
+
+def _remote_schedule(args: argparse.Namespace) -> int:
+    _reject_server_flags(
+        args,
+        {
+            "table": "--table",
+            "profile": "--profile",
+            "trace": "--trace",
+            "audit": "--audit",
+            "time_budget": "--time-budget",
+        },
+    )
+    if not _preflight(args):
+        return 2
+    options: Dict[str, object] = {}
+    if args.local:
+        options["local"] = True
+    if args.no_scoreboard:
+        options["use_scoreboard"] = False
+    if args.max_iterations is not None:
+        options["max_iterations"] = args.max_iterations
+    outcome = _remote_outcome(args, "schedule", options)
+    _render_result_payload(outcome.payload)
+    if not args.no_verify:
+        if not outcome.payload.get("verified"):
+            print(
+                "error [VERIFY]: the server-side verification failed",
+                file=sys.stderr,
+            )
+            return 2
+        print("verified: server-side static checks ok")
+    return 0
+
+
+def _remote_sweep(args: argparse.Namespace) -> int:
+    _reject_server_flags(
+        args,
+        {
+            "profile": "--profile",
+            "trace": "--trace",
+            "resume": "--resume",
+            "live": "--live",
+            "certify": "--certify",
+            "job_timeout": "--job-timeout",
+        },
+    )
+    if args.workers > 1 or args.chunk_size > 1:
+        from .service import ServiceError
+
+        raise ServiceError(
+            "--workers/--chunk-size are not supported with --server; "
+            "the daemon sweeps serially for deterministic, cacheable "
+            "results"
+        )
+    if not _preflight(args):
+        return 2
+    options: Dict[str, object] = {"limit": args.limit}
+    if args.no_prune:
+        options["prune"] = False
+    if args.no_scoreboard:
+        options["use_scoreboard"] = False
+    outcome = _remote_outcome(args, "sweep", options)
+    payload = outcome.payload
+    print(
+        f"{payload.get('total')} period assignments survive the "
+        "eq. 3 filters"
+    )
+    if payload.get("dropped"):
+        print(
+            f"warning: truncated at --limit {args.limit} "
+            f"({payload['dropped']} combinations not examined)",
+            file=sys.stderr,
+        )
+    if args.verbose:
+        for record in payload.get("candidates") or []:
+            if record["status"] == STATUS_OK:
+                print(f"  {record['periods']} -> area {record['area']:g}")
+            elif record["status"] == STATUS_PRUNED:
+                print(
+                    f"  {record['periods']} -> pruned "
+                    f"(bound {record['bound']:g})"
+                )
+            else:
+                print(f"  {record['periods']} -> failed: {record['error']}")
+    print(
+        f"sweep: {payload.get('evaluated')} evaluated, "
+        f"{payload.get('pruned')} pruned, {payload.get('failed')} failed "
+        f"(server: {args.server})"
+    )
+    best = payload.get("best")
+    if best:
+        print(f"best: {best['periods']} (area {best['area']:g})")
+    elif payload.get("total"):
+        print("error: no candidate produced a schedule", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _remote_certify(args: argparse.Namespace) -> int:
+    _reject_server_flags(
+        args,
+        {
+            "profile": "--profile",
+            "trace": "--trace",
+            "pool": "--pool",
+            "recheck": "--recheck",
+        },
+    )
+    options: Dict[str, object] = {}
+    if args.offset_model != "deployed":
+        options["offset_model"] = args.offset_model
+    outcome = _remote_outcome(args, "certify", options)
+    payload = outcome.payload
+    certificate = payload.get("certificate") or {}
+    if args.format == "json":
+        print(json.dumps(certificate, indent=2))
+    else:
+        _render_result_payload(payload)
+        print(
+            f"certificate: {payload.get('verdict')} "
+            f"({len(certificate.get('types') or [])} type proof(s), "
+            f"offset model {certificate.get('offset_model')})"
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(certificate, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0 if payload.get("safe") else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .parallel.jobs import FaultPlan
+    from .service import JobStore, ServiceServer
+
+    fault_plan = (
+        FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+    )
+    if fault_plan is not None:
+        _log.warning(
+            "fault injection armed: %s (chaos-testing mode)",
+            fault_plan.spec(),
+        )
+    store = JobStore(
+        args.state,
+        queue_limit=args.queue_limit,
+        job_timeout=args.job_timeout,
+        fault_plan=fault_plan,
+        bus=EventBus(),
+    )
+    server = ServiceServer(
+        store, args.address, workers=args.serve_workers
+    ).start()
+    print(
+        f"repro serve: listening on {server.address} "
+        f"(state: {args.state}, workers: {args.serve_workers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _job_line(job: Dict) -> str:
+    line = (
+        f"{str(job.get('job'))[:16]}  {job.get('kind'):<9} "
+        f"{job.get('state'):<9} attempts={job.get('attempts')}"
+    )
+    if job.get("cached"):
+        line += "  (cached)"
+    if job.get("error"):
+        line += f"  error: {job['error']}"
+    return line
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .service import ServiceClient
+
+    client = ServiceClient(args.server)
+    if args.metrics:
+        print(client.metrics_text(), end="")
+        return 0
+    if not args.watch:
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        for job in jobs:
+            print(_job_line(job))
+        return 0
+    terminal = ("done", "failed", "cancelled")
+    seen: Dict[str, object] = {}
+    try:
+        while True:
+            jobs = client.jobs()
+            for job in jobs:
+                job_id = str(job.get("job"))
+                key = (job.get("state"), job.get("attempts"))
+                if seen.get(job_id) != key:
+                    seen[job_id] = key
+                    print(_job_line(job), flush=True)
+            if jobs and all(job.get("state") in terminal for job in jobs):
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     report = validate_path(args.file)
     if getattr(args, "format", "text") == "json":
@@ -591,6 +954,8 @@ def _parse_pools(entries: Optional[List[str]]) -> Optional[Dict[str, int]]:
 
 
 def cmd_certify(args: argparse.Namespace) -> int:
+    if getattr(args, "server", None):
+        return _remote_certify(args)
     from .analysis.static import certify, check_certificate
 
     pools = _parse_pools(args.pool)
@@ -628,6 +993,8 @@ def cmd_certify(args: argparse.Namespace) -> int:
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
+    if getattr(args, "server", None):
+        return _remote_schedule(args)
     if not _preflight(args):
         return 2
     problem = load_problem(args.file)
@@ -755,6 +1122,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if getattr(args, "server", None):
+        return _remote_sweep(args)
     if not _preflight(args):
         return 2
     problem = load_problem(args.file)
@@ -993,6 +1362,8 @@ _COMMANDS = {
     "rtl": cmd_rtl,
     "gantt": cmd_gantt,
     "export": cmd_export,
+    "serve": cmd_serve,
+    "jobs": cmd_jobs,
 }
 
 

@@ -199,19 +199,22 @@ def _dispatch(
                 "'op' takes PROCESS BLOCK ID KIND [NAME] [guard=c:b]"
             )
         kind = OpKind.from_string(args[3])
-        name = None
+        name_tokens = []
         guard = None
         for token in args[4:]:
             if token.startswith("guard="):
+                if guard is not None:
+                    raise SpecificationError("duplicate guard for 'op'")
                 value = token.split("=", 1)[1]
                 if ":" not in value:
                     raise SpecificationError("guard must be CONDITION:BRANCH")
                 condition, branch = value.split(":", 1)
                 guard = (condition, branch)
-            elif name is None:
-                name = token
             else:
-                raise SpecificationError("too many tokens for 'op'")
+                # Display names may span several tokens ("initial state");
+                # they rejoin with single spaces.
+                name_tokens.append(token)
+        name = " ".join(name_tokens) if name_tokens else None
         graph.add(args[2], kind, name=name, guard=guard)
     elif directive == "edge":
         graph = _graph_of(doc, args[:2])
@@ -316,6 +319,24 @@ def _graph_of(doc: SystemDocument, args: List[str]) -> DataFlowGraph:
         ) from None
 
 
+def _emit_name(name: Optional[str]) -> str:
+    """Render an op's display name as ``.sys`` tokens, or drop it.
+
+    Names are labels, not identity; emission must never produce text the
+    parser rejects or reads differently.  Multi-word names re-tokenize
+    with single spaces, and a name whose tokens would parse as a guard
+    or start a comment is omitted entirely.
+    """
+    if not name:
+        return ""
+    tokens = name.split()
+    if not tokens or any(
+        token.startswith(("guard=", "#")) for token in tokens
+    ):
+        return ""
+    return " " + " ".join(tokens)
+
+
 def dumps(
     system: SystemSpec,
     *,
@@ -342,7 +363,7 @@ def dumps(
                 f"block {process.name} {block.name} deadline={block.deadline}{suffix}"
             )
             for op in block.graph:
-                name_part = f" {op.name}" if op.name else ""
+                name_part = _emit_name(op.name)
                 guard_part = (
                     f" guard={op.guard[0]}:{op.guard[1]}" if op.guard else ""
                 )

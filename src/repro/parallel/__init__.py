@@ -20,7 +20,7 @@ for one problem at once:
 CLI front ends; ``repro sweep --resume PATH`` enables checkpointing.
 """
 
-from .checkpoint import CheckpointError, SweepJournal
+from .checkpoint import CheckpointError, SweepJournal, load_jsonl_tolerant
 from .engine import (
     STATUS_FAILED,
     STATUS_OK,
@@ -29,11 +29,23 @@ from .engine import (
     CompareOutcome,
     ExplorationEngine,
     ExplorationError,
+    SweepInterrupted,
     SweepOutcome,
 )
-from .jobs import JobResult, JobTimeout, SweepJob, run_job, run_jobs
+from .jobs import (
+    FaultPlan,
+    JobResult,
+    JobTimeout,
+    SweepJob,
+    inject_fault,
+    parse_fault,
+    run_job,
+    run_jobs,
+)
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
+    "DEFAULT_RETRY_POLICY",
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_PRUNED",
@@ -42,11 +54,17 @@ __all__ = [
     "CompareOutcome",
     "ExplorationEngine",
     "ExplorationError",
+    "FaultPlan",
     "JobResult",
     "JobTimeout",
+    "RetryPolicy",
+    "SweepInterrupted",
     "SweepJob",
     "SweepJournal",
     "SweepOutcome",
+    "inject_fault",
+    "load_jsonl_tolerant",
+    "parse_fault",
     "run_job",
     "run_jobs",
 ]

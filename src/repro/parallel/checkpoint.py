@@ -45,6 +45,39 @@ def candidate_key(periods: Dict[str, int]) -> LexKey:
     return tuple(sorted(periods.items()))
 
 
+def load_jsonl_tolerant(path: str) -> Tuple[List[Dict[str, object]], int]:
+    """Read a JSONL file, tolerating torn and corrupt lines.
+
+    Returns ``(records, dropped)``: every line that parses as a JSON
+    object, in file order, plus the count of lines that did not.  The
+    file is read as *bytes* and each line decoded independently, so a
+    crash that tears a record anywhere — including mid-way through a
+    multi-byte UTF-8 character — costs exactly that record, never the
+    readable ones around it.  A journal whose very first record is torn
+    (zero-length file, truncated line) simply loads as empty.
+
+    ``OSError`` propagates: an unreadable *file* is the caller's
+    policy decision, an unreadable *line* is this function's.
+    """
+    records: List[Dict[str, object]] = []
+    dropped = 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    for raw_line in data.split(b"\n"):
+        if not raw_line.strip():
+            continue
+        try:
+            entry = json.loads(raw_line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            dropped += 1
+            continue
+        if not isinstance(entry, dict):
+            dropped += 1
+            continue
+        records.append(entry)
+    return records, dropped
+
+
 class SweepJournal:
     """Append-only JSONL journal of completed sweep candidates.
 
@@ -71,34 +104,28 @@ class SweepJournal:
         if not os.path.exists(self.path):
             return {}
         records: Dict[LexKey, Dict[str, object]] = {}
-        dropped = 0
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                        if entry.get("version") != JOURNAL_VERSION:
-                            raise ValueError(
-                                f"journal version {entry.get('version')!r}"
-                            )
-                        periods = {
-                            str(k): int(v)
-                            for k, v in entry["periods"].items()
-                        }
-                        if "status" not in entry:
-                            raise ValueError("missing status")
-                    except (ValueError, KeyError, TypeError):
-                        dropped += 1
-                        continue
-                    entry["periods"] = periods
-                    records.setdefault(candidate_key(periods), entry)
+            entries, dropped = load_jsonl_tolerant(self.path)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot read sweep checkpoint {self.path!r}: {exc}"
             ) from exc
+        for entry in entries:
+            try:
+                if entry.get("version") != JOURNAL_VERSION:
+                    raise ValueError(
+                        f"journal version {entry.get('version')!r}"
+                    )
+                periods = {
+                    str(k): int(v) for k, v in entry["periods"].items()
+                }
+                if "status" not in entry:
+                    raise ValueError("missing status")
+            except (ValueError, KeyError, TypeError, AttributeError):
+                dropped += 1
+                continue
+            entry["periods"] = periods
+            records.setdefault(candidate_key(periods), entry)
         if dropped:
             _log.warning(
                 "sweep checkpoint %s: dropped %d unreadable line(s) "

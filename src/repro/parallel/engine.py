@@ -56,6 +56,7 @@ from ..resources.assignment import ResourceAssignment
 from ..scheduling.forces import area_weights
 from .checkpoint import SweepJournal
 from .jobs import JobTimeout, SweepJob, _deadline, inject_fault, run_jobs
+from .retry import RetryPolicy
 
 _log = get_logger(__name__)
 
@@ -71,6 +72,15 @@ class ExplorationError(ReproError):
     """A mandatory exploration job failed after all retries."""
 
     code = "SWEEP"
+
+
+class SweepInterrupted(Exception):
+    """A sweep stopped at a candidate boundary via ``stop_when``.
+
+    Control flow, not failure: raised *before* the next candidate is
+    evaluated or journaled, so an abandoned sweep (a timed-out service
+    attempt, a cancelled job) never races a successor on the shared
+    checkpoint journal."""
 
 
 def _lexkey(periods: Dict[str, int]) -> LexKey:
@@ -186,6 +196,11 @@ class ExplorationEngine:
             ``SIGALRM`` where available).
         retries: How often a crashed/raised/timed-out candidate is
             re-dispatched before being recorded as failed.
+        retry_policy: Optional :class:`repro.parallel.retry.RetryPolicy`
+            governing both the attempt ceiling (it overrides
+            ``retries``) and the exponential backoff slept before each
+            re-dispatch; without one, retries are immediate (the
+            historical behavior).
         checkpoint: Optional path of a JSONL sweep journal
             (:class:`repro.parallel.checkpoint.SweepJournal`).  Every
             finished candidate is durably appended before its result is
@@ -198,6 +213,10 @@ class ExplorationEngine:
         fault_for: Test hook — maps a candidate's period dict to a
             fault directive for its job (see
             :mod:`repro.parallel.jobs`), or None.
+        stop_when: Optional cooperative-cancellation probe, polled
+            before each candidate is evaluated (and journaled); when it
+            returns True the sweep raises :class:`SweepInterrupted`
+            without touching the checkpoint journal again.
     """
 
     def __init__(
@@ -210,10 +229,12 @@ class ExplorationEngine:
         inflight_factor: int = 2,
         timeout: Optional[float] = None,
         retries: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
         checkpoint=None,
         tracer=None,
         use_scoreboard: bool = True,
         fault_for: Optional[Callable[[Dict[str, int]], Optional[str]]] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
     ) -> None:
         if workers < 1:
             raise ExplorationError(f"workers must be >= 1, got {workers}")
@@ -225,11 +246,16 @@ class ExplorationEngine:
         self.chunk_size = chunk_size
         self.inflight_factor = max(1, inflight_factor)
         self.timeout = timeout
-        self.retries = max(0, retries)
+        self.retry_policy = retry_policy
+        if retry_policy is not None:
+            self.retries = retry_policy.retries
+        else:
+            self.retries = max(0, retries)
         self.checkpoint = checkpoint
         self.tracer = as_tracer(tracer)
         self.use_scoreboard = use_scoreboard
         self.fault_for = fault_for
+        self.stop_when = stop_when
         self._problem_text: Optional[str] = None
         self._journal: Optional[SweepJournal] = None
 
@@ -411,6 +437,10 @@ class ExplorationEngine:
             return self._run_serial(specs, on_result, prune, initial_best)
         return self._run_parallel(specs, on_result, prune, initial_best)
 
+    def _check_stop(self) -> None:
+        if self.stop_when is not None and self.stop_when():
+            raise SweepInterrupted("sweep stopped by stop_when")
+
     def _run_serial(
         self,
         specs: List[_Spec],
@@ -427,6 +457,7 @@ class ExplorationEngine:
         records: List[CandidateResult] = []
         best_area: Optional[float] = initial_best
         for spec in specs:
+            self._check_stop()
             if prune and best_area is not None and spec.bound >= best_area:
                 record = self._pruned_record(spec)
             else:
@@ -436,6 +467,7 @@ class ExplorationEngine:
                     and spec.attempt <= self.retries
                 ):
                     spec = replace(spec, attempt=spec.attempt + 1)
+                    self._backoff(spec.attempt)
                     record = self._evaluate_inline(scheduler, spec)
                 if record.status == STATUS_OK and (
                     best_area is None or record.area < best_area
@@ -587,6 +619,7 @@ class ExplorationEngine:
         try:
             dispatch()
             while inflight:
+                self._check_stop()
                 done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
                 requeue: List[_Spec] = []
                 broken = False
@@ -646,6 +679,8 @@ class ExplorationEngine:
                     pool = ProcessPoolExecutor(max_workers=self.workers)
                 # Retries go to the front so transient failures resolve
                 # before the sweep moves on.
+                if requeue:
+                    self._backoff(max(spec.attempt for spec in requeue))
                 pending.extendleft(reversed(requeue))
                 dispatch()
         finally:
@@ -655,6 +690,15 @@ class ExplorationEngine:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        """Sleep the policy's delay before re-running attempt ``attempt``."""
+        policy = self.retry_policy
+        if policy is None or attempt <= 1:
+            return
+        delay = policy.delay_for(min(attempt, policy.max_attempts))
+        if delay > 0:
+            time.sleep(delay)
+
     def _job_for(self, spec: _Spec) -> SweepJob:
         if self._problem_text is None:
             from ..api import dumps_problem

@@ -17,10 +17,34 @@ abort a sweep.  Per-job timeouts are enforced with ``SIGALRM`` where the
 platform provides it (Unix main threads); elsewhere the timeout is
 recorded but not enforced.
 
-The ``fault`` field deliberately injects failures (``"raise[:msg]"``
-raises, ``"sleep:SECONDS"`` stalls before scheduling) so the engine's
-retry and failure paths stay testable without contriving a workload
-that crashes the scheduler.
+The ``fault`` field deliberately injects failures so the engine's (and
+the scheduling service's) retry, timeout, and crash-recovery paths stay
+testable without contriving a workload that crashes the scheduler.  The
+directive grammar is ``KIND[:ARG]``:
+
+===================== =================================================
+directive             effect at the injection point
+===================== =================================================
+``raise[:MSG]``       raise ``RuntimeError(MSG)`` (default message
+                      ``"injected fault"``)
+``sleep:SECONDS``     stall for ``SECONDS`` in one blocking sleep
+``hang:SECONDS``      stall for ``SECONDS`` in short slices — a stuck
+                      job that keeps "running" until a deadline or
+                      watchdog gives up on it
+``exit:CODE``         ``os._exit(CODE)`` — kill the hosting process
+                      without cleanup, simulating a hard worker crash
+``corrupt-journal``   append an unreadable garbage line to the journal
+                      in scope (no-op when none is), exercising the
+                      torn-record tolerance of
+                      :meth:`repro.parallel.checkpoint.SweepJournal.load`
+===================== =================================================
+
+An unknown directive is rejected with a stable ``SPEC``-coded
+:class:`repro.errors.SpecificationError` at parse time — never silently
+ignored — so a typo in a chaos-test plan fails the test instead of
+quietly testing nothing.  :class:`FaultPlan` schedules one directive
+onto the Nth unit of work of a run (see the scheduling service's
+fault-injection harness, docs/service.md).
 """
 
 from __future__ import annotations
@@ -35,6 +59,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.periods import PeriodAssignment
 from ..core.scheduler import ModuloSystemScheduler
+from ..errors import SpecificationError
 from ..obs import Tracer
 from ..obs.metrics import CANDIDATE_SECONDS
 from ..resources.assignment import ResourceAssignment
@@ -58,8 +83,8 @@ class SweepJob:
         local: Schedule the traditional all-local baseline instead of
             the global assignment (used by ``repro compare``).
         timeout: Per-job wall-clock budget in seconds (None = unlimited).
-        fault: Optional fault injection — ``"raise[:msg]"`` or
-            ``"sleep:SECONDS"`` — for exercising failure handling.
+        fault: Optional fault-injection directive (see the module
+            docstring table) for exercising failure handling.
         attempt: 1 for the first try, incremented by the engine's retry.
         use_scoreboard: Select reductions through the incremental
             scoreboard (the default) or the full candidate rescan
@@ -138,17 +163,156 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
         signal.signal(signal.SIGALRM, previous)
 
 
-def inject_fault(fault: Optional[str]) -> None:
-    """Apply a fault-injection directive (no-op for ``None``)."""
+#: Known fault directive kinds (the table in the module docstring).
+FAULT_KINDS = ("raise", "sleep", "hang", "exit", "corrupt-journal")
+
+#: How long one slice of a ``hang:`` stall sleeps; short enough that a
+#: surrounding ``SIGALRM`` deadline or watchdog observes the hang fast.
+_HANG_SLICE_SECONDS = 0.05
+
+#: The garbage ``corrupt-journal`` appends: its own line (trailing
+#: newline, so durable neighbours stay parseable) of invalid UTF-8 that
+#: no JSONL reader can mistake for a record.
+_JOURNAL_GARBAGE = b'\x00\xfe\xff{"corrupt-journal": torn \x80\n'
+
+
+def parse_fault(fault: str) -> Tuple[str, str]:
+    """Split and validate a fault directive into ``(kind, arg)``.
+
+    Unknown kinds and malformed arguments raise a ``SPEC``-coded
+    :class:`~repro.errors.SpecificationError` — a directive is either
+    valid or an error, never a silent no-op.
+    """
+    kind, _, arg = fault.partition(":")
+    if kind not in FAULT_KINDS:
+        raise SpecificationError(
+            f"unknown fault directive {fault!r}; known kinds: "
+            f"{', '.join(FAULT_KINDS)}"
+        )
+    if kind in ("sleep", "hang"):
+        try:
+            seconds = float(arg) if arg else 1.0
+        except ValueError:
+            raise SpecificationError(
+                f"fault directive {fault!r}: {kind} needs a number of "
+                f"seconds, got {arg!r}"
+            ) from None
+        if seconds < 0:
+            raise SpecificationError(
+                f"fault directive {fault!r}: seconds must be >= 0"
+            )
+    elif kind == "exit":
+        try:
+            int(arg) if arg else 1
+        except ValueError:
+            raise SpecificationError(
+                f"fault directive {fault!r}: exit needs an integer "
+                f"status code, got {arg!r}"
+            ) from None
+    elif kind == "corrupt-journal" and arg:
+        raise SpecificationError(
+            f"fault directive {fault!r}: corrupt-journal takes no argument"
+        )
+    return kind, arg
+
+
+def inject_fault(
+    fault: Optional[str], *, journal_path: Optional[str] = None
+) -> None:
+    """Apply a fault-injection directive (no-op for ``None``).
+
+    ``journal_path`` is the journal in scope at the injection point (a
+    sweep checkpoint or job journal); only ``corrupt-journal`` uses it,
+    appending one unreadable garbage line so the crash-tolerant loader
+    is exercised.  Without a journal in scope ``corrupt-journal``
+    degrades to a no-op — there is nothing to corrupt.
+    """
     if fault is None:
         return
-    kind, _, arg = fault.partition(":")
+    kind, arg = parse_fault(fault)
     if kind == "raise":
         raise RuntimeError(arg or "injected fault")
     if kind == "sleep":
-        time.sleep(float(arg or 1.0))
+        time.sleep(float(arg) if arg else 1.0)
         return
-    raise ValueError(f"unknown fault directive {fault!r}")
+    if kind == "hang":
+        deadline = time.monotonic() + (float(arg) if arg else 1.0)
+        while time.monotonic() < deadline:
+            time.sleep(
+                min(_HANG_SLICE_SECONDS, max(0.0, deadline - time.monotonic()))
+            )
+        return
+    if kind == "exit":
+        os._exit(int(arg) if arg else 1)
+    if kind == "corrupt-journal":
+        if journal_path is not None:
+            with open(journal_path, "ab") as handle:
+                handle.write(_JOURNAL_GARBAGE)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A fault directive aimed at specific units of work of a run.
+
+    The plan fires ``directive`` on the ``target``-th through
+    ``target + count - 1``-th unit (1-based) of whatever sequence the
+    consumer counts — the scheduling service counts job *attempt
+    starts* across the server's lifetime, so ``exit:1@1`` kills the
+    server during the first attempt and a restarted server (counting
+    from 1 again, but normally started without the plan) resumes clean.
+
+    The string form is ``DIRECTIVE@N`` or ``DIRECTIVE@NxC``
+    (``hang:5@2``, ``exit:1@3x2``); a plain ``DIRECTIVE`` targets the
+    first unit.
+    """
+
+    directive: str
+    target: int = 1
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        parse_fault(self.directive)  # reject unknown directives eagerly
+        if self.target < 1:
+            raise SpecificationError(
+                f"fault plan target must be >= 1, got {self.target}"
+            )
+        if self.count < 1:
+            raise SpecificationError(
+                f"fault plan count must be >= 1, got {self.count}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``DIRECTIVE[@N[xC]]`` into a plan."""
+        directive, _, where = spec.partition("@")
+        target, count = 1, 1
+        if where:
+            head, _, tail = where.partition("x")
+            try:
+                target = int(head)
+                if tail:
+                    count = int(tail)
+            except ValueError:
+                raise SpecificationError(
+                    f"fault plan {spec!r}: expected DIRECTIVE[@N[xC]]"
+                ) from None
+        return cls(directive=directive, target=target, count=count)
+
+    def spec(self) -> str:
+        """The string form :meth:`parse` accepts (round-trips)."""
+        text = f"{self.directive}@{self.target}"
+        if self.count != 1:
+            text += f"x{self.count}"
+        return text
+
+    def fault_for(self, index: int) -> Optional[str]:
+        """The directive for the ``index``-th unit (1-based), or None."""
+        if self.target <= index < self.target + self.count:
+            return self.directive
+        return None
 
 
 def run_job(job: SweepJob) -> JobResult:

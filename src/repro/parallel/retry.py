@@ -1,0 +1,102 @@
+"""Bounded retry with exponential backoff.
+
+A :class:`RetryPolicy` is the declarative half of the failure story the
+engine and the scheduling service share: *how often* a failed unit of
+work may be re-attempted and *how long* to wait before each re-attempt.
+The policy itself is pure data — it never sleeps — so callers decide
+where the delay is spent (the :class:`~repro.parallel.engine.
+ExplorationEngine` sleeps between candidate re-dispatches, the
+:class:`~repro.service.jobstore.JobStore` between job attempts) and
+tests can assert the exact delay sequence without waiting it out.
+
+The delay before attempt ``n`` (``n >= 2``; attempt 1 is the original
+try and never waits) is::
+
+    min(max_delay, base_delay * multiplier ** (n - 2))
+
+Backoff is deterministic — no jitter — because every consumer in this
+package is either a single coordinator (no thundering herd to spread)
+or a test that asserts byte-identical journals; see docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts a unit of work gets, and the waits between them.
+
+    Attributes:
+        max_attempts: Total tries including the first one; ``1`` means
+            "never retry".
+        base_delay: Seconds before the first retry (attempt 2).
+        multiplier: Geometric growth factor of successive delays.
+        max_delay: Ceiling every delay is clamped to.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay {self.max_delay} must be >= base_delay "
+                f"{self.base_delay}"
+            )
+
+    @property
+    def retries(self) -> int:
+        """Re-attempts after the first try (the engine's ``retries``)."""
+        return self.max_attempts - 1
+
+    def allows(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) may run at all."""
+        return 1 <= attempt <= self.max_attempts
+
+    def delay_for(self, attempt: int) -> float:
+        """Seconds to wait before running attempt ``attempt`` (1-based).
+
+        Attempt 1 is the original try: no wait.  Attempts beyond
+        ``max_attempts`` are never run, so asking for their delay is a
+        caller bug and raises.
+        """
+        if attempt < 1 or attempt > self.max_attempts:
+            raise ValueError(
+                f"attempt {attempt} outside 1..{self.max_attempts}"
+            )
+        if attempt == 1:
+            return 0.0
+        return min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 2)
+        )
+
+    def delays(self) -> Iterator[float]:
+        """The full delay sequence, one entry per attempt."""
+        for attempt in range(1, self.max_attempts + 1):
+            yield self.delay_for(attempt)
+
+    def total_delay(self) -> float:
+        """Worst-case seconds spent waiting across every retry."""
+        return sum(self.delays())
+
+
+#: The policy the scheduling service applies when none is configured:
+#: three attempts, 100 ms then 200 ms of backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -1,0 +1,183 @@
+"""Thin HTTP client for the scheduling service (stdlib ``http.client``).
+
+The :class:`ServiceClient` is what ``repro --server ADDR`` runs on: it
+speaks the ``/v1/jobs`` protocol of :mod:`repro.service.server` over TCP
+or a unix-domain socket and translates error envelopes back into the
+repo's coded exceptions (``BUSY`` → :class:`~repro.service.jobstore.
+QueueFullError`, etc.), so CLI error rendering is identical for local
+and remote runs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .jobstore import QueueFullError, ServiceError, UnknownJobError
+from .server import is_unix_address, split_tcp_address
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """HTTPConnection over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` instance.
+
+    Args:
+        address: The server's address — ``HOST:PORT`` or a unix-socket
+            path, the same syntax ``repro serve`` accepts.
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, address: str, *, timeout: float = 30.0) -> None:
+        self.address = address
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if is_unix_address(self.address):
+            return _UnixHTTPConnection(self.address, timeout=self.timeout)
+        host, port = split_tcp_address(self.address)
+        return http.client.HTTPConnection(host, port, timeout=self.timeout)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, object]] = None,
+    ) -> Tuple[int, bytes]:
+        connection = self._connection()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"cannot reach scheduling service at {self.address!r}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        status, raw = self._request(method, path, body)
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                f"malformed response from {self.address!r} "
+                f"(HTTP {status}): {exc}"
+            ) from exc
+        if status >= 400:
+            error = data.get("error") if isinstance(data, dict) else None
+            code = str((error or {}).get("code", "SERVE"))
+            message = str(
+                (error or {}).get("message", f"HTTP {status} from server")
+            )
+            if status == 429 or code == "BUSY":
+                raise QueueFullError(message)
+            if status == 404 and code == "JOB":
+                raise UnknownJobError(message)
+            raise ServiceError(f"[{code}] {message}")
+        if not isinstance(data, dict):
+            raise ServiceError(
+                f"unexpected response shape from {self.address!r}"
+            )
+        return data
+
+    # -- protocol --------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        problem_text: str,
+        options: Optional[Mapping[str, object]] = None,
+        fault: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Submit a job; returns its status dict (``cached`` on a hit)."""
+        body: Dict[str, object] = {
+            "kind": kind,
+            "problem": problem_text,
+            "options": dict(options or {}),
+        }
+        if fault is not None:
+            body["fault"] = fault
+        return self._json("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        data = self._json("GET", "/v1/jobs")
+        jobs = data.get("jobs")
+        return list(jobs) if isinstance(jobs, list) else []
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The finished job's payload bytes, verbatim."""
+        status, raw = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status >= 400:
+            try:
+                error = json.loads(raw.decode("utf-8")).get("error") or {}
+            except (ValueError, UnicodeDecodeError):
+                error = {}
+            message = str(error.get("message", f"HTTP {status}"))
+            if status == 404:
+                raise UnknownJobError(message)
+            raise ServiceError(message)
+        return raw
+
+    def cancel(self, job_id: str) -> bool:
+        data = self._json("DELETE", f"/v1/jobs/{job_id}")
+        return bool(data.get("cancelled"))
+
+    def metrics_text(self) -> str:
+        status, raw = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(f"metrics endpoint returned HTTP {status}")
+        return raw.decode("utf-8")
+
+    def health(self) -> Dict[str, object]:
+        return self._json("GET", "/healthz")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: Optional[float] = None,
+        poll: float = 0.1,
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in ("done", "failed", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(state {status.get('state')!r})"
+                )
+            time.sleep(poll)

@@ -10,7 +10,12 @@ import json
 
 import pytest
 
-from repro.parallel import CandidateResult, ExplorationEngine, SweepJournal
+from repro.parallel import (
+    CandidateResult,
+    ExplorationEngine,
+    SweepJournal,
+    load_jsonl_tolerant,
+)
 from repro.parallel.checkpoint import CheckpointError, candidate_key
 
 
@@ -78,6 +83,70 @@ class TestJournal:
             SweepJournal(tmp_path / "no" / "such" / "dir" / "x.jsonl").append(
                 _record({"a": 2})
             )
+
+
+class TestByteRobustLoading:
+    """A crash may tear the journal at *any byte*, not just line ends."""
+
+    #: Two records; the second's error text carries multi-byte UTF-8, so
+    #: some truncation offsets land mid-character.
+    RECORDS = [
+        {"version": 1, "periods": {"a": 2}, "status": "ok", "area": 5.0},
+        {
+            "version": 1,
+            "periods": {"b": 4},
+            "status": "failed",
+            "error": "took 12 µs too long — timed out",
+        },
+    ]
+
+    def _journal_bytes(self) -> bytes:
+        return b"".join(
+            json.dumps(record).encode("utf-8") + b"\n"
+            for record in self.RECORDS
+        )
+
+    def test_truncation_at_every_byte_offset(self, tmp_path):
+        data = self._journal_bytes()
+        first_line_end = data.index(b"\n") + 1
+        path = tmp_path / "torn.jsonl"
+        for offset in range(len(data) + 1):
+            path.write_bytes(data[:offset])
+            records, dropped = load_jsonl_tolerant(str(path))
+            # Whatever the tear, intact records load and nothing raises.
+            # A record is readable once its full JSON text is on disk —
+            # the trailing newline itself is optional.
+            if offset >= len(data) - 1:
+                expected = self.RECORDS
+            elif offset >= first_line_end - 1:
+                expected = [self.RECORDS[0]]
+            else:
+                expected = []
+            assert records == expected, f"offset {offset}"
+            assert dropped <= 1  # at most the single torn record
+
+    def test_torn_first_record_loads_as_empty(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_bytes(self._journal_bytes()[:10])
+        records = SweepJournal(path).load()
+        assert records == {}
+
+    def test_garbage_between_records_is_skipped(self, tmp_path):
+        data = self._journal_bytes()
+        first_line_end = data.index(b"\n") + 1
+        path = tmp_path / "mixed.jsonl"
+        path.write_bytes(
+            data[:first_line_end]
+            + b"\x00\xfe\xff not utf8 \x80\n"
+            + data[first_line_end:]
+        )
+        records, dropped = load_jsonl_tolerant(str(path))
+        assert records == self.RECORDS
+        assert dropped == 1
+
+    def test_missing_file_propagates_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_jsonl_tolerant(str(tmp_path / "absent.jsonl"))
 
 
 class _Kill(Exception):

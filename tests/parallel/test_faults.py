@@ -1,0 +1,117 @@
+"""Fault directives: parsing, injection, and deterministic fault plans."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.parallel import FaultPlan, inject_fault, load_jsonl_tolerant, parse_fault
+from repro.parallel.jobs import FAULT_KINDS
+
+
+class TestParseFault:
+    def test_known_kinds_parse(self):
+        assert parse_fault("raise") == ("raise", "")
+        assert parse_fault("raise:boom") == ("raise", "boom")
+        assert parse_fault("sleep:0.5") == ("sleep", "0.5")
+        assert parse_fault("hang:2") == ("hang", "2")
+        assert parse_fault("exit:3") == ("exit", "3")
+        assert parse_fault("corrupt-journal") == ("corrupt-journal", "")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode",  # unknown kind
+            "sleep:soon",  # non-numeric seconds
+            "sleep:-1",  # negative seconds
+            "hang:later",
+            "exit:ok",  # non-integer status
+            "corrupt-journal:now",  # takes no argument
+        ],
+    )
+    def test_bad_directives_are_spec_errors(self, bad):
+        with pytest.raises(SpecificationError) as excinfo:
+            parse_fault(bad)
+        assert excinfo.value.code == "SPEC"
+
+    def test_every_documented_kind_is_parseable(self):
+        for kind in FAULT_KINDS:
+            directive = {
+                "sleep": "sleep:0",
+                "hang": "hang:0",
+                "exit": "exit:0",
+            }.get(kind, kind)
+            parse_fault(directive)
+
+
+class TestInjectFault:
+    def test_none_is_a_noop(self):
+        inject_fault(None)
+
+    def test_raise_carries_its_message(self):
+        with pytest.raises(RuntimeError, match="kaboom"):
+            inject_fault("raise:kaboom")
+        with pytest.raises(RuntimeError, match="injected fault"):
+            inject_fault("raise")
+
+    def test_sleep_and_hang_stall_for_the_argument(self):
+        started = time.monotonic()
+        inject_fault("sleep:0.05")
+        inject_fault("hang:0.05")
+        assert time.monotonic() - started >= 0.1
+
+    def test_corrupt_journal_appends_one_unreadable_line(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"version": 1}\n')
+        inject_fault("corrupt-journal", journal_path=path)
+        records, dropped = load_jsonl_tolerant(path)
+        assert len(records) == 1  # the real record survives
+        assert dropped == 1  # the garbage is skipped, not fatal
+        # The garbage terminates its own line: later appends stay clean.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"version": 2}\n')
+        records, dropped = load_jsonl_tolerant(path)
+        assert len(records) == 2
+        assert dropped == 1
+
+    def test_corrupt_journal_without_scope_is_a_noop(self):
+        inject_fault("corrupt-journal", journal_path=None)
+
+    def test_unknown_directive_rejected_at_injection_too(self):
+        with pytest.raises(SpecificationError):
+            inject_fault("meltdown")
+
+
+class TestFaultPlan:
+    def test_parse_plain_directive_targets_first_unit(self):
+        plan = FaultPlan.parse("raise:x")
+        assert (plan.target, plan.count) == (1, 1)
+        assert plan.fault_for(1) == "raise:x"
+        assert plan.fault_for(2) is None
+
+    def test_parse_target_and_count(self):
+        plan = FaultPlan.parse("exit:1@3x2")
+        assert plan.fault_for(2) is None
+        assert plan.fault_for(3) == "exit:1"
+        assert plan.fault_for(4) == "exit:1"
+        assert plan.fault_for(5) is None
+
+    def test_spec_round_trips(self):
+        for spec in ("raise@1", "hang:5@2", "exit:1@3x2"):
+            assert FaultPlan.parse(spec).spec() == spec
+
+    @pytest.mark.parametrize(
+        "bad", ["raise@zero", "raise@1xmany", "explode@1"]
+    )
+    def test_bad_plans_are_spec_errors(self, bad):
+        with pytest.raises(SpecificationError):
+            FaultPlan.parse(bad)
+
+    def test_targets_below_one_rejected(self):
+        with pytest.raises(SpecificationError):
+            FaultPlan(directive="raise", target=0)
+        with pytest.raises(SpecificationError):
+            FaultPlan(directive="raise", count=0)

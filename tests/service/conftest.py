@@ -1,0 +1,132 @@
+"""Shared fixtures for the scheduling-service tests."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+
+SMALL_TEXT = """\
+system demo
+process p1
+block p1 main deadline=8
+op p1 main a1 add
+op p1 main m1 mul
+edge p1 main a1 m1
+process p2
+block p2 main deadline=8
+op p2 main m1 mul
+op p2 main a1 add
+global multiplier p1 p2
+global adder p1 p2
+period multiplier 4
+period adder 4
+"""
+
+
+@pytest.fixture
+def small_text() -> str:
+    return SMALL_TEXT
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A throwaway JobStore over a temp state dir."""
+    from repro.service import JobStore
+
+    with JobStore(str(tmp_path / "state")) as job_store:
+        yield job_store
+
+
+def _src_pythonpath() -> str:
+    """PYTHONPATH that lets a subprocess import the in-tree ``repro``."""
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH")
+    return src + (os.pathsep + existing if existing else "")
+
+
+class ServeProcess:
+    """A ``repro serve`` child process plus its parsed address."""
+
+    def __init__(self, state_dir: str, *extra_args: str) -> None:
+        self.state_dir = str(state_dir)
+        self.extra_args = extra_args
+        self.process = None
+        self.address = None
+
+    def start(self) -> "ServeProcess":
+        env = dict(os.environ, PYTHONPATH=_src_pythonpath())
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--state",
+                self.state_dir,
+                "--address",
+                "127.0.0.1:0",
+                *self.extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        # The daemon prints "repro serve: listening on HOST:PORT ..."
+        # once it is ready; the ephemeral port only exists in that line.
+        deadline = time.monotonic() + 30
+        line = ""
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if "listening on" in line:
+                break
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    "repro serve exited before binding: "
+                    + (line + (self.process.stdout.read() or ""))
+                )
+        else:  # pragma: no cover - diagnostics
+            raise RuntimeError("repro serve never reported its address")
+        self.address = line.split("listening on", 1)[1].split()[0]
+        return self
+
+    def sigkill(self) -> None:
+        """SIGKILL the daemon — the crash the journals must survive."""
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=10)
+
+    def wait_exit(self, timeout: float = 30.0) -> int:
+        return self.process.wait(timeout=timeout)
+
+    def stop(self) -> None:
+        if self.process is not None and self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.process.kill()
+                self.process.wait(timeout=10)
+        if self.process is not None and self.process.stdout:
+            self.process.stdout.close()
+
+
+@pytest.fixture
+def serve_factory(tmp_path):
+    """Start ``repro serve`` subprocesses; all stopped at teardown."""
+    started = []
+
+    def factory(*extra_args: str, state: str = "state") -> ServeProcess:
+        proc = ServeProcess(str(tmp_path / state), *extra_args).start()
+        started.append(proc)
+        return proc
+
+    yield factory
+    for proc in started:
+        proc.stop()

@@ -1,0 +1,286 @@
+"""JobStore lifecycle: queueing, caching, retries, and crash recovery."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.obs.events import EventBus
+from repro.parallel.checkpoint import load_jsonl_tolerant
+from repro.parallel.jobs import FaultPlan
+from repro.parallel.retry import RetryPolicy
+from repro.service import (
+    JobStore,
+    QueueFullError,
+    ServiceError,
+    UnknownJobError,
+)
+
+from .conftest import SMALL_TEXT
+
+#: Retries with no real backoff so failure-path tests stay fast.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02)
+
+
+# ----------------------------------------------------------------------
+# Happy path
+# ----------------------------------------------------------------------
+def test_submit_run_done(store):
+    record, hit = store.submit("schedule", SMALL_TEXT)
+    assert not hit
+    assert record.state == "queued"
+    assert store.run_until_idle() == 1
+    final = store.wait(record.job_id, timeout=0)
+    assert final.state == "done"
+    assert final.attempts == 1
+    payload = json.loads(store.result_bytes(record.job_id))
+    assert payload["kind"] == "schedule"
+    assert payload["job"] == record.job_id
+    assert payload["verified"] is True
+    assert payload["area"] > 0
+
+
+def test_resubmission_is_a_cache_hit(store):
+    record, _ = store.submit("schedule", SMALL_TEXT)
+    store.run_until_idle()
+    first = store.result_bytes(record.job_id)
+    again, hit = store.submit("schedule", SMALL_TEXT)
+    assert hit
+    assert again.job_id == record.job_id
+    assert store.result_bytes(again.job_id) == first
+    assert store.metrics.counter_value("service_cache_hits") == 1
+    # Nothing was scheduled twice.
+    assert store.metrics.counter_value("service_jobs_completed") == 1
+
+
+def test_disk_cache_survives_the_store(tmp_path, small_text):
+    state = str(tmp_path / "state")
+    with JobStore(state) as first:
+        record, _ = first.submit("certify", small_text)
+        first.run_until_idle()
+        payload = first.result_bytes(record.job_id)
+    with JobStore(state) as second:
+        again, hit = second.submit("certify", small_text)
+        assert hit
+        assert again.cached
+        assert second.result_bytes(again.job_id) == payload
+        # Answered straight from disk: nothing entered the queue.
+        assert second.run_until_idle() == 0
+
+
+def test_active_submissions_coalesce(store):
+    record, _ = store.submit("schedule", SMALL_TEXT)
+    again, hit = store.submit("schedule", SMALL_TEXT)
+    assert again is record
+    assert not hit
+    assert store.metrics.counter_value("service_jobs_coalesced") == 1
+    assert store.run_until_idle() == 1
+
+
+# ----------------------------------------------------------------------
+# Limits and rejection
+# ----------------------------------------------------------------------
+def test_queue_limit_rejects_with_busy(tmp_path, small_text):
+    with JobStore(str(tmp_path / "state"), queue_limit=1) as store:
+        store.submit("schedule", small_text)
+        with pytest.raises(QueueFullError) as excinfo:
+            store.submit("certify", small_text)
+        assert excinfo.value.code == "BUSY"
+        assert store.metrics.counter_value("service_queue_rejected") == 1
+
+
+def test_unknown_job_raises(store):
+    with pytest.raises(UnknownJobError):
+        store.status("deadbeef")
+    with pytest.raises(UnknownJobError):
+        store.cancel("deadbeef")
+
+
+def test_invalid_problem_rejected_at_submit(store):
+    with pytest.raises(SpecificationError):
+        store.submit("schedule", "system broken\nop nowhere")
+    assert store.jobs() == []
+
+
+def test_unknown_option_rejected_at_submit(store):
+    with pytest.raises(SpecificationError) as excinfo:
+        store.submit("schedule", SMALL_TEXT, {"turbo": True})
+    assert excinfo.value.code == "SPEC"
+
+
+def test_result_of_unfinished_job_is_an_error(store):
+    record, _ = store.submit("schedule", SMALL_TEXT)
+    with pytest.raises(ServiceError):
+        store.result_bytes(record.job_id)
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+# ----------------------------------------------------------------------
+def test_cancel_queued_job(store):
+    record, _ = store.submit("schedule", SMALL_TEXT)
+    assert store.cancel(record.job_id)
+    assert record.state == "cancelled"
+    assert store.run_until_idle() == 0
+    # Terminal jobs cannot be cancelled again...
+    assert not store.cancel(record.job_id)
+    # ...but can be resubmitted fresh.
+    fresh, hit = store.submit("schedule", SMALL_TEXT)
+    assert not hit
+    assert fresh.state == "queued"
+
+
+# ----------------------------------------------------------------------
+# Retries, faults, and timeouts
+# ----------------------------------------------------------------------
+def test_first_attempt_fault_retries_to_success(tmp_path, small_text):
+    with JobStore(
+        str(tmp_path / "state"), retry_policy=FAST_RETRY
+    ) as store:
+        record, _ = store.submit(
+            "schedule", small_text, fault="raise:boom"
+        )
+        store.run_until_idle()
+        assert record.state == "done"
+        assert record.attempts == 2
+        assert store.metrics.counter_value("service_jobs_retried") == 1
+        payload = json.loads(store.result_bytes(record.job_id))
+        assert payload["verified"] is True
+
+
+def test_fault_plan_exhausts_retries(tmp_path, small_text):
+    with JobStore(
+        str(tmp_path / "state"),
+        retry_policy=FAST_RETRY,
+        fault_plan=FaultPlan.parse("raise:chaos@1x3"),
+    ) as store:
+        record, _ = store.submit("schedule", small_text)
+        store.run_until_idle()
+        assert record.state == "failed"
+        assert record.attempts == 3
+        assert "chaos" in record.error
+        assert store.metrics.counter_value("service_jobs_failed") == 1
+        assert store.metrics.counter_value("service_jobs_retried") == 2
+
+
+def test_timed_out_attempt_retries_clean(tmp_path, small_text):
+    with JobStore(
+        str(tmp_path / "state"),
+        job_timeout=0.2,
+        retry_policy=FAST_RETRY,
+    ) as store:
+        record, _ = store.submit("schedule", small_text, fault="sleep:5")
+        store.run_until_idle()
+        assert record.state == "done"
+        assert record.attempts == 2
+        assert "timed out" in (record.error or "") or record.error is None
+
+
+def test_faulted_run_converges_to_the_unfaulted_bytes(
+    tmp_path, small_text
+):
+    with JobStore(str(tmp_path / "clean")) as clean:
+        record, _ = clean.submit("schedule", small_text)
+        clean.run_until_idle()
+        reference = clean.result_bytes(record.job_id)
+    with JobStore(
+        str(tmp_path / "chaotic"), retry_policy=FAST_RETRY
+    ) as chaotic:
+        record, _ = chaotic.submit(
+            "schedule", small_text, fault="raise:flaky"
+        )
+        chaotic.run_until_idle()
+        assert chaotic.result_bytes(record.job_id) == reference
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+def test_recover_requeues_and_completes(tmp_path, small_text):
+    state = str(tmp_path / "state")
+    with JobStore(state) as first:
+        record, _ = first.submit("schedule", small_text)
+        job_id = record.job_id
+        # Crash before any worker ran it: journal says queued, no cache.
+    with JobStore(state) as second:
+        assert second.recover() == 1
+        assert second.status(job_id).state == "queued"
+        second.run_until_idle()
+        assert second.status(job_id).state == "done"
+        assert (
+            second.metrics.counter_value("service_jobs_recovered") == 1
+        )
+
+
+def test_recover_promotes_cache_complete_jobs(tmp_path, small_text):
+    """A crash between the cache write and the done record is still done."""
+    state = str(tmp_path / "state")
+    with JobStore(state) as first:
+        record, _ = first.submit("schedule", small_text)
+        job_id = record.job_id
+        # Simulate the torn commit: the cache write landed...
+        first._write_cache(job_id, b'{"payload":"landed"}\n')
+        # ...but the process died before journaling "done".
+    with JobStore(state) as second:
+        assert second.recover() == 0
+        final = second.status(job_id)
+        assert final.state == "done"
+        assert second.result_bytes(job_id) == b'{"payload":"landed"}\n'
+        # The promotion itself was journaled, so a third lifetime agrees
+        # without re-deriving anything.
+        entries, _ = load_jsonl_tolerant(second.journal_path)
+        assert entries[-1]["state"] == "done"
+
+
+def test_recover_tolerates_a_torn_journal_tail(tmp_path, small_text):
+    state = str(tmp_path / "state")
+    with JobStore(state) as first:
+        record, _ = first.submit("schedule", small_text)
+        job_id = record.job_id
+    # The crash tore the final append mid-line.
+    with open(os.path.join(state, "jobs.jsonl"), "ab") as handle:
+        handle.write(b'{"version": 1, "job": "' + job_id.encode()[:8])
+    with JobStore(state) as second:
+        assert second.recover() == 1
+        second.run_until_idle()
+        assert second.status(job_id).state == "done"
+
+
+def test_recover_is_idempotent(tmp_path, small_text):
+    state = str(tmp_path / "state")
+    with JobStore(state) as first:
+        first.submit("schedule", small_text)
+    with JobStore(state) as second:
+        assert second.recover() == 1
+        assert second.recover() == 0  # already loaded; nothing doubles
+        assert len(second.jobs()) == 1
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+def test_job_transitions_publish_events(tmp_path, small_text):
+    bus = EventBus()
+    seen = []
+    bus.subscribe(lambda event: seen.append(dict(event)))
+    with JobStore(str(tmp_path / "state"), bus=bus) as store:
+        record, _ = store.submit("schedule", small_text)
+        store.run_until_idle()
+    states = [
+        event["state"] for event in seen if event["job"] == record.job_id
+    ]
+    assert states == ["queued", "running", "done"]
+
+
+def test_store_metrics_cover_the_lifecycle(store):
+    record, _ = store.submit("sweep", SMALL_TEXT, {"limit": 4})
+    store.run_until_idle()
+    counters = store.metrics.snapshot()["counters"]
+    assert counters["service_jobs_submitted"] == 1
+    assert counters["service_jobs_completed"] == 1
+    histograms = store.metrics.snapshot()["histograms"]
+    assert histograms["service_job_seconds"]["count"] == 1
+    assert record.state == "done"

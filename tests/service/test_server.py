@@ -1,0 +1,169 @@
+"""HTTP server + thin client: the ``repro serve`` protocol end to end."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.parallel.retry import RetryPolicy
+from repro.service import (
+    JobStore,
+    LocalSession,
+    QueueFullError,
+    RemoteSession,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    UnknownJobError,
+)
+
+from .conftest import SMALL_TEXT
+
+
+@pytest.fixture
+def server(tmp_path):
+    store = JobStore(str(tmp_path / "state"))
+    with ServiceServer(store, "127.0.0.1:0") as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.address, timeout=10.0)
+
+
+def _wait_for_state(client, job_id, state, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if client.status(job_id)["state"] == state:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached {state!r}")
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+def test_submit_wait_result_round_trip(client):
+    status = client.submit("schedule", SMALL_TEXT)
+    assert status["state"] in ("queued", "running", "done")
+    final = client.wait(status["job"], timeout=30.0)
+    assert final["state"] == "done"
+    payload = json.loads(client.result_bytes(status["job"]))
+    assert payload["kind"] == "schedule"
+    assert payload["verified"] is True
+
+
+def test_http_result_matches_local_session(tmp_path, client):
+    """Remote bytes are the same function of the key as local bytes."""
+    status = client.submit("schedule", SMALL_TEXT)
+    client.wait(status["job"], timeout=30.0)
+    remote = client.result_bytes(status["job"])
+    with LocalSession(str(tmp_path / "local")) as local:
+        outcome = local.schedule(SMALL_TEXT)
+    assert outcome.job_id == status["job"]
+    assert outcome.raw == remote
+
+
+def test_resubmission_reports_cached(client):
+    first = client.submit("schedule", SMALL_TEXT)
+    client.wait(first["job"], timeout=30.0)
+    again = client.submit("schedule", SMALL_TEXT)
+    assert again["cached"] is True
+    assert again["job"] == first["job"]
+
+
+def test_remote_session_round_trip(server, tmp_path):
+    with RemoteSession(server.address) as remote:
+        outcome = remote.certify(SMALL_TEXT)
+    assert outcome.payload["safe"] is True
+    # The second run through a fresh session is served from cache.
+    with RemoteSession(server.address) as remote:
+        assert remote.certify(SMALL_TEXT).cached
+
+
+def test_unix_socket_round_trip(tmp_path):
+    store = JobStore(str(tmp_path / "state"))
+    sock = str(tmp_path / "serve.sock")
+    with ServiceServer(store, sock) as running:
+        assert running.address == sock
+        client = ServiceClient(sock, timeout=10.0)
+        status = client.submit("schedule", SMALL_TEXT)
+        final = client.wait(status["job"], timeout=30.0)
+        assert final["state"] == "done"
+        assert client.health()["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# Errors over the wire
+# ----------------------------------------------------------------------
+def test_unknown_job_is_404(client):
+    with pytest.raises(UnknownJobError):
+        client.status("no-such-job")
+    with pytest.raises(UnknownJobError):
+        client.result_bytes("no-such-job")
+
+
+def test_invalid_problem_is_400_with_code(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit("schedule", "system broken\nop nowhere")
+    assert "SPEC" in str(excinfo.value)
+
+
+def test_result_before_done_is_409(client):
+    status = client.submit("schedule", SMALL_TEXT, fault="sleep:3")
+    with pytest.raises(ServiceError):
+        client.result_bytes(status["job"])
+    client.cancel(status["job"])
+
+
+def test_queue_full_is_429(tmp_path):
+    store = JobStore(
+        str(tmp_path / "state"),
+        queue_limit=1,
+        retry_policy=RetryPolicy(max_attempts=1),
+    )
+    with ServiceServer(store, "127.0.0.1:0", workers=1) as running:
+        client = ServiceClient(running.address, timeout=10.0)
+        # A occupies the single worker...
+        a = client.submit("schedule", SMALL_TEXT, fault="sleep:5")
+        _wait_for_state(client, a["job"], "running")
+        # ...B fills the queue (a different key: certify)...
+        client.submit("certify", SMALL_TEXT)
+        # ...so C bounces with BUSY.
+        with pytest.raises(QueueFullError):
+            client.submit("sweep", SMALL_TEXT, {"limit": 2})
+        for status in client.jobs():
+            client.cancel(status["job"])
+
+
+def test_delete_cancels_a_queued_job(tmp_path):
+    store = JobStore(str(tmp_path / "state"))
+    with ServiceServer(store, "127.0.0.1:0", workers=1) as running:
+        client = ServiceClient(running.address, timeout=10.0)
+        blocker = client.submit("schedule", SMALL_TEXT, fault="sleep:5")
+        _wait_for_state(client, blocker["job"], "running")
+        queued = client.submit("certify", SMALL_TEXT)
+        assert client.cancel(queued["job"]) is True
+        assert client.status(queued["job"])["state"] == "cancelled"
+        client.cancel(blocker["job"])
+
+
+# ----------------------------------------------------------------------
+# Observability endpoints
+# ----------------------------------------------------------------------
+def test_healthz_and_metrics(client):
+    health = client.health()
+    assert health["ok"] is True
+    status = client.submit("schedule", SMALL_TEXT)
+    client.wait(status["job"], timeout=30.0)
+    text = client.metrics_text()
+    assert "service_jobs_submitted" in text
+    assert "service_jobs_completed" in text
+
+
+def test_unknown_endpoint_is_404(client):
+    with pytest.raises(ServiceError):
+        client._json("GET", "/v2/nothing")
