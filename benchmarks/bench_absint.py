@@ -1,0 +1,254 @@
+"""Residue-pressure analysis benchmark (docs/analysis.md).
+
+Measures what the abstract interpretation of ``repro.analysis.absint``
+buys each of its three cheap consumers on the paper system:
+
+* **bound tightness** — the interval-strengthened area lower bound
+  versus the plain averaging bound, over every candidate of the
+  eq. 3-filtered paper period sweep (``tightness.strictly_tighter``);
+* **sweep pruning** — the same pruned serial sweep run twice, once per
+  bound (``ExplorationEngine(interval_bounds=...)``); both arms are
+  admissible so the best area must be identical, and the interval
+  arm's pruning rate must clear the 81/125 acceptance floor;
+* **certifier fast path** — how many safety proofs over the paper
+  system and a few corpus instances come from the zero-enumeration
+  interval bound (``method: "interval"``), each re-verified by the
+  independent checker.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_absint.py --out BENCH_absint.json
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from conftest import save_artifact
+
+from repro.analysis.bounds import area_lower_bound
+from repro.analysis.static import METHOD_INTERVAL, certify, check_certificate
+from repro.api import Problem
+from repro.core.periods import enumerate_period_assignments
+from repro.parallel import ExplorationEngine
+from repro.workloads import (
+    corpus_system,
+    paper_assignment,
+    paper_periods,
+    paper_system,
+)
+
+#: Acceptance floor on the interval arm's pruning rate: the averaging
+#: baseline of the original 125-candidate paper sweep pruned 81.
+PRUNE_RATE_FLOOR = 81 / 125
+
+#: Corpus instances certified (besides the paper system) for the
+#: fast-path hit rate.
+CORPUS_SEEDS = (0, 1, 2)
+
+
+def paper_problem():
+    system, library = paper_system()
+    return Problem(system, library, paper_assignment(library), paper_periods())
+
+
+def corpus_problem(seed):
+    instance = corpus_system(3, seed=seed)
+    return Problem(
+        instance.system,
+        instance.library,
+        instance.assignment,
+        instance.periods,
+    )
+
+
+def measure_tightness(problem, candidates):
+    """Averaging vs interval area bound over every sweep candidate."""
+    tighter = 0
+    sum_avg = 0.0
+    sum_interval = 0.0
+    max_gain = 0.0
+    for candidate in candidates:
+        avg = area_lower_bound(
+            problem.system,
+            problem.library,
+            problem.assignment,
+            candidate,
+            use_intervals=False,
+        )
+        interval = area_lower_bound(
+            problem.system,
+            problem.library,
+            problem.assignment,
+            candidate,
+            use_intervals=True,
+        )
+        assert interval >= avg, (candidate.as_dict, avg, interval)
+        sum_avg += avg
+        sum_interval += interval
+        max_gain = max(max_gain, interval - avg)
+        if interval > avg:
+            tighter += 1
+    count = len(candidates)
+    return {
+        "candidates": count,
+        "strictly_tighter": tighter,
+        "mean_averaging_bound": sum_avg / count,
+        "mean_interval_bound": sum_interval / count,
+        "max_gain": max_gain,
+    }
+
+
+def run_sweep_arm(problem, candidates, *, interval_bounds):
+    """One pruned serial sweep; serial keeps the pruning deterministic."""
+    engine = ExplorationEngine(
+        problem, workers=1, prune=True, interval_bounds=interval_bounds
+    )
+    started = time.perf_counter()
+    outcome = engine.sweep(candidates)
+    return {
+        "interval_bounds": interval_bounds,
+        "wall_time": time.perf_counter() - started,
+        "evaluated": outcome.evaluated,
+        "pruned": outcome.pruned,
+        "failed": outcome.failed,
+        "best_area": outcome.best_area,
+        "best_periods": outcome.best_periods,
+    }
+
+
+def measure_fastpath(problems):
+    """Fast-path proof share across certified subjects, checker-verified."""
+    subjects = []
+    proofs = 0
+    interval_proofs = 0
+    for name, problem in problems:
+        result = problem.schedule()
+        certificate = certify(result)
+        assert certificate.safe, f"{name} must certify safe on derived pools"
+        problems_found = check_certificate(certificate, result)
+        hits = sum(
+            1 for proof in certificate.types if proof.method == METHOD_INTERVAL
+        )
+        proofs += len(certificate.types)
+        interval_proofs += hits
+        subjects.append(
+            {
+                "name": name,
+                "types": len(certificate.types),
+                "interval_proofs": hits,
+                "checker_ok": not problems_found,
+            }
+        )
+    return {
+        "subjects": subjects,
+        "proofs": proofs,
+        "interval_proofs": interval_proofs,
+        "hit_rate": interval_proofs / proofs if proofs else 0.0,
+    }
+
+
+def run_bench():
+    problem = paper_problem()
+    candidates = enumerate_period_assignments(
+        problem.system, problem.assignment, limit=10000
+    )
+
+    tightness = measure_tightness(problem, candidates)
+    averaging = run_sweep_arm(problem, candidates, interval_bounds=False)
+    interval = run_sweep_arm(problem, candidates, interval_bounds=True)
+    fastpath = measure_fastpath(
+        [("paper", paper_problem())]
+        + [(f"corpus-s{seed}", corpus_problem(seed)) for seed in CORPUS_SEEDS]
+    )
+
+    prune_rate = interval["pruned"] / len(candidates)
+    return {
+        "workload": {
+            "system": "paper",
+            "candidates": len(candidates),
+            "global_types": len(problem.assignment.global_types),
+        },
+        "tightness": tightness,
+        "sweep": {
+            "candidates": len(candidates),
+            "best_area": interval["best_area"],
+            "averaging": averaging,
+            "interval": interval,
+            "prune_rate_interval": prune_rate,
+            "prune_rate_floor": PRUNE_RATE_FLOOR,
+            "best_area_identical": averaging["best_area"]
+            == interval["best_area"],
+        },
+        "fastpath": fastpath,
+    }
+
+
+def render(result):
+    tight = result["tightness"]
+    sweep = result["sweep"]
+    fast = result["fastpath"]
+    lines = [
+        "residue-pressure analysis bench "
+        "(bound tightness, sweep pruning A/B, certifier fast path)",
+        f"  workload: paper sweep, {sweep['candidates']} candidates",
+        f"  tightness: interval bound strictly tighter on "
+        f"{tight['strictly_tighter']}/{tight['candidates']} candidates "
+        f"(mean {tight['mean_averaging_bound']:.2f} -> "
+        f"{tight['mean_interval_bound']:.2f}, max gain "
+        f"{tight['max_gain']:g})",
+    ]
+    for arm_name in ("averaging", "interval"):
+        arm = sweep[arm_name]
+        lines.append(
+            f"  sweep[{arm_name}]: evaluated {arm['evaluated']}, "
+            f"pruned {arm['pruned']}, best area {arm['best_area']:g}, "
+            f"{arm['wall_time']:.2f} s"
+        )
+    lines.append(
+        f"  prune rate {sweep['prune_rate_interval']:.0%} "
+        f"(floor {sweep['prune_rate_floor']:.0%}), "
+        f"best areas identical={sweep['best_area_identical']}"
+    )
+    lines.append(
+        f"  fast path: {fast['interval_proofs']}/{fast['proofs']} proofs "
+        f"from the interval bound ({fast['hit_rate']:.0%}), all "
+        f"checker-verified="
+        f"{all(s['checker_ok'] for s in fast['subjects'])}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None,
+                        help="also write the JSON artifact to this path")
+    args = parser.parse_args(argv)
+
+    result = run_bench()
+    text = render(result)
+    save_artifact("bench_absint", text, data=result)
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    sweep = result["sweep"]
+    ok = (
+        sweep["best_area_identical"]
+        and sweep["prune_rate_interval"] >= sweep["prune_rate_floor"]
+        and sweep["averaging"]["failed"] == 0
+        and sweep["interval"]["failed"] == 0
+        and all(s["checker_ok"] for s in result["fastpath"]["subjects"])
+    )
+    if not ok:
+        print("ABSINT BENCH FAILED: invariant violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,9 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py \
         --kind service --current BENCH_service.json \
         --baseline benchmarks/baselines/BENCH_service_smoke.json
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --kind absint --current BENCH_absint.json \
+        --baseline benchmarks/baselines/BENCH_absint_smoke.json
 
 The committed baselines under ``benchmarks/baselines/`` are smoke-scale
 runs matching the CI invocations; the root-level ``BENCH_scaling.json``
@@ -260,6 +263,79 @@ def check_service(gate, current, baseline):
     )
 
 
+def check_absint(gate, current, baseline):
+    """Residue-pressure tightness/pruning/fast-path rows (bench_absint.py)."""
+    sweep = current["sweep"]
+    base_sweep = baseline["sweep"]
+    if current["workload"]["candidates"] != baseline["workload"]["candidates"]:
+        gate.failures.append(
+            f"candidate-set mismatch: current sweep enumerates "
+            f"{current['workload']['candidates']} candidates, baseline "
+            f"{baseline['workload']['candidates']} — regenerate the "
+            f"baseline with the CI flags"
+        )
+        return
+    # Hard invariants first: both bounds are admissible, so the arms
+    # must agree on the best area, and the interval arm must keep
+    # clearing the acceptance floor on the pruning rate.
+    for name, value in (
+        ("sweep arms found identical best areas",
+         sweep["best_area_identical"]),
+        (f"interval prune rate >= floor "
+         f"({sweep['prune_rate_interval']:.0%} vs "
+         f"{sweep['prune_rate_floor']:.0%})",
+         sweep["prune_rate_interval"] >= sweep["prune_rate_floor"]),
+    ):
+        if not value:
+            gate.failures.append(f"{name} invariant violated")
+        else:
+            gate.lines.append(f"  ok   {name}")
+    for subject in current["fastpath"]["subjects"]:
+        if not subject["checker_ok"]:
+            gate.failures.append(
+                f"fast-path proof for {subject['name']} rejected by the "
+                f"independent checker"
+            )
+        else:
+            gate.lines.append(
+                f"  ok   fast-path proofs checker-verified "
+                f"({subject['name']})"
+            )
+    gate.check_quality("best_area", sweep["best_area"],
+                       base_sweep["best_area"])
+    # Deterministic work counters: the bounds and the serial pruned
+    # sweep reproduce bit-for-bit, so evaluation counts growing means
+    # a bound got weaker.
+    for arm in ("averaging", "interval"):
+        gate.check_count(
+            f"{arm}-arm candidates evaluated",
+            sweep[arm]["evaluated"],
+            base_sweep[arm]["evaluated"],
+        )
+        gate.check_count(f"{arm}-arm failed jobs", sweep[arm]["failed"], 0)
+    # Tightness and fast-path coverage may only shrink by losing bound
+    # strength — also deterministic, so no tolerance.
+    for name, cur, base in (
+        ("strictly-tighter candidates",
+         current["tightness"]["strictly_tighter"],
+         baseline["tightness"]["strictly_tighter"]),
+        ("interval fast-path proofs",
+         current["fastpath"]["interval_proofs"],
+         baseline["fastpath"]["interval_proofs"]),
+    ):
+        if cur < base:
+            gate.failures.append(f"{name}: {cur} vs baseline {base}")
+        else:
+            gate.lines.append(f"  ok   {name}: {cur} vs baseline {base}")
+    _wall_ratio(
+        gate,
+        "interval/averaging sweep wall-time ratio",
+        sweep["interval"]["wall_time"], sweep["averaging"]["wall_time"],
+        base_sweep["interval"]["wall_time"],
+        base_sweep["averaging"]["wall_time"],
+    )
+
+
 def check_kernels(gate, current, baseline):
     """Per-kernel and end-to-end kernel A/B rows (bench_kernels.py)."""
     base_kernels = {
@@ -322,7 +398,7 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--kind",
-        choices=("scaling", "sweep", "kernels", "scale", "service"),
+        choices=("scaling", "sweep", "kernels", "scale", "service", "absint"),
         required=True,
     )
     parser.add_argument("--current", required=True,
@@ -347,6 +423,8 @@ def main(argv=None):
         check_scale(gate, current, baseline)
     elif args.kind == "service":
         check_service(gate, current, baseline)
+    elif args.kind == "absint":
+        check_absint(gate, current, baseline)
     else:
         check_sweep(gate, current, baseline)
 

@@ -1,0 +1,69 @@
+"""Residue-pressure abstract interpretation over the system IR.
+
+A sound middle layer between the averaging bounds
+(:mod:`repro.analysis.bounds`) and the exact symbolic certifier
+(:mod:`repro.analysis.static.certifier`): per (resource type, slot
+residue class) under the eq. 2-3 period grid, the analysis computes
+lower/upper occupancy intervals valid for *any* grid-admissible
+schedule (see docs/analysis.md):
+
+* :func:`analyze_problem` — scheduler-free, from mobility windows;
+* :func:`analyze_schedule` — exact fold of one finished schedule;
+* :func:`extract_bottleneck_cone` — the ops/blocks/edges pinning the
+  tightest interval, with the certifier's conflict triple attached.
+
+Consumers: sweep pruning (`analysis.bounds`), the certifier's interval
+fast path, the ``LINT3xx`` pressure rules, and ``repro analyze``.
+"""
+
+from .analyze import (
+    MODEL_ANY,
+    MODEL_DEPLOYED,
+    analyze_problem,
+    analyze_schedule,
+    forced_process_bound,
+    interval_pool_bound,
+    join_rotations,
+)
+from .cone import ConeOp, SubgraphExtract, extract_bottleneck_cone
+from .domain import (
+    ABSINT_FORMAT,
+    ABSINT_VERSION,
+    MODE_PROBLEM,
+    MODE_SCHEDULE,
+    AbsIntResult,
+    ProcessPressure,
+    TypePressure,
+)
+from .transfer import (
+    DEFAULT_WIDEN_FLOOR,
+    block_step_profiles,
+    effective_busy,
+    fold_profiles,
+    mobility_frames,
+)
+
+__all__ = [
+    "ABSINT_FORMAT",
+    "ABSINT_VERSION",
+    "AbsIntResult",
+    "ConeOp",
+    "DEFAULT_WIDEN_FLOOR",
+    "MODE_PROBLEM",
+    "MODE_SCHEDULE",
+    "MODEL_ANY",
+    "MODEL_DEPLOYED",
+    "ProcessPressure",
+    "SubgraphExtract",
+    "TypePressure",
+    "analyze_problem",
+    "analyze_schedule",
+    "block_step_profiles",
+    "effective_busy",
+    "extract_bottleneck_cone",
+    "fold_profiles",
+    "forced_process_bound",
+    "interval_pool_bound",
+    "join_rotations",
+    "mobility_frames",
+]

@@ -1,0 +1,230 @@
+"""Bottleneck-cone extraction: the subgraph pinning the tightest interval.
+
+:func:`extract_bottleneck_cone` names the operations, blocks, and edges
+that generate the pressure at a type's tightest residue class — the
+input contract for the feedback-guided iterative rescheduling pass
+(ROADMAP: subgraph extraction per arXiv 2401.12343): a focused
+re-reduction only has to perturb the extracted cone, not the whole
+system.
+
+The cone of one ``(type, slot)`` pair contains, per sharing process,
+every operation of the type whose scheduled busy steps fold onto the
+slot under the process's deployed rotation (the *contributing* ops),
+plus their transitive predecessors inside the block (the dependence
+cone constraining where the contributors can move).  The certifier's
+``(type, slot, processes)`` conflict triple for the slot is attached
+via :func:`repro.analysis.static.certifier.pool_conflict`, so the
+extract carries the same witness shape ``repro.core.verify`` reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ...core.result import SystemSchedule
+from ..static.certificate import Counterexample
+from ..static.certifier import pool_conflict
+from .analyze import analyze_schedule
+from .domain import AbsIntResult
+
+
+@dataclass(frozen=True)
+class ConeOp:
+    """One operation of a bottleneck cone."""
+
+    process: str
+    block: str
+    op_id: str
+    kind: str
+    start: int
+    #: True when the op's busy steps fold onto the bottleneck slot;
+    #: False for dependence-cone predecessors pulled in for context.
+    contributing: bool
+
+    @property
+    def ref(self) -> str:
+        return f"{self.process}/{self.block}/{self.op_id}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "process": self.process,
+            "block": self.block,
+            "op": self.op_id,
+            "kind": self.kind,
+            "start": self.start,
+            "contributing": self.contributing,
+        }
+
+
+@dataclass
+class SubgraphExtract:
+    """The ops/blocks/edges pinning one type's tightest interval."""
+
+    type_name: str
+    period: int
+    slot: int
+    pool: int
+    lower_peak: int
+    upper_peak: int
+    conflict: Counterexample
+    ops: List[ConeOp] = field(default_factory=list)
+    #: ``(src_ref, dst_ref)`` dependence edges induced on the cone ops.
+    edges: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def blocks(self) -> List[Tuple[str, str]]:
+        """``(process, block)`` pairs covered by the cone, in op order."""
+        seen: List[Tuple[str, str]] = []
+        for op in self.ops:
+            key = (op.process, op.block)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    @property
+    def processes(self) -> List[str]:
+        seen: List[str] = []
+        for op in self.ops:
+            if op.process not in seen:
+                seen.append(op.process)
+        return seen
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "period": self.period,
+            "slot": self.slot,
+            "pool": self.pool,
+            "lower_peak": self.lower_peak,
+            "upper_peak": self.upper_peak,
+            "conflict": self.conflict.as_dict(),
+            "blocks": [list(pair) for pair in self.blocks],
+            "ops": [op.as_dict() for op in self.ops],
+            "edges": [list(edge) for edge in self.edges],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        contributing = [op for op in self.ops if op.contributing]
+        lines = [
+            f"bottleneck cone {self.conflict.triple()}: peak in "
+            f"[{self.lower_peak}, {self.upper_peak}] against pool {self.pool} "
+            f"(period {self.period})",
+            f"  {len(contributing)} contributing op(s), "
+            f"{len(self.ops) - len(contributing)} dependence predecessor(s), "
+            f"{len(self.edges)} edge(s) over {len(self.blocks)} block(s)",
+        ]
+        for op in self.ops:
+            marker = "*" if op.contributing else " "
+            lines.append(
+                f"  {marker} {op.ref} ({op.kind}) start {op.start}"
+            )
+        return "\n".join(lines)
+
+
+def _tightest_type(absint: AbsIntResult) -> str:
+    """The type with the least slack (pool - upper_peak); ties resolve
+    to the highest upper peak, then the name."""
+
+    def key(entry: Any) -> Tuple[float, int, str]:
+        slack = (
+            float("inf")
+            if entry.pool is None
+            else entry.pool - entry.upper_peak
+        )
+        return (slack, -entry.upper_peak, entry.type_name)
+
+    if not absint.types:
+        raise ValueError("analysis covers no global types; nothing to extract")
+    return min(absint.types, key=key).type_name
+
+
+def extract_bottleneck_cone(
+    result: SystemSchedule,
+    *,
+    absint: Optional[AbsIntResult] = None,
+    type_name: Optional[str] = None,
+) -> SubgraphExtract:
+    """Extract the subgraph pinning the tightest interval of a schedule.
+
+    Args:
+        result: The scheduled system to extract from.
+        absint: A prior :func:`~repro.analysis.absint.analyze_schedule`
+            result to reuse (recomputed when omitted).
+        type_name: Extract for this global type instead of the one with
+            the least slack.
+    """
+    if absint is None:
+        absint = analyze_schedule(result)
+    if type_name is None:
+        type_name = _tightest_type(absint)
+    pressure = absint.pressure(type_name)
+    slot = pressure.tightest_slot()
+    period = pressure.period
+    pool = (
+        pressure.pool
+        if pressure.pool is not None
+        else result.global_instances(type_name)
+    )
+    conflict = pool_conflict(result, type_name, pool)
+
+    ops: List[ConeOp] = []
+    edges: List[Tuple[str, str]] = []
+    for process_name in result.assignment.group(type_name):
+        rotation = result.offset_of(process_name) % period
+        process = result.system.process(process_name)
+        for block_name, sched in result.blocks_of(process_name):
+            graph = process.block(block_name).graph
+            contributing: Set[str] = set()
+            for oid, start in sched.starts.items():
+                op = graph.operation(oid)
+                rtype = result.library.type_of(op)
+                if rtype.name != type_name:
+                    continue
+                busy = range(start, start + rtype.occupancy)
+                if any((rotation + j) % period == slot for j in busy):
+                    contributing.add(oid)
+            if not contributing:
+                continue
+            # Dependence cone: transitive predecessors of the
+            # contributors, walked inside the block.
+            cone: Set[str] = set(contributing)
+            stack = list(contributing)
+            while stack:
+                oid = stack.pop()
+                for pred in graph.predecessors(oid):
+                    if pred not in cone:
+                        cone.add(pred)
+                        stack.append(pred)
+            order = [oid for oid in graph.topological_order() if oid in cone]
+            for oid in order:
+                op = graph.operation(oid)
+                ops.append(
+                    ConeOp(
+                        process=process_name,
+                        block=block_name,
+                        op_id=oid,
+                        kind=op.kind.value,
+                        start=sched.starts[oid],
+                        contributing=oid in contributing,
+                    )
+                )
+            prefix = f"{process_name}/{block_name}/"
+            for src, dst in graph.edges:
+                if src in cone and dst in cone:
+                    edges.append((prefix + src, prefix + dst))
+    return SubgraphExtract(
+        type_name=type_name,
+        period=period,
+        slot=slot,
+        pool=pool,
+        lower_peak=pressure.lower_peak,
+        upper_peak=pressure.upper_peak,
+        conflict=conflict,
+        ops=ops,
+        edges=edges,
+    )

@@ -1,0 +1,258 @@
+"""The residue-pressure interval domain: pure data, JSON in/out.
+
+An abstract value of the analysis is, per (resource type, slot residue
+class) under the eq. 2-3 period grid, an integer interval ``[lo, hi]``
+bounding the per-process folded occupancy envelope of *any*
+grid-admissible schedule:
+
+* :class:`ProcessPressure` — one process's interval envelope over the
+  period axis, plus its admissible rotation coset (the same base/step/
+  count arithmetic the certifier uses);
+* :class:`TypePressure` — the rotation-joined slot intervals of one
+  global type, with the derived sound peak bounds ``lower_peak`` /
+  ``upper_peak`` (see :mod:`repro.analysis.absint.analyze` for the
+  soundness argument of each component);
+* :class:`AbsIntResult` — the whole analysis of one system, one entry
+  per global type.
+
+Like the certificate artifacts, this module imports nothing from the
+scheduling layers: results are plain data and stay loadable anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Format tag of the JSON artifact; bump on breaking schema changes.
+ABSINT_FORMAT = "repro-absint"
+ABSINT_VERSION = 1
+
+#: Analysis modes: ``problem`` abstracts over every grid-admissible
+#: schedule (mobility windows); ``schedule`` folds one concrete
+#: schedule's exact profiles (intervals collapse to points).
+MODE_PROBLEM = "problem"
+MODE_SCHEDULE = "schedule"
+
+
+@dataclass(frozen=True)
+class ProcessPressure:
+    """Interval envelope of one process for one global type.
+
+    ``lo[tau] <= E_p[tau] <= hi[tau]`` holds for the folded occupancy
+    envelope ``E_p`` of every schedule the analysis abstracts over; both
+    arrays are *unrotated* (block-relative), exactly like the
+    certifier's :class:`~repro.analysis.static.certificate.ProcessEnvelope`.
+    The admissible rotations along the period axis form the coset
+    ``{(base + i * step) % period : 0 <= i < count}``.
+    """
+
+    process: str
+    grid: int
+    offset: int
+    rotation_base: int
+    rotation_step: int
+    rotation_count: int
+    lo: List[int]
+    hi: List[int]
+    widened: bool = False
+    #: Sound lower bound on the envelope's mass ``sum_tau E_p[tau]``:
+    #: the maximum of the slot-wise lower bounds' sum and the busiest
+    #: block's guard-aware busy mass averaged over its period coverage.
+    mass_lo: int = 0
+
+    @property
+    def period(self) -> int:
+        return len(self.hi)
+
+    def rotations(self) -> List[int]:
+        period = self.period
+        return [
+            (self.rotation_base + i * self.rotation_step) % period
+            for i in range(self.rotation_count)
+        ]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "process": self.process,
+            "grid": self.grid,
+            "offset": self.offset,
+            "rotation": {
+                "base": self.rotation_base,
+                "step": self.rotation_step,
+                "count": self.rotation_count,
+            },
+            "lo": list(self.lo),
+            "hi": list(self.hi),
+            "widened": self.widened,
+            "mass_lo": self.mass_lo,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProcessPressure":
+        rotation = data.get("rotation", {})
+        return cls(
+            process=str(data["process"]),
+            grid=int(data["grid"]),
+            offset=int(data["offset"]),
+            rotation_base=int(rotation.get("base", 0)),
+            rotation_step=int(rotation.get("step", 1)),
+            rotation_count=int(rotation.get("count", 1)),
+            lo=[int(v) for v in data.get("lo", [])],
+            hi=[int(v) for v in data.get("hi", [])],
+            widened=bool(data.get("widened", False)),
+            mass_lo=int(data.get("mass_lo", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class TypePressure:
+    """Slot-pressure intervals of one global type after the rotation join.
+
+    ``slot_lo[tau] <= demand[tau] <= slot_hi[tau]`` bounds the summed
+    slot demand of every abstracted schedule under every admissible
+    rotation choice; ``lower_peak <= pool_needed <= upper_peak`` bounds
+    the peak slot demand (the quantity the certifier proves exactly).
+    ``pool`` is the allocation the intervals are compared against, when
+    one is known (``None`` in pool-free problem mode).
+    """
+
+    type_name: str
+    period: int
+    mode: str
+    offset_model: str
+    pool: Optional[int]
+    slot_lo: List[int]
+    slot_hi: List[int]
+    lower_peak: int
+    upper_peak: int
+    processes: List[ProcessPressure] = field(default_factory=list)
+
+    @property
+    def slack(self) -> Optional[int]:
+        """``pool - lower_peak``: how far the allocation sits above the
+        demand every admissible schedule is forced to generate; ``None``
+        without a pool."""
+        if self.pool is None:
+            return None
+        return self.pool - self.lower_peak
+
+    @property
+    def proven_safe(self) -> Optional[bool]:
+        """True when no admissible schedule can exceed the pool."""
+        if self.pool is None:
+            return None
+        return self.upper_peak <= self.pool
+
+    def tightest_slot(self) -> int:
+        """The residue class with the highest possible pressure
+        (ties resolved to the smallest slot)."""
+        return max(range(self.period), key=lambda tau: (self.slot_hi[tau], -tau))
+
+    def unreachable_slots(self) -> List[int]:
+        """Residue classes no abstracted schedule can ever occupy."""
+        return [tau for tau in range(self.period) if self.slot_hi[tau] == 0]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "period": self.period,
+            "mode": self.mode,
+            "offset_model": self.offset_model,
+            "pool": self.pool,
+            "slot_lo": list(self.slot_lo),
+            "slot_hi": list(self.slot_hi),
+            "lower_peak": self.lower_peak,
+            "upper_peak": self.upper_peak,
+            "processes": [p.as_dict() for p in self.processes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TypePressure":
+        pool = data.get("pool")
+        return cls(
+            type_name=str(data["type"]),
+            period=int(data["period"]),
+            mode=str(data.get("mode", MODE_PROBLEM)),
+            offset_model=str(data.get("offset_model", "deployed")),
+            pool=None if pool is None else int(pool),
+            slot_lo=[int(v) for v in data.get("slot_lo", [])],
+            slot_hi=[int(v) for v in data.get("slot_hi", [])],
+            lower_peak=int(data["lower_peak"]),
+            upper_peak=int(data["upper_peak"]),
+            processes=[
+                ProcessPressure.from_dict(entry)
+                for entry in data.get("processes", [])
+            ],
+        )
+
+
+@dataclass
+class AbsIntResult:
+    """The residue-pressure analysis of one system."""
+
+    system: str
+    mode: str
+    offset_model: str
+    types: List[TypePressure] = field(default_factory=list)
+
+    def pressure(self, type_name: str) -> TypePressure:
+        for entry in self.types:
+            if entry.type_name == type_name:
+                return entry
+        raise KeyError(f"analysis holds no pressure for type {type_name!r}")
+
+    def summary(self) -> str:
+        lines = [
+            f"residue pressure for {self.system!r} "
+            f"({self.mode} mode, {self.offset_model} offsets):"
+        ]
+        for entry in self.types:
+            pool = "?" if entry.pool is None else str(entry.pool)
+            lines.append(
+                f"  {entry.type_name}: period {entry.period}, peak in "
+                f"[{entry.lower_peak}, {entry.upper_peak}], pool {pool}"
+            )
+            tight = entry.tightest_slot()
+            lines.append(
+                f"    tightest slot {tight}: demand in "
+                f"[{entry.slot_lo[tight]}, {entry.slot_hi[tight]}]"
+            )
+            idle = entry.unreachable_slots()
+            if idle:
+                lines.append(f"    unreachable slot(s): {idle}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "format": ABSINT_FORMAT,
+            "version": ABSINT_VERSION,
+            "system": self.system,
+            "mode": self.mode,
+            "offset_model": self.offset_model,
+            "types": [entry.as_dict() for entry in self.types],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AbsIntResult":
+        if data.get("format") != ABSINT_FORMAT:
+            raise ValueError(
+                f"not a {ABSINT_FORMAT} artifact: format={data.get('format')!r}"
+            )
+        return cls(
+            system=str(data.get("system", "")),
+            mode=str(data.get("mode", MODE_PROBLEM)),
+            offset_model=str(data.get("offset_model", "deployed")),
+            types=[TypePressure.from_dict(entry) for entry in data.get("types", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AbsIntResult":
+        return cls.from_dict(json.loads(text))

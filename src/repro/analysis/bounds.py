@@ -16,6 +16,15 @@ Averaging bounds certify how close a schedule is to optimal:
 
 These hold for *any* valid schedule under the model, so
 ``achieved == bound`` proves the instance count optimal.
+
+Since the residue-pressure abstract interpretation landed
+(:mod:`repro.analysis.absint`), :func:`type_instance_bound` additionally
+takes the interval lower envelope when it beats the averaging bound:
+the rotation-free interval peak for global pools and the
+forced-simultaneity peak for local/per-process counts.  Both are sound
+for every grid-admissible schedule (and for re-optimized offsets), so
+the strengthened bound keeps the pruning in :mod:`repro.parallel`
+admissible while pruning at least as many candidates.
 """
 
 from __future__ import annotations
@@ -95,12 +104,30 @@ def global_pool_bound(
     return max(per_member, math.ceil(density_sum - 1e-9))
 
 
+def _strengthened_process_bound(
+    process: Process,
+    library: ResourceLibrary,
+    type_name: str,
+    use_intervals: bool,
+) -> int:
+    bound = process_bound(process, library, type_name)
+    if use_intervals:
+        from .absint import forced_process_bound
+
+        forced = forced_process_bound(process, library, type_name)
+        if forced > bound:
+            bound = forced
+    return bound
+
+
 def type_instance_bound(
     system: SystemSpec,
     library: ResourceLibrary,
     assignment: ResourceAssignment,
     periods: PeriodAssignment,
     type_name: str,
+    *,
+    use_intervals: bool = True,
 ) -> int:
     """System-wide lower bound on instances of one type.
 
@@ -109,16 +136,33 @@ def type_instance_bound(
     needs the sum of the per-process bounds.  The bound needs no
     schedule, so it is cheap enough to evaluate for every candidate of a
     design-space sweep before any scheduling happens.
+
+    With ``use_intervals`` (the default) each component is maxed with
+    its residue-pressure interval counterpart
+    (:mod:`repro.analysis.absint`): the rotation-free interval peak for
+    the global pool, the forced-simultaneity peak per process.  Pass
+    ``use_intervals=False`` for the plain averaging bound (the pre-
+    interval behavior, kept for A/B benchmarks).
     """
     if assignment.is_global(type_name):
         bound = global_pool_bound(system, library, assignment, periods, type_name)
+        if use_intervals:
+            from .absint import interval_pool_bound
+
+            interval = interval_pool_bound(
+                system, library, assignment, periods, type_name
+            )
+            if interval > bound:
+                bound = interval
         # Processes using the type outside the group add local bounds.
         for process in system.processes:
             if not assignment.shares_globally(type_name, process.name):
-                bound += process_bound(process, library, type_name)
+                bound += _strengthened_process_bound(
+                    process, library, type_name, use_intervals
+                )
         return bound
     return sum(
-        process_bound(process, library, type_name)
+        _strengthened_process_bound(process, library, type_name, use_intervals)
         for process in system.processes
     )
 
@@ -128,6 +172,8 @@ def area_lower_bound(
     library: ResourceLibrary,
     assignment: ResourceAssignment,
     periods: PeriodAssignment,
+    *,
+    use_intervals: bool = True,
 ) -> float:
     """Admissible lower bound on the total area of any valid schedule.
 
@@ -135,10 +181,19 @@ def area_lower_bound(
     Admissibility (``bound <= achieved area`` for every schedule the
     model admits) is what makes bound-based pruning in
     :mod:`repro.parallel` sound: a candidate whose bound already meets
-    the best achieved area cannot improve on it.
+    the best achieved area cannot improve on it.  ``use_intervals``
+    selects the interval-strengthened bound (default) or the plain
+    averaging bound.
     """
     return sum(
-        type_instance_bound(system, library, assignment, periods, rtype.name)
+        type_instance_bound(
+            system,
+            library,
+            assignment,
+            periods,
+            rtype.name,
+            use_intervals=use_intervals,
+        )
         * rtype.area
         for rtype in library.types
     )

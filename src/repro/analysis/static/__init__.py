@@ -15,6 +15,8 @@ Two pillars (see docs/static-analysis.md):
 from .certificate import (
     CERTIFICATE_FORMAT,
     CERTIFICATE_VERSION,
+    METHOD_ENUMERATION,
+    METHOD_INTERVAL,
     MODEL_ANY,
     MODEL_DEPLOYED,
     VERDICT_SAFE,
@@ -41,6 +43,8 @@ from .lint import (
 __all__ = [
     "CERTIFICATE_FORMAT",
     "CERTIFICATE_VERSION",
+    "METHOD_ENUMERATION",
+    "METHOD_INTERVAL",
     "MODEL_ANY",
     "MODEL_DEPLOYED",
     "VERDICT_SAFE",

@@ -37,6 +37,12 @@ VERDICT_UNSAFE = "unsafe"
 MODEL_DEPLOYED = "deployed"
 MODEL_ANY = "any-offset"
 
+#: How a type proof was established: full offset-class enumeration, or
+#: the residue-pressure interval fast path (upper bound <= pool; no
+#: coset enumeration needed).
+METHOD_ENUMERATION = "enumeration"
+METHOD_INTERVAL = "interval"
+
 
 @dataclass(frozen=True)
 class Contribution:
@@ -235,10 +241,16 @@ class ProcessEnvelope:
 class TypeProof:
     """The per-type proof obligation and its outcome.
 
-    For a safe proof ``proven_peak`` is the exact maximum slot demand
-    over the full offset-class coverage; for an unsafe one it is the
-    demand of the first violating combination found (a reachable lower
-    bound — enumeration stops at the refutation).
+    For a safe enumeration proof ``proven_peak`` is the exact maximum
+    slot demand over the full offset-class coverage; for an unsafe one
+    it is the demand of the first violating combination found (a
+    reachable lower bound — enumeration stops at the refutation).  A
+    proof with ``method == "interval"`` came from the residue-pressure
+    fast path: ``proven_peak`` is the sound rotation-joined *upper
+    bound* ``max_tau sum_p max_rho E_p[(tau - rho) % P]`` which already
+    fits the pool, so no offset class was enumerated
+    (``classes_checked == 0``) and the checker re-derives the bound
+    instead of the exact peak.
     """
 
     type_name: str
@@ -249,6 +261,7 @@ class TypeProof:
     classes_total: int  # |product of per-process rotation sets|
     classes_checked: int  # after the common-rotation quotient
     processes: List[ProcessEnvelope] = field(default_factory=list)
+    method: str = METHOD_ENUMERATION
 
     @property
     def safe(self) -> bool:
@@ -265,6 +278,7 @@ class TypeProof:
                 "total": self.classes_total,
                 "checked": self.classes_checked,
             },
+            "method": self.method,
             "processes": [p.as_dict() for p in self.processes],
         }
 
@@ -283,6 +297,7 @@ class TypeProof:
                 ProcessEnvelope.from_dict(entry)
                 for entry in data.get("processes", [])
             ],
+            method=str(data.get("method", METHOD_ENUMERATION)),
         )
 
 

@@ -52,12 +52,15 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ...core.result import SystemSchedule
 from ...errors import VerificationError
 from ...obs.counters import (
+    ABSINT_FASTPATH_PROOFS,
     CERTIFIER_OFFSET_CLASSES,
     CERTIFIER_SLOT_CHECKS,
     count,
 )
 from ...obs.tracer import as_tracer
 from .certificate import (
+    METHOD_ENUMERATION,
+    METHOD_INTERVAL,
     MODEL_ANY,
     MODEL_DEPLOYED,
     VERDICT_SAFE,
@@ -90,6 +93,7 @@ def certify(
     *,
     pools: Optional[Mapping[str, int]] = None,
     offset_model: str = MODEL_DEPLOYED,
+    fast_path: bool = True,
     tracer: Optional[Any] = None,
 ) -> Certificate:
     """Build a safety certificate (or counterexample) for a schedule.
@@ -102,6 +106,12 @@ def certify(
         offset_model: ``"deployed"`` proves the configured start
             offsets; ``"any"`` proves safety for every grid-aligned
             offset assignment.
+        fast_path: Try the residue-pressure interval bound first: when
+            the rotation-joined upper bound already fits the pool the
+            type is proven safe without enumerating a single offset
+            class (``method="interval"`` in the proof).  Pass False to
+            force full enumeration — needed when the *exact* peak
+            matters, not just safety.
 
     Returns:
         A :class:`Certificate`; ``certificate.safe`` tells the verdict
@@ -122,7 +132,7 @@ def certify(
     ):
         for type_name in result.assignment.global_types:
             proof, refutation = _certify_type(
-                result, type_name, model, pools
+                result, type_name, model, pools, fast_path
             )
             proofs.append(proof)
             if tracer.enabled:
@@ -133,6 +143,7 @@ def certify(
                     proven_peak=proof.proven_peak,
                     pool=proof.pool,
                     classes_checked=proof.classes_checked,
+                    method=proof.method,
                 )
             if counterexample is None and refutation is not None:
                 counterexample = refutation
@@ -162,6 +173,7 @@ def _certify_type(
     type_name: str,
     model: str,
     pools: Optional[Mapping[str, int]],
+    fast_path: bool,
 ) -> Tuple[TypeProof, Optional[Counterexample]]:
     period = result.periods.period(type_name)
     if pools is not None and type_name in pools:
@@ -173,15 +185,41 @@ def _certify_type(
         _process_envelope(result, process_name, type_name, period, model)
         for process_name in result.assignment.group(type_name)
     ]
-
-    peak, violation, checked = _sweep_offset_classes(
-        envelopes, period, pool
-    )
     classes_total = 1
     for env in envelopes:
         # Full admissible class count, before any reduction.
         step = math.gcd(env.grid, period) if model == MODEL_DEPLOYED else 1
         classes_total *= period // step
+
+    if fast_path:
+        # Residue-pressure interval fast path: the rotation-joined upper
+        # bound max_tau sum_p max_rho E_p[(tau - rho) % P] dominates the
+        # demand of every admissible rotation combination (each process
+        # contributes at most its per-slot max over its coset), so
+        # bound <= pool proves safety without enumerating a single
+        # offset class.  The bound is NOT the exact peak in general —
+        # the maximizing rotations may differ per slot — which is why an
+        # over-pool bound falls through to full enumeration instead of
+        # refuting.
+        bound = _interval_upper_bound(envelopes, period)
+        if bound <= pool:
+            count(ABSINT_FASTPATH_PROOFS)
+            proof = TypeProof(
+                type_name=type_name,
+                period=period,
+                pool=pool,
+                proven_peak=bound,
+                multicycle=multicycle,
+                classes_total=classes_total,
+                classes_checked=0,
+                processes=envelopes,
+                method=METHOD_INTERVAL,
+            )
+            return proof, None
+
+    peak, violation, checked = _sweep_offset_classes(
+        envelopes, period, pool
+    )
     count(CERTIFIER_OFFSET_CLASSES, checked)
     count(CERTIFIER_SLOT_CHECKS, checked * period)
 
@@ -194,6 +232,7 @@ def _certify_type(
         classes_total=classes_total,
         classes_checked=checked,
         processes=envelopes,
+        method=METHOD_ENUMERATION,
     )
     if violation is None:
         return proof, None
@@ -249,6 +288,34 @@ def _process_envelope(
         envelope=envelope,
         witnesses=[witnesses[tau] for tau in sorted(witnesses)],
     )
+
+
+# ----------------------------------------------------------------------
+# Residue-pressure interval fast path
+# ----------------------------------------------------------------------
+def _interval_upper_bound(
+    envelopes: Sequence[ProcessEnvelope], period: int
+) -> int:
+    """Rotation-joined upper bound on the peak slot demand.
+
+    ``max_tau sum_p max_{rho in R_p} E_p[(tau - rho) % P]`` — the same
+    join :func:`repro.analysis.absint.join_rotations` computes, rebuilt
+    here from the certifier's own envelopes so the fast path shares no
+    code path with the analysis it is checked against.  Cost is
+    ``O(n * P * |R|)`` versus the enumeration's product of coset sizes.
+    """
+    if not envelopes:
+        return 0
+    bound = 0
+    for tau in range(period):
+        demand = 0
+        for env in envelopes:
+            demand += max(
+                env.envelope[(tau - rho) % period] for rho in env.rotations()
+            )
+        if demand > bound:
+            bound = demand
+    return bound
 
 
 # ----------------------------------------------------------------------

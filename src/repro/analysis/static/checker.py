@@ -22,6 +22,8 @@ from itertools import product
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 from .certificate import (
+    METHOD_ENUMERATION,
+    METHOD_INTERVAL,
     MODEL_ANY,
     MODEL_DEPLOYED,
     VERDICT_SAFE,
@@ -120,6 +122,35 @@ def _check_proof(
             f"{name}: coverage claims {proof.classes_total} admissible "
             f"classes, rotation sets give {classes_total}"
         )
+    if proof.method == METHOD_INTERVAL:
+        # Interval fast-path proof: re-derive the rotation-joined upper
+        # bound max_tau sum_p max_rho rolled_p[tau] from the distinct
+        # rolled variants and require it to match the claim exactly.
+        # Such a proof is only ever issued when the bound fits the pool,
+        # so an over-pool interval claim is a forgery by construction.
+        bound = max(
+            sum(max(v[tau] for v in per_process) for per_process in variants)
+            for tau in range(period)
+        ) if variants else 0
+        if bound != proof.proven_peak:
+            problems.append(
+                f"{name}: recomputed interval bound {bound} != claimed "
+                f"{proof.proven_peak}"
+            )
+        if proof.proven_peak > proof.pool:
+            problems.append(
+                f"{name}: interval proof claims peak {proof.proven_peak} "
+                f"above pool {proof.pool} — fast path never refutes"
+            )
+        if proof.classes_checked != 0:
+            problems.append(
+                f"{name}: interval proof claims {proof.classes_checked} "
+                f"enumerated classes; the fast path enumerates none"
+            )
+        return problems
+    if proof.method != METHOD_ENUMERATION:
+        problems.append(f"{name}: unknown proof method {proof.method!r}")
+        return problems
     peak = 0
     for combo in product(*variants):
         peak = max(peak, max(sum(vals) for vals in zip(*combo)) if combo else 0)

@@ -17,6 +17,9 @@ LINT103     warning   pool allocation exceeds the certifier's proven peak
 LINT201     info      block fully rigid (every timeframe a single slot)
 LINT202     info      multicycle pool sized above the peak slot demand
 LINT203     info      period slots never authorized for the sharing group
+LINT301     warning   pressure hotspot: every schedule saturates the pool
+LINT302     info      residue class unreachable by any admissible schedule
+LINT303     info      pool interval-proven over-provisioned
 PERIOD1xx   (reused)  eq. 2-3 period-grid rules, shared with preflight
 ==========  ========  =====================================================
 
@@ -296,6 +299,73 @@ def _rule_pool_provisioning(ctx: LintContext, report: DiagnosticReport) -> None:
             )
 
 
+def _rule_residue_pressure(ctx: LintContext, report: DiagnosticReport) -> None:
+    """Residue-pressure findings from the abstract interpretation.
+
+    Problem-mode intervals quantify over *every* grid-admissible
+    schedule, so these findings are properties of the design, not of the
+    one schedule the lint run happened to produce:
+
+    * LINT301 — a *claimed* pool (an explicit ``--pool`` override) is
+      already saturated by the interval lower peak: no admissible
+      schedule leaves any slack (warning: the allocation has no
+      headroom against timing or sharing changes).  Derived pools are
+      exempt — they equal the produced schedule's demand peak, so
+      saturation there is tautological, not a finding;
+    * LINT302 — a residue class no admissible schedule can occupy
+      (stronger than LINT203, which only sees the produced schedule);
+    * LINT303 — the pool exceeds the interval *upper* peak: it is
+      over-provisioned for every admissible schedule, not just this one.
+    """
+    result = ctx.schedule
+    if result is None:
+        return
+    from ..absint import analyze_problem
+
+    pools = {
+        type_name: result.global_instances(type_name)
+        for type_name in result.assignment.global_types
+    }
+    if ctx.pools:
+        pools.update(ctx.pools)
+    analysis = analyze_problem(ctx.problem, pools=pools)
+    for entry in analysis.types:
+        pool = entry.pool
+        if pool is None:
+            continue
+        claimed = bool(ctx.pools) and entry.type_name in ctx.pools
+        if claimed and entry.lower_peak >= pool > 0:
+            tight = entry.tightest_slot()
+            report.add(
+                "LINT301",
+                f"pool of {entry.type_name!r} ({pool}) is saturated by "
+                f"every grid-admissible schedule: interval peak in "
+                f"[{entry.lower_peak}, {entry.upper_peak}], hotspot at "
+                f"period slot {tight}",
+                hint="grow the pool or relax deadlines to regain slack",
+            )
+        unreachable = entry.unreachable_slots()
+        if unreachable:
+            report.add(
+                "LINT302",
+                f"no grid-admissible schedule can occupy period slot(s) "
+                f"{unreachable} of {entry.type_name!r}",
+                hint="a smaller period would fold the dead slots away",
+            )
+        multicycle = ctx.problem.library.type(entry.type_name).occupancy > 1
+        if pool > entry.upper_peak and not multicycle:
+            # Multicycle pools are coloring-sized and may legitimately
+            # exceed the peak slot demand (LINT202 covers those).
+            report.add(
+                "LINT303",
+                f"pool of {entry.type_name!r} allocates {pool} instances "
+                f"but no grid-admissible schedule can demand more than "
+                f"{entry.upper_peak}",
+                hint=f"{pool - entry.upper_peak} instance(s) are unusable "
+                "under the current period grid",
+            )
+
+
 def _rule_idle_slots(ctx: LintContext, report: DiagnosticReport) -> None:
     result = ctx.schedule
     if result is None:
@@ -349,6 +419,12 @@ DEFAULT_RULES: List[LintRule] = [
         codes=("LINT203",),
         scope=SCOPE_SCHEDULE,
         run=_rule_idle_slots,
+    ),
+    LintRule(
+        name="residue-pressure",
+        codes=("LINT301", "LINT302", "LINT303"),
+        scope=SCOPE_SCHEDULE,
+        run=_rule_residue_pressure,
     ),
 ]
 

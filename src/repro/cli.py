@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``)::
     python -m repro lint system.sys                # IR lint (LINT* codes)
     python -m repro certify system.sys             # static safety proof
     python -m repro certify system.sys --offset-model any
+    python -m repro analyze system.sys             # residue-pressure intervals
+    python -m repro analyze system.sys --mode problem --format json
     python -m repro explain system.sys             # bottleneck attribution
     python -m repro report system.sys -o run.md    # self-contained run report
     python -m repro info system.sys                # problem statistics
@@ -346,6 +348,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-verify the certificate with the independent checker",
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="residue-pressure intervals and bottleneck cone "
+        "(see docs/analysis.md)",
+        parents=[verbosity, observe],
+    )
+    analyze.add_argument("file", help="path to a .sys problem file")
+    analyze.add_argument(
+        "--mode",
+        choices=("problem", "schedule"),
+        default="schedule",
+        help="'problem' bounds every grid-admissible schedule without "
+        "scheduling; 'schedule' folds one produced schedule exactly and "
+        "extracts its bottleneck cone (default %(default)s)",
+    )
+    analyze.add_argument(
+        "--offset-model",
+        choices=("deployed", "any"),
+        default="deployed",
+        help="rotation space to join over (default %(default)s)",
+    )
+    analyze.add_argument(
+        "--pool",
+        action="append",
+        metavar="TYPE=N",
+        default=None,
+        help="compare the intervals against a fixed pool allocation "
+        "(repeatable)",
+    )
+    analyze.add_argument(
+        "--type",
+        dest="type_name",
+        metavar="NAME",
+        default=None,
+        help="extract the bottleneck cone of this type (default: the "
+        "type with the least interval slack)",
+    )
+    analyze.add_argument(
+        "--no-cone",
+        action="store_true",
+        help="skip the bottleneck-cone extraction (schedule mode only)",
+    )
+    analyze.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the analysis JSON to FILE",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default %(default)s)",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="schedule with full instrumentation and report the profile",
@@ -475,14 +532,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     jobs = sub.add_parser(
         "jobs",
-        help="list or watch the jobs of a running `repro serve` daemon",
+        help="list or watch the jobs of a running `repro serve` daemon, "
+        "or garbage-collect an offline store's result cache",
         parents=[verbosity],
     )
     jobs.add_argument(
         "--server",
-        required=True,
         metavar="ADDR",
-        help="the daemon's address (HOST:PORT or unix-socket path)",
+        default=None,
+        help="the daemon's address (HOST:PORT or unix-socket path); "
+        "required unless --gc operates on a local state directory",
+    )
+    jobs.add_argument(
+        "--gc",
+        action="store_true",
+        help="evict least-recently-used result-cache payloads of a "
+        "local --state-dir down to --max-cache-bytes (tombstoned in "
+        "the job journal; recovery never resurrects them)",
+    )
+    jobs.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="the store's state directory (for --gc)",
+    )
+    jobs.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cache byte budget for --gc; oldest payloads are evicted "
+        "until the cache fits",
     )
     jobs.add_argument(
         "--watch",
@@ -849,6 +929,32 @@ def cmd_jobs(args: argparse.Namespace) -> int:
 
     from .service import ServiceClient
 
+    if args.gc:
+        from .service import JobStore
+
+        if not args.state_dir or args.max_cache_bytes is None:
+            print(
+                "error [SERVE]: --gc needs --state-dir and "
+                "--max-cache-bytes",
+                file=sys.stderr,
+            )
+            return 2
+        with JobStore(args.state_dir) as store:
+            store.recover()
+            stats = store.gc(args.max_cache_bytes)
+        print(
+            f"gc {args.state_dir}: evicted {stats['evicted']} payload(s), "
+            f"freed {stats['freed_bytes']} bytes, "
+            f"{stats['remaining_bytes']} bytes remain"
+        )
+        return 0
+    if not args.server:
+        print(
+            "error [SERVE]: --server is required (or use --gc with a "
+            "local --state-dir)",
+            file=sys.stderr,
+        )
+        return 2
     client = ServiceClient(args.server)
     if args.metrics:
         print(client.metrics_text(), end="")
@@ -990,6 +1096,58 @@ def cmd_certify(args: argparse.Namespace) -> int:
         print(render_profile(tracer.summary(), title=f"profile: {args.file}"))
     _finish_trace(args, tracer)
     return 0 if certificate.safe else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.absint import (
+        analyze_problem,
+        analyze_schedule,
+        extract_bottleneck_cone,
+    )
+
+    pools = _parse_pools(args.pool)
+    problem = load_problem(args.file)
+    tracer = _tracer_for(args)
+    cone = None
+    if args.mode == "problem":
+        analysis = analyze_problem(
+            problem,
+            offset_model=args.offset_model,
+            pools=pools,
+            tracer=tracer,
+        )
+    else:
+        result = problem.schedule(tracer=tracer)
+        analysis = analyze_schedule(
+            result,
+            offset_model=args.offset_model,
+            pools=pools,
+            tracer=tracer,
+        )
+        if not args.no_cone and analysis.types:
+            cone = extract_bottleneck_cone(
+                result, absint=analysis, type_name=args.type_name
+            )
+    payload = analysis.as_dict()
+    if cone is not None:
+        payload["bottleneck_cone"] = cone.as_dict()
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(analysis.summary())
+        if cone is not None:
+            print()
+            print(cone.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.profile and tracer is not None:
+        print()
+        print(render_profile(tracer.summary(), title=f"profile: {args.file}"))
+    _finish_trace(args, tracer)
+    return 0
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
@@ -1355,6 +1513,7 @@ _COMMANDS = {
     "check": cmd_check,
     "lint": cmd_lint,
     "certify": cmd_certify,
+    "analyze": cmd_analyze,
     "explain": cmd_explain,
     "report": cmd_report,
     "profile": cmd_profile,

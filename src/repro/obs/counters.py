@@ -49,6 +49,9 @@ FORCE_CACHE_INVALIDATIONS = "force_cache_invalidations"
 FORCE_CACHE_ASSEMBLIES = "force_cache_assemblies"
 CERTIFIER_OFFSET_CLASSES = "certifier_offset_classes"
 CERTIFIER_SLOT_CHECKS = "certifier_slot_checks"
+ABSINT_TRANSFERS = "absint_transfers"
+ABSINT_WIDENINGS = "absint_widenings"
+ABSINT_FASTPATH_PROOFS = "absint_fastpath_proofs"
 LINT_RULES_RUN = "lint_rules_run"
 LINT_FINDINGS = "lint_findings"
 AUDIT_DECISIONS = "audit_decisions"
@@ -69,6 +72,9 @@ KNOWN_COUNTERS = (
     FORCE_CACHE_ASSEMBLIES,
     CERTIFIER_OFFSET_CLASSES,
     CERTIFIER_SLOT_CHECKS,
+    ABSINT_TRANSFERS,
+    ABSINT_WIDENINGS,
+    ABSINT_FASTPATH_PROOFS,
     LINT_RULES_RUN,
     LINT_FINDINGS,
     AUDIT_DECISIONS,

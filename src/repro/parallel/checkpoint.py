@@ -21,10 +21,13 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import IO, TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..obs import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import CandidateResult
 
 _log = get_logger(__name__)
 
@@ -86,9 +89,9 @@ class SweepJournal:
     candidate, and subsequent :meth:`append` calls extend the same file.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
         self.path = str(path)
-        self._handle = None
+        self._handle: Optional[IO[str]] = None
 
     # ------------------------------------------------------------------
     # Reading (resume)
@@ -148,7 +151,7 @@ class SweepJournal:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def append(self, record) -> None:
+    def append(self, record: "CandidateResult") -> None:
         """Durably journal one finished :class:`CandidateResult`."""
         entry = {
             "version": JOURNAL_VERSION,
@@ -182,5 +185,5 @@ class SweepJournal:
     def __enter__(self) -> "SweepJournal":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

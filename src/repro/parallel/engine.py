@@ -42,7 +42,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..analysis.bounds import area_lower_bound
 from ..core.periods import PeriodAssignment
@@ -57,6 +57,12 @@ from ..scheduling.forces import area_weights
 from .checkpoint import SweepJournal
 from .jobs import JobTimeout, SweepJob, _deadline, inject_fault, run_jobs
 from .retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.static.certificate import Certificate
+    from ..api import Problem
+    from ..core.result import SystemSchedule
+    from ..obs.tracer import NullTracer, Tracer
 
 _log = get_logger(__name__)
 
@@ -85,6 +91,16 @@ class SweepInterrupted(Exception):
 
 def _lexkey(periods: Dict[str, int]) -> LexKey:
     return tuple(sorted(periods.items()))
+
+
+def _journal_int(value: object) -> int:
+    """A journaled JSON number as an int (missing/odd values → 0)."""
+    return int(value) if isinstance(value, (int, float)) else 0
+
+
+def _journal_float(value: object) -> float:
+    """A journaled JSON number as a float (missing/odd values → 0.0)."""
+    return float(value) if isinstance(value, (int, float)) else 0.0
 
 
 @dataclass
@@ -186,6 +202,12 @@ class ExplorationEngine:
             plain serial sweep.
         prune: Skip candidates whose area lower bound meets or exceeds
             the best area found so far (sound; see module docstring).
+        interval_bounds: Strengthen the pruning bound with the
+            residue-pressure intervals of :mod:`repro.analysis.absint`
+            (the :func:`area_lower_bound` default).  ``False`` falls
+            back to the plain averaging bound — kept for A/B
+            benchmarks (``benchmarks/bench_absint.py``); both settings
+            are admissible, so the best area is identical either way.
         chunk_size: Jobs batched per worker call; raise above 1 when
             single candidates schedule in well under ~50 ms and IPC
             starts to dominate.
@@ -221,17 +243,18 @@ class ExplorationEngine:
 
     def __init__(
         self,
-        problem,
+        problem: "Problem",
         *,
         workers: int = 1,
         prune: bool = True,
+        interval_bounds: bool = True,
         chunk_size: int = 1,
         inflight_factor: int = 2,
         timeout: Optional[float] = None,
         retries: int = 1,
         retry_policy: Optional[RetryPolicy] = None,
-        checkpoint=None,
-        tracer=None,
+        checkpoint: Optional[str] = None,
+        tracer: "Optional[Tracer | NullTracer]" = None,
         use_scoreboard: bool = True,
         fault_for: Optional[Callable[[Dict[str, int]], Optional[str]]] = None,
         stop_when: Optional[Callable[[], bool]] = None,
@@ -243,6 +266,7 @@ class ExplorationEngine:
         self.problem = problem
         self.workers = workers
         self.prune = prune
+        self.interval_bounds = interval_bounds
         self.chunk_size = chunk_size
         self.inflight_factor = max(1, inflight_factor)
         self.timeout = timeout
@@ -283,6 +307,7 @@ class ExplorationEngine:
                 self.problem.library,
                 self.problem.assignment,
                 candidate,
+                use_intervals=self.interval_bounds,
             )
             specs.append(
                 _Spec(
@@ -388,7 +413,7 @@ class ExplorationEngine:
         *,
         offset_model: str = "deployed",
         pools: Optional[Dict[str, int]] = None,
-    ):
+    ) -> "Optional[Tuple[SystemSchedule, Certificate]]":
         """Re-schedule the sweep's incumbent best and statically certify it.
 
         Sweep workers only ship area/instance summaries back (results
@@ -741,20 +766,22 @@ class ExplorationEngine:
     def _restored_record(spec: _Spec, entry: Dict[str, object]) -> CandidateResult:
         """Replay a journaled outcome onto this run's candidate spec."""
         area = entry.get("area")
+        counts = entry.get("instance_counts")
+        error = entry.get("error")
         return CandidateResult(
             order=spec.order,
             periods=dict(spec.periods),
             bound=spec.bound,
             status=str(entry["status"]),
-            area=None if area is None else float(area),
-            iterations=int(entry.get("iterations") or 0),
-            wall_time=float(entry.get("wall_time") or 0.0),
+            area=float(area) if isinstance(area, (int, float)) else None,
+            iterations=_journal_int(entry.get("iterations")),
+            wall_time=_journal_float(entry.get("wall_time")),
             instance_counts={
                 str(k): int(v)
-                for k, v in (entry.get("instance_counts") or {}).items()
+                for k, v in (counts if isinstance(counts, dict) else {}).items()
             },
-            error=entry.get("error"),
-            attempts=int(entry.get("attempts") or 0),
+            error=None if error is None else str(error),
+            attempts=_journal_int(entry.get("attempts")),
             restored=True,
         )
 
@@ -833,15 +860,18 @@ class ExplorationEngine:
                         merge_gauge_summary(merged_gauges[name], summary)
                     else:
                         merged_gauges[name] = summary
-        workers_seen: Dict[int, Dict[str, object]] = {}
+        worker_jobs: Dict[int, int] = {}
+        worker_wall: Dict[int, float] = {}
         for record in records:
             if record.status != STATUS_OK or not record.worker_pid:
                 continue
-            summary = workers_seen.setdefault(
-                record.worker_pid, {"jobs": 0, "wall_time": 0.0}
-            )
-            summary["jobs"] += 1
-            summary["wall_time"] += record.wall_time
+            pid = record.worker_pid
+            worker_jobs[pid] = worker_jobs.get(pid, 0) + 1
+            worker_wall[pid] = worker_wall.get(pid, 0.0) + record.wall_time
+        workers_seen: Dict[int, Dict[str, object]] = {
+            pid: {"jobs": worker_jobs[pid], "wall_time": worker_wall[pid]}
+            for pid in worker_jobs
+        }
         telemetry.update(
             {
                 "sweep_wall_time": elapsed,

@@ -55,7 +55,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from ..core.periods import PeriodAssignment
 from ..core.scheduler import ModuloSystemScheduler
@@ -64,6 +64,11 @@ from ..obs import Tracer
 from ..obs.metrics import CANDIDATE_SECONDS
 from ..resources.assignment import ResourceAssignment
 from ..scheduling.forces import area_weights
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from types import FrameType
+
+    from ..api import Problem
 
 
 class JobTimeout(Exception):
@@ -125,11 +130,11 @@ class JobResult:
 _problem_cache: List[Tuple[str, object]] = []
 
 
-def _problem_for(text: str):
+def _problem_for(text: str) -> "Problem":
     from ..api import loads_problem
 
     if _problem_cache and _problem_cache[0][0] == text:
-        return _problem_cache[0][1]
+        return _problem_cache[0][1]  # type: ignore[return-value]
     problem = loads_problem(text)
     _problem_cache[:] = [(text, problem)]
     return problem
@@ -151,7 +156,7 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
         yield
         return
 
-    def _on_alarm(signum, frame):
+    def _on_alarm(signum: int, frame: "Optional[FrameType]") -> None:
         raise JobTimeout(f"job timed out after {seconds:g} s")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)

@@ -17,7 +17,11 @@ serve`` daemon share.  It owns three pieces of on-disk state under its
     :func:`repro.service.cachekey.cache_key`; payloads are canonical
     JSON bytes written atomically (temp file + ``rename`` after
     ``fsync``), so repeated submissions of the same problem return
-    byte-identical bytes without rescheduling.
+    byte-identical bytes without rescheduling.  :meth:`JobStore.gc`
+    bounds the cache to a byte budget by evicting least-recently-used
+    payloads (mtime is refreshed on every hit) behind fsync'd
+    ``evicted`` tombstones, so recovery never resurrects an evicted
+    payload; re-submitting an evicted key simply re-runs the job.
 
 ``sweeps/<key>.jsonl``
     Per-sweep candidate journals (:class:`repro.parallel.checkpoint.
@@ -51,7 +55,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
+from typing import IO, TYPE_CHECKING, Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ReproError
 from ..obs import get_logger
@@ -60,6 +64,9 @@ from ..parallel.checkpoint import load_jsonl_tolerant
 from ..parallel.jobs import FaultPlan
 from ..parallel.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .cachekey import cache_key, canonical_options, canonical_problem_text
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.events import EventBus
 
 _log = get_logger(__name__)
 
@@ -75,8 +82,14 @@ STATE_RUNNING = "running"
 STATE_DONE = "done"
 STATE_FAILED = "failed"
 STATE_CANCELLED = "cancelled"
+#: A finished job whose cached payload was garbage-collected: the
+#: tombstone is terminal (recovery never resurrects the payload) but a
+#: re-submission re-runs the job like a failed/cancelled one.
+STATE_EVICTED = "evicted"
 
-TERMINAL_STATES = frozenset({STATE_DONE, STATE_FAILED, STATE_CANCELLED})
+TERMINAL_STATES = frozenset(
+    {STATE_DONE, STATE_FAILED, STATE_CANCELLED, STATE_EVICTED}
+)
 
 
 class ServiceError(ReproError):
@@ -227,7 +240,7 @@ class JobStore:
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         fault_plan: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
-        bus=None,
+        bus: "Optional[EventBus]" = None,
     ) -> None:
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -247,7 +260,7 @@ class JobStore:
         self._cond = threading.Condition(self._lock)
         self._jobs: Dict[str, JobRecord] = {}
         self._queue: Deque[str] = deque()
-        self._journal_handle = None
+        self._journal_handle: Optional[IO[str]] = None
         #: Attempt starts across this store's lifetime (fault-plan index).
         self._executions = 0
         self._closed = False
@@ -275,14 +288,16 @@ class JobStore:
             self._check_open()
             record = self._jobs.get(key)
             if record is not None and not (
-                record.state in (STATE_FAILED, STATE_CANCELLED)
+                record.state in (STATE_FAILED, STATE_CANCELLED, STATE_EVICTED)
             ):
                 hit = record.state == STATE_DONE
                 if hit:
                     self.metrics.inc("service_cache_hits")
+                    self._touch_cache(key)
                 self.metrics.inc("service_jobs_coalesced")
                 return record, hit
             if self._cache_file_ok(key):
+                self._touch_cache(key)
                 record = JobRecord(
                     job_id=key, spec=spec, state=STATE_DONE, cached=True
                 )
@@ -471,6 +486,28 @@ class JobStore:
                 slot = folded[job_id]
                 if job_id in self._jobs:
                     continue
+                if slot.get("state") == STATE_EVICTED:
+                    # Tombstone: the payload was garbage-collected.  A
+                    # crash between the tombstone and the unlink leaves
+                    # the file behind — complete the unlink now; never
+                    # resurrect the payload as a completed job.
+                    try:
+                        os.unlink(self._cache_path(job_id))
+                    except OSError:
+                        pass
+                    spec_data = slot.get("spec")
+                    if isinstance(spec_data, dict):
+                        try:
+                            spec = JobSpec.from_dict(spec_data)
+                        except (KeyError, TypeError, ValueError):
+                            continue
+                        self._jobs[job_id] = JobRecord(
+                            job_id=job_id,
+                            spec=spec,
+                            state=STATE_EVICTED,
+                            attempts=int(slot.get("attempts", 0) or 0),
+                        )
+                    continue
                 spec_data = slot.get("spec")
                 if not isinstance(spec_data, dict):
                     _log.warning(
@@ -524,19 +561,87 @@ class JobStore:
             )
         return requeued
 
+    def gc(self, max_cache_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used cache payloads down to a byte budget.
+
+        Cache files are ranked by modification time (touched on every
+        cache hit, so mtime *is* recency of use) and evicted oldest
+        first until the total size fits ``max_cache_bytes``.  Each
+        eviction appends a durable ``evicted`` tombstone to the job
+        journal *before* the payload is unlinked (fsync-before-unlink),
+        so a crash between the two steps is recovered by completing the
+        unlink — never by resurrecting the payload as a completed job.
+        A later re-submission of an evicted key re-runs the job.
+
+        Returns ``{"evicted": n, "freed_bytes": b, "remaining_bytes": r}``.
+        """
+        if max_cache_bytes < 0:
+            raise ServiceError(
+                f"max_cache_bytes must be >= 0, got {max_cache_bytes}"
+            )
+        evicted = 0
+        freed = 0
+        with self._cond:
+            self._check_open()
+            entries: List[Tuple[float, int, str, str]] = []
+            total = 0
+            for name in os.listdir(self.cache_dir):
+                if name.startswith(".") or not name.endswith(".json"):
+                    continue  # in-flight temp files are not payloads
+                path = os.path.join(self.cache_dir, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((info.st_mtime, info.st_size, name[:-5], path))
+                total += info.st_size
+            entries.sort()
+            for _mtime, size, job_id, path in entries:
+                if total <= max_cache_bytes:
+                    break
+                record = self._jobs.get(job_id)
+                if record is None:
+                    # Payload from a previous store lifetime: synthesize
+                    # the tombstone so recovery still sees it.
+                    record = JobRecord(
+                        job_id=job_id,
+                        spec=JobSpec("schedule", "", {}),
+                        state=STATE_EVICTED,
+                    )
+                    self._jobs[job_id] = record
+                    self._append_journal(record, STATE_EVICTED, attempt=0)
+                    self._publish(record)
+                else:
+                    record.cached = False
+                    self._transition(record, STATE_EVICTED)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass  # recovery completes the unlink from the tombstone
+                total -= size
+                freed += size
+                evicted += 1
+            if evicted:
+                self.metrics.inc("service_cache_evictions", evicted)
+        return {
+            "evicted": evicted,
+            "freed_bytes": freed,
+            "remaining_bytes": total,
+        }
+
     def close(self) -> None:
         """Stop accepting work and wake blocked workers."""
         with self._cond:
             self._closed = True
             if self._journal_handle is not None:
                 self._journal_handle.close()
-                self._journal_handle = None
+                self._journal_handle: Optional[IO[str]] = None
             self._cond.notify_all()
 
     def __enter__(self) -> "JobStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -557,6 +662,13 @@ class JobStore:
             return os.path.getsize(self._cache_path(job_id)) > 0
         except OSError:
             return False
+
+    def _touch_cache(self, job_id: str) -> None:
+        """Refresh a payload's mtime: the LRU clock of :meth:`gc`."""
+        try:
+            os.utime(self._cache_path(job_id))
+        except OSError:
+            pass
 
     def _append_journal(
         self,

@@ -34,12 +34,17 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional
 
 from ..errors import SpecificationError
 from ..parallel.engine import ExplorationEngine, SweepInterrupted
 from ..parallel.jobs import inject_fault, parse_fault
 from ..validation.budget import RunBudget
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..api import Problem
+    from ..core.result import SystemSchedule
+    from .jobstore import JobSpec
 
 #: Version tag stamped into every payload (bump with CACHE_KEY_FORMAT).
 PAYLOAD_FORMAT = "repro-result/1"
@@ -130,7 +135,7 @@ def payload_bytes(payload: Dict[str, object]) -> bytes:
     )
 
 
-def execute_job(spec, context: RunContext) -> bytes:
+def execute_job(spec: "JobSpec", context: RunContext) -> bytes:
     """Run one job attempt; returns the canonical payload bytes.
 
     Raises :class:`~repro.service.jobstore.JobCancelled` when the
@@ -169,7 +174,7 @@ def execute_job(spec, context: RunContext) -> bytes:
 # ----------------------------------------------------------------------
 # Kind implementations
 # ----------------------------------------------------------------------
-def _result_summary(result) -> Dict[str, object]:
+def _result_summary(result: "SystemSchedule") -> Dict[str, object]:
     """The deterministic core every schedule-shaped payload reports."""
     from ..core.verify import verify_system_schedule
 
@@ -190,7 +195,9 @@ def _result_summary(result) -> Dict[str, object]:
     }
 
 
-def _schedule_result(problem, options: Mapping[str, object]):
+def _schedule_result(
+    problem: "Problem", options: Mapping[str, object]
+) -> "SystemSchedule":
     kwargs: Dict[str, object] = {
         "use_scoreboard": options.get("use_scoreboard", True)
     }
@@ -202,7 +209,9 @@ def _schedule_result(problem, options: Mapping[str, object]):
     return problem.schedule(**kwargs)
 
 
-def _run_schedule(problem, options: Mapping[str, object]) -> Dict[str, object]:
+def _run_schedule(
+    problem: "Problem", options: Mapping[str, object]
+) -> Dict[str, object]:
     result = _schedule_result(problem, options)
     payload = _result_summary(result)
     payload["local"] = bool(options.get("local", False))
@@ -210,7 +219,7 @@ def _run_schedule(problem, options: Mapping[str, object]) -> Dict[str, object]:
 
 
 def _run_sweep(
-    problem, options: Mapping[str, object], context: RunContext
+    problem: "Problem", options: Mapping[str, object], context: RunContext
 ) -> Dict[str, object]:
     from ..core.periods import enumerate_period_assignments_capped
     from .jobstore import JobCancelled
@@ -283,7 +292,9 @@ def _run_sweep(
     }
 
 
-def _run_certify(problem, options: Mapping[str, object]) -> Dict[str, object]:
+def _run_certify(
+    problem: "Problem", options: Mapping[str, object]
+) -> Dict[str, object]:
     from ..analysis.static import certify
 
     result = _schedule_result(problem, options)

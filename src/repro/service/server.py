@@ -40,7 +40,7 @@ import os
 import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 from urllib.parse import urlparse
 
 from ..errors import ReproError
@@ -101,7 +101,7 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.job_store  # type: ignore[attr-defined]
 
     # -- plumbing --------------------------------------------------------
-    def log_message(self, fmt: str, *args) -> None:
+    def log_message(self, fmt: str, *args: object) -> None:
         _log.debug("http: " + fmt, *args)
 
     def _send(
@@ -326,7 +326,7 @@ class ServiceServer:
     def __enter__(self) -> "ServiceServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
 
@@ -335,7 +335,7 @@ def serve(
     address: str = "127.0.0.1:0",
     *,
     workers: int = 1,
-    **store_kwargs,
+    **store_kwargs: Any,
 ) -> ServiceServer:
     """Convenience: build a store, start a server, return it running."""
     store = JobStore(state_dir, **store_kwargs)

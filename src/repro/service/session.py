@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 import tempfile
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from .client import ServiceClient
 from .jobstore import JobStore, ServiceError
@@ -80,7 +80,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -96,9 +96,9 @@ class LocalSession(Session):
     def __init__(
         self,
         state_dir: Optional[str] = None,
-        **store_kwargs,
+        **store_kwargs: Any,
     ) -> None:
-        self._tempdir = None
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         if state_dir is None:
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-job-")
             state_dir = self._tempdir.name
@@ -131,7 +131,7 @@ class LocalSession(Session):
         self.store.close()
         if self._tempdir is not None:
             self._tempdir.cleanup()
-            self._tempdir = None
+            self._tempdir: Optional[tempfile.TemporaryDirectory] = None
 
 
 class RemoteSession(Session):

@@ -19,7 +19,10 @@ Codes are grouped by prefix:
 
 Numbers below 100 are errors (scheduling would fail or be meaningless),
 1xx are warnings (scheduling works but the spec looks mistaken), and
-2xx are informational notes.
+2xx are informational notes.  The 3xx block is reserved for the
+residue-pressure analysis (:mod:`repro.analysis.absint`) and carries
+per-code severities: the abstract interpretation grades its findings by
+how much slack the intervals prove, not by code number.
 """
 
 from __future__ import annotations
@@ -138,7 +141,35 @@ CODES: Dict[str, Dict[str, str]] = {
         "severity": SEVERITY_INFO,
         "title": "period slots never authorized for the sharing group",
     },
+    "LINT301": {
+        "severity": SEVERITY_WARNING,
+        "title": "pressure hotspot: every admissible schedule saturates the pool",
+    },
+    "LINT302": {
+        "severity": SEVERITY_INFO,
+        "title": "residue class unreachable by any grid-admissible schedule",
+    },
+    "LINT303": {
+        "severity": SEVERITY_INFO,
+        "title": "pool interval-proven over-provisioned for every schedule",
+    },
 }
+
+
+def codes_table() -> str:
+    """The diagnostic-code registry as a markdown table.
+
+    Source of the tables embedded in docs/robustness.md and
+    docs/static-analysis.md (``python -m repro.validation.diagnostics
+    --table``); a drift test keeps the docs in sync with the registry.
+    """
+    lines = [
+        "| Code | Severity | Meaning |",
+        "| --- | --- | --- |",
+    ]
+    for code, entry in CODES.items():
+        lines.append(f"| `{code}` | {entry['severity']} | {entry['title']} |")
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -286,3 +317,27 @@ class DiagnosticReport:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validation.diagnostics",
+        description="Inspect the diagnostic-code registry.",
+    )
+    parser.add_argument(
+        "--table",
+        action="store_true",
+        help="emit the code registry as a markdown table",
+    )
+    args = parser.parse_args(argv)
+    if args.table:
+        print(codes_table())
+        return 0
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(_main())

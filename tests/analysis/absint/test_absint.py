@@ -1,0 +1,264 @@
+"""Unit tests for the residue-pressure domain, transfer functions,
+bottleneck-cone extraction, and the ``repro analyze`` command."""
+
+import json
+
+import pytest
+
+from repro.analysis.absint import (
+    AbsIntResult,
+    analyze_problem,
+    analyze_schedule,
+    block_step_profiles,
+    effective_busy,
+    extract_bottleneck_cone,
+    fold_profiles,
+    mobility_frames,
+)
+from repro.api import Problem
+from repro.cli import main
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.operation import OpKind
+from repro.ir.process import Block, Process, SystemSpec
+from repro.resources.library import default_library
+from repro.workloads import paper_assignment, paper_periods, paper_system
+
+LIBRARY = default_library()
+
+
+def chain_block(deadline: int = 6) -> Block:
+    """a0 -> a1 (adds) plus a free mul; unit latencies by default lib."""
+    graph = DataFlowGraph(name="chain")
+    graph.add("a0", OpKind.ADD)
+    graph.add("a1", OpKind.ADD)
+    graph.add("m0", OpKind.MUL)
+    graph.add_edge("a0", "a1")
+    return Block(name="main", graph=graph, deadline=deadline)
+
+
+def paper_problem() -> Problem:
+    system, library = paper_system()
+    return Problem(system, library, paper_assignment(library), paper_periods())
+
+
+# ----------------------------------------------------------------------
+# Transfer functions
+# ----------------------------------------------------------------------
+class TestMobilityFrames:
+    def test_chain_frames(self):
+        frames = mobility_frames(chain_block(deadline=6), LIBRARY)
+        lat = LIBRARY.latency_of
+        add_latency = lat(chain_block().graph.operation("a0"))
+        # a0 must finish before a1; a1 must fit before the deadline.
+        asap0, alap0 = frames["a0"]
+        asap1, alap1 = frames["a1"]
+        assert asap0 == 0
+        assert asap1 == add_latency
+        assert alap1 + add_latency <= 6
+        assert alap0 + add_latency <= alap1
+
+    def test_infeasible_frame_clamps(self):
+        # Deadline 1 cannot hold a two-add chain: alap < asap for a1.
+        frames = mobility_frames(chain_block(deadline=1), LIBRARY)
+        for asap, alap in frames.values():
+            assert asap <= alap
+
+
+class TestBlockStepProfiles:
+    def test_problem_mode_brackets_schedule_mode(self):
+        block = chain_block(deadline=6)
+        flo, up = block_step_profiles(block, LIBRARY, "adder")
+        # Any feasible placement: here the ASAP one.
+        exact_lo, exact_hi = block_step_profiles(
+            block, LIBRARY, "adder", starts={"a0": 0, "a1": 1, "m0": 0}
+        )
+        assert exact_lo == exact_hi
+        for j in range(6):
+            assert flo[j] <= exact_hi[j] <= up[j]
+
+    def test_schedule_mode_is_exact(self):
+        block = chain_block(deadline=6)
+        flo, up = block_step_profiles(
+            block, LIBRARY, "adder", starts={"a0": 0, "a1": 1, "m0": 0}
+        )
+        assert flo == up
+        assert sum(up) == 2 * LIBRARY.type("adder").occupancy
+
+    def test_guarded_ops_count_heaviest_branch(self):
+        graph = DataFlowGraph(name="g")
+        graph.add("t0", OpKind.ADD, guard=("c", "t"))
+        graph.add("t1", OpKind.ADD, guard=("c", "t"))
+        graph.add("f0", OpKind.ADD, guard=("c", "f"))
+        block = Block(name="main", graph=graph, deadline=2)
+        flo, up = block_step_profiles(block, LIBRARY, "adder")
+        # Two ops on the taken branch dominate the one on the other.
+        assert max(up) == 2
+        # The lower profile never exceeds the upper one.
+        assert all(lo <= hi for lo, hi in zip(flo, up))
+
+    def test_effective_busy_is_guard_aware(self):
+        graph = DataFlowGraph(name="g")
+        graph.add("u", OpKind.ADD)
+        graph.add("t0", OpKind.ADD, guard=("c", "t"))
+        graph.add("t1", OpKind.ADD, guard=("c", "t"))
+        graph.add("f0", OpKind.ADD, guard=("c", "f"))
+        block = Block(name="main", graph=graph, deadline=4)
+        occ = LIBRARY.type("adder").occupancy
+        # One unguarded op plus the heavier (two-op) branch.
+        assert effective_busy(block, LIBRARY, "adder") == 3 * occ
+
+
+class TestFoldProfiles:
+    def test_fold_takes_the_max_per_residue(self):
+        flo = [1, 0, 2, 0, 0, 3]
+        up = [1, 1, 2, 1, 1, 3]
+        lo_fold, hi_fold, widened = fold_profiles(flo, up, 3)
+        assert not widened
+        assert lo_fold == [1, 0, 3]
+        assert hi_fold == [1, 1, 3]
+
+    def test_widening_keeps_the_upper_bound_sound(self):
+        steps = 12
+        up = [1] * steps
+        up[-1] = 4
+        flo = [0] * steps
+        lo_fold, hi_fold, widened = fold_profiles(
+            flo, up, 2, widen_limit=2
+        )
+        assert widened
+        # The tail's pointwise max (4) widens every touched residue.
+        assert all(hi >= 4 for hi in hi_fold)
+        assert lo_fold == [0, 0]
+
+    def test_widening_never_triggers_below_the_limit(self):
+        lo_fold, hi_fold, widened = fold_profiles(
+            [0] * 4, [1] * 4, 2, widen_limit=2
+        )
+        assert not widened
+        assert hi_fold == [1, 1]
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_problem_analysis_round_trips(self):
+        analysis = analyze_problem(paper_problem())
+        clone = AbsIntResult.from_json(analysis.to_json())
+        assert clone.as_dict() == analysis.as_dict()
+
+    def test_schedule_analysis_round_trips(self):
+        result = paper_problem().schedule()
+        analysis = analyze_schedule(result)
+        clone = AbsIntResult.from_json(analysis.to_json())
+        assert clone.as_dict() == analysis.as_dict()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            AbsIntResult.from_dict({"format": "something-else"})
+
+
+# ----------------------------------------------------------------------
+# Bottleneck cone
+# ----------------------------------------------------------------------
+class TestBottleneckCone:
+    @pytest.fixture(scope="class")
+    def paper_schedule(self):
+        return paper_problem().schedule()
+
+    def test_cone_carries_the_conflict_triple(self, paper_schedule):
+        cone = extract_bottleneck_cone(paper_schedule)
+        assert cone.conflict.type_name == cone.type_name
+        assert cone.conflict.slot == cone.slot
+        assert cone.processes
+        assert cone.lower_peak <= cone.upper_peak
+
+    def test_contributing_ops_fold_onto_the_slot(self, paper_schedule):
+        cone = extract_bottleneck_cone(paper_schedule)
+        result = paper_schedule
+        contributing = [op for op in cone.ops if op.contributing]
+        assert contributing
+        for op in contributing:
+            rtype = result.library.type(cone.type_name)
+            rotation = result.offset_of(op.process) % cone.period
+            busy = range(op.start, op.start + rtype.occupancy)
+            assert any(
+                (rotation + j) % cone.period == cone.slot for j in busy
+            ), op.ref
+
+    def test_edges_connect_cone_ops(self, paper_schedule):
+        cone = extract_bottleneck_cone(paper_schedule)
+        refs = {op.ref for op in cone.ops}
+        for src, dst in cone.edges:
+            assert src in refs and dst in refs
+
+    def test_type_selection(self, paper_schedule):
+        cone = extract_bottleneck_cone(paper_schedule, type_name="multiplier")
+        assert cone.type_name == "multiplier"
+
+    def test_render_and_json(self, paper_schedule):
+        cone = extract_bottleneck_cone(paper_schedule)
+        text = cone.render()
+        assert "bottleneck cone" in text
+        payload = json.loads(cone.to_json())
+        assert payload["type"] == cone.type_name
+        assert payload["ops"]
+
+    def test_empty_analysis_rejected(self):
+        library = default_library()
+        system = SystemSpec(name="solo")
+        graph = DataFlowGraph(name="g")
+        graph.add("a0", OpKind.ADD)
+        process = Process(name="p1")
+        process.add_block(Block(name="main", graph=graph, deadline=4))
+        system.add_process(process)
+        from repro.resources.assignment import ResourceAssignment
+
+        result = Problem(
+            system,
+            library,
+            ResourceAssignment(library),
+            paper_periods().__class__({}),
+        ).schedule()
+        with pytest.raises(ValueError, match="no global types"):
+            extract_bottleneck_cone(result)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestAnalyzeCommand:
+    @pytest.fixture
+    def sys_file(self, tmp_path):
+        path = tmp_path / "paper.sys"
+        path.write_text(paper_problem().dumps(), encoding="utf-8")
+        return str(path)
+
+    def test_schedule_mode_text(self, sys_file, capsys):
+        assert main(["analyze", sys_file]) == 0
+        out = capsys.readouterr().out
+        assert "residue pressure" in out
+        assert "bottleneck cone" in out
+
+    def test_problem_mode_json(self, sys_file, capsys):
+        assert main(["analyze", sys_file, "--mode", "problem", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-absint"
+        assert payload["mode"] == "problem"
+        assert payload["types"]
+
+    def test_type_selection_and_no_cone(self, sys_file, capsys):
+        assert main(
+            ["analyze", sys_file, "--type", "adder", "--no-cone"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out
+        assert "bottleneck cone" not in out
+
+    def test_output_file(self, sys_file, tmp_path, capsys):
+        target = tmp_path / "analysis.json"
+        assert main(
+            ["analyze", sys_file, "--format", "json", "-o", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-absint"

@@ -82,8 +82,16 @@ class TestDeployedModel:
             "subtracter",
             "multiplier",
         }
+        for proof in cert.types:
+            assert proof.proven_peak <= proof.pool
+        assert check_certificate(cert, paper_result) == []
+
+    def test_paper_system_safe_without_fast_path(self, paper_result):
+        cert = certify(paper_result, fast_path=False)
+        assert cert.safe
         # Deployed offsets pin every process to one residue class.
         for proof in cert.types:
+            assert proof.method == "enumeration"
             assert proof.classes_checked >= 1
             assert proof.proven_peak <= proof.pool
         assert check_certificate(cert, paper_result) == []
@@ -156,7 +164,12 @@ class TestAnyOffsetModel:
         """Safe any-offset proofs state the exact brute-force peak."""
         for period in (3, 4, 6):
             result = small_shared_system(period=period)
-            cert = certify(result, offset_model=MODEL_ANY, pools={"adder": 99})
+            cert = certify(
+                result,
+                offset_model=MODEL_ANY,
+                pools={"adder": 99},
+                fast_path=False,
+            )
             proof = cert.proof("adder")
             assert proof.proven_peak == brute_force_peak(proof), (
                 f"period {period}: reduction changed the proven peak"
@@ -165,7 +178,7 @@ class TestAnyOffsetModel:
     def test_deployed_reductions_match_brute_force(self):
         for period in (3, 4, 6):
             result = small_shared_system(period=period)
-            cert = certify(result, pools={"adder": 99})
+            cert = certify(result, pools={"adder": 99}, fast_path=False)
             proof = cert.proof("adder")
             assert proof.proven_peak == brute_force_peak(proof)
 
@@ -176,3 +189,42 @@ class TestAnyOffsetModel:
         assert deployed.safe
         assert not anymodel.safe
         assert check_certificate(anymodel, paper_result) == []
+
+
+class TestIntervalFastPath:
+    def test_fast_path_proofs_skip_enumeration(self, paper_result):
+        cert = certify(paper_result)
+        assert cert.safe
+        for proof in cert.types:
+            assert proof.method == "interval"
+            assert proof.classes_checked == 0
+            # classes_total still records the coverage the interval
+            # bound dominates.
+            assert proof.classes_total >= 1
+        assert check_certificate(cert, paper_result) == []
+
+    def test_interval_bound_dominates_exact_peak(self, paper_result):
+        fast = certify(paper_result)
+        exact = certify(paper_result, fast_path=False)
+        for proof in fast.types:
+            reference = exact.proof(proof.type_name)
+            assert proof.proven_peak >= reference.proven_peak
+            assert proof.pool == reference.pool
+
+    def test_fast_path_never_refutes(self):
+        """An over-pool interval bound falls through to enumeration."""
+        result = small_shared_system()
+        cert = certify(result, pools={"adder": 0})
+        assert not cert.safe
+        proof = cert.proof("adder")
+        assert proof.method == "enumeration"
+        assert proof.classes_checked >= 1
+        assert cert.counterexample is not None
+
+    def test_fast_path_counts_proofs(self, paper_result):
+        from repro.obs.counters import ABSINT_FASTPATH_PROOFS, Counters
+
+        counters = Counters()
+        with counters.activate():
+            certify(paper_result)
+        assert counters.get(ABSINT_FASTPATH_PROOFS) == 3

@@ -53,6 +53,13 @@ def result():
 
 @pytest.fixture
 def certificate(result):
+    # Enumeration proofs: the tampering below targets the exact-peak
+    # re-check; interval fast-path proofs get their own class.
+    return certify(result, fast_path=False)
+
+
+@pytest.fixture
+def fast_certificate(result):
     return certify(result)
 
 
@@ -182,6 +189,53 @@ class TestTamperedEnvelopes:
         )
         problems = check_certificate(bad, result)
         assert any("admissible coset" in p for p in problems)
+
+
+class TestTamperedIntervalProofs:
+    def test_honest_fast_path_passes(self, fast_certificate, result):
+        assert fast_certificate.proof("adder").method == "interval"
+        assert check_certificate(fast_certificate, result) == []
+
+    def test_tightened_interval_bound_rejected(self, fast_certificate, result):
+        # Claiming a smaller bound than the re-derived rotation join:
+        # the checker recomputes the join from the envelopes it refolds
+        # itself, so a hand-tightened proof cannot survive.
+        proof = fast_certificate.proof("adder")
+        bad = with_proof(
+            fast_certificate,
+            dataclasses.replace(proof, proven_peak=proof.proven_peak - 1),
+        )
+        problems = check_certificate(bad, result)
+        assert any("recomputed interval bound" in p for p in problems)
+
+    def test_unsafe_interval_claim_rejected(self, fast_certificate, result):
+        # The fast path never refutes: an interval proof whose claimed
+        # peak exceeds its pool is a forgery even when the bound itself
+        # re-derives (the pool override keeps the allocation check quiet
+        # so the method-specific check is what fires).
+        proof = fast_certificate.proof("adder")
+        tampered_pool = proof.proven_peak - 1
+        bad = with_proof(
+            fast_certificate, dataclasses.replace(proof, pool=tampered_pool)
+        )
+        problems = check_certificate(bad, result, pools={"adder": tampered_pool})
+        assert any("fast path never refutes" in p for p in problems)
+
+    def test_nonzero_enumeration_count_rejected(self, fast_certificate, result):
+        proof = fast_certificate.proof("adder")
+        bad = with_proof(
+            fast_certificate, dataclasses.replace(proof, classes_checked=5)
+        )
+        problems = check_certificate(bad, result)
+        assert any("enumerates none" in p for p in problems)
+
+    def test_unknown_method_rejected(self, fast_certificate, result):
+        proof = fast_certificate.proof("adder")
+        bad = with_proof(
+            fast_certificate, dataclasses.replace(proof, method="vibes")
+        )
+        problems = check_certificate(bad, result)
+        assert any("unknown proof method" in p for p in problems)
 
 
 class TestTamperedVerdicts:

@@ -1,0 +1,190 @@
+"""Cache eviction: LRU GC, durable tombstones, and crash recovery."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import JobStore, ServiceError
+from repro.service.jobstore import STATE_EVICTED
+
+from .conftest import SMALL_TEXT, _src_pythonpath
+
+#: A second, distinct problem so two jobs land in the cache.
+OTHER_TEXT = SMALL_TEXT.replace("system demo", "system other")
+
+
+def _cache_path(store: JobStore, job_id: str) -> str:
+    return os.path.join(store.cache_dir, f"{job_id}.json")
+
+
+def _set_mtime(store: JobStore, job_id: str, when: float) -> None:
+    os.utime(_cache_path(store, job_id), (when, when))
+
+
+def _run_two(store: JobStore):
+    """Two done jobs; the first one's payload is made strictly older."""
+    old, _ = store.submit("schedule", SMALL_TEXT)
+    new, _ = store.submit("schedule", OTHER_TEXT)
+    assert store.run_until_idle() == 2
+    _set_mtime(store, old.job_id, 1_000.0)
+    _set_mtime(store, new.job_id, 2_000.0)
+    return old, new
+
+
+# ----------------------------------------------------------------------
+# Eviction order and accounting
+# ----------------------------------------------------------------------
+def test_gc_evicts_least_recently_used_first(store):
+    old, new = _run_two(store)
+    keep = os.path.getsize(_cache_path(store, new.job_id))
+    stats = store.gc(keep)
+    assert stats["evicted"] == 1
+    assert stats["freed_bytes"] > 0
+    assert stats["remaining_bytes"] == keep
+    assert old.state == STATE_EVICTED
+    assert not old.cached
+    assert not os.path.exists(_cache_path(store, old.job_id))
+    # The newer payload survives untouched.
+    assert new.state == "done"
+    assert store.result_bytes(new.job_id)
+    assert store.metrics.counter_value("service_cache_evictions") == 1
+
+
+def test_gc_zero_budget_clears_the_cache(store):
+    _run_two(store)
+    stats = store.gc(0)
+    assert stats["evicted"] == 2
+    assert stats["remaining_bytes"] == 0
+    assert [n for n in os.listdir(store.cache_dir)] == []
+
+
+def test_gc_within_budget_is_a_noop(store):
+    _run_two(store)
+    stats = store.gc(10**9)
+    assert stats == {
+        "evicted": 0,
+        "freed_bytes": 0,
+        "remaining_bytes": stats["remaining_bytes"],
+    }
+    assert stats["remaining_bytes"] > 0
+
+
+def test_gc_rejects_negative_budget(store):
+    with pytest.raises(ServiceError, match="max_cache_bytes"):
+        store.gc(-1)
+
+
+def test_evicted_result_is_an_error(store):
+    old, _new = _run_two(store)
+    store.gc(0)
+    with pytest.raises(ServiceError, match="evicted"):
+        store.result_bytes(old.job_id)
+
+
+def test_resubmission_after_eviction_reruns(store):
+    old, _new = _run_two(store)
+    reference = store.result_bytes(old.job_id)
+    store.gc(0)
+    again, hit = store.submit("schedule", SMALL_TEXT)
+    assert not hit
+    assert again.state == "queued"
+    assert store.run_until_idle() == 1
+    assert store.result_bytes(again.job_id) == reference
+
+
+def test_cache_hit_refreshes_the_lru_clock(store):
+    old, new = _run_two(store)
+    # A hit on the older payload bumps its mtime past the newer one's.
+    _again, hit = store.submit("schedule", SMALL_TEXT)
+    assert hit
+    keep = os.path.getsize(_cache_path(store, old.job_id))
+    stats = store.gc(keep)
+    assert stats["evicted"] == 1
+    assert new.state == STATE_EVICTED
+    assert old.state == "done"
+    assert store.result_bytes(old.job_id)
+
+
+# ----------------------------------------------------------------------
+# Tombstones and recovery
+# ----------------------------------------------------------------------
+def test_recovery_never_resurrects_an_evicted_payload(tmp_path):
+    state = str(tmp_path / "state")
+    with JobStore(state) as first:
+        old, _new = _run_two(first)
+        first.gc(0)
+    with JobStore(state) as second:
+        assert second.recover() == 0
+        record = second.status(old.job_id)
+        assert record.state == STATE_EVICTED
+        with pytest.raises(ServiceError):
+            second.result_bytes(old.job_id)
+        # Re-submission schedules fresh work, not a cache hit.
+        again, hit = second.submit("schedule", SMALL_TEXT)
+        assert not hit
+        assert again.state == "queued"
+
+
+def test_recovery_completes_an_interrupted_unlink(tmp_path):
+    state = str(tmp_path / "state")
+    with JobStore(state) as first:
+        old, _new = _run_two(first)
+        payload = first.result_bytes(old.job_id)
+        first.gc(0)
+        # Crash between tombstone and unlink: the payload lingers.
+        with open(_cache_path(first, old.job_id), "wb") as handle:
+            handle.write(payload)
+    with JobStore(state) as second:
+        second.recover()
+        assert not os.path.exists(_cache_path(second, old.job_id))
+        assert second.status(old.job_id).state == STATE_EVICTED
+
+
+def test_gc_tombstones_payloads_from_previous_lifetimes(tmp_path):
+    state = str(tmp_path / "state")
+    with JobStore(state) as first:
+        old, _new = _run_two(first)
+    # A fresh store that never recovered still owes a tombstone for
+    # files it only knows from the cache directory listing.
+    with JobStore(state) as second:
+        stats = second.gc(0)
+        assert stats["evicted"] == 2
+    with JobStore(state) as third:
+        third.recover()
+        again, hit = third.submit("schedule", SMALL_TEXT)
+        assert not hit
+        assert again.job_id == old.job_id
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=_src_pythonpath())
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "jobs", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_cli_gc_evicts_and_reports(tmp_path):
+    state = str(tmp_path / "state")
+    with JobStore(state) as store:
+        _run_two(store)
+    proc = _run_cli("--gc", "--state-dir", state, "--max-cache-bytes", "0")
+    assert proc.returncode == 0, proc.stderr
+    assert "evicted 2" in proc.stdout
+    assert os.listdir(os.path.join(state, "cache")) == []
+
+
+def test_cli_gc_requires_state_dir_and_budget(tmp_path):
+    proc = _run_cli("--gc")
+    assert proc.returncode == 2
+    proc = _run_cli("--gc", "--state-dir", str(tmp_path / "state"))
+    assert proc.returncode == 2

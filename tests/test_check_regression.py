@@ -74,6 +74,51 @@ def _kernel_report(vector=0.1, kernel_wall=0.5):
     }
 
 
+def _absint_report(evaluated=7, pruned=66, interval_wall=0.3):
+    return {
+        "workload": {"system": "paper", "candidates": 73, "global_types": 3},
+        "tightness": {
+            "candidates": 73,
+            "strictly_tighter": 61,
+            "mean_averaging_bound": 12.4,
+            "mean_interval_bound": 17.6,
+            "max_gain": 15.0,
+        },
+        "sweep": {
+            "candidates": 73,
+            "best_area": 13.0,
+            "averaging": {
+                "evaluated": 43,
+                "pruned": 30,
+                "failed": 0,
+                "wall_time": 2.0,
+            },
+            "interval": {
+                "evaluated": evaluated,
+                "pruned": pruned,
+                "failed": 0,
+                "wall_time": interval_wall,
+            },
+            "prune_rate_interval": pruned / 73,
+            "prune_rate_floor": 81 / 125,
+            "best_area_identical": True,
+        },
+        "fastpath": {
+            "subjects": [
+                {
+                    "name": "paper",
+                    "types": 3,
+                    "interval_proofs": 3,
+                    "checker_ok": True,
+                },
+            ],
+            "proofs": 3,
+            "interval_proofs": 3,
+            "hit_rate": 1.0,
+        },
+    }
+
+
 def _run(tmp_path, kind, current, baseline, *extra):
     cur = tmp_path / "current.json"
     base = tmp_path / "baseline.json"
@@ -208,11 +253,66 @@ class TestKernelsGate:
         capsys.readouterr()
 
 
+class TestAbsintGate:
+    def test_identical_run_passes(self, tmp_path, capsys):
+        assert _run(tmp_path, "absint", _absint_report(), _absint_report()) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_pruning_erosion_fails(self, tmp_path, capsys):
+        current = _absint_report(evaluated=10)  # +40% more work
+        assert _run(tmp_path, "absint", current, _absint_report()) == 1
+        capsys.readouterr()
+
+    def test_prune_rate_floor_is_hard(self, tmp_path, capsys):
+        current = _absint_report(pruned=40)  # 55% < 65% floor
+        current["sweep"]["prune_rate_interval"] = 40 / 73
+        assert _run(tmp_path, "absint", current, _absint_report()) == 1
+        assert "floor" in capsys.readouterr().out
+
+    def test_arm_parity_is_hard(self, tmp_path, capsys):
+        current = _absint_report()
+        current["sweep"]["best_area_identical"] = False
+        assert _run(tmp_path, "absint", current, _absint_report()) == 1
+        assert "identical best areas" in capsys.readouterr().out
+
+    def test_checker_rejection_is_hard(self, tmp_path, capsys):
+        current = _absint_report()
+        current["fastpath"]["subjects"][0]["checker_ok"] = False
+        assert _run(tmp_path, "absint", current, _absint_report()) == 1
+        assert "rejected by the independent checker" in capsys.readouterr().out
+
+    def test_tightness_loss_fails_without_tolerance(self, tmp_path, capsys):
+        current = _absint_report()
+        current["tightness"]["strictly_tighter"] = 60
+        assert _run(tmp_path, "absint", current, _absint_report()) == 1
+        capsys.readouterr()
+
+    def test_fastpath_loss_fails_without_tolerance(self, tmp_path, capsys):
+        current = _absint_report()
+        current["fastpath"]["interval_proofs"] = 2
+        assert _run(tmp_path, "absint", current, _absint_report()) == 1
+        capsys.readouterr()
+
+    def test_wall_ratio_regression_fails(self, tmp_path, capsys):
+        current = _absint_report(interval_wall=1.0)  # ratio 0.5 vs 0.15
+        assert _run(tmp_path, "absint", current, _absint_report()) == 1
+        assert "interval/averaging" in capsys.readouterr().out
+
+    def test_candidate_set_mismatch_demands_new_baseline(self, tmp_path, capsys):
+        current = _absint_report()
+        current["workload"]["candidates"] = 99
+        assert _run(tmp_path, "absint", current, _absint_report()) == 1
+        assert "regenerate the baseline" in capsys.readouterr().out
+
+
 class TestCommittedBaselines:
     @pytest.mark.parametrize("name", [
         "BENCH_scaling_smoke.json",
         "BENCH_sweep_smoke.json",
         "BENCH_kernel_smoke.json",
+        "BENCH_scale_smoke.json",
+        "BENCH_service_smoke.json",
+        "BENCH_absint_smoke.json",
     ])
     def test_baseline_files_parse(self, name):
         path = _MODULE_PATH.parent / "baselines" / name

@@ -1,0 +1,56 @@
+"""Drift test: the diagnostic-code tables embedded in the docs must
+match the registry exactly (regenerate with
+``python -m repro.validation.diagnostics --table``)."""
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.validation.diagnostics import codes_table
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+)
+
+BEGIN = (
+    "<!-- BEGIN diagnostic-codes "
+    "(generated: python -m repro.validation.diagnostics --table) -->"
+)
+END = "<!-- END diagnostic-codes -->"
+
+DOCS = ["docs/robustness.md", "docs/static-analysis.md"]
+
+
+def embedded_table(path: str) -> str:
+    text = open(os.path.join(REPO_ROOT, path), encoding="utf-8").read()
+    match = re.search(re.escape(BEGIN) + r"\n(.*?)\n" + re.escape(END), text, re.S)
+    assert match, f"{path} is missing the diagnostic-codes markers"
+    return match.group(1)
+
+
+@pytest.mark.parametrize("path", DOCS)
+def test_docs_table_matches_the_registry(path):
+    assert embedded_table(path) == codes_table(), (
+        f"{path} has drifted from the registry; regenerate the block "
+        "with `python -m repro.validation.diagnostics --table`"
+    )
+
+
+def test_table_subcommand_emits_the_table():
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.validation.diagnostics", "--table"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0
+    assert proc.stdout.strip() == codes_table()
